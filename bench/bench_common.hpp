@@ -1,0 +1,48 @@
+// Shared plumbing for the experiment binaries (DESIGN.md section 4).
+#pragma once
+
+#include <cstdio>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "gen/families.hpp"
+#include "matching/blossom.hpp"
+#include "matching/bounded_aug.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "util/thread_pool.hpp"
+#include "util/timer.hpp"
+
+namespace matchsparse::bench {
+
+/// Reference MCM size: exact blossom up to `exact_limit` vertices, a
+/// near-exact bounded-length matcher beyond (eps = 0.02, so the reference
+/// is within 2% and the measured ratios remain meaningful at scale).
+inline VertexId reference_mcm_size(const Graph& g,
+                                   VertexId exact_limit = 3000) {
+  if (g.num_vertices() <= exact_limit) return blossom_mcm(g).size();
+  return approx_mcm(g, 0.02).size();
+}
+
+/// Runs `trials` independent seeded trials in parallel and feeds each
+/// result into a StreamingStats.
+inline StreamingStats parallel_trials(
+    int trials, const std::function<double(std::uint64_t seed)>& trial) {
+  StreamingStats stats;
+  std::mutex mu;
+  parallel_for(static_cast<std::size_t>(trials), [&](std::size_t t) {
+    const double value = trial(static_cast<std::uint64_t>(t) + 1);
+    std::lock_guard<std::mutex> lock(mu);
+    stats.add(value);
+  });
+  return stats;
+}
+
+/// Prints a banner naming the experiment and the paper claim it tests.
+inline void banner(const char* experiment, const char* claim) {
+  std::printf("\n######## %s\n# claim: %s\n", experiment, claim);
+}
+
+}  // namespace matchsparse::bench

@@ -1,0 +1,150 @@
+// E7 — Theorem 3.2: distributed (1+ε)-MCM round complexity — the n-
+//       dependence is log*-flat (symmetry breaking), everything else
+//       depends only on (β, ε).
+// E8 — Theorem 3.3: total message complexity ~ T(n)·|E(G_Δ)|, i.e.
+//       messages/m → 0 on dense families (sublinear communication).
+#include "bench_common.hpp"
+
+#include "dist/pipeline.hpp"
+#include "dist/sparsifier_protocols.hpp"
+
+using namespace matchsparse;
+using namespace matchsparse::bench;
+using namespace matchsparse::dist;
+
+int main() {
+  banner("E7/E8 distributed pipeline (Theorems 3.2, 3.3)",
+         "rounds ~ f(beta,eps) + O(log* n)-ish symmetry breaking; "
+         "messages sublinear in m on dense inputs");
+
+  Table table("E7/E8  K_n sweep (beta=1, eps=0.6, unicast 1-bit marks)",
+              {"n", "m", "rounds:spars", "rounds:maximal", "rounds:augment",
+               "messages", "messages/m", "bits/m", "ratio @2approx stage",
+               "ratio final"});
+  DistributedMatchingOptions opt;
+  opt.beta = 1;
+  opt.eps = 0.6;
+  opt.delta_scale = 1.0;
+  opt.alpha_scale = 1.0;
+  opt.augmenting.windows_per_phase = 8;
+
+  for (VertexId n : {200u, 400u, 800u, 1600u}) {
+    const Graph g = gen::complete_graph(n);
+    const auto result = distributed_approx_matching(g, opt, mix64(n, 9));
+    const double m = static_cast<double>(g.num_edges());
+    const double ref = reference_mcm_size(g);
+    table.row()
+        .cell(n)
+        .cell(g.num_edges())
+        .cell(result.stage_sparsify.rounds + result.stage_degree.rounds)
+        .cell(result.stage_maximal.rounds)
+        .cell(result.stage_augment.rounds)
+        .cell(result.total_messages())
+        .cell(static_cast<double>(result.total_messages()) / m, 4)
+        .cell(static_cast<double>(result.total_bits()) / m, 4)
+        .cell(ref / static_cast<double>(std::max<VertexId>(
+                        1, result.maximal_stage_matching.size())),
+              4)
+        .cell(ref / static_cast<double>(
+                        std::max<VertexId>(1, result.matching.size())),
+              4);
+  }
+  table.print();
+  std::printf(
+      "# shape check: sparsifier stages are constant-round; maximal-stage "
+      "rounds grow ~log n; augment rounds are n-independent (fixed "
+      "(beta,eps) schedule); messages/m FALLS as m = Theta(n^2) grows — "
+      "the Theorem 3.3 sublinearity. The @2approx column is the quality "
+      "of stopping after the maximal stage (the Barenboim–Oren-grade "
+      "answer the Theorem 3.2 remark compares against); the augmenting "
+      "phases close the gap to (1+eps).\n");
+
+  Table congest("E7.c  stage-4 model comparison on K_800: LOCAL blobs vs "
+                "CONGEST tokens",
+                {"stage-4 model", "rounds", "messages", "bits",
+                 "max bits/msg", "ratio vs exact"});
+  for (bool use_congest : {false, true}) {
+    DistributedMatchingOptions copt = opt;
+    copt.congest_augmenting = use_congest;
+    const Graph g = gen::complete_graph(800);
+    const auto result = distributed_approx_matching(g, copt, 777);
+    const double ref = reference_mcm_size(g);
+    congest.row()
+        .cell(use_congest ? "CONGEST (65-bit tokens)" : "LOCAL (path blobs)")
+        .cell(result.stage_augment.rounds)
+        .cell(result.stage_augment.messages)
+        .cell(result.stage_augment.bits)
+        .cell(result.stage_augment.messages == 0
+                  ? 0.0
+                  : static_cast<double>(result.stage_augment.bits) /
+                        static_cast<double>(result.stage_augment.messages),
+              1)
+        .cell(ref / static_cast<double>(
+                        std::max<VertexId>(1, result.matching.size())),
+              4);
+  }
+  congest.print();
+  std::printf("# shape check: identical round schedule; the CONGEST "
+              "variant routes AUGMENTs via locked back-pointers instead "
+              "of shipping paths, capping every message at O(log n) "
+              "bits — the model the paper names alongside LOCAL.\n");
+
+  Table bcast("E8.b  sparsifier stage, unicast vs broadcast systems "
+              "(K_n, delta=8)",
+              {"n", "system", "messages", "bits", "bits/mark"});
+  for (VertexId n : {400u, 1600u}) {
+    const Graph g = gen::complete_graph(n);
+    const VertexId delta = 8;
+    {
+      Network net(g, 5);
+      RandomSparsifierProtocol protocol(n, delta);
+      const TrafficStats s = net.run(protocol, 4);
+      bcast.row().cell(n).cell("unicast (1-bit marks)").cell(s.messages)
+          .cell(s.bits)
+          .cell(static_cast<double>(s.bits) / (n * delta), 2);
+    }
+    {
+      Network net(g, 5);
+      BroadcastSparsifierProtocol protocol(n, delta);
+      const TrafficStats s = net.run(protocol, 4);
+      bcast.row().cell(n).cell("broadcast (port lists)").cell(s.messages)
+          .cell(s.bits)
+          .cell(static_cast<double>(s.bits) / (n * delta), 2);
+    }
+  }
+  bcast.print();
+  std::printf("# shape check: the paper's §3.2 remark — unicast systems "
+              "build G_delta with n*delta 1-bit messages; broadcast "
+              "systems must ship O(delta log n)-bit port lists, paying "
+              "~32x more bits here (and sublinear message complexity is "
+              "impossible in broadcast, as §3.2.1 argues).\n");
+
+  Table fam("E7.b  bounded-beta families at n=1200 (eps=0.6)",
+            {"family", "beta<=", "m", "total rounds", "messages",
+             "messages/m", "ratio vs exact"});
+  for (const auto& family : gen::standard_families()) {
+    const VertexId n = family.name == "complete" ? 800 : 1200;
+    const Graph g = family.make(n, 5);
+    DistributedMatchingOptions fopt = opt;
+    fopt.beta = family.beta_bound;
+    const auto result = distributed_approx_matching(g, fopt, 77);
+    const double ref = reference_mcm_size(g);
+    fam.row()
+        .cell(family.name)
+        .cell(family.beta_bound)
+        .cell(g.num_edges())
+        .cell(result.total_rounds())
+        .cell(result.total_messages())
+        .cell(static_cast<double>(result.total_messages()) /
+                  static_cast<double>(g.num_edges()),
+              4)
+        .cell(ref / static_cast<double>(
+                        std::max<VertexId>(1, result.matching.size())),
+              4);
+  }
+  fam.print();
+  std::printf("# note: sparse families (m ~ n*const) cannot show sublinear "
+              "messages — the theorem's win is specifically m >> n*delta; "
+              "the complete row is the regime the paper targets.\n");
+  return 0;
+}

@@ -1,0 +1,330 @@
+// E9  — Theorem 3.5: fully-dynamic (1+ε)-MCM with worst-case update work
+//        O((β/ε³)·log(1/ε)), deterministic work bound, approximation
+//        w.h.p. against an ADAPTIVE adversary; compared to the
+//        Barenboim–Maimon-style O(deg)-per-update maximal baseline.
+// E10 — Lemma 3.4 (Gupta–Peng stability): a (1+ε)-matching stays
+//        (1+2ε+2ε')-approximate across ε'·|M| adversarial deletions.
+#include "bench_common.hpp"
+
+#include "dynamic/adversary.hpp"
+#include "dynamic/baseline_maximal.hpp"
+#include "dynamic/oblivious_matcher.hpp"
+#include "dynamic/window_matcher.hpp"
+
+using namespace matchsparse;
+using namespace matchsparse::bench;
+
+namespace {
+
+struct RunStats {
+  StreamingStats ratio;
+  std::uint64_t max_work = 0;
+  std::uint64_t total_work = 0;
+  std::size_t overruns = 0;
+};
+
+template <typename Algo>
+RunStats run_script(Algo& algo, const UpdateScript& script,
+                    std::size_t samples) {
+  RunStats out;
+  const std::size_t every = std::max<std::size_t>(1, script.size() / samples);
+  std::size_t step = 0;
+  for (const Update& u : script) {
+    if (u.insert) {
+      algo.insert_edge(u.edge.u, u.edge.v);
+    } else {
+      algo.delete_edge(u.edge.u, u.edge.v);
+    }
+    if (++step % every == 0) {
+      const VertexId opt = reference_mcm_size(algo.graph().snapshot());
+      if (opt > 0) {
+        out.ratio.add(static_cast<double>(opt) /
+                      std::max<VertexId>(1, algo.matching().size()));
+      }
+    }
+  }
+  out.max_work = algo.max_update_work();
+  out.total_work = algo.total_work();
+  return out;
+}
+
+void table_oblivious() {
+  Table table("E9.a  oblivious unit-disk churn (n=2000, ~20k updates)",
+              {"algorithm", "eps", "mean opt/alg", "worst opt/alg",
+               "max work/upd", "mean work/upd"});
+  const VertexId n = 2000;
+  Rng rng(3);
+  const double radius = gen::unit_disk_radius_for_degree(n, 16.0);
+  const UpdateScript script = unit_disk_churn(n, radius, n / 2, 1500, rng);
+
+  for (double eps : {0.5, 0.3}) {
+    WindowMatcherOptions opt;
+    opt.beta = 5;
+    opt.eps = eps;
+    opt.delta_scale = 0.5;
+    WindowMatcher wm(n, opt);
+    const RunStats s = run_script(wm, script, 24);
+    table.row()
+        .cell("window (Thm 3.5)")
+        .cell(eps, 2)
+        .cell(s.ratio.mean(), 4)
+        .cell(s.ratio.max(), 4)
+        .cell(s.max_work)
+        .cell(static_cast<double>(s.total_work) / script.size(), 1);
+  }
+  {
+    ObliviousDynamicMatcher oblivious(n, 5, 0.3, 99, 0.5);
+    const RunStats s = run_script(oblivious, script, 24);
+    table.row()
+        .cell("oblivious scheme (3.3 intro)")
+        .cell(0.3, 2)
+        .cell(s.ratio.mean(), 4)
+        .cell(s.ratio.max(), 4)
+        .cell(s.max_work)
+        .cell(static_cast<double>(s.total_work) / script.size(), 1);
+  }
+  {
+    BaselineDynamicMaximal base(n);
+    const RunStats s = run_script(base, script, 24);
+    table.row()
+        .cell("BM-style maximal")
+        .cell("-")
+        .cell(s.ratio.mean(), 4)
+        .cell(s.ratio.max(), 4)
+        .cell(s.max_work)
+        .cell(static_cast<double>(s.total_work) / script.size(), 1);
+  }
+  table.print();
+  std::printf("# shape check: the window matcher holds opt/alg near 1+eps "
+              "while the maximal baseline drifts toward its 2-approx "
+              "guarantee; window work/update is (beta,eps)-bounded, "
+              "baseline worst-case work tracks vertex degree.\n");
+}
+
+void table_adaptive() {
+  Table table("E9.b  ADAPTIVE adversary (deletes current matched edges)",
+              {"algorithm", "mean opt/alg", "worst opt/alg",
+               "max work/upd", "rebuilds/overruns"});
+  const VertexId n = 600;
+  Rng rng(5);
+  const Graph host = gen::clique_union(n, 12, 4, rng);
+
+  {
+    WindowMatcherOptions opt;
+    opt.beta = 4;
+    opt.eps = 0.4;
+    opt.delta_scale = 0.5;
+    WindowMatcher wm(n, opt);
+    wm.bulk_load(host.edge_list());
+    MatchedEdgeDeleter adversary(11);
+    StreamingStats ratio;
+    for (int step = 0; step < 2500; ++step) {
+      const Update u = adversary.next(wm.graph(), wm.matching());
+      if (u.insert) {
+        wm.insert_edge(u.edge.u, u.edge.v);
+      } else {
+        wm.delete_edge(u.edge.u, u.edge.v);
+      }
+      if (step % 100 == 0) {
+        const VertexId opt_size = reference_mcm_size(wm.graph().snapshot());
+        if (opt_size > 0) {
+          ratio.add(static_cast<double>(opt_size) /
+                    std::max<VertexId>(1, wm.matching().size()));
+        }
+      }
+    }
+    char ro[32];
+    std::snprintf(ro, sizeof(ro), "%zu/%zu", wm.rebuilds(),
+                  wm.window_overruns());
+    table.row()
+        .cell("window (Thm 3.5)")
+        .cell(ratio.mean(), 4)
+        .cell(ratio.max(), 4)
+        .cell(wm.max_update_work())
+        .cell(ro);
+  }
+  {
+    // The oblivious scheme facing the adaptive adversary: its marks
+    // persist across updates and leak through the output — the exact
+    // vulnerability the Theorem 3.5 window scheme removes.
+    ObliviousDynamicMatcher oblivious(n, 4, 0.4, 31, 0.5);
+    for (const Edge& e : host.edge_list()) oblivious.insert_edge(e.u, e.v);
+    MatchedEdgeDeleter adversary(11);
+    StreamingStats ratio;
+    for (int step = 0; step < 2500; ++step) {
+      const Update u = adversary.next(oblivious.graph(), oblivious.matching());
+      if (u.insert) {
+        oblivious.insert_edge(u.edge.u, u.edge.v);
+      } else {
+        oblivious.delete_edge(u.edge.u, u.edge.v);
+      }
+      if (step % 100 == 0) {
+        const VertexId opt_size =
+            reference_mcm_size(oblivious.graph().snapshot());
+        if (opt_size > 0) {
+          ratio.add(static_cast<double>(opt_size) /
+                    std::max<VertexId>(1, oblivious.matching().size()));
+        }
+      }
+    }
+    table.row()
+        .cell("oblivious scheme (3.3 intro)")
+        .cell(ratio.mean(), 4)
+        .cell(ratio.max(), 4)
+        .cell(oblivious.max_update_work())
+        .cell("-");
+  }
+  {
+    BaselineDynamicMaximal base(n);
+    for (const Edge& e : host.edge_list()) base.insert_edge(e.u, e.v);
+    MatchedEdgeDeleter adversary(11);
+    StreamingStats ratio;
+    for (int step = 0; step < 2500; ++step) {
+      const Update u = adversary.next(base.graph(), base.matching());
+      if (u.insert) {
+        base.insert_edge(u.edge.u, u.edge.v);
+      } else {
+        base.delete_edge(u.edge.u, u.edge.v);
+      }
+      if (step % 100 == 0) {
+        const VertexId opt_size =
+            reference_mcm_size(base.graph().snapshot());
+        if (opt_size > 0) {
+          ratio.add(static_cast<double>(opt_size) /
+                    std::max<VertexId>(1, base.matching().size()));
+        }
+      }
+    }
+    table.row()
+        .cell("BM-style maximal")
+        .cell(ratio.mean(), 4)
+        .cell(ratio.max(), 4)
+        .cell(base.max_update_work())
+        .cell("-");
+  }
+  table.print();
+  std::printf("# shape check: the adaptive deleter cannot push the window "
+              "matcher past ~1+eps for long — every window draws fresh "
+              "coins, the paper's adaptive-adversary argument. (This "
+              "particular adversary does not break the oblivious scheme "
+              "either; the distinction the paper proves is about the "
+              "guarantee — mark-reconstruction attacks exist in principle "
+              "but are nontrivial to mount.)\n");
+}
+
+void table_work_separation() {
+  // The paper's headline dynamic claim: update work O((beta/eps^3)
+  // log(1/eps)) — independent of n and degree — versus the baseline's
+  // degree-driven rescans (BM'19: O(sqrt(beta*n))). On K_n with a
+  // matched-edge-deleting adversary, the baseline's worst-case update
+  // grows ~n while the window matcher's work profile is flat.
+  Table table("E9.c  update-work separation on K_n (adaptive deleter)",
+              {"n", "window mean work/upd", "window p99-ish max",
+               "baseline mean", "baseline max"});
+  for (VertexId n : {400u, 800u, 1600u}) {
+    const Graph host = gen::complete_graph(n);
+
+    WindowMatcherOptions opt;
+    opt.beta = 1;
+    opt.eps = 0.4;
+    opt.delta_scale = 1.0;
+    WindowMatcher wm(n, opt);
+    wm.bulk_load(host.edge_list());  // telemetry starts at zero after this
+    const std::uint64_t warm_total = wm.total_work();
+    MatchedEdgeDeleter adv_w(21);
+    const int kSteps = 1200;
+    for (int step = 0; step < kSteps; ++step) {
+      const Update u = adv_w.next(wm.graph(), wm.matching());
+      if (u.insert) {
+        wm.insert_edge(u.edge.u, u.edge.v);
+      } else {
+        wm.delete_edge(u.edge.u, u.edge.v);
+      }
+    }
+    const double wmean =
+        static_cast<double>(wm.total_work() - warm_total) / kSteps;
+
+    BaselineDynamicMaximal base(n);
+    for (const Edge& e : host.edge_list()) base.insert_edge(e.u, e.v);
+    const std::uint64_t base_warm = base.total_work();
+    std::uint64_t base_max = 0;
+    MatchedEdgeDeleter adv_b(21);
+    for (int step = 0; step < kSteps; ++step) {
+      const Update u = adv_b.next(base.graph(), base.matching());
+      if (u.insert) {
+        base.insert_edge(u.edge.u, u.edge.v);
+      } else {
+        base.delete_edge(u.edge.u, u.edge.v);
+      }
+      base_max = std::max(base_max, base.last_update_work());
+    }
+    const double bmean =
+        static_cast<double>(base.total_work() - base_warm) / kSteps;
+
+    table.row()
+        .cell(n)
+        .cell(wmean, 1)
+        .cell(wm.max_update_work())
+        .cell(bmean, 1)
+        .cell(base_max);
+  }
+  table.print();
+  std::printf("# shape check: baseline max work grows ~linearly with n "
+              "(degree-driven rescans, the BM'19 sqrt(beta*n) regime); the "
+              "window matcher's mean work is governed by (beta, eps) — its "
+              "max includes the once-per-window structure build, bounded "
+              "by the sparsifier size O(|M|*delta), not by degree.\n");
+}
+
+void table_stability() {
+  Table table("E10  Lemma 3.4 stability envelope (eps=0.25 start)",
+              {"eps'", "deletions", "measured ratio", "envelope 1+2e+2e'",
+               "ok"});
+  const VertexId n = 1500;
+  Rng rng(7);
+  const Graph host = gen::clique_union(n, 16, 4, rng);
+  const double eps = 0.25;
+
+  for (double eps_prime : {0.1, 0.25, 0.5}) {
+    // Fresh (1+eps)-matching on the host.
+    const Matching start = approx_mcm(host, eps);
+    DynGraph g(n);
+    for (const Edge& e : host.edge_list()) g.insert_edge(e.u, e.v);
+    Matching m = start;
+    // Adversarially delete eps'*|M| matched edges (the worst choice: each
+    // deletion is guaranteed to shrink M by one).
+    const auto deletions =
+        static_cast<std::size_t>(eps_prime * static_cast<double>(start.size()));
+    Rng adv(9);
+    for (std::size_t d = 0; d < deletions; ++d) {
+      // pick a random matched edge
+      const EdgeList edges = m.edges();
+      const Edge target = edges[adv.below(edges.size())];
+      g.erase_edge(target.u, target.v);
+      m.unmatch(target.u);
+    }
+    const double opt = reference_mcm_size(g.snapshot());
+    const double ratio = opt / static_cast<double>(m.size());
+    const double envelope = 1.0 + 2.0 * eps + 2.0 * eps_prime;
+    table.row()
+        .cell(eps_prime, 2)
+        .cell(static_cast<std::uint64_t>(deletions))
+        .cell(ratio, 4)
+        .cell(envelope, 4)
+        .cell(ratio <= envelope ? "yes" : "NO");
+  }
+  table.print();
+}
+
+}  // namespace
+
+int main() {
+  banner("E9/E10 fully dynamic matching (Theorem 3.5, Lemma 3.4)",
+         "worst-case O((beta/eps^3)log(1/eps)) update work; (1+eps) vs an "
+         "adaptive adversary; Gupta-Peng stability");
+  table_oblivious();
+  table_adaptive();
+  table_work_separation();
+  table_stability();
+  return 0;
+}

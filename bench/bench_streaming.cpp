@@ -1,0 +1,159 @@
+// E13 — semi-streaming G_Δ (Section 3's memory-constrained-models remark):
+//       one pass, O(n·Δ) words, (1+ε) quality vs the one-pass greedy
+//       2-approx baseline and the Θ(m)-memory buffer-everything ceiling —
+//       including on adversarially ordered streams, where greedy's
+//       arrival-order sensitivity shows and reservoir sampling does not
+//       care.
+// E14 — MPC realisation via mergeable bottom-Δ sketches: rounds
+//       O(log_k machines), per-machine memory O(m/machines + n·Δ).
+#include "bench_common.hpp"
+
+#include "stream/mpc.hpp"
+#include "stream/stream_sparsifier.hpp"
+
+using namespace matchsparse;
+using namespace matchsparse::bench;
+using namespace matchsparse::stream;
+
+namespace {
+
+void table_streaming() {
+  Table table("E13  one-pass matching on K_1000 (m = 499500)",
+              {"algorithm", "stream order", "matching", "ratio",
+               "peak words", "words/m"});
+  const VertexId n = 1000;
+  const Graph g = gen::complete_graph(n);
+  const double opt = static_cast<double>(n) / 2.0;
+  const VertexId delta = 12;
+
+  for (auto [order, name] :
+       {std::pair{EdgeStream::Order::kShuffled, "shuffled"},
+        std::pair{EdgeStream::Order::kSortedByEndpoint, "sorted (adv.)"}}) {
+    EdgeStream stream(g.edge_list(), order, 3);
+    {
+      MemoryMeter meter;
+      const Matching m = StreamingSparsifier::one_pass_matching(
+          n, stream, delta, 0.2, 11, &meter);
+      table.row()
+          .cell("reservoir G_delta + (1+eps)")
+          .cell(name)
+          .cell(m.size())
+          .cell(opt / std::max<VertexId>(1, m.size()), 4)
+          .cell(meter.peak())
+          .cell(static_cast<double>(meter.peak()) /
+                    static_cast<double>(g.num_edges()),
+                4);
+    }
+    {
+      MemoryMeter meter;
+      const Matching m = streaming_greedy_matching(n, stream, &meter);
+      table.row()
+          .cell("one-pass greedy maximal")
+          .cell(name)
+          .cell(m.size())
+          .cell(opt / std::max<VertexId>(1, m.size()), 4)
+          .cell(meter.peak())
+          .cell(static_cast<double>(meter.peak()) /
+                    static_cast<double>(g.num_edges()),
+                4);
+    }
+  }
+  // The Θ(m) ceiling.
+  table.row()
+      .cell("buffer everything + exact")
+      .cell("-")
+      .cell(static_cast<VertexId>(opt))
+      .cell(1.0, 4)
+      .cell(2 * g.num_edges())
+      .cell(2.0, 4);
+  table.print();
+  std::printf("# shape check: the reservoir pipeline holds ~n*delta words "
+              "(<3%% of m) and matches the exact size; order of arrival is "
+              "irrelevant to it by Algorithm R's uniformity.\n");
+}
+
+void table_adversarial_order() {
+  // The classic hard stream for one-pass greedy: disjoint 3-edge paths
+  // u-v-w-x whose MIDDLE edges arrive first. Greedy commits to every
+  // middle edge and ends at exactly half the optimum; the reservoir
+  // pipeline keeps all edges of these degree-<=2 vertices and recovers
+  // the optimum regardless of order.
+  Table table("E13.b  adversarial arrival order (500 disjoint P4s)",
+              {"algorithm", "matching", "optimum", "ratio"});
+  const VertexId paths = 500;
+  const VertexId n = 4 * paths;
+  EdgeList middle, sides;
+  for (VertexId p = 0; p < paths; ++p) {
+    const VertexId base = 4 * p;
+    middle.emplace_back(base + 1, base + 2);
+    sides.emplace_back(base, base + 1);
+    sides.emplace_back(base + 2, base + 3);
+  }
+  EdgeList ordered = middle;
+  ordered.insert(ordered.end(), sides.begin(), sides.end());
+  EdgeStream stream(ordered, EdgeStream::Order::kGiven, 0);
+  const double opt = 2.0 * paths;
+
+  const Matching greedy = streaming_greedy_matching(n, stream);
+  table.row()
+      .cell("one-pass greedy maximal")
+      .cell(greedy.size())
+      .cell(static_cast<std::uint64_t>(opt))
+      .cell(opt / greedy.size(), 4);
+  const Matching sparse =
+      StreamingSparsifier::one_pass_matching(n, stream, 8, 0.1, 5);
+  table.row()
+      .cell("reservoir G_delta + (1+eps)")
+      .cell(sparse.size())
+      .cell(static_cast<std::uint64_t>(opt))
+      .cell(opt / sparse.size(), 4);
+  table.print();
+  std::printf("# shape check: greedy hits its tight factor 2 exactly; the "
+              "sparsifier pipeline is arrival-order independent and "
+              "recovers the optimum.\n");
+}
+
+void table_mpc() {
+  Table mpc_table("E14  MPC bottom-delta sketches on K_1200 (delta=10)",
+                  {"machines", "fan-in", "rounds", "max machine words",
+                   "words/m", "matching", "ratio"});
+  const VertexId n = 1200;
+  const Graph g = gen::complete_graph(n);
+  const EdgeList edges = g.edge_list();
+  const double opt_size = static_cast<double>(n) / 2.0;
+  for (std::size_t machines : {1u, 4u, 16u, 64u}) {
+    MpcOptions opt;
+    opt.machines = machines;
+    opt.fan_in = 4;
+    opt.delta = 10;
+    opt.eps = 0.2;
+    const MpcResult r = mpc_approx_matching(n, edges, opt, 13);
+    mpc_table.row()
+        .cell(static_cast<std::uint64_t>(machines))
+        .cell(static_cast<std::uint64_t>(opt.fan_in))
+        .cell(r.stats.rounds)
+        .cell(r.stats.max_machine_words)
+        .cell(static_cast<double>(r.stats.max_machine_words) /
+                  (2.0 * static_cast<double>(g.num_edges())),
+              4)
+        .cell(r.matching.size())
+        .cell(opt_size / std::max<VertexId>(1, r.matching.size()), 4);
+  }
+  mpc_table.print();
+  std::printf("# shape check: per-machine memory falls with the machine "
+              "count toward the O(n*delta) sketch floor; rounds grow only "
+              "logarithmically; the output is machine-count-invariant "
+              "(same seed => same sparsifier).\n");
+}
+
+}  // namespace
+
+int main() {
+  banner("E13/E14 memory-constrained models (Section 3 remark)",
+         "G_delta is a one-pass reservoir in streaming and a mergeable "
+         "bottom-delta sketch in MPC; Theorem 2.1 applies unchanged");
+  table_streaming();
+  table_adversarial_order();
+  table_mpc();
+  return 0;
+}

@@ -1,0 +1,50 @@
+// E11 — Lemma 2.2: in a graph with no isolated vertices and neighborhood
+// independence β, every maximum matching has |M| >= n/(β+2). The table
+// sweeps families and sizes and reports |M|·(β+2)/n, which must be >= 1.
+#include "bench_common.hpp"
+
+#include "graph/beta.hpp"
+
+using namespace matchsparse;
+using namespace matchsparse::bench;
+
+int main() {
+  banner("E11 matching lower bound (Lemma 2.2)",
+         "|MCM| >= n'/(beta+2) with n' the non-isolated vertex count");
+
+  Table table("E11  |MCM|*(beta+2)/n' across families and sizes",
+              {"family", "n'", "measured beta", "|MCM|",
+               "|MCM|(beta+2)/n'", "ok"});
+  for (const auto& family : gen::standard_families()) {
+    for (VertexId target : {300u, 1200u}) {
+      const VertexId n = family.name == "complete"
+                             ? std::min<VertexId>(target, 500)
+                             : target;
+      const Graph g = family.make(n, 13);
+      if (g.num_non_isolated() == 0) continue;
+      const auto beta = neighborhood_independence(g);
+      const double mcm = reference_mcm_size(g);
+      const double lhs = mcm * (beta.value + 2) /
+                         static_cast<double>(g.num_non_isolated());
+      table.row()
+          .cell(family.name)
+          .cell(g.num_non_isolated())
+          .cell(beta.value)
+          .cell(mcm, 0)
+          .cell(lhs, 4)
+          .cell(lhs >= 1.0 ? "yes" : "NO");
+    }
+  }
+  // The tight-ish extreme: a star has beta = n-1 and |MCM| = 1, so the
+  // normalised value is exactly (n+1)/n.
+  {
+    const Graph g = gen::star(400);
+    const auto beta = neighborhood_independence(g);
+    const double lhs =
+        1.0 * (beta.value + 2) / static_cast<double>(g.num_vertices());
+    table.row().cell("star (tight)").cell(400u).cell(beta.value).cell(1.0, 0)
+        .cell(lhs, 4).cell(lhs >= 1.0 ? "yes" : "NO");
+  }
+  table.print();
+  return 0;
+}

@@ -1,0 +1,15 @@
+#!/usr/bin/env sh
+# Regenerates the full experimental record:
+#   - builds the project,
+#   - runs the test suite into test_output.txt,
+#   - runs every experiment binary into bench_output.txt.
+# Set MATCHSPARSE_CSV=1 to append machine-readable CSV after every table.
+set -e
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build 2>&1 | tee test_output.txt
+(for b in build/bench/*; do
+  if [ -f "$b" ] && [ -x "$b" ]; then "$b"; fi
+done) 2>&1 | tee bench_output.txt

@@ -1,0 +1,50 @@
+#include "core/api.hpp"
+
+#include "matching/hopcroft_karp.hpp"
+#include "util/timer.hpp"
+
+namespace matchsparse {
+
+const char* version() { return "1.0.0"; }
+
+namespace {
+
+VertexId delta_for(const ApproxMatchingConfig& cfg) {
+  return cfg.theoretical_delta
+             ? SparsifierParams::theoretical(cfg.beta, cfg.eps).delta
+             : SparsifierParams::practical(cfg.beta, cfg.eps,
+                                           cfg.delta_scale)
+                   .delta;
+}
+
+}  // namespace
+
+Graph build_matching_sparsifier(const Graph& g,
+                                const ApproxMatchingConfig& cfg,
+                                SparsifierStats* stats) {
+  Rng rng(cfg.seed);
+  return sparsify(g, delta_for(cfg), rng, stats);
+}
+
+ApproxMatchingResult approx_maximum_matching(
+    const Graph& g, const ApproxMatchingConfig& cfg) {
+  MS_CHECK_MSG(cfg.eps > 0.0 && cfg.eps < 1.0, "need 0 < eps < 1");
+  ApproxMatchingResult result;
+  SparsifierStats stats;
+  const Graph g_delta = build_matching_sparsifier(g, cfg, &stats);
+  result.delta = delta_for(cfg);
+  result.sparsifier_edges = g_delta.num_edges();
+  result.probes = stats.probes;
+  result.sparsify_seconds = stats.build_seconds;
+
+  WallTimer timer;
+  if (cfg.bipartite_fast_path && two_color(g_delta).bipartite) {
+    result.matching = hopcroft_karp(g_delta, hk_phases_for_eps(cfg.eps));
+  } else {
+    result.matching = approx_mcm(g_delta, cfg.eps);
+  }
+  result.match_seconds = timer.seconds();
+  return result;
+}
+
+}  // namespace matchsparse

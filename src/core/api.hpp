@@ -1,0 +1,71 @@
+// matchsparse — public API.
+//
+// Implements "A Unified Sparsification Approach for Matching Problems in
+// Graphs of Bounded Neighborhood Independence" (Milenković & Solomon,
+// SPAA 2020). The one-line summary: on a graph with neighborhood
+// independence number β, letting every vertex keep Δ = Θ((β/ε)·log(1/ε))
+// random incident edges yields a (1+ε)-matching sparsifier w.h.p.; compute
+// the matching there instead of on the full graph.
+//
+// Headline entry point: approx_maximum_matching(). The sequential path is
+// Theorem 3.1 (sublinear time in the adjacency-array model); the
+// distributed and dynamic applications live in dist/pipeline.hpp and
+// dynamic/window_matcher.hpp and are re-exported by this header.
+#pragma once
+
+#include "dist/pipeline.hpp"
+#include "dynamic/window_matcher.hpp"
+#include "graph/beta.hpp"
+#include "graph/graph.hpp"
+#include "matching/bounded_aug.hpp"
+#include "matching/matching.hpp"
+#include "sparsify/pipeline.hpp"
+#include "sparsify/sparsifier.hpp"
+
+namespace matchsparse {
+
+/// Library version string.
+const char* version();
+
+struct ApproxMatchingConfig {
+  /// Neighborhood independence bound of the input. If unknown, measure it
+  /// with neighborhood_independence() or use a family bound (line graphs:
+  /// 2, unit-disk: 5, k-diversity: k).
+  VertexId beta = 2;
+  /// Target approximation: the result is a (1+eps)-approximate MCM w.h.p.
+  double eps = 0.2;
+  /// RNG seed; identical seeds reproduce identical outputs.
+  std::uint64_t seed = 0x6d617473u;
+  /// Scale on the theoretical Δ constant (20 in the paper's proof, ~2 in
+  /// practice; see EXPERIMENTS.md E1 for the measured safety margin).
+  double delta_scale = 2.0;
+  /// Use the paper's proof constant (delta_scale is ignored).
+  bool theoretical_delta = false;
+  /// When the sparsifier turns out bipartite, use phase-truncated
+  /// Hopcroft–Karp (the exact black box the paper cites, with a firm
+  /// O(m'/ε) bound) instead of the general bounded-length matcher.
+  bool bipartite_fast_path = true;
+};
+
+struct ApproxMatchingResult {
+  Matching matching;
+  VertexId delta = 0;              // marks per vertex used
+  EdgeIndex sparsifier_edges = 0;  // |E(G_Δ)|
+  std::uint64_t probes = 0;        // adjacency entries read to build G_Δ
+  double sparsify_seconds = 0.0;
+  double match_seconds = 0.0;
+};
+
+/// Theorem 3.1: computes a (1+eps)-approximate maximum matching in
+/// O(n·(β/ε²)·log(1/ε)) time by matching on the sparsifier G_Δ. The time
+/// bound is deterministic; the approximation factor holds w.h.p.
+ApproxMatchingResult approx_maximum_matching(const Graph& g,
+                                             const ApproxMatchingConfig& cfg);
+
+/// Convenience: builds the sparsifier G_Δ with parameters derived from
+/// (beta, eps) exactly as approx_maximum_matching would.
+Graph build_matching_sparsifier(const Graph& g,
+                                const ApproxMatchingConfig& cfg,
+                                SparsifierStats* stats = nullptr);
+
+}  // namespace matchsparse

@@ -1,0 +1,182 @@
+#include "dist/augmenting_protocol.hpp"
+
+#include <algorithm>
+
+#include "matching/bounded_aug.hpp"
+
+namespace matchsparse::dist {
+
+AugmentingProtocol::AugmentingProtocol(const Graph& g,
+                                       const Matching& initial,
+                                       AugmentingOptions opt)
+    : g_(g),
+      opt_(opt),
+      mate_(g.num_vertices(), kNoVertex),
+      locked_(g.num_vertices(), 0),
+      prev_port_(g.num_vertices(), kNoVertex) {
+  MS_CHECK_MSG(initial.is_valid(g), "invalid seed matching");
+  for (VertexId v = 0; v < g.num_vertices(); ++v) mate_[v] = initial.mate(v);
+
+  const VertexId max_cap = path_cap_for_eps(opt_.eps);
+  std::size_t start = 0;
+  for (VertexId ell = 1; ell <= max_cap; ell += 2) {
+    caps_.push_back(ell);
+    phase_start_.push_back(start);
+    start += opt_.windows_per_phase * (2 * ell + 2);
+  }
+  plan_rounds_ = start;
+}
+
+AugmentingProtocol::Slot AugmentingProtocol::slot_of(
+    std::size_t round) const {
+  // Phases are laid out back to back; find the enclosing one.
+  std::size_t phase = caps_.size() - 1;
+  while (phase > 0 && phase_start_[phase] > round) --phase;
+  const VertexId ell = caps_[phase];
+  const std::size_t window_len = 2 * static_cast<std::size_t>(ell) + 2;
+  const std::size_t offset = round - phase_start_[phase];
+  Slot slot;
+  slot.ell = ell;
+  slot.window_round = offset % window_len;
+  // Globally unique window index: phase base + window-within-phase.
+  slot.window_idx = phase * opt_.windows_per_phase + offset / window_len;
+  return slot;
+}
+
+VertexId AugmentingProtocol::port_of(VertexId v, VertexId target) const {
+  const auto nbrs = g_.neighbors(v);
+  const auto it = std::lower_bound(nbrs.begin(), nbrs.end(), target);
+  MS_CHECK_MSG(it != nbrs.end() && *it == target,
+               "port_of: target is not a neighbor");
+  return static_cast<VertexId>(it - nbrs.begin());
+}
+
+void AugmentingProtocol::continue_walk(NodeContext& node,
+                                       std::vector<VertexId> path,
+                                       const Slot& slot) {
+  const VertexId v = node.id();
+  // Edges used so far = path.size() - 1; the next (unmatched) hop brings
+  // the count to path.size(), which must stay within the cap.
+  if (path.size() > slot.ell) return;  // token dies
+  // Candidate ports: not the matched edge, endpoint not already on path.
+  std::vector<VertexId> candidates;
+  const VertexId mate_port =
+      mate_[v] == kNoVertex ? kNoVertex : port_of(v, mate_[v]);
+  for (VertexId p = 0; p < node.degree(); ++p) {
+    if (p == mate_port) continue;
+    const VertexId w = node.neighbor_id(p);
+    if (std::find(path.begin(), path.end(), w) != path.end()) continue;
+    candidates.push_back(p);
+  }
+  if (candidates.empty()) return;
+  const VertexId p = candidates[node.rng().below(candidates.size())];
+  Message msg = Message::of(kTagToken, slot.window_idx);
+  msg.blob = std::move(path);
+  node.send(p, msg);
+}
+
+void AugmentingProtocol::handle_token(NodeContext& node, const Incoming& in,
+                                      const Slot& slot) {
+  const VertexId v = node.id();
+  if (in.msg.payload != slot.window_idx) return;  // stale token
+  const std::vector<VertexId>& path = in.msg.blob;
+  MS_DCHECK(!path.empty());
+  const VertexId sender = node.neighbor_id(in.port);
+
+  if (sender == mate_[v]) {
+    // Arrived over the matched edge: v extends the alternating walk.
+    if (locked_[v]) return;  // shouldn't happen (mate just locked us in
+                             // spirit), but another attempt may hold v
+    if (std::find(path.begin(), path.end(), v) != path.end()) return;
+    locked_[v] = 1;
+    prev_port_[v] = in.port;
+    std::vector<VertexId> extended = path;
+    extended.push_back(v);
+    continue_walk(node, std::move(extended), slot);
+    return;
+  }
+
+  // Arrived over an unmatched edge.
+  if (locked_[v]) return;
+  if (std::find(path.begin(), path.end(), v) != path.end()) return;
+
+  if (mate_[v] == kNoVertex) {
+    // Free endpoint: the alternating path `path + v` is augmenting.
+    locked_[v] = 1;
+    std::vector<VertexId> full = path;
+    full.push_back(v);
+    MS_DCHECK(full.size() % 2 == 0);
+    mate_[v] = full[full.size() - 2];
+    ++augmentations_;
+    Message msg = Message::of(kTagAugment, slot.window_idx);
+    msg.blob = std::move(full);
+    node.send(in.port, msg);
+    return;
+  }
+
+  // Matched internal node: lock and hand the token to the mate.
+  // The matched hop adds one edge; the cap check happens at the mate's
+  // continue_walk (unmatched hops) and here for the matched hop itself.
+  if (path.size() + 1 > slot.ell) return;
+  locked_[v] = 1;
+  prev_port_[v] = in.port;
+  std::vector<VertexId> extended = path;
+  extended.push_back(v);
+  Message msg = Message::of(kTagToken, slot.window_idx);
+  msg.blob = std::move(extended);
+  node.send(port_of(v, mate_[v]), msg);
+}
+
+void AugmentingProtocol::handle_augment(NodeContext& node,
+                                        const Incoming& in) {
+  const VertexId v = node.id();
+  const std::vector<VertexId>& full = in.msg.blob;
+  const auto it = std::find(full.begin(), full.end(), v);
+  MS_CHECK_MSG(it != full.end(), "AUGMENT reached a node not on the path");
+  const auto idx = static_cast<std::size_t>(it - full.begin());
+  mate_[v] = (idx % 2 == 0) ? full[idx + 1] : full[idx - 1];
+  if (idx > 0) {
+    node.send(prev_port_[v], in.msg);  // keep flowing toward the initiator
+  }
+}
+
+void AugmentingProtocol::on_round(NodeContext& node) {
+  const VertexId v = node.id();
+  round_seen_ = std::max(round_seen_, node.round() + 1);
+  const Slot slot = slot_of(node.round());
+
+  if (slot.window_round == 0) {
+    // Window boundary: all locks die; stale tokens are filtered by stamp.
+    locked_[v] = 0;
+    prev_port_[v] = kNoVertex;
+  }
+
+  // AUGMENT first: flips must land before any token logic reads mate_.
+  for (const Incoming& in : node.inbox()) {
+    if (in.msg.tag == kTagAugment) handle_augment(node, in);
+  }
+  for (const Incoming& in : node.inbox()) {
+    if (in.msg.tag == kTagToken) handle_token(node, in, slot);
+  }
+
+  // Initiations happen only at the start of a window.
+  if (slot.window_round == 0 && mate_[v] == kNoVertex && !locked_[v] &&
+      node.degree() > 0 && node.rng().chance(opt_.init_prob)) {
+    locked_[v] = 1;
+    prev_port_[v] = kNoVertex;
+    continue_walk(node, {v}, slot);
+  }
+}
+
+Matching AugmentingProtocol::matching() const {
+  Matching m(g_.num_vertices());
+  for (VertexId v = 0; v < g_.num_vertices(); ++v) {
+    if (mate_[v] != kNoVertex && v < mate_[v]) {
+      MS_CHECK_MSG(mate_[mate_[v]] == v, "torn matching after augmenting");
+      m.match(v, mate_[v]);
+    }
+  }
+  return m;
+}
+
+}  // namespace matchsparse::dist

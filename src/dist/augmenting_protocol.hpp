@@ -1,0 +1,88 @@
+// Distributed bounded-length augmenting-path elimination (LOCAL model) —
+// the (1+ε) improvement stage of the Theorem 3.2 pipeline, standing in for
+// the bounded-degree matcher of Even–Medina–Ron [34].
+//
+// Starting from a maximal matching, the protocol runs phases for path
+// length caps ℓ = 1, 3, 5, …, 2⌈1/ε⌉−1. Each phase consists of fixed-size
+// *attempt windows* of 2ℓ+2 rounds. In a window:
+//   • free unlocked nodes self-select as initiators (coin flip), lock
+//     themselves, and launch a TOKEN carrying the path-so-far (LOCAL-model
+//     blob) along a random port;
+//   • a node reached over an unmatched edge either completes an augmenting
+//     path (if free: it flips the path by sending AUGMENT back along the
+//     locked trail) or locks and forwards the token over its matched edge;
+//   • the node reached over the matched edge extends the walk along a
+//     random unmatched port, subject to the ℓ cap, or lets the token die;
+//   • locks and in-flight tokens die at the window boundary (tokens carry
+//     the window index and stale ones are discarded), but an AUGMENT
+//     launched inside a window always completes within it — the window is
+//     long enough by construction, so the matching is never left torn.
+// Vertex locking makes concurrent attempts vertex-disjoint, so flips
+// cannot conflict. Tokens perform random alternating walks without
+// backtracking; the expected number of windows needed to clear all
+// ℓ-augmenting-paths grows like deg^O(ℓ) — matching the (β/ε)^O(1/ε) term
+// in Theorem 3.2's round bound.
+#pragma once
+
+#include "dist/engine.hpp"
+#include "matching/matching.hpp"
+
+namespace matchsparse::dist {
+
+inline constexpr std::uint32_t kTagToken = 20;
+inline constexpr std::uint32_t kTagAugment = 21;
+
+struct AugmentingOptions {
+  /// Target approximation; the phase schedule covers path lengths up to
+  /// 2*ceil(1/eps) - 1.
+  double eps = 0.34;
+  /// Attempt windows per phase. More windows = better elimination odds;
+  /// the bench sweeps this.
+  std::size_t windows_per_phase = 16;
+  /// Probability that a free node initiates an attempt in a window.
+  double init_prob = 0.25;
+};
+
+class AugmentingProtocol : public Protocol {
+ public:
+  /// `initial` seeds the matching (pass the maximal matching produced by
+  /// ProposalMatchingProtocol); must be valid for g.
+  AugmentingProtocol(const Graph& g, const Matching& initial,
+                     AugmentingOptions opt);
+
+  void on_round(NodeContext& node) override;
+  bool done() const override { return round_seen_ >= plan_rounds_; }
+
+  Matching matching() const;
+
+  std::size_t planned_rounds() const { return plan_rounds_; }
+  std::size_t augmentations() const { return augmentations_; }
+
+ private:
+  struct Slot {
+    VertexId ell = 0;             // path length cap of this phase
+    std::size_t window_idx = 0;   // global window number (token stamping)
+    std::size_t window_round = 0; // position inside the window
+  };
+  Slot slot_of(std::size_t round) const;
+
+  VertexId port_of(VertexId v, VertexId target) const;
+  void handle_token(NodeContext& node, const Incoming& in, const Slot& slot);
+  void handle_augment(NodeContext& node, const Incoming& in);
+  void continue_walk(NodeContext& node, std::vector<VertexId> path,
+                     const Slot& slot);
+
+  const Graph& g_;
+  AugmentingOptions opt_;
+  std::vector<VertexId> caps_;           // phase schedule
+  std::vector<std::size_t> phase_start_; // first round of each phase
+  std::size_t plan_rounds_ = 0;
+
+  std::vector<VertexId> mate_;
+  std::vector<std::uint8_t> locked_;
+  std::vector<VertexId> prev_port_;  // towards path predecessor when locked
+  std::size_t round_seen_ = 0;
+  std::size_t augmentations_ = 0;
+};
+
+}  // namespace matchsparse::dist

@@ -1,0 +1,165 @@
+#include "dist/congest_augmenting.hpp"
+
+#include <algorithm>
+
+#include "matching/bounded_aug.hpp"
+
+namespace matchsparse::dist {
+
+CongestAugmentingProtocol::CongestAugmentingProtocol(
+    const Graph& g, const Matching& initial, CongestAugmentingOptions opt)
+    : g_(g),
+      opt_(opt),
+      mate_(g.num_vertices(), kNoVertex),
+      role_(g.num_vertices(), Role::kNone),
+      prev_port_(g.num_vertices(), kNoVertex),
+      next_port_(g.num_vertices(), kNoVertex) {
+  MS_CHECK_MSG(initial.is_valid(g), "invalid seed matching");
+  for (VertexId v = 0; v < g.num_vertices(); ++v) mate_[v] = initial.mate(v);
+
+  const VertexId max_cap = path_cap_for_eps(opt_.eps);
+  MS_CHECK_MSG(max_cap < (1u << 16), "path cap exceeds token length field");
+  std::size_t start = 0;
+  for (VertexId ell = 1; ell <= max_cap; ell += 2) {
+    caps_.push_back(ell);
+    phase_start_.push_back(start);
+    start += opt_.windows_per_phase * (2 * ell + 2);
+  }
+  plan_rounds_ = start;
+}
+
+CongestAugmentingProtocol::Slot CongestAugmentingProtocol::slot_of(
+    std::size_t round) const {
+  std::size_t phase = caps_.size() - 1;
+  while (phase > 0 && phase_start_[phase] > round) --phase;
+  const VertexId ell = caps_[phase];
+  const std::size_t window_len = 2 * static_cast<std::size_t>(ell) + 2;
+  const std::size_t offset = round - phase_start_[phase];
+  Slot slot;
+  slot.ell = ell;
+  slot.window_round = offset % window_len;
+  slot.window_idx = phase * opt_.windows_per_phase + offset / window_len;
+  return slot;
+}
+
+VertexId CongestAugmentingProtocol::port_of(VertexId v,
+                                            VertexId target) const {
+  const auto nbrs = g_.neighbors(v);
+  const auto it = std::lower_bound(nbrs.begin(), nbrs.end(), target);
+  MS_CHECK_MSG(it != nbrs.end() && *it == target,
+               "port_of: target is not a neighbor");
+  return static_cast<VertexId>(it - nbrs.begin());
+}
+
+void CongestAugmentingProtocol::handle_token(NodeContext& node,
+                                             const Incoming& in,
+                                             const Slot& slot) {
+  const VertexId v = node.id();
+  if (unpack_window(in.msg.payload) != slot.window_idx) return;  // stale
+  if (role_[v] != Role::kNone) return;                           // locked
+  const VertexId len = unpack_length(in.msg.payload);
+  const VertexId sender = node.neighbor_id(in.port);
+
+  if (sender == mate_[v]) {
+    // Reached over the matched edge: even position, extend over a random
+    // unmatched port. No path-membership check is possible (or needed —
+    // locked nodes reject the token).
+    if (len + 1 > slot.ell) return;
+    std::vector<VertexId> candidates;
+    for (VertexId p = 0; p < node.degree(); ++p) {
+      if (p != in.port) candidates.push_back(p);
+    }
+    if (candidates.empty()) return;
+    role_[v] = Role::kViaMatchedEdge;
+    prev_port_[v] = in.port;
+    next_port_[v] = candidates[node.rng().below(candidates.size())];
+    node.send(next_port_[v],
+              Message::of(kTagCongestToken, pack(slot.window_idx, len + 1)));
+    return;
+  }
+
+  // Reached over an unmatched edge.
+  if (mate_[v] == kNoVertex) {
+    // Free endpoint: accept. The path v0..sender..v is augmenting.
+    role_[v] = Role::kEndpoint;
+    prev_port_[v] = in.port;
+    mate_[v] = sender;
+    ++augmentations_;
+    node.send(in.port,
+              Message::of(kTagCongestAugment, pack(slot.window_idx, len)));
+    return;
+  }
+  // Matched node at an odd position: hand the token to the mate.
+  if (len + 1 > slot.ell) return;
+  role_[v] = Role::kViaUnmatchedEdge;
+  prev_port_[v] = in.port;
+  next_port_[v] = port_of(v, mate_[v]);
+  node.send(next_port_[v],
+            Message::of(kTagCongestToken, pack(slot.window_idx, len + 1)));
+}
+
+void CongestAugmentingProtocol::handle_augment(NodeContext& node,
+                                               const Incoming& in) {
+  const VertexId v = node.id();
+  switch (role_[v]) {
+    case Role::kViaUnmatchedEdge:
+      // Odd position: pair with the predecessor.
+      mate_[v] = node.neighbor_id(prev_port_[v]);
+      node.send(prev_port_[v], in.msg);
+      break;
+    case Role::kViaMatchedEdge:
+      // Even position: pair with the successor (where the token went).
+      mate_[v] = node.neighbor_id(next_port_[v]);
+      node.send(prev_port_[v], in.msg);
+      break;
+    case Role::kInitiator:
+      mate_[v] = node.neighbor_id(next_port_[v]);
+      break;  // flip complete
+    case Role::kEndpoint:
+    case Role::kNone:
+      MS_CHECK_MSG(false, "AUGMENT reached a node with no path role");
+  }
+}
+
+void CongestAugmentingProtocol::on_round(NodeContext& node) {
+  const VertexId v = node.id();
+  round_seen_ = std::max(round_seen_, node.round() + 1);
+  const Slot slot = slot_of(node.round());
+
+  if (slot.window_round == 0) {
+    role_[v] = Role::kNone;
+    prev_port_[v] = kNoVertex;
+    next_port_[v] = kNoVertex;
+  }
+
+  for (const Incoming& in : node.inbox()) {
+    if (in.msg.tag == kTagCongestAugment) handle_augment(node, in);
+  }
+  for (const Incoming& in : node.inbox()) {
+    if (in.msg.tag == kTagCongestToken) handle_token(node, in, slot);
+  }
+
+  if (slot.window_round == 0 && mate_[v] == kNoVertex &&
+      role_[v] == Role::kNone && node.degree() > 0 &&
+      node.rng().chance(opt_.init_prob)) {
+    role_[v] = Role::kInitiator;
+    next_port_[v] =
+        static_cast<VertexId>(node.rng().below(node.degree()));
+    node.send(next_port_[v],
+              Message::of(kTagCongestToken, pack(slot.window_idx, 1)));
+  }
+}
+
+Matching CongestAugmentingProtocol::matching() const {
+  Matching m(g_.num_vertices());
+  for (VertexId v = 0; v < g_.num_vertices(); ++v) {
+    if (mate_[v] != kNoVertex && v < mate_[v]) {
+      MS_CHECK_MSG(mate_[mate_[v]] == v,
+                   "torn matching after CONGEST augmenting");
+      m.match(v, mate_[v]);
+    }
+  }
+  return m;
+}
+
+}  // namespace matchsparse::dist

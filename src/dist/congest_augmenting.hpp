@@ -1,0 +1,97 @@
+// CONGEST-model bounded-length augmenting phases.
+//
+// The LOCAL-model AugmentingProtocol ships whole paths in its messages;
+// this variant needs only O(log n)-bit tokens, because the vertex-locking
+// discipline already encodes the path in the network: every locked node
+// remembers the port toward its predecessor (for routing the AUGMENT
+// back) and the port toward its successor (to know its new mate), so
+// tokens carry just (window stamp, path length). Cycle avoidance falls
+// out of locking — a token that walks back into its own path meets a
+// locked node and dies, which only wastes the attempt.
+//
+// Flip bookkeeping: in an augmenting path v0 v1 v2 … vk u, nodes at odd
+// positions (reached over an UNMATCHED edge while matched) pair with
+// their predecessor; nodes at even positions (the initiator, and nodes
+// reached over their MATCHED edge) pair with their successor; the free
+// endpoint pairs with the sender. Each node knows which case it is in
+// from how the token reached it, so the AUGMENT needs no payload at all.
+//
+// Message sizes: TOKEN = tag + 64-bit payload (window stamp and length
+// packed) = 65 accounted bits; AUGMENT = tag + stamp. Both are O(log n),
+// i.e. CONGEST-legal, unlike the LOCAL variant's 32·|path|-bit blobs —
+// bench_distributed compares the two.
+#pragma once
+
+#include "dist/engine.hpp"
+#include "matching/matching.hpp"
+
+namespace matchsparse::dist {
+
+inline constexpr std::uint32_t kTagCongestToken = 30;
+inline constexpr std::uint32_t kTagCongestAugment = 31;
+
+struct CongestAugmentingOptions {
+  double eps = 0.34;
+  std::size_t windows_per_phase = 16;
+  double init_prob = 0.25;
+};
+
+class CongestAugmentingProtocol : public Protocol {
+ public:
+  CongestAugmentingProtocol(const Graph& g, const Matching& initial,
+                            CongestAugmentingOptions opt);
+
+  void on_round(NodeContext& node) override;
+  bool done() const override { return round_seen_ >= plan_rounds_; }
+
+  Matching matching() const;
+  std::size_t planned_rounds() const { return plan_rounds_; }
+  std::size_t augmentations() const { return augmentations_; }
+
+ private:
+  /// How the in-flight attempt reached this (locked) node; decides the
+  /// mate update when the AUGMENT sweeps back.
+  enum class Role : std::uint8_t {
+    kNone,
+    kInitiator,        // pairs with successor
+    kViaMatchedEdge,   // even position: pairs with successor
+    kViaUnmatchedEdge, // odd position: pairs with predecessor
+    kEndpoint,         // committed at accept time
+  };
+
+  struct Slot {
+    VertexId ell = 0;
+    std::size_t window_idx = 0;
+    std::size_t window_round = 0;
+  };
+  Slot slot_of(std::size_t round) const;
+
+  static std::uint64_t pack(std::size_t window_idx, VertexId length) {
+    return (static_cast<std::uint64_t>(window_idx) << 16) | length;
+  }
+  static std::size_t unpack_window(std::uint64_t payload) {
+    return static_cast<std::size_t>(payload >> 16);
+  }
+  static VertexId unpack_length(std::uint64_t payload) {
+    return static_cast<VertexId>(payload & 0xffff);
+  }
+
+  VertexId port_of(VertexId v, VertexId target) const;
+  void handle_token(NodeContext& node, const Incoming& in, const Slot& slot);
+  void handle_augment(NodeContext& node, const Incoming& in);
+
+  const Graph& g_;
+  CongestAugmentingOptions opt_;
+  std::vector<VertexId> caps_;
+  std::vector<std::size_t> phase_start_;
+  std::size_t plan_rounds_ = 0;
+
+  std::vector<VertexId> mate_;
+  std::vector<Role> role_;
+  std::vector<VertexId> prev_port_;  // toward predecessor
+  std::vector<VertexId> next_port_;  // toward successor
+  std::size_t round_seen_ = 0;
+  std::size_t augmentations_ = 0;
+};
+
+}  // namespace matchsparse::dist

@@ -1,0 +1,109 @@
+#include "dist/engine.hpp"
+
+#include <algorithm>
+
+namespace matchsparse::dist {
+
+VertexId NodeContext::degree() const { return net_.g_.degree(id_); }
+
+VertexId NodeContext::neighbor_id(VertexId port) const {
+  return net_.g_.neighbor(id_, port);
+}
+
+void NodeContext::send(VertexId port, Message msg) {
+  net_.deliver(id_, port, std::move(msg));
+}
+
+void NodeContext::broadcast(Message msg) {
+  net_.deliver_broadcast(id_, std::move(msg));
+}
+
+Rng& NodeContext::rng() { return net_.node_rngs_[id_]; }
+
+Network::Network(const Graph& g, std::uint64_t seed)
+    : g_(g),
+      inbox_(g.num_vertices()),
+      outbox_(g.num_vertices()),
+      offsets_(g.num_vertices() + 1, 0) {
+  node_rngs_.reserve(g.num_vertices());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    node_rngs_.emplace_back(mix64(seed, v));
+  }
+  // Precompute reverse ports: for port i of v pointing at w, the index of
+  // v inside w's (sorted) adjacency list.
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    offsets_[v + 1] = offsets_[v] + g.degree(v);
+  }
+  reverse_port_.resize(offsets_.back());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const auto nbrs = g.neighbors(v);
+    for (VertexId i = 0; i < nbrs.size(); ++i) {
+      const VertexId w = nbrs[i];
+      const auto wn = g.neighbors(w);
+      const auto it = std::lower_bound(wn.begin(), wn.end(), v);
+      MS_DCHECK(it != wn.end() && *it == v);
+      reverse_port_[offsets_[v] + i] =
+          static_cast<VertexId>(it - wn.begin());
+    }
+  }
+}
+
+VertexId Network::reverse_port(VertexId v, VertexId port) const {
+  MS_DCHECK(port < g_.degree(v));
+  return reverse_port_[offsets_[v] + port];
+}
+
+void Network::deliver(VertexId from, VertexId port, Message msg) {
+  MS_CHECK_MSG(port < g_.degree(from), "send() on nonexistent port");
+  const VertexId to = g_.neighbor(from, port);
+  ++round_messages_;
+  ++total_messages_;
+  total_bits_ += msg.bits();
+  outbox_[to].push_back(Incoming{reverse_port(from, port), std::move(msg)});
+}
+
+void Network::deliver_broadcast(VertexId from, Message msg) {
+  const VertexId deg = g_.degree(from);
+  if (deg == 0) return;
+  ++round_messages_;
+  ++total_messages_;
+  total_bits_ += msg.bits();
+  for (VertexId port = 0; port < deg; ++port) {
+    const VertexId to = g_.neighbor(from, port);
+    outbox_[to].push_back(Incoming{reverse_port(from, port), msg});
+  }
+}
+
+TrafficStats Network::run(Protocol& protocol, std::size_t max_rounds) {
+  TrafficStats stats;
+  for (VertexId v = 0; v < num_nodes(); ++v) {
+    inbox_[v].clear();
+    outbox_[v].clear();
+  }
+  total_messages_ = total_bits_ = 0;
+
+  for (std::size_t round = 0; round < max_rounds; ++round) {
+    if (protocol.done()) {
+      stats.completed = true;
+      break;
+    }
+    round_messages_ = 0;
+    for (VertexId v = 0; v < num_nodes(); ++v) {
+      NodeContext ctx(*this, v, round, inbox_[v]);
+      protocol.on_round(ctx);
+    }
+    ++stats.rounds;
+    if (round_messages_ > 0) ++stats.active_rounds;
+    // Swap outboxes into next round's inboxes.
+    for (VertexId v = 0; v < num_nodes(); ++v) {
+      inbox_[v].swap(outbox_[v]);
+      outbox_[v].clear();
+    }
+  }
+  if (!stats.completed && protocol.done()) stats.completed = true;
+  stats.messages = total_messages_;
+  stats.bits = total_bits_;
+  return stats;
+}
+
+}  // namespace matchsparse::dist

@@ -1,0 +1,135 @@
+// Synchronous message-passing network simulator for the LOCAL / CONGEST
+// experiments of Section 3.2.
+//
+// Model: one processor per vertex of a communication graph; computation
+// proceeds in fault-free synchronous rounds. Messages sent in round r are
+// delivered at the start of round r+1. Nodes address neighbors by *port*
+// (index into their adjacency list), matching the KT₀ assumption the paper
+// highlights — the sparsifier needs no identifier knowledge. Protocols may
+// still read ids (they are free information a node has about itself, and
+// LOCAL-model algorithms conventionally assume unique ids).
+//
+// Accounting: the engine counts rounds in which any message travelled,
+// total messages, and total payload bits (a bare tag counts as 1 bit — the
+// paper's 1-bit unicast marks; a word payload counts as 64; LOCAL blobs
+// count 32 bits per word). Unicast transmission is assumed throughout, as
+// required for the sublinear message bounds of Theorem 3.3.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace matchsparse::dist {
+
+struct Message {
+  std::uint32_t tag = 0;
+  std::uint64_t payload = 0;
+  bool has_payload = false;
+  /// LOCAL-model variable-size payload (e.g. a path of vertex ids).
+  std::vector<VertexId> blob;
+
+  static Message of(std::uint32_t tag) { return Message{tag, 0, false, {}}; }
+  static Message of(std::uint32_t tag, std::uint64_t payload) {
+    return Message{tag, payload, true, {}};
+  }
+
+  /// Accounting size in bits (see file header).
+  std::uint64_t bits() const {
+    return 1 + (has_payload ? 64 : 0) + 32 * blob.size();
+  }
+};
+
+struct Incoming {
+  VertexId port;  // port the message arrived on
+  Message msg;
+};
+
+class Network;
+
+/// Per-node view handed to protocols each round.
+class NodeContext {
+ public:
+  NodeContext(Network& net, VertexId id, std::size_t round,
+              const std::vector<Incoming>& inbox)
+      : net_(net), id_(id), round_(round), inbox_(inbox) {}
+
+  VertexId id() const { return id_; }
+  std::size_t round() const { return round_; }
+  VertexId degree() const;
+  /// Vertex id behind a port (free knowledge for id-based protocols).
+  VertexId neighbor_id(VertexId port) const;
+  const std::vector<Incoming>& inbox() const { return inbox_; }
+  /// Sends a unicast message through `port`; delivered next round.
+  void send(VertexId port, Message msg);
+  /// Broadcasts one message to every neighbor. Accounting follows the
+  /// paper's Section 3.2 remark: a broadcast system transmits ONE message
+  /// whose size is the whole payload (e.g. Δ·log n bits for the
+  /// sparsifier's marked-port list), as opposed to deg(v) unicast
+  /// messages of 1 bit each; the engine counts 1 message and bits()
+  /// once, while still delivering a copy on every port.
+  void broadcast(Message msg);
+  /// Per-node deterministic RNG substream.
+  Rng& rng();
+
+ private:
+  Network& net_;
+  VertexId id_;
+  std::size_t round_;
+  const std::vector<Incoming>& inbox_;
+};
+
+/// A distributed algorithm. The engine calls on_round() once per node per
+/// round (after delivering the previous round's traffic) and stops when
+/// done() — an experiment-harness oracle, not a message-passing primitive —
+/// returns true or max_rounds is hit.
+class Protocol {
+ public:
+  virtual ~Protocol() = default;
+  virtual void on_round(NodeContext& node) = 0;
+  virtual bool done() const = 0;
+};
+
+struct TrafficStats {
+  std::size_t rounds = 0;          // rounds executed
+  std::size_t active_rounds = 0;   // rounds in which >= 1 message was sent
+  std::uint64_t messages = 0;
+  std::uint64_t bits = 0;
+  bool completed = false;          // protocol reported done()
+};
+
+class Network {
+ public:
+  /// Builds a network over the communication graph g. Each node gets an
+  /// independent RNG substream derived from `seed`.
+  Network(const Graph& g, std::uint64_t seed);
+
+  const Graph& graph() const { return g_; }
+  VertexId num_nodes() const { return g_.num_vertices(); }
+
+  /// Port on `neighbor_id(v, port)` that leads back to v.
+  VertexId reverse_port(VertexId v, VertexId port) const;
+
+  /// Runs the protocol for at most max_rounds rounds.
+  TrafficStats run(Protocol& protocol, std::size_t max_rounds);
+
+ private:
+  friend class NodeContext;
+  void deliver(VertexId from, VertexId port, Message msg);
+  void deliver_broadcast(VertexId from, Message msg);
+
+  const Graph& g_;
+  std::vector<Rng> node_rngs_;
+  std::vector<std::vector<Incoming>> inbox_;      // current round's input
+  std::vector<std::vector<Incoming>> outbox_;     // next round's input
+  std::vector<VertexId> reverse_port_;            // flattened, CSR layout
+  std::vector<EdgeIndex> offsets_;
+  std::uint64_t round_messages_ = 0;
+  std::uint64_t total_messages_ = 0;
+  std::uint64_t total_bits_ = 0;
+};
+
+}  // namespace matchsparse::dist

@@ -1,0 +1,113 @@
+#include "dist/proposal_matching.hpp"
+
+namespace matchsparse::dist {
+
+ProposalMatchingProtocol::ProposalMatchingProtocol(const Graph& g)
+    : g_(g),
+      mate_(g.num_vertices(), kNoVertex),
+      proposer_(g.num_vertices(), 0),
+      proposed_port_(g.num_vertices(), kNoVertex),
+      known_matched_(g.num_vertices()) {
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    known_matched_[v].assign(g.degree(v), false);
+  }
+}
+
+bool ProposalMatchingProtocol::eligible(VertexId v, VertexId port) const {
+  return !known_matched_[v][port];
+}
+
+void ProposalMatchingProtocol::on_round(NodeContext& node) {
+  const VertexId v = node.id();
+
+  // Absorb MATCHED notices first, regardless of phase.
+  for (const Incoming& in : node.inbox()) {
+    if (in.msg.tag == kTagMatchedNotice) known_matched_[v][in.port] = true;
+  }
+
+  const std::size_t phase = node.round() % 3;
+  if (phase == 0) {
+    if (mate_[v] != kNoVertex) return;
+    // Collect eligible ports.
+    VertexId eligible_count = 0;
+    for (VertexId p = 0; p < node.degree(); ++p) {
+      eligible_count += eligible(v, p);
+    }
+    proposed_port_[v] = kNoVertex;
+    if (eligible_count == 0) return;
+    proposer_[v] = node.rng().chance(0.5) ? 1 : 0;
+    if (!proposer_[v]) return;
+    // Pick the k-th eligible port uniformly.
+    auto k = static_cast<VertexId>(node.rng().below(eligible_count));
+    for (VertexId p = 0; p < node.degree(); ++p) {
+      if (!eligible(v, p)) continue;
+      if (k-- == 0) {
+        proposed_port_[v] = p;
+        node.send(p, Message::of(kTagPropose));
+        break;
+      }
+    }
+    return;
+  }
+
+  if (phase == 1) {
+    if (mate_[v] != kNoVertex || proposer_[v]) return;
+    // Acceptor: pick one proposal uniformly.
+    std::vector<VertexId> proposals;
+    for (const Incoming& in : node.inbox()) {
+      if (in.msg.tag == kTagPropose) proposals.push_back(in.port);
+    }
+    if (proposals.empty()) return;
+    const VertexId port =
+        proposals[node.rng().below(proposals.size())];
+    mate_[v] = node.neighbor_id(port);
+    node.send(port, Message::of(kTagAccept));
+    // Tell everyone else this node left the pool.
+    for (VertexId p = 0; p < node.degree(); ++p) {
+      if (p != port) node.send(p, Message::of(kTagMatchedNotice));
+    }
+    return;
+  }
+
+  // phase == 2: proposers read accepts.
+  if (mate_[v] != kNoVertex || !proposer_[v]) return;
+  for (const Incoming& in : node.inbox()) {
+    if (in.msg.tag == kTagAccept && in.port == proposed_port_[v]) {
+      mate_[v] = node.neighbor_id(in.port);
+      for (VertexId p = 0; p < node.degree(); ++p) {
+        if (p != in.port) node.send(p, Message::of(kTagMatchedNotice));
+      }
+      break;
+    }
+  }
+}
+
+bool ProposalMatchingProtocol::done() const {
+  // Oracle: maximality reached when no edge has two free endpoints AND no
+  // accept handshake is still in flight (an acceptor commits one round
+  // before its proposer; stopping between the two would tear the
+  // matching).
+  for (VertexId v = 0; v < g_.num_vertices(); ++v) {
+    if (mate_[v] == kNoVertex) {
+      for (VertexId w : g_.neighbors(v)) {
+        if (mate_[w] == kNoVertex) return false;
+      }
+    } else if (mate_[mate_[v]] != v) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Matching ProposalMatchingProtocol::matching() const {
+  Matching m(g_.num_vertices());
+  for (VertexId v = 0; v < g_.num_vertices(); ++v) {
+    if (mate_[v] != kNoVertex && v < mate_[v]) {
+      MS_CHECK_MSG(mate_[mate_[v]] == v, "asymmetric distributed matching");
+      m.match(v, mate_[v]);
+    }
+  }
+  return m;
+}
+
+}  // namespace matchsparse::dist

@@ -1,0 +1,53 @@
+// Randomized distributed maximal matching in the Israeli–Itai style:
+// repeated propose/accept rounds with random proposer/acceptor roles.
+// Completes in O(log n) rounds w.h.p.; the result is a maximal matching,
+// i.e. a distributed 2-approximate MCM. Serves as the symmetry-breaking
+// stage of the Theorem 3.2 pipeline (the log* n term in its round bound
+// corresponds to this stage on the bounded-degree sparsifier).
+//
+// Round structure (period 3):
+//   r≡0  free nodes flip proposer/acceptor; proposers send PROPOSE on one
+//        random eligible port (eligible = neighbor not known matched).
+//   r≡1  free acceptors pick one received PROPOSE uniformly, send ACCEPT,
+//        and commit to that mate; the proposer cannot have been matched
+//        meanwhile (it proposed to exactly one neighbor), so the edge is
+//        safe on both sides.
+//   r≡2  proposers receiving ACCEPT commit and notify all other neighbors
+//        with MATCHED (acceptors notified theirs in r≡1 via MATCHED too).
+//
+// Termination is detected by the harness oracle done(): no edge of the
+// communication graph has two free endpoints. Real deployments use local
+// detection; the oracle only truncates the trailing idle rounds and does
+// not change the algorithm's message pattern.
+#pragma once
+
+#include "dist/engine.hpp"
+#include "matching/matching.hpp"
+
+namespace matchsparse::dist {
+
+inline constexpr std::uint32_t kTagPropose = 10;
+inline constexpr std::uint32_t kTagAccept = 11;
+inline constexpr std::uint32_t kTagMatchedNotice = 12;
+
+class ProposalMatchingProtocol : public Protocol {
+ public:
+  explicit ProposalMatchingProtocol(const Graph& g);
+
+  void on_round(NodeContext& node) override;
+  bool done() const override;
+
+  /// The matching built so far (consistent at round boundaries).
+  Matching matching() const;
+
+ private:
+  bool eligible(VertexId v, VertexId port) const;
+
+  const Graph& g_;
+  std::vector<VertexId> mate_;
+  std::vector<std::uint8_t> proposer_;       // role this cycle
+  std::vector<VertexId> proposed_port_;      // port proposed on (proposers)
+  std::vector<std::vector<bool>> known_matched_;  // per node, per port
+};
+
+}  // namespace matchsparse::dist

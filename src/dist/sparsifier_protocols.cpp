@@ -1,0 +1,97 @@
+#include "dist/sparsifier_protocols.hpp"
+
+#include <algorithm>
+
+namespace matchsparse::dist {
+
+void RandomSparsifierProtocol::on_round(NodeContext& node) {
+  if (node.round() != 0) return;
+  const VertexId deg = node.degree();
+  if (deg > 0) {
+    if (deg <= 2 * delta_) {
+      for (VertexId port = 0; port < deg; ++port) {
+        node.send(port, Message::of(kTagMark));
+        collected_.push_back(
+            Edge(node.id(), node.neighbor_id(port)).normalized());
+      }
+    } else {
+      for (std::uint64_t port :
+           node.rng().sample_without_replacement(deg, delta_)) {
+        node.send(static_cast<VertexId>(port), Message::of(kTagMark));
+        collected_.push_back(
+            Edge(node.id(),
+                 node.neighbor_id(static_cast<VertexId>(port)))
+                .normalized());
+      }
+    }
+  }
+  ++nodes_finished_;
+}
+
+EdgeList RandomSparsifierProtocol::edges() const {
+  EdgeList out = collected_;
+  normalize_edge_list(out);
+  return out;
+}
+
+void BroadcastSparsifierProtocol::on_round(NodeContext& node) {
+  if (node.round() != 0) return;
+  const VertexId deg = node.degree();
+  if (deg > 0) {
+    Message msg = Message::of(kTagMark);
+    if (deg <= 2 * delta_) {
+      for (VertexId port = 0; port < deg; ++port) {
+        msg.blob.push_back(port);
+        collected_.push_back(
+            Edge(node.id(), node.neighbor_id(port)).normalized());
+      }
+    } else {
+      for (std::uint64_t port :
+           node.rng().sample_without_replacement(deg, delta_)) {
+        msg.blob.push_back(static_cast<VertexId>(port));
+        collected_.push_back(
+            Edge(node.id(),
+                 node.neighbor_id(static_cast<VertexId>(port)))
+                .normalized());
+      }
+    }
+    // One transmission carrying the whole marked-port list, heard by all
+    // neighbors (each can check whether its own port is listed).
+    node.broadcast(msg);
+  }
+  ++nodes_finished_;
+}
+
+EdgeList BroadcastSparsifierProtocol::edges() const {
+  EdgeList out = collected_;
+  normalize_edge_list(out);
+  return out;
+}
+
+void DegreeSparsifierProtocol::on_round(NodeContext& node) {
+  const VertexId take = std::min(node.degree(), delta_alpha_);
+  if (node.round() == 0) {
+    // Ports are id-sorted, so "first Δ_α ports" is a deterministic rule.
+    for (VertexId port = 0; port < take; ++port) {
+      node.send(port, Message::of(kTagMark));
+    }
+    return;
+  }
+  if (node.round() == 1) {
+    for (const Incoming& in : node.inbox()) {
+      if (in.msg.tag == kTagMark && in.port < take) {
+        kept_.push_back(
+            Edge(node.id(), node.neighbor_id(in.port)).normalized());
+      }
+    }
+    ++nodes_finished_;
+  }
+}
+
+EdgeList DegreeSparsifierProtocol::edges() const {
+  EdgeList out = kept_;
+  normalize_edge_list(out);  // both endpoints record every kept edge
+  return out;
+}
+
+}  // namespace matchsparse::dist

@@ -1,0 +1,80 @@
+// Single-round distributed constructions of the two sparsifiers
+// (Section 3.2): the paper's random G_Δ (each node marks Δ random ports
+// and sends a 1-bit message along each — no identifier knowledge needed,
+// so KT₀ suffices) and Solomon's bounded-degree sparsifier (mark the first
+// Δ_α ports; keep edges whose mark arrived from BOTH sides).
+#pragma once
+
+#include "dist/engine.hpp"
+#include "graph/edge.hpp"
+
+namespace matchsparse::dist {
+
+/// Tags shared by the sparsifier protocols.
+inline constexpr std::uint32_t kTagMark = 1;
+
+/// One communication round: every node marks min(deg, 2Δ... per the
+/// low-degree tweak: all ports if deg <= 2Δ, else Δ random ports) and
+/// transmits a 1-bit MARK on each. The harness collects the union of
+/// marked edges as the sparsifier.
+class RandomSparsifierProtocol : public Protocol {
+ public:
+  RandomSparsifierProtocol(VertexId num_nodes, VertexId delta)
+      : n_(num_nodes), delta_(delta) {}
+
+  void on_round(NodeContext& node) override;
+  bool done() const override { return nodes_finished_ == n_; }
+
+  /// Canonical sparsifier edge list (valid once done()).
+  EdgeList edges() const;
+
+ private:
+  VertexId n_;
+  VertexId delta_;
+  VertexId nodes_finished_ = 0;
+  EdgeList collected_;
+};
+
+/// Broadcast-system variant of the G_Δ construction — the paper's §3.2
+/// remark: when every transmission reaches all neighbors, the 1-bit
+/// unicast trick is unavailable and a node must broadcast the LIST of its
+/// marked ports, one message of O(Δ·log n) bits. Same output subgraph
+/// distribution; the bench contrasts the traffic of the two models.
+class BroadcastSparsifierProtocol : public Protocol {
+ public:
+  BroadcastSparsifierProtocol(VertexId num_nodes, VertexId delta)
+      : n_(num_nodes), delta_(delta) {}
+
+  void on_round(NodeContext& node) override;
+  bool done() const override { return nodes_finished_ == n_; }
+
+  EdgeList edges() const;
+
+ private:
+  VertexId n_;
+  VertexId delta_;
+  VertexId nodes_finished_ = 0;
+  EdgeList collected_;
+};
+
+/// Solomon ITCS'18 degree sparsifier: round 0 sends a MARK on the first
+/// min(deg, Δ_α) ports; round 1 keeps an edge iff a MARK arrived on a port
+/// the node itself marked.
+class DegreeSparsifierProtocol : public Protocol {
+ public:
+  DegreeSparsifierProtocol(VertexId num_nodes, VertexId delta_alpha)
+      : n_(num_nodes), delta_alpha_(delta_alpha) {}
+
+  void on_round(NodeContext& node) override;
+  bool done() const override { return nodes_finished_ == n_; }
+
+  EdgeList edges() const;
+
+ private:
+  VertexId n_;
+  VertexId delta_alpha_;
+  VertexId nodes_finished_ = 0;
+  EdgeList kept_;
+};
+
+}  // namespace matchsparse::dist

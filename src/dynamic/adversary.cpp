@@ -1,0 +1,131 @@
+#include "dynamic/adversary.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace matchsparse {
+
+UpdateScript unit_disk_churn(VertexId n, double radius,
+                             VertexId initial_active,
+                             std::size_t churn_steps, Rng& rng) {
+  MS_CHECK(initial_active <= n);
+  std::vector<double> x(n), y(n);
+  for (VertexId i = 0; i < n; ++i) {
+    x[i] = rng.uniform();
+    y[i] = rng.uniform();
+  }
+  const double r2 = radius * radius;
+  auto close = [&](VertexId a, VertexId b) {
+    const double dx = x[a] - x[b];
+    const double dy = y[a] - y[b];
+    return dx * dx + dy * dy <= r2;
+  };
+
+  std::vector<bool> active(n, false);
+  std::vector<VertexId> active_list;
+  UpdateScript script;
+
+  auto arrive = [&](VertexId v) {
+    for (VertexId w : active_list) {
+      if (close(v, w)) script.push_back({true, Edge(v, w).normalized()});
+    }
+    active[v] = true;
+    active_list.push_back(v);
+  };
+  auto depart = [&](VertexId v) {
+    const auto it = std::find(active_list.begin(), active_list.end(), v);
+    MS_DCHECK(it != active_list.end());
+    active_list.erase(it);
+    active[v] = false;
+    for (VertexId w : active_list) {
+      if (close(v, w)) script.push_back({false, Edge(v, w).normalized()});
+    }
+  };
+
+  // Warm-up arrivals.
+  for (VertexId v = 0; v < initial_active; ++v) arrive(v);
+  // Churn.
+  for (std::size_t step = 0; step < churn_steps; ++step) {
+    const auto v = static_cast<VertexId>(rng.below(n));
+    if (active[v]) {
+      depart(v);
+    } else {
+      arrive(v);
+    }
+  }
+  return script;
+}
+
+UpdateScript sliding_window(const EdgeList& host_edges, std::size_t window,
+                            std::size_t steps, Rng& rng) {
+  MS_CHECK(window >= 1 && window <= host_edges.size());
+  EdgeList shuffled = host_edges;
+  rng.shuffle(std::span<Edge>(shuffled));
+
+  UpdateScript script;
+  std::size_t next = 0;
+  std::size_t oldest = 0;
+  // Fill the window.
+  for (; next < window; ++next) script.push_back({true, shuffled[next]});
+  // Slide.
+  for (std::size_t step = 0; step < steps; ++step) {
+    if (next >= shuffled.size()) break;
+    script.push_back({false, shuffled[oldest++]});
+    script.push_back({true, shuffled[next++]});
+  }
+  return script;
+}
+
+Update MatchedEdgeDeleter::next(const DynGraph& g, const Matching& output) {
+  if (output.size() > 0) {
+    // Delete a uniformly random edge of the current output matching.
+    auto target = static_cast<VertexId>(rng_.below(output.size()));
+    for (VertexId v = 0; v < output.num_vertices(); ++v) {
+      if (output.is_matched(v) && v < output.mate(v)) {
+        if (target-- == 0) {
+          const Edge e(v, output.mate(v));
+          removed_.push_back(e.normalized());
+          return {false, e.normalized()};
+        }
+      }
+    }
+  }
+  // Matching empty: reinsert something we removed (if anything).
+  if (!removed_.empty()) {
+    const auto idx = static_cast<std::size_t>(rng_.below(removed_.size()));
+    Edge e = removed_[idx];
+    removed_[idx] = removed_.back();
+    removed_.pop_back();
+    if (!g.has_edge(e.u, e.v)) return {true, e};
+  }
+  MS_CHECK_MSG(g.num_edges() > 0 || !removed_.empty(),
+               "adversary has no move: graph and pool are both empty");
+  // Fallback: delete any existing edge.
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (g.degree(v) > 0) {
+      const Edge e = Edge(v, g.neighbor(v, 0)).normalized();
+      removed_.push_back(e);
+      return {false, e};
+    }
+  }
+  MS_CHECK_MSG(false, "unreachable");
+  return {};
+}
+
+Update ChurningMatchedDeleter::next(const DynGraph& g,
+                                    const Matching& output) {
+  delete_turn_ = !delete_turn_;
+  if (!delete_turn_ && !removed_.empty()) {
+    const auto idx = static_cast<std::size_t>(rng_.below(removed_.size()));
+    Edge e = removed_[idx];
+    removed_[idx] = removed_.back();
+    removed_.pop_back();
+    if (!g.has_edge(e.u, e.v)) return {true, e};
+  }
+  MatchedEdgeDeleter fallback(rng_());
+  const Update u = fallback.next(g, output);
+  if (!u.insert) removed_.push_back(u.edge);
+  return u;
+}
+
+}  // namespace matchsparse

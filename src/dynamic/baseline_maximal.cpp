@@ -1,0 +1,46 @@
+#include "dynamic/baseline_maximal.hpp"
+
+#include <algorithm>
+
+namespace matchsparse {
+
+void BaselineDynamicMaximal::try_match(VertexId v) {
+  for (VertexId w : graph_.neighbors(v)) {
+    ++last_work_;
+    if (!matching_.is_matched(w)) {
+      matching_.match(v, w);
+      return;
+    }
+  }
+}
+
+void BaselineDynamicMaximal::account() {
+  max_work_ = std::max(max_work_, last_work_);
+  total_work_ += last_work_;
+}
+
+void BaselineDynamicMaximal::insert_edge(VertexId u, VertexId v) {
+  const bool added = graph_.insert_edge(u, v);
+  MS_CHECK_MSG(added, "insert of existing edge");
+  last_work_ = 1;
+  if (!matching_.is_matched(u) && !matching_.is_matched(v)) {
+    matching_.match(u, v);
+  }
+  account();
+}
+
+void BaselineDynamicMaximal::delete_edge(VertexId u, VertexId v) {
+  const bool removed = graph_.erase_edge(u, v);
+  MS_CHECK_MSG(removed, "delete of absent edge");
+  last_work_ = 1;
+  if (matching_.is_matched(u) && matching_.mate(u) == v) {
+    matching_.unmatch(u);
+    // Rematch both freed endpoints; each scan is O(deg) and restores the
+    // invariant that no edge has two free endpoints.
+    try_match(u);
+    try_match(v);
+  }
+  account();
+}
+
+}  // namespace matchsparse

@@ -1,0 +1,75 @@
+#include "dynamic/dyn_graph.hpp"
+
+namespace matchsparse {
+
+void DynGraph::attach(VertexId v, VertexId w) {
+  pos_[v].emplace(w, static_cast<VertexId>(adj_[v].size()));
+  adj_[v].push_back(w);
+}
+
+void DynGraph::detach(VertexId v, VertexId w) {
+  const auto it = pos_[v].find(w);
+  MS_DCHECK(it != pos_[v].end());
+  const VertexId idx = it->second;
+  const VertexId last = adj_[v].back();
+  adj_[v][idx] = last;
+  pos_[v][last] = idx;
+  adj_[v].pop_back();
+  pos_[v].erase(w);  // after the [last] update, in case last == w
+}
+
+void DynGraph::activate(VertexId v) {
+  if (active_pos_[v] != kNoVertex) return;
+  active_pos_[v] = static_cast<VertexId>(active_.size());
+  active_.push_back(v);
+}
+
+void DynGraph::deactivate(VertexId v) {
+  const VertexId idx = active_pos_[v];
+  if (idx == kNoVertex) return;
+  const VertexId last = active_.back();
+  active_[idx] = last;
+  active_pos_[last] = idx;
+  active_.pop_back();
+  active_pos_[v] = kNoVertex;
+}
+
+bool DynGraph::insert_edge(VertexId u, VertexId v) {
+  MS_CHECK_MSG(u != v, "self-loop insert");
+  MS_CHECK(u < num_vertices() && v < num_vertices());
+  if (has_edge(u, v)) return false;
+  attach(u, v);
+  attach(v, u);
+  activate(u);
+  activate(v);
+  ++m_;
+  return true;
+}
+
+bool DynGraph::erase_edge(VertexId u, VertexId v) {
+  MS_CHECK(u < num_vertices() && v < num_vertices());
+  if (!has_edge(u, v)) return false;
+  detach(u, v);
+  detach(v, u);
+  if (adj_[u].empty()) deactivate(u);
+  if (adj_[v].empty()) deactivate(v);
+  --m_;
+  return true;
+}
+
+Graph DynGraph::snapshot() const {
+  return Graph::from_edges(num_vertices(), edge_list());
+}
+
+EdgeList DynGraph::edge_list() const {
+  EdgeList edges;
+  edges.reserve(m_);
+  for (VertexId v = 0; v < num_vertices(); ++v) {
+    for (VertexId w : adj_[v]) {
+      if (v < w) edges.emplace_back(v, w);
+    }
+  }
+  return edges;
+}
+
+}  // namespace matchsparse

@@ -1,0 +1,78 @@
+// Fully-dynamic adjacency structure for the Section 3.3 algorithms:
+// O(1) expected insert/delete, O(1) access to the i-th current neighbor
+// (so Δ random incident edges can be sampled in O(Δ)), and O(n + m)
+// CSR snapshots for the window-rebuild scheme.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace matchsparse {
+
+class DynGraph {
+ public:
+  explicit DynGraph(VertexId n)
+      : adj_(n), pos_(n), active_pos_(n, kNoVertex) {}
+
+  VertexId num_vertices() const { return static_cast<VertexId>(adj_.size()); }
+  EdgeIndex num_edges() const { return m_; }
+
+  VertexId degree(VertexId v) const {
+    MS_DCHECK(v < num_vertices());
+    return static_cast<VertexId>(adj_[v].size());
+  }
+
+  /// i-th current neighbor of v (order is arbitrary and changes under
+  /// deletions — exactly what uniform sampling needs).
+  VertexId neighbor(VertexId v, VertexId i) const {
+    MS_DCHECK(i < degree(v));
+    return adj_[v][i];
+  }
+
+  std::span<const VertexId> neighbors(VertexId v) const {
+    MS_DCHECK(v < num_vertices());
+    return {adj_[v].data(), adj_[v].size()};
+  }
+
+  bool has_edge(VertexId u, VertexId v) const {
+    MS_DCHECK(u < num_vertices() && v < num_vertices());
+    const VertexId small = degree(u) <= degree(v) ? u : v;
+    const VertexId other = small == u ? v : u;
+    return pos_[small].count(other) > 0;
+  }
+
+  /// Returns false (and does nothing) if the edge already exists.
+  bool insert_edge(VertexId u, VertexId v);
+
+  /// Returns false (and does nothing) if the edge is absent.
+  bool erase_edge(VertexId u, VertexId v);
+
+  /// Immutable CSR copy of the current graph.
+  Graph snapshot() const;
+
+  EdgeList edge_list() const;
+
+  /// Vertices with degree >= 1, in arbitrary order. Maintained in O(1)
+  /// per update so that rebuild pipelines can iterate only over the
+  /// occupied part of the vertex range.
+  std::span<const VertexId> active_vertices() const {
+    return {active_.data(), active_.size()};
+  }
+
+ private:
+  void attach(VertexId v, VertexId w);
+  void detach(VertexId v, VertexId w);
+  void activate(VertexId v);
+  void deactivate(VertexId v);
+
+  std::vector<std::vector<VertexId>> adj_;
+  // pos_[v][w] = index of w inside adj_[v], enabling O(1) swap-pop delete.
+  std::vector<std::unordered_map<VertexId, VertexId>> pos_;
+  std::vector<VertexId> active_;      // vertices with degree >= 1
+  std::vector<VertexId> active_pos_;  // index in active_, kNoVertex if absent
+  EdgeIndex m_ = 0;
+};
+
+}  // namespace matchsparse

@@ -1,0 +1,72 @@
+#include "dynamic/dyn_sparsifier.hpp"
+
+#include <algorithm>
+
+namespace matchsparse {
+
+DynSparsifier::DynSparsifier(VertexId n, VertexId delta, std::uint64_t seed)
+    : delta_(delta), rng_(seed), marks_(n) {
+  MS_CHECK(delta >= 1);
+}
+
+void DynSparsifier::add_mark(VertexId u, VertexId w) {
+  ++counts_[edge_key(Edge(u, w))];
+}
+
+void DynSparsifier::remove_mark(VertexId u, VertexId w) {
+  const auto key = edge_key(Edge(u, w));
+  const auto it = counts_.find(key);
+  MS_DCHECK(it != counts_.end());
+  if (--it->second == 0) counts_.erase(it);
+}
+
+void DynSparsifier::resample(const DynGraph& g, VertexId v) {
+  for (VertexId w : marks_[v]) {
+    remove_mark(v, w);
+    ++last_work_;
+  }
+  marks_[v].clear();
+  const VertexId deg = g.degree(v);
+  if (deg == 0) return;
+  if (deg <= 2 * delta_) {
+    // Low-degree tweak: mark the whole neighborhood.
+    for (VertexId i = 0; i < deg; ++i) {
+      const VertexId w = g.neighbor(v, i);
+      marks_[v].push_back(w);
+      add_mark(v, w);
+      ++last_work_;
+    }
+    return;
+  }
+  for (std::uint64_t i : rng_.sample_without_replacement(deg, delta_)) {
+    const VertexId w = g.neighbor(v, static_cast<VertexId>(i));
+    marks_[v].push_back(w);
+    add_mark(v, w);
+    ++last_work_;
+  }
+}
+
+void DynSparsifier::on_insert(const DynGraph& g, VertexId u, VertexId v) {
+  last_work_ = 0;
+  resample(g, u);
+  resample(g, v);
+}
+
+void DynSparsifier::on_delete(const DynGraph& g, VertexId u, VertexId v) {
+  last_work_ = 0;
+  resample(g, u);
+  resample(g, v);
+}
+
+EdgeList DynSparsifier::edges() const {
+  EdgeList out;
+  out.reserve(counts_.size());
+  for (const auto& [key, count] : counts_) {
+    out.emplace_back(static_cast<VertexId>(key >> 32),
+                     static_cast<VertexId>(key & 0xffffffffu));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace matchsparse

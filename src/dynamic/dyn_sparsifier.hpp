@@ -1,0 +1,58 @@
+// Fully-dynamic maintenance of the random sparsifier G_Δ under an
+// *oblivious* adversary (Section 3.3's warm-up scheme): after every edge
+// update (u, v), discard the marks of u and of v and redraw them from the
+// current neighborhoods — O(Δ) worst-case work per update, and the
+// resulting distribution is identical to a fresh G_Δ, so Theorem 2.1's
+// (1+ε) bound continues to hold as long as the adversary cannot see the
+// coins. (The adaptive-adversary algorithm of Theorem 3.5 is
+// WindowMatcher; this class is the baseline it is compared against and a
+// building block for oblivious pipelines.)
+#pragma once
+
+#include <unordered_map>
+
+#include "dynamic/dyn_graph.hpp"
+#include "util/rng.hpp"
+
+namespace matchsparse {
+
+class DynSparsifier {
+ public:
+  /// Observes (and mirrors) a dynamic graph. `delta` is the mark budget.
+  DynSparsifier(VertexId n, VertexId delta, std::uint64_t seed);
+
+  VertexId delta() const { return delta_; }
+
+  /// Call after g.insert_edge(u, v) succeeded.
+  void on_insert(const DynGraph& g, VertexId u, VertexId v);
+
+  /// Call after g.erase_edge(u, v) succeeded.
+  void on_delete(const DynGraph& g, VertexId u, VertexId v);
+
+  /// Work units (marks redrawn) during the last update.
+  std::uint64_t last_update_work() const { return last_work_; }
+
+  /// Current sparsifier edge list (canonical order).
+  EdgeList edges() const;
+
+  /// Number of distinct edges currently in the sparsifier.
+  std::size_t size() const { return counts_.size(); }
+
+  /// True iff (u, v) is currently marked by at least one endpoint.
+  bool contains(VertexId u, VertexId v) const {
+    return counts_.count(edge_key(Edge(u, v))) > 0;
+  }
+
+ private:
+  void resample(const DynGraph& g, VertexId v);
+  void add_mark(VertexId u, VertexId w);
+  void remove_mark(VertexId u, VertexId w);
+
+  VertexId delta_;
+  Rng rng_;
+  std::vector<std::vector<VertexId>> marks_;  // marked neighbor ids per vertex
+  std::unordered_map<std::uint64_t, std::uint8_t> counts_;  // edge -> #markers
+  std::uint64_t last_work_ = 0;
+};
+
+}  // namespace matchsparse

@@ -1,0 +1,60 @@
+// The "life would be much simpler" scheme from Section 3.3's opening:
+// under an OBLIVIOUS adversary, maintain G_Δ itself dynamically (resample
+// the two endpoints' marks after every update — O(Δ) worst-case, and the
+// sparsifier remains exactly G_Δ-distributed at all times, so Theorem 2.1
+// keeps holding), and refresh the matching on the sparsifier once per
+// Gupta–Peng window.
+//
+// This is the baseline the paper contrasts with Theorem 3.5: simpler and
+// with the same update-work shape, but its guarantee breaks against an
+// adaptive adversary because the maintained marks persist across updates
+// and leak through the output. WindowMatcher redraws all coins each
+// window; this class does not — bench_dynamic compares the two under
+// both adversary types.
+#pragma once
+
+#include "dynamic/dyn_sparsifier.hpp"
+#include "matching/bounded_aug.hpp"
+#include "matching/matching.hpp"
+#include "sparsify/sparsifier.hpp"
+
+namespace matchsparse {
+
+class ObliviousDynamicMatcher {
+ public:
+  ObliviousDynamicMatcher(VertexId n, VertexId beta, double eps,
+                          std::uint64_t seed, double delta_scale = 1.0);
+
+  void insert_edge(VertexId u, VertexId v);
+  void delete_edge(VertexId u, VertexId v);
+
+  /// Valid matching of the current graph at all times; refreshed from the
+  /// dynamically maintained sparsifier once per stability window.
+  const Matching& matching() const { return output_; }
+
+  const DynGraph& graph() const { return graph_; }
+  VertexId delta() const { return sparsifier_.delta(); }
+
+  std::uint64_t last_update_work() const { return last_work_; }
+  std::uint64_t max_update_work() const { return max_work_; }
+  std::uint64_t total_work() const { return total_work_; }
+  std::size_t refreshes() const { return refreshes_; }
+
+ private:
+  void on_update(bool deletion, VertexId u, VertexId v);
+  void refresh();
+
+  DynGraph graph_;
+  DynSparsifier sparsifier_;
+  double eps_;
+  Matching output_;
+  std::size_t window_len_ = 1;
+  std::size_t window_pos_ = 0;
+
+  std::uint64_t last_work_ = 0;
+  std::uint64_t max_work_ = 0;
+  std::uint64_t total_work_ = 0;
+  std::size_t refreshes_ = 0;
+};
+
+}  // namespace matchsparse

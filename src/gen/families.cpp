@@ -1,0 +1,67 @@
+#include "gen/families.hpp"
+
+#include <algorithm>
+
+namespace matchsparse::gen {
+
+namespace {
+
+std::vector<Family> build_standard() {
+  std::vector<Family> families;
+  families.push_back(
+      {"line", 2, [](VertexId n, std::uint64_t seed) {
+         // Line graph of G(n/4, 8/n): ~ n/4 * 8 / 2 = n vertices.
+         Rng rng(seed);
+         const VertexId n_base = std::max<VertexId>(8, n / 4);
+         return line_graph_of_er(n_base, 8.0, rng);
+       }});
+  families.push_back(
+      {"unitdisk", 5, [](VertexId n, std::uint64_t seed) {
+         Rng rng(seed);
+         return unit_disk(n, unit_disk_radius_for_degree(n, 12.0), rng);
+       }});
+  families.push_back(
+      {"cliqueunion", 4, [](VertexId n, std::uint64_t seed) {
+         Rng rng(seed);
+         return clique_union(n, /*clique_size=*/8, /*diversity=*/4, rng);
+       }});
+  families.push_back(
+      {"unitint", 2, [](VertexId n, std::uint64_t seed) {
+         Rng rng(seed);
+         // Length 8/n targets average degree ~ 16 in expectation.
+         return unit_interval_graph(
+             n, 8.0 / std::max<VertexId>(1, n), rng);
+       }});
+  families.push_back({"complete", 1, [](VertexId n, std::uint64_t) {
+                        return complete_graph(n);
+                      }});
+  return families;
+}
+
+}  // namespace
+
+const std::vector<Family>& standard_families() {
+  static const std::vector<Family> families = build_standard();
+  return families;
+}
+
+const std::vector<Family>& sparse_families() {
+  static const std::vector<Family> families = [] {
+    std::vector<Family> out;
+    for (const Family& f : standard_families()) {
+      if (f.name != "complete") out.push_back(f);
+    }
+    return out;
+  }();
+  return families;
+}
+
+const Family& find_family(const std::string& name) {
+  for (const Family& f : standard_families()) {
+    if (f.name == name) return f;
+  }
+  MS_CHECK_MSG(false, "unknown graph family");
+  std::abort();
+}
+
+}  // namespace matchsparse::gen

@@ -1,0 +1,37 @@
+// A registry of named graph families so that tests and benches sweep the
+// same instances uniformly. Each family maps a target vertex count and a
+// seed to a concrete graph, and records its documented β bound.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "gen/generators.hpp"
+
+namespace matchsparse::gen {
+
+struct Family {
+  std::string name;
+  /// Documented upper bound on the neighborhood independence number.
+  VertexId beta_bound;
+  /// Factory: target vertex count (approximate for derived families like
+  /// line graphs) and RNG seed.
+  std::function<Graph(VertexId n, std::uint64_t seed)> make;
+};
+
+/// The bounded-β families used across the experiment suite:
+///   line        — line graph of a random base graph, β <= 2
+///   unitdisk    — random geometric unit-disk graph, β <= 5
+///   cliqueunion — bounded-diversity clique union, β <= 4
+///   unitint     — random unit interval graph, β <= 2
+///   complete    — K_n, β = 1 (dense extreme; keep n moderate)
+const std::vector<Family>& standard_families();
+
+/// Families cheap enough for large-n runtime experiments (excludes K_n).
+const std::vector<Family>& sparse_families();
+
+/// Lookup by name; MS_CHECK-fails on unknown names.
+const Family& find_family(const std::string& name);
+
+}  // namespace matchsparse::gen

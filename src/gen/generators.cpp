@@ -1,0 +1,254 @@
+#include "gen/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <unordered_set>
+
+namespace matchsparse::gen {
+
+Graph complete_graph(VertexId n) {
+  EdgeList edges;
+  edges.reserve(static_cast<std::size_t>(n) * (n - 1) / 2);
+  for (VertexId u = 0; u < n; ++u) {
+    for (VertexId v = u + 1; v < n; ++v) edges.emplace_back(u, v);
+  }
+  return Graph::from_edges(n, edges);
+}
+
+Graph complete_minus_edge(VertexId n, Rng& rng, Edge* removed) {
+  MS_CHECK(n >= 3);
+  const auto a = static_cast<VertexId>(rng.below(n));
+  auto b = static_cast<VertexId>(rng.below(n - 1));
+  if (b >= a) ++b;
+  const Edge gone = Edge(a, b).normalized();
+  if (removed != nullptr) *removed = gone;
+  EdgeList edges;
+  edges.reserve(static_cast<std::size_t>(n) * (n - 1) / 2 - 1);
+  for (VertexId u = 0; u < n; ++u) {
+    for (VertexId v = u + 1; v < n; ++v) {
+      if (Edge(u, v) == gone) continue;
+      edges.emplace_back(u, v);
+    }
+  }
+  return Graph::from_edges(n, edges);
+}
+
+Graph two_cliques_bridge(VertexId n, Edge* bridge) {
+  MS_CHECK_MSG(n % 2 == 0 && (n / 2) % 2 == 1,
+               "two_cliques_bridge needs n/2 odd (e.g. n = 2 mod 4)");
+  const VertexId half = n / 2;
+  EdgeList edges;
+  for (VertexId u = 0; u < half; ++u) {
+    for (VertexId v = u + 1; v < half; ++v) {
+      edges.emplace_back(u, v);                      // clique A
+      edges.emplace_back(half + u, half + v);        // clique B
+    }
+  }
+  const Edge b(0, half);
+  edges.push_back(b);
+  if (bridge != nullptr) *bridge = b;
+  return Graph::from_edges(n, edges);
+}
+
+Graph line_graph(const Graph& base) {
+  // Vertex i of L(B) = i-th edge of B in canonical order.
+  const EdgeList base_edges = base.edge_list();
+  const auto ne = static_cast<VertexId>(base_edges.size());
+  // Group edge indices by endpoint; edges sharing an endpoint form a
+  // clique in L(B).
+  std::vector<std::vector<VertexId>> incident(base.num_vertices());
+  for (VertexId i = 0; i < ne; ++i) {
+    incident[base_edges[i].u].push_back(i);
+    incident[base_edges[i].v].push_back(i);
+  }
+  EdgeList edges;
+  for (const auto& bucket : incident) {
+    for (std::size_t a = 0; a < bucket.size(); ++a) {
+      for (std::size_t b = a + 1; b < bucket.size(); ++b) {
+        edges.emplace_back(bucket[a], bucket[b]);
+      }
+    }
+  }
+  normalize_edge_list(edges);  // two shared endpoints => duplicate pair
+  return Graph::from_edges(ne, edges);
+}
+
+Graph line_graph_of_er(VertexId n_base, double avg_base_deg, Rng& rng) {
+  return line_graph(erdos_renyi(n_base, avg_base_deg, rng));
+}
+
+double unit_disk_radius_for_degree(VertexId n, double avg_deg) {
+  MS_CHECK(n > 1);
+  // E[deg] ~ (n-1) * pi * r^2 for points away from the boundary.
+  return std::sqrt(avg_deg / (static_cast<double>(n - 1) * M_PI));
+}
+
+Graph unit_disk(VertexId n, double radius, Rng& rng) {
+  std::vector<double> x(n), y(n);
+  for (VertexId i = 0; i < n; ++i) {
+    x[i] = rng.uniform();
+    y[i] = rng.uniform();
+  }
+  // Grid binning: cells of side `radius`; neighbors live in the 3x3 block.
+  const auto cells = static_cast<std::uint32_t>(
+      std::max(1.0, std::floor(1.0 / std::max(radius, 1e-9))));
+  std::vector<std::vector<VertexId>> grid(
+      static_cast<std::size_t>(cells) * cells);
+  auto cell_of = [&](VertexId i) {
+    auto cx = static_cast<std::uint32_t>(x[i] * cells);
+    auto cy = static_cast<std::uint32_t>(y[i] * cells);
+    cx = std::min(cx, cells - 1);
+    cy = std::min(cy, cells - 1);
+    return cy * cells + cx;
+  };
+  for (VertexId i = 0; i < n; ++i) grid[cell_of(i)].push_back(i);
+
+  const double r2 = radius * radius;
+  EdgeList edges;
+  for (VertexId i = 0; i < n; ++i) {
+    const auto ci = cell_of(i);
+    const auto cx = static_cast<std::int64_t>(ci % cells);
+    const auto cy = static_cast<std::int64_t>(ci / cells);
+    for (std::int64_t dy = -1; dy <= 1; ++dy) {
+      for (std::int64_t dx = -1; dx <= 1; ++dx) {
+        const std::int64_t nx = cx + dx;
+        const std::int64_t ny = cy + dy;
+        if (nx < 0 || ny < 0 || nx >= cells || ny >= cells) continue;
+        for (VertexId j : grid[static_cast<std::size_t>(ny) * cells + nx]) {
+          if (j <= i) continue;
+          const double ddx = x[i] - x[j];
+          const double ddy = y[i] - y[j];
+          if (ddx * ddx + ddy * ddy <= r2) edges.emplace_back(i, j);
+        }
+      }
+    }
+  }
+  return Graph::from_edges(n, edges);
+}
+
+Graph unit_interval_graph(VertexId n, double len, Rng& rng) {
+  std::vector<std::pair<double, double>> iv(n);
+  for (VertexId i = 0; i < n; ++i) {
+    const double start = rng.uniform();
+    iv[i] = {start, start + len};
+  }
+  // Sweep by start point: sort indices, and for each interval connect to
+  // all previously started intervals that are still open.
+  std::vector<VertexId> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](VertexId a, VertexId b) {
+    return iv[a].first < iv[b].first;
+  });
+  EdgeList edges;
+  // active list kept as a vector with lazy deletion (intervals are short,
+  // so the active set stays small for reasonable max_len).
+  std::vector<VertexId> active;
+  for (VertexId idx : order) {
+    const double start = iv[idx].first;
+    std::erase_if(active, [&](VertexId a) { return iv[a].second < start; });
+    for (VertexId a : active) edges.emplace_back(a, idx);
+    active.push_back(idx);
+  }
+  return Graph::from_edges(n, edges);
+}
+
+Graph clique_union(VertexId n, VertexId clique_size, VertexId diversity,
+                   Rng& rng) {
+  MS_CHECK(clique_size >= 2 && diversity >= 1);
+  // Membership budget per vertex enforces diversity <= `diversity`.
+  std::vector<VertexId> budget(n, diversity);
+  std::vector<VertexId> pool(n);
+  std::iota(pool.begin(), pool.end(), 0);
+
+  EdgeList edges;
+  std::vector<VertexId> members;
+  // Keep creating cliques until the membership budget is (nearly) spent.
+  while (true) {
+    // Vertices with remaining budget.
+    std::erase_if(pool, [&](VertexId v) { return budget[v] == 0; });
+    if (pool.size() < clique_size) break;
+    members.clear();
+    // Sample clique_size distinct vertices from the pool.
+    for (std::uint64_t pick :
+         rng.sample_without_replacement(pool.size(), clique_size)) {
+      members.push_back(pool[pick]);
+    }
+    for (VertexId v : members) --budget[v];
+    for (std::size_t a = 0; a < members.size(); ++a) {
+      for (std::size_t b = a + 1; b < members.size(); ++b) {
+        edges.emplace_back(members[a], members[b]);
+      }
+    }
+  }
+  normalize_edge_list(edges);  // overlapping cliques can duplicate pairs
+  return Graph::from_edges(n, edges);
+}
+
+Graph clique_path(VertexId count, VertexId size) {
+  MS_CHECK(count >= 1 && size >= 2);
+  const VertexId n = count * size;
+  EdgeList edges;
+  for (VertexId c = 0; c < count; ++c) {
+    const VertexId base = c * size;
+    for (VertexId u = 0; u < size; ++u) {
+      for (VertexId v = u + 1; v < size; ++v) {
+        edges.emplace_back(base + u, base + v);
+      }
+    }
+    if (c + 1 < count) {
+      // Bridge from this clique's last vertex to the next clique's first.
+      edges.emplace_back(base + size - 1, base + size);
+    }
+  }
+  return Graph::from_edges(n, edges);
+}
+
+Graph erdos_renyi(VertexId n, double avg_deg, Rng& rng) {
+  MS_CHECK(n >= 2);
+  const double p =
+      std::clamp(avg_deg / static_cast<double>(n - 1), 0.0, 1.0);
+  EdgeList edges;
+  if (p >= 0.25) {
+    // Dense: direct Bernoulli per pair.
+    for (VertexId u = 0; u < n; ++u) {
+      for (VertexId v = u + 1; v < n; ++v) {
+        if (rng.chance(p)) edges.emplace_back(u, v);
+      }
+    }
+  } else if (p > 0.0) {
+    // Sparse: geometric skipping over the pair sequence.
+    const double log1mp = std::log1p(-p);
+    const auto total = static_cast<std::uint64_t>(n) * (n - 1) / 2;
+    std::uint64_t idx = 0;
+    while (true) {
+      const double u01 = std::max(rng.uniform(), 1e-18);
+      const auto skip =
+          static_cast<std::uint64_t>(std::floor(std::log(u01) / log1mp));
+      idx += skip;
+      if (idx >= total) break;
+      // Decode pair index -> (u, v). Row u holds (n-1-u) pairs.
+      VertexId u = 0;
+      std::uint64_t rem = idx;
+      std::uint64_t row = n - 1;
+      while (rem >= row) {
+        rem -= row;
+        --row;
+        ++u;
+      }
+      const auto v = static_cast<VertexId>(u + 1 + rem);
+      edges.emplace_back(u, v);
+      ++idx;
+    }
+  }
+  return Graph::from_edges(n, edges);
+}
+
+Graph star(VertexId n) {
+  MS_CHECK(n >= 2);
+  EdgeList edges;
+  for (VertexId v = 1; v < n; ++v) edges.emplace_back(0, v);
+  return Graph::from_edges(n, edges);
+}
+
+}  // namespace matchsparse::gen

@@ -1,0 +1,70 @@
+// Synthetic graph generators for the bounded-neighborhood-independence
+// families the paper's introduction motivates (Section 1.1), plus the two
+// adversarial instances used in its lower bounds (Section 2.2.3) and an
+// Erdős–Rényi control with unbounded β. Every generator documents its β
+// bound; tests verify the bounds with the exact β estimator.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace matchsparse::gen {
+
+/// K_n. β = 1 (every neighborhood is a clique); Θ(n²) edges — the
+/// paper's canonical "dense but trivially claw-free" example.
+Graph complete_graph(VertexId n);
+
+/// K_n minus one uniformly random edge — the hard family G_n of
+/// Lemma 2.13 (deterministic sparsifiers fail here). β = 2. If
+/// `removed` is non-null it receives the missing edge.
+Graph complete_minus_edge(VertexId n, Rng& rng, Edge* removed = nullptr);
+
+/// Two disjoint odd cliques K_{n/2} joined by a single bridge — the
+/// family of Observation 2.14 (exact MCM preservation requires the bridge,
+/// which G_Δ misses with probability (1-2Δ/n)²). n/2 must be odd. β = 2.
+/// If `bridge` is non-null it receives the bridge edge.
+Graph two_cliques_bridge(VertexId n, Edge* bridge = nullptr);
+
+/// Line graph L(B) of a base graph B: one vertex per edge of B, adjacent
+/// iff the edges share an endpoint. β(L(B)) <= 2 always.
+Graph line_graph(const Graph& base);
+
+/// Line graph of a G(n_base, deg/n) Erdős–Rényi base graph; the returned
+/// graph has ~ n_base*avg_deg/2 vertices. β <= 2.
+Graph line_graph_of_er(VertexId n_base, double avg_base_deg, Rng& rng);
+
+/// Random geometric / unit-disk graph: n points uniform in the unit
+/// square, edge iff distance <= radius. β <= 5 (at most five pairwise
+/// non-adjacent unit-disk centers fit in a disk neighborhood).
+Graph unit_disk(VertexId n, double radius, Rng& rng);
+
+/// Radius that targets a given expected average degree for unit_disk().
+double unit_disk_radius_for_degree(VertexId n, double avg_deg);
+
+/// Random *unit* (proper) interval graph: n intervals of identical length
+/// `len` with uniform starts in [0,1]; edge iff the intervals intersect.
+/// Unit interval graphs are claw-free, so β <= 2. (General interval graphs
+/// have unbounded β — a long interval can meet many disjoint short ones —
+/// which is why the paper's bounded family is the *proper* subclass [48].)
+Graph unit_interval_graph(VertexId n, double len, Rng& rng);
+
+/// Bounded-diversity graph: a union of `num_cliques` cliques of size
+/// `clique_size` over n vertices, with every vertex a member of at most
+/// `diversity` cliques. β <= diversity.
+Graph clique_union(VertexId n, VertexId clique_size, VertexId diversity,
+                   Rng& rng);
+
+/// Path of `count` cliques of size `size` (size even), consecutive cliques
+/// joined by one bridge edge between dedicated ports — rich in long
+/// augmenting paths, exercising the (1+ε) matchers. β <= 3.
+Graph clique_path(VertexId count, VertexId size);
+
+/// G(n, p) with p = avg_deg/(n-1). Control family with unbounded β.
+Graph erdos_renyi(VertexId n, double avg_deg, Rng& rng);
+
+/// Star K_{1,n-1}: β = n-1 (the extreme opposite regime).
+Graph star(VertexId n);
+
+}  // namespace matchsparse::gen

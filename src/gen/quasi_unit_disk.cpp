@@ -1,0 +1,63 @@
+#include "gen/quasi_unit_disk.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace matchsparse::gen {
+
+Graph quasi_unit_disk(VertexId n, double r_inner, double r_outer,
+                      double gray_p, Rng& rng) {
+  MS_CHECK(0.0 < r_inner && r_inner <= r_outer);
+  std::vector<double> x(n), y(n);
+  for (VertexId i = 0; i < n; ++i) {
+    x[i] = rng.uniform();
+    y[i] = rng.uniform();
+  }
+  // Grid binning on the OUTER radius.
+  const auto cells = static_cast<std::uint32_t>(
+      std::max(1.0, std::floor(1.0 / std::max(r_outer, 1e-9))));
+  std::vector<std::vector<VertexId>> grid(
+      static_cast<std::size_t>(cells) * cells);
+  auto cell_of = [&](VertexId i) {
+    auto cx = static_cast<std::uint32_t>(x[i] * cells);
+    auto cy = static_cast<std::uint32_t>(y[i] * cells);
+    cx = std::min(cx, cells - 1);
+    cy = std::min(cy, cells - 1);
+    return cy * cells + cx;
+  };
+  for (VertexId i = 0; i < n; ++i) grid[cell_of(i)].push_back(i);
+
+  const double inner2 = r_inner * r_inner;
+  const double outer2 = r_outer * r_outer;
+  EdgeList edges;
+  for (VertexId i = 0; i < n; ++i) {
+    const auto ci = cell_of(i);
+    const auto cx = static_cast<std::int64_t>(ci % cells);
+    const auto cy = static_cast<std::int64_t>(ci / cells);
+    for (std::int64_t dy = -1; dy <= 1; ++dy) {
+      for (std::int64_t dx = -1; dx <= 1; ++dx) {
+        const std::int64_t nx = cx + dx;
+        const std::int64_t ny = cy + dy;
+        if (nx < 0 || ny < 0 || nx >= cells || ny >= cells) continue;
+        for (VertexId j : grid[static_cast<std::size_t>(ny) * cells + nx]) {
+          if (j <= i) continue;
+          const double ddx = x[i] - x[j];
+          const double ddy = y[i] - y[j];
+          const double d2 = ddx * ddx + ddy * ddy;
+          if (d2 <= inner2) {
+            edges.emplace_back(i, j);
+          } else if (d2 <= outer2) {
+            // Gray zone: deterministic per-pair coin so the decision does
+            // not depend on visit order.
+            Rng coin(mix64(edge_key(Edge(i, j).normalized()),
+                           0x9e3779b97f4aULL));
+            if (coin.chance(gray_p)) edges.emplace_back(i, j);
+          }
+        }
+      }
+    }
+  }
+  return Graph::from_edges(n, edges);
+}
+
+}  // namespace matchsparse::gen

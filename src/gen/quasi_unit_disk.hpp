@@ -1,0 +1,22 @@
+// Quasi-unit-disk graphs — the bounded-growth family from Kuhn,
+// Wattenhofer & Zollinger [62] that the paper's Section 1.1 lists: points
+// in the plane with two radii r_inner <= r_outer; pairs closer than
+// r_inner are always connected, pairs farther than r_outer never, and
+// pairs in between are connected adversarially (here: by a seeded coin).
+// For r_outer/r_inner bounded, neighborhood independence stays O(1)
+// (each neighborhood fits in an r_outer-disk, and pairwise-independent
+// members must be > r_inner apart).
+#pragma once
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace matchsparse::gen {
+
+/// n random points in the unit square; edges per the quasi-unit-disk rule
+/// with connection probability `gray_p` in the annulus. Requires
+/// 0 < r_inner <= r_outer.
+Graph quasi_unit_disk(VertexId n, double r_inner, double r_outer,
+                      double gray_p, Rng& rng);
+
+}  // namespace matchsparse::gen

@@ -1,0 +1,197 @@
+#include "graph/beta.hpp"
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <vector>
+
+namespace matchsparse {
+
+namespace {
+
+/// Branch-and-bound maximum independent set over a <= 64-vertex graph
+/// given as adjacency bitmasks. Classic min-degree branching: a maximum
+/// independent set either misses a chosen vertex v and all decisions stay
+/// open, or contains some vertex of N[v]; we branch on the members of N[v]
+/// for a v of minimum residual degree, which keeps the branching factor at
+/// deg(v) + 1 and collapses instantly on cliques.
+class Mis64 {
+ public:
+  Mis64(std::span<const std::uint64_t> adj, std::uint64_t budget)
+      : adj_(adj.begin(), adj.end()), budget_(budget) {}
+
+  /// Returns the MIS size, or kNoVertex on budget exhaustion.
+  VertexId solve() {
+    const std::uint64_t all =
+        adj_.size() == 64 ? ~0ULL : ((1ULL << adj_.size()) - 1);
+    best_ = 0;
+    exhausted_ = false;
+    search(all, 0);
+    return exhausted_ ? kNoVertex : best_;
+  }
+
+ private:
+  void search(std::uint64_t pending, VertexId chosen) {
+    if (exhausted_) return;
+    if (budget_ == 0) {
+      exhausted_ = true;
+      return;
+    }
+    --budget_;
+    const auto remaining = static_cast<VertexId>(std::popcount(pending));
+    best_ = std::max(best_, chosen);
+    if (chosen + remaining <= best_) return;  // bound: cannot improve
+    if (pending == 0) return;
+
+    // Find a pending vertex of minimum residual degree.
+    int pivot = -1;
+    int pivot_deg = 65;
+    for (std::uint64_t p = pending; p != 0; p &= p - 1) {
+      const int v = std::countr_zero(p);
+      const int d = std::popcount(adj_[static_cast<std::size_t>(v)] & pending);
+      if (d < pivot_deg) {
+        pivot_deg = d;
+        pivot = v;
+        if (d == 0) break;
+      }
+    }
+    // Some maximum independent set of `pending` contains a member of
+    // N[pivot]: branch on each candidate w, including w and removing N[w].
+    const std::uint64_t closed =
+        (adj_[static_cast<std::size_t>(pivot)] | (1ULL << pivot)) & pending;
+    for (std::uint64_t p = closed; p != 0; p &= p - 1) {
+      const int w = std::countr_zero(p);
+      const std::uint64_t next =
+          pending & ~(adj_[static_cast<std::size_t>(w)] | (1ULL << w));
+      search(next, chosen + 1);
+      if (exhausted_) return;
+    }
+  }
+
+  std::vector<std::uint64_t> adj_;
+  std::uint64_t budget_;
+  VertexId best_ = 0;
+  bool exhausted_ = false;
+};
+
+/// Greedy clique cover of the subgraph induced by `vertices`: an upper
+/// bound on its independence number (each clique holds at most one
+/// independent vertex). O(|vertices|^2 * log deg) via has_edge tests.
+VertexId greedy_clique_cover_size(const Graph& g,
+                                  std::span<const VertexId> vertices) {
+  std::vector<std::vector<VertexId>> cliques;
+  for (VertexId v : vertices) {
+    bool placed = false;
+    for (auto& clique : cliques) {
+      bool fits = true;
+      for (VertexId member : clique) {
+        if (!g.has_edge(v, member)) {
+          fits = false;
+          break;
+        }
+      }
+      if (fits) {
+        clique.push_back(v);
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) cliques.push_back({v});
+  }
+  return static_cast<VertexId>(cliques.size());
+}
+
+}  // namespace
+
+VertexId greedy_independent_set_size(const Graph& g,
+                                     std::span<const VertexId> vertices) {
+  // Ascending induced-degree order improves the greedy bound considerably.
+  std::vector<VertexId> order(vertices.begin(), vertices.end());
+  std::vector<VertexId> induced_deg(order.size(), 0);
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    for (std::size_t j = i + 1; j < order.size(); ++j) {
+      if (g.has_edge(order[i], order[j])) {
+        ++induced_deg[i];
+        ++induced_deg[j];
+      }
+    }
+  }
+  std::vector<std::size_t> idx(order.size());
+  for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+  std::sort(idx.begin(), idx.end(), [&](std::size_t a, std::size_t b) {
+    return induced_deg[a] < induced_deg[b];
+  });
+
+  std::vector<VertexId> chosen;
+  for (std::size_t i : idx) {
+    const VertexId v = order[i];
+    bool independent = true;
+    for (VertexId c : chosen) {
+      if (g.has_edge(v, c)) {
+        independent = false;
+        break;
+      }
+    }
+    if (independent) chosen.push_back(v);
+  }
+  return static_cast<VertexId>(chosen.size());
+}
+
+VertexId max_independent_set_size_small(const Graph& g,
+                                        std::uint64_t node_budget) {
+  MS_CHECK_MSG(g.num_vertices() <= 64, "bitset MIS supports <= 64 vertices");
+  std::vector<std::uint64_t> adj(g.num_vertices(), 0);
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    for (VertexId v : g.neighbors(u)) adj[u] |= 1ULL << v;
+  }
+  return Mis64(adj, node_budget).solve();
+}
+
+BetaResult neighborhood_independence(const Graph& g, BetaOptions opt) {
+  BetaResult result;
+  opt.exact_limit = std::min<VertexId>(opt.exact_limit, 64);
+
+  std::vector<VertexId> nbrs;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const auto neighborhood = g.neighbors(v);
+    if (neighborhood.empty()) continue;
+    const auto deg = static_cast<VertexId>(neighborhood.size());
+
+    // Cheap skip: a neighborhood can contribute at most deg, so if even
+    // that cannot beat the current value there is nothing to compute —
+    // unless we still owe an exactness certificate, which the greedy cover
+    // below would provide anyway; the skip never loses exactness because
+    // deg <= result.value means this neighborhood cannot raise the max.
+    if (deg <= result.value) continue;
+
+    VertexId value = 0;
+    bool certified = false;
+
+    if (deg <= opt.exact_limit) {
+      nbrs.assign(neighborhood.begin(), neighborhood.end());
+      const Graph sub = induced_subgraph(g, nbrs);
+      const VertexId exact = max_independent_set_size_small(sub, opt.node_budget);
+      if (exact != kNoVertex) {
+        value = exact;
+        certified = true;
+      }
+    }
+    if (!certified) {
+      const VertexId lower = greedy_independent_set_size(g, neighborhood);
+      value = lower;
+      if (deg <= opt.cover_limit) {
+        const VertexId upper = greedy_clique_cover_size(g, neighborhood);
+        certified = (lower == upper);
+      }
+    }
+
+    if (value > result.value) {
+      result.value = value;
+      result.witness = v;
+    }
+    if (!certified) result.exact = false;
+  }
+  return result;
+}
+
+}  // namespace matchsparse

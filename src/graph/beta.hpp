@@ -1,0 +1,58 @@
+// Neighborhood independence number β(G): the size of the largest
+// independent set contained in the neighborhood N(v) of any vertex v.
+// β(G) <= k iff G is (k+1)-claw-free, i.e. contains no induced K_{1,k+1}.
+//
+// Computing β exactly requires a maximum-independent-set computation inside
+// each neighborhood; neighborhoods are small in the bounded-β families we
+// generate, so an exact branch-and-bound over <= 64-vertex neighborhoods
+// (bitset recursion) is fast. Larger neighborhoods fall back to a greedy
+// lower bound paired with a greedy clique-cover upper bound; when the two
+// meet, the value is still certified exact (this covers cliques and clique
+// unions whose neighborhoods are huge but trivially coverable).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "graph/graph.hpp"
+
+namespace matchsparse {
+
+struct BetaOptions {
+  /// Neighborhoods larger than this are never solved exactly by
+  /// branch-and-bound (bitset recursion supports at most 64).
+  VertexId exact_limit = 64;
+  /// Branch-and-bound node budget per neighborhood; exceeding it demotes
+  /// the neighborhood's value to the greedy bound.
+  std::uint64_t node_budget = 1u << 20;
+  /// Neighborhoods larger than this skip the O(deg^2) clique-cover
+  /// certification as well and contribute only a greedy lower bound.
+  VertexId cover_limit = 4096;
+};
+
+struct BetaResult {
+  /// Computed neighborhood independence number (a lower bound if
+  /// `exact` is false).
+  VertexId value = 0;
+  /// True iff every neighborhood's contribution was certified.
+  bool exact = true;
+  /// A vertex whose neighborhood attains `value`.
+  VertexId witness = kNoVertex;
+};
+
+/// Computes (or lower-bounds) β(G). Exact on all graphs whose neighborhoods
+/// either have <= opt.exact_limit vertices or admit a tight greedy clique
+/// cover.
+BetaResult neighborhood_independence(const Graph& g, BetaOptions opt = {});
+
+/// Exact maximum independent set size of a graph with <= 64 vertices via
+/// branch and bound. Returns kNoVertex if the node budget is exhausted.
+VertexId max_independent_set_size_small(const Graph& g,
+                                        std::uint64_t node_budget = 1u << 20);
+
+/// Greedy independent set (ascending-degree order) inside the subgraph of g
+/// induced by `vertices`; returns its size (a lower bound on the maximum).
+VertexId greedy_independent_set_size(const Graph& g,
+                                     std::span<const VertexId> vertices);
+
+}  // namespace matchsparse

@@ -1,0 +1,88 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+
+namespace matchsparse {
+
+void normalize_edge_list(EdgeList& edges) {
+  for (Edge& e : edges) e = e.normalized();
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+  edges.erase(std::remove_if(edges.begin(), edges.end(),
+                             [](const Edge& e) { return e.u == e.v; }),
+              edges.end());
+}
+
+Graph Graph::from_edges(VertexId n, const EdgeList& edges) {
+  Graph g;
+  g.offsets_.assign(static_cast<std::size_t>(n) + 1, 0);
+  g.num_edges_ = edges.size();
+
+  for (const Edge& e : edges) {
+    MS_CHECK_MSG(e.u < n && e.v < n, "edge endpoint out of range");
+    MS_CHECK_MSG(e.u != e.v, "self-loop in edge list");
+    ++g.offsets_[e.u + 1];
+    ++g.offsets_[e.v + 1];
+  }
+  for (VertexId v = 0; v < n; ++v) g.offsets_[v + 1] += g.offsets_[v];
+
+  g.adjacency_.resize(2 * edges.size());
+  std::vector<EdgeIndex> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  for (const Edge& e : edges) {
+    g.adjacency_[cursor[e.u]++] = e.v;
+    g.adjacency_[cursor[e.v]++] = e.u;
+  }
+
+  for (VertexId v = 0; v < n; ++v) {
+    auto begin = g.adjacency_.begin() + static_cast<std::ptrdiff_t>(g.offsets_[v]);
+    auto end = g.adjacency_.begin() + static_cast<std::ptrdiff_t>(g.offsets_[v + 1]);
+    std::sort(begin, end);
+    MS_CHECK_MSG(std::adjacent_find(begin, end) == end,
+                 "duplicate edge in edge list");
+    const auto deg = static_cast<VertexId>(end - begin);
+    g.max_degree_ = std::max(g.max_degree_, deg);
+    if (deg > 0) ++g.non_isolated_;
+  }
+  return g;
+}
+
+bool Graph::has_edge(VertexId u, VertexId v) const {
+  MS_DCHECK(u < num_vertices() && v < num_vertices());
+  if (degree(u) > degree(v)) std::swap(u, v);
+  const auto nbrs = neighbors(u);
+  return std::binary_search(nbrs.begin(), nbrs.end(), v);
+}
+
+EdgeList Graph::edge_list() const {
+  EdgeList edges;
+  edges.reserve(num_edges_);
+  for (VertexId u = 0; u < num_vertices(); ++u) {
+    for (VertexId v : neighbors(u)) {
+      if (u < v) edges.emplace_back(u, v);
+    }
+  }
+  return edges;
+}
+
+Graph induced_subgraph(const Graph& g, std::span<const VertexId> vertices) {
+  // Map original ids to local ids; kNoVertex marks "not in the subgraph".
+  std::vector<VertexId> local(g.num_vertices(), kNoVertex);
+  for (std::size_t i = 0; i < vertices.size(); ++i) {
+    MS_CHECK_MSG(local[vertices[i]] == kNoVertex,
+                 "duplicate vertex in induced_subgraph");
+    local[vertices[i]] = static_cast<VertexId>(i);
+  }
+  EdgeList edges;
+  for (std::size_t i = 0; i < vertices.size(); ++i) {
+    const VertexId u = vertices[i];
+    for (VertexId w : g.neighbors(u)) {
+      const VertexId lw = local[w];
+      if (lw != kNoVertex && lw > i) {
+        edges.emplace_back(static_cast<VertexId>(i), lw);
+      }
+    }
+  }
+  return Graph::from_edges(static_cast<VertexId>(vertices.size()), edges);
+}
+
+}  // namespace matchsparse

@@ -1,0 +1,66 @@
+#include "graph/io.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <memory>
+
+namespace matchsparse {
+
+namespace {
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+}  // namespace
+
+void save_edge_list(const Graph& g, const std::string& path) {
+  FilePtr file(std::fopen(path.c_str(), "w"));
+  MS_CHECK_MSG(file != nullptr, "save_edge_list: cannot open file");
+  std::fprintf(file.get(), "%u %" PRIu64 "\n", g.num_vertices(),
+               g.num_edges());
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    for (VertexId v : g.neighbors(u)) {
+      if (u < v) std::fprintf(file.get(), "%u %u\n", u, v);
+    }
+  }
+  MS_CHECK_MSG(std::ferror(file.get()) == 0, "save_edge_list: write error");
+}
+
+Graph load_edge_list(const std::string& path) {
+  FilePtr file(std::fopen(path.c_str(), "r"));
+  MS_CHECK_MSG(file != nullptr, "load_edge_list: cannot open file");
+
+  char line[256];
+  auto next_line = [&]() -> bool {
+    while (std::fgets(line, sizeof(line), file.get()) != nullptr) {
+      if (line[0] != '#' && line[0] != '\n') return true;
+    }
+    return false;
+  };
+
+  MS_CHECK_MSG(next_line(), "load_edge_list: missing header");
+  std::uint64_t n = 0, m = 0;
+  MS_CHECK_MSG(std::sscanf(line, "%" SCNu64 " %" SCNu64, &n, &m) == 2,
+               "load_edge_list: bad header");
+
+  EdgeList edges;
+  edges.reserve(m);
+  for (std::uint64_t i = 0; i < m; ++i) {
+    MS_CHECK_MSG(next_line(), "load_edge_list: truncated edge list");
+    std::uint64_t u = 0, v = 0;
+    MS_CHECK_MSG(std::sscanf(line, "%" SCNu64 " %" SCNu64, &u, &v) == 2,
+                 "load_edge_list: bad edge line");
+    MS_CHECK_MSG(u < n && v < n, "load_edge_list: endpoint out of range");
+    edges.push_back(
+        Edge(static_cast<VertexId>(u), static_cast<VertexId>(v)).normalized());
+  }
+  std::sort(edges.begin(), edges.end());
+  return Graph::from_edges(static_cast<VertexId>(n), edges);
+}
+
+}  // namespace matchsparse

@@ -1,0 +1,22 @@
+// Plain-text graph persistence so example workloads and external
+// datasets can round-trip through the library.
+//
+// Format: first line "n m", then m lines "u v" (0-based endpoints).
+// Lines starting with '#' are comments and ignored.
+#pragma once
+
+#include <string>
+
+#include "graph/graph.hpp"
+
+namespace matchsparse {
+
+/// Writes g in the edge-list format described above. MS_CHECK-fails on
+/// I/O errors.
+void save_edge_list(const Graph& g, const std::string& path);
+
+/// Reads a graph written by save_edge_list (or hand-authored in the same
+/// format). Duplicate edges and self-loops are rejected.
+Graph load_edge_list(const std::string& path);
+
+}  // namespace matchsparse

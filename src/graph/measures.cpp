@@ -1,0 +1,102 @@
+#include "graph/measures.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace matchsparse {
+
+DegeneracyResult degeneracy_order(const Graph& g) {
+  const VertexId n = g.num_vertices();
+  DegeneracyResult result;
+  result.order.reserve(n);
+  if (n == 0) return result;
+
+  // Bucketed min-degree peeling (Matula–Beck).
+  std::vector<VertexId> deg(n);
+  VertexId max_deg = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    deg[v] = g.degree(v);
+    max_deg = std::max(max_deg, deg[v]);
+  }
+  // bucket_start/pos/vert implement an array-of-buckets keyed by degree.
+  std::vector<VertexId> bucket_count(static_cast<std::size_t>(max_deg) + 2, 0);
+  for (VertexId v = 0; v < n; ++v) ++bucket_count[deg[v]];
+  std::vector<VertexId> bucket_start(static_cast<std::size_t>(max_deg) + 2, 0);
+  for (VertexId d = 0; d <= max_deg; ++d)
+    bucket_start[d + 1] = bucket_start[d] + bucket_count[d];
+  std::vector<VertexId> vert(n), pos(n);
+  {
+    std::vector<VertexId> cursor(bucket_start.begin(), bucket_start.end() - 1);
+    for (VertexId v = 0; v < n; ++v) {
+      pos[v] = cursor[deg[v]]++;
+      vert[pos[v]] = v;
+    }
+  }
+
+  std::vector<bool> removed(n, false);
+  for (VertexId step = 0; step < n; ++step) {
+    const VertexId v = vert[step];
+    result.degeneracy = std::max(result.degeneracy, deg[v]);
+    result.order.push_back(v);
+    removed[v] = true;
+    for (VertexId w : g.neighbors(v)) {
+      if (removed[w] || deg[w] <= deg[v]) continue;
+      // Move w one bucket down: swap it with the first vertex of its bucket
+      // (that is still at index >= step+1) and shift the bucket boundary.
+      const VertexId dw = deg[w];
+      const VertexId first_pos = std::max(bucket_start[dw], step + 1);
+      const VertexId first_vert = vert[first_pos];
+      if (first_vert != w) {
+        std::swap(vert[pos[w]], vert[first_pos]);
+        std::swap(pos[w], pos[first_vert]);
+      }
+      bucket_start[dw] = first_pos + 1;
+      --deg[w];
+    }
+  }
+  return result;
+}
+
+ArboricityEstimate estimate_arboricity(const Graph& g) {
+  ArboricityEstimate est;
+  const VertexId n = g.num_vertices();
+  if (n < 2 || g.num_edges() == 0) return est;
+
+  const DegeneracyResult peel = degeneracy_order(g);
+  est.upper = static_cast<double>(peel.degeneracy);
+
+  // Walk the peeling order backwards; the suffix starting at position i is
+  // the subgraph remaining when vertex order[i] was peeled. Track how many
+  // edges live entirely inside each suffix.
+  std::vector<VertexId> when(n);
+  for (VertexId i = 0; i < n; ++i) when[peel.order[i]] = i;
+  // edges_inside[i] = number of edges with both endpoints peeled at >= i.
+  std::vector<EdgeIndex> later_edges(n, 0);
+  for (VertexId u = 0; u < n; ++u) {
+    for (VertexId v : g.neighbors(u)) {
+      if (u < v) ++later_edges[std::min(when[u], when[v])];
+    }
+  }
+  EdgeIndex suffix_edges = 0;
+  for (VertexId i = n; i-- > 0;) {
+    suffix_edges += later_edges[i];
+    const VertexId suffix_size = n - i;
+    if (suffix_size >= 2 && suffix_edges > 0) {
+      const double density = static_cast<double>(suffix_edges) /
+                             static_cast<double>(suffix_size - 1);
+      est.lower = std::max(est.lower, std::ceil(density));
+    }
+  }
+  return est;
+}
+
+bool is_independent_set(const Graph& g, std::span<const VertexId> vertices) {
+  for (std::size_t i = 0; i < vertices.size(); ++i) {
+    for (std::size_t j = i + 1; j < vertices.size(); ++j) {
+      if (g.has_edge(vertices[i], vertices[j])) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace matchsparse

@@ -1,0 +1,42 @@
+// Structural measures: degeneracy ordering and arboricity estimates.
+//
+// Observation 2.12 of the paper bounds the arboricity of the sparsifier by
+// 2Δ. Exact arboricity (Nash-Williams) needs matroid union; instead we
+// bracket it:
+//   density lower bound:  max over peeling suffixes U of ceil(|E(U)|/(|U|-1))
+//                         <= arboricity                 (Nash-Williams)
+//   degeneracy upper bound: arboricity <= degeneracy(G)
+// Both are O(m) via bucketed minimum-degree peeling, and the bracket is
+// tight enough to verify the 2Δ bound experimentally.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace matchsparse {
+
+struct DegeneracyResult {
+  /// The degeneracy d: every subgraph has a vertex of degree <= d.
+  VertexId degeneracy = 0;
+  /// Peeling order (repeatedly remove a minimum-degree vertex).
+  std::vector<VertexId> order;
+};
+
+/// Minimum-degree peeling in O(n + m) with bucket queues.
+DegeneracyResult degeneracy_order(const Graph& g);
+
+struct ArboricityEstimate {
+  /// Nash-Williams density lower bound over peeling suffixes.
+  double lower = 0.0;
+  /// Degeneracy upper bound.
+  double upper = 0.0;
+};
+
+/// Brackets the arboricity of g: estimate.lower <= alpha(g) <= estimate.upper.
+ArboricityEstimate estimate_arboricity(const Graph& g);
+
+/// True iff `vertices` is an independent set in g.
+bool is_independent_set(const Graph& g, std::span<const VertexId> vertices);
+
+}  // namespace matchsparse

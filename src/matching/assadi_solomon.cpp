@@ -1,0 +1,67 @@
+#include "matching/assadi_solomon.hpp"
+
+#include <cmath>
+
+namespace matchsparse {
+
+AssadiSolomonResult assadi_solomon_maximal(const Graph& g, Rng& rng,
+                                           AssadiSolomonOptions opt) {
+  const VertexId n = g.num_vertices();
+  AssadiSolomonResult result{Matching(n), 0, 0, 0};
+  ProbeMeter meter;
+
+  std::size_t max_rounds = opt.max_rounds;
+  if (max_rounds == 0) {
+    const double lg = n > 1 ? std::log2(static_cast<double>(n)) : 1.0;
+    max_rounds = static_cast<std::size_t>(4.0 * std::ceil(lg)) + 4;
+  }
+  const auto samples = static_cast<VertexId>(std::max(
+      1.0, opt.sample_factor * static_cast<double>(opt.beta)));
+
+  Matching& m = result.matching;
+  std::size_t stale_rounds = 0;
+  for (std::size_t round = 0; round < max_rounds; ++round) {
+    ++result.rounds;
+    bool matched_any = false;
+    for (VertexId v = 0; v < n; ++v) {
+      if (m.is_matched(v)) continue;
+      const VertexId deg = g.degree(v, &meter);
+      if (deg == 0) continue;
+      const VertexId tries = std::min<VertexId>(samples, deg);
+      for (VertexId t = 0; t < tries && !m.is_matched(v); ++t) {
+        const auto i = static_cast<VertexId>(rng.below(deg));
+        const VertexId w = g.neighbor(v, i, &meter);
+        if (!m.is_matched(w)) {
+          m.match(v, w);
+          matched_any = true;
+        }
+      }
+    }
+    if (matched_any) {
+      stale_rounds = 0;
+    } else if (++stale_rounds >= opt.patience) {
+      break;
+    }
+  }
+
+  if (opt.repair) {
+    const std::uint64_t before = meter.probes();
+    for (VertexId v = 0; v < n; ++v) {
+      if (m.is_matched(v)) continue;
+      const VertexId deg = g.degree(v, &meter);
+      for (VertexId i = 0; i < deg; ++i) {
+        const VertexId w = g.neighbor(v, i, &meter);
+        if (!m.is_matched(w)) {
+          m.match(v, w);
+          break;
+        }
+      }
+    }
+    result.repair_probes = meter.probes() - before;
+  }
+
+  result.probes = meter.probes();
+  return result;
+}
+
+}  // namespace matchsparse

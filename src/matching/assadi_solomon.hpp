@@ -1,0 +1,41 @@
+// Sampling-based maximal matching à la Assadi–Solomon (ICALP'19) — the
+// O(n·β·log n) sublinear-time baseline that the paper's Theorem 3.1
+// improves upon. Reimplemented in spirit from the description in the
+// SPAA'20 paper: O(log n) rounds in which every free vertex probes O(β)
+// random adjacency-array positions and greedily matches to any free
+// neighbor it discovers, followed by a maximality repair sweep that scans
+// the adjacency of the few remaining free vertices. All adjacency accesses
+// go through a ProbeMeter so the probe complexity is directly measurable.
+#pragma once
+
+#include <cstddef>
+
+#include "matching/matching.hpp"
+#include "util/rng.hpp"
+
+namespace matchsparse {
+
+struct AssadiSolomonOptions {
+  /// Neighborhood independence bound of the input; the per-round sample
+  /// count is sample_factor * beta.
+  VertexId beta = 2;
+  double sample_factor = 4.0;
+  /// Round budget; 0 means 4*ceil(log2(n)) + 4.
+  std::size_t max_rounds = 0;
+  /// Stop early after this many consecutive rounds without a new match.
+  std::size_t patience = 3;
+  /// Run the final full-scan repair pass that certifies maximality.
+  bool repair = true;
+};
+
+struct AssadiSolomonResult {
+  Matching matching;
+  std::uint64_t probes = 0;       // total adjacency-array accesses
+  std::size_t rounds = 0;         // sampling rounds executed
+  std::uint64_t repair_probes = 0;  // probes spent in the repair pass
+};
+
+AssadiSolomonResult assadi_solomon_maximal(const Graph& g, Rng& rng,
+                                           AssadiSolomonOptions opt = {});
+
+}  // namespace matchsparse

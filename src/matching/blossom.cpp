@@ -1,0 +1,169 @@
+#include "matching/blossom.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "matching/greedy.hpp"
+
+namespace matchsparse {
+
+namespace {
+
+/// Classic Edmonds blossom search. One findPath() call grows an alternating
+/// BFS tree from a free root, contracting blossoms on the fly via the
+/// base[] array, and returns the free endpoint of an augmenting path (or
+/// kNoVertex). Augmenting along parent pointers flips the path.
+class BlossomSolver {
+ public:
+  explicit BlossomSolver(const Graph& g)
+      : g_(g),
+        n_(g.num_vertices()),
+        match_(n_, kNoVertex),
+        parent_(n_, kNoVertex),
+        base_(n_),
+        used_(n_, false),
+        blossom_(n_, false) {}
+
+  void seed(const Matching& init) {
+    for (VertexId v = 0; v < n_; ++v) match_[v] = init.mate(v);
+  }
+
+  Matching solve() {
+    for (VertexId root = 0; root < n_; ++root) {
+      if (match_[root] != kNoVertex) continue;
+      const VertexId leaf = find_path(root);
+      if (leaf != kNoVertex) augment(leaf);
+    }
+    Matching result(n_);
+    for (VertexId v = 0; v < n_; ++v) {
+      if (match_[v] != kNoVertex && v < match_[v]) {
+        result.match(v, match_[v]);
+      }
+    }
+    return result;
+  }
+
+ private:
+  VertexId lowest_common_base(VertexId a, VertexId b) {
+    std::vector<bool> seen(n_, false);
+    VertexId cur = a;
+    for (;;) {
+      cur = base_[cur];
+      seen[cur] = true;
+      if (match_[cur] == kNoVertex) break;  // reached the root
+      cur = parent_[match_[cur]];
+    }
+    cur = b;
+    for (;;) {
+      cur = base_[cur];
+      if (seen[cur]) return cur;
+      cur = parent_[match_[cur]];
+    }
+  }
+
+  void mark_path(VertexId v, VertexId stop_base, VertexId child) {
+    while (base_[v] != stop_base) {
+      blossom_[base_[v]] = true;
+      blossom_[base_[match_[v]]] = true;
+      parent_[v] = child;
+      child = match_[v];
+      v = parent_[match_[v]];
+    }
+  }
+
+  VertexId find_path(VertexId root) {
+    std::fill(used_.begin(), used_.end(), false);
+    std::fill(parent_.begin(), parent_.end(), kNoVertex);
+    for (VertexId v = 0; v < n_; ++v) base_[v] = v;
+
+    used_[root] = true;
+    std::queue<VertexId> queue;
+    queue.push(root);
+    while (!queue.empty()) {
+      const VertexId v = queue.front();
+      queue.pop();
+      for (VertexId to : g_.neighbors(v)) {
+        if (base_[v] == base_[to] || match_[v] == to) continue;
+        if (to == root ||
+            (match_[to] != kNoVertex && parent_[match_[to]] != kNoVertex)) {
+          // (v, to) closes an odd cycle: contract the blossom.
+          const VertexId cur_base = lowest_common_base(v, to);
+          std::fill(blossom_.begin(), blossom_.end(), false);
+          mark_path(v, cur_base, to);
+          mark_path(to, cur_base, v);
+          for (VertexId i = 0; i < n_; ++i) {
+            if (blossom_[base_[i]]) {
+              base_[i] = cur_base;
+              if (!used_[i]) {
+                used_[i] = true;
+                queue.push(i);
+              }
+            }
+          }
+        } else if (parent_[to] == kNoVertex) {
+          parent_[to] = v;
+          if (match_[to] == kNoVertex) return to;  // augmenting path found
+          used_[match_[to]] = true;
+          queue.push(match_[to]);
+        }
+      }
+    }
+    return kNoVertex;
+  }
+
+  void augment(VertexId leaf) {
+    VertexId v = leaf;
+    while (v != kNoVertex) {
+      const VertexId pv = parent_[v];
+      const VertexId next = match_[pv];
+      match_[v] = pv;
+      match_[pv] = v;
+      v = next;
+    }
+  }
+
+  const Graph& g_;
+  VertexId n_;
+  std::vector<VertexId> match_, parent_, base_;
+  std::vector<bool> used_;
+  std::vector<bool> blossom_;
+};
+
+VertexId brute(const Graph& g, VertexId v, std::vector<bool>& taken) {
+  const VertexId n = g.num_vertices();
+  while (v < n && taken[v]) ++v;
+  if (v >= n) return 0;
+  // Option 1: leave v unmatched.
+  taken[v] = true;
+  VertexId best = brute(g, v + 1, taken);
+  // Option 2: match v with a free neighbor.
+  for (VertexId w : g.neighbors(v)) {
+    if (taken[w]) continue;
+    taken[w] = true;
+    best = std::max<VertexId>(best, 1 + brute(g, v + 1, taken));
+    taken[w] = false;
+  }
+  taken[v] = false;
+  return best;
+}
+
+}  // namespace
+
+Matching blossom_mcm(const Graph& g) {
+  return blossom_mcm(g, greedy_maximal_matching(g));
+}
+
+Matching blossom_mcm(const Graph& g, Matching init) {
+  MS_CHECK_MSG(init.is_valid(g), "blossom_mcm: invalid initial matching");
+  BlossomSolver solver(g);
+  solver.seed(init);
+  return solver.solve();
+}
+
+VertexId mcm_size_brute_force(const Graph& g) {
+  MS_CHECK_MSG(g.num_vertices() <= 20, "brute force limited to 20 vertices");
+  std::vector<bool> taken(g.num_vertices(), false);
+  return brute(g, 0, taken);
+}
+
+}  // namespace matchsparse

@@ -1,0 +1,22 @@
+// Exact maximum cardinality matching in general graphs — Edmonds' blossom
+// algorithm (O(n·m) with the classic base[]/contraction BFS). This is the
+// repository's ground truth: every approximate matcher and the sparsifier
+// quality experiments are validated against it.
+#pragma once
+
+#include "matching/matching.hpp"
+
+namespace matchsparse {
+
+/// Exact MCM starting from the empty matching (a greedy maximal matching is
+/// used internally to halve the number of augmentation phases).
+Matching blossom_mcm(const Graph& g);
+
+/// Exact MCM grown from an initial matching (must be valid for g).
+Matching blossom_mcm(const Graph& g, Matching init);
+
+/// Exhaustive-search MCM size for tiny graphs (used to validate blossom in
+/// tests). Exponential time; intended for n <= ~14.
+VertexId mcm_size_brute_force(const Graph& g);
+
+}  // namespace matchsparse

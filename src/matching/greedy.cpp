@@ -1,0 +1,46 @@
+#include "matching/greedy.hpp"
+
+#include <numeric>
+
+namespace matchsparse {
+
+Matching greedy_maximal_matching(const Graph& g) {
+  Matching m(g.num_vertices());
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    if (m.is_matched(u)) continue;
+    for (VertexId v : g.neighbors(u)) {
+      if (!m.is_matched(v)) {
+        m.match(u, v);
+        break;
+      }
+    }
+  }
+  return m;
+}
+
+Matching greedy_maximal_matching(const Graph& g, Rng& rng) {
+  std::vector<VertexId> order(g.num_vertices());
+  std::iota(order.begin(), order.end(), 0);
+  rng.shuffle(std::span<VertexId>(order));
+  Matching m(g.num_vertices());
+  for (VertexId u : order) {
+    if (m.is_matched(u)) continue;
+    for (VertexId v : g.neighbors(u)) {
+      if (!m.is_matched(v)) {
+        m.match(u, v);
+        break;
+      }
+    }
+  }
+  return m;
+}
+
+Matching greedy_on_edge_list(VertexId n, const EdgeList& edges) {
+  Matching m(n);
+  for (const Edge& e : edges) {
+    if (!m.is_matched(e.u) && !m.is_matched(e.v)) m.match(e.u, e.v);
+  }
+  return m;
+}
+
+}  // namespace matchsparse

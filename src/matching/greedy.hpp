@@ -1,0 +1,24 @@
+// Greedy maximal matching — the O(m) 2-approximation baseline the paper's
+// introduction contrasts against, and the initialisation step for the
+// augmenting-path matchers.
+#pragma once
+
+#include "matching/matching.hpp"
+#include "util/rng.hpp"
+
+namespace matchsparse {
+
+/// Scans edges in CSR order and adds every edge whose endpoints are both
+/// free. O(n + m). The result is maximal, hence a 2-approximate MCM.
+Matching greedy_maximal_matching(const Graph& g);
+
+/// Same, but scans vertices in a random order (useful to decorrelate the
+/// greedy baseline from adversarially ordered inputs). O(n + m).
+Matching greedy_maximal_matching(const Graph& g, Rng& rng);
+
+/// Greedy maximal matching over an explicit edge list (in the given
+/// order) on n vertices. Used on sparsifier edge lists before they are
+/// materialised as graphs.
+Matching greedy_on_edge_list(VertexId n, const EdgeList& edges);
+
+}  // namespace matchsparse

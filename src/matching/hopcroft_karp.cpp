@@ -1,0 +1,126 @@
+#include "matching/hopcroft_karp.hpp"
+
+#include <cmath>
+#include <limits>
+#include <queue>
+
+namespace matchsparse {
+
+Bipartition two_color(const Graph& g) {
+  Bipartition result;
+  result.side.assign(g.num_vertices(), 2);  // 2 = uncolored
+  std::queue<VertexId> queue;
+  for (VertexId s = 0; s < g.num_vertices(); ++s) {
+    if (result.side[s] != 2) continue;
+    result.side[s] = 0;
+    queue.push(s);
+    while (!queue.empty()) {
+      const VertexId v = queue.front();
+      queue.pop();
+      for (VertexId w : g.neighbors(v)) {
+        if (result.side[w] == 2) {
+          result.side[w] = static_cast<std::uint8_t>(1 - result.side[v]);
+          queue.push(w);
+        } else if (result.side[w] == result.side[v]) {
+          result.bipartite = false;
+          return result;
+        }
+      }
+    }
+  }
+  result.bipartite = true;
+  return result;
+}
+
+int hk_phases_for_eps(double eps) {
+  MS_CHECK(eps > 0.0);
+  return static_cast<int>(std::ceil(1.0 / eps));
+}
+
+namespace {
+
+constexpr VertexId kInf = std::numeric_limits<VertexId>::max();
+
+class HopcroftKarp {
+ public:
+  HopcroftKarp(const Graph& g, std::vector<std::uint8_t> side)
+      : g_(g),
+        n_(g.num_vertices()),
+        side_(std::move(side)),
+        mate_(n_, kNoVertex),
+        dist_(n_, kInf) {}
+
+  Matching run(int max_phases) {
+    int phases = 0;
+    while (max_phases < 0 || phases < max_phases) {
+      if (!bfs()) break;
+      for (VertexId v = 0; v < n_; ++v) {
+        if (side_[v] == 0 && mate_[v] == kNoVertex) dfs(v);
+      }
+      ++phases;
+    }
+    Matching result(n_);
+    for (VertexId v = 0; v < n_; ++v) {
+      if (mate_[v] != kNoVertex && v < mate_[v]) result.match(v, mate_[v]);
+    }
+    return result;
+  }
+
+ private:
+  /// Layers left vertices by shortest alternating distance from a free
+  /// left vertex; returns true iff some free right vertex is reachable.
+  bool bfs() {
+    std::queue<VertexId> queue;
+    std::fill(dist_.begin(), dist_.end(), kInf);
+    for (VertexId v = 0; v < n_; ++v) {
+      if (side_[v] == 0 && mate_[v] == kNoVertex) {
+        dist_[v] = 0;
+        queue.push(v);
+      }
+    }
+    bool found = false;
+    while (!queue.empty()) {
+      const VertexId v = queue.front();
+      queue.pop();
+      for (VertexId w : g_.neighbors(v)) {
+        if (mate_[w] == kNoVertex) {
+          found = true;  // free right vertex reachable
+        } else if (dist_[mate_[w]] == kInf) {
+          dist_[mate_[w]] = dist_[v] + 1;
+          queue.push(mate_[w]);
+        }
+      }
+    }
+    return found;
+  }
+
+  bool dfs(VertexId v) {
+    for (VertexId w : g_.neighbors(v)) {
+      const VertexId next = mate_[w];
+      if (next == kNoVertex ||
+          (dist_[next] == dist_[v] + 1 && dfs(next))) {
+        mate_[v] = w;
+        mate_[w] = v;
+        return true;
+      }
+    }
+    dist_[v] = kInf;  // dead end: prune this layer entry
+    return false;
+  }
+
+  const Graph& g_;
+  VertexId n_;
+  std::vector<std::uint8_t> side_;
+  std::vector<VertexId> mate_;
+  std::vector<VertexId> dist_;
+};
+
+}  // namespace
+
+Matching hopcroft_karp(const Graph& g, int max_phases) {
+  Bipartition bp = two_color(g);
+  MS_CHECK_MSG(bp.bipartite, "hopcroft_karp requires a bipartite graph");
+  return HopcroftKarp(g, std::move(bp.side)).run(max_phases);
+}
+
+}  // namespace matchsparse

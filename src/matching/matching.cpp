@@ -1,0 +1,50 @@
+#include "matching/matching.hpp"
+
+namespace matchsparse {
+
+void Matching::rebuild_size() {
+  VertexId count = 0;
+  for (VertexId v = 0; v < num_vertices(); ++v) {
+    const VertexId w = mate_[v];
+    if (w != kNoVertex) {
+      MS_CHECK_MSG(w < num_vertices() && mate_[w] == v,
+                   "asymmetric mate array");
+      ++count;
+    }
+  }
+  MS_CHECK(count % 2 == 0);
+  size_ = count / 2;
+}
+
+EdgeList Matching::edges() const {
+  EdgeList out;
+  out.reserve(size_);
+  for (VertexId v = 0; v < num_vertices(); ++v) {
+    if (mate_[v] != kNoVertex && v < mate_[v]) out.emplace_back(v, mate_[v]);
+  }
+  return out;
+}
+
+bool Matching::is_valid(const Graph& g) const {
+  if (num_vertices() != g.num_vertices()) return false;
+  for (VertexId v = 0; v < num_vertices(); ++v) {
+    const VertexId w = mate_[v];
+    if (w == kNoVertex) continue;
+    if (w >= num_vertices() || mate_[w] != v || w == v) return false;
+    if (v < w && !g.has_edge(v, w)) return false;
+  }
+  return true;
+}
+
+bool Matching::is_maximal(const Graph& g) const {
+  if (!is_valid(g)) return false;
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    if (is_matched(u)) continue;
+    for (VertexId v : g.neighbors(u)) {
+      if (!is_matched(v)) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace matchsparse

@@ -1,0 +1,77 @@
+// The Matching value type shared by every matcher, plus validators.
+#pragma once
+
+#include <vector>
+
+#include "graph/edge.hpp"
+#include "graph/graph.hpp"
+#include "util/common.hpp"
+
+namespace matchsparse {
+
+/// A matching over vertices [0, n): a set of edges no two of which share an
+/// endpoint, stored as a mate array for O(1) queries and O(1) updates.
+class Matching {
+ public:
+  Matching() = default;
+  explicit Matching(VertexId n) : mate_(n, kNoVertex) {}
+
+  VertexId num_vertices() const { return static_cast<VertexId>(mate_.size()); }
+
+  /// Number of matched edges.
+  VertexId size() const { return size_; }
+
+  bool is_matched(VertexId v) const {
+    MS_DCHECK(v < num_vertices());
+    return mate_[v] != kNoVertex;
+  }
+
+  /// Mate of v, or kNoVertex if v is free.
+  VertexId mate(VertexId v) const {
+    MS_DCHECK(v < num_vertices());
+    return mate_[v];
+  }
+
+  /// Adds edge (u, v); both endpoints must currently be free.
+  void match(VertexId u, VertexId v) {
+    MS_DCHECK(u != v);
+    MS_DCHECK(!is_matched(u) && !is_matched(v));
+    mate_[u] = v;
+    mate_[v] = u;
+    ++size_;
+  }
+
+  /// Removes the matched edge incident on v (v must be matched).
+  void unmatch(VertexId v) {
+    MS_DCHECK(is_matched(v));
+    const VertexId w = mate_[v];
+    mate_[v] = kNoVertex;
+    mate_[w] = kNoVertex;
+    --size_;
+  }
+
+  /// Replaces v's matched edge unconditionally — used by augmenting-path
+  /// flips where intermediate states are inconsistent. Callers must restore
+  /// consistency before the matching escapes; rehash() recomputes size.
+  void set_mate_unchecked(VertexId v, VertexId w) { mate_[v] = w; }
+
+  /// Recomputes size_ after raw set_mate_unchecked surgery and checks the
+  /// mate array is symmetric.
+  void rebuild_size();
+
+  /// The matched edges in canonical (u < v) order.
+  EdgeList edges() const;
+
+  /// Every matched pair (u, v) is an actual edge of g and the mate array is
+  /// symmetric.
+  bool is_valid(const Graph& g) const;
+
+  /// Valid and no edge of g has both endpoints free.
+  bool is_maximal(const Graph& g) const;
+
+ private:
+  std::vector<VertexId> mate_;
+  VertexId size_ = 0;
+};
+
+}  // namespace matchsparse

@@ -1,0 +1,67 @@
+#include "matching/verify.hpp"
+
+#include <limits>
+
+namespace matchsparse {
+
+namespace {
+
+/// DFS over simple alternating paths. `v` is the current endpoint,
+/// reached by an edge of type `need_matched` == the type of the NEXT
+/// edge required.
+bool dfs(const Graph& g, const Matching& m, VertexId v, bool need_matched,
+         VertexId remaining, std::vector<bool>& on_path) {
+  if (remaining == 0) return false;
+  if (need_matched) {
+    const VertexId w = m.mate(v);
+    if (w == kNoVertex || on_path[w]) return false;
+    on_path[w] = true;
+    const bool found = dfs(g, m, w, false, remaining - 1, on_path);
+    on_path[w] = false;
+    return found;
+  }
+  for (VertexId w : g.neighbors(v)) {
+    if (on_path[w] || m.mate(v) == w) continue;
+    if (!m.is_matched(w)) return true;  // free endpoint: augmenting path
+    on_path[w] = true;
+    if (dfs(g, m, w, true, remaining - 1, on_path)) {
+      on_path[w] = false;
+      return true;
+    }
+    on_path[w] = false;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool has_augmenting_path_within(const Graph& g, const Matching& m,
+                                VertexId max_edges) {
+  MS_CHECK_MSG(m.is_valid(g), "verify: invalid matching");
+  if (max_edges == 0) return false;
+  std::vector<bool> on_path(g.num_vertices(), false);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (m.is_matched(v) || g.degree(v) == 0) continue;
+    on_path[v] = true;
+    const bool found = dfs(g, m, v, false, max_edges, on_path);
+    on_path[v] = false;
+    if (found) return true;
+  }
+  return false;
+}
+
+double certified_approximation_factor(const Graph& g, const Matching& m,
+                                      VertexId max_k) {
+  MS_CHECK(max_k >= 1);
+  for (VertexId k = 1; k <= max_k; ++k) {
+    if (has_augmenting_path_within(g, m, 2 * k - 1)) {
+      // A length-(2k-1) path exists, so only the (k-1)-certificate holds;
+      // k == 1 means the matching is not even maximal — no certificate.
+      return k == 1 ? std::numeric_limits<double>::infinity()
+                    : 1.0 + 1.0 / static_cast<double>(k - 1);
+    }
+  }
+  return 1.0 + 1.0 / static_cast<double>(max_k);
+}
+
+}  // namespace matchsparse

@@ -1,0 +1,28 @@
+// Independent verification utilities for matcher guarantees.
+//
+// The (1+1/k) approximation of the bounded-length matchers rests on the
+// folklore lemma "no augmenting path of <= 2k-1 edges ⇒ k/(k+1)-optimal".
+// has_augmenting_path_within() checks the premise by exhaustive
+// alternating-path DFS — a deliberately separate code path from the
+// blossom machinery, so tests can validate the solvers against it.
+// Exponential in the worst case; intended for verification-sized graphs.
+#pragma once
+
+#include "matching/matching.hpp"
+
+namespace matchsparse {
+
+/// True iff g has an augmenting path for m with at most `max_edges`
+/// edges. Exhaustive simple-alternating-path search (use on small
+/// graphs; cost grows like deg^max_edges).
+bool has_augmenting_path_within(const Graph& g, const Matching& m,
+                                VertexId max_edges);
+
+/// Certified approximation bound from the augmenting-path lemma: the
+/// smallest (1 + 1/k) such that no augmenting path of <= 2k-1 edges
+/// exists, scanning k = 1..max_k. Returns 2.0 if even k = 1 fails
+/// (i.e. m is not maximal), and 1.0 + 1.0/max_k at best.
+double certified_approximation_factor(const Graph& g, const Matching& m,
+                                      VertexId max_k);
+
+}  // namespace matchsparse

@@ -1,0 +1,98 @@
+#include "sparsify/adversary_game.hpp"
+
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "matching/blossom.hpp"
+
+namespace matchsparse {
+
+GameResult play_lemma_2_13_game(VertexId n, VertexId delta,
+                                const DeterministicSparsifierAlgo& algo) {
+  MS_CHECK_MSG(delta >= 1 && 2 * delta < n,
+               "lemma 2.13 requires delta < n/2");
+  MS_CHECK_MSG(n % 2 == 0, "use even n so K_n has a perfect matching");
+
+  // D = {0, .., delta-1}; the lemma allows the algorithm to know D.
+  // Per-vertex answer bookkeeping: which vertices have already been used
+  // as answers for probes on v (answers must be distinct neighbors), and
+  // a per-position memo so repeated probes of the same slot are
+  // consistent.
+  std::vector<std::unordered_map<VertexId, VertexId>> memo(n);
+  std::vector<std::unordered_set<VertexId>> used(n);
+  std::vector<VertexId> probes(n, 0);
+
+  const ProbeFn probe = [&](VertexId v, VertexId i) -> VertexId {
+    MS_CHECK_MSG(v < n && i < n - 1, "probe out of range");
+    const auto it = memo[v].find(i);
+    if (it != memo[v].end()) return it->second;
+    MS_CHECK_MSG(probes[v] < delta,
+                 "probe budget exceeded (lemma allows delta per vertex)");
+    ++probes[v];
+    VertexId answer = kNoVertex;
+    if (v >= delta) {
+      // u outside D: answer with a fresh member of D.
+      for (VertexId d = 0; d < delta; ++d) {
+        if (!used[v].count(d)) {
+          answer = d;
+          break;
+        }
+      }
+    } else {
+      // u in D: any fresh vertex.
+      for (VertexId w = 0; w < n; ++w) {
+        if (w != v && !used[v].count(w)) {
+          answer = w;
+          break;
+        }
+      }
+    }
+    MS_CHECK_MSG(answer != kNoVertex, "adversary ran out of answers");
+    used[v].insert(answer);
+    memo[v].emplace(i, answer);
+    return answer;
+  };
+
+  const EdgeList output = algo(probe, n, delta);
+
+  GameResult result;
+  result.true_mcm = n / 2;
+
+  // Choose the non-edge: the first output edge with both endpoints
+  // outside D, else an arbitrary unseen outside pair.
+  Edge non_edge(delta, delta + 1);
+  for (const Edge& e : output) {
+    if (e.u >= delta && e.v >= delta) {
+      non_edge = e.normalized();
+      result.infeasible = true;
+      break;
+    }
+  }
+  result.non_edge = non_edge;
+
+  // Materialise the instance K_n - non_edge and evaluate the feasible
+  // part of the output on it.
+  EdgeList instance_edges;
+  instance_edges.reserve(static_cast<std::size_t>(n) * (n - 1) / 2 - 1);
+  for (VertexId u = 0; u < n; ++u) {
+    for (VertexId v = u + 1; v < n; ++v) {
+      if (Edge(u, v) == non_edge) continue;
+      instance_edges.emplace_back(u, v);
+    }
+  }
+  result.instance = Graph::from_edges(n, instance_edges);
+
+  EdgeList feasible = output;
+  normalize_edge_list(feasible);
+  std::erase(feasible, non_edge);
+  result.output_mcm =
+      blossom_mcm(Graph::from_edges(n, feasible)).size();
+  result.ratio = result.output_mcm == 0
+                     ? static_cast<double>(n)
+                     : static_cast<double>(result.true_mcm) /
+                           static_cast<double>(result.output_mcm);
+  return result;
+}
+
+}  // namespace matchsparse

@@ -1,0 +1,59 @@
+// The interactive lower-bound game from the proof of Lemma 2.13.
+//
+// An arbitrary *deterministic* sparsification algorithm probes entries of
+// the adjacency arrays of an n-vertex graph from the family
+// G_n = { K_n minus one edge } and outputs up to Δ marked edges per
+// vertex. The adversary answers probes adaptively: it fixes a set D of Δ
+// vertices up front, answers every probe on u ∉ D with a fresh vertex of
+// D, and every probe on u ∈ D with a fresh arbitrary vertex — so every
+// edge the algorithm ever *sees* touches D. Afterwards:
+//   • if the output contains an edge with both endpoints outside D, the
+//     adversary declares exactly that edge to be the missing one — the
+//     output is infeasible for a graph of the family consistent with
+//     every answer given;
+//   • otherwise every output edge touches D, the output's matching has
+//     size at most |D| = Δ, and the family graph has a perfect matching
+//     of size n/2 — approximation ratio at least n/(2Δ).
+// Either way the algorithm loses, for ANY deterministic strategy.
+#pragma once
+
+#include <functional>
+
+#include "graph/graph.hpp"
+
+namespace matchsparse {
+
+/// Probe interface handed to the algorithm under test: probe(v, i)
+/// returns the "i-th neighbor of v" under the adversary's answers.
+/// Probing more than Δ distinct entries per vertex is a contract
+/// violation (MS_CHECK), matching the lemma's query budget.
+using ProbeFn = std::function<VertexId(VertexId v, VertexId i)>;
+
+/// A deterministic algorithm under test: given the probe oracle, n and Δ,
+/// returns its sparsifier edge list (at most Δ marks per vertex).
+using DeterministicSparsifierAlgo =
+    std::function<EdgeList(const ProbeFn&, VertexId n, VertexId delta)>;
+
+struct GameResult {
+  /// The algorithm emitted an edge the adversary turned into the
+  /// non-edge: its output is not a subgraph of the final instance.
+  bool infeasible = false;
+  /// The missing edge of the chosen instance.
+  Edge non_edge;
+  /// MCM of the algorithm's (feasible part of the) output on the final
+  /// instance.
+  VertexId output_mcm = 0;
+  /// n/2 — the instance's true MCM.
+  VertexId true_mcm = 0;
+  /// Achieved approximation ratio (infinity-like large if output_mcm==0).
+  double ratio = 0.0;
+  /// The concrete instance, for independent re-checking.
+  Graph instance;
+};
+
+/// Plays the adversary against `algo` on n vertices with budget delta
+/// (requires delta < n/2 as in the lemma statement).
+GameResult play_lemma_2_13_game(VertexId n, VertexId delta,
+                                const DeterministicSparsifierAlgo& algo);
+
+}  // namespace matchsparse

@@ -1,0 +1,41 @@
+#include "sparsify/degree_sparsifier.hpp"
+
+#include <algorithm>
+
+namespace matchsparse {
+
+VertexId delta_alpha_for(double alpha, double eps, double scale) {
+  MS_CHECK(eps > 0.0 && eps < 1.0);
+  MS_CHECK(alpha >= 0.0);
+  return static_cast<VertexId>(
+      std::max(1.0, std::ceil(scale * alpha / eps)));
+}
+
+EdgeList degree_sparsifier_edges(const Graph& g, VertexId delta_alpha) {
+  MS_CHECK(delta_alpha >= 1);
+  // Collect one normalized record per directed mark; an edge marked by
+  // both endpoints appears exactly twice in the sorted list.
+  EdgeList marks;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const VertexId take = std::min(g.degree(v), delta_alpha);
+    for (VertexId i = 0; i < take; ++i) {
+      marks.push_back(Edge(v, g.neighbor(v, i)).normalized());
+    }
+  }
+  std::sort(marks.begin(), marks.end());
+  EdgeList kept;
+  for (std::size_t i = 0; i + 1 < marks.size(); ++i) {
+    if (marks[i] == marks[i + 1]) {
+      kept.push_back(marks[i]);
+      ++i;  // skip the twin
+    }
+  }
+  return kept;
+}
+
+Graph degree_sparsifier(const Graph& g, VertexId delta_alpha) {
+  return Graph::from_edges(g.num_vertices(),
+                           degree_sparsifier_edges(g, delta_alpha));
+}
+
+}  // namespace matchsparse

@@ -1,0 +1,31 @@
+// Solomon's ITCS'18 bounded-degree matching sparsifier for bounded-
+// arboricity graphs, used by the paper (Section 3.2) as the second stage
+// of the distributed pipeline: each vertex marks Δ_α = Θ(α/ε) arbitrary
+// incident edges, and the sparsifier keeps exactly the edges marked by
+// BOTH endpoints. The result is a (1+ε)-matching sparsifier of maximum
+// degree <= Δ_α whenever the input has arboricity <= α.
+//
+// Unlike G_Δ this construction is deterministic ("arbitrary" marks — we
+// take the first Δ_α adjacency positions) and the both-endpoints rule is
+// what caps the degree; the paper explains why neither property can be
+// transplanted to the bounded-β setting (Lemma 2.13).
+#pragma once
+
+#include <cmath>
+
+#include "graph/graph.hpp"
+
+namespace matchsparse {
+
+/// Mark budget for a (1+eps) guarantee on an arboricity-alpha input:
+/// ceil(scale * alpha / eps); Solomon's analysis hides a constant in the
+/// Θ(α/ε), exposed here as `scale`.
+VertexId delta_alpha_for(double alpha, double eps, double scale = 4.0);
+
+/// Builds the bounded-degree sparsifier. Max degree of the result is
+/// <= delta_alpha by construction. O(n·Δ_α + m) time.
+EdgeList degree_sparsifier_edges(const Graph& g, VertexId delta_alpha);
+
+Graph degree_sparsifier(const Graph& g, VertexId delta_alpha);
+
+}  // namespace matchsparse

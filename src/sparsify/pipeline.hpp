@@ -1,0 +1,31 @@
+// The composed two-stage sparsifier of Theorem 3.2: G → G_Δ (random,
+// arboricity <= 2Δ) → G̃_Δ (Solomon degree sparsifier on top, max degree
+// O(Δ/ε)). The composition multiplies the approximation factors, so both
+// stages are built with eps/3 to deliver an overall (1+eps) after the
+// paper's scaling argument.
+#pragma once
+
+#include "graph/graph.hpp"
+#include "sparsify/degree_sparsifier.hpp"
+#include "sparsify/sparsifier.hpp"
+#include "util/rng.hpp"
+
+namespace matchsparse {
+
+struct ComposedSparsifier {
+  Graph random_stage;   // G_Δ
+  Graph bounded_stage;  // G̃_Δ, max degree <= delta_alpha
+  VertexId delta = 0;
+  VertexId delta_alpha = 0;
+};
+
+/// Builds the composed sparsifier with practically scaled constants (see
+/// SparsifierParams::practical and delta_alpha_for). The bounded stage has
+/// max degree independent of n, which is what lets bounded-degree
+/// distributed matchers run on top.
+ComposedSparsifier composed_sparsifier(const Graph& g, VertexId beta,
+                                       double eps, Rng& rng,
+                                       double delta_scale = 2.0,
+                                       double alpha_scale = 4.0);
+
+}  // namespace matchsparse

@@ -1,0 +1,190 @@
+#include "sparsify/sparsifier.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <thread>
+
+#include "util/sparse_array.hpp"
+#include "util/thread_pool.hpp"
+#include "util/timer.hpp"
+
+namespace matchsparse {
+
+namespace {
+
+VertexId delta_from_formula(VertexId beta, double eps, double scale) {
+  MS_CHECK_MSG(eps > 0.0 && eps < 1.0, "need 0 < eps < 1");
+  MS_CHECK(beta >= 1);
+  const double value = scale * (static_cast<double>(beta) / eps) *
+                       std::log(24.0 / eps);
+  return static_cast<VertexId>(std::max(1.0, std::ceil(value)));
+}
+
+}  // namespace
+
+SparsifierParams SparsifierParams::theoretical(VertexId beta, double eps) {
+  return {delta_from_formula(beta, eps, 20.0)};
+}
+
+SparsifierParams SparsifierParams::practical(VertexId beta, double eps,
+                                             double scale) {
+  return {delta_from_formula(beta, eps, scale)};
+}
+
+EdgeList sparsify_edges(const Graph& g, VertexId delta, Rng& rng,
+                        ProbeMeter* meter) {
+  MS_CHECK(delta >= 1);
+  const VertexId n = g.num_vertices();
+  EdgeList marked;
+  marked.reserve(static_cast<std::size_t>(n) * std::min<VertexId>(delta, 16));
+
+  // One sparse position array reused across vertices: reset() is O(1), so
+  // per-vertex cost stays O(Δ) no matter how large the degrees are.
+  SparseArray<EdgeIndex> pos(g.max_degree());
+
+  for (VertexId v = 0; v < n; ++v) {
+    const VertexId deg = g.degree(v, meter);
+    if (deg == 0) continue;
+    if (deg <= 2 * delta) {
+      // Paper's tweak (Section 3.1): take the whole neighborhood.
+      for (VertexId i = 0; i < deg; ++i) {
+        marked.push_back(Edge(v, g.neighbor(v, i, meter)).normalized());
+      }
+      continue;
+    }
+    // Implicit Fisher–Yates from the back of the adjacency array, moving
+    // entries only inside pos_v (the adjacency array itself is read-only).
+    pos.reset();
+    for (VertexId t = 0; t < delta; ++t) {
+      const EdgeIndex limit = deg - t;  // live prefix length
+      const auto i = static_cast<EdgeIndex>(rng.below(limit));
+      const EdgeIndex j = limit - 1;
+      const EdgeIndex vi = pos.contains(i) ? pos.get(i) : i;
+      const EdgeIndex vj = pos.contains(j) ? pos.get(j) : j;
+      pos.set(i, vj);
+      pos.set(j, vi);
+      const VertexId w =
+          g.neighbor(v, static_cast<VertexId>(vi), meter);
+      marked.push_back(Edge(v, w).normalized());
+    }
+  }
+
+  normalize_edge_list(marked);  // both endpoints may mark the same edge
+  return marked;
+}
+
+Graph sparsify(const Graph& g, VertexId delta, Rng& rng,
+               SparsifierStats* stats) {
+  WallTimer timer;
+  ProbeMeter meter;
+  EdgeList edges = sparsify_edges(g, delta, rng, &meter);
+  if (stats != nullptr) {
+    stats->probes = meter.probes();
+    stats->edges = edges.size();
+    stats->build_seconds = timer.seconds();
+  }
+  return Graph::from_edges(g.num_vertices(), edges);
+}
+
+EdgeList sparsify_edges_parallel(const Graph& g, VertexId delta,
+                                 std::uint64_t seed, std::size_t threads) {
+  MS_CHECK(delta >= 1);
+  const VertexId n = g.num_vertices();
+  if (threads == 0) {
+    threads = std::max<std::size_t>(
+        1, std::thread::hardware_concurrency());
+  }
+  const std::size_t shards = std::min<std::size_t>(threads, n == 0 ? 1 : n);
+  std::vector<EdgeList> shard_edges(shards);
+
+  parallel_for(shards, [&](std::size_t shard) {
+    // Contiguous vertex range for cache-friendly CSR walks.
+    const VertexId begin = static_cast<VertexId>(
+        (static_cast<std::uint64_t>(n) * shard) / shards);
+    const VertexId end = static_cast<VertexId>(
+        (static_cast<std::uint64_t>(n) * (shard + 1)) / shards);
+    EdgeList& out = shard_edges[shard];
+    SparseArray<EdgeIndex> pos(g.max_degree());
+    for (VertexId v = begin; v < end; ++v) {
+      const VertexId deg = g.degree(v);
+      if (deg == 0) continue;
+      if (deg <= 2 * delta) {
+        for (VertexId i = 0; i < deg; ++i) {
+          out.push_back(Edge(v, g.neighbor(v, i)).normalized());
+        }
+        continue;
+      }
+      Rng rng(mix64(seed, v));  // per-vertex substream: order-independent
+      pos.reset();
+      for (VertexId t = 0; t < delta; ++t) {
+        const EdgeIndex limit = deg - t;
+        const auto i = static_cast<EdgeIndex>(rng.below(limit));
+        const EdgeIndex j = limit - 1;
+        const EdgeIndex vi = pos.contains(i) ? pos.get(i) : i;
+        const EdgeIndex vj = pos.contains(j) ? pos.get(j) : j;
+        pos.set(i, vj);
+        pos.set(j, vi);
+        out.push_back(
+            Edge(v, g.neighbor(v, static_cast<VertexId>(vi))).normalized());
+      }
+    }
+    // Sorting inside the worker keeps the dominant O(N log N) cost
+    // parallel; the join below is a cheap O(N log shards) merge.
+    std::sort(out.begin(), out.end());
+  });
+
+  std::size_t total = 0;
+  for (const EdgeList& shard : shard_edges) total += shard.size();
+  EdgeList merged;
+  merged.reserve(total);
+  std::vector<std::size_t> bounds{0};
+  for (EdgeList& shard : shard_edges) {
+    merged.insert(merged.end(), shard.begin(), shard.end());
+    bounds.push_back(merged.size());
+  }
+  // Hierarchical in-place merge of the sorted shard ranges.
+  while (bounds.size() > 2) {
+    std::vector<std::size_t> next{0};
+    for (std::size_t i = 0; i + 2 < bounds.size(); i += 2) {
+      std::inplace_merge(
+          merged.begin() + static_cast<std::ptrdiff_t>(bounds[i]),
+          merged.begin() + static_cast<std::ptrdiff_t>(bounds[i + 1]),
+          merged.begin() + static_cast<std::ptrdiff_t>(bounds[i + 2]));
+      next.push_back(bounds[i + 2]);
+    }
+    if (bounds.size() % 2 == 0) next.push_back(bounds.back());
+    bounds = std::move(next);
+  }
+  merged.erase(std::unique(merged.begin(), merged.end()), merged.end());
+  return merged;
+}
+
+EdgeList sparsify_edges_deterministic(const Graph& g, VertexId delta,
+                                      DeterministicRule rule) {
+  MS_CHECK(delta >= 1);
+  EdgeList marked;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const VertexId deg = g.degree(v);
+    const VertexId take = std::min(deg, delta);
+    for (VertexId t = 0; t < take; ++t) {
+      VertexId i = 0;
+      switch (rule) {
+        case DeterministicRule::kFirstDelta:
+          i = t;
+          break;
+        case DeterministicRule::kLastDelta:
+          i = deg - 1 - t;
+          break;
+        case DeterministicRule::kStride:
+          i = static_cast<VertexId>(
+              (static_cast<std::uint64_t>(t) * deg) / take);
+          break;
+      }
+      marked.push_back(Edge(v, g.neighbor(v, i)).normalized());
+    }
+  }
+  normalize_edge_list(marked);
+  return marked;
+}
+
+}  // namespace matchsparse

@@ -1,0 +1,27 @@
+#include "stream/edge_stream.hpp"
+
+#include <algorithm>
+
+namespace matchsparse::stream {
+
+EdgeStream::EdgeStream(EdgeList edges, Order order, std::uint64_t seed)
+    : edges_(std::move(edges)) {
+  switch (order) {
+    case Order::kGiven:
+      break;
+    case Order::kShuffled: {
+      Rng rng(seed);
+      rng.shuffle(std::span<Edge>(edges_));
+      break;
+    }
+    case Order::kSortedByEndpoint:
+      std::sort(edges_.begin(), edges_.end());
+      break;
+  }
+}
+
+void EdgeStream::replay(const std::function<void(const Edge&)>& fn) const {
+  for (const Edge& e : edges_) fn(e);
+}
+
+}  // namespace matchsparse::stream

@@ -1,0 +1,55 @@
+// Semi-streaming substrate for the paper's Section 3 remark that G_Δ
+// "can be used more broadly in computational models where there are local
+// or global memory constraints, such as ... the streaming model".
+//
+// The model: edges arrive one at a time in arbitrary (possibly
+// adversarial) order; the algorithm may keep only a small state — here
+// O(n·Δ) words — and must output a matching at the end of the pass.
+// Memory is accounted in words via a MemoryMeter so experiments can
+// verify the O(n·Δ) footprint against the Θ(m) of buffering the input.
+#pragma once
+
+#include <functional>
+
+#include "graph/edge.hpp"
+#include "util/rng.hpp"
+
+namespace matchsparse::stream {
+
+/// Tracks the peak number of machine words a streaming algorithm holds.
+class MemoryMeter {
+ public:
+  void allocate(std::uint64_t words) {
+    current_ += words;
+    peak_ = std::max(peak_, current_);
+  }
+  void release(std::uint64_t words) {
+    MS_DCHECK(words <= current_);
+    current_ -= words;
+  }
+  std::uint64_t current() const { return current_; }
+  std::uint64_t peak() const { return peak_; }
+
+ private:
+  std::uint64_t current_ = 0;
+  std::uint64_t peak_ = 0;
+};
+
+/// A replayable edge stream over a fixed edge set, with seedable order
+/// shuffling (including the identity and a worst-case-ish sorted order).
+class EdgeStream {
+ public:
+  enum class Order { kGiven, kShuffled, kSortedByEndpoint };
+
+  EdgeStream(EdgeList edges, Order order, std::uint64_t seed);
+
+  std::size_t size() const { return edges_.size(); }
+
+  /// Replays the stream from the beginning, invoking fn per edge.
+  void replay(const std::function<void(const Edge&)>& fn) const;
+
+ private:
+  EdgeList edges_;
+};
+
+}  // namespace matchsparse::stream

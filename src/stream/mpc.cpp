@@ -1,0 +1,112 @@
+#include "stream/mpc.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "graph/graph.hpp"
+#include "matching/bounded_aug.hpp"
+
+namespace matchsparse::stream {
+
+namespace {
+
+/// Per-vertex bottom-Δ sketch: the Δ incident edges with the smallest
+/// keys. Stored sparsely (only vertices that appear in the shard).
+struct Sketch {
+  // vertex -> sorted (key, partner) pairs, at most delta entries.
+  std::unordered_map<VertexId,
+                     std::vector<std::pair<std::uint64_t, VertexId>>>
+      rows;
+
+  std::uint64_t words() const {
+    std::uint64_t total = 0;
+    for (const auto& [v, row] : rows) total += 2 + 2 * row.size();
+    return total;
+  }
+
+  void add(VertexId v, std::uint64_t key, VertexId partner,
+           VertexId delta) {
+    auto& row = rows[v];
+    const auto entry = std::make_pair(key, partner);
+    const auto it = std::lower_bound(row.begin(), row.end(), entry);
+    if (it == row.end() && row.size() >= delta) return;
+    row.insert(it, entry);
+    if (row.size() > delta) row.pop_back();
+  }
+
+  void merge_from(const Sketch& other, VertexId delta) {
+    for (const auto& [v, row] : other.rows) {
+      for (const auto& [key, partner] : row) add(v, key, partner, delta);
+    }
+  }
+};
+
+}  // namespace
+
+MpcResult mpc_approx_matching(VertexId n, const EdgeList& edges,
+                              const MpcOptions& opt, std::uint64_t seed) {
+  MS_CHECK(opt.machines >= 1 && opt.fan_in >= 2);
+  MpcResult result;
+  result.stats.machines = opt.machines;
+
+  // Shard the edges round-robin (any partition works; keys are i.i.d.).
+  std::vector<Sketch> sketches(opt.machines);
+  std::vector<std::uint64_t> shard_words(opt.machines, 0);
+  std::vector<std::uint64_t> peak_words(opt.machines, 0);
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    const std::size_t machine = i % opt.machines;
+    const Edge e = edges[i].normalized();
+    // Edge key must be identical wherever the edge is seen: derive it
+    // from the (seed, edge) pair, not from machine-local RNG state.
+    const std::uint64_t key = mix64(seed, edge_key(e));
+    sketches[machine].add(e.u, key, e.v, opt.delta);
+    sketches[machine].add(e.v, key, e.u, opt.delta);
+    shard_words[machine] += 2;
+  }
+  for (std::size_t machine = 0; machine < opt.machines; ++machine) {
+    // A machine holds its shard plus its sketch during the map phase.
+    peak_words[machine] =
+        shard_words[machine] + sketches[machine].words();
+    result.stats.shard_words =
+        std::max(result.stats.shard_words, shard_words[machine]);
+  }
+
+  // k-ary aggregation tree: each round, groups of fan_in sketches merge
+  // into their leader.
+  std::vector<std::size_t> alive(opt.machines);
+  for (std::size_t i = 0; i < opt.machines; ++i) alive[i] = i;
+  while (alive.size() > 1) {
+    ++result.stats.rounds;
+    std::vector<std::size_t> next;
+    for (std::size_t g = 0; g < alive.size(); g += opt.fan_in) {
+      const std::size_t leader = alive[g];
+      for (std::size_t j = g + 1; j < std::min(g + opt.fan_in, alive.size());
+           ++j) {
+        sketches[leader].merge_from(sketches[alive[j]], opt.delta);
+        sketches[alive[j]] = Sketch{};
+      }
+      peak_words[leader] =
+          std::max(peak_words[leader], sketches[leader].words());
+      next.push_back(leader);
+    }
+    alive = std::move(next);
+  }
+  const Sketch& final_sketch = sketches[alive.front()];
+  result.stats.max_machine_words =
+      *std::max_element(peak_words.begin(), peak_words.end());
+
+  EdgeList kept;
+  for (const auto& [v, row] : final_sketch.rows) {
+    for (const auto& [key, partner] : row) {
+      kept.push_back(Edge(v, partner).normalized());
+    }
+  }
+  normalize_edge_list(kept);
+  result.stats.sparsifier_edges = kept.size();
+
+  const Graph sparsifier = Graph::from_edges(n, kept);
+  result.matching = approx_mcm(sparsifier, opt.eps);
+  return result;
+}
+
+}  // namespace matchsparse::stream

@@ -1,0 +1,53 @@
+// Massively-parallel-computation (MPC / MapReduce) realisation of G_Δ —
+// the other memory-constrained model the paper's Section 3 points at.
+//
+// Model: the m input edges are sharded across `machines` workers, each
+// with local memory far below m. The G_Δ construction becomes a
+// *mergeable bottom-Δ sketch*: assign every edge an i.i.d. uniform
+// 64-bit key; a vertex's Δ marked edges are its Δ smallest-key incident
+// edges. Bottom-Δ of a union is the merge of bottom-Δs, so each machine
+// summarises its shard in O(n_active·Δ) words and the sketches combine
+// up a k-ary aggregation tree in O(log_k machines) rounds; keys are
+// uniform, hence the final per-vertex selection is a uniform Δ-subset —
+// exactly the G_Δ distribution, and Theorem 2.1 applies unchanged.
+//
+// The simulator accounts per-machine peak memory (words) and rounds, so
+// the experiment can verify: max machine memory ~ O(m/machines + n·Δ)
+// versus the Θ(m) a single machine would need.
+#pragma once
+
+#include <vector>
+
+#include "graph/edge.hpp"
+#include "matching/matching.hpp"
+#include "util/rng.hpp"
+
+namespace matchsparse::stream {
+
+struct MpcStats {
+  std::size_t machines = 0;
+  std::size_t rounds = 0;               // aggregation rounds
+  std::uint64_t max_machine_words = 0;  // peak memory on any machine
+  std::uint64_t shard_words = 0;        // input shard size (largest)
+  EdgeIndex sparsifier_edges = 0;
+};
+
+struct MpcOptions {
+  std::size_t machines = 8;
+  /// Aggregation-tree fan-in per round.
+  std::size_t fan_in = 4;
+  VertexId delta = 8;
+  double eps = 0.25;
+};
+
+struct MpcResult {
+  Matching matching;
+  MpcStats stats;
+};
+
+/// Runs the sharded bottom-Δ sketch pipeline over the edges of g and
+/// matches on the resulting sparsifier.
+MpcResult mpc_approx_matching(VertexId n, const EdgeList& edges,
+                              const MpcOptions& opt, std::uint64_t seed);
+
+}  // namespace matchsparse::stream

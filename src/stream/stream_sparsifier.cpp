@@ -1,0 +1,79 @@
+#include "stream/stream_sparsifier.hpp"
+
+#include "graph/graph.hpp"
+#include "matching/bounded_aug.hpp"
+
+namespace matchsparse::stream {
+
+StreamingSparsifier::StreamingSparsifier(VertexId n, VertexId delta,
+                                         std::uint64_t seed,
+                                         MemoryMeter* meter)
+    : delta_(delta), rng_(seed), reservoirs_(n), meter_(meter) {
+  MS_CHECK(delta >= 1);
+  if (meter_ != nullptr) meter_->allocate(2ull * n);  // headers
+}
+
+StreamingSparsifier::~StreamingSparsifier() {
+  if (meter_ == nullptr) return;
+  meter_->release(2ull * reservoirs_.size());
+  for (const Reservoir& r : reservoirs_) meter_->release(r.partners.size());
+}
+
+void StreamingSparsifier::offer_endpoint(VertexId v, VertexId partner) {
+  Reservoir& r = reservoirs_[v];
+  ++r.seen;
+  if (r.partners.size() < delta_) {
+    r.partners.push_back(partner);
+    if (meter_ != nullptr) meter_->allocate(1);
+    return;
+  }
+  // Algorithm R: the t-th incident edge replaces a uniform slot with
+  // probability delta/t; slot choice below combines both draws.
+  const std::uint64_t slot = rng_.below(r.seen);
+  if (slot < delta_) {
+    r.partners[static_cast<std::size_t>(slot)] = partner;
+  }
+}
+
+void StreamingSparsifier::offer(const Edge& e) {
+  MS_DCHECK(e.u < reservoirs_.size() && e.v < reservoirs_.size());
+  MS_DCHECK(e.u != e.v);
+  ++seen_;
+  offer_endpoint(e.u, e.v);
+  offer_endpoint(e.v, e.u);
+}
+
+EdgeList StreamingSparsifier::sparsifier_edges() const {
+  EdgeList out;
+  for (VertexId v = 0; v < reservoirs_.size(); ++v) {
+    for (VertexId w : reservoirs_[v].partners) {
+      out.push_back(Edge(v, w).normalized());
+    }
+  }
+  normalize_edge_list(out);
+  return out;
+}
+
+Matching StreamingSparsifier::one_pass_matching(VertexId n,
+                                                const EdgeStream& stream,
+                                                VertexId delta, double eps,
+                                                std::uint64_t seed,
+                                                MemoryMeter* meter) {
+  StreamingSparsifier sampler(n, delta, seed, meter);
+  stream.replay([&](const Edge& e) { sampler.offer(e); });
+  const Graph kept = Graph::from_edges(n, sampler.sparsifier_edges());
+  return approx_mcm(kept, eps);
+}
+
+Matching streaming_greedy_matching(VertexId n, const EdgeStream& stream,
+                                   MemoryMeter* meter) {
+  if (meter != nullptr) meter->allocate(n);
+  Matching m(n);
+  stream.replay([&](const Edge& e) {
+    if (!m.is_matched(e.u) && !m.is_matched(e.v)) m.match(e.u, e.v);
+  });
+  if (meter != nullptr) meter->release(n);
+  return m;
+}
+
+}  // namespace matchsparse::stream

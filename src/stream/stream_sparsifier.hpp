@@ -1,0 +1,66 @@
+// One-pass semi-streaming construction of the matching sparsifier G_Δ.
+//
+// Per-vertex reservoir sampling (Vitter's Algorithm R) keeps, for every
+// vertex, a uniform without-replacement sample of Δ of its incident
+// edges using O(n·Δ) words of state — after the pass, the union of the
+// reservoirs is distributed *exactly* like the paper's G_Δ (each vertex
+// marks min(deg, Δ) uniform incident edges), so Theorem 2.1 transfers
+// verbatim: match on the retained subgraph for a (1+ε)-approximate MCM
+// with memory independent of m. The Section 3.1 "2Δ tweak" is not needed
+// here: it exists to make *offline* sampling O(Δ) per vertex, whereas a
+// reservoir is update-driven by construction.
+//
+// Baselines for the experiments: the classic one-pass greedy maximal
+// matching (2-approx, O(n) words) and buffer-everything (exact, Θ(m)
+// words).
+#pragma once
+
+#include "matching/matching.hpp"
+#include "stream/edge_stream.hpp"
+
+namespace matchsparse::stream {
+
+class StreamingSparsifier {
+ public:
+  /// `meter` (optional) tracks words held: n reservoir headers plus up to
+  /// n·Δ edge slots, allocated lazily as vertices appear.
+  StreamingSparsifier(VertexId n, VertexId delta, std::uint64_t seed,
+                      MemoryMeter* meter = nullptr);
+  ~StreamingSparsifier();
+
+  /// Feeds one stream edge into both endpoints' reservoirs.
+  void offer(const Edge& e);
+
+  /// Number of edges seen so far.
+  std::uint64_t edges_seen() const { return seen_; }
+
+  /// The union of the reservoirs as a canonical edge list.
+  EdgeList sparsifier_edges() const;
+
+  /// Convenience: runs the whole pipeline — one pass, then a
+  /// (1+eps)-approximate matching on the retained subgraph.
+  static Matching one_pass_matching(VertexId n, const EdgeStream& stream,
+                                    VertexId delta, double eps,
+                                    std::uint64_t seed,
+                                    MemoryMeter* meter = nullptr);
+
+ private:
+  struct Reservoir {
+    std::vector<VertexId> partners;  // up to delta partner ids
+    std::uint64_t seen = 0;          // incident edges observed
+  };
+
+  VertexId delta_;
+  Rng rng_;
+  std::vector<Reservoir> reservoirs_;
+  std::uint64_t seen_ = 0;
+  MemoryMeter* meter_;
+
+  void offer_endpoint(VertexId v, VertexId partner);
+};
+
+/// Classic one-pass greedy maximal matching (2-approximate, O(n) words).
+Matching streaming_greedy_matching(VertexId n, const EdgeStream& stream,
+                                   MemoryMeter* meter = nullptr);
+
+}  // namespace matchsparse::stream

@@ -1,0 +1,43 @@
+#include "util/rng.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace matchsparse {
+
+std::vector<std::uint64_t> Rng::sample_without_replacement(std::uint64_t n,
+                                                           std::uint64_t k) {
+  if (k >= n) {
+    std::vector<std::uint64_t> all(n);
+    for (std::uint64_t i = 0; i < n; ++i) all[i] = i;
+    return all;
+  }
+  if (k > n / 2) {
+    // Dense regime: partial Fisher–Yates over an explicit index array.
+    std::vector<std::uint64_t> pool(n);
+    for (std::uint64_t i = 0; i < n; ++i) pool[i] = i;
+    for (std::uint64_t i = 0; i < k; ++i) {
+      std::uint64_t j = i + below(n - i);
+      std::swap(pool[i], pool[j]);
+    }
+    pool.resize(k);
+    return pool;
+  }
+  // Sparse regime: Floyd's algorithm, O(k) expected.
+  std::unordered_set<std::uint64_t> chosen;
+  chosen.reserve(static_cast<std::size_t>(k) * 2);
+  std::vector<std::uint64_t> out;
+  out.reserve(k);
+  for (std::uint64_t j = n - k; j < n; ++j) {
+    std::uint64_t t = below(j + 1);
+    if (chosen.insert(t).second) {
+      out.push_back(t);
+    } else {
+      chosen.insert(j);
+      out.push_back(j);
+    }
+  }
+  return out;
+}
+
+}  // namespace matchsparse

@@ -1,0 +1,20 @@
+#include "util/stats.hpp"
+
+#include "util/common.hpp"
+
+namespace matchsparse {
+
+double quantile(std::span<const double> sample, double q) {
+  MS_CHECK_MSG(!sample.empty(), "quantile of empty sample");
+  MS_CHECK(q >= 0.0 && q <= 1.0);
+  std::vector<double> sorted(sample.begin(), sample.end());
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.size() == 1) return sorted.front();
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+}  // namespace matchsparse

@@ -1,0 +1,97 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+
+#include "util/common.hpp"
+
+namespace matchsparse {
+
+Table::Table(std::string title, std::vector<std::string> columns)
+    : title_(std::move(title)), columns_(std::move(columns)) {
+  MS_CHECK_MSG(!columns_.empty(), "table needs at least one column");
+}
+
+Table& Table::row() {
+  rows_.emplace_back();
+  rows_.back().reserve(columns_.size());
+  return *this;
+}
+
+Table& Table::cell(const std::string& value) {
+  MS_CHECK_MSG(!rows_.empty(), "cell() before row()");
+  MS_CHECK_MSG(rows_.back().size() < columns_.size(), "too many cells in row");
+  rows_.back().push_back(value);
+  return *this;
+}
+
+Table& Table::cell(const char* value) { return cell(std::string(value)); }
+
+Table& Table::cell(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return cell(std::string(buf));
+}
+
+Table& Table::cell(std::uint64_t value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, value);
+  return cell(std::string(buf));
+}
+
+Table& Table::cell(std::int64_t value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRId64, value);
+  return cell(std::string(buf));
+}
+
+void Table::print(std::FILE* out) const {
+  std::vector<std::size_t> width(columns_.size());
+  for (std::size_t c = 0; c < columns_.size(); ++c)
+    width[c] = columns_[c].size();
+  for (const auto& r : rows_)
+    for (std::size_t c = 0; c < r.size(); ++c)
+      width[c] = std::max(width[c], r[c].size());
+
+  std::size_t total = 1;
+  for (std::size_t w : width) total += w + 3;
+
+  std::fprintf(out, "\n== %s ==\n", title_.c_str());
+  auto rule = [&] {
+    for (std::size_t i = 0; i < total; ++i) std::fputc('-', out);
+    std::fputc('\n', out);
+  };
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    std::fputc('|', out);
+    for (std::size_t c = 0; c < columns_.size(); ++c) {
+      const std::string& v = c < cells.size() ? cells[c] : std::string();
+      std::fprintf(out, " %-*s |", static_cast<int>(width[c]), v.c_str());
+    }
+    std::fputc('\n', out);
+  };
+  rule();
+  print_row(columns_);
+  rule();
+  for (const auto& r : rows_) print_row(r);
+  rule();
+
+  const char* csv_env = std::getenv("MATCHSPARSE_CSV");
+  if (csv_env != nullptr && csv_env[0] != '\0') {
+    std::fprintf(out, "-- csv: %s\n", title_.c_str());
+    print_csv(out);
+  }
+}
+
+void Table::print_csv(std::FILE* out) const {
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c) std::fputc(',', out);
+      std::fputs(cells[c].c_str(), out);
+    }
+    std::fputc('\n', out);
+  };
+  emit(columns_);
+  for (const auto& r : rows_) emit(r);
+}
+
+}  // namespace matchsparse

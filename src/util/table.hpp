@@ -1,0 +1,47 @@
+// Aligned-column table printing for the experiment binaries. Every bench
+// prints its results as one or more Tables so that paper-style rows/series
+// are directly readable from the terminal and greppable as CSV.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace matchsparse {
+
+class Table {
+ public:
+  /// `title` is printed as a banner; `columns` are the header cells.
+  Table(std::string title, std::vector<std::string> columns);
+
+  /// Starts a new row; subsequent cell() calls fill it left to right.
+  Table& row();
+
+  Table& cell(const std::string& value);
+  Table& cell(const char* value);
+  Table& cell(double value, int precision = 4);
+  Table& cell(std::uint64_t value);
+  Table& cell(std::int64_t value);
+  Table& cell(int value) { return cell(static_cast<std::int64_t>(value)); }
+  Table& cell(unsigned value) {
+    return cell(static_cast<std::uint64_t>(value));
+  }
+
+  /// Pretty-prints the table to `out` (default stdout). If the
+  /// environment variable MATCHSPARSE_CSV is set (non-empty), a CSV copy
+  /// of the table follows the pretty print, so experiment outputs can be
+  /// piped into plotting scripts without a second run.
+  void print(std::FILE* out = stdout) const;
+
+  /// Emits the table as CSV (header + rows) to `out`.
+  void print_csv(std::FILE* out = stdout) const;
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::string title_;
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace matchsparse

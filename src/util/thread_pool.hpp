@@ -1,0 +1,58 @@
+// A small work-stealing-free thread pool used to parallelise independent
+// Monte-Carlo trials in the experiment harness. All parallelism in this
+// repository is explicit (per the HPC guides): trials are embarrassingly
+// parallel and share nothing, so a fixed pool with an atomic work index is
+// the whole story.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace matchsparse {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (default: hardware concurrency, at least 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Enqueues a task; returns immediately.
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void wait_idle();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_idle_;
+  std::size_t in_flight_ = 0;
+  bool stop_ = false;
+};
+
+/// Runs fn(i) for i in [0, count) across the pool's threads, blocking until
+/// all iterations complete. Iterations must be independent.
+void parallel_for(ThreadPool& pool, std::size_t count,
+                  const std::function<void(std::size_t)>& fn);
+
+/// Convenience: runs fn(i) for i in [0, count) on a transient pool sized to
+/// min(count, hardware threads).
+void parallel_for(std::size_t count,
+                  const std::function<void(std::size_t)>& fn);
+
+}  // namespace matchsparse

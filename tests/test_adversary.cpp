@@ -1,0 +1,129 @@
+#include "dynamic/adversary.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "gen/generators.hpp"
+#include "graph/beta.hpp"
+
+namespace matchsparse {
+namespace {
+
+TEST(UnitDiskChurn, ScriptIsReplayable) {
+  Rng rng(1);
+  const UpdateScript script = unit_disk_churn(100, 0.12, 60, 150, rng);
+  DynGraph g(100);
+  for (const Update& u : script) {
+    if (u.insert) {
+      ASSERT_TRUE(g.insert_edge(u.edge.u, u.edge.v));
+    } else {
+      ASSERT_TRUE(g.erase_edge(u.edge.u, u.edge.v));
+    }
+  }
+}
+
+TEST(UnitDiskChurn, IntermediateBetaStaysBounded) {
+  Rng rng(2);
+  const VertexId n = 120;
+  const UpdateScript script =
+      unit_disk_churn(n, 0.15, 80, 100, rng);
+  DynGraph g(n);
+  std::size_t step = 0;
+  for (const Update& u : script) {
+    if (u.insert) {
+      g.insert_edge(u.edge.u, u.edge.v);
+    } else {
+      g.erase_edge(u.edge.u, u.edge.v);
+    }
+    if (++step % 100 == 0) {
+      const auto beta = neighborhood_independence(g.snapshot());
+      // <= 5 for complete unit-disk snapshots; vertex churn is atomic per
+      // point *between* steps, but a step expands to multiple edge updates,
+      // so allow the transient mid-arrival slack only at non-boundaries.
+      EXPECT_LE(beta.value, 8u) << "step " << step;
+    }
+  }
+}
+
+TEST(SlidingWindow, MaintainsWindowSize) {
+  Rng rng(3);
+  const Graph host = gen::erdos_renyi(60, 8.0, rng);
+  const std::size_t window = 50;
+  const UpdateScript script =
+      sliding_window(host.edge_list(), window, 40, rng);
+  DynGraph g(60);
+  std::size_t live = 0;
+  for (const Update& u : script) {
+    if (u.insert) {
+      ASSERT_TRUE(g.insert_edge(u.edge.u, u.edge.v));
+      ++live;
+    } else {
+      ASSERT_TRUE(g.erase_edge(u.edge.u, u.edge.v));
+      --live;
+    }
+    EXPECT_LE(live, window);
+  }
+  EXPECT_EQ(g.num_edges(), window);
+}
+
+TEST(MatchedEdgeDeleter, AlwaysTargetsTheMatching) {
+  Rng rng(4);
+  DynGraph g(20);
+  Matching m(20);
+  for (VertexId v = 0; v + 1 < 20; v += 2) {
+    g.insert_edge(v, v + 1);
+    m.match(v, v + 1);
+  }
+  MatchedEdgeDeleter adv(5);
+  const Update u = adv.next(g, m);
+  EXPECT_FALSE(u.insert);
+  EXPECT_EQ(m.mate(u.edge.u), u.edge.v);
+}
+
+TEST(MatchedEdgeDeleter, ReinsertsWhenMatchingEmpty) {
+  DynGraph g(4);
+  g.insert_edge(0, 1);
+  Matching m(4);
+  m.match(0, 1);
+  MatchedEdgeDeleter adv(6);
+  const Update del = adv.next(g, m);
+  EXPECT_FALSE(del.insert);
+  g.erase_edge(del.edge.u, del.edge.v);
+  Matching empty(4);
+  const Update ins = adv.next(g, empty);
+  EXPECT_TRUE(ins.insert);
+  EXPECT_EQ(ins.edge, del.edge);
+}
+
+TEST(ChurningMatchedDeleter, ProducesLegalUpdates) {
+  Rng rng(7);
+  DynGraph g(30);
+  const Graph host = gen::complete_graph(30);
+  Matching m(30);
+  for (const Edge& e : host.edge_list()) g.insert_edge(e.u, e.v);
+  ChurningMatchedDeleter adv(8);
+  for (int step = 0; step < 100; ++step) {
+    // Maintain a simple greedy matching as the "algorithm output".
+    Matching output(30);
+    for (VertexId v = 0; v < 30; ++v) {
+      if (output.is_matched(v)) continue;
+      for (VertexId i = 0; i < g.degree(v); ++i) {
+        const VertexId w = g.neighbor(v, i);
+        if (!output.is_matched(w)) {
+          output.match(v, w);
+          break;
+        }
+      }
+    }
+    const Update u = adv.next(g, output);
+    if (u.insert) {
+      ASSERT_TRUE(g.insert_edge(u.edge.u, u.edge.v)) << "step " << step;
+    } else {
+      ASSERT_TRUE(g.erase_edge(u.edge.u, u.edge.v)) << "step " << step;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace matchsparse

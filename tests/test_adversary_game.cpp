@@ -1,0 +1,144 @@
+#include "sparsify/adversary_game.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace matchsparse {
+namespace {
+
+// Strategy A: probe the first Δ slots of every vertex, mark what you see.
+EdgeList probe_first_slots(const ProbeFn& probe, VertexId n,
+                           VertexId delta) {
+  EdgeList marks;
+  for (VertexId v = 0; v < n; ++v) {
+    for (VertexId i = 0; i < delta; ++i) {
+      marks.push_back(Edge(v, probe(v, i)).normalized());
+    }
+  }
+  return marks;
+}
+
+// Strategy B: probe scattered slots (stride pattern).
+EdgeList probe_strided(const ProbeFn& probe, VertexId n, VertexId delta) {
+  EdgeList marks;
+  for (VertexId v = 0; v < n; ++v) {
+    for (VertexId i = 0; i < delta; ++i) {
+      const VertexId slot =
+          static_cast<VertexId>((static_cast<std::uint64_t>(i) * (n - 1)) /
+                                delta);
+      marks.push_back(Edge(v, probe(v, slot)).normalized());
+    }
+  }
+  return marks;
+}
+
+// Strategy C: ignore the probes entirely and output a fixed perfect
+// matching (mark edges (2i, 2i+1)). This is the "mark unprobed edges"
+// loophole the lemma closes: the adversary just deletes one of them.
+EdgeList blind_perfect_matching(const ProbeFn&, VertexId n, VertexId) {
+  EdgeList marks;
+  for (VertexId v = 0; v + 1 < n; v += 2) marks.emplace_back(v, v + 1);
+  return marks;
+}
+
+// Strategy D: derandomized "random" probing via a fixed seed — still
+// deterministic, still loses.
+EdgeList probe_pseudorandom(const ProbeFn& probe, VertexId n,
+                            VertexId delta) {
+  Rng rng(0xfeed);  // fixed seed = deterministic algorithm
+  EdgeList marks;
+  for (VertexId v = 0; v < n; ++v) {
+    for (VertexId i = 0; i < delta; ++i) {
+      const auto slot = static_cast<VertexId>(rng.below(n - 1));
+      marks.push_back(Edge(v, probe(v, slot)).normalized());
+    }
+  }
+  return marks;
+}
+
+TEST(AdversaryGame, DefeatsEveryDeterministicStrategy) {
+  const VertexId n = 200;
+  const VertexId delta = 5;
+  const double bound = static_cast<double>(n) / (2.0 * delta);  // 20
+  for (auto [algo, name] :
+       {std::pair<DeterministicSparsifierAlgo, const char*>{
+            probe_first_slots, "first slots"},
+        {probe_strided, "strided"},
+        {probe_pseudorandom, "pseudorandom"}}) {
+    const GameResult r = play_lemma_2_13_game(n, delta, algo);
+    EXPECT_GE(r.ratio, bound) << name;
+    EXPECT_EQ(r.true_mcm, n / 2) << name;
+    // Every seen edge touches D, so a feasible output matches <= delta.
+    EXPECT_LE(r.output_mcm, delta) << name;
+  }
+}
+
+TEST(AdversaryGame, BlindMarkingIsMadeInfeasible) {
+  const GameResult r =
+      play_lemma_2_13_game(100, 4, blind_perfect_matching);
+  EXPECT_TRUE(r.infeasible);
+  // The declared non-edge was one of the algorithm's marked edges.
+  EXPECT_GE(r.non_edge.u, 4u);  // both endpoints outside D
+}
+
+TEST(AdversaryGame, InstanceIsConsistentWithAnswers) {
+  // Re-play the probes against the final instance: every answer the
+  // adversary gave must be a real neighbor there.
+  const VertexId n = 80;
+  const VertexId delta = 4;
+  std::vector<std::pair<Edge, bool>> seen;  // (edge, dummy)
+  const DeterministicSparsifierAlgo recorder =
+      [&seen](const ProbeFn& probe, VertexId nn, VertexId dd) {
+        EdgeList marks;
+        for (VertexId v = 0; v < nn; ++v) {
+          for (VertexId i = 0; i < dd; ++i) {
+            const VertexId w = probe(v, i);
+            seen.push_back({Edge(v, w).normalized(), true});
+            marks.push_back(Edge(v, w).normalized());
+          }
+        }
+        return marks;
+      };
+  const GameResult r = play_lemma_2_13_game(n, delta, recorder);
+  for (const auto& [edge, _] : seen) {
+    EXPECT_TRUE(r.instance.has_edge(edge.u, edge.v))
+        << edge.u << "-" << edge.v;
+  }
+  EXPECT_FALSE(r.instance.has_edge(r.non_edge.u, r.non_edge.v));
+  EXPECT_EQ(r.instance.num_edges(),
+            static_cast<EdgeIndex>(n) * (n - 1) / 2 - 1);
+}
+
+TEST(AdversaryGame, ProbeBudgetEnforced) {
+  const DeterministicSparsifierAlgo greedy_prober =
+      [](const ProbeFn& probe, VertexId, VertexId delta) {
+        EdgeList marks;
+        // Probes delta+1 distinct slots on vertex 0: contract violation.
+        for (VertexId i = 0; i <= delta; ++i) {
+          marks.push_back(Edge(0, probe(0, i)).normalized());
+        }
+        return marks;
+      };
+  EXPECT_DEATH((void)play_lemma_2_13_game(60, 3, greedy_prober),
+               "budget exceeded");
+}
+
+TEST(AdversaryGame, RepeatedProbesAreConsistentAndFree) {
+  const DeterministicSparsifierAlgo repeat_prober =
+      [](const ProbeFn& probe, VertexId, VertexId delta) {
+        EdgeList marks;
+        for (VertexId i = 0; i < delta; ++i) {
+          const VertexId a = probe(5, i);
+          const VertexId b = probe(5, i);  // same slot: must be identical
+          EXPECT_EQ(a, b);
+          marks.push_back(Edge(5, a).normalized());
+        }
+        return marks;
+      };
+  const GameResult r = play_lemma_2_13_game(40, 3, repeat_prober);
+  EXPECT_LE(r.output_mcm, 3u);
+}
+
+}  // namespace
+}  // namespace matchsparse

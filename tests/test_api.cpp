@@ -1,0 +1,84 @@
+#include "core/api.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/families.hpp"
+#include "matching/blossom.hpp"
+
+namespace matchsparse {
+namespace {
+
+TEST(Api, VersionIsSet) { EXPECT_STRNE(version(), ""); }
+
+TEST(Api, ApproxMatchingOnDenseBoundedBetaGraph) {
+  const Graph g = gen::complete_graph(200);
+  ApproxMatchingConfig cfg;
+  cfg.beta = 1;
+  cfg.eps = 0.2;
+  const auto result = approx_maximum_matching(g, cfg);
+  EXPECT_TRUE(result.matching.is_valid(g));
+  // K_200 has a perfect matching of 100.
+  EXPECT_GE(static_cast<double>(result.matching.size()) * 1.2, 100.0);
+  EXPECT_LT(result.probes, 2 * g.num_edges());  // sublinear reads
+  EXPECT_GT(result.sparsifier_edges, 0u);
+  EXPECT_EQ(result.delta,
+            SparsifierParams::practical(1, 0.2, 2.0).delta);
+}
+
+TEST(Api, TheoreticalDeltaIsLarger) {
+  ApproxMatchingConfig practical;
+  practical.beta = 2;
+  ApproxMatchingConfig theoretical = practical;
+  theoretical.theoretical_delta = true;
+  const Graph g = gen::complete_graph(64);
+  const auto a = approx_maximum_matching(g, practical);
+  const auto b = approx_maximum_matching(g, theoretical);
+  EXPECT_GT(b.delta, a.delta);
+}
+
+TEST(Api, DeterministicUnderSeed) {
+  const Graph g = gen::find_family("unitdisk").make(300, 3);
+  ApproxMatchingConfig cfg;
+  cfg.beta = 5;
+  cfg.seed = 42;
+  const auto a = approx_maximum_matching(g, cfg);
+  const auto b = approx_maximum_matching(g, cfg);
+  EXPECT_EQ(a.matching.edges(), b.matching.edges());
+}
+
+TEST(Api, QualityAcrossFamilies) {
+  for (const auto& family : gen::standard_families()) {
+    const VertexId n = family.name == "complete" ? 120 : 400;
+    const Graph g = family.make(n, 11);
+    ApproxMatchingConfig cfg;
+    cfg.beta = family.beta_bound;
+    cfg.eps = 0.25;
+    const auto result = approx_maximum_matching(g, cfg);
+    const VertexId opt = blossom_mcm(g).size();
+    EXPECT_TRUE(result.matching.is_valid(g)) << family.name;
+    EXPECT_GE(static_cast<double>(result.matching.size()) * 1.25,
+              static_cast<double>(opt))
+        << family.name;
+  }
+}
+
+TEST(Api, SparsifierBuilderMatchesConfig) {
+  const Graph g = gen::complete_graph(100);
+  ApproxMatchingConfig cfg;
+  cfg.beta = 1;
+  cfg.eps = 0.3;
+  SparsifierStats stats;
+  const Graph gd = build_matching_sparsifier(g, cfg, &stats);
+  EXPECT_EQ(stats.edges, gd.num_edges());
+  for (const Edge& e : gd.edge_list()) EXPECT_TRUE(g.has_edge(e.u, e.v));
+}
+
+TEST(Api, RejectsBadEps) {
+  const Graph g = gen::complete_graph(10);
+  ApproxMatchingConfig cfg;
+  cfg.eps = 0.0;
+  EXPECT_DEATH(approx_maximum_matching(g, cfg), "eps");
+}
+
+}  // namespace
+}  // namespace matchsparse

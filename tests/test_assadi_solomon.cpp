@@ -1,0 +1,78 @@
+#include "matching/assadi_solomon.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/generators.hpp"
+#include "matching/blossom.hpp"
+
+namespace matchsparse {
+namespace {
+
+TEST(AssadiSolomon, ProducesMaximalMatching) {
+  Rng rng(1);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Graph g = gen::erdos_renyi(150, 8.0, rng);
+    AssadiSolomonOptions opt;
+    opt.beta = 5;
+    const auto result = assadi_solomon_maximal(g, rng, opt);
+    EXPECT_TRUE(result.matching.is_maximal(g)) << "trial " << trial;
+  }
+}
+
+TEST(AssadiSolomon, TwoApproximation) {
+  Rng rng(2);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Graph g = gen::unit_disk(200, 0.1, rng);
+    AssadiSolomonOptions opt;
+    opt.beta = 5;
+    const auto result = assadi_solomon_maximal(g, rng, opt);
+    const VertexId opt_size = blossom_mcm(g).size();
+    EXPECT_GE(2 * result.matching.size(), opt_size);
+  }
+}
+
+TEST(AssadiSolomon, SublinearProbesOnDenseGraphs) {
+  // On K_n the algorithm must touch far fewer than the ~n^2/2 adjacency
+  // entries: probes should be O(n * beta * log n).
+  Rng rng(3);
+  const VertexId n = 600;
+  const Graph g = gen::complete_graph(n);
+  AssadiSolomonOptions opt;
+  opt.beta = 1;
+  const auto result = assadi_solomon_maximal(g, rng, opt);
+  EXPECT_TRUE(result.matching.is_maximal(g));
+  const auto m2 = static_cast<double>(g.num_edges()) * 2.0;
+  EXPECT_LT(static_cast<double>(result.probes), m2 / 4.0)
+      << "probes " << result.probes << " vs 2m " << m2;
+}
+
+TEST(AssadiSolomon, NoRepairStillValid) {
+  Rng rng(4);
+  const Graph g = gen::erdos_renyi(100, 5.0, rng);
+  AssadiSolomonOptions opt;
+  opt.repair = false;
+  const auto result = assadi_solomon_maximal(g, rng, opt);
+  EXPECT_TRUE(result.matching.is_valid(g));
+  EXPECT_EQ(result.repair_probes, 0u);
+}
+
+TEST(AssadiSolomon, EmptyGraph) {
+  Rng rng(5);
+  const Graph g = Graph::from_edges(10, {});
+  const auto result = assadi_solomon_maximal(g, rng);
+  EXPECT_EQ(result.matching.size(), 0u);
+}
+
+TEST(AssadiSolomon, RoundsBoundedByBudget) {
+  Rng rng(6);
+  const Graph g = gen::erdos_renyi(200, 10.0, rng);
+  AssadiSolomonOptions opt;
+  opt.max_rounds = 3;
+  opt.repair = true;
+  const auto result = assadi_solomon_maximal(g, rng, opt);
+  EXPECT_LE(result.rounds, 3u);
+  EXPECT_TRUE(result.matching.is_maximal(g));  // repair pass finishes the job
+}
+
+}  // namespace
+}  // namespace matchsparse

@@ -1,0 +1,82 @@
+#include "dynamic/baseline_maximal.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dynamic/adversary.hpp"
+#include "gen/generators.hpp"
+
+namespace matchsparse {
+namespace {
+
+void check_maximal(const BaselineDynamicMaximal& algo) {
+  const Matching& m = algo.matching();
+  const DynGraph& g = algo.graph();
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (m.is_matched(v)) {
+      ASSERT_TRUE(g.has_edge(v, m.mate(v)));
+      continue;
+    }
+    for (VertexId w : g.neighbors(v)) {
+      ASSERT_TRUE(m.is_matched(w)) << "free-free edge " << v << "-" << w;
+    }
+  }
+}
+
+TEST(BaselineDynamic, MaximalAfterEveryUpdate) {
+  Rng rng(1);
+  const VertexId n = 120;
+  BaselineDynamicMaximal algo(n);
+  for (int op = 0; op < 4000; ++op) {
+    auto u = static_cast<VertexId>(rng.below(n));
+    auto v = static_cast<VertexId>(rng.below(n - 1));
+    if (v >= u) ++v;
+    if (algo.graph().has_edge(u, v)) {
+      algo.delete_edge(u, v);
+    } else {
+      algo.insert_edge(u, v);
+    }
+    if (op % 200 == 0) check_maximal(algo);
+  }
+  check_maximal(algo);
+}
+
+TEST(BaselineDynamic, ChurnScriptStaysMaximal) {
+  Rng rng(2);
+  const VertexId n = 150;
+  const double radius = gen::unit_disk_radius_for_degree(n, 10.0);
+  const UpdateScript script = unit_disk_churn(n, radius, 100, 200, rng);
+  BaselineDynamicMaximal algo(n);
+  for (const Update& u : script) {
+    if (u.insert) {
+      algo.insert_edge(u.edge.u, u.edge.v);
+    } else {
+      algo.delete_edge(u.edge.u, u.edge.v);
+    }
+  }
+  check_maximal(algo);
+}
+
+TEST(BaselineDynamic, WorkScalesWithDegree) {
+  // Deleting the matched edge of a hub forces an O(deg) rescan — the
+  // baseline's weakness that the paper's O(Δ)-work scheme removes.
+  const VertexId k = 250;
+  BaselineDynamicMaximal algo(2 * k + 1);
+  // Hub 0 adjacent to leaves 1..k; hub matches leaf 1 on first insert.
+  for (VertexId v = 1; v <= k; ++v) algo.insert_edge(0, v);
+  // Give every other leaf a matched partner so the hub's rescan after the
+  // deletion must walk its whole (fully matched) neighborhood.
+  for (VertexId v = 2; v <= k; ++v) algo.insert_edge(v, k + v);
+  ASSERT_TRUE(algo.matching().is_matched(0));
+  algo.delete_edge(0, algo.matching().mate(0));
+  EXPECT_GE(algo.last_update_work(), k - 2);  // the rescan is Θ(deg)
+}
+
+TEST(BaselineDynamic, InsertIsConstantWork) {
+  BaselineDynamicMaximal algo(100);
+  algo.insert_edge(0, 1);
+  algo.insert_edge(2, 3);
+  EXPECT_LE(algo.last_update_work(), 2u);
+}
+
+}  // namespace
+}  // namespace matchsparse

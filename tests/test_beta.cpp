@@ -1,0 +1,130 @@
+#include "graph/beta.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/generators.hpp"
+#include "util/rng.hpp"
+
+namespace matchsparse {
+namespace {
+
+TEST(Mis, PathOfFour) {
+  const Graph g = Graph::from_edges(4, {{0, 1}, {1, 2}, {2, 3}});
+  EXPECT_EQ(max_independent_set_size_small(g), 2u);
+}
+
+TEST(Mis, Clique) {
+  EXPECT_EQ(max_independent_set_size_small(gen::complete_graph(8)), 1u);
+}
+
+TEST(Mis, EmptyEdgeSet) {
+  const Graph g = Graph::from_edges(6, {});
+  EXPECT_EQ(max_independent_set_size_small(g), 6u);
+}
+
+TEST(Mis, CycleOfFive) {
+  EdgeList edges;
+  for (VertexId v = 0; v < 5; ++v) edges.emplace_back(v, (v + 1) % 5);
+  EXPECT_EQ(max_independent_set_size_small(Graph::from_edges(5, edges)), 2u);
+}
+
+TEST(Mis, PetersenGraph) {
+  // Independence number of the Petersen graph is 4.
+  EdgeList edges{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 0},   // outer C5
+                 {5, 7}, {7, 9}, {9, 6}, {6, 8}, {8, 5},   // inner pentagram
+                 {0, 5}, {1, 6}, {2, 7}, {3, 8}, {4, 9}};  // spokes
+  EXPECT_EQ(max_independent_set_size_small(Graph::from_edges(10, edges)), 4u);
+}
+
+TEST(Mis, BudgetExhaustionSignalled) {
+  Rng rng(3);
+  const Graph g = gen::erdos_renyi(40, 10.0, rng);
+  EXPECT_EQ(max_independent_set_size_small(g, /*node_budget=*/1), kNoVertex);
+}
+
+TEST(Beta, CliqueIsOne) {
+  const auto r = neighborhood_independence(gen::complete_graph(12));
+  EXPECT_EQ(r.value, 1u);
+  EXPECT_TRUE(r.exact);
+}
+
+TEST(Beta, StarIsNMinusOne) {
+  const auto r = neighborhood_independence(gen::star(9));
+  EXPECT_EQ(r.value, 8u);
+  EXPECT_TRUE(r.exact);
+  EXPECT_EQ(r.witness, 0u);
+}
+
+TEST(Beta, PathIsTwo) {
+  const Graph g = Graph::from_edges(5, {{0, 1}, {1, 2}, {2, 3}, {3, 4}});
+  EXPECT_EQ(neighborhood_independence(g).value, 2u);
+}
+
+TEST(Beta, CompleteMinusEdgeIsTwo) {
+  Rng rng(5);
+  const Graph g = gen::complete_minus_edge(10, rng);
+  const auto r = neighborhood_independence(g);
+  EXPECT_EQ(r.value, 2u);
+  EXPECT_TRUE(r.exact);
+}
+
+TEST(Beta, TwoCliquesBridgeIsTwo) {
+  const Graph g = gen::two_cliques_bridge(10);  // cliques of 5 (odd)
+  EXPECT_EQ(neighborhood_independence(g).value, 2u);
+}
+
+TEST(Beta, LineGraphAtMostTwo) {
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    Rng rng(seed);
+    const Graph g = gen::line_graph_of_er(24, 4.0, rng);
+    if (g.num_vertices() == 0) continue;
+    EXPECT_LE(neighborhood_independence(g).value, 2u) << "seed " << seed;
+  }
+}
+
+TEST(Beta, UnitDiskAtMostFive) {
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    Rng rng(seed);
+    const Graph g = gen::unit_disk(150, 0.15, rng);
+    EXPECT_LE(neighborhood_independence(g).value, 5u) << "seed " << seed;
+  }
+}
+
+TEST(Beta, UnitIntervalAtMostTwo) {
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    Rng rng(seed);
+    const Graph g = gen::unit_interval_graph(120, 0.05, rng);
+    EXPECT_LE(neighborhood_independence(g).value, 2u) << "seed " << seed;
+  }
+}
+
+TEST(Beta, CliqueUnionBoundedByDiversity) {
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    Rng rng(seed);
+    const Graph g = gen::clique_union(80, 6, 3, rng);
+    EXPECT_LE(neighborhood_independence(g).value, 3u) << "seed " << seed;
+  }
+}
+
+TEST(Beta, EmptyGraphIsZero) {
+  const Graph g = Graph::from_edges(4, {});
+  const auto r = neighborhood_independence(g);
+  EXPECT_EQ(r.value, 0u);
+  EXPECT_TRUE(r.exact);
+}
+
+TEST(GreedyIndependentSet, LowerBoundsExact) {
+  Rng rng(7);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Graph g = gen::erdos_renyi(20, 5.0, rng);
+    std::vector<VertexId> all(g.num_vertices());
+    for (VertexId v = 0; v < g.num_vertices(); ++v) all[v] = v;
+    const VertexId greedy = greedy_independent_set_size(g, all);
+    const VertexId exact = max_independent_set_size_small(g);
+    EXPECT_LE(greedy, exact);
+    EXPECT_GE(greedy, 1u);
+  }
+}
+
+}  // namespace
+}  // namespace matchsparse

@@ -1,0 +1,90 @@
+#include "matching/blossom.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/generators.hpp"
+#include "matching/greedy.hpp"
+#include "util/rng.hpp"
+
+namespace matchsparse {
+namespace {
+
+TEST(Blossom, PathGraphs) {
+  for (VertexId n = 2; n <= 9; ++n) {
+    EdgeList edges;
+    for (VertexId v = 0; v + 1 < n; ++v) edges.emplace_back(v, v + 1);
+    const Graph g = Graph::from_edges(n, edges);
+    EXPECT_EQ(blossom_mcm(g).size(), n / 2) << "path " << n;
+  }
+}
+
+TEST(Blossom, OddCycleNeedsBlossomHandling) {
+  for (VertexId n : {3u, 5u, 7u, 9u, 11u}) {
+    EdgeList edges;
+    for (VertexId v = 0; v < n; ++v) edges.emplace_back(v, (v + 1) % n);
+    const Graph g = Graph::from_edges(n, edges);
+    EXPECT_EQ(blossom_mcm(g).size(), n / 2) << "cycle " << n;
+  }
+}
+
+TEST(Blossom, FlowerGraph) {
+  // Triangle blossom hanging off a path: 0-1, 1-2, 2-3, 3-4, 4-2.
+  // MCM = 2 and finding it requires contracting the odd cycle 2-3-4.
+  const Graph g = Graph::from_edges(5, {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {2, 4}});
+  const Matching m = blossom_mcm(g);
+  EXPECT_EQ(m.size(), 2u);
+  EXPECT_TRUE(m.is_valid(g));
+}
+
+TEST(Blossom, CompleteGraphs) {
+  for (VertexId n = 2; n <= 12; ++n) {
+    EXPECT_EQ(blossom_mcm(gen::complete_graph(n)).size(), n / 2);
+  }
+}
+
+TEST(Blossom, MatchesBruteForceOnRandomSmallGraphs) {
+  Rng rng(77);
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto n = static_cast<VertexId>(4 + rng.below(9));  // 4..12
+    const double deg = 1.0 + rng.uniform() * 4.0;
+    const Graph g = gen::erdos_renyi(n, deg, rng);
+    const Matching m = blossom_mcm(g);
+    ASSERT_TRUE(m.is_valid(g));
+    ASSERT_EQ(m.size(), mcm_size_brute_force(g))
+        << "trial " << trial << " n=" << n;
+  }
+}
+
+TEST(Blossom, SeededWithExistingMatchingNeverShrinks) {
+  Rng rng(88);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Graph g = gen::erdos_renyi(40, 4.0, rng);
+    const Matching greedy = greedy_maximal_matching(g);
+    const Matching opt = blossom_mcm(g, greedy);
+    EXPECT_GE(opt.size(), greedy.size());
+    EXPECT_TRUE(opt.is_valid(g));
+    EXPECT_EQ(opt.size(), blossom_mcm(g).size());
+  }
+}
+
+TEST(Blossom, TwoCliquesBridgeUsesBridge) {
+  Edge bridge;
+  const Graph g = gen::two_cliques_bridge(10, &bridge);
+  const Matching m = blossom_mcm(g);
+  EXPECT_EQ(m.size(), 5u);
+  EXPECT_EQ(m.mate(bridge.u), bridge.v);  // the bridge is forced
+}
+
+TEST(Blossom, EmptyAndSingleVertex) {
+  EXPECT_EQ(blossom_mcm(Graph::from_edges(0, {})).size(), 0u);
+  EXPECT_EQ(blossom_mcm(Graph::from_edges(1, {})).size(), 0u);
+}
+
+TEST(BruteForce, TinyCases) {
+  EXPECT_EQ(mcm_size_brute_force(Graph::from_edges(2, {{0, 1}})), 1u);
+  EXPECT_EQ(mcm_size_brute_force(Graph::from_edges(3, {{0, 1}, {1, 2}})), 1u);
+  EXPECT_EQ(mcm_size_brute_force(gen::complete_graph(6)), 3u);
+}
+
+}  // namespace
+}  // namespace matchsparse

@@ -1,0 +1,108 @@
+#include "matching/bounded_aug.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/generators.hpp"
+#include "matching/blossom.hpp"
+#include "matching/greedy.hpp"
+#include "util/rng.hpp"
+
+namespace matchsparse {
+namespace {
+
+TEST(PathCap, FormulaMatchesTheory) {
+  EXPECT_EQ(path_cap_for_eps(1.0), 1u);
+  EXPECT_EQ(path_cap_for_eps(0.5), 3u);
+  EXPECT_EQ(path_cap_for_eps(0.25), 7u);
+  EXPECT_EQ(path_cap_for_eps(0.1), 19u);
+}
+
+TEST(ApproxMcm, ValidOnRandomGraphs) {
+  Rng rng(1);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Graph g = gen::erdos_renyi(80, 5.0, rng);
+    const Matching m = approx_mcm(g, 0.2);
+    EXPECT_TRUE(m.is_valid(g));
+  }
+}
+
+TEST(ApproxMcm, WithinGuaranteeOfExact) {
+  Rng rng(2);
+  for (int trial = 0; trial < 40; ++trial) {
+    const auto n = static_cast<VertexId>(20 + rng.below(60));
+    const Graph g = gen::erdos_renyi(n, 4.0, rng);
+    const double eps = 0.2;
+    const VertexId approx = approx_mcm(g, eps).size();
+    const VertexId opt = blossom_mcm(g).size();
+    EXPECT_LE(approx, opt);
+    EXPECT_GE(static_cast<double>(approx) * (1.0 + eps),
+              static_cast<double>(opt))
+        << "trial " << trial << " n=" << n;
+  }
+}
+
+TEST(ApproxMcm, SmallEpsIsEffectivelyExactOnModerateGraphs) {
+  Rng rng(3);
+  for (int trial = 0; trial < 15; ++trial) {
+    const Graph g = gen::erdos_renyi(50, 3.0, rng);
+    EXPECT_EQ(approx_mcm(g, 0.01).size(), blossom_mcm(g).size())
+        << "trial " << trial;
+  }
+}
+
+TEST(ApproxMcm, HandlesOddCyclesViaBlossoms) {
+  // A 9-cycle from greedy's worst start still reaches size 4 with small eps.
+  EdgeList edges;
+  for (VertexId v = 0; v < 9; ++v) edges.emplace_back(v, (v + 1) % 9);
+  const Graph g = Graph::from_edges(9, edges);
+  EXPECT_EQ(approx_mcm(g, 0.05).size(), 4u);
+}
+
+TEST(ApproxMcm, FlowerGadget) {
+  const Graph g =
+      Graph::from_edges(5, {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {2, 4}});
+  EXPECT_EQ(approx_mcm(g, 0.05).size(), 2u);
+}
+
+TEST(ApproxMcm, CliquePathNeedsLongAugmentingPaths) {
+  // clique_path is engineered to leave greedy stuck with augmenting paths
+  // crossing bridges; small eps must recover the perfect matching.
+  const Graph g = gen::clique_path(5, 4);
+  const Matching m = approx_mcm(g, 0.05);
+  EXPECT_EQ(m.size(), g.num_vertices() / 2);
+}
+
+TEST(ApproxMcm, MonotoneInEps) {
+  Rng rng(5);
+  const Graph g = gen::erdos_renyi(120, 6.0, rng);
+  const VertexId coarse = approx_mcm(g, 0.5).size();
+  const VertexId fine = approx_mcm(g, 0.05).size();
+  EXPECT_LE(coarse, fine + 1);  // allow randomless tie wobble of 1
+  EXPECT_GE(fine, coarse);
+}
+
+TEST(ApproxMcm, StartsFromProvidedMatching) {
+  Rng rng(6);
+  const Graph g = gen::erdos_renyi(60, 5.0, rng);
+  Matching init = greedy_maximal_matching(g);
+  const VertexId init_size = init.size();
+  const Matching m = approx_mcm(g, 0.1, std::move(init));
+  EXPECT_GE(m.size(), init_size);
+  EXPECT_TRUE(m.is_valid(g));
+}
+
+TEST(ApproxMcm, StatsAreCoherent) {
+  Rng rng(7);
+  const Graph g = gen::erdos_renyi(100, 5.0, rng);
+  ApproxMcmStats stats;
+  (void)approx_mcm(g, 0.2, &stats);
+  EXPECT_GE(stats.sweeps, 1u);
+  EXPECT_GE(stats.searches, stats.augmentations);
+}
+
+TEST(ApproxMcm, EmptyGraph) {
+  EXPECT_EQ(approx_mcm(Graph::from_edges(3, {}), 0.3).size(), 0u);
+}
+
+}  // namespace
+}  // namespace matchsparse

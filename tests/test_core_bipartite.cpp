@@ -1,0 +1,71 @@
+// The core API's bipartite fast path: when G_Δ is 2-colorable the
+// pipeline switches to phase-truncated Hopcroft–Karp (the exact black box
+// the paper cites for the O(m/ε) bound).
+#include <gtest/gtest.h>
+
+#include "core/api.hpp"
+#include "gen/generators.hpp"
+#include "matching/hopcroft_karp.hpp"
+#include "util/rng.hpp"
+
+namespace matchsparse {
+namespace {
+
+Graph random_bipartite(VertexId half, double avg_deg, Rng& rng) {
+  EdgeList edges;
+  const double p = avg_deg / static_cast<double>(half);
+  for (VertexId u = 0; u < half; ++u) {
+    for (VertexId v = 0; v < half; ++v) {
+      if (rng.chance(p)) edges.emplace_back(u, half + v);
+    }
+  }
+  return Graph::from_edges(2 * half, edges);
+}
+
+TEST(BipartiteFastPath, MeetsGuaranteeOnDenseBipartite) {
+  Rng rng(1);
+  const Graph g = random_bipartite(300, 150.0, rng);
+  ApproxMatchingConfig cfg;
+  cfg.beta = 8;  // dense bipartite graphs have large beta; the sparsifier
+                 // is built with a generous budget on purpose here — the
+                 // test targets the matcher dispatch, not Theorem 2.1.
+  cfg.eps = 0.2;
+  cfg.bipartite_fast_path = true;
+  const auto fast = approx_maximum_matching(g, cfg);
+  const VertexId opt = hopcroft_karp(g).size();
+  EXPECT_TRUE(fast.matching.is_valid(g));
+  EXPECT_GE(static_cast<double>(fast.matching.size()) * 1.2,
+            static_cast<double>(opt));
+}
+
+TEST(BipartiteFastPath, DisablingItUsesGeneralMatcher) {
+  Rng rng(2);
+  const Graph g = random_bipartite(150, 20.0, rng);
+  ApproxMatchingConfig on, off;
+  on.beta = off.beta = 4;
+  on.seed = off.seed = 5;
+  off.bipartite_fast_path = false;
+  const auto a = approx_maximum_matching(g, on);
+  const auto b = approx_maximum_matching(g, off);
+  // Same sparsifier (same seed), both within guarantee of each other.
+  EXPECT_EQ(a.sparsifier_edges, b.sparsifier_edges);
+  const double ratio =
+      static_cast<double>(std::max(a.matching.size(), b.matching.size())) /
+      static_cast<double>(std::min(a.matching.size(), b.matching.size()));
+  EXPECT_LE(ratio, 1.25);
+}
+
+TEST(BipartiteFastPath, NonBipartiteInputFallsThrough) {
+  // Odd structures in the sparsifier force the general matcher; the call
+  // must still succeed and be valid.
+  const Graph g = gen::complete_graph(101);
+  ApproxMatchingConfig cfg;
+  cfg.beta = 1;
+  cfg.eps = 0.3;
+  const auto r = approx_maximum_matching(g, cfg);
+  EXPECT_TRUE(r.matching.is_valid(g));
+  EXPECT_GE(static_cast<double>(r.matching.size()) * 1.3, 50.0);
+}
+
+}  // namespace
+}  // namespace matchsparse

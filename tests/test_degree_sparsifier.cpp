@@ -1,0 +1,92 @@
+#include "sparsify/degree_sparsifier.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/generators.hpp"
+#include "matching/blossom.hpp"
+#include "sparsify/pipeline.hpp"
+
+namespace matchsparse {
+namespace {
+
+TEST(DeltaAlpha, Formula) {
+  EXPECT_EQ(delta_alpha_for(2.0, 0.5, 4.0), 16u);
+  EXPECT_EQ(delta_alpha_for(0.0, 0.5), 1u);  // floor at 1
+}
+
+TEST(DegreeSparsifier, MaxDegreeBounded) {
+  Rng rng(1);
+  const Graph g = gen::erdos_renyi(200, 30.0, rng);
+  for (VertexId da : {2u, 5u, 10u}) {
+    const Graph s = degree_sparsifier(g, da);
+    EXPECT_LE(s.max_degree(), da) << "delta_alpha " << da;
+  }
+}
+
+TEST(DegreeSparsifier, SubgraphOfInput) {
+  Rng rng(2);
+  const Graph g = gen::erdos_renyi(100, 15.0, rng);
+  const Graph s = degree_sparsifier(g, 4);
+  for (const Edge& e : s.edge_list()) EXPECT_TRUE(g.has_edge(e.u, e.v));
+}
+
+TEST(DegreeSparsifier, KeepsEverythingWhenBudgetExceedsDegree) {
+  Rng rng(3);
+  const Graph g = gen::erdos_renyi(80, 6.0, rng);
+  const Graph s = degree_sparsifier(g, g.max_degree());
+  EXPECT_EQ(s.num_edges(), g.num_edges());
+}
+
+TEST(DegreeSparsifier, BothEndpointsMustMark) {
+  // Star with center budget 1: center marks only its first neighbor, every
+  // leaf marks the center; kept = exactly the center's one mark.
+  const Graph g = gen::star(10);
+  const Graph s = degree_sparsifier(g, 1);
+  EXPECT_EQ(s.num_edges(), 1u);
+  EXPECT_TRUE(s.has_edge(0, 1));  // sorted adjacency: first neighbor is 1
+}
+
+TEST(DegreeSparsifier, PreservesMatchingOnBoundedArboricity) {
+  // Solomon's guarantee: on low-arboricity inputs a generous budget keeps
+  // the MCM essentially intact. Trees have arboricity 1.
+  Rng rng(4);
+  EdgeList edges;
+  for (VertexId v = 1; v < 200; ++v) {
+    edges.emplace_back(static_cast<VertexId>(rng.below(v)), v);  // random tree
+  }
+  const Graph tree = Graph::from_edges(200, edges);
+  const VertexId opt = blossom_mcm(tree).size();
+  const Graph s = degree_sparsifier(tree, delta_alpha_for(1.0, 0.25));
+  const VertexId kept = blossom_mcm(s).size();
+  EXPECT_GE(static_cast<double>(kept) * 1.25, static_cast<double>(opt));
+}
+
+TEST(ComposedSparsifier, StagesChainCorrectly) {
+  Rng rng(5);
+  const Graph g = gen::complete_graph(150);
+  Rng s_rng(6);
+  const auto composed = composed_sparsifier(g, /*beta=*/1, /*eps=*/0.4, s_rng);
+  EXPECT_GT(composed.delta, 0u);
+  EXPECT_GT(composed.delta_alpha, 0u);
+  EXPECT_LE(composed.bounded_stage.max_degree(), composed.delta_alpha);
+  // bounded_stage ⊆ random_stage ⊆ g.
+  for (const Edge& e : composed.bounded_stage.edge_list()) {
+    EXPECT_TRUE(composed.random_stage.has_edge(e.u, e.v));
+  }
+  for (const Edge& e : composed.random_stage.edge_list()) {
+    EXPECT_TRUE(g.has_edge(e.u, e.v));
+  }
+}
+
+TEST(ComposedSparsifier, PreservesMatchingApproximately) {
+  Rng rng(7);
+  const Graph g = gen::complete_graph(120);
+  Rng s_rng(8);
+  const auto composed = composed_sparsifier(g, 1, 0.4, s_rng);
+  const VertexId opt = g.num_vertices() / 2;
+  const VertexId kept = blossom_mcm(composed.bounded_stage).size();
+  EXPECT_GE(static_cast<double>(kept) * 1.4, static_cast<double>(opt));
+}
+
+}  // namespace
+}  // namespace matchsparse

@@ -1,0 +1,76 @@
+#include "dist/pipeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/families.hpp"
+#include "matching/blossom.hpp"
+
+namespace matchsparse::dist {
+namespace {
+
+TEST(Pipeline, EndToEndOnUnitDisk) {
+  const auto& family = gen::find_family("unitdisk");
+  const Graph g = family.make(400, 77);
+  DistributedMatchingOptions opt;
+  opt.beta = family.beta_bound;
+  opt.eps = 0.5;
+  opt.augmenting.windows_per_phase = 12;
+  const auto result = distributed_approx_matching(g, opt, 99);
+
+  EXPECT_TRUE(result.matching.is_valid(g));
+  EXPECT_LE(result.bounded_max_degree, result.delta_alpha);
+  EXPECT_LE(result.bounded_edges, result.sparsifier_edges);
+
+  const VertexId opt_size = blossom_mcm(g).size();
+  // The simulated pipeline is a practical approximation stack; demand a
+  // clearly-better-than-2 factor at eps = 0.5.
+  EXPECT_GE(static_cast<double>(result.matching.size()) * 1.5,
+            static_cast<double>(opt_size));
+}
+
+TEST(Pipeline, StageRoundCountsMatchTheory) {
+  const Graph g = gen::find_family("cliqueunion").make(300, 5);
+  DistributedMatchingOptions opt;
+  opt.beta = 4;
+  opt.eps = 0.5;
+  opt.augmenting.windows_per_phase = 6;
+  const auto result = distributed_approx_matching(g, opt, 3);
+  // Sparsifier stages are single-communication-round constructions.
+  EXPECT_EQ(result.stage_sparsify.active_rounds, 1u);
+  EXPECT_EQ(result.stage_degree.active_rounds, 1u);
+  EXPECT_TRUE(result.stage_maximal.completed);
+}
+
+TEST(Pipeline, SublinearMessagesOnCompleteGraph) {
+  // Theorem 3.3's point: on dense graphs the whole computation exchanges
+  // far fewer messages than m. Constants are scaled down — the message
+  // *shape* (messages ≪ m, both here and in bench_distributed's sweep) is
+  // what the theorem predicts; quality is asserted elsewhere.
+  const Graph g = gen::complete_graph(600);
+  DistributedMatchingOptions opt;
+  opt.beta = 1;
+  opt.eps = 0.6;
+  opt.delta_scale = 0.5;
+  opt.alpha_scale = 0.5;
+  opt.augmenting.windows_per_phase = 4;
+  const auto result = distributed_approx_matching(g, opt, 13);
+  EXPECT_LT(result.total_messages(), g.num_edges())
+      << "messages " << result.total_messages() << " vs m "
+      << g.num_edges();
+  EXPECT_TRUE(result.matching.is_valid(g));
+}
+
+TEST(Pipeline, DeterministicUnderSeed) {
+  const Graph g = gen::find_family("line").make(200, 21);
+  DistributedMatchingOptions opt;
+  opt.beta = 2;
+  opt.eps = 0.5;
+  opt.augmenting.windows_per_phase = 4;
+  const auto a = distributed_approx_matching(g, opt, 555);
+  const auto b = distributed_approx_matching(g, opt, 555);
+  EXPECT_EQ(a.matching.edges(), b.matching.edges());
+  EXPECT_EQ(a.total_messages(), b.total_messages());
+}
+
+}  // namespace
+}  // namespace matchsparse::dist

@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include "dist/augmenting_protocol.hpp"
+#include "dist/proposal_matching.hpp"
+#include "dist/sparsifier_protocols.hpp"
+#include "gen/generators.hpp"
+#include "matching/blossom.hpp"
+#include "matching/greedy.hpp"
+#include "sparsify/degree_sparsifier.hpp"
+
+namespace matchsparse::dist {
+namespace {
+
+TEST(DistSparsifier, OneActiveRoundAndOneBitMessages) {
+  Rng rng(1);
+  const Graph g = gen::complete_graph(120);
+  Network net(g, 9);
+  RandomSparsifierProtocol protocol(g.num_vertices(), 4);
+  const TrafficStats stats = net.run(protocol, 4);
+  EXPECT_TRUE(stats.completed);
+  EXPECT_EQ(stats.active_rounds, 1u);
+  // 1-bit unicast marks: bits == messages.
+  EXPECT_EQ(stats.bits, stats.messages);
+  // Each of the 120 vertices sends exactly Δ = 4 marks (deg = 119 > 2Δ).
+  EXPECT_EQ(stats.messages, 120u * 4);
+}
+
+TEST(DistSparsifier, MatchesCentralizedStructure) {
+  Rng rng(2);
+  const Graph g = gen::erdos_renyi(150, 25.0, rng);
+  Network net(g, 10);
+  RandomSparsifierProtocol protocol(g.num_vertices(), 3);
+  net.run(protocol, 4);
+  const EdgeList edges = protocol.edges();
+  EXPECT_FALSE(edges.empty());
+  for (const Edge& e : edges) EXPECT_TRUE(g.has_edge(e.u, e.v));
+  // Low-degree vertices contribute all incident edges.
+  const Graph gd = Graph::from_edges(g.num_vertices(), edges);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (g.degree(v) <= 6) {
+      EXPECT_GE(gd.degree(v), g.degree(v));
+    }
+  }
+}
+
+TEST(DistSparsifier, SublinearMessagesOnDenseGraph) {
+  const Graph g = gen::complete_graph(300);
+  Network net(g, 11);
+  RandomSparsifierProtocol protocol(g.num_vertices(), 5);
+  const TrafficStats stats = net.run(protocol, 4);
+  EXPECT_LT(stats.messages, g.num_edges() / 10);  // 1500 << 44850
+}
+
+TEST(DistDegreeSparsifier, DegreeBoundHolds) {
+  Rng rng(3);
+  const Graph g = gen::erdos_renyi(200, 20.0, rng);
+  Network net(g, 12);
+  DegreeSparsifierProtocol protocol(g.num_vertices(), 6);
+  const TrafficStats stats = net.run(protocol, 4);
+  EXPECT_TRUE(stats.completed);
+  const Graph s = Graph::from_edges(g.num_vertices(), protocol.edges());
+  EXPECT_LE(s.max_degree(), 6u);
+}
+
+TEST(DistDegreeSparsifier, AgreesWithCentralizedConstruction) {
+  Rng rng(4);
+  const Graph g = gen::erdos_renyi(100, 12.0, rng);
+  Network net(g, 13);
+  DegreeSparsifierProtocol protocol(g.num_vertices(), 5);
+  net.run(protocol, 4);
+  EXPECT_EQ(protocol.edges(), degree_sparsifier_edges(g, 5));
+}
+
+TEST(ProposalMatching, ReachesMaximality) {
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    Rng rng(seed);
+    const Graph g = gen::erdos_renyi(200, 8.0, rng);
+    Network net(g, 100 + seed);
+    ProposalMatchingProtocol protocol(g);
+    const TrafficStats stats = net.run(protocol, 4096);
+    ASSERT_TRUE(stats.completed) << "seed " << seed;
+    const Matching m = protocol.matching();
+    EXPECT_TRUE(m.is_maximal(g)) << "seed " << seed;
+  }
+}
+
+TEST(ProposalMatching, LogarithmicRoundsEmpirically) {
+  // Rounds should grow very slowly with n (O(log n) whp).
+  std::size_t rounds_small = 0, rounds_large = 0;
+  {
+    Rng rng(5);
+    const Graph g = gen::erdos_renyi(100, 6.0, rng);
+    Network net(g, 20);
+    ProposalMatchingProtocol protocol(g);
+    rounds_small = net.run(protocol, 4096).rounds;
+  }
+  {
+    Rng rng(6);
+    const Graph g = gen::erdos_renyi(3000, 6.0, rng);
+    Network net(g, 21);
+    ProposalMatchingProtocol protocol(g);
+    rounds_large = net.run(protocol, 4096).rounds;
+  }
+  EXPECT_LT(rounds_large, rounds_small * 8 + 60);
+}
+
+TEST(ProposalMatching, EmptyGraphCompletesInstantly) {
+  const Graph g = Graph::from_edges(10, {});
+  Network net(g, 1);
+  ProposalMatchingProtocol protocol(g);
+  const TrafficStats stats = net.run(protocol, 10);
+  EXPECT_TRUE(stats.completed);
+  EXPECT_EQ(stats.rounds, 0u);
+}
+
+TEST(Augmenting, ImprovesPathGraphMatching) {
+  // Path of 4: maximal matching may pick the middle edge (size 1); the
+  // augmenting protocol must lift it to the perfect size-2 matching.
+  const Graph g = Graph::from_edges(4, {{0, 1}, {1, 2}, {2, 3}});
+  Matching stuck(4);
+  stuck.match(1, 2);
+  AugmentingOptions opt;
+  opt.eps = 0.3;           // cap >= 3
+  opt.windows_per_phase = 40;
+  opt.init_prob = 0.5;
+  Network net(g, 31);
+  AugmentingProtocol protocol(g, stuck, opt);
+  const TrafficStats stats = net.run(protocol, protocol.planned_rounds() + 2);
+  EXPECT_TRUE(stats.completed);
+  EXPECT_EQ(protocol.matching().size(), 2u);
+  EXPECT_GE(protocol.augmentations(), 1u);
+}
+
+TEST(Augmenting, NeverInvalidatesMatching) {
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    Rng rng(40 + seed);
+    const Graph g = gen::erdos_renyi(120, 5.0, rng);
+    const Matching init = greedy_maximal_matching(g);
+    AugmentingOptions opt;
+    opt.windows_per_phase = 10;
+    Network net(g, 50 + seed);
+    AugmentingProtocol protocol(g, init, opt);
+    net.run(protocol, protocol.planned_rounds() + 2);
+    const Matching m = protocol.matching();
+    EXPECT_TRUE(m.is_valid(g)) << "seed " << seed;
+    EXPECT_GE(m.size(), init.size()) << "seed " << seed;
+  }
+}
+
+TEST(Augmenting, ApproachesOptimumWithEnoughWindows) {
+  Rng rng(60);
+  const Graph g = gen::clique_path(4, 4);
+  const VertexId opt_size = blossom_mcm(g).size();
+  // Worst-case greedy start.
+  const Matching init = greedy_maximal_matching(g);
+  AugmentingOptions opt;
+  opt.eps = 0.2;
+  opt.windows_per_phase = 120;
+  opt.init_prob = 0.5;
+  Network net(g, 61);
+  AugmentingProtocol protocol(g, init, opt);
+  net.run(protocol, protocol.planned_rounds() + 2);
+  const double achieved = protocol.matching().size();
+  EXPECT_GE(achieved * 1.25, static_cast<double>(opt_size));
+}
+
+}  // namespace
+}  // namespace matchsparse::dist

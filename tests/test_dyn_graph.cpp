@@ -1,0 +1,106 @@
+#include "dynamic/dyn_graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "gen/generators.hpp"
+#include "util/rng.hpp"
+
+namespace matchsparse {
+namespace {
+
+TEST(DynGraph, InsertAndQuery) {
+  DynGraph g(4);
+  EXPECT_TRUE(g.insert_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_FALSE(g.has_edge(0, 2));
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_EQ(g.degree(0), 1u);
+}
+
+TEST(DynGraph, DuplicateInsertRejected) {
+  DynGraph g(3);
+  EXPECT_TRUE(g.insert_edge(0, 1));
+  EXPECT_FALSE(g.insert_edge(1, 0));
+  EXPECT_EQ(g.num_edges(), 1u);
+}
+
+TEST(DynGraph, EraseRestoresState) {
+  DynGraph g(3);
+  g.insert_edge(0, 1);
+  g.insert_edge(1, 2);
+  EXPECT_TRUE(g.erase_edge(0, 1));
+  EXPECT_FALSE(g.erase_edge(0, 1));
+  EXPECT_FALSE(g.has_edge(0, 1));
+  EXPECT_EQ(g.degree(1), 1u);
+  EXPECT_EQ(g.num_edges(), 1u);
+}
+
+TEST(DynGraph, SelfLoopAborts) {
+  DynGraph g(3);
+  EXPECT_DEATH(g.insert_edge(1, 1), "self-loop");
+}
+
+TEST(DynGraph, ActiveVerticesTrackDegree) {
+  DynGraph g(5);
+  EXPECT_TRUE(g.active_vertices().empty());
+  g.insert_edge(1, 3);
+  std::set<VertexId> active(g.active_vertices().begin(),
+                            g.active_vertices().end());
+  EXPECT_EQ(active, (std::set<VertexId>{1, 3}));
+  g.insert_edge(1, 2);
+  g.erase_edge(1, 3);
+  active.clear();
+  active.insert(g.active_vertices().begin(), g.active_vertices().end());
+  EXPECT_EQ(active, (std::set<VertexId>{1, 2}));
+  g.erase_edge(1, 2);
+  EXPECT_TRUE(g.active_vertices().empty());
+}
+
+TEST(DynGraph, RandomizedOracleEquivalence) {
+  // Drive random updates; compare against a set-of-edges oracle and the
+  // CSR snapshot after every batch.
+  Rng rng(1);
+  const VertexId n = 40;
+  DynGraph g(n);
+  std::set<std::pair<VertexId, VertexId>> oracle;
+  for (int op = 0; op < 3000; ++op) {
+    auto u = static_cast<VertexId>(rng.below(n));
+    auto v = static_cast<VertexId>(rng.below(n - 1));
+    if (v >= u) ++v;
+    const auto key = std::minmax(u, v);
+    if (rng.chance(0.55)) {
+      EXPECT_EQ(g.insert_edge(u, v), oracle.insert(key).second);
+    } else {
+      EXPECT_EQ(g.erase_edge(u, v), oracle.erase(key) > 0);
+    }
+    if (op % 500 == 0) {
+      const Graph snap = g.snapshot();
+      EXPECT_EQ(snap.num_edges(), oracle.size());
+      for (const auto& [a, b] : oracle) EXPECT_TRUE(snap.has_edge(a, b));
+    }
+  }
+  EXPECT_EQ(g.num_edges(), oracle.size());
+}
+
+TEST(DynGraph, NeighborEnumerationMatchesDegree) {
+  Rng rng(2);
+  DynGraph g(20);
+  for (int i = 0; i < 100; ++i) {
+    auto u = static_cast<VertexId>(rng.below(20));
+    auto v = static_cast<VertexId>(rng.below(19));
+    if (v >= u) ++v;
+    g.insert_edge(u, v);
+  }
+  for (VertexId v = 0; v < 20; ++v) {
+    std::set<VertexId> nbrs;
+    for (VertexId i = 0; i < g.degree(v); ++i) nbrs.insert(g.neighbor(v, i));
+    EXPECT_EQ(nbrs.size(), g.degree(v));  // all distinct
+    for (VertexId w : nbrs) EXPECT_TRUE(g.has_edge(v, w));
+  }
+}
+
+}  // namespace
+}  // namespace matchsparse

@@ -1,0 +1,108 @@
+#include "dynamic/dyn_sparsifier.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/generators.hpp"
+#include "matching/blossom.hpp"
+
+namespace matchsparse {
+namespace {
+
+TEST(DynSparsifier, TracksInsertions) {
+  DynGraph g(10);
+  DynSparsifier s(10, 3, 1);
+  g.insert_edge(0, 1);
+  s.on_insert(g, 0, 1);
+  EXPECT_TRUE(s.contains(0, 1));
+  EXPECT_EQ(s.size(), 1u);
+}
+
+TEST(DynSparsifier, EdgesAreSubsetOfGraph) {
+  Rng rng(2);
+  DynGraph g(50);
+  DynSparsifier s(50, 2, 3);
+  for (int i = 0; i < 400; ++i) {
+    auto u = static_cast<VertexId>(rng.below(50));
+    auto v = static_cast<VertexId>(rng.below(49));
+    if (v >= u) ++v;
+    if (rng.chance(0.6)) {
+      if (g.insert_edge(u, v)) s.on_insert(g, u, v);
+    } else {
+      if (g.erase_edge(u, v)) s.on_delete(g, u, v);
+    }
+    // Invariant: every sparsifier edge exists in the graph.
+    for (const Edge& e : s.edges()) {
+      ASSERT_TRUE(g.has_edge(e.u, e.v)) << "op " << i;
+    }
+  }
+}
+
+TEST(DynSparsifier, LowDegreeKeepsWholeNeighborhood) {
+  DynGraph g(6);
+  DynSparsifier s(6, 3, 5);  // 2*delta = 6 >= any degree here
+  for (VertexId v = 1; v < 6; ++v) {
+    g.insert_edge(0, v);
+    s.on_insert(g, 0, v);
+  }
+  for (VertexId v = 1; v < 6; ++v) EXPECT_TRUE(s.contains(0, v));
+}
+
+TEST(DynSparsifier, WorstCaseWorkIsBounded) {
+  // O(Δ)-per-update claim: each update redraws at most 2*2Δ marks plus
+  // removals (bounded by previous marks, also <= 2*2Δ).
+  Rng rng(7);
+  DynGraph g(200);
+  const VertexId delta = 4;
+  DynSparsifier s(200, delta, 9);
+  std::uint64_t max_work = 0;
+  for (int i = 0; i < 3000; ++i) {
+    auto u = static_cast<VertexId>(rng.below(200));
+    auto v = static_cast<VertexId>(rng.below(199));
+    if (v >= u) ++v;
+    if (rng.chance(0.7)) {
+      if (g.insert_edge(u, v)) s.on_insert(g, u, v);
+    } else {
+      if (g.erase_edge(u, v)) s.on_delete(g, u, v);
+    }
+    max_work = std::max(max_work, s.last_update_work());
+  }
+  EXPECT_LE(max_work, 8u * delta);
+}
+
+TEST(DynSparsifier, PreservesMatchingQualityUnderChurn) {
+  // After heavy oblivious churn on a dense bounded-β graph, the sparsifier
+  // must still carry a near-maximum matching (Theorem 2.1 holds at every
+  // point in time under an oblivious adversary).
+  Rng rng(11);
+  const VertexId n = 80;
+  DynGraph g(n);
+  const VertexId delta = 16;
+  DynSparsifier s(n, delta, 13);
+  // Build K_80 via updates.
+  for (VertexId u = 0; u < n; ++u) {
+    for (VertexId v = u + 1; v < n; ++v) {
+      g.insert_edge(u, v);
+      s.on_insert(g, u, v);
+    }
+  }
+  // Churn: delete and reinsert random edges.
+  for (int i = 0; i < 2000; ++i) {
+    auto u = static_cast<VertexId>(rng.below(n));
+    auto v = static_cast<VertexId>(rng.below(n - 1));
+    if (v >= u) ++v;
+    if (g.erase_edge(u, v)) {
+      s.on_delete(g, u, v);
+    } else {
+      g.insert_edge(u, v);
+      s.on_insert(g, u, v);
+    }
+  }
+  const Graph current = g.snapshot();
+  const Graph sparse = Graph::from_edges(n, s.edges());
+  const VertexId full = blossom_mcm(current).size();
+  const VertexId kept = blossom_mcm(sparse).size();
+  EXPECT_GE(static_cast<double>(kept) * 1.15, static_cast<double>(full));
+}
+
+}  // namespace
+}  // namespace matchsparse

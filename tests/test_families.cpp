@@ -1,0 +1,71 @@
+#include "gen/families.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/beta.hpp"
+
+namespace matchsparse {
+namespace {
+
+TEST(Families, RegistryIsPopulated) {
+  EXPECT_GE(gen::standard_families().size(), 5u);
+  EXPECT_GE(gen::sparse_families().size(), 4u);
+}
+
+TEST(Families, SparseFamiliesExcludeComplete) {
+  for (const auto& f : gen::sparse_families()) EXPECT_NE(f.name, "complete");
+}
+
+TEST(Families, FindByName) {
+  EXPECT_EQ(gen::find_family("unitdisk").beta_bound, 5u);
+  EXPECT_EQ(gen::find_family("complete").beta_bound, 1u);
+}
+
+TEST(Families, UnknownNameAborts) {
+  EXPECT_DEATH(gen::find_family("nope"), "unknown graph family");
+}
+
+TEST(Families, FactoriesProduceGraphsOfRoughlyRequestedSize) {
+  for (const auto& f : gen::standard_families()) {
+    const VertexId target = f.name == "complete" ? 64 : 400;
+    const Graph g = f.make(target, 123);
+    EXPECT_GT(g.num_vertices(), target / 4) << f.name;
+    EXPECT_LT(g.num_vertices(), target * 4) << f.name;
+    EXPECT_GT(g.num_edges(), 0u) << f.name;
+  }
+}
+
+TEST(Families, DeterministicUnderSeed) {
+  for (const auto& f : gen::standard_families()) {
+    const Graph a = f.make(200, 7);
+    const Graph b = f.make(200, 7);
+    EXPECT_EQ(a.edge_list(), b.edge_list()) << f.name;
+  }
+}
+
+// Property sweep: every family must respect its documented β bound.
+class FamilyBetaTest
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::uint64_t>> {
+};
+
+TEST_P(FamilyBetaTest, BetaBoundHolds) {
+  const auto& family = gen::standard_families()[std::get<0>(GetParam())];
+  const std::uint64_t seed = std::get<1>(GetParam());
+  const VertexId target = family.name == "complete" ? 48 : 250;
+  const Graph g = family.make(target, seed);
+  const auto beta = neighborhood_independence(g);
+  EXPECT_LE(beta.value, family.beta_bound)
+      << family.name << " seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFamilies, FamilyBetaTest,
+    ::testing::Combine(::testing::Range<std::size_t>(0, 5),
+                       ::testing::Values(1u, 2u, 3u)),
+    [](const auto& param_info) {
+      return gen::standard_families()[std::get<0>(param_info.param)].name + "_s" +
+             std::to_string(std::get<1>(param_info.param));
+    });
+
+}  // namespace
+}  // namespace matchsparse

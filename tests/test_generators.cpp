@@ -1,0 +1,171 @@
+#include "gen/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/beta.hpp"
+#include "matching/blossom.hpp"
+
+namespace matchsparse {
+namespace {
+
+using namespace gen;
+
+TEST(CompleteGraph, SizeAndDegrees) {
+  const Graph g = complete_graph(9);
+  EXPECT_EQ(g.num_vertices(), 9u);
+  EXPECT_EQ(g.num_edges(), 36u);
+  for (VertexId v = 0; v < 9; ++v) EXPECT_EQ(g.degree(v), 8u);
+}
+
+TEST(CompleteMinusEdge, ExactlyOnePairMissing) {
+  Rng rng(11);
+  Edge removed;
+  const Graph g = complete_minus_edge(8, rng, &removed);
+  EXPECT_EQ(g.num_edges(), 27u);
+  EXPECT_FALSE(g.has_edge(removed.u, removed.v));
+  EXPECT_NE(removed.u, removed.v);
+}
+
+TEST(CompleteMinusEdge, StillHasPerfectMatching) {
+  Rng rng(13);
+  const Graph g = complete_minus_edge(10, rng);
+  EXPECT_EQ(blossom_mcm(g).size(), 5u);
+}
+
+TEST(TwoCliquesBridge, Structure) {
+  Edge bridge;
+  const Graph g = two_cliques_bridge(10, &bridge);
+  EXPECT_EQ(g.num_vertices(), 10u);
+  // Two K5 (10 edges each) + bridge.
+  EXPECT_EQ(g.num_edges(), 21u);
+  EXPECT_TRUE(g.has_edge(bridge.u, bridge.v));
+  EXPECT_FALSE(g.has_edge(1, 6));  // across cliques, not the bridge
+}
+
+TEST(TwoCliquesBridge, PerfectMatchingRequiresBridge) {
+  // |MCM| = n/2 with the bridge; without it each odd K_{n/2} loses one.
+  Edge bridge;
+  const Graph g = two_cliques_bridge(14, &bridge);
+  EXPECT_EQ(blossom_mcm(g).size(), 7u);
+  // Remove the bridge: matching drops by exactly 1.
+  EdgeList edges = g.edge_list();
+  std::erase(edges, bridge);
+  const Graph without = Graph::from_edges(14, edges);
+  EXPECT_EQ(blossom_mcm(without).size(), 6u);
+}
+
+TEST(TwoCliquesBridge, RejectsEvenHalf) {
+  EXPECT_DEATH(two_cliques_bridge(8), "odd");
+}
+
+TEST(LineGraph, TriangleIsTriangle) {
+  const Graph base = Graph::from_edges(3, {{0, 1}, {1, 2}, {0, 2}});
+  const Graph lg = line_graph(base);
+  EXPECT_EQ(lg.num_vertices(), 3u);
+  EXPECT_EQ(lg.num_edges(), 3u);
+}
+
+TEST(LineGraph, PathBecomesShorterPath) {
+  const Graph base = Graph::from_edges(4, {{0, 1}, {1, 2}, {2, 3}});
+  const Graph lg = line_graph(base);
+  EXPECT_EQ(lg.num_vertices(), 3u);
+  EXPECT_EQ(lg.num_edges(), 2u);
+}
+
+TEST(LineGraph, StarBecomesClique) {
+  const Graph lg = line_graph(star(6));
+  EXPECT_EQ(lg.num_vertices(), 5u);
+  EXPECT_EQ(lg.num_edges(), 10u);  // K5
+}
+
+TEST(UnitDisk, EdgesMatchBruteForceDistanceCheck) {
+  // Cross-validate the grid-binned generator against the O(n^2) rule on
+  // the same point set by regenerating with the same seed and radius.
+  Rng rng1(21), rng2(21);
+  const double r = 0.2;
+  const Graph g = unit_disk(60, r, rng1);
+  // Reproduce points.
+  std::vector<double> x(60), y(60);
+  for (VertexId i = 0; i < 60; ++i) {
+    x[i] = rng2.uniform();
+    y[i] = rng2.uniform();
+  }
+  EdgeIndex expected = 0;
+  for (VertexId i = 0; i < 60; ++i) {
+    for (VertexId j = i + 1; j < 60; ++j) {
+      const double dx = x[i] - x[j], dy = y[i] - y[j];
+      const bool close = dx * dx + dy * dy <= r * r;
+      expected += close;
+      EXPECT_EQ(g.has_edge(i, j), close) << i << "," << j;
+    }
+  }
+  EXPECT_EQ(g.num_edges(), expected);
+}
+
+TEST(UnitDisk, RadiusForDegreeHitsTarget) {
+  Rng rng(23);
+  const VertexId n = 4000;
+  const double r = unit_disk_radius_for_degree(n, 10.0);
+  const Graph g = unit_disk(n, r, rng);
+  // Boundary effects pull the mean below the open-plane estimate.
+  EXPECT_GT(g.average_degree(), 6.0);
+  EXPECT_LT(g.average_degree(), 12.0);
+}
+
+TEST(UnitInterval, AdjacencyMatchesOverlapRule) {
+  Rng rng1(31), rng2(31);
+  const double len = 0.08;
+  const Graph g = unit_interval_graph(50, len, rng1);
+  std::vector<double> start(50);
+  for (VertexId i = 0; i < 50; ++i) start[i] = rng2.uniform();
+  for (VertexId i = 0; i < 50; ++i) {
+    for (VertexId j = i + 1; j < 50; ++j) {
+      const bool overlap = std::abs(start[i] - start[j]) <= len;
+      EXPECT_EQ(g.has_edge(i, j), overlap);
+    }
+  }
+}
+
+TEST(CliqueUnion, RespectsDiversityBudget) {
+  Rng rng(41);
+  const Graph g = clique_union(60, 5, 2, rng);
+  // Each vertex joins <= 2 cliques of size 5: degree <= 2*4 = 8.
+  EXPECT_LE(g.max_degree(), 8u);
+  EXPECT_GT(g.num_edges(), 0u);
+}
+
+TEST(CliquePath, StructureAndMatching) {
+  const Graph g = clique_path(3, 4);
+  EXPECT_EQ(g.num_vertices(), 12u);
+  // 3 * C(4,2) + 2 bridges.
+  EXPECT_EQ(g.num_edges(), 20u);
+  EXPECT_EQ(blossom_mcm(g).size(), 6u);  // perfect
+}
+
+TEST(ErdosRenyi, DegreeConcentration) {
+  Rng rng(43);
+  const Graph g = erdos_renyi(5000, 10.0, rng);
+  EXPECT_NEAR(g.average_degree(), 10.0, 0.5);
+}
+
+TEST(ErdosRenyi, SparseAndDensePathsAgreeInExpectation) {
+  Rng rng1(47), rng2(49);
+  const Graph sparse = erdos_renyi(400, 8.0, rng1);    // p < 0.25 path
+  const Graph dense = erdos_renyi(400, 150.0, rng2);   // p >= 0.25 path
+  EXPECT_NEAR(sparse.average_degree(), 8.0, 1.5);
+  EXPECT_NEAR(dense.average_degree(), 150.0, 5.0);
+}
+
+TEST(ErdosRenyi, ZeroDegreeGivesEmptyGraph) {
+  Rng rng(51);
+  EXPECT_EQ(erdos_renyi(100, 0.0, rng).num_edges(), 0u);
+}
+
+TEST(Star, Structure) {
+  const Graph g = star(7);
+  EXPECT_EQ(g.degree(0), 6u);
+  for (VertexId v = 1; v < 7; ++v) EXPECT_EQ(g.degree(v), 1u);
+}
+
+}  // namespace
+}  // namespace matchsparse

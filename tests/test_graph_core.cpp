@@ -1,0 +1,126 @@
+#include "graph/graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace matchsparse {
+namespace {
+
+Graph triangle() {
+  return Graph::from_edges(3, {{0, 1}, {1, 2}, {0, 2}});
+}
+
+TEST(Edge, NormalizedOrdersEndpoints) {
+  EXPECT_EQ(Edge(5, 2).normalized().u, 2u);
+  EXPECT_EQ(Edge(5, 2).normalized().v, 5u);
+  EXPECT_EQ(Edge(2, 5), Edge(5, 2));
+}
+
+TEST(Edge, OtherEndpoint) {
+  const Edge e(3, 8);
+  EXPECT_EQ(e.other(3), 8u);
+  EXPECT_EQ(e.other(8), 3u);
+  EXPECT_TRUE(e.touches(3));
+  EXPECT_FALSE(e.touches(4));
+}
+
+TEST(NormalizeEdgeList, RemovesDuplicatesAndLoops) {
+  EdgeList edges{{1, 0}, {0, 1}, {2, 2}, {1, 2}};
+  normalize_edge_list(edges);
+  ASSERT_EQ(edges.size(), 2u);
+  EXPECT_EQ(edges[0], Edge(0, 1));
+  EXPECT_EQ(edges[1], Edge(1, 2));
+}
+
+TEST(Graph, EmptyGraph) {
+  const Graph g = Graph::from_edges(0, {});
+  EXPECT_EQ(g.num_vertices(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_EQ(g.max_degree(), 0u);
+}
+
+TEST(Graph, VerticesWithoutEdges) {
+  const Graph g = Graph::from_edges(5, {{0, 1}});
+  EXPECT_EQ(g.num_vertices(), 5u);
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_EQ(g.degree(4), 0u);
+  EXPECT_EQ(g.num_non_isolated(), 2u);
+}
+
+TEST(Graph, DegreesAndNeighbors) {
+  const Graph g = triangle();
+  for (VertexId v = 0; v < 3; ++v) EXPECT_EQ(g.degree(v), 2u);
+  const auto nbrs = g.neighbors(1);
+  ASSERT_EQ(nbrs.size(), 2u);
+  EXPECT_EQ(nbrs[0], 0u);  // sorted
+  EXPECT_EQ(nbrs[1], 2u);
+  EXPECT_EQ(g.neighbor(1, 0), 0u);
+  EXPECT_EQ(g.neighbor(1, 1), 2u);
+}
+
+TEST(Graph, HasEdge) {
+  const Graph g = Graph::from_edges(4, {{0, 1}, {1, 2}});
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_TRUE(g.has_edge(2, 1));
+  EXPECT_FALSE(g.has_edge(0, 2));
+  EXPECT_FALSE(g.has_edge(0, 3));
+}
+
+TEST(Graph, EdgeListRoundTrip) {
+  EdgeList edges{{0, 3}, {1, 2}, {0, 1}};
+  normalize_edge_list(edges);
+  const Graph g = Graph::from_edges(4, edges);
+  EXPECT_EQ(g.edge_list(), edges);
+}
+
+TEST(Graph, MaxAndAverageDegree) {
+  const Graph g = Graph::from_edges(4, {{0, 1}, {0, 2}, {0, 3}});
+  EXPECT_EQ(g.max_degree(), 3u);
+  EXPECT_DOUBLE_EQ(g.average_degree(), 1.5);
+}
+
+TEST(Graph, ProbeMeterCountsAccesses) {
+  const Graph g = triangle();
+  ProbeMeter meter;
+  (void)g.degree(0, &meter);
+  (void)g.neighbor(0, 0, &meter);
+  (void)g.neighbor(0, 1, &meter);
+  EXPECT_EQ(meter.probes(), 3u);
+  meter.reset();
+  EXPECT_EQ(meter.probes(), 0u);
+}
+
+TEST(Graph, NullMeterIsFree) {
+  const Graph g = triangle();
+  EXPECT_EQ(g.neighbor(0, 0, nullptr), g.neighbor(0, 0));
+}
+
+TEST(InducedSubgraph, TriangleMinusVertex) {
+  const Graph g = triangle();
+  const std::vector<VertexId> keep{0, 2};
+  const Graph sub = induced_subgraph(g, keep);
+  EXPECT_EQ(sub.num_vertices(), 2u);
+  EXPECT_EQ(sub.num_edges(), 1u);
+  EXPECT_TRUE(sub.has_edge(0, 1));  // local ids
+}
+
+TEST(InducedSubgraph, PreservesInternalEdgesOnly) {
+  // Path 0-1-2-3; induce {0, 1, 3}: only edge 0-1 survives.
+  const Graph g = Graph::from_edges(4, {{0, 1}, {1, 2}, {2, 3}});
+  const std::vector<VertexId> keep{0, 1, 3};
+  const Graph sub = induced_subgraph(g, keep);
+  EXPECT_EQ(sub.num_edges(), 1u);
+  EXPECT_TRUE(sub.has_edge(0, 1));
+  EXPECT_FALSE(sub.has_edge(1, 2));
+}
+
+TEST(InducedSubgraph, EmptySelection) {
+  const Graph g = triangle();
+  const Graph sub = induced_subgraph(g, std::vector<VertexId>{});
+  EXPECT_EQ(sub.num_vertices(), 0u);
+}
+
+}  // namespace
+}  // namespace matchsparse

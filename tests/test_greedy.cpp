@@ -1,0 +1,62 @@
+#include "matching/greedy.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/generators.hpp"
+#include "matching/blossom.hpp"
+
+namespace matchsparse {
+namespace {
+
+TEST(Greedy, ResultIsMaximal) {
+  Rng rng(1);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Graph g = gen::erdos_renyi(100, 6.0, rng);
+    EXPECT_TRUE(greedy_maximal_matching(g).is_maximal(g));
+  }
+}
+
+TEST(Greedy, RandomOrderResultIsMaximal) {
+  Rng graph_rng(2);
+  Rng order_rng(3);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Graph g = gen::erdos_renyi(100, 6.0, graph_rng);
+    EXPECT_TRUE(greedy_maximal_matching(g, order_rng).is_maximal(g));
+  }
+}
+
+TEST(Greedy, AtLeastHalfOptimal) {
+  Rng rng(5);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Graph g = gen::erdos_renyi(60, 5.0, rng);
+    const VertexId greedy = greedy_maximal_matching(g).size();
+    const VertexId opt = blossom_mcm(g).size();
+    EXPECT_GE(2 * greedy, opt);
+    EXPECT_LE(greedy, opt);
+  }
+}
+
+TEST(Greedy, EmptyGraph) {
+  const Graph g = Graph::from_edges(5, {});
+  EXPECT_EQ(greedy_maximal_matching(g).size(), 0u);
+}
+
+TEST(Greedy, PerfectOnCompleteEven) {
+  EXPECT_EQ(greedy_maximal_matching(gen::complete_graph(10)).size(), 5u);
+}
+
+TEST(GreedyOnEdgeList, HonorsOrder) {
+  // Edge order determines which edges win.
+  const EdgeList edges{{1, 2}, {0, 1}, {2, 3}};
+  const Matching m = greedy_on_edge_list(4, edges);
+  EXPECT_EQ(m.size(), 1u);  // (1,2) blocks both others
+  EXPECT_EQ(m.mate(1), 2u);
+}
+
+TEST(GreedyOnEdgeList, MatchesAllDisjoint) {
+  const EdgeList edges{{0, 1}, {2, 3}, {4, 5}};
+  EXPECT_EQ(greedy_on_edge_list(6, edges).size(), 3u);
+}
+
+}  // namespace
+}  // namespace matchsparse

@@ -1,0 +1,96 @@
+#include "matching/hopcroft_karp.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/generators.hpp"
+#include "matching/blossom.hpp"
+#include "util/rng.hpp"
+
+namespace matchsparse {
+namespace {
+
+Graph random_bipartite(VertexId left, VertexId right, double p, Rng& rng) {
+  EdgeList edges;
+  for (VertexId u = 0; u < left; ++u) {
+    for (VertexId v = 0; v < right; ++v) {
+      if (rng.chance(p)) edges.emplace_back(u, left + v);
+    }
+  }
+  return Graph::from_edges(left + right, edges);
+}
+
+TEST(TwoColor, DetectsBipartite) {
+  const Graph even_cycle =
+      Graph::from_edges(4, {{0, 1}, {1, 2}, {2, 3}, {3, 0}});
+  EXPECT_TRUE(two_color(even_cycle).bipartite);
+  const Graph odd_cycle = Graph::from_edges(3, {{0, 1}, {1, 2}, {2, 0}});
+  EXPECT_FALSE(two_color(odd_cycle).bipartite);
+}
+
+TEST(TwoColor, SidesAreProper) {
+  Rng rng(1);
+  const Graph g = random_bipartite(20, 25, 0.2, rng);
+  const auto bp = two_color(g);
+  ASSERT_TRUE(bp.bipartite);
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    for (VertexId v : g.neighbors(u)) EXPECT_NE(bp.side[u], bp.side[v]);
+  }
+}
+
+TEST(TwoColor, DisconnectedComponents) {
+  const Graph g = Graph::from_edges(6, {{0, 1}, {2, 3}, {4, 5}});
+  EXPECT_TRUE(two_color(g).bipartite);
+}
+
+TEST(HopcroftKarp, ExactMatchesBlossom) {
+  Rng rng(2);
+  for (int trial = 0; trial < 30; ++trial) {
+    const Graph g = random_bipartite(15, 18, 0.15, rng);
+    const Matching hk = hopcroft_karp(g);
+    EXPECT_TRUE(hk.is_valid(g));
+    EXPECT_EQ(hk.size(), blossom_mcm(g).size()) << "trial " << trial;
+  }
+}
+
+TEST(HopcroftKarp, PerfectOnCompleteBipartite) {
+  EdgeList edges;
+  for (VertexId u = 0; u < 8; ++u) {
+    for (VertexId v = 8; v < 16; ++v) edges.emplace_back(u, v);
+  }
+  const Graph g = Graph::from_edges(16, edges);
+  EXPECT_EQ(hopcroft_karp(g).size(), 8u);
+}
+
+TEST(HopcroftKarp, PhaseTruncationGuarantee) {
+  // After k phases HK is a (1+1/k)-approximation.
+  Rng rng(3);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Graph g = random_bipartite(40, 40, 0.08, rng);
+    const VertexId opt = hopcroft_karp(g).size();
+    for (int k : {1, 2, 4}) {
+      const VertexId approx = hopcroft_karp(g, k).size();
+      EXPECT_LE(approx, opt);
+      EXPECT_GE(static_cast<double>(approx) * (1.0 + 1.0 / k),
+                static_cast<double>(opt))
+          << "k=" << k;
+    }
+  }
+}
+
+TEST(HopcroftKarp, RejectsOddCycle) {
+  const Graph odd = Graph::from_edges(3, {{0, 1}, {1, 2}, {2, 0}});
+  EXPECT_DEATH(hopcroft_karp(odd), "bipartite");
+}
+
+TEST(HkPhases, ForEps) {
+  EXPECT_EQ(hk_phases_for_eps(0.5), 2);
+  EXPECT_EQ(hk_phases_for_eps(0.1), 10);
+  EXPECT_EQ(hk_phases_for_eps(0.34), 3);
+}
+
+TEST(HopcroftKarp, EmptyGraph) {
+  EXPECT_EQ(hopcroft_karp(Graph::from_edges(4, {})).size(), 0u);
+}
+
+}  // namespace
+}  // namespace matchsparse

@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "gen/generators.hpp"
+#include "gen/quasi_unit_disk.hpp"
+#include "graph/beta.hpp"
+#include "graph/io.hpp"
+
+namespace matchsparse {
+namespace {
+
+std::string temp_path(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+TEST(GraphIo, RoundTrip) {
+  Rng rng(1);
+  const Graph g = gen::erdos_renyi(60, 5.0, rng);
+  const std::string path = temp_path("roundtrip.edges");
+  save_edge_list(g, path);
+  const Graph loaded = load_edge_list(path);
+  EXPECT_EQ(loaded.num_vertices(), g.num_vertices());
+  EXPECT_EQ(loaded.edge_list(), g.edge_list());
+  std::remove(path.c_str());
+}
+
+TEST(GraphIo, CommentsAndBlankLines) {
+  const std::string path = temp_path("comments.edges");
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  std::fputs("# a comment\n\n3 2\n# another\n0 1\n\n1 2\n", f);
+  std::fclose(f);
+  const Graph g = load_edge_list(path);
+  EXPECT_EQ(g.num_vertices(), 3u);
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 2));
+  std::remove(path.c_str());
+}
+
+TEST(GraphIo, MissingFileAborts) {
+  EXPECT_DEATH(load_edge_list("/nonexistent/nowhere.edges"),
+               "cannot open");
+}
+
+TEST(GraphIo, TruncatedFileAborts) {
+  const std::string path = temp_path("truncated.edges");
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  std::fputs("4 3\n0 1\n", f);
+  std::fclose(f);
+  EXPECT_DEATH(load_edge_list(path), "truncated");
+  std::remove(path.c_str());
+}
+
+TEST(GraphIo, OutOfRangeEndpointAborts) {
+  const std::string path = temp_path("range.edges");
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  std::fputs("3 1\n0 7\n", f);
+  std::fclose(f);
+  EXPECT_DEATH(load_edge_list(path), "out of range");
+  std::remove(path.c_str());
+}
+
+TEST(QuasiUnitDisk, InnerAlwaysOuterNever) {
+  Rng rng1(5), rng2(5);
+  const double ri = 0.08, ro = 0.16;
+  const Graph g = gen::quasi_unit_disk(120, ri, ro, 0.5, rng1);
+  // Reproduce the points with the same seed.
+  std::vector<double> x(120), y(120);
+  for (VertexId i = 0; i < 120; ++i) {
+    x[i] = rng2.uniform();
+    y[i] = rng2.uniform();
+  }
+  for (VertexId i = 0; i < 120; ++i) {
+    for (VertexId j = i + 1; j < 120; ++j) {
+      const double dx = x[i] - x[j], dy = y[i] - y[j];
+      const double d2 = dx * dx + dy * dy;
+      if (d2 <= ri * ri) {
+        EXPECT_TRUE(g.has_edge(i, j)) << i << "," << j;
+      } else if (d2 > ro * ro) {
+        EXPECT_FALSE(g.has_edge(i, j)) << i << "," << j;
+      }
+    }
+  }
+}
+
+TEST(QuasiUnitDisk, GrayZoneProbabilityExtremes) {
+  Rng rng_all(7);
+  const Graph all = gen::quasi_unit_disk(100, 0.05, 0.15, 1.0, rng_all);
+  Rng rng_none(7);
+  const Graph none = gen::quasi_unit_disk(100, 0.05, 0.15, 0.0, rng_none);
+  EXPECT_GT(all.num_edges(), none.num_edges());
+  // gray_p = 1 is a unit-disk graph at the outer radius; gray_p = 0 at
+  // the inner radius.
+  Rng rng_outer(7);
+  EXPECT_EQ(all.num_edges(),
+            gen::unit_disk(100, 0.15, rng_outer).num_edges());
+}
+
+TEST(QuasiUnitDisk, BoundedNeighborhoodIndependence) {
+  // With ro/ri = 2 the neighborhood independence stays a small constant
+  // (independent members are pairwise > ri apart inside an ro-disk:
+  // a packing argument gives <= (1 + 2*ro/ri)^2 / ... — empirically ~10).
+  for (std::uint64_t seed = 0; seed < 3; ++seed) {
+    Rng rng(seed);
+    const Graph g = gen::quasi_unit_disk(250, 0.06, 0.12, 0.5, rng);
+    EXPECT_LE(neighborhood_independence(g).value, 12u) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace matchsparse

@@ -1,0 +1,101 @@
+// Matchers against closed-form MCM values of named graphs — a
+// cross-implementation safety net complementary to the exhaustive sweep.
+#include <gtest/gtest.h>
+
+#include "gen/generators.hpp"
+#include "matching/blossom.hpp"
+#include "matching/bounded_aug.hpp"
+#include "matching/hopcroft_karp.hpp"
+
+namespace matchsparse {
+namespace {
+
+Graph cycle(VertexId n) {
+  EdgeList edges;
+  for (VertexId v = 0; v < n; ++v) edges.emplace_back(v, (v + 1) % n);
+  return Graph::from_edges(n, edges);
+}
+
+Graph hypercube(VertexId dims) {
+  const VertexId n = 1u << dims;
+  EdgeList edges;
+  for (VertexId v = 0; v < n; ++v) {
+    for (VertexId b = 0; b < dims; ++b) {
+      const VertexId w = v ^ (1u << b);
+      if (v < w) edges.emplace_back(v, w);
+    }
+  }
+  return Graph::from_edges(n, edges);
+}
+
+Graph petersen() {
+  return Graph::from_edges(
+      10, {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 0},
+           {5, 7}, {7, 9}, {9, 6}, {6, 8}, {8, 5},
+           {0, 5}, {1, 6}, {2, 7}, {3, 8}, {4, 9}});
+}
+
+TEST(KnownValues, Cycles) {
+  for (VertexId n = 3; n <= 20; ++n) {
+    EXPECT_EQ(blossom_mcm(cycle(n)).size(), n / 2) << "C_" << n;
+  }
+}
+
+TEST(KnownValues, HypercubesHavePerfectMatchings) {
+  for (VertexId d = 1; d <= 6; ++d) {
+    const Graph q = hypercube(d);
+    EXPECT_EQ(blossom_mcm(q).size(), q.num_vertices() / 2) << "Q_" << d;
+    // Hypercubes are bipartite: HK must agree.
+    EXPECT_EQ(hopcroft_karp(q).size(), q.num_vertices() / 2) << "Q_" << d;
+  }
+}
+
+TEST(KnownValues, PetersenHasPerfectMatching) {
+  EXPECT_EQ(blossom_mcm(petersen()).size(), 5u);
+  EXPECT_EQ(approx_mcm(petersen(), 0.05).size(), 5u);
+}
+
+TEST(KnownValues, CompleteBipartiteUnbalanced) {
+  // K_{a,b}: MCM = min(a, b).
+  for (auto [a, b] : {std::pair<VertexId, VertexId>{3, 7}, {5, 5}, {1, 9}}) {
+    EdgeList edges;
+    for (VertexId u = 0; u < a; ++u) {
+      for (VertexId v = 0; v < b; ++v) edges.emplace_back(u, a + v);
+    }
+    const Graph g = Graph::from_edges(a + b, edges);
+    EXPECT_EQ(hopcroft_karp(g).size(), std::min(a, b));
+    EXPECT_EQ(blossom_mcm(g).size(), std::min(a, b));
+  }
+}
+
+TEST(KnownValues, FriendshipGraph) {
+  // k triangles sharing one hub: MCM = k (one edge per triangle; the hub
+  // joins one of them). n = 2k + 1.
+  for (VertexId k = 1; k <= 6; ++k) {
+    EdgeList edges;
+    for (VertexId t = 0; t < k; ++t) {
+      const VertexId a = 1 + 2 * t;
+      const VertexId b = 2 + 2 * t;
+      edges.emplace_back(0, a);
+      edges.emplace_back(0, b);
+      edges.emplace_back(a, b);
+    }
+    const Graph g = Graph::from_edges(2 * k + 1, edges);
+    EXPECT_EQ(blossom_mcm(g).size(), k) << "k=" << k;
+    EXPECT_EQ(approx_mcm(g, 0.1).size(), k) << "k=" << k;
+  }
+}
+
+TEST(KnownValues, StarMatchesExactlyOne) {
+  EXPECT_EQ(blossom_mcm(gen::star(50)).size(), 1u);
+}
+
+TEST(KnownValues, CliquePathPerfect) {
+  for (VertexId count : {2u, 5u, 9u}) {
+    const Graph g = gen::clique_path(count, 6);
+    EXPECT_EQ(blossom_mcm(g).size(), g.num_vertices() / 2);
+  }
+}
+
+}  // namespace
+}  // namespace matchsparse

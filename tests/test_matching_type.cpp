@@ -1,0 +1,81 @@
+#include "matching/matching.hpp"
+
+#include <gtest/gtest.h>
+
+namespace matchsparse {
+namespace {
+
+Graph path4() { return Graph::from_edges(4, {{0, 1}, {1, 2}, {2, 3}}); }
+
+TEST(Matching, StartsEmpty) {
+  Matching m(5);
+  EXPECT_EQ(m.size(), 0u);
+  for (VertexId v = 0; v < 5; ++v) {
+    EXPECT_FALSE(m.is_matched(v));
+    EXPECT_EQ(m.mate(v), kNoVertex);
+  }
+}
+
+TEST(Matching, MatchAndUnmatch) {
+  Matching m(4);
+  m.match(0, 1);
+  EXPECT_EQ(m.size(), 1u);
+  EXPECT_EQ(m.mate(0), 1u);
+  EXPECT_EQ(m.mate(1), 0u);
+  m.unmatch(0);
+  EXPECT_EQ(m.size(), 0u);
+  EXPECT_FALSE(m.is_matched(1));
+}
+
+TEST(Matching, EdgesCanonical) {
+  Matching m(6);
+  m.match(5, 2);
+  m.match(0, 3);
+  const EdgeList edges = m.edges();
+  ASSERT_EQ(edges.size(), 2u);
+  EXPECT_EQ(edges[0], Edge(0, 3));
+  EXPECT_EQ(edges[1], Edge(2, 5));
+}
+
+TEST(Matching, ValidityAgainstGraph) {
+  const Graph g = path4();
+  Matching m(4);
+  m.match(0, 1);
+  EXPECT_TRUE(m.is_valid(g));
+  Matching bad(4);
+  bad.match(0, 3);  // not an edge of the path
+  EXPECT_FALSE(bad.is_valid(g));
+}
+
+TEST(Matching, SizeMismatchedMatchingIsInvalid) {
+  const Graph g = path4();
+  Matching m(3);
+  EXPECT_FALSE(m.is_valid(g));
+}
+
+TEST(Matching, MaximalityCheck) {
+  const Graph g = path4();
+  Matching m(4);
+  m.match(1, 2);
+  EXPECT_TRUE(m.is_maximal(g));  // 0 and 3 have no free neighbor
+  Matching not_max(4);
+  not_max.match(0, 1);
+  EXPECT_FALSE(not_max.is_maximal(g));  // edge (2,3) both free
+}
+
+TEST(Matching, RebuildSizeAfterRawSurgery) {
+  Matching m(4);
+  m.set_mate_unchecked(0, 1);
+  m.set_mate_unchecked(1, 0);
+  m.rebuild_size();
+  EXPECT_EQ(m.size(), 1u);
+}
+
+TEST(Matching, RebuildDetectsAsymmetry) {
+  Matching m(4);
+  m.set_mate_unchecked(0, 1);
+  EXPECT_DEATH(m.rebuild_size(), "asymmetric");
+}
+
+}  // namespace
+}  // namespace matchsparse

@@ -1,0 +1,99 @@
+#include "graph/measures.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/generators.hpp"
+#include "util/rng.hpp"
+
+namespace matchsparse {
+namespace {
+
+TEST(Degeneracy, TreeIsOne) {
+  // Star = tree: degeneracy 1.
+  const Graph g = gen::star(10);
+  EXPECT_EQ(degeneracy_order(g).degeneracy, 1u);
+}
+
+TEST(Degeneracy, CycleIsTwo) {
+  EdgeList edges;
+  for (VertexId v = 0; v < 6; ++v) edges.emplace_back(v, (v + 1) % 6);
+  const Graph g = Graph::from_edges(6, edges);
+  EXPECT_EQ(degeneracy_order(g).degeneracy, 2u);
+}
+
+TEST(Degeneracy, CompleteGraph) {
+  const Graph g = gen::complete_graph(7);
+  EXPECT_EQ(degeneracy_order(g).degeneracy, 6u);
+}
+
+TEST(Degeneracy, OrderCoversAllVertices) {
+  Rng rng(1);
+  const Graph g = gen::erdos_renyi(50, 6.0, rng);
+  const auto result = degeneracy_order(g);
+  ASSERT_EQ(result.order.size(), g.num_vertices());
+  std::vector<bool> seen(g.num_vertices(), false);
+  for (VertexId v : result.order) {
+    ASSERT_LT(v, g.num_vertices());
+    ASSERT_FALSE(seen[v]);
+    seen[v] = true;
+  }
+}
+
+TEST(Degeneracy, PeelingPropertyHolds) {
+  // When vertex order[i] is peeled, its degree among later vertices must
+  // be <= degeneracy.
+  Rng rng(2);
+  const Graph g = gen::erdos_renyi(60, 8.0, rng);
+  const auto result = degeneracy_order(g);
+  std::vector<VertexId> when(g.num_vertices());
+  for (VertexId i = 0; i < g.num_vertices(); ++i) when[result.order[i]] = i;
+  for (VertexId i = 0; i < g.num_vertices(); ++i) {
+    const VertexId v = result.order[i];
+    VertexId later = 0;
+    for (VertexId w : g.neighbors(v)) later += (when[w] > i);
+    EXPECT_LE(later, result.degeneracy);
+  }
+}
+
+TEST(Arboricity, TreeBracketsOne) {
+  const Graph g = gen::star(20);
+  const auto est = estimate_arboricity(g);
+  EXPECT_DOUBLE_EQ(est.lower, 1.0);
+  EXPECT_DOUBLE_EQ(est.upper, 1.0);
+}
+
+TEST(Arboricity, CompleteGraphBrackets) {
+  // alpha(K_n) = ceil(n/2); bracket must contain it.
+  const Graph g = gen::complete_graph(10);
+  const auto est = estimate_arboricity(g);
+  EXPECT_LE(est.lower, 5.0);
+  EXPECT_GE(est.upper, 5.0);
+  EXPECT_GE(est.lower, 5.0);  // density bound is tight on cliques
+}
+
+TEST(Arboricity, LowerNeverExceedsUpper) {
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    Rng rng(seed);
+    const Graph g = gen::erdos_renyi(80, 10.0, rng);
+    const auto est = estimate_arboricity(g);
+    EXPECT_LE(est.lower, est.upper);
+  }
+}
+
+TEST(Arboricity, EmptyAndTrivialGraphs) {
+  const Graph g0 = Graph::from_edges(0, {});
+  EXPECT_EQ(estimate_arboricity(g0).upper, 0.0);
+  const Graph g1 = Graph::from_edges(3, {});
+  EXPECT_EQ(estimate_arboricity(g1).lower, 0.0);
+}
+
+TEST(IndependentSet, Detects) {
+  const Graph g = Graph::from_edges(4, {{0, 1}, {1, 2}, {2, 3}});
+  EXPECT_TRUE(is_independent_set(g, std::vector<VertexId>{0, 2}));
+  EXPECT_TRUE(is_independent_set(g, std::vector<VertexId>{0, 3}));
+  EXPECT_FALSE(is_independent_set(g, std::vector<VertexId>{0, 1}));
+  EXPECT_TRUE(is_independent_set(g, std::vector<VertexId>{}));
+}
+
+}  // namespace
+}  // namespace matchsparse

@@ -1,0 +1,98 @@
+#include "stream/mpc.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/families.hpp"
+#include "gen/generators.hpp"
+#include "matching/blossom.hpp"
+
+namespace matchsparse::stream {
+namespace {
+
+TEST(Mpc, MatchingIsValidAndNearOptimal) {
+  const VertexId n = 300;
+  const Graph g = gen::complete_graph(n);
+  MpcOptions opt;
+  opt.machines = 8;
+  opt.delta = 12;
+  opt.eps = 0.2;
+  const MpcResult result = mpc_approx_matching(n, g.edge_list(), opt, 5);
+  EXPECT_TRUE(result.matching.is_valid(g));
+  EXPECT_GE(static_cast<double>(result.matching.size()) * 1.2, n / 2.0);
+}
+
+TEST(Mpc, RoundsFollowAggregationTree) {
+  const Graph g = gen::complete_graph(64);
+  for (auto [machines, fan_in, expected_rounds] :
+       {std::tuple{1u, 4u, 0u}, std::tuple{4u, 4u, 1u},
+        std::tuple{16u, 4u, 2u}, std::tuple{16u, 2u, 4u}}) {
+    MpcOptions opt;
+    opt.machines = machines;
+    opt.fan_in = fan_in;
+    opt.delta = 4;
+    const MpcResult result =
+        mpc_approx_matching(64, g.edge_list(), opt, 7);
+    EXPECT_EQ(result.stats.rounds, expected_rounds)
+        << machines << " machines, fan-in " << fan_in;
+  }
+}
+
+TEST(Mpc, ShardingIndependence) {
+  // The bottom-Δ sketch is a pure function of the (seed, edge) keys, so
+  // the sparsifier — and hence the matching — must be identical for any
+  // machine count.
+  Rng rng(1);
+  const VertexId n = 200;
+  const Graph g = gen::clique_union(n, 20, 4, rng);
+  MpcOptions a, b;
+  a.machines = 2;
+  b.machines = 13;
+  a.delta = b.delta = 6;
+  const MpcResult ra = mpc_approx_matching(n, g.edge_list(), a, 99);
+  const MpcResult rb = mpc_approx_matching(n, g.edge_list(), b, 99);
+  EXPECT_EQ(ra.stats.sparsifier_edges, rb.stats.sparsifier_edges);
+  EXPECT_EQ(ra.matching.edges(), rb.matching.edges());
+}
+
+TEST(Mpc, MachineMemoryStaysBelowInput) {
+  const VertexId n = 400;
+  const Graph g = gen::complete_graph(n);  // ~80k edges = 160k words
+  MpcOptions opt;
+  opt.machines = 16;
+  opt.delta = 6;
+  const MpcResult result = mpc_approx_matching(n, g.edge_list(), opt, 3);
+  // Peak per-machine memory ~ shard + sketch, far below the full input.
+  EXPECT_LT(result.stats.max_machine_words, 2 * g.num_edges() / 4);
+  EXPECT_GE(result.stats.max_machine_words, result.stats.shard_words);
+}
+
+TEST(Mpc, SingleMachineDegeneratesToSequential) {
+  const Graph g = gen::complete_graph(100);
+  MpcOptions opt;
+  opt.machines = 1;
+  opt.delta = 8;
+  const MpcResult result = mpc_approx_matching(100, g.edge_list(), opt, 11);
+  EXPECT_EQ(result.stats.rounds, 0u);
+  EXPECT_TRUE(result.matching.is_valid(g));
+}
+
+TEST(Mpc, BoundedBetaFamilies) {
+  for (const auto& family : gen::standard_families()) {
+    const VertexId n = family.name == "complete" ? 200 : 500;
+    const Graph g = family.make(n, 17);
+    MpcOptions opt;
+    opt.machines = 6;
+    opt.delta = 4 * family.beta_bound + 8;
+    opt.eps = 0.25;
+    const MpcResult result =
+        mpc_approx_matching(g.num_vertices(), g.edge_list(), opt, 23);
+    EXPECT_TRUE(result.matching.is_valid(g)) << family.name;
+    const VertexId exact = blossom_mcm(g).size();
+    EXPECT_GE(static_cast<double>(result.matching.size()) * 1.3,
+              static_cast<double>(exact))
+        << family.name;
+  }
+}
+
+}  // namespace
+}  // namespace matchsparse::stream

@@ -1,0 +1,96 @@
+#include "dynamic/oblivious_matcher.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dynamic/adversary.hpp"
+#include "gen/generators.hpp"
+#include "matching/blossom.hpp"
+#include "util/stats.hpp"
+
+namespace matchsparse {
+namespace {
+
+void apply(ObliviousDynamicMatcher& algo, const Update& u) {
+  if (u.insert) {
+    algo.insert_edge(u.edge.u, u.edge.v);
+  } else {
+    algo.delete_edge(u.edge.u, u.edge.v);
+  }
+}
+
+TEST(ObliviousMatcher, MatchingAlwaysValid) {
+  Rng rng(1);
+  const VertexId n = 200;
+  const double radius = gen::unit_disk_radius_for_degree(n, 10.0);
+  const UpdateScript script = unit_disk_churn(n, radius, 120, 250, rng);
+  ObliviousDynamicMatcher algo(n, 5, 0.4, 77);
+  for (const Update& u : script) {
+    apply(algo, u);
+    for (const Edge& e : algo.matching().edges()) {
+      ASSERT_TRUE(algo.graph().has_edge(e.u, e.v));
+    }
+  }
+  EXPECT_GT(algo.refreshes(), 0u);
+}
+
+TEST(ObliviousMatcher, NearOptimalUnderObliviousChurn) {
+  Rng rng(2);
+  const VertexId n = 160;
+  const double radius = gen::unit_disk_radius_for_degree(n, 12.0);
+  const UpdateScript script = unit_disk_churn(n, radius, 120, 200, rng);
+  ObliviousDynamicMatcher algo(n, 5, 0.4, 13);
+  StreamingStats ratio;
+  std::size_t step = 0;
+  for (const Update& u : script) {
+    apply(algo, u);
+    if (++step % 60 == 0 && algo.graph().num_edges() > 0) {
+      const VertexId opt = blossom_mcm(algo.graph().snapshot()).size();
+      if (opt > 0) {
+        ratio.add(static_cast<double>(opt) /
+                  std::max<VertexId>(1, algo.matching().size()));
+      }
+    }
+  }
+  EXPECT_LT(ratio.mean(), 1.5);
+}
+
+TEST(ObliviousMatcher, SparsifierMaintenanceWorkIsDeltaBounded) {
+  Rng rng(3);
+  const VertexId n = 300;
+  ObliviousDynamicMatcher algo(n, 2, 0.5, 5);
+  const VertexId delta = algo.delta();
+  // Between refreshes, per-update work must be O(delta). Pump updates and
+  // check the non-refresh updates' cost.
+  std::uint64_t max_between_refresh = 0;
+  std::size_t refreshes_before = 0;
+  for (int i = 0; i < 2000; ++i) {
+    auto u = static_cast<VertexId>(rng.below(n));
+    auto v = static_cast<VertexId>(rng.below(n - 1));
+    if (v >= u) ++v;
+    const std::size_t before = algo.refreshes();
+    if (algo.graph().has_edge(u, v)) {
+      algo.delete_edge(u, v);
+    } else {
+      algo.insert_edge(u, v);
+    }
+    if (algo.refreshes() == before) {
+      max_between_refresh =
+          std::max(max_between_refresh, algo.last_update_work());
+    }
+    refreshes_before = algo.refreshes();
+  }
+  (void)refreshes_before;
+  EXPECT_LE(max_between_refresh, 8ull * delta + 2);
+}
+
+TEST(ObliviousMatcher, DeletingMatchedEdgeDropsIt) {
+  ObliviousDynamicMatcher algo(2, 2, 0.5, 9);
+  algo.insert_edge(0, 1);
+  // window_len = 1 initially, so the first update already refreshed.
+  EXPECT_EQ(algo.matching().size(), 1u);
+  algo.delete_edge(0, 1);
+  EXPECT_EQ(algo.matching().size(), 0u);
+}
+
+}  // namespace
+}  // namespace matchsparse

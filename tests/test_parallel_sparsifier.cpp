@@ -1,0 +1,59 @@
+#include <gtest/gtest.h>
+
+#include "gen/generators.hpp"
+#include "matching/blossom.hpp"
+#include "sparsify/sparsifier.hpp"
+
+namespace matchsparse {
+namespace {
+
+TEST(ParallelSparsifier, ThreadCountInvariant) {
+  Rng grng(1);
+  const Graph g = gen::erdos_renyi(400, 40.0, grng);
+  const EdgeList one = sparsify_edges_parallel(g, 5, 99, 1);
+  for (std::size_t threads : {2u, 3u, 8u, 16u}) {
+    EXPECT_EQ(sparsify_edges_parallel(g, 5, 99, threads), one)
+        << threads << " threads";
+  }
+}
+
+TEST(ParallelSparsifier, SeedChangesOutput) {
+  Rng grng(2);
+  const Graph g = gen::complete_graph(200);
+  EXPECT_NE(sparsify_edges_parallel(g, 4, 1),
+            sparsify_edges_parallel(g, 4, 2));
+}
+
+TEST(ParallelSparsifier, SameInvariantsAsSequential) {
+  Rng grng(3);
+  const Graph g = gen::complete_graph(300);
+  const VertexId delta = 6;
+  const EdgeList edges = sparsify_edges_parallel(g, delta, 7);
+  EXPECT_LE(edges.size(),
+            static_cast<std::size_t>(2 * delta) * g.num_vertices());
+  for (const Edge& e : edges) EXPECT_TRUE(g.has_edge(e.u, e.v));
+  const Graph gd = Graph::from_edges(g.num_vertices(), edges);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_GE(gd.degree(v), std::min(g.degree(v), delta));
+  }
+}
+
+TEST(ParallelSparsifier, QualityMatchesSequentialStatistically) {
+  const Graph g = gen::complete_graph(400);
+  const VertexId delta = 8;
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    const EdgeList edges = sparsify_edges_parallel(g, delta, seed);
+    const Graph gd = Graph::from_edges(400, edges);
+    EXPECT_EQ(blossom_mcm(gd).size(), 200u) << "seed " << seed;
+  }
+}
+
+TEST(ParallelSparsifier, EmptyAndTinyGraphs) {
+  const Graph empty = Graph::from_edges(0, {});
+  EXPECT_TRUE(sparsify_edges_parallel(empty, 3, 1).empty());
+  const Graph single = Graph::from_edges(2, {{0, 1}});
+  EXPECT_EQ(sparsify_edges_parallel(single, 3, 1).size(), 1u);
+}
+
+}  // namespace
+}  // namespace matchsparse

@@ -1,0 +1,79 @@
+#include <gtest/gtest.h>
+
+#include "gen/generators.hpp"
+#include "matching/blossom.hpp"
+#include "matching/bounded_aug.hpp"
+#include "util/rng.hpp"
+
+namespace matchsparse {
+namespace {
+
+TEST(Resumable, MatchesOneShotResult) {
+  Rng rng(1);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Graph g = gen::erdos_renyi(100, 6.0, rng);
+    ResumableApproxMcm resumable(g, 0.2);
+    while (!resumable.finished()) resumable.advance(64);
+    const Matching sliced = resumable.result();
+    EXPECT_TRUE(sliced.is_valid(g));
+    // Same guarantee as the one-shot matcher.
+    const VertexId opt = blossom_mcm(g).size();
+    EXPECT_GE(static_cast<double>(sliced.size()) * 1.2,
+              static_cast<double>(opt));
+  }
+}
+
+TEST(Resumable, AdvanceRespectsBudgetApproximately) {
+  Rng rng(2);
+  const Graph g = gen::erdos_renyi(500, 10.0, rng);
+  ResumableApproxMcm resumable(g, 0.3);
+  while (!resumable.finished()) {
+    const std::uint64_t done = resumable.advance(100);
+    // Overshoot is bounded by one atomic step (one search); a search
+    // touches at most O(m) entries but typically far less. Just require
+    // the call returns and makes progress.
+    EXPECT_GT(done + (resumable.finished() ? 1 : 0), 0u);
+  }
+  EXPECT_GT(resumable.work(), 0u);
+}
+
+TEST(Resumable, TinyBudgetStillTerminates) {
+  Rng rng(3);
+  const Graph g = gen::erdos_renyi(60, 4.0, rng);
+  ResumableApproxMcm resumable(g, 0.25);
+  std::size_t calls = 0;
+  while (!resumable.finished()) {
+    resumable.advance(1);
+    ASSERT_LT(++calls, 1u << 20);
+  }
+  EXPECT_TRUE(resumable.result().is_valid(g));
+}
+
+TEST(Resumable, EmptyGraphFinishesImmediately) {
+  const Graph g = Graph::from_edges(0, {});
+  ResumableApproxMcm resumable(g, 0.5);
+  EXPECT_TRUE(resumable.finished());
+  EXPECT_EQ(resumable.result().size(), 0u);
+}
+
+TEST(Resumable, ResultBeforeFinishAborts) {
+  Rng rng(4);
+  const Graph g = gen::erdos_renyi(50, 5.0, rng);
+  ResumableApproxMcm resumable(g, 0.3);
+  EXPECT_DEATH((void)resumable.result(), "before the computation finished");
+}
+
+TEST(Resumable, WorkIsMonotone) {
+  Rng rng(5);
+  const Graph g = gen::erdos_renyi(200, 8.0, rng);
+  ResumableApproxMcm resumable(g, 0.3);
+  std::uint64_t prev = 0;
+  while (!resumable.finished()) {
+    resumable.advance(50);
+    EXPECT_GE(resumable.work(), prev);
+    prev = resumable.work();
+  }
+}
+
+}  // namespace
+}  // namespace matchsparse

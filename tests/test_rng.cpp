@@ -1,0 +1,133 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+namespace matchsparse {
+namespace {
+
+TEST(Rng, DeterministicUnderSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (a() == b());
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng rng(7);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL, 1ULL << 40}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.below(bound), bound);
+  }
+}
+
+TEST(Rng, BelowOneAlwaysZero) {
+  Rng rng(3);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Rng, BelowIsRoughlyUniform) {
+  Rng rng(11);
+  constexpr std::uint64_t kBound = 10;
+  constexpr int kTrials = 100000;
+  std::vector<int> counts(kBound, 0);
+  for (int i = 0; i < kTrials; ++i) ++counts[rng.below(kBound)];
+  for (int c : counts) {
+    EXPECT_GT(c, kTrials / kBound * 0.9);
+    EXPECT_LT(c, kTrials / kBound * 1.1);
+  }
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng rng(5);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 1000; ++i) {
+    const auto x = rng.range(-3, 3);
+    EXPECT_GE(x, -3);
+    EXPECT_LE(x, 3);
+    saw_lo |= (x == -3);
+    saw_hi |= (x == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(9);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Rng, ShufflePreservesMultiset) {
+  Rng rng(13);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  rng.shuffle(std::span<int>(v));
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(Rng, SampleWithoutReplacementDistinct) {
+  Rng rng(17);
+  for (std::uint64_t n : {5ULL, 20ULL, 100ULL, 1000ULL}) {
+    for (std::uint64_t k : {1ULL, 3ULL, 5ULL}) {
+      if (k > n) continue;
+      auto sample = rng.sample_without_replacement(n, k);
+      EXPECT_EQ(sample.size(), k);
+      std::set<std::uint64_t> distinct(sample.begin(), sample.end());
+      EXPECT_EQ(distinct.size(), k);
+      for (auto x : sample) EXPECT_LT(x, n);
+    }
+  }
+}
+
+TEST(Rng, SampleWithoutReplacementKGreaterThanN) {
+  Rng rng(19);
+  auto sample = rng.sample_without_replacement(4, 10);
+  std::sort(sample.begin(), sample.end());
+  EXPECT_EQ(sample, (std::vector<std::uint64_t>{0, 1, 2, 3}));
+}
+
+TEST(Rng, SampleWithoutReplacementDenseRegime) {
+  Rng rng(23);
+  auto sample = rng.sample_without_replacement(10, 8);  // k > n/2 path
+  std::set<std::uint64_t> distinct(sample.begin(), sample.end());
+  EXPECT_EQ(distinct.size(), 8u);
+}
+
+TEST(Rng, SampleWithoutReplacementUniformCoverage) {
+  // Each element of [0,20) should be sampled with frequency ~ k/n.
+  Rng rng(29);
+  std::vector<int> hits(20, 0);
+  constexpr int kTrials = 20000;
+  for (int t = 0; t < kTrials; ++t) {
+    for (auto x : rng.sample_without_replacement(20, 5)) ++hits[x];
+  }
+  for (int h : hits) {
+    EXPECT_GT(h, kTrials / 4 * 0.9);
+    EXPECT_LT(h, kTrials / 4 * 1.1);
+  }
+}
+
+TEST(Mix64, IndependentStreams) {
+  // Substream seeds for distinct indices must differ.
+  std::set<std::uint64_t> seeds;
+  for (std::uint64_t i = 0; i < 1000; ++i) seeds.insert(mix64(123, i));
+  EXPECT_EQ(seeds.size(), 1000u);
+}
+
+}  // namespace
+}  // namespace matchsparse

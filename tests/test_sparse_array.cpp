@@ -1,0 +1,101 @@
+#include "util/sparse_array.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace matchsparse {
+namespace {
+
+TEST(SparseArray, DefaultsEverywhereInitially) {
+  SparseArray<int> a(100, -7);
+  for (std::size_t i = 0; i < 100; ++i) {
+    EXPECT_FALSE(a.contains(i));
+    EXPECT_EQ(a.get(i), -7);
+  }
+  EXPECT_EQ(a.touched(), 0u);
+}
+
+TEST(SparseArray, SetAndGet) {
+  SparseArray<int> a(10);
+  a.set(3, 42);
+  EXPECT_TRUE(a.contains(3));
+  EXPECT_EQ(a.get(3), 42);
+  EXPECT_FALSE(a.contains(4));
+  EXPECT_EQ(a.touched(), 1u);
+}
+
+TEST(SparseArray, OverwriteDoesNotDoubleCount) {
+  SparseArray<int> a(10);
+  a.set(5, 1);
+  a.set(5, 2);
+  EXPECT_EQ(a.get(5), 2);
+  EXPECT_EQ(a.touched(), 1u);
+}
+
+TEST(SparseArray, ResetIsConstantTimeLogicalClear) {
+  SparseArray<int> a(1000, 0);
+  for (std::size_t i = 0; i < 500; ++i) a.set(i * 2, static_cast<int>(i));
+  a.reset();
+  EXPECT_EQ(a.touched(), 0u);
+  for (std::size_t i = 0; i < 1000; ++i) {
+    EXPECT_FALSE(a.contains(i));
+    EXPECT_EQ(a.get(i), 0);
+  }
+}
+
+TEST(SparseArray, ReuseAfterResetMatchesDenseVector) {
+  // Run random set/get traffic against a plain vector oracle across many
+  // reset generations — the exact usage pattern of the pos_v sampler.
+  SparseArray<int> a(64, -1);
+  Rng rng(99);
+  for (int generation = 0; generation < 50; ++generation) {
+    std::vector<int> oracle(64, -1);
+    for (int op = 0; op < 200; ++op) {
+      const auto i = static_cast<std::size_t>(rng.below(64));
+      if (rng.chance(0.5)) {
+        const int val = static_cast<int>(rng.below(1000));
+        a.set(i, val);
+        oracle[i] = val;
+      } else {
+        ASSERT_EQ(a.get(i), oracle[i]) << "gen " << generation;
+      }
+    }
+    a.reset();
+  }
+}
+
+TEST(SparseArray, ForEachTouchedVisitsExactlyWrittenSlots) {
+  SparseArray<int> a(32);
+  a.set(1, 10);
+  a.set(7, 70);
+  a.set(1, 11);
+  std::vector<std::pair<std::size_t, int>> seen;
+  a.for_each_touched([&](std::size_t i, int v) { seen.emplace_back(i, v); });
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[0], (std::pair<std::size_t, int>{1, 11}));
+  EXPECT_EQ(seen[1], (std::pair<std::size_t, int>{7, 70}));
+}
+
+TEST(SparseArray, GarbageBackPointersNeverFalselyContain) {
+  // The whole point of the structure: uninitialised memory must never be
+  // mistaken for valid content. Exercise fresh arrays of several sizes.
+  for (std::size_t cap : {1u, 2u, 17u, 256u, 4096u}) {
+    SparseArray<std::uint64_t> a(cap, 5);
+    for (std::size_t i = 0; i < cap; ++i) {
+      ASSERT_FALSE(a.contains(i)) << "cap " << cap << " slot " << i;
+      ASSERT_EQ(a.get(i), 5u);
+    }
+  }
+}
+
+TEST(SparseArray, ZeroCapacity) {
+  SparseArray<int> a(0);
+  EXPECT_EQ(a.capacity(), 0u);
+  EXPECT_EQ(a.touched(), 0u);
+}
+
+}  // namespace
+}  // namespace matchsparse

@@ -1,0 +1,146 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "gen/generators.hpp"
+#include "matching/blossom.hpp"
+#include "stream/edge_stream.hpp"
+#include "stream/stream_sparsifier.hpp"
+
+namespace matchsparse::stream {
+namespace {
+
+TEST(EdgeStream, ReplayPreservesMultisetAcrossOrders) {
+  EdgeList edges{{0, 1}, {2, 3}, {1, 2}, {0, 3}};
+  for (auto order : {EdgeStream::Order::kGiven, EdgeStream::Order::kShuffled,
+                     EdgeStream::Order::kSortedByEndpoint}) {
+    EdgeStream stream(edges, order, 7);
+    EdgeList seen;
+    stream.replay([&](const Edge& e) { seen.push_back(e); });
+    EXPECT_EQ(seen.size(), edges.size());
+    std::sort(seen.begin(), seen.end());
+    EdgeList expected = edges;
+    std::sort(expected.begin(), expected.end());
+    EXPECT_EQ(seen, expected);
+  }
+}
+
+TEST(EdgeStream, ShuffleIsSeedDeterministic) {
+  Rng rng(1);
+  const EdgeList edges = gen::erdos_renyi(50, 6.0, rng).edge_list();
+  EdgeStream a(edges, EdgeStream::Order::kShuffled, 5);
+  EdgeStream b(edges, EdgeStream::Order::kShuffled, 5);
+  EdgeList sa, sb;
+  a.replay([&](const Edge& e) { sa.push_back(e); });
+  b.replay([&](const Edge& e) { sb.push_back(e); });
+  EXPECT_EQ(sa, sb);
+}
+
+TEST(MemoryMeter, TracksPeak) {
+  MemoryMeter meter;
+  meter.allocate(10);
+  meter.allocate(5);
+  meter.release(8);
+  meter.allocate(1);
+  EXPECT_EQ(meter.current(), 8u);
+  EXPECT_EQ(meter.peak(), 15u);
+}
+
+TEST(StreamingSparsifier, KeepsAllEdgesOfLowDegreeVertices) {
+  // deg <= delta: the reservoir never evicts.
+  const Graph g = gen::star(6);
+  EdgeStream stream(g.edge_list(), EdgeStream::Order::kShuffled, 3);
+  StreamingSparsifier sampler(6, 8, 11);
+  stream.replay([&](const Edge& e) { sampler.offer(e); });
+  EXPECT_EQ(sampler.sparsifier_edges().size(), g.num_edges());
+}
+
+TEST(StreamingSparsifier, ReservoirSizeIsCapped) {
+  const Graph g = gen::complete_graph(40);
+  StreamingSparsifier sampler(40, 3, 13);
+  EdgeStream stream(g.edge_list(), EdgeStream::Order::kGiven, 0);
+  stream.replay([&](const Edge& e) { sampler.offer(e); });
+  // Each vertex holds exactly 3 partners: at most 40*3 marks.
+  EXPECT_LE(sampler.sparsifier_edges().size(), 40u * 3);
+  EXPECT_EQ(sampler.edges_seen(), g.num_edges());
+}
+
+TEST(StreamingSparsifier, ReservoirIsOrderUniform) {
+  // Statistical check of Algorithm R: the probability that a probe edge
+  // survives must not depend on its arrival position. Gadget: partners
+  // 1..10 first each absorb 30 dummy edges (so their own reservoirs
+  // almost never auto-keep a probe), then the probes 0-1, 0-2, ..., 0-10
+  // arrive in a FIXED order; with delta = 2 the center keeps 2 of 10.
+  // Any positional bias would show as unequal survival frequencies.
+  constexpr int kTrials = 30000;
+  constexpr VertexId kPartners = 10;
+  constexpr VertexId kDummies = 30;
+  const VertexId n = 11 + kPartners * kDummies;
+  std::map<VertexId, int> kept;
+  for (int t = 0; t < kTrials; ++t) {
+    StreamingSparsifier sampler(n, 2, 777 + t);
+    VertexId dummy = 11;
+    for (VertexId p = 1; p <= kPartners; ++p) {
+      for (VertexId d = 0; d < kDummies; ++d) sampler.offer(Edge(p, dummy++));
+    }
+    for (VertexId p = 1; p <= kPartners; ++p) sampler.offer(Edge(0, p));
+    for (const Edge& e : sampler.sparsifier_edges()) {
+      if (e.touches(0)) ++kept[e.other(0)];
+    }
+  }
+  // Expected survival per probe: ~2/10 from the center plus ~2/31 from
+  // the partner side — equal for every position. Demand each frequency
+  // within 10% of the empirical mean.
+  double total = 0;
+  for (VertexId p = 1; p <= kPartners; ++p) total += kept[p];
+  const double mean = total / kPartners;
+  ASSERT_GT(mean, 0.1 * kTrials);
+  for (VertexId p = 1; p <= kPartners; ++p) {
+    EXPECT_GT(kept[p], 0.9 * mean) << "position " << p;
+    EXPECT_LT(kept[p], 1.1 * mean) << "position " << p;
+  }
+}
+
+TEST(StreamingSparsifier, MemoryIsNDeltaNotM) {
+  const VertexId n = 300;
+  const Graph g = gen::complete_graph(n);  // m ~ 45k
+  const VertexId delta = 4;
+  MemoryMeter meter;
+  {
+    StreamingSparsifier sampler(n, delta, 5, &meter);
+    EdgeStream stream(g.edge_list(), EdgeStream::Order::kShuffled, 2);
+    stream.replay([&](const Edge& e) { sampler.offer(e); });
+    EXPECT_LE(meter.peak(), 2ull * n + static_cast<std::uint64_t>(n) * delta);
+    EXPECT_LT(meter.peak(), g.num_edges() / 4);
+  }
+  EXPECT_EQ(meter.current(), 0u);  // RAII released everything
+}
+
+TEST(StreamingSparsifier, OnePassMatchingQuality) {
+  const VertexId n = 400;
+  const Graph g = gen::complete_graph(n);
+  const VertexId delta = 12;
+  for (auto order : {EdgeStream::Order::kShuffled,
+                     EdgeStream::Order::kSortedByEndpoint}) {
+    EdgeStream stream(g.edge_list(), order, 9);
+    const Matching m =
+        StreamingSparsifier::one_pass_matching(n, stream, delta, 0.2, 21);
+    EXPECT_TRUE(m.is_valid(g));
+    EXPECT_GE(static_cast<double>(m.size()) * 1.2, n / 2.0);
+  }
+}
+
+TEST(StreamingGreedy, MaximalAndHalfOptimal) {
+  Rng rng(3);
+  const Graph g = gen::erdos_renyi(200, 8.0, rng);
+  EdgeStream stream(g.edge_list(), EdgeStream::Order::kShuffled, 4);
+  MemoryMeter meter;
+  const Matching m = streaming_greedy_matching(200, stream, &meter);
+  EXPECT_TRUE(m.is_maximal(g));
+  EXPECT_GE(2 * m.size(), blossom_mcm(g).size());
+  EXPECT_LE(meter.peak(), 200u);
+}
+
+}  // namespace
+}  // namespace matchsparse::stream

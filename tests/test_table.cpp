@@ -1,0 +1,41 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace matchsparse {
+namespace {
+
+TEST(Table, BuildsRowsAndCounts) {
+  Table t("demo", {"a", "b"});
+  t.row().cell("x").cell(1.5);
+  t.row().cell("y").cell(std::uint64_t{7});
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(Table, CsvOutput) {
+  Table t("demo", {"n", "ratio"});
+  t.row().cell(std::uint64_t{10}).cell(1.25, 2);
+  char buf[256] = {};
+  std::FILE* mem = fmemopen(buf, sizeof(buf), "w");
+  ASSERT_NE(mem, nullptr);
+  t.print_csv(mem);
+  std::fclose(mem);
+  EXPECT_STREQ(buf, "n,ratio\n10,1.25\n");
+}
+
+TEST(Table, PrettyPrintContainsHeaderAndCells) {
+  Table t("title-banner", {"col"});
+  t.row().cell("value-cell");
+  char buf[4096] = {};
+  std::FILE* mem = fmemopen(buf, sizeof(buf), "w");
+  ASSERT_NE(mem, nullptr);
+  t.print(mem);
+  std::fclose(mem);
+  const std::string out(buf);
+  EXPECT_NE(out.find("title-banner"), std::string::npos);
+  EXPECT_NE(out.find("col"), std::string::npos);
+  EXPECT_NE(out.find("value-cell"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace matchsparse

@@ -1,0 +1,99 @@
+#include "matching/verify.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gen/generators.hpp"
+#include "matching/blossom.hpp"
+#include "matching/bounded_aug.hpp"
+#include "matching/greedy.hpp"
+#include "util/rng.hpp"
+
+namespace matchsparse {
+namespace {
+
+TEST(AugPathCheck, EmptyMatchingOnEdgeIsLengthOne) {
+  const Graph g = Graph::from_edges(2, {{0, 1}});
+  Matching m(2);
+  EXPECT_TRUE(has_augmenting_path_within(g, m, 1));
+  EXPECT_FALSE(has_augmenting_path_within(g, m, 0));
+}
+
+TEST(AugPathCheck, PathOfThreeEdges) {
+  // 0-1-2-3 with middle edge matched: the augmenting path has 3 edges.
+  const Graph g = Graph::from_edges(4, {{0, 1}, {1, 2}, {2, 3}});
+  Matching m(4);
+  m.match(1, 2);
+  EXPECT_FALSE(has_augmenting_path_within(g, m, 1));
+  EXPECT_FALSE(has_augmenting_path_within(g, m, 2));
+  EXPECT_TRUE(has_augmenting_path_within(g, m, 3));
+}
+
+TEST(AugPathCheck, MaximumMatchingHasNoPath) {
+  Rng rng(1);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Graph g = gen::erdos_renyi(20, 4.0, rng);
+    const Matching opt = blossom_mcm(g);
+    EXPECT_FALSE(has_augmenting_path_within(g, opt, 19))
+        << "trial " << trial;
+  }
+}
+
+TEST(AugPathCheck, OddCycleNoFalsePositive) {
+  // Triangle with one matched edge: remaining free vertex has no
+  // augmenting path (both its edges lead to matched vertices whose
+  // alternating continuation returns into the path).
+  const Graph g = Graph::from_edges(3, {{0, 1}, {1, 2}, {0, 2}});
+  Matching m(3);
+  m.match(0, 1);
+  EXPECT_FALSE(has_augmenting_path_within(g, m, 5));
+}
+
+TEST(Certificate, MaximalMatchingGetsFactorTwo) {
+  const Graph g = Graph::from_edges(4, {{0, 1}, {1, 2}, {2, 3}});
+  Matching m(4);
+  m.match(1, 2);  // maximal, but a 3-edge augmenting path exists
+  EXPECT_DOUBLE_EQ(certified_approximation_factor(g, m, 4), 2.0);
+}
+
+TEST(Certificate, NonMaximalIsUncertified) {
+  const Graph g = Graph::from_edges(4, {{0, 1}, {2, 3}});
+  Matching m(4);
+  m.match(0, 1);
+  EXPECT_TRUE(std::isinf(certified_approximation_factor(g, m, 3)));
+}
+
+TEST(Certificate, OptimalGetsBestCertificate) {
+  Rng rng(2);
+  const Graph g = gen::erdos_renyi(18, 3.0, rng);
+  const Matching opt = blossom_mcm(g);
+  EXPECT_DOUBLE_EQ(certified_approximation_factor(g, opt, 5), 1.2);
+}
+
+TEST(Certificate, ApproxMcmMeetsItsContract) {
+  // The central cross-check: approx_mcm(eps) must terminate with no
+  // augmenting path of <= 2*ceil(1/eps)-1 edges, verified by an
+  // independent exhaustive search.
+  Rng rng(3);
+  for (int trial = 0; trial < 60; ++trial) {
+    const auto n = static_cast<VertexId>(8 + rng.below(18));
+    const Graph g = gen::erdos_renyi(n, 3.5, rng);
+    for (double eps : {0.5, 0.34, 0.2}) {
+      const Matching m = approx_mcm(g, eps);
+      EXPECT_FALSE(has_augmenting_path_within(g, m, path_cap_for_eps(eps)))
+          << "trial " << trial << " n=" << n << " eps=" << eps;
+    }
+  }
+}
+
+TEST(Certificate, GreedySatisfiesMaximalityOnly) {
+  Rng rng(4);
+  const Graph g = gen::erdos_renyi(30, 4.0, rng);
+  const Matching greedy = greedy_maximal_matching(g);
+  EXPECT_FALSE(has_augmenting_path_within(g, greedy, 1));
+  EXPECT_LE(certified_approximation_factor(g, greedy, 3), 2.0);
+}
+
+}  // namespace
+}  // namespace matchsparse

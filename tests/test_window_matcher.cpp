@@ -1,0 +1,136 @@
+#include "dynamic/window_matcher.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dynamic/adversary.hpp"
+#include "gen/generators.hpp"
+#include "matching/blossom.hpp"
+#include "util/stats.hpp"
+
+namespace matchsparse {
+namespace {
+
+WindowMatcherOptions small_opts() {
+  WindowMatcherOptions opt;
+  opt.beta = 5;
+  opt.eps = 0.4;
+  opt.delta_scale = 1.0;
+  return opt;
+}
+
+void apply(WindowMatcher& wm, const Update& u) {
+  if (u.insert) {
+    wm.insert_edge(u.edge.u, u.edge.v);
+  } else {
+    wm.delete_edge(u.edge.u, u.edge.v);
+  }
+}
+
+TEST(WindowMatcher, MatchingAlwaysValidUnderChurn) {
+  Rng rng(1);
+  const VertexId n = 200;
+  const double radius = gen::unit_disk_radius_for_degree(n, 10.0);
+  const UpdateScript script = unit_disk_churn(n, radius, 100, 300, rng);
+  WindowMatcher wm(n, small_opts());
+  for (const Update& u : script) {
+    apply(wm, u);
+    const Matching& m = wm.matching();
+    // Validity against the live graph: matched pairs must be edges.
+    for (const Edge& e : m.edges()) {
+      ASSERT_TRUE(wm.graph().has_edge(e.u, e.v));
+    }
+  }
+  EXPECT_GT(wm.rebuilds(), 0u);
+}
+
+TEST(WindowMatcher, ApproximationTracksExactUnderObliviousChurn) {
+  Rng rng(2);
+  const VertexId n = 150;
+  const double radius = gen::unit_disk_radius_for_degree(n, 12.0);
+  const UpdateScript script = unit_disk_churn(n, radius, 120, 200, rng);
+  WindowMatcher wm(n, small_opts());
+  StreamingStats ratio;
+  std::size_t step = 0;
+  for (const Update& u : script) {
+    apply(wm, u);
+    if (++step % 50 == 0 && wm.graph().num_edges() > 0) {
+      const VertexId opt = blossom_mcm(wm.graph().snapshot()).size();
+      if (opt > 0) {
+        ratio.add(static_cast<double>(opt) /
+                  std::max<VertexId>(1, wm.matching().size()));
+      }
+    }
+  }
+  // eps = 0.4 plus simulation drift: demand mean ratio clearly below the
+  // maximal-matching bound of 2 and near 1+eps.
+  EXPECT_LT(ratio.mean(), 1.6);
+}
+
+TEST(WindowMatcher, WorkPerUpdateIsBoundedByBudgetRegime) {
+  Rng rng(3);
+  const VertexId n = 300;
+  const double radius = gen::unit_disk_radius_for_degree(n, 8.0);
+  const UpdateScript script = unit_disk_churn(n, radius, 200, 400, rng);
+  WindowMatcher wm(n, small_opts());
+  for (const Update& u : script) apply(wm, u);
+  // Worst-case update work should stay within a small factor of the
+  // steady-state budget (slack covers atomic-step overshoot and the
+  // adaptive budget raise).
+  EXPECT_LT(wm.max_update_work(), 64 * wm.base_budget() + 2 * n);
+  EXPECT_GT(wm.rebuilds(), 1u);
+}
+
+TEST(WindowMatcher, SurvivesAdaptiveMatchedEdgeDeleter) {
+  // The adaptive adversary deletes whatever the algorithm matches. The
+  // matching must stay valid and the maintained ratio must recover after
+  // each rebuild.
+  Rng rng(4);
+  const VertexId n = 100;
+  WindowMatcher wm(n, small_opts());
+  // Seed a clique-union instance via inserts.
+  const Graph host = gen::clique_union(n, 6, 3, rng);
+  for (const Edge& e : host.edge_list()) wm.insert_edge(e.u, e.v);
+
+  MatchedEdgeDeleter adversary(99);
+  for (int step = 0; step < 400; ++step) {
+    const Update u = adversary.next(wm.graph(), wm.matching());
+    apply(wm, u);
+    for (const Edge& e : wm.matching().edges()) {
+      ASSERT_TRUE(wm.graph().has_edge(e.u, e.v)) << "step " << step;
+    }
+  }
+  // The adversary deletes matched edges; the graph retains most edges, so
+  // a healthy algorithm keeps rebuilding non-trivial matchings.
+  EXPECT_GT(wm.rebuilds(), 2u);
+}
+
+TEST(WindowMatcher, EmptyAndTinyGraphs) {
+  WindowMatcher wm(4, small_opts());
+  wm.insert_edge(0, 1);
+  EXPECT_LE(wm.matching().size(), 1u);
+  wm.delete_edge(0, 1);
+  EXPECT_EQ(wm.matching().size(), 0u);
+  wm.insert_edge(2, 3);
+  wm.insert_edge(0, 1);
+  for (int i = 0; i < 10; ++i) {
+    wm.insert_edge(0, 2);
+    wm.delete_edge(0, 2);
+  }
+  EXPECT_LE(wm.matching().size(), 2u);
+}
+
+TEST(WindowMatcher, DeleteOfMatchedEdgeDropsItImmediately) {
+  WindowMatcher wm(3, small_opts());
+  wm.insert_edge(0, 1);
+  // Pump updates on an unrelated pair so the pipeline installs (0,1).
+  for (int i = 0; i < 6; ++i) {
+    wm.insert_edge(1, 2);
+    wm.delete_edge(1, 2);
+  }
+  ASSERT_EQ(wm.matching().size(), 1u);
+  wm.delete_edge(0, 1);
+  EXPECT_EQ(wm.matching().size(), 0u);
+}
+
+}  // namespace
+}  // namespace matchsparse
