@@ -45,4 +45,76 @@ inline void banner(const char* experiment, const char* claim) {
   std::printf("\n######## %s\n# claim: %s\n", experiment, claim);
 }
 
+/// Composes one flat JSON object. Keys are emitted in call order; values
+/// are typed through the num()/str()/boolean() helpers so no manual
+/// escaping or formatting happens at call sites.
+class JsonRow {
+ public:
+  JsonRow& str(const char* key, const std::string& value) {
+    open(key);
+    out_ += '"';
+    for (char c : value) {
+      if (c == '"' || c == '\\') out_ += '\\';
+      out_ += c;
+    }
+    out_ += '"';
+    return *this;
+  }
+  JsonRow& num(const char* key, double value, int precision = 6) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*g", precision, value);
+    open(key);
+    out_ += buf;
+    return *this;
+  }
+  JsonRow& num(const char* key, std::uint64_t value) {
+    open(key);
+    out_ += std::to_string(value);
+    return *this;
+  }
+  JsonRow& boolean(const char* key, bool value) {
+    open(key);
+    out_ += value ? "true" : "false";
+    return *this;
+  }
+  std::string finish() const { return out_ + "}"; }
+
+ private:
+  void open(const char* key) {
+    out_ += first_ ? '{' : ',';
+    first_ = false;
+    out_ += '"';
+    out_ += key;
+    out_ += "\":";
+  }
+  std::string out_;
+  bool first_ = true;
+};
+
+/// Appends JSON rows to BENCH_<name>.json (one object per line, ndjson)
+/// and mirrors each row to stdout, so trajectories land in a
+/// machine-readable file alongside the pretty tables.
+class JsonlSink {
+ public:
+  explicit JsonlSink(const std::string& bench_name)
+      : file_(std::fopen(("BENCH_" + bench_name + ".json").c_str(), "w")) {}
+  ~JsonlSink() {
+    if (file_ != nullptr) std::fclose(file_);
+  }
+  JsonlSink(const JsonlSink&) = delete;
+  JsonlSink& operator=(const JsonlSink&) = delete;
+
+  void row(const JsonRow& r) {
+    const std::string line = r.finish();
+    std::printf("%s\n", line.c_str());
+    if (file_ != nullptr) {
+      std::fprintf(file_, "%s\n", line.c_str());
+      std::fflush(file_);
+    }
+  }
+
+ private:
+  std::FILE* file_ = nullptr;
+};
+
 }  // namespace matchsparse::bench

@@ -1,0 +1,165 @@
+// E16 — the parallel end-to-end sparsify→CSR pipeline: serial path
+// (sharded marking at one lane + globally sorted edge list + serial CSR
+// build) versus the fused parallel pipeline (sparsify_parallel: sharded
+// marking feeding per-shard histograms / scatter / per-list dedup, no
+// global sort) at 1/2/4/8 threads.
+//
+// Families cover the three regimes of the marking rule:
+//   complete     — deg ≫ 2Δ everywhere: pure sampling, pipeline cost
+//                  independent of m (the Theorem 3.1 sublinearity);
+//   cliqueunion  — random β-bounded with deg > 2Δ: sampling at scale,
+//                  the ≥10⁷-edge headline instance;
+//   unitdisk     — deg < 2Δ: whole neighborhoods, every edge marked from
+//                  both endpoints — the dedup-heaviest path.
+//
+// Every row asserts the acceptance invariant: the fused pipeline's Graph
+// is edge-set-identical to the serial path's for the same seed at every
+// thread count. Rows are mirrored to BENCH_parallel_pipeline.json.
+//
+// NOTE: thread-scaling (the ≥3x target at 8 threads) only shows on
+// multi-core hosts; on a single-core container the series is flat and
+// the benchmark instead documents thread-invariance plus the fused
+// pipeline's algorithmic win over the global sort.
+#include <cstdlib>
+#include <string>
+
+#include "bench_common.hpp"
+#include "gen/generators.hpp"
+#include "sparsify/sparsifier.hpp"
+#include "util/thread_pool.hpp"
+
+using namespace matchsparse;
+using namespace matchsparse::bench;
+
+namespace {
+
+constexpr std::uint64_t kSeed = 0xbadc0ffee;
+
+struct PipelineCase {
+  std::string family;
+  VertexId delta;
+  Graph g;
+};
+
+std::vector<PipelineCase> make_cases(bool small) {
+  std::vector<PipelineCase> cases;
+  Rng rng(5);
+  if (small) {
+    cases.push_back({"complete", 32, gen::complete_graph(400)});
+    cases.push_back({"cliqueunion", 32, gen::clique_union(20000, 40, 2, rng)});
+    cases.push_back(
+        {"unitdisk", 32,
+         gen::unit_disk(20000, gen::unit_disk_radius_for_degree(20000, 35.0),
+                        rng)});
+    return cases;
+  }
+  // K_4800: m ~ 1.15e7 with only 4800 vertices — the dense extreme where
+  // the pipeline reads a vanishing fraction of the input.
+  cases.push_back({"complete", 32, gen::complete_graph(4800)});
+  // deg ~ 78 > 2Δ: real sampling on 10⁷+ edges (the acceptance instance).
+  cases.push_back(
+      {"cliqueunion", 32, gen::clique_union(1000000, 40, 2, rng)});
+  // deg ~ 35 < 2Δ: whole-neighborhood marking, maximal duplication.
+  cases.push_back(
+      {"unitdisk", 32,
+       gen::unit_disk(600000, gen::unit_disk_radius_for_degree(600000, 35.0),
+                      rng)});
+  return cases;
+}
+
+}  // namespace
+
+int main() {
+  banner("E16 parallel sparsify->CSR pipeline",
+         "the sparsifier is a local per-vertex primitive (Thm 2.1/3.1), so "
+         "sparsify+CSR parallelises end-to-end with output identical to the "
+         "serial path at every thread count");
+  const bool small = std::getenv("MATCHSPARSE_BENCH_SMALL") != nullptr;
+  JsonlSink sink("parallel_pipeline");
+  Table table("E16  serial vs fused parallel pipeline",
+              {"family", "n", "m", "delta", "path", "threads", "mark_ms",
+               "csr_ms", "total_ms", "speedup", "identical"});
+
+  for (const PipelineCase& c : make_cases(small)) {
+    const VertexId n = c.g.num_vertices();
+
+    // Serial reference: one marking lane, global sort+unique, serial CSR.
+    WallTimer serial_timer;
+    SparsifierStats serial_stats;
+    const EdgeList marks =
+        sparsify_edges_parallel(c.g, c.delta, kSeed, 1, &serial_stats);
+    const double serial_mark_ms = serial_timer.millis();
+    const Graph reference = Graph::from_edges(n, marks);
+    const double serial_total_ms = serial_timer.millis();
+    const EdgeList reference_edges = reference.edge_list();
+
+    auto emit = [&](const char* path, std::uint64_t threads, double mark_ms,
+                    double csr_ms, double total_ms, bool identical,
+                    std::uint64_t probes) {
+      table.row()
+          .cell(c.family)
+          .cell(n)
+          .cell(c.g.num_edges())
+          .cell(c.delta)
+          .cell(path)
+          .cell(threads)
+          .cell(mark_ms, 1)
+          .cell(csr_ms, 1)
+          .cell(total_ms, 1)
+          .cell(serial_total_ms / total_ms, 2)
+          .cell(identical ? "yes" : "NO");
+      JsonRow row;
+      row.str("bench", "parallel_pipeline")
+          .str("family", c.family)
+          .num("n", static_cast<std::uint64_t>(n))
+          .num("m", c.g.num_edges())
+          .num("delta", static_cast<std::uint64_t>(c.delta))
+          .str("path", path)
+          .num("threads", threads)
+          .num("mark_ms", mark_ms)
+          .num("csr_ms", csr_ms)
+          .num("total_ms", total_ms)
+          .num("speedup_vs_serial", serial_total_ms / total_ms)
+          .num("sparsifier_edges",
+               static_cast<std::uint64_t>(reference.num_edges()))
+          .num("probes", probes)
+          .boolean("identical", identical);
+      sink.row(row);
+    };
+
+    emit("serial", 1, serial_mark_ms, serial_total_ms - serial_mark_ms,
+         serial_total_ms, true, serial_stats.probes);
+
+    for (std::uint64_t threads : {1u, 2u, 4u, 8u}) {
+      ThreadPool pool(threads);
+      WallTimer timer;
+      SparsifierStats stats;
+      const Graph fused = sparsify_parallel(c.g, c.delta, kSeed, pool,
+                                            &stats, threads);
+      const double total_ms = timer.millis();
+      const bool identical =
+          fused.num_edges() == reference.num_edges() &&
+          fused.edge_list() == reference_edges;
+      const double mark_ms = stats.mark_seconds * 1e3;
+      emit("fused", threads, mark_ms, total_ms - mark_ms, total_ms,
+           identical, stats.probes);
+      if (!identical) {
+        std::printf("# ERROR: fused pipeline diverged from the serial path "
+                    "(family=%s threads=%llu)\n",
+                    c.family.c_str(),
+                    static_cast<unsigned long long>(threads));
+        return 1;
+      }
+    }
+  }
+
+  table.print();
+  std::printf(
+      "# shape check: 'identical' is yes on every row (the per-vertex "
+      "mix64 substreams make marking order-independent, and per-list "
+      "dedup reproduces the globally normalized edge set). On multi-core "
+      "hosts the fused path's speedup column should exceed 3x at 8 "
+      "threads on the >=1e7-edge families; at 1 thread it already beats "
+      "the serial path by skipping the global O(N log N) mark sort.\n");
+  return 0;
+}

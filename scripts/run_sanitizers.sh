@@ -1,0 +1,44 @@
+#!/usr/bin/env sh
+# Builds the thread-pool and parallel-pipeline tests under sanitizers and
+# runs them, so pool lifecycle bugs and shard races are caught mechanically
+# rather than by luck of the scheduler.
+#
+# Usage: scripts/run_sanitizers.sh [thread|address|all]   (default: all)
+#
+# TSan covers the concurrency-bearing suites (thread pool, sharded
+# sparsifier, fused sparsify->CSR pipeline); ASan+UBSan reruns the same
+# suites for memory errors in the histogram/scatter/compaction passes.
+set -e
+cd "$(dirname "$0")/.."
+
+mode="${1:-all}"
+
+# gtest filters for the concurrency-bearing tests: the pool itself plus
+# every parallel-builder suite (including the determinism regressions).
+UTIL_FILTER='ThreadPool.*:ParallelFor.*'
+SPARSIFY_FILTER='ParallelPipeline.*:ParallelSparsifier.*'
+
+run_one() {
+  san="$1"
+  dir="build-${san}san"
+  echo "==== ${san} sanitizer ===="
+  cmake -B "$dir" -S . -DMS_SANITIZE="$san" \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+  cmake --build "$dir" --target test_util test_sparsify -j "$(nproc)"
+  "$dir/tests/test_util" --gtest_filter="$UTIL_FILTER"
+  "$dir/tests/test_sparsify" --gtest_filter="$SPARSIFY_FILTER"
+  echo "==== ${san} sanitizer: OK ===="
+}
+
+case "$mode" in
+  thread) run_one thread ;;
+  address) run_one address ;;
+  all)
+    run_one thread
+    run_one address
+    ;;
+  *)
+    echo "usage: $0 [thread|address|all]" >&2
+    exit 2
+    ;;
+esac

@@ -1,6 +1,7 @@
 #include "core/api.hpp"
 
 #include "matching/hopcroft_karp.hpp"
+#include "util/thread_pool.hpp"
 #include "util/timer.hpp"
 
 namespace matchsparse {
@@ -22,8 +23,13 @@ VertexId delta_for(const ApproxMatchingConfig& cfg) {
 Graph build_matching_sparsifier(const Graph& g,
                                 const ApproxMatchingConfig& cfg,
                                 SparsifierStats* stats) {
-  Rng rng(cfg.seed);
-  return sparsify(g, delta_for(cfg), rng, stats);
+  if (cfg.threads == 1) {
+    Rng rng(cfg.seed);
+    return sparsify(g, delta_for(cfg), rng, stats);
+  }
+  ThreadPool& pool = default_pool();
+  const std::size_t shards = cfg.threads == 0 ? pool.size() : cfg.threads;
+  return sparsify_parallel(g, delta_for(cfg), cfg.seed, pool, stats, shards);
 }
 
 ApproxMatchingResult approx_maximum_matching(

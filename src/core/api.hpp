@@ -45,6 +45,16 @@ struct ApproxMatchingConfig {
   /// Hopcroft–Karp (the exact black box the paper cites, with a firm
   /// O(m'/ε) bound) instead of the general bounded-length matcher.
   bool bipartite_fast_path = true;
+  /// Worker lanes for building G_Δ. 1 (default) keeps the legacy serial
+  /// path: one RNG stream drawn vertex-by-vertex. Any other value routes
+  /// through the fused parallel sparsify→CSR pipeline (sparsify_parallel)
+  /// on the shared default_pool(): 0 = one lane per hardware thread,
+  /// k > 1 = exactly k lanes. The parallel path samples per-vertex
+  /// substreams mix64(seed, v), so its output is one deterministic
+  /// function of (g, Δ, seed) for *every* threads value ≥ 2 (and 0) —
+  /// but, being a different (equally distributed) drawing scheme, it is
+  /// not edge-identical to the threads == 1 legacy stream.
+  std::size_t threads = 1;
 };
 
 struct ApproxMatchingResult {

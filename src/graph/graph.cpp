@@ -2,15 +2,20 @@
 
 #include <algorithm>
 
+#include "util/thread_pool.hpp"
+
 namespace matchsparse {
 
 void normalize_edge_list(EdgeList& edges) {
-  for (Edge& e : edges) e = e.normalized();
-  std::sort(edges.begin(), edges.end());
-  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+  // Drop self-loops first: sorting entries that are discarded afterwards
+  // is wasted O(log m) work per loop, and a loop-heavy list (e.g. a raw
+  // contraction output) would inflate the sort for no reason.
   edges.erase(std::remove_if(edges.begin(), edges.end(),
                              [](const Edge& e) { return e.u == e.v; }),
               edges.end());
+  for (Edge& e : edges) e = e.normalized();
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
 }
 
 Graph Graph::from_edges(VertexId n, const EdgeList& edges) {
@@ -44,6 +49,175 @@ Graph Graph::from_edges(VertexId n, const EdgeList& edges) {
     if (deg > 0) ++g.non_isolated_;
   }
   return g;
+}
+
+namespace {
+
+// Proportional [begin, end) split of [0, n) into `blocks` contiguous
+// ranges; the same scheme the sharded sparsifier uses for vertex ranges.
+std::pair<VertexId, VertexId> vertex_block(VertexId n, std::size_t blocks,
+                                           std::size_t b) {
+  return {static_cast<VertexId>((static_cast<std::uint64_t>(n) * b) / blocks),
+          static_cast<VertexId>((static_cast<std::uint64_t>(n) * (b + 1)) /
+                                blocks)};
+}
+
+}  // namespace
+
+Graph Graph::build_parallel(VertexId n,
+                            std::span<const std::span<const Edge>> parts,
+                            ThreadPool& pool, DuplicatePolicy policy) {
+  const std::size_t num_parts = std::max<std::size_t>(1, parts.size());
+  // Vertex-indexed passes run over more blocks than lanes so the atomic
+  // work index smooths out degree skew between ranges.
+  const std::size_t blocks =
+      n == 0 ? 0 : std::min<std::size_t>(n, 4 * pool.size());
+
+  Graph g;
+  g.offsets_.assign(static_cast<std::size_t>(n) + 1, 0);
+
+  // Pass A (parallel over parts): per-part degree histograms. EdgeIndex
+  // cells so the same storage can hold absolute scatter cursors later.
+  std::vector<std::vector<EdgeIndex>> hist(num_parts);
+  parallel_for(pool, num_parts, [&](std::size_t s) {
+    auto& h = hist[s];
+    h.assign(n, 0);
+    if (s >= parts.size()) return;
+    for (const Edge& e : parts[s]) {
+      MS_CHECK_MSG(e.u < n && e.v < n, "edge endpoint out of range");
+      MS_CHECK_MSG(e.u != e.v, "self-loop in edge list");
+      ++h[e.u];
+      ++h[e.v];
+    }
+  });
+
+  // Pass B1 (parallel over vertex blocks): total degree per vertex.
+  parallel_for(pool, blocks, [&](std::size_t b) {
+    const auto [begin, end] = vertex_block(n, blocks, b);
+    for (VertexId v = begin; v < end; ++v) {
+      EdgeIndex d = 0;
+      for (std::size_t s = 0; s < num_parts; ++s) d += hist[s][v];
+      g.offsets_[v + 1] = d;
+    }
+  });
+
+  // Pass B2 (sequential): prefix sum — the only O(n) serial section.
+  for (VertexId v = 0; v < n; ++v) g.offsets_[v + 1] += g.offsets_[v];
+  const EdgeIndex total_arcs = g.offsets_[n];
+
+  // Pass B3 (parallel over vertex blocks): turn each histogram cell into
+  // the absolute scatter cursor for (part, vertex). Part s writes v's
+  // entries at [offsets[v] + sum of earlier parts' counts, ...), so the
+  // scatter below is race-free without atomics and the layout equals a
+  // sequential scatter of the concatenated parts.
+  parallel_for(pool, blocks, [&](std::size_t b) {
+    const auto [begin, end] = vertex_block(n, blocks, b);
+    for (VertexId v = begin; v < end; ++v) {
+      EdgeIndex run = g.offsets_[v];
+      for (std::size_t s = 0; s < num_parts; ++s) {
+        const EdgeIndex count = hist[s][v];
+        hist[s][v] = run;
+        run += count;
+      }
+    }
+  });
+
+  // Pass C (parallel over parts): scatter through the per-part cursors.
+  g.adjacency_.resize(total_arcs);
+  parallel_for(pool, parts.size(), [&](std::size_t s) {
+    auto& cursor = hist[s];
+    for (const Edge& e : parts[s]) {
+      g.adjacency_[cursor[e.u]++] = e.v;
+      g.adjacency_[cursor[e.v]++] = e.u;
+    }
+  });
+  hist.clear();
+  hist.shrink_to_fit();
+
+  // Pass D (parallel over vertex blocks): per-vertex neighbor sort, plus
+  // dedup or duplicate rejection depending on the policy.
+  std::vector<VertexId> deduped_degree(
+      policy == DuplicatePolicy::kDedupPerVertex ? n : 0);
+  std::vector<VertexId> block_max_degree(blocks, 0);
+  std::vector<VertexId> block_non_isolated(blocks, 0);
+  parallel_for(pool, blocks, [&](std::size_t b) {
+    const auto [begin, end] = vertex_block(n, blocks, b);
+    for (VertexId v = begin; v < end; ++v) {
+      const auto list_begin =
+          g.adjacency_.begin() + static_cast<std::ptrdiff_t>(g.offsets_[v]);
+      const auto list_end =
+          g.adjacency_.begin() +
+          static_cast<std::ptrdiff_t>(g.offsets_[v + 1]);
+      std::sort(list_begin, list_end);
+      VertexId deg;
+      if (policy == DuplicatePolicy::kDedupPerVertex) {
+        const auto unique_end = std::unique(list_begin, list_end);
+        deg = static_cast<VertexId>(unique_end - list_begin);
+        deduped_degree[v] = deg;
+      } else {
+        MS_CHECK_MSG(std::adjacent_find(list_begin, list_end) == list_end,
+                     "duplicate edge in edge list");
+        deg = static_cast<VertexId>(list_end - list_begin);
+      }
+      block_max_degree[b] = std::max(block_max_degree[b], deg);
+      if (deg > 0) ++block_non_isolated[b];
+    }
+  });
+  for (std::size_t b = 0; b < blocks; ++b) {
+    g.max_degree_ = std::max(g.max_degree_, block_max_degree[b]);
+    g.non_isolated_ += block_non_isolated[b];
+  }
+
+  if (policy == DuplicatePolicy::kReject) {
+    g.num_edges_ = total_arcs / 2;
+    return g;
+  }
+
+  // Pass E (dedup only): compact away the per-list tails left by unique().
+  std::vector<EdgeIndex> final_offsets(static_cast<std::size_t>(n) + 1, 0);
+  for (VertexId v = 0; v < n; ++v) {
+    final_offsets[v + 1] = final_offsets[v] + deduped_degree[v];
+  }
+  g.num_edges_ = final_offsets[n] / 2;
+  if (final_offsets[n] != total_arcs) {
+    std::vector<VertexId> compacted(final_offsets[n]);
+    parallel_for(pool, blocks, [&](std::size_t b) {
+      const auto [begin, end] = vertex_block(n, blocks, b);
+      for (VertexId v = begin; v < end; ++v) {
+        std::copy_n(g.adjacency_.begin() +
+                        static_cast<std::ptrdiff_t>(g.offsets_[v]),
+                    deduped_degree[v],
+                    compacted.begin() +
+                        static_cast<std::ptrdiff_t>(final_offsets[v]));
+      }
+    });
+    g.adjacency_ = std::move(compacted);
+  }
+  g.offsets_ = std::move(final_offsets);
+  return g;
+}
+
+Graph Graph::from_edges_parallel(VertexId n, const EdgeList& edges,
+                                 ThreadPool& pool) {
+  // Contiguous chunks, at least ~4k edges each so histogram setup cost
+  // does not dominate on small inputs.
+  const std::size_t chunks = std::clamp<std::size_t>(
+      edges.size() / 4096, 1, std::max<std::size_t>(1, pool.size()));
+  std::vector<std::span<const Edge>> parts(chunks);
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const std::size_t begin = (edges.size() * c) / chunks;
+    const std::size_t end = (edges.size() * (c + 1)) / chunks;
+    parts[c] = std::span<const Edge>(edges.data() + begin, end - begin);
+  }
+  return build_parallel(n, parts, pool, DuplicatePolicy::kReject);
+}
+
+Graph Graph::from_edge_shards_parallel(VertexId n,
+                                       std::span<const EdgeList> shards,
+                                       ThreadPool& pool) {
+  std::vector<std::span<const Edge>> parts(shards.size());
+  for (std::size_t s = 0; s < shards.size(); ++s) parts[s] = shards[s];
+  return build_parallel(n, parts, pool, DuplicatePolicy::kDedupPerVertex);
 }
 
 bool Graph::has_edge(VertexId u, VertexId v) const {

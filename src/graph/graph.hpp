@@ -15,6 +15,8 @@
 
 namespace matchsparse {
 
+class ThreadPool;
+
 /// Counts adjacency-array accesses ("probes"). One probe = reading one
 /// neighbor entry or one degree entry, matching the query model of the
 /// sublinear-time lower bounds in [Assadi–Chen–Khanna'19, Assadi–Solomon'19].
@@ -37,6 +39,26 @@ class Graph {
   /// may hold messy lists should normalize_edge_list() first). Neighbor
   /// lists are sorted ascending.
   static Graph from_edges(VertexId n, const EdgeList& edges);
+
+  /// Parallel drop-in for from_edges(): identical contract and an
+  /// identical resulting graph (same offsets and sorted adjacency), built
+  /// on `pool` with no global edge sort — per-shard degree histograms, a
+  /// sequential prefix sum, a race-free scatter through per-shard cursors,
+  /// and a parallel per-vertex neighbor sort.
+  static Graph from_edges_parallel(VertexId n, const EdgeList& edges,
+                                   ThreadPool& pool);
+
+  /// Parallel CSR construction straight from sharded, possibly-duplicated
+  /// edge lists (e.g. the per-shard marked-edge output of the sparsifier,
+  /// where an edge marked by both endpoints appears twice). Duplicates are
+  /// eliminated with a per-adjacency-list sort+unique — after scattering,
+  /// every duplicate of {u,v} lands in u's and v's lists, so no global
+  /// normalization pass is needed. Self-loops are rejected. The result is
+  /// identical to from_edges() on the concatenated+normalized input, for
+  /// any shard partition.
+  static Graph from_edge_shards_parallel(VertexId n,
+                                         std::span<const EdgeList> shards,
+                                         ThreadPool& pool);
 
   VertexId num_vertices() const {
     return offsets_.empty() ? 0 : static_cast<VertexId>(offsets_.size() - 1);
@@ -92,6 +114,12 @@ class Graph {
   EdgeList edge_list() const;
 
  private:
+  enum class DuplicatePolicy { kReject, kDedupPerVertex };
+
+  static Graph build_parallel(VertexId n,
+                              std::span<const std::span<const Edge>> parts,
+                              ThreadPool& pool, DuplicatePolicy policy);
+
   std::vector<EdgeIndex> offsets_;    // size n+1
   std::vector<VertexId> adjacency_;   // size 2m
   EdgeIndex num_edges_ = 0;

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <thread>
 
 #include "util/sparse_array.hpp"
 #include "util/thread_pool.hpp"
@@ -18,6 +17,76 @@ VertexId delta_from_formula(VertexId beta, double eps, double scale) {
   const double value = scale * (static_cast<double>(beta) / eps) *
                        std::log(24.0 / eps);
   return static_cast<VertexId>(std::max(1.0, std::ceil(value)));
+}
+
+// Marks Δ edges per vertex for the contiguous range [begin, end) using the
+// per-vertex substream mix64(seed, v); shared by every sharded builder.
+// `pos` is the caller's (shard-local) sparse position array.
+void mark_vertex_range(const Graph& g, VertexId delta, std::uint64_t seed,
+                       VertexId begin, VertexId end, EdgeList& out,
+                       SparseArray<EdgeIndex>& pos, ProbeMeter* meter) {
+  for (VertexId v = begin; v < end; ++v) {
+    const VertexId deg = g.degree(v, meter);
+    if (deg == 0) continue;
+    if (deg <= 2 * delta) {
+      // Paper's tweak (Section 3.1): take the whole neighborhood.
+      for (VertexId i = 0; i < deg; ++i) {
+        out.push_back(Edge(v, g.neighbor(v, i, meter)).normalized());
+      }
+      continue;
+    }
+    Rng rng(mix64(seed, v));  // per-vertex substream: order-independent
+    pos.reset();
+    for (VertexId t = 0; t < delta; ++t) {
+      const EdgeIndex limit = deg - t;  // live prefix length
+      const auto i = static_cast<EdgeIndex>(rng.below(limit));
+      const EdgeIndex j = limit - 1;
+      const EdgeIndex vi = pos.contains(i) ? pos.get(i) : i;
+      const EdgeIndex vj = pos.contains(j) ? pos.get(j) : j;
+      pos.set(i, vj);
+      pos.set(j, vi);
+      out.push_back(
+          Edge(v, g.neighbor(v, static_cast<VertexId>(vi), meter))
+              .normalized());
+    }
+  }
+}
+
+// Sharded marking pass over `pool`: shard s owns the contiguous vertex
+// range [n·s/shards, n·(s+1)/shards). Fills one edge list and one probe
+// counter per shard; when `sort_shards` is set each shard's list is sorted
+// inside the worker (keeping the O(N log N) cost parallel for callers that
+// go on to merge).
+void mark_edges_sharded(const Graph& g, VertexId delta, std::uint64_t seed,
+                        ThreadPool& pool, std::size_t shards,
+                        bool sort_shards, std::vector<EdgeList>& shard_edges,
+                        std::vector<std::uint64_t>& shard_probes) {
+  const VertexId n = g.num_vertices();
+  shard_edges.assign(shards, {});
+  shard_probes.assign(shards, 0);
+  parallel_for(pool, shards, [&](std::size_t shard) {
+    const VertexId begin = static_cast<VertexId>(
+        (static_cast<std::uint64_t>(n) * shard) / shards);
+    const VertexId end = static_cast<VertexId>(
+        (static_cast<std::uint64_t>(n) * (shard + 1)) / shards);
+    EdgeList& out = shard_edges[shard];
+    SparseArray<EdgeIndex> pos(g.max_degree());
+    ProbeMeter meter;
+    mark_vertex_range(g, delta, seed, begin, end, out, pos, &meter);
+    shard_probes[shard] = meter.probes();
+    if (sort_shards) std::sort(out.begin(), out.end());
+  });
+}
+
+void fill_parallel_stats(SparsifierStats* stats,
+                         const std::vector<EdgeList>& shard_edges,
+                         std::vector<std::uint64_t>&& shard_probes) {
+  if (stats == nullptr) return;
+  stats->marked = 0;
+  for (const EdgeList& shard : shard_edges) stats->marked += shard.size();
+  stats->probes = 0;
+  for (std::uint64_t p : shard_probes) stats->probes += p;
+  stats->shard_probes = std::move(shard_probes);
 }
 
 }  // namespace
@@ -78,60 +147,35 @@ Graph sparsify(const Graph& g, VertexId delta, Rng& rng,
   WallTimer timer;
   ProbeMeter meter;
   EdgeList edges = sparsify_edges(g, delta, rng, &meter);
+  const double mark_seconds = timer.seconds();
+  Graph result = Graph::from_edges(g.num_vertices(), edges);
   if (stats != nullptr) {
     stats->probes = meter.probes();
     stats->edges = edges.size();
+    stats->mark_seconds = mark_seconds;
     stats->build_seconds = timer.seconds();
   }
-  return Graph::from_edges(g.num_vertices(), edges);
+  return result;
 }
 
 EdgeList sparsify_edges_parallel(const Graph& g, VertexId delta,
-                                 std::uint64_t seed, std::size_t threads) {
+                                 std::uint64_t seed, std::size_t threads,
+                                 SparsifierStats* stats) {
   MS_CHECK(delta >= 1);
+  WallTimer timer;
   const VertexId n = g.num_vertices();
-  if (threads == 0) {
-    threads = std::max<std::size_t>(
-        1, std::thread::hardware_concurrency());
-  }
+  ThreadPool& pool = default_pool();
+  if (threads == 0) threads = pool.size();
   const std::size_t shards = std::min<std::size_t>(threads, n == 0 ? 1 : n);
-  std::vector<EdgeList> shard_edges(shards);
 
-  parallel_for(shards, [&](std::size_t shard) {
-    // Contiguous vertex range for cache-friendly CSR walks.
-    const VertexId begin = static_cast<VertexId>(
-        (static_cast<std::uint64_t>(n) * shard) / shards);
-    const VertexId end = static_cast<VertexId>(
-        (static_cast<std::uint64_t>(n) * (shard + 1)) / shards);
-    EdgeList& out = shard_edges[shard];
-    SparseArray<EdgeIndex> pos(g.max_degree());
-    for (VertexId v = begin; v < end; ++v) {
-      const VertexId deg = g.degree(v);
-      if (deg == 0) continue;
-      if (deg <= 2 * delta) {
-        for (VertexId i = 0; i < deg; ++i) {
-          out.push_back(Edge(v, g.neighbor(v, i)).normalized());
-        }
-        continue;
-      }
-      Rng rng(mix64(seed, v));  // per-vertex substream: order-independent
-      pos.reset();
-      for (VertexId t = 0; t < delta; ++t) {
-        const EdgeIndex limit = deg - t;
-        const auto i = static_cast<EdgeIndex>(rng.below(limit));
-        const EdgeIndex j = limit - 1;
-        const EdgeIndex vi = pos.contains(i) ? pos.get(i) : i;
-        const EdgeIndex vj = pos.contains(j) ? pos.get(j) : j;
-        pos.set(i, vj);
-        pos.set(j, vi);
-        out.push_back(
-            Edge(v, g.neighbor(v, static_cast<VertexId>(vi))).normalized());
-      }
-    }
-    // Sorting inside the worker keeps the dominant O(N log N) cost
-    // parallel; the join below is a cheap O(N log shards) merge.
-    std::sort(out.begin(), out.end());
-  });
+  // Sorting inside the workers keeps the dominant O(N log N) cost
+  // parallel; the join below is a cheap O(N log shards) merge.
+  std::vector<EdgeList> shard_edges;
+  std::vector<std::uint64_t> shard_probes;
+  mark_edges_sharded(g, delta, seed, pool, shards, /*sort_shards=*/true,
+                     shard_edges, shard_probes);
+  fill_parallel_stats(stats, shard_edges, std::move(shard_probes));
+  if (stats != nullptr) stats->mark_seconds = timer.seconds();
 
   std::size_t total = 0;
   for (const EdgeList& shard : shard_edges) total += shard.size();
@@ -156,7 +200,38 @@ EdgeList sparsify_edges_parallel(const Graph& g, VertexId delta,
     bounds = std::move(next);
   }
   merged.erase(std::unique(merged.begin(), merged.end()), merged.end());
+  if (stats != nullptr) {
+    stats->edges = merged.size();
+    stats->build_seconds = timer.seconds();
+  }
   return merged;
+}
+
+Graph sparsify_parallel(const Graph& g, VertexId delta, std::uint64_t seed,
+                        ThreadPool& pool, SparsifierStats* stats,
+                        std::size_t shards) {
+  MS_CHECK(delta >= 1);
+  WallTimer timer;
+  const VertexId n = g.num_vertices();
+  if (shards == 0) shards = pool.size();
+  shards = std::min<std::size_t>(shards, n == 0 ? 1 : n);
+
+  // No per-shard sort and no global merge: the CSR builder dedups each
+  // adjacency list after the scatter, which is where duplicate marks end
+  // up regardless of which shard produced them.
+  std::vector<EdgeList> shard_edges;
+  std::vector<std::uint64_t> shard_probes;
+  mark_edges_sharded(g, delta, seed, pool, shards, /*sort_shards=*/false,
+                     shard_edges, shard_probes);
+  fill_parallel_stats(stats, shard_edges, std::move(shard_probes));
+  if (stats != nullptr) stats->mark_seconds = timer.seconds();
+
+  Graph result = Graph::from_edge_shards_parallel(n, shard_edges, pool);
+  if (stats != nullptr) {
+    stats->edges = result.num_edges();
+    stats->build_seconds = timer.seconds();
+  }
+  return result;
 }
 
 EdgeList sparsify_edges_deterministic(const Graph& g, VertexId delta,

@@ -16,11 +16,14 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "graph/graph.hpp"
 #include "util/rng.hpp"
 
 namespace matchsparse {
+
+class ThreadPool;
 
 /// Parameters of the sparsifier construction.
 struct SparsifierParams {
@@ -41,10 +44,15 @@ struct SparsifierParams {
 
 /// Statistics reported by the builder.
 struct SparsifierStats {
-  std::uint64_t probes = 0;       // adjacency-array accesses
+  std::uint64_t probes = 0;       // adjacency-array accesses (all shards)
   std::uint64_t marked = 0;       // marks placed (before dedup)
   std::uint64_t edges = 0;        // distinct edges in G_Δ
-  double build_seconds = 0.0;
+  double build_seconds = 0.0;     // end-to-end (marking + normalize/CSR)
+  double mark_seconds = 0.0;      // marking pass alone
+  /// Per-shard probe counts on the parallel paths (empty on the serial
+  /// path); `probes` is their sum, aggregated after the join so the
+  /// workers never share a counter.
+  std::vector<std::uint64_t> shard_probes;
 };
 
 /// Builds the marked-edge list of G_Δ. Deterministic O(n·Δ) time; the
@@ -63,10 +71,28 @@ Graph sparsify(const Graph& g, VertexId delta, Rng& rng,
 /// vertex ranges shard perfectly across a thread pool. The marking
 /// distribution is the same as sparsify_edges (uniform Δ-subsets,
 /// independent across vertices — per-vertex independence is exactly what
-/// Theorem 2.1's proof uses). `threads` = 0 picks the hardware default.
+/// Theorem 2.1's proof uses). `threads` = 0 picks the hardware default;
+/// work runs on the shared default_pool(), `threads` only bounds the
+/// shard (lane) count. `stats`, if given, receives probe accounting
+/// (total and per shard), mark and edge counts, and the build time.
 EdgeList sparsify_edges_parallel(const Graph& g, VertexId delta,
                                  std::uint64_t seed,
-                                 std::size_t threads = 0);
+                                 std::size_t threads = 0,
+                                 SparsifierStats* stats = nullptr);
+
+/// Fused parallel pipeline: sharded marking feeding straight into the
+/// parallel CSR builder, with no intermediate globally-sorted edge list —
+/// duplicate marks are removed per adjacency list inside the CSR build
+/// (Graph::from_edge_shards_parallel), since an edge marked by both
+/// endpoints can only ever duplicate *within* its endpoints' lists.
+/// Sampling is the per-vertex mix64(seed, v) substream scheme of
+/// sparsify_edges_parallel, so for a fixed (g, delta, seed) the returned
+/// Graph is identical for every shard/thread count — and identical to
+/// Graph::from_edges(n, sparsify_edges_parallel(g, delta, seed)).
+/// `shards` = 0 uses pool.size() lanes.
+Graph sparsify_parallel(const Graph& g, VertexId delta, std::uint64_t seed,
+                        ThreadPool& pool, SparsifierStats* stats = nullptr,
+                        std::size_t shards = 0);
 
 /// Deterministic marking rules for the Lemma 2.13 experiments: any fixed
 /// rule has approximation ratio as bad as n/(2Δ) on K_n − e instances.

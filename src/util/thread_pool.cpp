@@ -6,6 +6,15 @@
 
 namespace matchsparse {
 
+namespace {
+
+// Set while a worker thread is executing tasks for its pool; lets
+// parallel_for detect re-entrant calls and degrade to an inline loop
+// instead of deadlocking on wait_idle().
+thread_local ThreadPool* t_worker_pool = nullptr;
+
+}  // namespace
+
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) {
     threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
@@ -41,6 +50,7 @@ void ThreadPool::wait_idle() {
 }
 
 void ThreadPool::worker_loop() {
+  t_worker_pool = this;
   for (;;) {
     std::function<void()> task;
     {
@@ -59,8 +69,19 @@ void ThreadPool::worker_loop() {
   }
 }
 
+ThreadPool& default_pool() {
+  static ThreadPool pool;  // lazily built, joined at process exit
+  return pool;
+}
+
 void parallel_for(ThreadPool& pool, std::size_t count,
                   const std::function<void(std::size_t)>& fn) {
+  if (count == 0) return;
+  if (t_worker_pool == &pool) {
+    // Nested region on the same pool: run inline on this worker.
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
   std::atomic<std::size_t> next{0};
   const std::size_t lanes = std::min(pool.size(), count);
   for (std::size_t lane = 0; lane < lanes; ++lane) {
@@ -78,9 +99,7 @@ void parallel_for(ThreadPool& pool, std::size_t count,
 void parallel_for(std::size_t count,
                   const std::function<void(std::size_t)>& fn) {
   if (count == 0) return;
-  ThreadPool pool(std::min<std::size_t>(
-      count, std::max<std::size_t>(1, std::thread::hardware_concurrency())));
-  parallel_for(pool, count, fn);
+  parallel_for(default_pool(), count, fn);
 }
 
 }  // namespace matchsparse

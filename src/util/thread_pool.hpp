@@ -1,8 +1,10 @@
 // A small work-stealing-free thread pool used to parallelise independent
-// Monte-Carlo trials in the experiment harness. All parallelism in this
-// repository is explicit (per the HPC guides): trials are embarrassingly
-// parallel and share nothing, so a fixed pool with an atomic work index is
-// the whole story.
+// Monte-Carlo trials in the experiment harness and the sharded
+// sparsify→CSR construction pipeline. All parallelism in this repository
+// is explicit (per the HPC guides): shards are embarrassingly parallel
+// and share nothing, so a fixed pool with an atomic work index is the
+// whole story. Long-lived callers share the process-wide default_pool()
+// instead of paying a spawn+join per parallel region.
 #pragma once
 
 #include <atomic>
@@ -45,13 +47,23 @@ class ThreadPool {
   bool stop_ = false;
 };
 
+/// Process-wide shared pool, lazily constructed on first use with one
+/// worker per hardware thread and destroyed at process exit. Callers that
+/// want fewer than pool.size() lanes bound the *task count* they submit
+/// (parallel_for never uses more lanes than iterations); there is no need
+/// to build a smaller pool.
+ThreadPool& default_pool();
+
 /// Runs fn(i) for i in [0, count) across the pool's threads, blocking until
-/// all iterations complete. Iterations must be independent.
+/// all iterations complete. Iterations must be independent. Re-entrant:
+/// when called from inside one of `pool`'s own workers the loop runs
+/// inline on the calling thread (submitting and waiting would deadlock a
+/// fully busy pool).
 void parallel_for(ThreadPool& pool, std::size_t count,
                   const std::function<void(std::size_t)>& fn);
 
-/// Convenience: runs fn(i) for i in [0, count) on a transient pool sized to
-/// min(count, hardware threads).
+/// Convenience: runs fn(i) for i in [0, count) on the shared default_pool()
+/// (no per-call thread spawn/join).
 void parallel_for(std::size_t count,
                   const std::function<void(std::size_t)>& fn);
 

@@ -73,6 +73,39 @@ TEST(Api, SparsifierBuilderMatchesConfig) {
   for (const Edge& e : gd.edge_list()) EXPECT_TRUE(g.has_edge(e.u, e.v));
 }
 
+TEST(Api, ParallelThreadsProduceIdenticalSparsifier) {
+  const Graph g = gen::find_family("cliqueunion").make(500, 5);
+  ApproxMatchingConfig cfg;
+  cfg.beta = 4;
+  cfg.seed = 21;
+  cfg.threads = 2;
+  SparsifierStats two;
+  const Graph gd2 = build_matching_sparsifier(g, cfg, &two);
+  cfg.threads = 7;
+  SparsifierStats seven;
+  const Graph gd7 = build_matching_sparsifier(g, cfg, &seven);
+  // The parallel pipeline is a deterministic function of (g, Δ, seed):
+  // identical graphs — and identical probe totals — at any lane count.
+  EXPECT_EQ(gd2.edge_list(), gd7.edge_list());
+  EXPECT_EQ(two.probes, seven.probes);
+  EXPECT_EQ(two.shard_probes.size(), 2u);
+  EXPECT_EQ(seven.shard_probes.size(), 7u);
+  for (const Edge& e : gd2.edge_list()) EXPECT_TRUE(g.has_edge(e.u, e.v));
+}
+
+TEST(Api, ParallelPathMatchesQualityAndReportsProbes) {
+  const Graph g = gen::complete_graph(200);
+  ApproxMatchingConfig cfg;
+  cfg.beta = 1;
+  cfg.eps = 0.2;
+  cfg.threads = 0;  // all hardware threads via the shared pool
+  const auto result = approx_maximum_matching(g, cfg);
+  EXPECT_TRUE(result.matching.is_valid(g));
+  EXPECT_GE(static_cast<double>(result.matching.size()) * 1.2, 100.0);
+  EXPECT_GT(result.probes, 0u);  // accounting survives the parallel join
+  EXPECT_LT(result.probes, 2 * g.num_edges());
+}
+
 TEST(Api, RejectsBadEps) {
   const Graph g = gen::complete_graph(10);
   ApproxMatchingConfig cfg;

@@ -33,6 +33,37 @@ TEST(NormalizeEdgeList, RemovesDuplicatesAndLoops) {
   EXPECT_EQ(edges[1], Edge(1, 2));
 }
 
+// Pins the full contract: self-loops go first (they are never sorted or
+// deduplicated against real edges), then endpoints are canonicalised to
+// u <= v, then the list is sorted and exact duplicates collapse — so the
+// output is the canonical sorted loop-free edge set, and {u,v} duplicates
+// are detected regardless of orientation.
+TEST(NormalizeEdgeList, PinnedSemantics) {
+  EdgeList empty;
+  normalize_edge_list(empty);
+  EXPECT_TRUE(empty.empty());
+
+  EdgeList only_loops{{3, 3}, {0, 0}, {3, 3}};
+  normalize_edge_list(only_loops);
+  EXPECT_TRUE(only_loops.empty());
+
+  EdgeList mixed{{5, 4}, {2, 2}, {4, 5}, {1, 7}, {7, 1}, {1, 1}, {0, 9}};
+  normalize_edge_list(mixed);
+  const EdgeList expected{{0, 9}, {1, 7}, {4, 5}};
+  EXPECT_EQ(mixed, expected);
+  // Output is canonical: every edge has u <= v and the list is sorted.
+  for (std::size_t i = 0; i < mixed.size(); ++i) {
+    EXPECT_LE(mixed[i].u, mixed[i].v);
+    if (i > 0) {
+      EXPECT_TRUE(mixed[i - 1] < mixed[i]);
+    }
+  }
+  // Idempotent on already-normal lists.
+  EdgeList again = mixed;
+  normalize_edge_list(again);
+  EXPECT_EQ(again, mixed);
+}
+
 TEST(Graph, EmptyGraph) {
   const Graph g = Graph::from_edges(0, {});
   EXPECT_EQ(g.num_vertices(), 0u);
