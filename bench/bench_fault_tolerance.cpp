@@ -1,0 +1,175 @@
+// E12 — robustness: the distributed pipeline under message loss,
+//       duplication, delay, and fail-stop crashes. The claim under test
+//       is graceful degradation: for ANY fault schedule the output is a
+//       valid matching, and once faults cease the hardened protocols
+//       recover the fault-free quality at a bounded retransmission
+//       overhead. Rows land in BENCH_fault_tolerance.json (ndjson).
+#include "bench_common.hpp"
+
+#include <cstdlib>
+
+#include "dist/pipeline.hpp"
+
+using namespace matchsparse;
+using namespace matchsparse::bench;
+using namespace matchsparse::dist;
+
+namespace {
+
+/// Hard validity gate: a bench that publishes numbers for an invalid
+/// matching is lying about the robustness claim, so die loudly instead.
+void require_valid(const Graph& g, const Matching& m, const char* where) {
+  if (!m.is_valid(g)) {
+    std::fprintf(stderr, "FATAL: invalid matching in %s\n", where);
+    std::exit(1);
+  }
+}
+
+}  // namespace
+
+int main() {
+  banner("E12 fault tolerance (drop x crash sweep, transient faults)",
+         "valid matching under any fault schedule; >= (1-eps) of the "
+         "fault-free size once faults cease; bounded retransmission "
+         "overhead");
+
+  JsonlSink sink("fault_tolerance");
+  Rng gen_rng(99);
+  const Graph g = gen::erdos_renyi(300, 10.0, gen_rng);
+  const std::uint64_t seed = 4242;
+
+  DistributedMatchingOptions clean_opt;
+  const DistributedMatchingResult clean =
+      distributed_approx_matching(g, clean_opt, seed);
+  require_valid(g, clean.matching, "fault-free baseline");
+  if (!clean.all_stages_completed()) {
+    std::fprintf(stderr, "FATAL: fault-free baseline did not complete\n");
+    return 1;
+  }
+
+  Table table("E12  drop x crash sweep (n=300, faults cease at round 60)",
+              {"drop", "crash", "completed", "ratio vs clean", "retrans",
+               "dropped", "dup", "delayed", "recovery rounds",
+               "msg overhead"});
+  for (const double drop_prob : {0.0, 0.02, 0.10, 0.25}) {
+    for (const double crash_prob : {0.0, 0.002, 0.01}) {
+      DistributedMatchingOptions opt;
+      opt.faults.drop_prob = drop_prob;
+      opt.faults.crash_prob = crash_prob;
+      opt.faults.dup_prob = drop_prob / 2.0;
+      opt.faults.delay_prob = drop_prob;
+      opt.faults.max_extra_delay = 2;
+      opt.faults.fault_rounds = 60;
+
+      const DistributedMatchingResult r =
+          distributed_approx_matching(g, opt, seed);
+      require_valid(g, r.matching, "sweep cell");
+      // Transient faults + slack budget: every cell must fully recover.
+      if (!r.all_stages_completed()) {
+        std::fprintf(stderr,
+                     "FATAL: stage incomplete at drop=%.2f crash=%.3f\n",
+                     drop_prob, crash_prob);
+        return 1;
+      }
+      const double ratio = static_cast<double>(r.matching.size()) /
+                           static_cast<double>(clean.matching.size());
+      const double msg_overhead =
+          static_cast<double>(r.total_messages()) /
+          static_cast<double>(clean.total_messages());
+      const std::size_t recovery =
+          r.stage_sparsify.recovery_rounds + r.stage_degree.recovery_rounds +
+          r.stage_maximal.recovery_rounds + r.stage_augment.recovery_rounds;
+      const std::uint64_t duplicated =
+          r.stage_sparsify.duplicated + r.stage_degree.duplicated +
+          r.stage_maximal.duplicated + r.stage_augment.duplicated;
+      const std::uint64_t delayed =
+          r.stage_sparsify.delayed + r.stage_degree.delayed +
+          r.stage_maximal.delayed + r.stage_augment.delayed;
+      table.row()
+          .cell(drop_prob, 2)
+          .cell(crash_prob, 3)
+          .cell(r.all_stages_completed() ? "yes" : "NO")
+          .cell(ratio, 4)
+          .cell(r.total_retransmissions())
+          .cell(r.total_dropped())
+          .cell(duplicated)
+          .cell(delayed)
+          .cell(recovery)
+          .cell(msg_overhead, 3);
+
+      JsonRow row;
+      row.str("section", "transient_sweep")
+          .num("n", static_cast<std::uint64_t>(g.num_vertices()))
+          .num("m", g.num_edges())
+          .num("drop_prob", drop_prob)
+          .num("crash_prob", crash_prob)
+          .num("dup_prob", opt.faults.dup_prob)
+          .num("delay_prob", opt.faults.delay_prob)
+          .num("fault_rounds",
+               static_cast<std::uint64_t>(opt.faults.fault_rounds))
+          .boolean("all_stages_completed", r.all_stages_completed())
+          .num("matching_size", static_cast<std::uint64_t>(r.matching.size()))
+          .num("clean_size", static_cast<std::uint64_t>(clean.matching.size()))
+          .num("ratio_vs_clean", ratio)
+          .num("messages", r.total_messages())
+          .num("message_overhead", msg_overhead)
+          .num("bits", r.total_bits())
+          .num("retransmissions", r.total_retransmissions())
+          .num("dropped", r.total_dropped())
+          .num("duplicated", duplicated)
+          .num("delayed", delayed)
+          .num("recovery_rounds", static_cast<std::uint64_t>(recovery))
+          .num("total_rounds", static_cast<std::uint64_t>(r.total_rounds()));
+      sink.row(row);
+    }
+  }
+  table.print();
+  std::printf(
+      "# shape check: drop=0/crash=0 is the fault-free fast path "
+      "(overhead exactly 1, zero retransmissions); every faulty cell "
+      "still completes and lands within eps of the clean ratio — the "
+      "graceful-degradation claim. Retransmissions scale with the drop "
+      "rate, not with n.\n");
+
+  // Persistent faults: the drop rate never ceases. done() may stay
+  // unreachable (frames can die after max_retries), so completion is NOT
+  // required — validity and partial quality are.
+  Table persistent("E12.b  persistent faults (drops never cease)",
+                   {"drop", "completed", "ratio vs clean", "retrans",
+                    "dropped", "rounds"});
+  for (const double drop_prob : {0.05, 0.15, 0.30}) {
+    DistributedMatchingOptions opt;
+    opt.faults.drop_prob = drop_prob;
+    // fault_rounds stays infinite: no recovery window.
+    const DistributedMatchingResult r =
+        distributed_approx_matching(g, opt, seed);
+    require_valid(g, r.matching, "persistent cell");
+    const double ratio = static_cast<double>(r.matching.size()) /
+                         static_cast<double>(clean.matching.size());
+    persistent.row()
+        .cell(drop_prob, 2)
+        .cell(r.all_stages_completed() ? "yes" : "no")
+        .cell(ratio, 4)
+        .cell(r.total_retransmissions())
+        .cell(r.total_dropped())
+        .cell(r.total_rounds());
+
+    JsonRow row;
+    row.str("section", "persistent_faults")
+        .num("n", static_cast<std::uint64_t>(g.num_vertices()))
+        .num("drop_prob", drop_prob)
+        .boolean("all_stages_completed", r.all_stages_completed())
+        .num("matching_size", static_cast<std::uint64_t>(r.matching.size()))
+        .num("ratio_vs_clean", ratio)
+        .num("retransmissions", r.total_retransmissions())
+        .num("dropped", r.total_dropped())
+        .num("total_rounds", static_cast<std::uint64_t>(r.total_rounds()));
+    sink.row(row);
+  }
+  persistent.print();
+  std::printf(
+      "# shape check: with faults that never cease the output is still a "
+      "valid matching every time (the safety half of the claim); quality "
+      "degrades smoothly with the drop rate instead of collapsing.\n");
+  return 0;
+}

@@ -13,7 +13,9 @@ AugmentingProtocol::AugmentingProtocol(const Graph& g,
       opt_(opt),
       mate_(g.num_vertices(), kNoVertex),
       locked_(g.num_vertices(), 0),
-      prev_port_(g.num_vertices(), kNoVertex) {
+      prev_port_(g.num_vertices(), kNoVertex),
+      link_ready_(g.num_vertices(), 0),
+      links_(g.num_vertices()) {
   MS_CHECK_MSG(initial.is_valid(g), "invalid seed matching");
   for (VertexId v = 0; v < g.num_vertices(); ++v) mate_[v] = initial.mate(v);
 
@@ -50,6 +52,46 @@ VertexId AugmentingProtocol::port_of(VertexId v, VertexId target) const {
                "port_of: target is not a neighbor");
   return static_cast<VertexId>(it - nbrs.begin());
 }
+
+void AugmentingProtocol::lock(VertexId v) {
+  if (!locked_[v]) {
+    locked_[v] = 1;
+    ++num_locked_;
+  }
+}
+
+void AugmentingProtocol::unlock(VertexId v) {
+  if (locked_[v]) {
+    locked_[v] = 0;
+    --num_locked_;
+  }
+}
+
+void AugmentingProtocol::on_round(NodeContext& node) {
+  round_seen_ = std::max(round_seen_, node.round() + 1);
+  if (node.lossless()) {
+    on_round_lossless(node);
+  } else {
+    lossless_ = false;
+    on_round_lossy(node);
+  }
+}
+
+bool AugmentingProtocol::done() const {
+  if (round_seen_ < plan_rounds_) return false;
+  if (lossless_) return true;
+  // Hardened mode keeps running until every attempt resolved (no locked
+  // trail) and every frame — including in-flight AUGMENT flips — is acked.
+  if (num_locked_ != 0) return false;
+  for (const ReliableLink& link : links_) {
+    if (!link.idle()) return false;
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Lossless mode: the original window-clocked protocol, unchanged.
+// ---------------------------------------------------------------------------
 
 void AugmentingProtocol::continue_walk(NodeContext& node,
                                        std::vector<VertexId> path,
@@ -140,9 +182,8 @@ void AugmentingProtocol::handle_augment(NodeContext& node,
   }
 }
 
-void AugmentingProtocol::on_round(NodeContext& node) {
+void AugmentingProtocol::on_round_lossless(NodeContext& node) {
   const VertexId v = node.id();
-  round_seen_ = std::max(round_seen_, node.round() + 1);
   const Slot slot = slot_of(node.round());
 
   if (slot.window_round == 0) {
@@ -168,11 +209,175 @@ void AugmentingProtocol::on_round(NodeContext& node) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Hardened mode: reliable links, persistent locks, explicit REJECT/ABORT.
+// ---------------------------------------------------------------------------
+
+/// Extends the walk by one unmatched hop, or resolves a dead walk by
+/// unlocking v and unwinding the trail behind it.
+void AugmentingProtocol::continue_walk_lossy(NodeContext& node,
+                                             std::vector<VertexId> path,
+                                             VertexId ell) {
+  const VertexId v = node.id();
+  std::vector<VertexId> candidates;
+  if (path.size() <= ell) {
+    const VertexId mate_port =
+        mate_[v] == kNoVertex ? kNoVertex : port_of(v, mate_[v]);
+    for (VertexId p = 0; p < node.degree(); ++p) {
+      if (p == mate_port) continue;
+      const VertexId w = node.neighbor_id(p);
+      if (std::find(path.begin(), path.end(), w) != path.end()) continue;
+      candidates.push_back(p);
+    }
+  }
+  if (candidates.empty()) {
+    // Token dies here; the locked trail must not be left dangling.
+    unlock(v);
+    if (prev_port_[v] != kNoVertex) {
+      links_[v].send(node, prev_port_[v], Message::of(kTagAbort));
+      prev_port_[v] = kNoVertex;
+    }
+    return;
+  }
+  const VertexId p = candidates[node.rng().below(candidates.size())];
+  Message msg = Message::of(kTagToken, ell);
+  msg.blob = std::move(path);
+  links_[v].send(node, p, msg);
+}
+
+void AugmentingProtocol::handle_token_lossy(NodeContext& node,
+                                            const Incoming& in) {
+  const VertexId v = node.id();
+  const auto ell = static_cast<VertexId>(in.msg.payload);
+  const std::vector<VertexId>& path = in.msg.blob;
+  if (path.empty()) return;
+  const VertexId sender = node.neighbor_id(in.port);
+  const bool on_path =
+      std::find(path.begin(), path.end(), v) != path.end();
+
+  const auto refuse = [&] {
+    links_[v].send(node, in.port, Message::of(kTagReject));
+  };
+
+  if (locked_[v] || on_path) {
+    refuse();
+    return;
+  }
+
+  if (sender == mate_[v]) {
+    // Arrived over the matched edge: extend the alternating walk.
+    lock(v);
+    prev_port_[v] = in.port;
+    std::vector<VertexId> extended = path;
+    extended.push_back(v);
+    continue_walk_lossy(node, std::move(extended), ell);
+    return;
+  }
+
+  if (mate_[v] == kNoVertex) {
+    // Free endpoint: flip the path. The endpoint itself needs no lock —
+    // its flip is final; the trail unlocks as the AUGMENT travels back.
+    std::vector<VertexId> full = path;
+    full.push_back(v);
+    mate_[v] = full[full.size() - 2];
+    ++augmentations_;
+    Message msg = Message::of(kTagAugment);
+    msg.blob = std::move(full);
+    links_[v].send(node, in.port, msg);
+    return;
+  }
+
+  // Matched internal node: the matched hop must respect the cap too.
+  if (path.size() + 1 > ell) {
+    refuse();
+    return;
+  }
+  lock(v);
+  prev_port_[v] = in.port;
+  std::vector<VertexId> extended = path;
+  extended.push_back(v);
+  Message msg = Message::of(kTagToken, ell);
+  msg.blob = std::move(extended);
+  links_[v].send(node, port_of(v, mate_[v]), msg);
+}
+
+void AugmentingProtocol::handle_augment_lossy(NodeContext& node,
+                                              const Incoming& in) {
+  const VertexId v = node.id();
+  if (!locked_[v]) return;  // not on a live trail — defensively ignore
+  const std::vector<VertexId>& full = in.msg.blob;
+  const auto it = std::find(full.begin(), full.end(), v);
+  if (it == full.end()) return;
+  const auto idx = static_cast<std::size_t>(it - full.begin());
+  mate_[v] = (idx % 2 == 0) ? full[idx + 1] : full[idx - 1];
+  unlock(v);
+  if (idx > 0 && prev_port_[v] != kNoVertex) {
+    links_[v].send(node, prev_port_[v], in.msg);
+  }
+  prev_port_[v] = kNoVertex;
+}
+
+/// REJECT (refusal by the node the token was offered to) and ABORT (trail
+/// teardown) both unwind one hop of the locked trail.
+void AugmentingProtocol::handle_teardown(NodeContext& node,
+                                         const Incoming& in) {
+  (void)in;
+  const VertexId v = node.id();
+  if (!locked_[v]) return;
+  unlock(v);
+  if (prev_port_[v] != kNoVertex) {
+    links_[v].send(node, prev_port_[v], Message::of(kTagAbort));
+    prev_port_[v] = kNoVertex;
+  }
+}
+
+void AugmentingProtocol::on_round_lossy(NodeContext& node) {
+  const VertexId v = node.id();
+  if (!link_ready_[v]) {
+    link_ready_[v] = 1;
+    links_[v].reset(node.degree(), opt_.link, /*lossless=*/false);
+  }
+
+  const std::vector<Incoming> delivered = links_[v].begin_round(node);
+  // AUGMENT first: flips must land before any token logic reads mate_.
+  for (const Incoming& in : delivered) {
+    if (in.msg.tag == kTagAugment) handle_augment_lossy(node, in);
+  }
+  for (const Incoming& in : delivered) {
+    switch (in.msg.tag) {
+      case kTagToken:
+        handle_token_lossy(node, in);
+        break;
+      case kTagReject:
+      case kTagAbort:
+        handle_teardown(node, in);
+        break;
+      default:
+        break;
+    }
+  }
+
+  // Initiations keep the window pacing but stop after the planned
+  // schedule, so the drain phase (locks clearing, links emptying) can
+  // quiesce into done().
+  const Slot slot = slot_of(node.round());
+  if (slot.window_round == 0 && node.round() < plan_rounds_ &&
+      mate_[v] == kNoVertex && !locked_[v] && node.degree() > 0 &&
+      node.rng().chance(opt_.init_prob)) {
+    lock(v);
+    prev_port_[v] = kNoVertex;
+    continue_walk_lossy(node, {v}, slot.ell);
+  }
+}
+
 Matching AugmentingProtocol::matching() const {
   Matching m(g_.num_vertices());
   for (VertexId v = 0; v < g_.num_vertices(); ++v) {
-    if (mate_[v] != kNoVertex && v < mate_[v]) {
-      MS_CHECK_MSG(mate_[mate_[v]] == v, "torn matching after augmenting");
+    // Symmetric pairs only: mid-recovery a flip can be half-applied (one
+    // endpoint processed the AUGMENT, the other not yet); those edges are
+    // withheld until both sides agree, so the output is always a valid
+    // matching.
+    if (mate_[v] != kNoVertex && v < mate_[v] && mate_[mate_[v]] == v) {
       m.match(v, mate_[v]);
     }
   }

@@ -12,25 +12,46 @@
 //     path (if free: it flips the path by sending AUGMENT back along the
 //     locked trail) or locks and forwards the token over its matched edge;
 //   • the node reached over the matched edge extends the walk along a
-//     random unmatched port, subject to the ℓ cap, or lets the token die;
-//   • locks and in-flight tokens die at the window boundary (tokens carry
-//     the window index and stale ones are discarded), but an AUGMENT
-//     launched inside a window always completes within it — the window is
-//     long enough by construction, so the matching is never left torn.
+//     random unmatched port, subject to the ℓ cap, or lets the token die.
 // Vertex locking makes concurrent attempts vertex-disjoint, so flips
 // cannot conflict. Tokens perform random alternating walks without
 // backtracking; the expected number of windows needed to clear all
 // ℓ-augmenting-paths grows like deg^O(ℓ) — matching the (β/ε)^O(1/ε) term
 // in Theorem 3.2's round bound.
+//
+// Lossless mode relies on the window clock for cleanup: locks and
+// in-flight tokens die at the window boundary (tokens carry the window
+// index and stale ones are discarded), and an AUGMENT launched inside a
+// window always completes within it by construction.
+//
+// On a lossy network (FaultPlan::can_fault()) the window clock is
+// useless — a delayed token could cross a boundary, and dropping a lock
+// under an in-flight AUGMENT would tear the matching. Hardened mode
+// instead resolves every attempt explicitly, with all messages on
+// ReliableLink:
+//   • locks persist until the attempt resolves; tokens carry the phase
+//     cap ℓ in their payload instead of a window stamp;
+//   • a node that cannot take a token (locked, on the path, or cap hit)
+//     answers REJECT; the refused sender unlocks and unwinds the locked
+//     trail backwards with ABORT via its stored predecessor port;
+//   • AUGMENT flips mates hop by hop and unlocks as it travels to the
+//     initiator (mid-cascade half-flipped edges are asymmetric and thus
+//     excluded by matching(), which emits symmetric pairs only);
+//   • new initiations stop after the planned schedule, and done() waits
+//     for all locks to clear and all links to drain — so once faults
+//     cease every attempt resolves and the output is a valid matching.
 #pragma once
 
 #include "dist/engine.hpp"
+#include "dist/reliable_link.hpp"
 #include "matching/matching.hpp"
 
 namespace matchsparse::dist {
 
 inline constexpr std::uint32_t kTagToken = 20;
 inline constexpr std::uint32_t kTagAugment = 21;
+inline constexpr std::uint32_t kTagReject = 22;
+inline constexpr std::uint32_t kTagAbort = 23;
 
 struct AugmentingOptions {
   /// Target approximation; the phase schedule covers path lengths up to
@@ -41,6 +62,8 @@ struct AugmentingOptions {
   std::size_t windows_per_phase = 16;
   /// Probability that a free node initiates an attempt in a window.
   double init_prob = 0.25;
+  /// Transport options for the hardened (lossy-network) mode.
+  ReliableLinkOptions link;
 };
 
 class AugmentingProtocol : public Protocol {
@@ -51,7 +74,7 @@ class AugmentingProtocol : public Protocol {
                      AugmentingOptions opt);
 
   void on_round(NodeContext& node) override;
-  bool done() const override { return round_seen_ >= plan_rounds_; }
+  bool done() const override;
 
   Matching matching() const;
 
@@ -67,10 +90,20 @@ class AugmentingProtocol : public Protocol {
   Slot slot_of(std::size_t round) const;
 
   VertexId port_of(VertexId v, VertexId target) const;
+  void on_round_lossless(NodeContext& node);
   void handle_token(NodeContext& node, const Incoming& in, const Slot& slot);
   void handle_augment(NodeContext& node, const Incoming& in);
   void continue_walk(NodeContext& node, std::vector<VertexId> path,
                      const Slot& slot);
+
+  void on_round_lossy(NodeContext& node);
+  void handle_token_lossy(NodeContext& node, const Incoming& in);
+  void handle_augment_lossy(NodeContext& node, const Incoming& in);
+  void handle_teardown(NodeContext& node, const Incoming& in);
+  void continue_walk_lossy(NodeContext& node, std::vector<VertexId> path,
+                           VertexId ell);
+  void lock(VertexId v);
+  void unlock(VertexId v);
 
   const Graph& g_;
   AugmentingOptions opt_;
@@ -83,6 +116,12 @@ class AugmentingProtocol : public Protocol {
   std::vector<VertexId> prev_port_;  // towards path predecessor when locked
   std::size_t round_seen_ = 0;
   std::size_t augmentations_ = 0;
+
+  // Hardened-mode state.
+  bool lossless_ = true;
+  std::vector<std::uint8_t> link_ready_;
+  std::vector<ReliableLink> links_;
+  VertexId num_locked_ = 0;
 };
 
 }  // namespace matchsparse::dist

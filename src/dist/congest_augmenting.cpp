@@ -13,7 +13,9 @@ CongestAugmentingProtocol::CongestAugmentingProtocol(
       mate_(g.num_vertices(), kNoVertex),
       role_(g.num_vertices(), Role::kNone),
       prev_port_(g.num_vertices(), kNoVertex),
-      next_port_(g.num_vertices(), kNoVertex) {
+      next_port_(g.num_vertices(), kNoVertex),
+      link_ready_(g.num_vertices(), 0),
+      links_(g.num_vertices()) {
   MS_CHECK_MSG(initial.is_valid(g), "invalid seed matching");
   for (VertexId v = 0; v < g.num_vertices(); ++v) mate_[v] = initial.mate(v);
 
@@ -50,6 +52,42 @@ VertexId CongestAugmentingProtocol::port_of(VertexId v,
                "port_of: target is not a neighbor");
   return static_cast<VertexId>(it - nbrs.begin());
 }
+
+void CongestAugmentingProtocol::lock(VertexId v, Role role) {
+  if (role_[v] == Role::kNone) ++num_locked_;
+  role_[v] = role;
+}
+
+void CongestAugmentingProtocol::unlock(VertexId v) {
+  if (role_[v] != Role::kNone) --num_locked_;
+  role_[v] = Role::kNone;
+  prev_port_[v] = kNoVertex;
+  next_port_[v] = kNoVertex;
+}
+
+void CongestAugmentingProtocol::on_round(NodeContext& node) {
+  round_seen_ = std::max(round_seen_, node.round() + 1);
+  if (node.lossless()) {
+    on_round_lossless(node);
+  } else {
+    lossless_ = false;
+    on_round_lossy(node);
+  }
+}
+
+bool CongestAugmentingProtocol::done() const {
+  if (round_seen_ < plan_rounds_) return false;
+  if (lossless_) return true;
+  if (num_locked_ != 0) return false;
+  for (const ReliableLink& link : links_) {
+    if (!link.idle()) return false;
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Lossless mode: the original window-clocked protocol, unchanged.
+// ---------------------------------------------------------------------------
 
 void CongestAugmentingProtocol::handle_token(NodeContext& node,
                                              const Incoming& in,
@@ -121,9 +159,8 @@ void CongestAugmentingProtocol::handle_augment(NodeContext& node,
   }
 }
 
-void CongestAugmentingProtocol::on_round(NodeContext& node) {
+void CongestAugmentingProtocol::on_round_lossless(NodeContext& node) {
   const VertexId v = node.id();
-  round_seen_ = std::max(round_seen_, node.round() + 1);
   const Slot slot = slot_of(node.round());
 
   if (slot.window_round == 0) {
@@ -150,12 +187,149 @@ void CongestAugmentingProtocol::on_round(NodeContext& node) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Hardened mode: reliable links, persistent locks, explicit REJECT/ABORT.
+// ---------------------------------------------------------------------------
+
+void CongestAugmentingProtocol::handle_token_lossy(NodeContext& node,
+                                                   const Incoming& in) {
+  const VertexId v = node.id();
+  const VertexId ell = unpack_cap(in.msg.payload);
+  const VertexId len = unpack_length(in.msg.payload);
+  const VertexId sender = node.neighbor_id(in.port);
+
+  const auto refuse = [&] {
+    links_[v].send(node, in.port, Message::of(kTagCongestReject));
+  };
+
+  if (role_[v] != Role::kNone) {
+    refuse();
+    return;
+  }
+
+  if (sender == mate_[v]) {
+    // Even position: extend over a random unmatched port.
+    if (len + 1 > ell) {
+      refuse();
+      return;
+    }
+    std::vector<VertexId> candidates;
+    for (VertexId p = 0; p < node.degree(); ++p) {
+      if (p != in.port) candidates.push_back(p);
+    }
+    if (candidates.empty()) {
+      refuse();
+      return;
+    }
+    lock(v, Role::kViaMatchedEdge);
+    prev_port_[v] = in.port;
+    next_port_[v] = candidates[node.rng().below(candidates.size())];
+    links_[v].send(node, next_port_[v],
+                   Message::of(kTagCongestToken, pack_capped(ell, len + 1)));
+    return;
+  }
+
+  if (mate_[v] == kNoVertex) {
+    // Free endpoint: commit immediately; no lock is needed because the
+    // trail unlocks itself as the AUGMENT travels back, and this node's
+    // own flip is final.
+    mate_[v] = sender;
+    ++augmentations_;
+    links_[v].send(node, in.port,
+                   Message::of(kTagCongestAugment, pack_capped(ell, len)));
+    return;
+  }
+
+  // Odd position: hand the token to the mate.
+  if (len + 1 > ell) {
+    refuse();
+    return;
+  }
+  lock(v, Role::kViaUnmatchedEdge);
+  prev_port_[v] = in.port;
+  next_port_[v] = port_of(v, mate_[v]);
+  links_[v].send(node, next_port_[v],
+                 Message::of(kTagCongestToken, pack_capped(ell, len + 1)));
+}
+
+void CongestAugmentingProtocol::handle_augment_lossy(NodeContext& node,
+                                                     const Incoming& in) {
+  const VertexId v = node.id();
+  switch (role_[v]) {
+    case Role::kViaUnmatchedEdge:
+      mate_[v] = node.neighbor_id(prev_port_[v]);
+      links_[v].send(node, prev_port_[v], in.msg);
+      break;
+    case Role::kViaMatchedEdge:
+      mate_[v] = node.neighbor_id(next_port_[v]);
+      links_[v].send(node, prev_port_[v], in.msg);
+      break;
+    case Role::kInitiator:
+      mate_[v] = node.neighbor_id(next_port_[v]);
+      break;
+    case Role::kEndpoint:
+    case Role::kNone:
+      // Exactly-once delivery plus persistent locks make this
+      // unreachable for live attempts; ignore defensively.
+      return;
+  }
+  unlock(v);
+}
+
+void CongestAugmentingProtocol::handle_teardown(NodeContext& node,
+                                                const Incoming& in) {
+  (void)in;
+  const VertexId v = node.id();
+  if (role_[v] == Role::kNone) return;
+  const VertexId back = prev_port_[v];
+  unlock(v);
+  if (back != kNoVertex) {
+    links_[v].send(node, back, Message::of(kTagCongestAbort));
+  }
+}
+
+void CongestAugmentingProtocol::on_round_lossy(NodeContext& node) {
+  const VertexId v = node.id();
+  if (!link_ready_[v]) {
+    link_ready_[v] = 1;
+    links_[v].reset(node.degree(), opt_.link, /*lossless=*/false);
+  }
+
+  const std::vector<Incoming> delivered = links_[v].begin_round(node);
+  for (const Incoming& in : delivered) {
+    if (in.msg.tag == kTagCongestAugment) handle_augment_lossy(node, in);
+  }
+  for (const Incoming& in : delivered) {
+    switch (in.msg.tag) {
+      case kTagCongestToken:
+        handle_token_lossy(node, in);
+        break;
+      case kTagCongestReject:
+      case kTagCongestAbort:
+        handle_teardown(node, in);
+        break;
+      default:
+        break;
+    }
+  }
+
+  const Slot slot = slot_of(node.round());
+  if (slot.window_round == 0 && node.round() < plan_rounds_ &&
+      mate_[v] == kNoVertex && role_[v] == Role::kNone && node.degree() > 0 &&
+      node.rng().chance(opt_.init_prob)) {
+    lock(v, Role::kInitiator);
+    next_port_[v] =
+        static_cast<VertexId>(node.rng().below(node.degree()));
+    links_[v].send(node, next_port_[v],
+                   Message::of(kTagCongestToken, pack_capped(slot.ell, 1)));
+  }
+}
+
 Matching CongestAugmentingProtocol::matching() const {
   Matching m(g_.num_vertices());
   for (VertexId v = 0; v < g_.num_vertices(); ++v) {
-    if (mate_[v] != kNoVertex && v < mate_[v]) {
-      MS_CHECK_MSG(mate_[mate_[v]] == v,
-                   "torn matching after CONGEST augmenting");
+    // Symmetric pairs only — see AugmentingProtocol::matching().
+    if (mate_[v] != kNoVertex && v < mate_[v] && mate_[mate_[v]] == v) {
       m.match(v, mate_[v]);
     }
   }

@@ -20,20 +20,35 @@
 // packed) = 65 accounted bits; AUGMENT = tag + stamp. Both are O(log n),
 // i.e. CONGEST-legal, unlike the LOCAL variant's 32·|path|-bit blobs —
 // bench_distributed compares the two.
+//
+// Hardened (lossy-network) mode mirrors the LOCAL variant: the window
+// clock is abandoned, every message rides a ReliableLink, tokens carry
+// the phase cap ℓ packed next to the length (still one 64-bit word, so
+// still CONGEST-sized), locks persist until the attempt resolves, and
+// refusals answer REJECT so the refused trail unwinds itself backwards
+// with ABORT. The role/port bookkeeping is exactly what makes this safe
+// with O(1)-word messages: each token hand-off over an edge is answered
+// by exactly one of {REJECT, ABORT, AUGMENT}, so a locked node's unlock
+// event is unique and the AUGMENT sweep can trust its stored ports.
 #pragma once
 
 #include "dist/engine.hpp"
+#include "dist/reliable_link.hpp"
 #include "matching/matching.hpp"
 
 namespace matchsparse::dist {
 
 inline constexpr std::uint32_t kTagCongestToken = 30;
 inline constexpr std::uint32_t kTagCongestAugment = 31;
+inline constexpr std::uint32_t kTagCongestReject = 32;
+inline constexpr std::uint32_t kTagCongestAbort = 33;
 
 struct CongestAugmentingOptions {
   double eps = 0.34;
   std::size_t windows_per_phase = 16;
   double init_prob = 0.25;
+  /// Transport options for the hardened (lossy-network) mode.
+  ReliableLinkOptions link;
 };
 
 class CongestAugmentingProtocol : public Protocol {
@@ -42,7 +57,7 @@ class CongestAugmentingProtocol : public Protocol {
                             CongestAugmentingOptions opt);
 
   void on_round(NodeContext& node) override;
-  bool done() const override { return round_seen_ >= plan_rounds_; }
+  bool done() const override;
 
   Matching matching() const;
   std::size_t planned_rounds() const { return plan_rounds_; }
@@ -75,10 +90,27 @@ class CongestAugmentingProtocol : public Protocol {
   static VertexId unpack_length(std::uint64_t payload) {
     return static_cast<VertexId>(payload & 0xffff);
   }
+  /// Lossy tokens pack (cap, length) instead of a window stamp — the
+  /// walk's cap must travel with it once round numbers stop meaning
+  /// anything. Still one 64-bit word.
+  static std::uint64_t pack_capped(VertexId ell, VertexId length) {
+    return (static_cast<std::uint64_t>(ell) << 16) | length;
+  }
+  static VertexId unpack_cap(std::uint64_t payload) {
+    return static_cast<VertexId>((payload >> 16) & 0xffff);
+  }
 
   VertexId port_of(VertexId v, VertexId target) const;
+  void on_round_lossless(NodeContext& node);
   void handle_token(NodeContext& node, const Incoming& in, const Slot& slot);
   void handle_augment(NodeContext& node, const Incoming& in);
+
+  void on_round_lossy(NodeContext& node);
+  void handle_token_lossy(NodeContext& node, const Incoming& in);
+  void handle_augment_lossy(NodeContext& node, const Incoming& in);
+  void handle_teardown(NodeContext& node, const Incoming& in);
+  void lock(VertexId v, Role role);
+  void unlock(VertexId v);
 
   const Graph& g_;
   CongestAugmentingOptions opt_;
@@ -92,6 +124,12 @@ class CongestAugmentingProtocol : public Protocol {
   std::vector<VertexId> next_port_;  // toward successor
   std::size_t round_seen_ = 0;
   std::size_t augmentations_ = 0;
+
+  // Hardened-mode state.
+  bool lossless_ = true;
+  std::vector<std::uint8_t> link_ready_;
+  std::vector<ReliableLink> links_;
+  VertexId num_locked_ = 0;
 };
 
 }  // namespace matchsparse::dist

@@ -4,26 +4,37 @@
 
 namespace matchsparse::dist {
 
+namespace {
+/// Substream label for the fault layer, disjoint from node substreams
+/// (which use mix64(seed, v) with v < n <= 2^32).
+constexpr std::uint64_t kFaultStream = 0xfa010c0de0000001ULL;
+}  // namespace
+
 VertexId NodeContext::degree() const { return net_.g_.degree(id_); }
 
 VertexId NodeContext::neighbor_id(VertexId port) const {
   return net_.g_.neighbor(id_, port);
 }
 
-void NodeContext::send(VertexId port, Message msg) {
-  net_.deliver(id_, port, std::move(msg));
+void NodeContext::send(VertexId port, Message msg, bool retransmission) {
+  net_.deliver(id_, port, std::move(msg), retransmission);
 }
 
-void NodeContext::broadcast(Message msg) {
-  net_.deliver_broadcast(id_, std::move(msg));
+void NodeContext::broadcast(Message msg, bool retransmission) {
+  net_.deliver_broadcast(id_, std::move(msg), retransmission);
 }
 
 Rng& NodeContext::rng() { return net_.node_rngs_[id_]; }
 
-Network::Network(const Graph& g, std::uint64_t seed)
+bool NodeContext::lossless() const { return net_.lossless(); }
+
+Network::Network(const Graph& g, std::uint64_t seed, FaultPlan plan)
     : g_(g),
+      plan_(std::move(plan)),
+      fault_rng_(mix64(seed, kFaultStream)),
       inbox_(g.num_vertices()),
-      outbox_(g.num_vertices()),
+      pending_(g.num_vertices()),
+      down_until_(g.num_vertices(), 0),
       offsets_(g.num_vertices() + 1, 0) {
   node_rngs_.reserve(g.num_vertices());
   for (VertexId v = 0; v < g.num_vertices(); ++v) {
@@ -53,57 +64,142 @@ VertexId Network::reverse_port(VertexId v, VertexId port) const {
   return reverse_port_[offsets_[v] + port];
 }
 
-void Network::deliver(VertexId from, VertexId port, Message msg) {
-  MS_CHECK_MSG(port < g_.degree(from), "send() on nonexistent port");
-  const VertexId to = g_.neighbor(from, port);
+void Network::account_send(const Message& msg, bool retransmission) {
   ++round_messages_;
-  ++total_messages_;
-  total_bits_ += msg.bits();
-  outbox_[to].push_back(Incoming{reverse_port(from, port), std::move(msg)});
+  ++stats_.messages;
+  stats_.bits += msg.bits();
+  if (retransmission) ++stats_.retransmissions;
+  if (msg.frame == Message::kAck) ++stats_.acks;
 }
 
-void Network::deliver_broadcast(VertexId from, Message msg) {
+/// Applies per-copy fault draws and queues the copy for delivery. Faults
+/// act only while round_ < fault_rounds; afterwards the copy takes the
+/// normal next-round path.
+void Network::enqueue_copy(VertexId to, VertexId arrival_port, Message msg) {
+  const bool faults_active = plan_.can_fault() && round_ < plan_.fault_rounds;
+  std::size_t due = round_ + 1;
+  if (faults_active) {
+    if (plan_.drop_prob > 0.0 && fault_rng_.chance(plan_.drop_prob)) {
+      ++stats_.dropped;
+      return;
+    }
+    if (plan_.delay_prob > 0.0 && fault_rng_.chance(plan_.delay_prob)) {
+      due += 1 + fault_rng_.below(std::max<std::size_t>(
+                     1, plan_.max_extra_delay));
+      ++stats_.delayed;
+    }
+    if (plan_.dup_prob > 0.0 && fault_rng_.chance(plan_.dup_prob)) {
+      // The duplicate takes its own (possibly different) delivery round,
+      // so dup + delay exercises cross-round reordering of equal frames.
+      std::size_t dup_due = round_ + 1;
+      if (plan_.delay_prob > 0.0 && fault_rng_.chance(plan_.delay_prob)) {
+        dup_due += 1 + fault_rng_.below(std::max<std::size_t>(
+                           1, plan_.max_extra_delay));
+      }
+      ++stats_.duplicated;
+      pending_[to].push_back(Pending{dup_due, Incoming{arrival_port, msg}});
+    }
+  }
+  pending_[to].push_back(Pending{due, Incoming{arrival_port, std::move(msg)}});
+}
+
+void Network::deliver(VertexId from, VertexId port, Message msg,
+                      bool retransmission) {
+  MS_CHECK_MSG(port < g_.degree(from), "send() on nonexistent port");
+  const VertexId to = g_.neighbor(from, port);
+  account_send(msg, retransmission);
+  enqueue_copy(to, reverse_port(from, port), std::move(msg));
+}
+
+void Network::deliver_broadcast(VertexId from, Message msg,
+                                bool retransmission) {
   const VertexId deg = g_.degree(from);
   if (deg == 0) return;
-  ++round_messages_;
-  ++total_messages_;
-  total_bits_ += msg.bits();
+  account_send(msg, retransmission);
   for (VertexId port = 0; port < deg; ++port) {
     const VertexId to = g_.neighbor(from, port);
-    outbox_[to].push_back(Incoming{reverse_port(from, port), msg});
+    enqueue_copy(to, reverse_port(from, port), msg);
+  }
+}
+
+/// Starts scripted and random outages whose time has come. Random crash
+/// draws are taken in node order, one per alive node per round, so the
+/// schedule is a pure function of (plan, seed).
+void Network::advance_crashes() {
+  for (const CrashEvent& ev : plan_.scripted_crashes) {
+    if (ev.round == round_ && ev.node < num_nodes()) {
+      down_until_[ev.node] =
+          std::max(down_until_[ev.node], round_ + ev.duration);
+    }
+  }
+  if (plan_.crash_prob > 0.0 && round_ < plan_.fault_rounds) {
+    for (VertexId v = 0; v < num_nodes(); ++v) {
+      if (round_ < down_until_[v]) continue;
+      if (fault_rng_.chance(plan_.crash_prob)) {
+        down_until_[v] = round_ + std::max<std::size_t>(
+                                      1, plan_.crash_duration);
+      }
+    }
+  }
+}
+
+/// Moves every pending copy whose due round has arrived into its inbox,
+/// preserving send order; copies addressed to a crashed node are lost.
+void Network::collect_due_messages() {
+  for (VertexId v = 0; v < num_nodes(); ++v) {
+    inbox_[v].clear();
+    auto& queue = pending_[v];
+    if (queue.empty()) continue;
+    const bool down = round_ < down_until_[v];
+    std::size_t keep = 0;
+    for (std::size_t i = 0; i < queue.size(); ++i) {
+      Pending& p = queue[i];
+      if (p.due > round_) {
+        // Guard against self-move: it would empty the message blob.
+        if (keep != i) queue[keep] = std::move(p);
+        ++keep;
+      } else if (down) {
+        ++stats_.dropped;
+      } else {
+        inbox_[v].push_back(std::move(p.in));
+      }
+    }
+    queue.resize(keep);
   }
 }
 
 TrafficStats Network::run(Protocol& protocol, std::size_t max_rounds) {
-  TrafficStats stats;
+  stats_ = TrafficStats{};
   for (VertexId v = 0; v < num_nodes(); ++v) {
     inbox_[v].clear();
-    outbox_[v].clear();
+    pending_[v].clear();
+    down_until_[v] = 0;
   }
-  total_messages_ = total_bits_ = 0;
 
-  for (std::size_t round = 0; round < max_rounds; ++round) {
+  for (round_ = 0; round_ < max_rounds; ++round_) {
     if (protocol.done()) {
-      stats.completed = true;
+      stats_.completed = true;
       break;
     }
     round_messages_ = 0;
+    advance_crashes();
+    collect_due_messages();
     for (VertexId v = 0; v < num_nodes(); ++v) {
-      NodeContext ctx(*this, v, round, inbox_[v]);
+      if (round_ < down_until_[v]) {
+        ++stats_.crashed_node_rounds;
+        continue;
+      }
+      NodeContext ctx(*this, v, round_, inbox_[v]);
       protocol.on_round(ctx);
     }
-    ++stats.rounds;
-    if (round_messages_ > 0) ++stats.active_rounds;
-    // Swap outboxes into next round's inboxes.
-    for (VertexId v = 0; v < num_nodes(); ++v) {
-      inbox_[v].swap(outbox_[v]);
-      outbox_[v].clear();
+    ++stats_.rounds;
+    if (round_messages_ > 0) ++stats_.active_rounds;
+    if (plan_.can_fault() && round_ >= plan_.fault_rounds) {
+      ++stats_.recovery_rounds;
     }
   }
-  if (!stats.completed && protocol.done()) stats.completed = true;
-  stats.messages = total_messages_;
-  stats.bits = total_bits_;
-  return stats;
+  if (!stats_.completed && protocol.done()) stats_.completed = true;
+  return stats_;
 }
 
 }  // namespace matchsparse::dist

@@ -1,19 +1,32 @@
 // Synchronous message-passing network simulator for the LOCAL / CONGEST
-// experiments of Section 3.2.
+// experiments of Section 3.2, with an optional fault-injection layer.
 //
 // Model: one processor per vertex of a communication graph; computation
-// proceeds in fault-free synchronous rounds. Messages sent in round r are
-// delivered at the start of round r+1. Nodes address neighbors by *port*
-// (index into their adjacency list), matching the KT₀ assumption the paper
-// highlights — the sparsifier needs no identifier knowledge. Protocols may
-// still read ids (they are free information a node has about itself, and
-// LOCAL-model algorithms conventionally assume unique ids).
+// proceeds in synchronous rounds. Messages sent in round r are delivered
+// at the start of round r+1 (later if the fault layer delays them). Nodes
+// address neighbors by *port* (index into their adjacency list), matching
+// the KT₀ assumption the paper highlights — the sparsifier needs no
+// identifier knowledge. Protocols may still read ids (they are free
+// information a node has about itself, and LOCAL-model algorithms
+// conventionally assume unique ids).
+//
+// Fault model (FaultPlan): per-message drop / duplicate / delay (delivery
+// deferred >= 1 extra round, i.e. reordering across rounds) and fail-stop
+// crash/restart of nodes on seeded-random or scripted schedules. A
+// crashed node executes no rounds and loses every message that would be
+// delivered to it while down; its protocol state (and any retransmission
+// queues held by a ReliableLink) survives the outage. All fault decisions
+// are drawn from a dedicated RNG substream of the network seed, so a
+// given (plan, seed) pair replays bit-identically — and a plan that
+// cannot fault leaves the engine on the exact fault-free code path.
 //
 // Accounting: the engine counts rounds in which any message travelled,
 // total messages, and total payload bits (a bare tag counts as 1 bit — the
 // paper's 1-bit unicast marks; a word payload counts as 64; LOCAL blobs
-// count 32 bits per word). Unicast transmission is assumed throughout, as
-// required for the sublinear message bounds of Theorem 3.3.
+// count 32 bits per word; reliable-delivery framing adds 16 bits of
+// sequence number, and an ack is 17 bits). Unicast transmission is
+// assumed throughout, as required for the sublinear message bounds of
+// Theorem 3.3.
 #pragma once
 
 #include <cstdint>
@@ -26,11 +39,18 @@
 namespace matchsparse::dist {
 
 struct Message {
+  /// Transport framing added by ReliableLink. Raw messages are the
+  /// fault-free default and cost no extra bits.
+  enum Frame : std::uint8_t { kRaw = 0, kData = 1, kAck = 2 };
+
   std::uint32_t tag = 0;
   std::uint64_t payload = 0;
   bool has_payload = false;
   /// LOCAL-model variable-size payload (e.g. a path of vertex ids).
   std::vector<VertexId> blob;
+  /// Per-port sequence number (meaningful when frame != kRaw).
+  std::uint32_t seq = 0;
+  std::uint8_t frame = kRaw;
 
   static Message of(std::uint32_t tag) { return Message{tag, 0, false, {}}; }
   static Message of(std::uint32_t tag, std::uint64_t payload) {
@@ -39,13 +59,52 @@ struct Message {
 
   /// Accounting size in bits (see file header).
   std::uint64_t bits() const {
-    return 1 + (has_payload ? 64 : 0) + 32 * blob.size();
+    return 1 + (has_payload ? 64 : 0) + 32 * blob.size() +
+           (frame != kRaw ? 16 : 0);
   }
 };
 
 struct Incoming {
   VertexId port;  // port the message arrived on
   Message msg;
+};
+
+/// Scripted fail-stop outage: `node` goes down at the start of `round`
+/// and restarts `duration` rounds later (state intact).
+struct CrashEvent {
+  VertexId node = 0;
+  std::size_t round = 0;
+  std::size_t duration = 1;
+};
+
+/// Deterministic fault schedule. Probabilities are per message copy (per
+/// receiver for broadcasts) and per node-round for crashes; every draw
+/// comes from a dedicated substream of the network seed, so the same
+/// (plan, seed) replays bit-identically. Random faults act only in
+/// rounds < fault_rounds ("faults cease"); scripted crashes and
+/// already-delayed messages are allowed to outlive that horizon.
+struct FaultPlan {
+  double drop_prob = 0.0;
+  double dup_prob = 0.0;
+  double delay_prob = 0.0;
+  /// A delayed message is deferred by uniform(1..max_extra_delay) extra
+  /// rounds beyond the normal next-round delivery.
+  std::size_t max_extra_delay = 1;
+  double crash_prob = 0.0;
+  /// Rounds a randomly crashed node stays down before restarting.
+  std::size_t crash_duration = 3;
+  std::vector<CrashEvent> scripted_crashes;
+  /// Random faults act only in rounds < fault_rounds.
+  std::size_t fault_rounds = static_cast<std::size_t>(-1);
+
+  /// True if this plan can ever perturb an execution. A plan that cannot
+  /// fault keeps the engine on the fault-free fast path (and lets
+  /// protocols skip ack/retransmit machinery), which is what makes the
+  /// "all-zero plan == no plan" regression pin hold bit-for-bit.
+  bool can_fault() const {
+    return drop_prob > 0.0 || dup_prob > 0.0 || delay_prob > 0.0 ||
+           crash_prob > 0.0 || !scripted_crashes.empty();
+  }
 };
 
 class Network;
@@ -63,17 +122,23 @@ class NodeContext {
   /// Vertex id behind a port (free knowledge for id-based protocols).
   VertexId neighbor_id(VertexId port) const;
   const std::vector<Incoming>& inbox() const { return inbox_; }
-  /// Sends a unicast message through `port`; delivered next round.
-  void send(VertexId port, Message msg);
+  /// Sends a unicast message through `port`; delivered next round unless
+  /// the fault layer interferes. `retransmission` marks transport-level
+  /// resends for the TrafficStats ledger.
+  void send(VertexId port, Message msg, bool retransmission = false);
   /// Broadcasts one message to every neighbor. Accounting follows the
   /// paper's Section 3.2 remark: a broadcast system transmits ONE message
   /// whose size is the whole payload (e.g. Δ·log n bits for the
   /// sparsifier's marked-port list), as opposed to deg(v) unicast
   /// messages of 1 bit each; the engine counts 1 message and bits()
-  /// once, while still delivering a copy on every port.
-  void broadcast(Message msg);
+  /// once, while still delivering a copy on every port (each copy is
+  /// faulted independently).
+  void broadcast(Message msg, bool retransmission = false);
   /// Per-node deterministic RNG substream.
   Rng& rng();
+  /// Transport contract: true when the network cannot drop, delay,
+  /// duplicate, or crash — protocols may then skip acks entirely.
+  bool lossless() const;
 
  private:
   Network& net_;
@@ -83,9 +148,9 @@ class NodeContext {
 };
 
 /// A distributed algorithm. The engine calls on_round() once per node per
-/// round (after delivering the previous round's traffic) and stops when
-/// done() — an experiment-harness oracle, not a message-passing primitive —
-/// returns true or max_rounds is hit.
+/// round (after delivering the previous round's traffic and skipping
+/// crashed nodes) and stops when done() — an experiment-harness oracle,
+/// not a message-passing primitive — returns true or max_rounds is hit.
 class Protocol {
  public:
   virtual ~Protocol() = default;
@@ -99,16 +164,31 @@ struct TrafficStats {
   std::uint64_t messages = 0;
   std::uint64_t bits = 0;
   bool completed = false;          // protocol reported done()
+
+  // Fault-layer ledger (all zero on the fault-free fast path).
+  std::uint64_t dropped = 0;         // copies destroyed (incl. to crashed)
+  std::uint64_t duplicated = 0;      // extra copies injected
+  std::uint64_t delayed = 0;         // copies deferred >= 1 extra round
+  std::uint64_t retransmissions = 0; // transport-level resends
+  std::uint64_t acks = 0;            // transport ack frames
+  std::size_t crashed_node_rounds = 0;  // node-rounds spent down
+  std::size_t recovery_rounds = 0;   // rounds executed after faults ceased
+
+  friend bool operator==(const TrafficStats&, const TrafficStats&) = default;
 };
 
 class Network {
  public:
   /// Builds a network over the communication graph g. Each node gets an
-  /// independent RNG substream derived from `seed`.
-  Network(const Graph& g, std::uint64_t seed);
+  /// independent RNG substream derived from `seed`; the fault layer (if
+  /// any) draws from its own substream.
+  Network(const Graph& g, std::uint64_t seed, FaultPlan plan = {});
 
   const Graph& graph() const { return g_; }
   VertexId num_nodes() const { return g_.num_vertices(); }
+  const FaultPlan& fault_plan() const { return plan_; }
+  /// True when the fault plan cannot perturb anything (see FaultPlan).
+  bool lossless() const { return !plan_.can_fault(); }
 
   /// Port on `neighbor_id(v, port)` that leads back to v.
   VertexId reverse_port(VertexId v, VertexId port) const;
@@ -118,18 +198,31 @@ class Network {
 
  private:
   friend class NodeContext;
-  void deliver(VertexId from, VertexId port, Message msg);
-  void deliver_broadcast(VertexId from, Message msg);
+  struct Pending {
+    std::size_t due;  // first round whose inbox includes this copy
+    Incoming in;
+  };
+
+  void deliver(VertexId from, VertexId port, Message msg,
+               bool retransmission);
+  void deliver_broadcast(VertexId from, Message msg, bool retransmission);
+  void enqueue_copy(VertexId to, VertexId arrival_port, Message msg);
+  void account_send(const Message& msg, bool retransmission);
+  void advance_crashes();
+  void collect_due_messages();
 
   const Graph& g_;
+  FaultPlan plan_;
+  Rng fault_rng_;
   std::vector<Rng> node_rngs_;
   std::vector<std::vector<Incoming>> inbox_;      // current round's input
-  std::vector<std::vector<Incoming>> outbox_;     // next round's input
+  std::vector<std::vector<Pending>> pending_;     // future rounds' input
+  std::vector<std::size_t> down_until_;           // crash state per node
   std::vector<VertexId> reverse_port_;            // flattened, CSR layout
   std::vector<EdgeIndex> offsets_;
+  std::size_t round_ = 0;
   std::uint64_t round_messages_ = 0;
-  std::uint64_t total_messages_ = 0;
-  std::uint64_t total_bits_ = 0;
+  TrafficStats stats_;
 };
 
 }  // namespace matchsparse::dist

@@ -15,14 +15,19 @@ DistributedMatchingResult distributed_approx_matching(
   DistributedMatchingResult result;
   // Error budget split across the three approximation-bearing stages.
   const double stage_eps = opt.eps / 3.0;
+  // Faulty stages need room for retransmissions and crash outages; a plan
+  // that cannot fault keeps the exact fault-free budgets (and traffic).
+  const std::size_t slack =
+      opt.faults.can_fault() ? opt.fault_round_slack : 0;
 
   // Stage 1: G_Δ in one communication round.
   result.delta =
       SparsifierParams::practical(opt.beta, stage_eps, opt.delta_scale)
           .delta;
-  Network net1(g, mix64(seed, 1));
-  RandomSparsifierProtocol sparsify_protocol(g.num_vertices(), result.delta);
-  result.stage_sparsify = net1.run(sparsify_protocol, 4);
+  Network net1(g, mix64(seed, 1), opt.faults);
+  RandomSparsifierProtocol sparsify_protocol(g.num_vertices(), result.delta,
+                                             opt.link);
+  result.stage_sparsify = net1.run(sparsify_protocol, 4 + slack);
   const Graph g_delta =
       Graph::from_edges(g.num_vertices(), sparsify_protocol.edges());
   result.sparsifier_edges = g_delta.num_edges();
@@ -30,41 +35,46 @@ DistributedMatchingResult distributed_approx_matching(
   // Stage 2: bounded-degree sparsifier on top (arboricity(G_Δ) = O(Δ)).
   result.delta_alpha = delta_alpha_for(
       2.0 * static_cast<double>(result.delta), stage_eps, opt.alpha_scale);
-  Network net2(g_delta, mix64(seed, 2));
+  Network net2(g_delta, mix64(seed, 2), opt.faults);
   DegreeSparsifierProtocol degree_protocol(g.num_vertices(),
-                                           result.delta_alpha);
-  result.stage_degree = net2.run(degree_protocol, 4);
+                                           result.delta_alpha, opt.link);
+  result.stage_degree = net2.run(degree_protocol, 4 + slack);
   const Graph g_bounded =
       Graph::from_edges(g.num_vertices(), degree_protocol.edges());
   result.bounded_edges = g_bounded.num_edges();
   result.bounded_max_degree = g_bounded.max_degree();
 
-  // Stage 3: randomized maximal matching on the bounded-degree graph.
-  Network net3(g_bounded, mix64(seed, 3));
-  ProposalMatchingProtocol proposal(g_bounded);
-  result.stage_maximal = net3.run(proposal, opt.max_matching_rounds);
-  MS_CHECK_MSG(result.stage_maximal.completed,
-               "proposal matching did not reach maximality in budget");
+  // Stage 3: randomized maximal matching on the bounded-degree graph. If
+  // the round budget runs out mid-recovery the stage output is still a
+  // valid (possibly non-maximal) matching — stage 4 and the caller see
+  // completed=false rather than an abort.
+  Network net3(g_bounded, mix64(seed, 3), opt.faults);
+  ProposalMatchingOptions proposal_opt;
+  proposal_opt.link = opt.link;
+  ProposalMatchingProtocol proposal(g_bounded, proposal_opt);
+  result.stage_maximal = net3.run(proposal, opt.max_matching_rounds + slack);
   result.maximal_stage_matching = proposal.matching();
 
   // Stage 4: bounded-length augmenting phases lift 2-approx to (1+ε).
-  Network net4(g_bounded, mix64(seed, 4));
+  Network net4(g_bounded, mix64(seed, 4), opt.faults);
   if (opt.congest_augmenting) {
     CongestAugmentingOptions aug;
     aug.eps = stage_eps;
     aug.windows_per_phase = opt.augmenting.windows_per_phase;
     aug.init_prob = opt.augmenting.init_prob;
+    aug.link = opt.link;
     CongestAugmentingProtocol augmenting(g_bounded, proposal.matching(),
                                          aug);
     result.stage_augment =
-        net4.run(augmenting, augmenting.planned_rounds() + 2);
+        net4.run(augmenting, augmenting.planned_rounds() + 2 + slack);
     result.matching = augmenting.matching();
   } else {
     AugmentingOptions aug = opt.augmenting;
     aug.eps = stage_eps;
+    aug.link = opt.link;
     AugmentingProtocol augmenting(g_bounded, proposal.matching(), aug);
     result.stage_augment =
-        net4.run(augmenting, augmenting.planned_rounds() + 2);
+        net4.run(augmenting, augmenting.planned_rounds() + 2 + slack);
     result.matching = augmenting.matching();
   }
   return result;

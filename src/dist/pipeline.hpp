@@ -10,10 +10,18 @@
 // All stages run on the simulator and their traffic is accounted
 // separately, so the message-complexity claim of Theorem 3.3 (total
 // messages ≈ T(n)·|E(G_Δ)| ≪ m on dense inputs) is directly measurable.
+//
+// A FaultPlan in the options runs every stage on a faulty network (each
+// stage's protocol then switches to its hardened ReliableLink mode and
+// gets `fault_round_slack` extra rounds of budget). The output is a valid
+// matching under ANY fault schedule; stages that could not quiesce within
+// budget simply report completed=false in their TrafficStats and the
+// matching degrades gracefully instead of tearing.
 #pragma once
 
 #include "dist/engine.hpp"
 #include "dist/augmenting_protocol.hpp"
+#include "dist/reliable_link.hpp"
 #include "matching/matching.hpp"
 
 namespace matchsparse::dist {
@@ -31,6 +39,13 @@ struct DistributedMatchingOptions {
   /// schedule; far fewer bits.
   bool congest_augmenting = false;
   std::size_t max_matching_rounds = 4096;
+  /// Fault schedule applied to every stage's network (default: none).
+  FaultPlan faults;
+  /// Transport options for the hardened protocol modes.
+  ReliableLinkOptions link;
+  /// Extra per-stage round budget when the fault plan can fault, covering
+  /// retransmissions, crash outages, and the post-fault drain phase.
+  std::size_t fault_round_slack = 2048;
 };
 
 struct DistributedMatchingResult {
@@ -60,6 +75,19 @@ struct DistributedMatchingResult {
   std::uint64_t total_bits() const {
     return stage_sparsify.bits + stage_degree.bits + stage_maximal.bits +
            stage_augment.bits;
+  }
+  std::uint64_t total_retransmissions() const {
+    return stage_sparsify.retransmissions + stage_degree.retransmissions +
+           stage_maximal.retransmissions + stage_augment.retransmissions;
+  }
+  std::uint64_t total_dropped() const {
+    return stage_sparsify.dropped + stage_degree.dropped +
+           stage_maximal.dropped + stage_augment.dropped;
+  }
+  /// True iff every stage's protocol reached its done() oracle in budget.
+  bool all_stages_completed() const {
+    return stage_sparsify.completed && stage_degree.completed &&
+           stage_maximal.completed && stage_augment.completed;
   }
 };
 

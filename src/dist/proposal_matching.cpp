@@ -1,13 +1,24 @@
 #include "dist/proposal_matching.hpp"
 
+#include <algorithm>
+
 namespace matchsparse::dist {
 
-ProposalMatchingProtocol::ProposalMatchingProtocol(const Graph& g)
+ProposalMatchingProtocol::ProposalMatchingProtocol(const Graph& g,
+                                                   ProposalMatchingOptions opt)
     : g_(g),
+      opt_(opt),
       mate_(g.num_vertices(), kNoVertex),
       proposer_(g.num_vertices(), 0),
       proposed_port_(g.num_vertices(), kNoVertex),
-      known_matched_(g.num_vertices()) {
+      known_matched_(g.num_vertices()),
+      state_(g.num_vertices(), State::kFree),
+      epoch_(g.num_vertices(), 0),
+      awaiting_since_(g.num_vertices(), 0),
+      reserved_port_(g.num_vertices(), kNoVertex),
+      reserved_epoch_(g.num_vertices(), 0),
+      link_ready_(g.num_vertices(), 0),
+      links_(g.num_vertices()) {
   for (VertexId v = 0; v < g.num_vertices(); ++v) {
     known_matched_[v].assign(g.degree(v), false);
   }
@@ -18,6 +29,16 @@ bool ProposalMatchingProtocol::eligible(VertexId v, VertexId port) const {
 }
 
 void ProposalMatchingProtocol::on_round(NodeContext& node) {
+  if (node.lossless()) {
+    on_round_lossless(node);
+  } else {
+    on_round_lossy(node);
+  }
+}
+
+// The classic fault-free schedule, unchanged: commit-on-ACCEPT is safe
+// because a synchronous lossless network cannot lose the handshake.
+void ProposalMatchingProtocol::on_round_lossless(NodeContext& node) {
   const VertexId v = node.id();
 
   // Absorb MATCHED notices first, regardless of phase.
@@ -61,6 +82,7 @@ void ProposalMatchingProtocol::on_round(NodeContext& node) {
     const VertexId port =
         proposals[node.rng().below(proposals.size())];
     mate_[v] = node.neighbor_id(port);
+    state_[v] = State::kMatched;
     node.send(port, Message::of(kTagAccept));
     // Tell everyone else this node left the pool.
     for (VertexId p = 0; p < node.degree(); ++p) {
@@ -74,6 +96,7 @@ void ProposalMatchingProtocol::on_round(NodeContext& node) {
   for (const Incoming& in : node.inbox()) {
     if (in.msg.tag == kTagAccept && in.port == proposed_port_[v]) {
       mate_[v] = node.neighbor_id(in.port);
+      state_[v] = State::kMatched;
       for (VertexId p = 0; p < node.degree(); ++p) {
         if (p != in.port) node.send(p, Message::of(kTagMatchedNotice));
       }
@@ -82,11 +105,118 @@ void ProposalMatchingProtocol::on_round(NodeContext& node) {
   }
 }
 
+/// Commits v to `port` and notifies every other neighbor (reliably).
+void ProposalMatchingProtocol::commit_match(NodeContext& node, VertexId port) {
+  const VertexId v = node.id();
+  mate_[v] = node.neighbor_id(port);
+  state_[v] = State::kMatched;
+  for (VertexId p = 0; p < node.degree(); ++p) {
+    if (p != port) links_[v].send(node, p, Message::of(kTagMatchedNotice));
+  }
+}
+
+void ProposalMatchingProtocol::on_round_lossy(NodeContext& node) {
+  const VertexId v = node.id();
+  ReliableLink& link = links_[v];
+  if (!link_ready_[v]) {
+    link_ready_[v] = 1;
+    link.reset(node.degree(), opt_.link, /*lossless=*/false);
+  }
+
+  for (const Incoming& in : link.begin_round(node)) {
+    const std::uint64_t ep = in.msg.payload;
+    switch (in.msg.tag) {
+      case kTagMatchedNotice:
+        known_matched_[v][in.port] = true;
+        break;
+      case kTagPropose:
+        if (state_[v] == State::kFree) {
+          // Reserve — do NOT commit until the proposer's COMMIT lands.
+          state_[v] = State::kReserved;
+          ++num_reserved_;
+          reserved_port_[v] = in.port;
+          reserved_epoch_[v] = ep;
+          link.send(node, in.port, Message::of(kTagAccept, ep));
+        } else {
+          // Awaiting / Reserved / Matched: decline fast so the proposer
+          // does not burn its full timeout.
+          link.send(node, in.port, Message::of(kTagBusy, ep));
+        }
+        break;
+      case kTagAccept:
+        if (state_[v] == State::kAwaiting && in.port == proposed_port_[v] &&
+            ep == epoch_[v]) {
+          link.send(node, in.port, Message::of(kTagCommit, ep));
+          commit_match(node, in.port);
+        } else {
+          // Stale accept (this proposal epoch timed out): free the
+          // acceptor, which has been holding a reservation for it.
+          link.send(node, in.port, Message::of(kTagRelease, ep));
+        }
+        break;
+      case kTagCommit:
+        if (state_[v] == State::kReserved && in.port == reserved_port_[v] &&
+            ep == reserved_epoch_[v]) {
+          --num_reserved_;
+          commit_match(node, in.port);
+        }
+        break;
+      case kTagRelease:
+        if (state_[v] == State::kReserved && in.port == reserved_port_[v] &&
+            ep == reserved_epoch_[v]) {
+          --num_reserved_;
+          state_[v] = State::kFree;
+          reserved_port_[v] = kNoVertex;
+        }
+        break;
+      case kTagBusy:
+        if (state_[v] == State::kAwaiting && in.port == proposed_port_[v] &&
+            ep == epoch_[v]) {
+          state_[v] = State::kFree;
+        }
+        break;
+      default:
+        break;
+    }
+  }
+
+  // Proposal timeout: abandon the epoch; any late ACCEPT is now stale and
+  // will be answered with RELEASE above.
+  const std::size_t timeout =
+      std::max(opt_.response_timeout, opt_.link.retransmit_after + 4);
+  if (state_[v] == State::kAwaiting &&
+      node.round() >= awaiting_since_[v] + timeout) {
+    state_[v] = State::kFree;
+  }
+
+  // New proposal attempt (coin-gated to break symmetry between free
+  // neighbors, as in the lossless proposer/acceptor flip).
+  if (state_[v] != State::kFree) return;
+  VertexId eligible_count = 0;
+  for (VertexId p = 0; p < node.degree(); ++p) {
+    eligible_count += eligible(v, p);
+  }
+  if (eligible_count == 0) return;
+  if (!node.rng().chance(0.5)) return;
+  auto k = static_cast<VertexId>(node.rng().below(eligible_count));
+  for (VertexId p = 0; p < node.degree(); ++p) {
+    if (!eligible(v, p)) continue;
+    if (k-- == 0) {
+      ++epoch_[v];
+      proposed_port_[v] = p;
+      awaiting_since_[v] = node.round();
+      state_[v] = State::kAwaiting;
+      link.send(node, p, Message::of(kTagPropose, epoch_[v]));
+      break;
+    }
+  }
+}
+
 bool ProposalMatchingProtocol::done() const {
-  // Oracle: maximality reached when no edge has two free endpoints AND no
-  // accept handshake is still in flight (an acceptor commits one round
-  // before its proposer; stopping between the two would tear the
-  // matching).
+  // Oracle: maximality reached when no edge has two free endpoints, every
+  // matched node's mate agrees, and no reservation (three-way handshake
+  // in flight) is pending. Stopping mid-handshake would tear the matching.
+  if (num_reserved_ != 0) return false;
   for (VertexId v = 0; v < g_.num_vertices(); ++v) {
     if (mate_[v] == kNoVertex) {
       for (VertexId w : g_.neighbors(v)) {
@@ -102,8 +232,10 @@ bool ProposalMatchingProtocol::done() const {
 Matching ProposalMatchingProtocol::matching() const {
   Matching m(g_.num_vertices());
   for (VertexId v = 0; v < g_.num_vertices(); ++v) {
-    if (mate_[v] != kNoVertex && v < mate_[v]) {
-      MS_CHECK_MSG(mate_[mate_[v]] == v, "asymmetric distributed matching");
+    // Emit symmetric pairs only: on a faulty network a node may consider
+    // itself matched while its counterpart's commit is still in flight
+    // (or was abandoned); such half-edges never enter the output.
+    if (mate_[v] != kNoVertex && v < mate_[v] && mate_[mate_[v]] == v) {
       m.match(v, mate_[v]);
     }
   }

@@ -5,7 +5,8 @@
 // stage of the Theorem 3.2 pipeline (the log* n term in its round bound
 // corresponds to this stage on the bounded-degree sparsifier).
 //
-// Round structure (period 3):
+// Lossless round structure (period 3, the classic schedule — kept
+// bit-identical to the original fault-free protocol):
 //   r≡0  free nodes flip proposer/acceptor; proposers send PROPOSE on one
 //        random eligible port (eligible = neighbor not known matched).
 //   r≡1  free acceptors pick one received PROPOSE uniformly, send ACCEPT,
@@ -15,13 +16,35 @@
 //   r≡2  proposers receiving ACCEPT commit and notify all other neighbors
 //        with MATCHED (acceptors notified theirs in r≡1 via MATCHED too).
 //
-// Termination is detected by the harness oracle done(): no edge of the
-// communication graph has two free endpoints. Real deployments use local
-// detection; the oracle only truncates the trailing idle rounds and does
-// not change the algorithm's message pattern.
+// On a lossy network (FaultPlan::can_fault()) commit-on-ACCEPT is unsafe:
+// losing the ACCEPT would leave the acceptor matched to a proposer that
+// timed out and moved on. The hardened mode therefore runs a three-way
+// handshake over ReliableLink with per-proposal epochs:
+//
+//   Free ──PROPOSE(epoch)──> Awaiting        (proposer, coin-gated)
+//   Free ──ACCEPT(epoch)───> Reserved        (acceptor: reserve, don't commit)
+//   Awaiting + valid ACCEPT ─COMMIT(epoch)─> Matched (proposer commits)
+//   Reserved + COMMIT ──────────────────────> Matched (acceptor commits)
+//   stale ACCEPT ──RELEASE(epoch)──> unreserves the acceptor
+//   non-free node answers PROPOSE with BUSY(epoch) so the proposer need
+//   not wait for its timeout.
+//
+// A proposer that hears nothing for `response_timeout` rounds returns to
+// Free; its epoch makes any late ACCEPT recognizably stale. A Reserved
+// node holds its reservation until COMMIT or RELEASE arrives (reliable
+// delivery makes that resolution inevitable once faults cease), which is
+// what guarantees the matching is never torn: a node only enters
+// matching() when both endpoints processed the same epoch's handshake.
+//
+// Termination is detected by the harness oracle done(): matched mates are
+// symmetric, no reservation is pending, and no edge of the communication
+// graph has two free endpoints. Real deployments use local detection; the
+// oracle only truncates the trailing idle rounds and does not change the
+// algorithm's message pattern.
 #pragma once
 
 #include "dist/engine.hpp"
+#include "dist/reliable_link.hpp"
 #include "matching/matching.hpp"
 
 namespace matchsparse::dist {
@@ -29,25 +52,54 @@ namespace matchsparse::dist {
 inline constexpr std::uint32_t kTagPropose = 10;
 inline constexpr std::uint32_t kTagAccept = 11;
 inline constexpr std::uint32_t kTagMatchedNotice = 12;
+inline constexpr std::uint32_t kTagCommit = 13;
+inline constexpr std::uint32_t kTagRelease = 14;
+inline constexpr std::uint32_t kTagBusy = 15;
+
+struct ProposalMatchingOptions {
+  /// Rounds an Awaiting proposer waits for ACCEPT / BUSY before returning
+  /// to Free (lossy mode; stretched to cover at least one retransmission).
+  std::size_t response_timeout = 3;
+  ReliableLinkOptions link;
+};
 
 class ProposalMatchingProtocol : public Protocol {
  public:
-  explicit ProposalMatchingProtocol(const Graph& g);
+  explicit ProposalMatchingProtocol(const Graph& g,
+                                    ProposalMatchingOptions opt = {});
 
   void on_round(NodeContext& node) override;
   bool done() const override;
 
-  /// The matching built so far (consistent at round boundaries).
+  /// The matching built so far. Only symmetric pairs (both endpoints
+  /// committed) are emitted, so the result is a valid matching at any
+  /// round boundary, even mid-recovery on a faulty network.
   Matching matching() const;
 
  private:
+  enum class State : std::uint8_t { kFree, kAwaiting, kReserved, kMatched };
+
   bool eligible(VertexId v, VertexId port) const;
+  void on_round_lossless(NodeContext& node);
+  void on_round_lossy(NodeContext& node);
+  void commit_match(NodeContext& node, VertexId port);
 
   const Graph& g_;
+  ProposalMatchingOptions opt_;
   std::vector<VertexId> mate_;
-  std::vector<std::uint8_t> proposer_;       // role this cycle
+  std::vector<std::uint8_t> proposer_;       // role this cycle (lossless)
   std::vector<VertexId> proposed_port_;      // port proposed on (proposers)
   std::vector<std::vector<bool>> known_matched_;  // per node, per port
+
+  // Hardened-mode state.
+  std::vector<State> state_;
+  std::vector<std::uint64_t> epoch_;         // bumped on every proposal
+  std::vector<std::size_t> awaiting_since_;  // round the proposal went out
+  std::vector<VertexId> reserved_port_;
+  std::vector<std::uint64_t> reserved_epoch_;
+  std::vector<std::uint8_t> link_ready_;
+  std::vector<ReliableLink> links_;
+  VertexId num_reserved_ = 0;
 };
 
 }  // namespace matchsparse::dist

@@ -1,0 +1,194 @@
+#include "dist/reliable_link.hpp"
+
+#include <algorithm>
+
+namespace matchsparse::dist {
+
+void ReliableLink::reset(VertexId degree, ReliableLinkOptions opt,
+                         bool lossless) {
+  opt_ = opt;
+  lossless_ = lossless;
+  lane_ = Lane::kUnset;
+  next_seq_out_.assign(degree, 0);
+  next_bcast_seq_ = 0;
+  outstanding_.assign(degree, {});
+  bcast_outstanding_.clear();
+  delivered_floor_.assign(degree, 0);
+  delivered_above_.assign(degree, {});
+  in_flight_ = 0;
+  gave_up_ = 0;
+}
+
+void ReliableLink::mark_acked(VertexId port, std::uint32_t seq) {
+  auto& queue = outstanding_[port];
+  for (std::size_t i = 0; i < queue.size(); ++i) {
+    if (queue[i].seq == seq) {
+      queue.erase(queue.begin() + static_cast<std::ptrdiff_t>(i));
+      --in_flight_;
+      return;
+    }
+  }
+  // Broadcast lane: drop `port` from the frame's awaiting set.
+  for (std::size_t i = 0; i < bcast_outstanding_.size(); ++i) {
+    Outstanding& out = bcast_outstanding_[i];
+    if (out.seq != seq) continue;
+    auto& ports = out.awaiting_ports;
+    const auto it = std::find(ports.begin(), ports.end(), port);
+    if (it == ports.end()) return;  // duplicate ack
+    ports.erase(it);
+    if (ports.empty()) {
+      bcast_outstanding_.erase(bcast_outstanding_.begin() +
+                               static_cast<std::ptrdiff_t>(i));
+      --in_flight_;
+    }
+    return;
+  }
+  // Ack for an already-retired frame (duplicate ack): ignore.
+}
+
+/// Records (port, seq) as delivered; returns true on first sight.
+bool ReliableLink::first_delivery(VertexId port, std::uint32_t seq) {
+  std::uint32_t& floor = delivered_floor_[port];
+  if (seq < floor) return false;
+  auto& above = delivered_above_[port];
+  if (seq == floor) {
+    ++floor;
+    // Compact: pull contiguous out-of-order arrivals under the floor.
+    bool advanced = true;
+    while (advanced) {
+      advanced = false;
+      for (std::size_t i = 0; i < above.size(); ++i) {
+        if (above[i] == floor) {
+          ++floor;
+          above.erase(above.begin() + static_cast<std::ptrdiff_t>(i));
+          advanced = true;
+          break;
+        }
+      }
+    }
+    return true;
+  }
+  if (std::find(above.begin(), above.end(), seq) != above.end()) return false;
+  above.push_back(seq);
+  return true;
+}
+
+std::vector<Incoming> ReliableLink::begin_round(NodeContext& node) {
+  if (lossless_) return node.inbox();
+
+  std::vector<Incoming> delivered;
+  delivered.reserve(node.inbox().size());
+  for (const Incoming& in : node.inbox()) {
+    if (in.msg.frame == Message::kAck) {
+      mark_acked(in.port, in.msg.seq);
+      continue;
+    }
+    if (in.msg.frame == Message::kData) {
+      // Ack every data frame, including duplicates — the original ack may
+      // have been the lost copy.
+      Message ack;
+      ack.frame = Message::kAck;
+      ack.seq = in.msg.seq;
+      node.send(in.port, ack);
+      if (first_delivery(in.port, in.msg.seq)) {
+        delivered.push_back(in);
+      }
+      continue;
+    }
+    delivered.push_back(in);  // raw frame from a non-link sender
+  }
+
+  // Retransmit pass, in port order then queue order — deterministic.
+  const std::size_t now = node.round();
+  auto resend_due = [&](Outstanding& out, bool broadcast,
+                        VertexId port) -> bool {
+    // Returns false if the frame must be abandoned.
+    if (now < out.last_sent + opt_.retransmit_after) return true;
+    if (out.retries >= opt_.max_retries) {
+      ++gave_up_;
+      return false;
+    }
+    ++out.retries;
+    out.last_sent = now;
+    if (broadcast) {
+      node.broadcast(out.msg, /*retransmission=*/true);
+    } else {
+      node.send(port, out.msg, /*retransmission=*/true);
+    }
+    return true;
+  };
+
+  // Compact in place; the self-assignment guard matters — a self-move
+  // would empty the frame's awaiting_ports/blob vectors.
+  for (VertexId port = 0; port < outstanding_.size(); ++port) {
+    auto& queue = outstanding_[port];
+    std::size_t keep = 0;
+    for (std::size_t i = 0; i < queue.size(); ++i) {
+      if (resend_due(queue[i], false, port)) {
+        if (keep != i) queue[keep] = std::move(queue[i]);
+        ++keep;
+      } else {
+        --in_flight_;
+      }
+    }
+    queue.resize(keep);
+  }
+  {
+    auto& queue = bcast_outstanding_;
+    std::size_t keep = 0;
+    for (std::size_t i = 0; i < queue.size(); ++i) {
+      if (resend_due(queue[i], true, 0)) {
+        if (keep != i) queue[keep] = std::move(queue[i]);
+        ++keep;
+      } else {
+        --in_flight_;
+      }
+    }
+    queue.resize(keep);
+  }
+  return delivered;
+}
+
+void ReliableLink::send(NodeContext& node, VertexId port, Message msg) {
+  if (lossless_) {
+    node.send(port, std::move(msg));
+    return;
+  }
+  MS_CHECK_MSG(lane_ != Lane::kBroadcast,
+               "ReliableLink: unicast on a broadcast-lane link");
+  lane_ = Lane::kUnicast;
+  msg.frame = Message::kData;
+  msg.seq = next_seq_out_[port]++;
+  node.send(port, msg);
+  Outstanding out;
+  out.seq = msg.seq;
+  out.msg = std::move(msg);
+  out.last_sent = node.round();
+  outstanding_[port].push_back(std::move(out));
+  ++in_flight_;
+}
+
+void ReliableLink::broadcast(NodeContext& node, Message msg) {
+  if (lossless_) {
+    node.broadcast(std::move(msg));
+    return;
+  }
+  MS_CHECK_MSG(lane_ != Lane::kUnicast,
+               "ReliableLink: broadcast on a unicast-lane link");
+  lane_ = Lane::kBroadcast;
+  const VertexId deg = node.degree();
+  if (deg == 0) return;
+  msg.frame = Message::kData;
+  msg.seq = next_bcast_seq_++;
+  node.broadcast(msg);
+  Outstanding out;
+  out.seq = msg.seq;
+  out.msg = std::move(msg);
+  out.last_sent = node.round();
+  out.awaiting_ports.resize(deg);
+  for (VertexId p = 0; p < deg; ++p) out.awaiting_ports[p] = p;
+  bcast_outstanding_.push_back(std::move(out));
+  ++in_flight_;
+}
+
+}  // namespace matchsparse::dist

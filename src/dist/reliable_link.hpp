@@ -1,0 +1,96 @@
+// Reliable-delivery wrapper over the (possibly faulty) Network transport.
+//
+// Each node owns one ReliableLink. On a lossless network the link is a
+// pure pass-through: frames stay raw, no acks are generated, and the
+// wire traffic is bit-identical to protocols calling NodeContext::send
+// directly — which is what keeps the fault-free experiments (and the
+// "all-zero FaultPlan" regression pin) unperturbed. On a lossy network
+// every data frame carries a per-port sequence number; the receiver acks
+// each frame it sees and suppresses duplicates, and the sender
+// retransmits unacked frames after `retransmit_after` rounds, up to
+// `max_retries` times, before giving up.
+//
+// Protocol contract: call begin_round() exactly once at the top of every
+// on_round() and consume the Incoming list it returns instead of reading
+// node.inbox() directly; route every outgoing message through send() /
+// broadcast(). A link must stay on one lane — all-unicast or
+// all-broadcast — because broadcast frames share one sequence counter
+// across ports.
+//
+// Crash interaction: a crashed node neither runs nor acks, so its peers'
+// frames queue for retransmission until it restarts; the crashed node's
+// own unacked frames survive in this structure (state is not lost on
+// fail-stop restart) and resume retransmitting at its next alive round.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dist/engine.hpp"
+
+namespace matchsparse::dist {
+
+struct ReliableLinkOptions {
+  /// Rounds to wait for an ack before resending a frame. Premature
+  /// resends are harmless (the receiver dedups); late ones slow recovery.
+  std::size_t retransmit_after = 4;
+  /// Resend attempts per frame before the link gives up on it.
+  std::size_t max_retries = 200;
+};
+
+class ReliableLink {
+ public:
+  /// Sizes per-port state; call once before first use (idempotent-safe to
+  /// guard with a protocol-side flag). `lossless` selects the
+  /// pass-through fast path.
+  void reset(VertexId degree, ReliableLinkOptions opt, bool lossless);
+
+  /// Processes this round's inbox: consumes acks, acks + dedups data
+  /// frames, retransmits timed-out frames, and returns the application
+  /// messages (in arrival order). Call exactly once per on_round.
+  std::vector<Incoming> begin_round(NodeContext& node);
+
+  /// Sends msg on `port`; guaranteed delivered exactly once to the
+  /// application layer (unless retries exhaust) on a lossy network.
+  void send(NodeContext& node, VertexId port, Message msg);
+
+  /// Reliable broadcast: rebroadcasts until every neighbor acked.
+  void broadcast(NodeContext& node, Message msg);
+
+  /// True when nothing is awaiting an ack (always true when lossless).
+  bool idle() const { return in_flight_ == 0; }
+
+  /// Frames abandoned after max_retries.
+  std::uint64_t gave_up() const { return gave_up_; }
+
+ private:
+  enum class Lane : std::uint8_t { kUnset, kUnicast, kBroadcast };
+
+  struct Outstanding {
+    std::uint32_t seq = 0;
+    Message msg;
+    std::size_t last_sent = 0;  // round of the most recent transmission
+    std::size_t retries = 0;
+    // Broadcast lane: ports still missing an ack (empty == unicast).
+    std::vector<VertexId> awaiting_ports;
+  };
+
+  void mark_acked(VertexId port, std::uint32_t seq);
+  bool first_delivery(VertexId port, std::uint32_t seq);
+
+  ReliableLinkOptions opt_;
+  bool lossless_ = true;
+  Lane lane_ = Lane::kUnset;
+  std::vector<std::uint32_t> next_seq_out_;  // per port (unicast lane)
+  std::uint32_t next_bcast_seq_ = 0;         // shared (broadcast lane)
+  std::vector<std::vector<Outstanding>> outstanding_;  // per port (unicast)
+  std::vector<Outstanding> bcast_outstanding_;
+  // Receive-side dedup: per port, all seqs < floor delivered, plus the
+  // out-of-order set beyond the floor (compacted as the floor advances).
+  std::vector<std::uint32_t> delivered_floor_;
+  std::vector<std::vector<std::uint32_t>> delivered_above_;
+  std::size_t in_flight_ = 0;
+  std::uint64_t gave_up_ = 0;
+};
+
+}  // namespace matchsparse::dist

@@ -4,28 +4,60 @@
 
 namespace matchsparse::dist {
 
+namespace {
+bool all_idle(const std::vector<ReliableLink>& links) {
+  for (const ReliableLink& link : links) {
+    if (!link.idle()) return false;
+  }
+  return true;
+}
+}  // namespace
+
+RandomSparsifierProtocol::RandomSparsifierProtocol(VertexId num_nodes,
+                                                   VertexId delta,
+                                                   ReliableLinkOptions link)
+    : n_(num_nodes),
+      delta_(delta),
+      link_opt_(link),
+      initialized_(num_nodes, 0),
+      links_(num_nodes) {}
+
 void RandomSparsifierProtocol::on_round(NodeContext& node) {
-  if (node.round() != 0) return;
-  const VertexId deg = node.degree();
-  if (deg > 0) {
-    if (deg <= 2 * delta_) {
-      for (VertexId port = 0; port < deg; ++port) {
-        node.send(port, Message::of(kTagMark));
-        collected_.push_back(
-            Edge(node.id(), node.neighbor_id(port)).normalized());
-      }
-    } else {
-      for (std::uint64_t port :
-           node.rng().sample_without_replacement(deg, delta_)) {
-        node.send(static_cast<VertexId>(port), Message::of(kTagMark));
-        collected_.push_back(
-            Edge(node.id(),
-                 node.neighbor_id(static_cast<VertexId>(port)))
-                .normalized());
+  const VertexId v = node.id();
+  if (!initialized_[v]) {
+    // First alive round: the marking decision is a pure function of this
+    // node's RNG substream, so a crash before round 0 only delays it.
+    initialized_[v] = 1;
+    ++nodes_initialized_;
+    const VertexId deg = node.degree();
+    links_[v].reset(deg, link_opt_, node.lossless());
+    if (deg > 0) {
+      if (deg <= 2 * delta_) {
+        for (VertexId port = 0; port < deg; ++port) {
+          links_[v].send(node, port, Message::of(kTagMark));
+          collected_.push_back(
+              Edge(node.id(), node.neighbor_id(port)).normalized());
+        }
+      } else {
+        for (std::uint64_t port :
+             node.rng().sample_without_replacement(deg, delta_)) {
+          links_[v].send(node, static_cast<VertexId>(port),
+                         Message::of(kTagMark));
+          collected_.push_back(
+              Edge(node.id(),
+                   node.neighbor_id(static_cast<VertexId>(port)))
+                  .normalized());
+        }
       }
     }
   }
-  ++nodes_finished_;
+  // Marks are recorded sender-side; the receive path only has to drive
+  // acks and retransmissions (a no-op on a lossless network).
+  links_[v].begin_round(node);
+}
+
+bool RandomSparsifierProtocol::done() const {
+  return nodes_initialized_ == n_ && all_idle(links_);
 }
 
 EdgeList RandomSparsifierProtocol::edges() const {
@@ -34,32 +66,50 @@ EdgeList RandomSparsifierProtocol::edges() const {
   return out;
 }
 
+BroadcastSparsifierProtocol::BroadcastSparsifierProtocol(
+    VertexId num_nodes, VertexId delta, ReliableLinkOptions link)
+    : n_(num_nodes),
+      delta_(delta),
+      link_opt_(link),
+      initialized_(num_nodes, 0),
+      links_(num_nodes) {}
+
 void BroadcastSparsifierProtocol::on_round(NodeContext& node) {
-  if (node.round() != 0) return;
-  const VertexId deg = node.degree();
-  if (deg > 0) {
-    Message msg = Message::of(kTagMark);
-    if (deg <= 2 * delta_) {
-      for (VertexId port = 0; port < deg; ++port) {
-        msg.blob.push_back(port);
-        collected_.push_back(
-            Edge(node.id(), node.neighbor_id(port)).normalized());
+  const VertexId v = node.id();
+  if (!initialized_[v]) {
+    initialized_[v] = 1;
+    ++nodes_initialized_;
+    const VertexId deg = node.degree();
+    links_[v].reset(deg, link_opt_, node.lossless());
+    if (deg > 0) {
+      Message msg = Message::of(kTagMark);
+      if (deg <= 2 * delta_) {
+        for (VertexId port = 0; port < deg; ++port) {
+          msg.blob.push_back(port);
+          collected_.push_back(
+              Edge(node.id(), node.neighbor_id(port)).normalized());
+        }
+      } else {
+        for (std::uint64_t port :
+             node.rng().sample_without_replacement(deg, delta_)) {
+          msg.blob.push_back(static_cast<VertexId>(port));
+          collected_.push_back(
+              Edge(node.id(),
+                   node.neighbor_id(static_cast<VertexId>(port)))
+                  .normalized());
+        }
       }
-    } else {
-      for (std::uint64_t port :
-           node.rng().sample_without_replacement(deg, delta_)) {
-        msg.blob.push_back(static_cast<VertexId>(port));
-        collected_.push_back(
-            Edge(node.id(),
-                 node.neighbor_id(static_cast<VertexId>(port)))
-                .normalized());
-      }
+      // One transmission carrying the whole marked-port list, heard by all
+      // neighbors (each can check whether its own port is listed). Under
+      // faults the list is rebroadcast until every neighbor acked it.
+      links_[v].broadcast(node, msg);
     }
-    // One transmission carrying the whole marked-port list, heard by all
-    // neighbors (each can check whether its own port is listed).
-    node.broadcast(msg);
   }
-  ++nodes_finished_;
+  links_[v].begin_round(node);
+}
+
+bool BroadcastSparsifierProtocol::done() const {
+  return nodes_initialized_ == n_ && all_idle(links_);
 }
 
 EdgeList BroadcastSparsifierProtocol::edges() const {
@@ -68,24 +118,51 @@ EdgeList BroadcastSparsifierProtocol::edges() const {
   return out;
 }
 
+DegreeSparsifierProtocol::DegreeSparsifierProtocol(VertexId num_nodes,
+                                                   VertexId delta_alpha,
+                                                   ReliableLinkOptions link)
+    : n_(num_nodes),
+      delta_alpha_(delta_alpha),
+      link_opt_(link),
+      initialized_(num_nodes, 0),
+      collected_flag_(num_nodes, 0),
+      links_(num_nodes) {}
+
 void DegreeSparsifierProtocol::on_round(NodeContext& node) {
+  const VertexId v = node.id();
   const VertexId take = std::min(node.degree(), delta_alpha_);
-  if (node.round() == 0) {
-    // Ports are id-sorted, so "first Δ_α ports" is a deterministic rule.
+  if (!initialized_[v]) {
+    initialized_[v] = 1;
+    ++nodes_initialized_;
+    lossless_ = node.lossless();
+    links_[v].reset(node.degree(), link_opt_, node.lossless());
+    // Ports are id-sorted, so "first Δ_α ports" is a deterministic rule —
+    // a node restarting late sends the same marks it would have at round 0.
     for (VertexId port = 0; port < take; ++port) {
-      node.send(port, Message::of(kTagMark));
+      links_[v].send(node, port, Message::of(kTagMark));
     }
-    return;
+    if (lossless_) return;  // marks arrive next round at the earliest
   }
-  if (node.round() == 1) {
-    for (const Incoming& in : node.inbox()) {
-      if (in.msg.tag == kTagMark && in.port < take) {
-        kept_.push_back(
-            Edge(node.id(), node.neighbor_id(in.port)).normalized());
-      }
+  // Keep an edge iff a MARK arrives on a port this node itself marked.
+  // Lossless this happens exactly at round 1; lossy, whenever the
+  // (deduplicated) mark lands.
+  for (const Incoming& in : links_[v].begin_round(node)) {
+    if (in.msg.tag == kTagMark && in.port < take) {
+      kept_.push_back(
+          Edge(node.id(), node.neighbor_id(in.port)).normalized());
     }
-    ++nodes_finished_;
   }
+  if (lossless_ && !collected_flag_[v]) {
+    collected_flag_[v] = 1;
+    ++nodes_collected_;
+  }
+}
+
+bool DegreeSparsifierProtocol::done() const {
+  if (lossless_) {
+    return nodes_initialized_ == n_ && nodes_collected_ == n_;
+  }
+  return nodes_initialized_ == n_ && all_idle(links_);
 }
 
 EdgeList DegreeSparsifierProtocol::edges() const {

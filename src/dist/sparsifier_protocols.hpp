@@ -1,11 +1,20 @@
-// Single-round distributed constructions of the two sparsifiers
-// (Section 3.2): the paper's random G_Δ (each node marks Δ random ports
-// and sends a 1-bit message along each — no identifier knowledge needed,
-// so KT₀ suffices) and Solomon's bounded-degree sparsifier (mark the first
-// Δ_α ports; keep edges whose mark arrived from BOTH sides).
+// Distributed constructions of the two sparsifiers (Section 3.2): the
+// paper's random G_Δ (each node marks Δ random ports and sends a 1-bit
+// message along each — no identifier knowledge needed, so KT₀ suffices)
+// and Solomon's bounded-degree sparsifier (mark the first Δ_α ports; keep
+// edges whose mark arrived from BOTH sides).
+//
+// On a lossless network each construction is the paper's single
+// communication round. On a lossy network (see FaultPlan) every mark goes
+// through a ReliableLink: a node that was crashed at round 0 picks its
+// marks at its first alive round (the marking decision is a pure function
+// of the node's RNG substream, so it is independent and re-sendable — the
+// robustness the KT₀ 1-bit design buys), and the protocol completes once
+// every mark has been delivered and acked.
 #pragma once
 
 #include "dist/engine.hpp"
+#include "dist/reliable_link.hpp"
 #include "graph/edge.hpp"
 
 namespace matchsparse::dist {
@@ -13,17 +22,16 @@ namespace matchsparse::dist {
 /// Tags shared by the sparsifier protocols.
 inline constexpr std::uint32_t kTagMark = 1;
 
-/// One communication round: every node marks min(deg, 2Δ... per the
-/// low-degree tweak: all ports if deg <= 2Δ, else Δ random ports) and
-/// transmits a 1-bit MARK on each. The harness collects the union of
-/// marked edges as the sparsifier.
+/// Every node marks min(deg, 2Δ... per the low-degree tweak: all ports if
+/// deg <= 2Δ, else Δ random ports) and transmits a 1-bit MARK on each.
+/// The harness collects the union of marked edges as the sparsifier.
 class RandomSparsifierProtocol : public Protocol {
  public:
-  RandomSparsifierProtocol(VertexId num_nodes, VertexId delta)
-      : n_(num_nodes), delta_(delta) {}
+  RandomSparsifierProtocol(VertexId num_nodes, VertexId delta,
+                           ReliableLinkOptions link = {});
 
   void on_round(NodeContext& node) override;
-  bool done() const override { return nodes_finished_ == n_; }
+  bool done() const override;
 
   /// Canonical sparsifier edge list (valid once done()).
   EdgeList edges() const;
@@ -31,7 +39,10 @@ class RandomSparsifierProtocol : public Protocol {
  private:
   VertexId n_;
   VertexId delta_;
-  VertexId nodes_finished_ = 0;
+  ReliableLinkOptions link_opt_;
+  VertexId nodes_initialized_ = 0;
+  std::vector<std::uint8_t> initialized_;
+  std::vector<ReliableLink> links_;
   EdgeList collected_;
 };
 
@@ -40,40 +51,52 @@ class RandomSparsifierProtocol : public Protocol {
 /// unicast trick is unavailable and a node must broadcast the LIST of its
 /// marked ports, one message of O(Δ·log n) bits. Same output subgraph
 /// distribution; the bench contrasts the traffic of the two models.
+/// Under faults the whole list is rebroadcast until every neighbor acks.
 class BroadcastSparsifierProtocol : public Protocol {
  public:
-  BroadcastSparsifierProtocol(VertexId num_nodes, VertexId delta)
-      : n_(num_nodes), delta_(delta) {}
+  BroadcastSparsifierProtocol(VertexId num_nodes, VertexId delta,
+                              ReliableLinkOptions link = {});
 
   void on_round(NodeContext& node) override;
-  bool done() const override { return nodes_finished_ == n_; }
+  bool done() const override;
 
   EdgeList edges() const;
 
  private:
   VertexId n_;
   VertexId delta_;
-  VertexId nodes_finished_ = 0;
+  ReliableLinkOptions link_opt_;
+  VertexId nodes_initialized_ = 0;
+  std::vector<std::uint8_t> initialized_;
+  std::vector<ReliableLink> links_;
   EdgeList collected_;
 };
 
-/// Solomon ITCS'18 degree sparsifier: round 0 sends a MARK on the first
-/// min(deg, Δ_α) ports; round 1 keeps an edge iff a MARK arrived on a port
-/// the node itself marked.
+/// Solomon ITCS'18 degree sparsifier: send a MARK on the first
+/// min(deg, Δ_α) ports; keep an edge iff a MARK arrived on a port the
+/// node itself marked. Lossless this is the classic two-round schedule;
+/// lossy, marks are reliable and arrivals are harvested whenever they
+/// land.
 class DegreeSparsifierProtocol : public Protocol {
  public:
-  DegreeSparsifierProtocol(VertexId num_nodes, VertexId delta_alpha)
-      : n_(num_nodes), delta_alpha_(delta_alpha) {}
+  DegreeSparsifierProtocol(VertexId num_nodes, VertexId delta_alpha,
+                           ReliableLinkOptions link = {});
 
   void on_round(NodeContext& node) override;
-  bool done() const override { return nodes_finished_ == n_; }
+  bool done() const override;
 
   EdgeList edges() const;
 
  private:
   VertexId n_;
   VertexId delta_alpha_;
-  VertexId nodes_finished_ = 0;
+  ReliableLinkOptions link_opt_;
+  VertexId nodes_initialized_ = 0;
+  VertexId nodes_collected_ = 0;  // lossless: heard all marks (round 1)
+  std::vector<std::uint8_t> initialized_;
+  std::vector<std::uint8_t> collected_flag_;
+  std::vector<ReliableLink> links_;
+  bool lossless_ = true;
   EdgeList kept_;
 };
 

@@ -20,7 +20,9 @@ using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
 
 void save_edge_list(const Graph& g, const std::string& path) {
   FilePtr file(std::fopen(path.c_str(), "w"));
-  MS_CHECK_MSG(file != nullptr, "save_edge_list: cannot open file");
+  if (file == nullptr) {
+    throw IoError(path, 0, "cannot open for writing");
+  }
   std::fprintf(file.get(), "%u %" PRIu64 "\n", g.num_vertices(),
                g.num_edges());
   for (VertexId u = 0; u < g.num_vertices(); ++u) {
@@ -28,38 +30,65 @@ void save_edge_list(const Graph& g, const std::string& path) {
       if (u < v) std::fprintf(file.get(), "%u %u\n", u, v);
     }
   }
-  MS_CHECK_MSG(std::ferror(file.get()) == 0, "save_edge_list: write error");
+  if (std::ferror(file.get()) != 0) {
+    throw IoError(path, 0, "write error");
+  }
 }
 
 Graph load_edge_list(const std::string& path) {
   FilePtr file(std::fopen(path.c_str(), "r"));
-  MS_CHECK_MSG(file != nullptr, "load_edge_list: cannot open file");
+  if (file == nullptr) {
+    throw IoError(path, 0, "cannot open");
+  }
 
   char line[256];
+  std::size_t lineno = 0;  // 1-based number of the line currently held
   auto next_line = [&]() -> bool {
     while (std::fgets(line, sizeof(line), file.get()) != nullptr) {
+      ++lineno;
       if (line[0] != '#' && line[0] != '\n') return true;
     }
     return false;
   };
+  auto fail = [&](const std::string& reason) -> IoError {
+    return IoError(path, lineno, reason);
+  };
 
-  MS_CHECK_MSG(next_line(), "load_edge_list: missing header");
+  if (!next_line()) {
+    throw IoError(path, 0,
+                  lineno == 0 ? "empty file" : "missing header");
+  }
   std::uint64_t n = 0, m = 0;
-  MS_CHECK_MSG(std::sscanf(line, "%" SCNu64 " %" SCNu64, &n, &m) == 2,
-               "load_edge_list: bad header");
+  if (std::sscanf(line, "%" SCNu64 " %" SCNu64, &n, &m) != 2) {
+    throw fail("bad header (expected \"n m\")");
+  }
+  if (n > kNoVertex) throw fail("vertex count exceeds 32-bit id space");
 
   EdgeList edges;
   edges.reserve(m);
   for (std::uint64_t i = 0; i < m; ++i) {
-    MS_CHECK_MSG(next_line(), "load_edge_list: truncated edge list");
+    if (!next_line()) {
+      throw IoError(path, lineno,
+                    "truncated edge list (" + std::to_string(i) + " of " +
+                        std::to_string(m) + " edges)");
+    }
     std::uint64_t u = 0, v = 0;
-    MS_CHECK_MSG(std::sscanf(line, "%" SCNu64 " %" SCNu64, &u, &v) == 2,
-                 "load_edge_list: bad edge line");
-    MS_CHECK_MSG(u < n && v < n, "load_edge_list: endpoint out of range");
+    if (std::sscanf(line, "%" SCNu64 " %" SCNu64, &u, &v) != 2) {
+      throw fail("bad edge line (expected \"u v\")");
+    }
+    if (u >= n || v >= n) throw fail("endpoint out of range");
+    if (u == v) throw fail("self-loop");
     edges.push_back(
         Edge(static_cast<VertexId>(u), static_cast<VertexId>(v)).normalized());
   }
   std::sort(edges.begin(), edges.end());
+  const auto dup = std::adjacent_find(edges.begin(), edges.end());
+  if (dup != edges.end()) {
+    // The sort lost the original line; name the edge instead.
+    throw IoError(path, 0,
+                  "duplicate edge " + std::to_string(dup->u) + " " +
+                      std::to_string(dup->v));
+  }
   return Graph::from_edges(static_cast<VertexId>(n), edges);
 }
 

@@ -5,18 +5,51 @@
 // Lines starting with '#' are comments and ignored.
 #pragma once
 
+#include <stdexcept>
 #include <string>
 
 #include "graph/graph.hpp"
 
 namespace matchsparse {
 
-/// Writes g in the edge-list format described above. MS_CHECK-fails on
-/// I/O errors.
+/// Thrown on malformed or unreadable edge-list files. Unlike MS_CHECK
+/// (reserved for programmer errors), bad input files are an expected
+/// runtime condition, so callers — the CLI in particular — can catch
+/// this, report the offending file and line, and exit cleanly.
+class IoError : public std::runtime_error {
+ public:
+  /// `line` is 1-based; 0 means the error is not tied to a line (e.g.
+  /// the file cannot be opened).
+  IoError(const std::string& path, std::size_t line,
+          const std::string& reason)
+      : std::runtime_error(format(path, line, reason)),
+        path_(path),
+        line_(line) {}
+
+  const std::string& path() const { return path_; }
+  std::size_t line() const { return line_; }
+
+ private:
+  static std::string format(const std::string& path, std::size_t line,
+                            const std::string& reason) {
+    std::string out = path;
+    if (line != 0) out += ":" + std::to_string(line);
+    out += ": " + reason;
+    return out;
+  }
+
+  std::string path_;
+  std::size_t line_;
+};
+
+/// Writes g in the edge-list format described above. Throws IoError on
+/// I/O failures.
 void save_edge_list(const Graph& g, const std::string& path);
 
 /// Reads a graph written by save_edge_list (or hand-authored in the same
-/// format). Duplicate edges and self-loops are rejected.
+/// format). Throws IoError — with the offending 1-based line number —
+/// on unreadable files, malformed headers or edge lines, truncated edge
+/// lists, out-of-range endpoints, self-loops, and duplicate edges.
 Graph load_edge_list(const std::string& path);
 
 }  // namespace matchsparse

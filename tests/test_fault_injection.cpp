@@ -1,0 +1,467 @@
+// Fault-injection layer + reliable-delivery hardening tests: determinism
+// of the fault schedule, the lossless fast-path regression pin, the
+// ReliableLink exactly-once contract, and graceful degradation of every
+// distributed protocol under drops / duplicates / delays / crashes.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "dist/augmenting_protocol.hpp"
+#include "dist/congest_augmenting.hpp"
+#include "dist/engine.hpp"
+#include "dist/pipeline.hpp"
+#include "dist/proposal_matching.hpp"
+#include "dist/reliable_link.hpp"
+#include "dist/sparsifier_protocols.hpp"
+#include "gen/generators.hpp"
+#include "matching/verify.hpp"
+
+namespace matchsparse::dist {
+namespace {
+
+FaultPlan lossy_plan() {
+  FaultPlan plan;
+  plan.drop_prob = 0.10;
+  plan.dup_prob = 0.05;
+  plan.delay_prob = 0.10;
+  plan.max_extra_delay = 2;
+  plan.fault_rounds = 40;
+  return plan;
+}
+
+std::vector<VertexId> mates_of(const Matching& m) {
+  std::vector<VertexId> mates(m.num_vertices());
+  for (VertexId v = 0; v < m.num_vertices(); ++v) mates[v] = m.mate(v);
+  return mates;
+}
+
+// ---------------------------------------------------------------------------
+// Engine-level fault mechanics.
+// ---------------------------------------------------------------------------
+
+/// Sends one tagged message per port in round 0 and records, per round,
+/// how many application messages arrived.
+class ProbeProtocol : public Protocol {
+ public:
+  explicit ProbeProtocol(VertexId n) : n_(n) {}
+
+  void on_round(NodeContext& node) override {
+    if (node.round() == 0) {
+      for (VertexId p = 0; p < node.degree(); ++p) {
+        node.send(p, Message::of(7));
+      }
+    }
+    if (arrivals_.size() <= node.round()) arrivals_.resize(node.round() + 1);
+    arrivals_[node.round()] += node.inbox().size();
+    first_run_.resize(n_, static_cast<std::size_t>(-1));
+    if (first_run_[node.id()] == static_cast<std::size_t>(-1)) {
+      first_run_[node.id()] = node.round();
+    }
+  }
+  bool done() const override { return false; }
+
+  const std::vector<std::size_t>& arrivals() const { return arrivals_; }
+  const std::vector<std::size_t>& first_run() const { return first_run_; }
+
+ private:
+  VertexId n_;
+  std::vector<std::size_t> arrivals_;
+  std::vector<std::size_t> first_run_;
+};
+
+TEST(FaultInjection, ZeroPlanIsTheFaultFreeFastPath) {
+  Rng rng(11);
+  const Graph g = gen::erdos_renyi(50, 5.0, rng);
+  // A default FaultPlan (all probabilities zero) must leave the engine on
+  // the exact fault-free code path: identical traffic, identical output.
+  FaultPlan zero;
+  EXPECT_FALSE(zero.can_fault());
+
+  Network plain(g, 99);
+  Network planned(g, 99, zero);
+  EXPECT_TRUE(planned.lossless());
+  RandomSparsifierProtocol a(g.num_vertices(), 4);
+  RandomSparsifierProtocol b(g.num_vertices(), 4);
+  const TrafficStats sa = plain.run(a, 8);
+  const TrafficStats sb = planned.run(b, 8);
+  EXPECT_EQ(sa, sb);
+  EXPECT_EQ(a.edges(), b.edges());
+  EXPECT_EQ(sb.dropped, 0u);
+  EXPECT_EQ(sb.retransmissions, 0u);
+  EXPECT_EQ(sb.acks, 0u);
+}
+
+TEST(FaultInjection, DropEverythingDeliversNothing) {
+  Rng rng(12);
+  const Graph g = gen::erdos_renyi(30, 4.0, rng);
+  FaultPlan plan;
+  plan.drop_prob = 1.0;
+  Network net(g, 5, plan);
+  ProbeProtocol probe(g.num_vertices());
+  const TrafficStats stats = net.run(probe, 6);
+  EXPECT_EQ(stats.dropped, stats.messages);
+  EXPECT_GT(stats.messages, 0u);
+  for (const std::size_t count : probe.arrivals()) EXPECT_EQ(count, 0u);
+}
+
+TEST(FaultInjection, DelayDefersDeliveryAcrossRounds) {
+  Rng rng(13);
+  const Graph g = gen::erdos_renyi(30, 4.0, rng);
+  FaultPlan plan;
+  plan.delay_prob = 1.0;
+  plan.max_extra_delay = 3;
+  Network net(g, 5, plan);
+  ProbeProtocol probe(g.num_vertices());
+  const TrafficStats stats = net.run(probe, 8);
+  EXPECT_EQ(stats.delayed, stats.messages);
+  // Normal delivery would land everything in round 1; with forced delay
+  // nothing arrives before round 2 and everything by round 4.
+  std::size_t total = 0;
+  const auto& arrivals = probe.arrivals();
+  for (std::size_t r = 0; r < arrivals.size(); ++r) {
+    if (r < 2) {
+      EXPECT_EQ(arrivals[r], 0u) << "round " << r;
+    }
+    total += arrivals[r];
+  }
+  EXPECT_EQ(total, stats.messages);
+}
+
+TEST(FaultInjection, DuplicationInjectsExtraCopies) {
+  Rng rng(14);
+  const Graph g = gen::erdos_renyi(30, 4.0, rng);
+  FaultPlan plan;
+  plan.dup_prob = 1.0;
+  Network net(g, 5, plan);
+  ProbeProtocol probe(g.num_vertices());
+  const TrafficStats stats = net.run(probe, 6);
+  EXPECT_EQ(stats.duplicated, stats.messages);
+  std::size_t total = 0;
+  for (const std::size_t count : probe.arrivals()) total += count;
+  // Every copy was duplicated once: twice the sends arrive.
+  EXPECT_EQ(total, 2 * stats.messages);
+}
+
+TEST(FaultInjection, ScriptedCrashStallsTheNode) {
+  Rng rng(15);
+  const Graph g = gen::erdos_renyi(30, 4.0, rng);
+  FaultPlan plan;
+  plan.scripted_crashes.push_back(CrashEvent{0, 0, 5});
+  Network net(g, 5, plan);
+  ProbeProtocol probe(g.num_vertices());
+  const TrafficStats stats = net.run(probe, 10);
+  EXPECT_EQ(probe.first_run()[0], 5u);
+  for (VertexId v = 1; v < g.num_vertices(); ++v) {
+    EXPECT_EQ(probe.first_run()[v], 0u);
+  }
+  EXPECT_EQ(stats.crashed_node_rounds, 5u);
+}
+
+TEST(FaultInjection, RecoveryRoundsAreCountedAfterFaultsCease) {
+  Rng rng(16);
+  const Graph g = gen::erdos_renyi(20, 3.0, rng);
+  FaultPlan plan;
+  plan.drop_prob = 0.5;
+  plan.fault_rounds = 4;
+  Network net(g, 5, plan);
+  ProbeProtocol probe(g.num_vertices());
+  const TrafficStats stats = net.run(probe, 10);
+  EXPECT_EQ(stats.rounds, 10u);
+  EXPECT_EQ(stats.recovery_rounds, 6u);  // rounds 4..9
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic replay.
+// ---------------------------------------------------------------------------
+
+TEST(FaultInjection, SamePlanAndSeedReplaysBitIdentically) {
+  Rng rng(17);
+  const Graph g = gen::erdos_renyi(60, 6.0, rng);
+  FaultPlan plan = lossy_plan();
+  plan.crash_prob = 0.002;
+  plan.scripted_crashes.push_back(CrashEvent{3, 2, 4});
+
+  auto run_once = [&](std::vector<VertexId>* mates) {
+    Network net(g, 4242, plan);
+    ProposalMatchingProtocol protocol(g);
+    const TrafficStats stats = net.run(protocol, 600);
+    *mates = mates_of(protocol.matching());
+    return stats;
+  };
+  std::vector<VertexId> mates_a, mates_b;
+  const TrafficStats sa = run_once(&mates_a);
+  const TrafficStats sb = run_once(&mates_b);
+  EXPECT_EQ(sa, sb);  // full ledger, fault counters included
+  EXPECT_EQ(mates_a, mates_b);
+  EXPECT_GT(sa.dropped, 0u);
+  EXPECT_GT(sa.retransmissions, 0u);
+}
+
+TEST(FaultInjection, DifferentSeedsDrawDifferentFaultSchedules) {
+  Rng rng(18);
+  const Graph g = gen::erdos_renyi(60, 6.0, rng);
+  const FaultPlan plan = lossy_plan();
+  Network net_a(g, 1, plan);
+  Network net_b(g, 2, plan);
+  RandomSparsifierProtocol a(g.num_vertices(), 4);
+  RandomSparsifierProtocol b(g.num_vertices(), 4);
+  const TrafficStats sa = net_a.run(a, 400);
+  const TrafficStats sb = net_b.run(b, 400);
+  EXPECT_NE(sa, sb);
+}
+
+// ---------------------------------------------------------------------------
+// ReliableLink: exactly-once delivery and bounded retries.
+// ---------------------------------------------------------------------------
+
+/// Each node streams `kBurst` sequenced payloads to every neighbor over
+/// its ReliableLink; receivers record payloads per port.
+class BurstProtocol : public Protocol {
+ public:
+  static constexpr std::size_t kBurst = 5;
+
+  BurstProtocol(VertexId n, ReliableLinkOptions opt)
+      : n_(n), opt_(opt), links_(n), seen_(n) {}
+
+  void on_round(NodeContext& node) override {
+    const VertexId v = node.id();
+    if (node.round() == 0) {
+      links_[v].reset(node.degree(), opt_, node.lossless());
+      seen_[v].assign(node.degree(), {});
+    }
+    for (const Incoming& in : links_[v].begin_round(node)) {
+      seen_[v][in.port].push_back(in.msg.payload);
+    }
+    if (node.round() < kBurst) {
+      for (VertexId p = 0; p < node.degree(); ++p) {
+        links_[v].send(node, p, Message::of(3, node.round()));
+      }
+      if (node.round() + 1 == kBurst) ++senders_done_;
+    }
+  }
+  bool done() const override {
+    if (senders_done_ != n_) return false;
+    for (const ReliableLink& link : links_) {
+      if (!link.idle()) return false;
+    }
+    return true;
+  }
+
+  const std::vector<std::vector<std::vector<std::uint64_t>>>& seen() const {
+    return seen_;
+  }
+  const std::vector<ReliableLink>& links() const { return links_; }
+
+ private:
+  VertexId n_;
+  ReliableLinkOptions opt_;
+  std::vector<ReliableLink> links_;
+  // seen_[v][port] = payloads delivered to the application layer.
+  std::vector<std::vector<std::vector<std::uint64_t>>> seen_;
+  VertexId senders_done_ = 0;
+};
+
+TEST(ReliableLink, ExactlyOnceUnderDropsDupsAndDelays) {
+  Rng rng(19);
+  const Graph g = gen::erdos_renyi(40, 5.0, rng);
+  FaultPlan plan;
+  plan.drop_prob = 0.30;
+  plan.dup_prob = 0.30;
+  plan.delay_prob = 0.30;
+  plan.max_extra_delay = 3;
+  plan.fault_rounds = 80;
+  Network net(g, 77, plan);
+  ReliableLinkOptions opt;
+  opt.retransmit_after = 3;
+  BurstProtocol burst(g.num_vertices(), opt);
+  const TrafficStats stats = net.run(burst, 400);
+  ASSERT_TRUE(stats.completed);
+  EXPECT_GT(stats.retransmissions, 0u);
+  EXPECT_GT(stats.acks, 0u);
+  EXPECT_GT(stats.dropped, 0u);
+  // Despite drops, duplicates, and reordering: every payload delivered to
+  // the application exactly once per link direction.
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    for (VertexId p = 0; p < g.degree(v); ++p) {
+      std::vector<std::uint64_t> got = burst.seen()[v][p];
+      std::sort(got.begin(), got.end());
+      ASSERT_EQ(got.size(), BurstProtocol::kBurst)
+          << "node " << v << " port " << p;
+      for (std::size_t i = 0; i < got.size(); ++i) EXPECT_EQ(got[i], i);
+    }
+  }
+}
+
+TEST(ReliableLink, LosslessModeIsBitIdenticalToRawSends) {
+  Rng rng(20);
+  const Graph g = gen::erdos_renyi(40, 5.0, rng);
+  Network net(g, 77);
+  BurstProtocol burst(g.num_vertices(), ReliableLinkOptions{});
+  const TrafficStats stats = net.run(burst, 40);
+  ASSERT_TRUE(stats.completed);
+  // Raw framing: no seq/ack overhead — payload messages cost 65 bits.
+  EXPECT_EQ(stats.acks, 0u);
+  EXPECT_EQ(stats.retransmissions, 0u);
+  EXPECT_EQ(stats.bits, 65 * stats.messages);
+}
+
+TEST(ReliableLink, BoundedRetriesGiveUpUnderTotalLoss) {
+  const Graph g = Graph::from_edges(2, {Edge(0, 1)});
+  FaultPlan plan;
+  plan.drop_prob = 1.0;  // nothing ever arrives, acks included
+  Network net(g, 9, plan);
+  ReliableLinkOptions opt;
+  opt.retransmit_after = 1;
+  opt.max_retries = 3;
+  BurstProtocol burst(g.num_vertices(), opt);
+  const TrafficStats stats = net.run(burst, 60);
+  ASSERT_TRUE(stats.completed);  // completion via abandonment
+  for (const ReliableLink& link : burst.links()) {
+    EXPECT_TRUE(link.idle());
+    EXPECT_EQ(link.gave_up(), BurstProtocol::kBurst);
+  }
+  EXPECT_EQ(stats.dropped, stats.messages);
+}
+
+// ---------------------------------------------------------------------------
+// Protocol hardening: valid output + graceful degradation under faults.
+// ---------------------------------------------------------------------------
+
+TEST(FaultTolerance, SparsifiersMatchFaultFreeOutputOnceFaultsCease) {
+  Rng rng(21);
+  const Graph g = gen::erdos_renyi(60, 8.0, rng);
+  FaultPlan plan = lossy_plan();
+  plan.crash_prob = 0.002;
+
+  {
+    RandomSparsifierProtocol clean(g.num_vertices(), 4);
+    RandomSparsifierProtocol faulty(g.num_vertices(), 4);
+    Network(g, 31).run(clean, 8);
+    const TrafficStats stats = Network(g, 31, plan).run(faulty, 500);
+    ASSERT_TRUE(stats.completed);
+    // Marking draws come from per-node substreams at the node's first
+    // alive round, so the chosen subgraph is fault-schedule independent.
+    EXPECT_EQ(clean.edges(), faulty.edges());
+  }
+  {
+    BroadcastSparsifierProtocol clean(g.num_vertices(), 4);
+    BroadcastSparsifierProtocol faulty(g.num_vertices(), 4);
+    Network(g, 32).run(clean, 8);
+    const TrafficStats stats = Network(g, 32, plan).run(faulty, 500);
+    ASSERT_TRUE(stats.completed);
+    EXPECT_EQ(clean.edges(), faulty.edges());
+  }
+  {
+    DegreeSparsifierProtocol clean(g.num_vertices(), 6);
+    DegreeSparsifierProtocol faulty(g.num_vertices(), 6);
+    Network(g, 33).run(clean, 8);
+    const TrafficStats stats = Network(g, 33, plan).run(faulty, 500);
+    ASSERT_TRUE(stats.completed);
+    EXPECT_EQ(clean.edges(), faulty.edges());
+  }
+}
+
+TEST(FaultTolerance, ProposalMatchingStaysValidAndReachesMaximality) {
+  Rng rng(22);
+  const Graph g = gen::erdos_renyi(80, 6.0, rng);
+  FaultPlan plan = lossy_plan();
+  plan.crash_prob = 0.002;
+
+  ProposalMatchingProtocol clean(g);
+  const TrafficStats clean_stats = Network(g, 55).run(clean, 600);
+  ASSERT_TRUE(clean_stats.completed);
+
+  ProposalMatchingProtocol faulty(g);
+  const TrafficStats stats = Network(g, 55, plan).run(faulty, 2000);
+  ASSERT_TRUE(stats.completed);
+  const Matching m = faulty.matching();
+  ASSERT_TRUE(m.is_valid(g));
+  // done() certifies maximality, so the usual 2-approximation holds and
+  // the size cannot degrade materially vs the fault-free run.
+  EXPECT_FALSE(has_augmenting_path_within(g, m, 1));
+  EXPECT_GE(2 * m.size(), clean.matching().size());
+}
+
+TEST(FaultTolerance, AugmentingProtocolsStayValidUnderFaults) {
+  Rng rng(23);
+  const Graph g = gen::erdos_renyi(70, 6.0, rng);
+  FaultPlan plan = lossy_plan();
+  plan.crash_prob = 0.002;
+
+  // Seed both variants with a fault-free maximal matching.
+  ProposalMatchingProtocol seed_protocol(g);
+  ASSERT_TRUE(Network(g, 66).run(seed_protocol, 600).completed);
+  const Matching seed = seed_protocol.matching();
+
+  AugmentingOptions local_opt;
+  local_opt.eps = 0.34;
+  {
+    AugmentingProtocol clean(g, seed, local_opt);
+    ASSERT_TRUE(
+        Network(g, 67).run(clean, clean.planned_rounds() + 2).completed);
+    AugmentingProtocol faulty(g, seed, local_opt);
+    const TrafficStats stats =
+        Network(g, 67, plan).run(faulty, faulty.planned_rounds() + 3000);
+    ASSERT_TRUE(stats.completed);
+    const Matching m = faulty.matching();
+    ASSERT_TRUE(m.is_valid(g));
+    EXPECT_GE(100 * m.size(),
+              static_cast<VertexId>(100 * (1.0 - local_opt.eps)) *
+                  clean.matching().size());
+  }
+  {
+    CongestAugmentingOptions congest_opt;
+    congest_opt.eps = 0.34;
+    CongestAugmentingProtocol clean(g, seed, congest_opt);
+    ASSERT_TRUE(
+        Network(g, 68).run(clean, clean.planned_rounds() + 2).completed);
+    CongestAugmentingProtocol faulty(g, seed, congest_opt);
+    const TrafficStats stats =
+        Network(g, 68, plan).run(faulty, faulty.planned_rounds() + 3000);
+    ASSERT_TRUE(stats.completed);
+    const Matching m = faulty.matching();
+    ASSERT_TRUE(m.is_valid(g));
+    EXPECT_GE(100 * m.size(),
+              static_cast<VertexId>(100 * (1.0 - congest_opt.eps)) *
+                  clean.matching().size());
+  }
+}
+
+TEST(FaultTolerance, PipelineUnderFaultsProducesValidNearCleanMatching) {
+  Rng rng(24);
+  const Graph g = gen::erdos_renyi(90, 12.0, rng);
+
+  DistributedMatchingOptions clean_opt;
+  const DistributedMatchingResult clean =
+      distributed_approx_matching(g, clean_opt, 2024);
+  ASSERT_TRUE(clean.all_stages_completed());
+
+  DistributedMatchingOptions opt;
+  opt.faults = lossy_plan();
+  opt.faults.crash_prob = 0.001;
+  const DistributedMatchingResult faulty =
+      distributed_approx_matching(g, opt, 2024);
+  EXPECT_TRUE(faulty.all_stages_completed());
+  ASSERT_TRUE(faulty.matching.is_valid(g));
+  EXPECT_GT(faulty.total_retransmissions(), 0u);
+  EXPECT_GT(faulty.total_dropped(), 0u);
+  // Faults cease after 40 rounds; the pipeline must claw back to at
+  // least (1 - eps) of the fault-free size.
+  EXPECT_GE(100 * faulty.matching.size(),
+            static_cast<VertexId>(100 * (1.0 - opt.eps)) *
+                clean.matching.size());
+
+  // Deterministic replay of the whole pipeline.
+  const DistributedMatchingResult again =
+      distributed_approx_matching(g, opt, 2024);
+  EXPECT_EQ(faulty.stage_sparsify, again.stage_sparsify);
+  EXPECT_EQ(faulty.stage_degree, again.stage_degree);
+  EXPECT_EQ(faulty.stage_maximal, again.stage_maximal);
+  EXPECT_EQ(faulty.stage_augment, again.stage_augment);
+  EXPECT_EQ(mates_of(faulty.matching), mates_of(again.matching));
+}
+
+}  // namespace
+}  // namespace matchsparse::dist

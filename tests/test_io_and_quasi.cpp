@@ -39,29 +39,88 @@ TEST(GraphIo, CommentsAndBlankLines) {
   std::remove(path.c_str());
 }
 
-TEST(GraphIo, MissingFileAborts) {
-  EXPECT_DEATH(load_edge_list("/nonexistent/nowhere.edges"),
-               "cannot open");
+// Writes `content` to a temp file and returns the IoError load_edge_list
+// throws for it (failing the test if it does not throw).
+IoError load_error(const char* name, const char* content) {
+  const std::string path = temp_path(name);
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  EXPECT_NE(f, nullptr);
+  std::fputs(content, f);
+  std::fclose(f);
+  try {
+    load_edge_list(path);
+  } catch (const IoError& e) {
+    std::remove(path.c_str());
+    return e;
+  }
+  std::remove(path.c_str());
+  ADD_FAILURE() << "load_edge_list(" << name << ") did not throw";
+  return IoError("", 0, "");
 }
 
-TEST(GraphIo, TruncatedFileAborts) {
-  const std::string path = temp_path("truncated.edges");
-  std::FILE* f = std::fopen(path.c_str(), "w");
-  ASSERT_NE(f, nullptr);
-  std::fputs("4 3\n0 1\n", f);
-  std::fclose(f);
-  EXPECT_DEATH(load_edge_list(path), "truncated");
-  std::remove(path.c_str());
+TEST(GraphIo, MissingFileThrows) {
+  EXPECT_THROW(load_edge_list("/nonexistent/nowhere.edges"), IoError);
+  try {
+    load_edge_list("/nonexistent/nowhere.edges");
+  } catch (const IoError& e) {
+    EXPECT_EQ(e.line(), 0u);
+    EXPECT_NE(std::string(e.what()).find("cannot open"), std::string::npos);
+  }
 }
 
-TEST(GraphIo, OutOfRangeEndpointAborts) {
-  const std::string path = temp_path("range.edges");
-  std::FILE* f = std::fopen(path.c_str(), "w");
-  ASSERT_NE(f, nullptr);
-  std::fputs("3 1\n0 7\n", f);
-  std::fclose(f);
-  EXPECT_DEATH(load_edge_list(path), "out of range");
-  std::remove(path.c_str());
+TEST(GraphIo, EmptyFileThrows) {
+  const IoError e = load_error("empty.edges", "");
+  EXPECT_NE(std::string(e.what()).find("empty file"), std::string::npos);
+}
+
+TEST(GraphIo, TruncatedHeaderThrows) {
+  // A comment-only file has lines but no header.
+  const IoError e = load_error("noheader.edges", "# only a comment\n");
+  EXPECT_NE(std::string(e.what()).find("missing header"), std::string::npos);
+}
+
+TEST(GraphIo, BadHeaderThrows) {
+  const IoError e = load_error("badheader.edges", "three two\n0 1\n");
+  EXPECT_EQ(e.line(), 1u);
+  EXPECT_NE(std::string(e.what()).find("bad header"), std::string::npos);
+}
+
+TEST(GraphIo, TruncatedEdgeListThrows) {
+  const IoError e = load_error("truncated.edges", "4 3\n0 1\n");
+  EXPECT_NE(std::string(e.what()).find("truncated"), std::string::npos);
+}
+
+TEST(GraphIo, BadEdgeLineThrows) {
+  const IoError e = load_error("badedge.edges", "3 2\n0 1\nx y\n");
+  EXPECT_EQ(e.line(), 3u);
+  EXPECT_NE(std::string(e.what()).find("bad edge line"), std::string::npos);
+}
+
+TEST(GraphIo, OutOfRangeEndpointThrows) {
+  const IoError e = load_error("range.edges", "3 1\n0 7\n");
+  EXPECT_EQ(e.line(), 2u);
+  EXPECT_NE(std::string(e.what()).find("out of range"), std::string::npos);
+}
+
+TEST(GraphIo, SelfLoopThrows) {
+  const IoError e = load_error("selfloop.edges", "3 2\n0 1\n2 2\n");
+  EXPECT_EQ(e.line(), 3u);
+  EXPECT_NE(std::string(e.what()).find("self-loop"), std::string::npos);
+}
+
+TEST(GraphIo, DuplicateEdgeThrows) {
+  // Also duplicated under reversal: {1,0} == {0,1}.
+  const IoError e = load_error("dup.edges", "3 2\n0 1\n1 0\n");
+  EXPECT_NE(std::string(e.what()).find("duplicate edge 0 1"),
+            std::string::npos);
+}
+
+TEST(GraphIo, ErrorMessageNamesFileAndLine) {
+  const IoError e = load_error("located.edges", "2 1\n0 9\n");
+  EXPECT_NE(std::string(e.what()).find("located.edges:2"),
+            std::string::npos);
+  EXPECT_EQ(e.line(), 2u);
+  EXPECT_NE(e.path().find("located.edges"), std::string::npos);
 }
 
 TEST(QuasiUnitDisk, InnerAlwaysOuterNever) {

@@ -8,9 +8,14 @@
 //
 // Families: line, unitdisk, cliqueunion, unitint, complete (see
 // gen/families.hpp). File format: "n m" header then "u v" lines.
+//
+// Bad input — malformed files, unknown families, garbage numbers — is a
+// user error, not a programmer error: it is reported as a one-line
+// message on stderr with a nonzero exit, never as an MS_CHECK abort.
 #include <cstdio>
-#include <cstdlib>
 #include <cstring>
+#include <exception>
+#include <stdexcept>
 #include <string>
 
 #include "core/api.hpp"
@@ -24,6 +29,12 @@ using namespace matchsparse;
 
 namespace {
 
+/// Thrown on malformed command-line arguments; caught in main alongside
+/// IoError and turned into a one-line diagnostic + exit 1.
+class UsageError : public std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
 int usage() {
   std::fprintf(stderr,
                "usage:\n"
@@ -36,11 +47,62 @@ int usage() {
   return 2;
 }
 
+// Strict numeric parsers: the whole argument must parse (no trailing
+// junk, no silent atoi-style zero on garbage).
+
+std::uint64_t parse_u64(const char* arg, const char* what) {
+  try {
+    std::size_t used = 0;
+    const std::string s(arg);
+    const std::uint64_t value = std::stoull(s, &used);
+    if (used == s.size() && s[0] != '-') return value;
+  } catch (const std::exception&) {
+    // fall through to the shared diagnostic
+  }
+  throw UsageError(std::string(what) + " must be a non-negative integer, "
+                   "got \"" + arg + "\"");
+}
+
+VertexId parse_vertex_count(const char* arg, const char* what) {
+  const std::uint64_t value = parse_u64(arg, what);
+  if (value > kNoVertex) {
+    throw UsageError(std::string(what) + " exceeds 32-bit id space");
+  }
+  return static_cast<VertexId>(value);
+}
+
+double parse_double(const char* arg, const char* what) {
+  try {
+    std::size_t used = 0;
+    const std::string s(arg);
+    const double value = std::stod(s, &used);
+    if (used == s.size()) return value;
+  } catch (const std::exception&) {
+  }
+  throw UsageError(std::string(what) + " must be a number, got \"" +
+                   std::string(arg) + "\"");
+}
+
+/// find_family MS_CHECK-aborts on unknown names (it is a library-level
+/// contract); the CLI pre-validates so a typo gets a friendly message.
+const gen::Family& lookup_family(const char* name) {
+  for (const gen::Family& f : gen::standard_families()) {
+    if (f.name == name) return f;
+  }
+  std::string known;
+  for (const gen::Family& f : gen::standard_families()) {
+    if (!known.empty()) known += ", ";
+    known += f.name;
+  }
+  throw UsageError("unknown family \"" + std::string(name) +
+                   "\" (known: " + known + ")");
+}
+
 int cmd_gen(int argc, char** argv) {
   if (argc != 6) return usage();
-  const auto& family = gen::find_family(argv[2]);
-  const auto n = static_cast<VertexId>(std::atoi(argv[3]));
-  const auto seed = static_cast<std::uint64_t>(std::atoll(argv[4]));
+  const auto& family = lookup_family(argv[2]);
+  const VertexId n = parse_vertex_count(argv[3], "n");
+  const std::uint64_t seed = parse_u64(argv[4], "seed");
   const Graph g = family.make(n, seed);
   save_edge_list(g, argv[5]);
   std::printf("wrote %s: n=%u m=%llu (family %s, beta<=%u)\n", argv[5],
@@ -71,13 +133,23 @@ int cmd_info(int argc, char** argv) {
   return 0;
 }
 
+// The library MS_CHECKs eps ∈ (0,1) and beta >= 1; validate here so the
+// CLI reports instead of aborting.
+void check_config(VertexId beta, double eps) {
+  if (beta < 1) throw UsageError("beta must be >= 1");
+  if (!(eps > 0.0 && eps < 1.0)) {
+    throw UsageError("eps must be strictly between 0 and 1");
+  }
+}
+
 int cmd_sparsify(int argc, char** argv) {
   if (argc != 7) return usage();
   const Graph g = load_edge_list(argv[2]);
   ApproxMatchingConfig cfg;
-  cfg.beta = static_cast<VertexId>(std::atoi(argv[3]));
-  cfg.eps = std::atof(argv[4]);
-  cfg.seed = static_cast<std::uint64_t>(std::atoll(argv[5]));
+  cfg.beta = parse_vertex_count(argv[3], "beta");
+  cfg.eps = parse_double(argv[4], "eps");
+  cfg.seed = parse_u64(argv[5], "seed");
+  check_config(cfg.beta, cfg.eps);
   SparsifierStats stats;
   const Graph gd = build_matching_sparsifier(g, cfg, &stats);
   save_edge_list(gd, argv[6]);
@@ -96,9 +168,10 @@ int cmd_match(int argc, char** argv) {
   if (argc != 5 && argc != 6) return usage();
   const Graph g = load_edge_list(argv[2]);
   ApproxMatchingConfig cfg;
-  cfg.beta = static_cast<VertexId>(std::atoi(argv[3]));
-  cfg.eps = std::atof(argv[4]);
-  if (argc == 6) cfg.seed = static_cast<std::uint64_t>(std::atoll(argv[5]));
+  cfg.beta = parse_vertex_count(argv[3], "beta");
+  cfg.eps = parse_double(argv[4], "eps");
+  if (argc == 6) cfg.seed = parse_u64(argv[5], "seed");
+  check_config(cfg.beta, cfg.eps);
   const auto result = approx_maximum_matching(g, cfg);
   WallTimer t;
   const Matching greedy = greedy_maximal_matching(g);
@@ -115,13 +188,29 @@ int cmd_match(int argc, char** argv) {
   return 0;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
+int dispatch(int argc, char** argv) {
   if (argc < 2) return usage();
   if (std::strcmp(argv[1], "gen") == 0) return cmd_gen(argc, argv);
   if (std::strcmp(argv[1], "info") == 0) return cmd_info(argc, argv);
   if (std::strcmp(argv[1], "sparsify") == 0) return cmd_sparsify(argc, argv);
   if (std::strcmp(argv[1], "match") == 0) return cmd_match(argc, argv);
   return usage();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return dispatch(argc, argv);
+  } catch (const IoError& e) {
+    std::fprintf(stderr, "matchsparse_cli: %s\n", e.what());
+    return 1;
+  } catch (const UsageError& e) {
+    std::fprintf(stderr, "matchsparse_cli: %s\n", e.what());
+    return 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "matchsparse_cli: unexpected error: %s\n",
+                 e.what());
+    return 1;
+  }
 }
