@@ -1,0 +1,194 @@
+#include "check/case_gen.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "gen/generators.hpp"
+
+namespace matchsparse::check {
+
+namespace {
+
+VertexId clamp_n(VertexId n, VertexId lo, VertexId hi) {
+  return std::max(lo, std::min(n, hi));
+}
+
+Graph path_graph(VertexId n) {
+  EdgeList edges;
+  for (VertexId v = 0; v + 1 < n; ++v) edges.emplace_back(v, v + 1);
+  return Graph::from_edges(n, edges);
+}
+
+Graph cycle_graph(VertexId n) {
+  EdgeList edges;
+  for (VertexId v = 0; v < n; ++v) edges.emplace_back(v, (v + 1) % n);
+  return Graph::from_edges(n, edges);
+}
+
+/// n/2 disjoint edges — the trivially perfectly-matched extreme.
+Graph disjoint_edges(VertexId n) {
+  EdgeList edges;
+  for (VertexId v = 0; v + 1 < n; v += 2) edges.emplace_back(v, v + 1);
+  return Graph::from_edges(n, edges);
+}
+
+std::vector<GraphCase> build_cases() {
+  std::vector<GraphCase> cases;
+  auto add = [&](std::string name,
+                 std::function<Graph(VertexId, std::uint64_t)> make) {
+    cases.push_back({std::move(name), std::move(make)});
+  };
+
+  // Degenerate shapes.
+  add("empty", [](VertexId n, std::uint64_t) {
+    return Graph::from_edges(std::max<VertexId>(n, 1), {});
+  });
+  add("single_edge", [](VertexId, std::uint64_t) {
+    return Graph::from_edges(2, {{0, 1}});
+  });
+  add("path", [](VertexId n, std::uint64_t) {
+    return path_graph(clamp_n(n, 2, 256));
+  });
+  add("cycle_even", [](VertexId n, std::uint64_t) {
+    return cycle_graph(clamp_n(n, 4, 256) & ~VertexId{1});
+  });
+  add("cycle_odd", [](VertexId n, std::uint64_t) {
+    return cycle_graph(clamp_n(n, 3, 255) | VertexId{1});
+  });
+  add("star", [](VertexId n, std::uint64_t) {
+    return gen::star(clamp_n(n, 2, 256));
+  });
+  add("disjoint_edges", [](VertexId n, std::uint64_t) {
+    return disjoint_edges(clamp_n(n, 2, 256));
+  });
+
+  // The paper's families (β-bounded) and its adversarial instances.
+  add("complete", [](VertexId n, std::uint64_t) {
+    return gen::complete_graph(clamp_n(n, 2, 32));
+  });
+  add("complete_minus_edge", [](VertexId n, std::uint64_t seed) {
+    Rng rng(seed);
+    return gen::complete_minus_edge(clamp_n(n, 3, 32), rng);
+  });
+  add("two_cliques_bridge", [](VertexId n, std::uint64_t) {
+    // Requires two odd cliques: n = 2h with h odd, h >= 3.
+    VertexId h = clamp_n(n, 6, 64) / 2;
+    if (h % 2 == 0) ++h;
+    return gen::two_cliques_bridge(2 * h);
+  });
+  add("clique_path", [](VertexId n, std::uint64_t) {
+    const VertexId size = 4;  // even, per the generator's contract
+    const VertexId count = std::max<VertexId>(2, clamp_n(n, 8, 128) / size);
+    return gen::clique_path(count, size);
+  });
+  add("line_of_er", [](VertexId n, std::uint64_t seed) {
+    Rng rng(seed);
+    return gen::line_graph_of_er(clamp_n(n, 8, 128), 4.0, rng);
+  });
+  add("unit_disk", [](VertexId n, std::uint64_t seed) {
+    Rng rng(seed);
+    const VertexId nn = clamp_n(n, 4, 128);
+    return gen::unit_disk(nn, gen::unit_disk_radius_for_degree(nn, 5.0), rng);
+  });
+  add("unit_interval", [](VertexId n, std::uint64_t seed) {
+    Rng rng(seed);
+    return gen::unit_interval_graph(clamp_n(n, 4, 128), 0.08, rng);
+  });
+  add("clique_union", [](VertexId n, std::uint64_t seed) {
+    Rng rng(seed);
+    const VertexId nn = clamp_n(n, 8, 128);
+    const auto size = static_cast<VertexId>(3 + rng.below(4));
+    const auto diversity = static_cast<VertexId>(1 + rng.below(3));
+    return gen::clique_union(nn, size, diversity, rng);
+  });
+  add("erdos_renyi_sparse", [](VertexId n, std::uint64_t seed) {
+    Rng rng(seed);
+    return gen::erdos_renyi(clamp_n(n, 2, 160), 3.0, rng);
+  });
+  add("erdos_renyi_dense", [](VertexId n, std::uint64_t seed) {
+    Rng rng(seed);
+    const VertexId nn = clamp_n(n, 4, 64);
+    return gen::erdos_renyi(nn, nn / 3.0, rng);
+  });
+
+  // Mutated instances: walk off the clean family manifolds.
+  add("er_edges_flipped", [](VertexId n, std::uint64_t seed) {
+    Rng rng(seed);
+    const VertexId nn = clamp_n(n, 4, 128);
+    Graph g = gen::erdos_renyi(nn, 4.0, rng);
+    g = remove_random_edges(g, 1 + rng.below(4), rng);
+    return add_random_edges(g, 1 + rng.below(4), rng);
+  });
+  add("clique_union_vertices_dropped", [](VertexId n, std::uint64_t seed) {
+    Rng rng(seed);
+    const VertexId nn = clamp_n(n, 8, 128);
+    Graph g = gen::clique_union(nn, 4, 2, rng);
+    return remove_random_vertices(g, 1 + rng.below(nn / 4 + 1), rng);
+  });
+  add("bridge_edge_mutated", [](VertexId n, std::uint64_t seed) {
+    Rng rng(seed);
+    VertexId h = clamp_n(n, 6, 64) / 2;
+    if (h % 2 == 0) ++h;
+    Graph g = gen::two_cliques_bridge(2 * h);
+    return add_random_edges(g, 1 + rng.below(3), rng);
+  });
+
+  return cases;
+}
+
+}  // namespace
+
+const std::vector<GraphCase>& fuzz_cases() {
+  static const std::vector<GraphCase> cases = build_cases();
+  return cases;
+}
+
+const GraphCase* find_case(const std::string& name) {
+  for (const GraphCase& c : fuzz_cases()) {
+    if (c.name == name) return &c;
+  }
+  return nullptr;
+}
+
+Graph add_random_edges(const Graph& g, std::size_t k, Rng& rng) {
+  const VertexId n = g.num_vertices();
+  EdgeList edges = g.edge_list();
+  if (n < 2) return Graph::from_edges(n, edges);
+  std::set<std::uint64_t> present;
+  for (const Edge& e : edges) present.insert(edge_key(e));
+  for (std::size_t i = 0; i < k; ++i) {
+    auto u = static_cast<VertexId>(rng.below(n));
+    auto v = static_cast<VertexId>(rng.below(n - 1));
+    if (v >= u) ++v;
+    const Edge e = Edge(u, v).normalized();
+    if (present.insert(edge_key(e)).second) edges.push_back(e);
+  }
+  normalize_edge_list(edges);
+  return Graph::from_edges(n, edges);
+}
+
+Graph remove_random_edges(const Graph& g, std::size_t k, Rng& rng) {
+  EdgeList edges = g.edge_list();
+  k = std::min(k, edges.size());
+  for (std::size_t i = 0; i < k; ++i) {
+    const std::size_t j = rng.below(edges.size());
+    edges[j] = edges.back();
+    edges.pop_back();
+  }
+  normalize_edge_list(edges);
+  return Graph::from_edges(g.num_vertices(), edges);
+}
+
+Graph remove_random_vertices(const Graph& g, std::size_t k, Rng& rng) {
+  const VertexId n = g.num_vertices();
+  if (n <= 1) return g;
+  k = std::min<std::size_t>(k, n - 1);
+  std::vector<VertexId> keep(n);
+  for (VertexId v = 0; v < n; ++v) keep[v] = v;
+  rng.shuffle(std::span<VertexId>(keep));
+  keep.resize(n - k);
+  std::sort(keep.begin(), keep.end());
+  return induced_subgraph(g, keep);
+}
+
+}  // namespace matchsparse::check

@@ -1,0 +1,53 @@
+// matchcheck graph-case generators: the instance side of a test cell.
+//
+// A GraphCase maps (target size, seed) to a concrete graph. The pool
+// mixes three kinds of instances:
+//   - the standard bounded-β families (line graphs, unit disks, clique
+//     unions, unit intervals) the paper is about,
+//   - the adversarial constructions from its lower bounds — K_n − e
+//     (Lemma 2.13) and the odd-clique bridge (Observation 2.14) — plus
+//     degenerate shapes (empty, star, paths, odd cycles) that historically
+//     catch off-by-ones,
+//   - mutated instances: a family graph with random edges flipped or a
+//     random vertex subset deleted, which walks the fuzzer off the clean
+//     family manifolds.
+// Every case is a pure function of (n, seed) so cells replay exactly.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace matchsparse::check {
+
+struct GraphCase {
+  std::string name;
+  /// `n` is a target vertex count (cases may clamp or round it to satisfy
+  /// structural constraints, e.g. odd clique sizes); `seed` drives all
+  /// randomness.
+  std::function<Graph(VertexId n, std::uint64_t seed)> make;
+};
+
+/// The full case pool, in a stable order.
+const std::vector<GraphCase>& fuzz_cases();
+
+/// Lookup by name; nullptr if unknown.
+const GraphCase* find_case(const std::string& name);
+
+// Mutators — shared by the mutated cases and the shrinker's neighbors.
+
+/// Adds up to `k` uniformly random non-edges (self-loops and existing
+/// edges are skipped, so fewer may be added on dense graphs).
+Graph add_random_edges(const Graph& g, std::size_t k, Rng& rng);
+
+/// Removes `min(k, m)` uniformly random edges.
+Graph remove_random_edges(const Graph& g, std::size_t k, Rng& rng);
+
+/// Deletes `min(k, n-1)` uniformly random vertices (the survivors are
+/// renumbered contiguously, as induced_subgraph does).
+Graph remove_random_vertices(const Graph& g, std::size_t k, Rng& rng);
+
+}  // namespace matchsparse::check

@@ -1,0 +1,99 @@
+#include "check/counterexample.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <sstream>
+
+#include "graph/io.hpp"
+
+namespace matchsparse::check {
+
+namespace {
+
+/// Strips surrounding whitespace (the metadata values are one-line).
+std::string trimmed(const std::string& s) {
+  const auto first = s.find_first_not_of(" \t\r\n");
+  if (first == std::string::npos) return "";
+  const auto last = s.find_last_not_of(" \t\r\n");
+  return s.substr(first, last - first + 1);
+}
+
+}  // namespace
+
+void save_counterexample(const Counterexample& cex, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw IoError(path, 0, "cannot open for writing");
+  out << "# matchcheck counterexample v1\n";
+  out << "# property: " << cex.property << "\n";
+  if (!cex.case_name.empty()) out << "# case: " << cex.case_name << "\n";
+  out << "# config: " << cex.config.to_string() << "\n";
+  if (!cex.message.empty()) out << "# message: " << cex.message << "\n";
+  out << "# replay: matchsparse_fuzz --replay " << path << "\n";
+  const Graph& g = cex.graph;
+  out << g.num_vertices() << " " << g.num_edges() << "\n";
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    for (VertexId v : g.neighbors(u)) {
+      if (u < v) out << u << " " << v << "\n";
+    }
+  }
+  if (!out) throw IoError(path, 0, "write error");
+}
+
+Counterexample load_counterexample(const std::string& path) {
+  Counterexample cex;
+  // Metadata pass: scan the comment header ourselves...
+  {
+    std::ifstream in(path);
+    if (!in) throw IoError(path, 0, "cannot open");
+    std::string line;
+    std::size_t lineno = 0;
+    while (std::getline(in, line)) {
+      ++lineno;
+      if (line.empty()) continue;
+      if (line[0] != '#') break;  // graph body begins
+      const auto colon = line.find(':');
+      if (colon == std::string::npos) continue;
+      const std::string key = trimmed(line.substr(1, colon - 1));
+      const std::string value = trimmed(line.substr(colon + 1));
+      if (key == "property") {
+        cex.property = value;
+      } else if (key == "case") {
+        cex.case_name = value;
+      } else if (key == "message") {
+        cex.message = value;
+      } else if (key == "config") {
+        if (!PropertyConfig::parse(value, &cex.config)) {
+          throw IoError(path, lineno, "unparsable config line: " + value);
+        }
+      }
+      // Unknown keys (version stamp, replay hint) are ignored.
+    }
+  }
+  // ...then let the standard loader (which skips '#' lines) read the body.
+  cex.graph = load_edge_list(path);
+  return cex;
+}
+
+std::vector<std::pair<std::string, PropertyResult>> replay_counterexample(
+    const Counterexample& cex) {
+  std::vector<std::pair<std::string, PropertyResult>> results;
+  if (cex.property == "all") {
+    for (const Property& p : all_properties()) {
+      results.emplace_back(p.name, p.check(cex.graph, cex.config));
+    }
+    return results;
+  }
+  const Property* p = find_property(cex.property);
+  if (p == nullptr) {
+    results.emplace_back(
+        cex.property,
+        PropertyResult::fail("unknown property '" + cex.property + "'"));
+    return results;
+  }
+  results.emplace_back(p->name, p->check(cex.graph, cex.config));
+  return results;
+}
+
+}  // namespace matchsparse::check

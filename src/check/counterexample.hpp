@@ -1,0 +1,57 @@
+// Replayable counterexample files (tests/regressions/*.graph).
+//
+// The on-disk format is the repository's plain edge-list format with the
+// matchcheck metadata in '#' comment lines, so every counterexample is
+// ALSO a valid input for load_edge_list() / the CLI:
+//
+//   # matchcheck counterexample v1
+//   # property: greedy_maximal            (or "all")
+//   # case: erdos_renyi_sparse
+//   # config: seed=5 delta=3 eps=0.25 beta=2 threads=2
+//   # message: greedy matching not maximal
+//   # replay: matchsparse_fuzz --replay <this-file>
+//   5 4
+//   0 1
+//   ...
+//
+// property == "all" runs every registered property — used for corpus
+// seeds that exist to pin a *graph shape* rather than one predicate.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "check/property.hpp"
+
+namespace matchsparse::check {
+
+struct Counterexample {
+  /// Property name, or "all" for corpus seeds replayed through the whole
+  /// registry.
+  std::string property = "all";
+  /// Provenance: the generator case that produced it (informational).
+  std::string case_name;
+  PropertyConfig config;
+  Graph graph;
+  /// Diagnostic from the failing run (informational; re-derived on
+  /// replay).
+  std::string message;
+};
+
+/// Writes the file; throws IoError on I/O failure.
+void save_counterexample(const Counterexample& cex, const std::string& path);
+
+/// Parses a counterexample file; throws IoError on malformed input
+/// (including an unparsable config line). Missing metadata lines fall
+/// back to defaults (property "all", default config), so plain edge-list
+/// files are admissible corpus seeds too.
+Counterexample load_counterexample(const std::string& path);
+
+/// Runs the referenced property — or, for "all", every registered
+/// property — on the stored cell. Returns (property name, result) pairs.
+/// Unknown property names yield a single failed result (a corpus file
+/// naming a vanished property should be noticed, not skipped).
+std::vector<std::pair<std::string, PropertyResult>> replay_counterexample(
+    const Counterexample& cex);
+
+}  // namespace matchsparse::check

@@ -1,0 +1,623 @@
+// The built-in differential properties: every implementation in the
+// repository cross-checked against its oracle (DESIGN.md §10 holds the
+// full implementation → oracle table).
+//
+// Writing rules for a property:
+//   - deterministic in (graph, config): all randomness from config.seed;
+//   - assert only *deterministic* guarantees (validity, maximality,
+//     subgraph monotonicity, replay identity, thread/machine-count
+//     invariance, fault-schedule independence) — never a w.h.p. ratio,
+//     which would hand the shrinker a flaky predicate;
+//   - skip (don't fail) cells the oracle cannot afford, with a reason;
+//   - one-line failure messages: they land in ndjson logs and
+//     counterexample headers verbatim.
+#include <algorithm>
+#include <string>
+
+#include "check/property.hpp"
+#include "dist/engine.hpp"
+#include "dist/pipeline.hpp"
+#include "dist/sparsifier_protocols.hpp"
+#include "dynamic/dyn_graph.hpp"
+#include "dynamic/dyn_sparsifier.hpp"
+#include "gen/generators.hpp"
+#include "matching/assadi_solomon.hpp"
+#include "matching/blossom.hpp"
+#include "matching/bounded_aug.hpp"
+#include "matching/greedy.hpp"
+#include "matching/hopcroft_karp.hpp"
+#include "matching/verify.hpp"
+#include "sparsify/sparsifier.hpp"
+#include "stream/edge_stream.hpp"
+#include "stream/mpc.hpp"
+#include "stream/stream_sparsifier.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace matchsparse::check {
+
+namespace {
+
+using Result = PropertyResult;
+
+std::string sz(std::uint64_t v) { return std::to_string(v); }
+
+/// Oracle affordability guard: blossom is O(n·m) and runs in nearly every
+/// property, so cap the cells it sees.
+constexpr VertexId kMaxOracleVertices = 256;
+
+/// Sanity shared by every matcher property.
+Result check_valid(const Graph& g, const Matching& m, const char* who) {
+  if (m.num_vertices() != g.num_vertices()) {
+    return Result::fail(std::string(who) + ": matching over " +
+                        sz(m.num_vertices()) + " vertices, graph has " +
+                        sz(g.num_vertices()));
+  }
+  if (!m.is_valid(g)) {
+    return Result::fail(std::string(who) +
+                        ": invalid matching (non-edge or asymmetric mates)");
+  }
+  return Result::pass();
+}
+
+/// deg_H(v) for every v of a subgraph given as an edge list.
+std::vector<VertexId> degrees_of(VertexId n, const EdgeList& edges) {
+  std::vector<VertexId> deg(n, 0);
+  for (const Edge& e : edges) {
+    ++deg[e.u];
+    ++deg[e.v];
+  }
+  return deg;
+}
+
+/// Shared check for every G_Δ realisation (serial, parallel, streaming,
+/// distributed): marked edges are real edges, each vertex keeps at least
+/// min(deg, Δ) incident edges (its own marks), and low-degree vertices
+/// (deg <= 2Δ, when `tweak` applies) keep their whole neighborhood.
+Result check_sparsifier_structure(const Graph& g, const EdgeList& edges,
+                                  VertexId delta, bool tweak,
+                                  const char* who) {
+  for (const Edge& e : edges) {
+    if (e.u >= g.num_vertices() || e.v >= g.num_vertices() ||
+        !g.has_edge(e.u, e.v)) {
+      return Result::fail(std::string(who) + ": edge (" + sz(e.u) + "," +
+                          sz(e.v) + ") not in the input graph");
+    }
+  }
+  const std::vector<VertexId> deg = degrees_of(g.num_vertices(), edges);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const VertexId want = std::min(g.degree(v), delta);
+    if (deg[v] < want) {
+      return Result::fail(std::string(who) + ": vertex " + sz(v) +
+                          " keeps " + sz(deg[v]) + " < min(deg=" +
+                          sz(g.degree(v)) + ", delta=" + sz(delta) + ")");
+    }
+    if (tweak && g.degree(v) <= 2 * delta && deg[v] != g.degree(v)) {
+      return Result::fail(std::string(who) + ": low-degree vertex " + sz(v) +
+                          " lost edges (2-delta tweak violated)");
+    }
+  }
+  return Result::pass();
+}
+
+/// Derives a deterministic lossy FaultPlan for the fault-injection
+/// properties from the cell's seed: moderate drop/dup/delay plus rare
+/// crashes, ceasing after a fixed horizon so quiescence is reachable.
+dist::FaultPlan fault_plan_from(std::uint64_t seed) {
+  Rng rng(mix64(seed, 0xfa017ULL));
+  dist::FaultPlan plan;
+  plan.drop_prob = 0.05 + 0.10 * rng.uniform();
+  plan.dup_prob = 0.05 * rng.uniform();
+  plan.delay_prob = 0.05 + 0.10 * rng.uniform();
+  plan.max_extra_delay = 1 + rng.below(3);
+  plan.crash_prob = 0.01 * rng.uniform();
+  plan.crash_duration = 2 + rng.below(3);
+  plan.fault_rounds = 24;
+  return plan;
+}
+
+// ---------------------------------------------------------------------------
+// Matchers vs the exact blossom oracle.
+// ---------------------------------------------------------------------------
+
+Result prop_blossom_vs_brute_force(const Graph& g, const PropertyConfig&) {
+  if (g.num_vertices() > 10 || g.num_edges() > 28) {
+    return Result::skip("brute force affordable only for tiny graphs");
+  }
+  const Matching m = blossom_mcm(g);
+  if (Result r = check_valid(g, m, "blossom"); r.failed()) return r;
+  const VertexId exact = mcm_size_brute_force(g);
+  if (m.size() != exact) {
+    return Result::fail("blossom=" + sz(m.size()) + " brute=" + sz(exact));
+  }
+  return Result::pass();
+}
+
+Result prop_greedy_maximal(const Graph& g, const PropertyConfig& cfg) {
+  if (g.num_vertices() > kMaxOracleVertices) {
+    return Result::skip("blossom oracle capped");
+  }
+  const Matching m = greedy_maximal_matching(g);
+  if (Result r = check_valid(g, m, "greedy"); r.failed()) return r;
+  if (!m.is_maximal(g)) return Result::fail("greedy matching not maximal");
+
+  Rng rng(cfg.seed);
+  const Matching shuffled = greedy_maximal_matching(g, rng);
+  if (Result r = check_valid(g, shuffled, "greedy[shuffled]"); r.failed()) {
+    return r;
+  }
+  if (!shuffled.is_maximal(g)) {
+    return Result::fail("shuffled greedy matching not maximal");
+  }
+
+  const Matching on_list = greedy_on_edge_list(g.num_vertices(),
+                                               g.edge_list());
+  if (Result r = check_valid(g, on_list, "greedy[edge-list]"); r.failed()) {
+    return r;
+  }
+  if (!on_list.is_maximal(g)) {
+    return Result::fail("edge-list greedy matching not maximal");
+  }
+
+  const VertexId opt = blossom_mcm(g).size();
+  if (2 * m.size() < opt) {
+    return Result::fail("greedy=" + sz(m.size()) + " below opt/2, opt=" +
+                        sz(opt));
+  }
+  return Result::pass();
+}
+
+Result prop_approx_mcm_vs_blossom(const Graph& g, const PropertyConfig& cfg) {
+  if (g.num_vertices() > kMaxOracleVertices) {
+    return Result::skip("blossom oracle capped");
+  }
+  const Matching m = approx_mcm(g, cfg.eps);
+  if (Result r = check_valid(g, m, "approx_mcm"); r.failed()) return r;
+  const VertexId opt = blossom_mcm(g).size();
+  if (m.size() > opt) {
+    return Result::fail("approx=" + sz(m.size()) + " exceeds opt=" + sz(opt));
+  }
+  // Folklore lemma with k = ceil(1/eps): |M| >= k/(k+1)·opt, an exact
+  // integer bound (no float slop).
+  const auto k = static_cast<std::uint64_t>((path_cap_for_eps(cfg.eps) + 1) / 2);
+  if (static_cast<std::uint64_t>(m.size()) * (k + 1) <
+      static_cast<std::uint64_t>(opt) * k) {
+    return Result::fail("approx=" + sz(m.size()) + " below k/(k+1)*opt, k=" +
+                        sz(k) + " opt=" + sz(opt));
+  }
+  return Result::pass();
+}
+
+Result prop_hopcroft_karp_vs_blossom(const Graph& g, const PropertyConfig&) {
+  if (g.num_vertices() > kMaxOracleVertices) {
+    return Result::skip("blossom oracle capped");
+  }
+  if (!two_color(g).bipartite) return Result::skip("graph not bipartite");
+  const Matching m = hopcroft_karp(g);
+  if (Result r = check_valid(g, m, "hopcroft_karp"); r.failed()) return r;
+  const VertexId opt = blossom_mcm(g).size();
+  if (m.size() != opt) {
+    return Result::fail("hk=" + sz(m.size()) + " blossom=" + sz(opt));
+  }
+  // Phase-truncated run obeys its (1 + 1/phases) guarantee.
+  const int phases = 2;
+  const Matching trunc = hopcroft_karp(g, phases);
+  if (static_cast<std::uint64_t>(trunc.size()) * (phases + 1) <
+      static_cast<std::uint64_t>(opt) * phases) {
+    return Result::fail("truncated hk=" + sz(trunc.size()) +
+                        " below phase guarantee, opt=" + sz(opt));
+  }
+  return Result::pass();
+}
+
+Result prop_assadi_solomon_maximal(const Graph& g, const PropertyConfig& cfg) {
+  if (g.num_vertices() > kMaxOracleVertices) {
+    return Result::skip("repair-scan cost capped");
+  }
+  Rng rng(cfg.seed);
+  AssadiSolomonOptions opt;
+  opt.beta = std::max<VertexId>(1, cfg.beta);
+  const AssadiSolomonResult res = assadi_solomon_maximal(g, rng, opt);
+  if (Result r = check_valid(g, res.matching, "assadi_solomon"); r.failed()) {
+    return r;
+  }
+  if (!res.matching.is_maximal(g)) {
+    return Result::fail("assadi_solomon matching not maximal after repair");
+  }
+  if (res.repair_probes > res.probes) {
+    return Result::fail("probe ledger inconsistent: repair=" +
+                        sz(res.repair_probes) + " > total=" + sz(res.probes));
+  }
+  return Result::pass();
+}
+
+Result prop_certified_factor_vs_blossom(const Graph& g,
+                                        const PropertyConfig&) {
+  // The verify.cpp lemma machinery is itself an oracle — validate it
+  // against blossom on small graphs (the alternating DFS is exponential).
+  if (g.num_vertices() > 24 || g.num_edges() > 80) {
+    return Result::skip("exhaustive path search affordable only when small");
+  }
+  const Matching m = greedy_maximal_matching(g);
+  const double factor = certified_approximation_factor(g, m, 3);
+  const VertexId opt = blossom_mcm(g).size();
+  if (factor < 1.0) return Result::fail("certified factor below 1");
+  // factor upper-bounds the true ratio opt/|m| (with 1e-9 float slack).
+  if (static_cast<double>(opt) >
+      factor * static_cast<double>(m.size()) + 1e-9) {
+    return Result::fail("certified factor " + std::to_string(factor) +
+                        " does not cover opt=" + sz(opt) + " vs m=" +
+                        sz(m.size()));
+  }
+  return Result::pass();
+}
+
+// ---------------------------------------------------------------------------
+// Sparsifier realisations vs each other and vs subgraph monotonicity.
+// ---------------------------------------------------------------------------
+
+Result prop_serial_sparsifier(const Graph& g, const PropertyConfig& cfg) {
+  const VertexId delta = std::max<VertexId>(1, cfg.delta);
+  Rng rng_a(cfg.seed);
+  const EdgeList a = sparsify_edges(g, delta, rng_a);
+  Rng rng_b(cfg.seed);
+  const EdgeList b = sparsify_edges(g, delta, rng_b);
+  if (a != b) return Result::fail("serial sparsify not replayable from seed");
+  if (Result r = check_sparsifier_structure(g, a, delta, /*tweak=*/true,
+                                            "sparsify");
+      r.failed()) {
+    return r;
+  }
+  if (g.num_vertices() <= kMaxOracleVertices) {
+    // G_Δ ⊆ G, so mcm(G_Δ) <= mcm(G) deterministically.
+    const Graph gd = Graph::from_edges(g.num_vertices(), a);
+    const VertexId sub = blossom_mcm(gd).size();
+    const VertexId full = blossom_mcm(g).size();
+    if (sub > full) {
+      return Result::fail("mcm(G_delta)=" + sz(sub) + " exceeds mcm(G)=" +
+                          sz(full));
+    }
+  }
+  return Result::pass();
+}
+
+Result prop_parallel_sparsifier_thread_invariance(const Graph& g,
+                                                  const PropertyConfig& cfg) {
+  const VertexId delta = std::max<VertexId>(1, cfg.delta);
+  const EdgeList base = sparsify_edges_parallel(g, delta, cfg.seed, 1);
+  for (const std::size_t threads : {std::size_t{2}, std::size_t{4},
+                                    std::size_t{8}, cfg.threads}) {
+    if (threads == 0) continue;
+    const EdgeList other = sparsify_edges_parallel(g, delta, cfg.seed,
+                                                   threads);
+    if (other != base) {
+      return Result::fail("sparsify_edges_parallel differs at threads=" +
+                          sz(threads));
+    }
+  }
+  if (Result r = check_sparsifier_structure(g, base, delta, /*tweak=*/true,
+                                            "sparsify_parallel");
+      r.failed()) {
+    return r;
+  }
+  // The fused pipeline must produce the identical CSR graph, for any
+  // shard count.
+  const Graph via_list = Graph::from_edges(g.num_vertices(), base);
+  for (const std::size_t shards : {std::size_t{0}, cfg.threads}) {
+    const Graph fused =
+        sparsify_parallel(g, delta, cfg.seed, default_pool(), nullptr,
+                          shards);
+    if (fused.edge_list() != via_list.edge_list()) {
+      return Result::fail("fused sparsify_parallel differs from "
+                          "from_edges(sparsify_edges_parallel) at shards=" +
+                          sz(shards));
+    }
+  }
+  return Result::pass();
+}
+
+// ---------------------------------------------------------------------------
+// Distributed protocols: lossless vs lossy, and the pipeline's safety.
+// ---------------------------------------------------------------------------
+
+Result prop_dist_sparsifier_fault_independence(const Graph& g,
+                                               const PropertyConfig& cfg) {
+  if (g.num_vertices() < 2 || g.num_vertices() > 64) {
+    return Result::skip("network simulation sized for 2..64 nodes");
+  }
+  const VertexId delta = std::max<VertexId>(1, cfg.delta);
+  const dist::FaultPlan plan = fault_plan_from(cfg.seed);
+
+  // Unicast variant: the marked edge set must be a pure function of the
+  // node substreams, i.e. independent of the fault schedule.
+  dist::Network clean(g, cfg.seed);
+  dist::RandomSparsifierProtocol p_clean(g.num_vertices(), delta);
+  const dist::TrafficStats s_clean = clean.run(p_clean, 8);
+  if (!s_clean.completed) {
+    return Result::fail("lossless random sparsifier did not complete");
+  }
+  if (Result r = check_sparsifier_structure(g, p_clean.edges(), delta,
+                                            /*tweak=*/true, "dist sparsifier");
+      r.failed()) {
+    return r;
+  }
+
+  dist::Network faulty(g, cfg.seed, plan);
+  dist::RandomSparsifierProtocol p_faulty(g.num_vertices(), delta);
+  const dist::TrafficStats s_faulty = faulty.run(p_faulty, 768);
+  if (!s_faulty.completed) {
+    return Result::fail("lossy random sparsifier did not quiesce in budget");
+  }
+  if (p_clean.edges() != p_faulty.edges()) {
+    return Result::fail("random sparsifier edges depend on fault schedule");
+  }
+
+  // Broadcast variant (the PR-2 await-set repro path).
+  dist::Network bclean(g, cfg.seed);
+  dist::BroadcastSparsifierProtocol b_clean(g.num_vertices(), delta);
+  if (!bclean.run(b_clean, 8).completed) {
+    return Result::fail("lossless broadcast sparsifier did not complete");
+  }
+  dist::Network bfaulty(g, cfg.seed, plan);
+  dist::BroadcastSparsifierProtocol b_faulty(g.num_vertices(), delta);
+  if (!bfaulty.run(b_faulty, 768).completed) {
+    return Result::fail("lossy broadcast sparsifier did not quiesce");
+  }
+  if (b_clean.edges() != b_faulty.edges()) {
+    return Result::fail("broadcast sparsifier edges depend on fault schedule");
+  }
+  return Result::pass();
+}
+
+Result prop_dist_pipeline_safety(const Graph& g, const PropertyConfig& cfg) {
+  if (g.num_vertices() < 2 || g.num_vertices() > 40) {
+    return Result::skip("pipeline simulation sized for 2..40 nodes");
+  }
+  dist::DistributedMatchingOptions opt;
+  opt.beta = std::max<VertexId>(1, cfg.beta);
+  opt.eps = std::max(cfg.eps, 0.25);  // bound the augmenting budget
+  opt.congest_augmenting = (cfg.seed & 1) != 0;
+  opt.fault_round_slack = 768;
+
+  // Lossless run: must complete, and the stage-4 matching can only extend
+  // the stage-3 maximal matching.
+  const auto clean = dist::distributed_approx_matching(g, opt, cfg.seed);
+  if (Result r = check_valid(g, clean.matching, "dist pipeline"); r.failed()) {
+    return r;
+  }
+  if (!clean.all_stages_completed()) {
+    return Result::fail("lossless pipeline left a stage incomplete");
+  }
+  if (clean.matching.size() < clean.maximal_stage_matching.size()) {
+    return Result::fail("augmenting stage shrank the matching: " +
+                        sz(clean.matching.size()) + " < " +
+                        sz(clean.maximal_stage_matching.size()));
+  }
+  if (!clean.maximal_stage_matching.is_valid(g)) {
+    return Result::fail("stage-3 matching invalid on the input graph");
+  }
+  const VertexId opt_size = blossom_mcm(g).size();
+  if (clean.matching.size() > opt_size) {
+    return Result::fail("pipeline matching exceeds exact optimum");
+  }
+
+  // Lossy run: safety under ANY schedule — output is a valid matching,
+  // never a torn one; size can degrade but not exceed the optimum.
+  dist::DistributedMatchingOptions lossy = opt;
+  lossy.faults = fault_plan_from(cfg.seed);
+  const auto faulty = dist::distributed_approx_matching(g, lossy, cfg.seed);
+  if (Result r = check_valid(g, faulty.matching, "dist pipeline[faulty]");
+      r.failed()) {
+    return r;
+  }
+  if (faulty.matching.size() > opt_size) {
+    return Result::fail("faulty pipeline matching exceeds exact optimum");
+  }
+  return Result::pass();
+}
+
+// ---------------------------------------------------------------------------
+// Dynamic sparsifier vs a from-scratch rebuild.
+// ---------------------------------------------------------------------------
+
+Result prop_dyn_sparsifier_vs_rebuild(const Graph& g,
+                                      const PropertyConfig& cfg) {
+  const VertexId n = g.num_vertices();
+  if (n < 2 || n > 128) return Result::skip("update stress sized for 2..128");
+  const VertexId delta = std::max<VertexId>(1, cfg.delta);
+  DynGraph dyn(n);
+  DynSparsifier spars(n, delta, mix64(cfg.seed, 1));
+  // A sparsifier with an unbounded budget must mirror the graph exactly —
+  // the from-scratch-rebuild differential that needs no distribution
+  // argument.
+  DynSparsifier full(n, n, mix64(cfg.seed, 2));
+
+  // Drive toward the target graph with random detours: inserts of g's
+  // edges mixed with deletes, so the final edge set is exactly g's.
+  Rng rng(cfg.seed);
+  EdgeList target = g.edge_list();
+  rng.shuffle(std::span<Edge>(target));
+  auto apply_insert = [&](const Edge& e) {
+    if (dyn.insert_edge(e.u, e.v)) {
+      spars.on_insert(dyn, e.u, e.v);
+      full.on_insert(dyn, e.u, e.v);
+    }
+  };
+  auto apply_erase = [&](const Edge& e) {
+    if (dyn.erase_edge(e.u, e.v)) {
+      spars.on_delete(dyn, e.u, e.v);
+      full.on_delete(dyn, e.u, e.v);
+    }
+  };
+  for (const Edge& e : target) {
+    apply_insert(e);
+    if (!target.empty() && rng.chance(0.3)) {
+      const Edge& victim = target[rng.below(target.size())];
+      apply_erase(victim);
+    }
+  }
+  for (const Edge& e : target) apply_insert(e);  // restore any detours
+
+  const Graph now = dyn.snapshot();
+  if (now.edge_list() != g.edge_list()) {
+    return Result::fail("dyn graph drifted from the scripted target");
+  }
+  const EdgeList kept = spars.edges();
+  if (kept.size() != spars.size()) {
+    return Result::fail("DynSparsifier size()=" + sz(spars.size()) +
+                        " != edges().size()=" + sz(kept.size()));
+  }
+  for (const Edge& e : kept) {
+    if (!spars.contains(e.u, e.v)) {
+      return Result::fail("contains() disagrees with edges() on (" +
+                          sz(e.u) + "," + sz(e.v) + ")");
+    }
+  }
+  if (Result r = check_sparsifier_structure(g, kept, delta, /*tweak=*/true,
+                                            "dyn sparsifier");
+      r.failed()) {
+    return r;
+  }
+  if (full.edges() != g.edge_list()) {
+    return Result::fail("unbounded-budget dyn sparsifier != from-scratch "
+                        "rebuild of the final graph");
+  }
+  return Result::pass();
+}
+
+// ---------------------------------------------------------------------------
+// Streaming and MPC realisations vs the offline sparsifier contract.
+// ---------------------------------------------------------------------------
+
+Result prop_stream_reservoir_vs_offline(const Graph& g,
+                                        const PropertyConfig& cfg) {
+  const VertexId n = g.num_vertices();
+  const VertexId delta = std::max<VertexId>(1, cfg.delta);
+  const stream::EdgeStream s(g.edge_list(),
+                             stream::EdgeStream::Order::kShuffled, cfg.seed);
+
+  auto run_pass = [&](VertexId d) {
+    stream::StreamingSparsifier sp(n, d, mix64(cfg.seed, d));
+    s.replay([&](const Edge& e) { sp.offer(e); });
+    return sp.sparsifier_edges();
+  };
+
+  const EdgeList a = run_pass(delta);
+  const EdgeList b = run_pass(delta);
+  if (a != b) return Result::fail("reservoir pass not replayable from seed");
+  // Reservoirs hold exactly min(deg, Δ) partners per vertex — no 2Δ
+  // tweak on the streaming path.
+  if (Result r = check_sparsifier_structure(g, a, delta, /*tweak=*/false,
+                                            "stream sparsifier");
+      r.failed()) {
+    return r;
+  }
+  // With Δ >= max degree nothing is ever evicted: the pass must retain
+  // the input exactly, independent of the stream permutation — the
+  // offline-differential anchor.
+  const EdgeList everything = run_pass(std::max<VertexId>(1, g.max_degree()));
+  if (everything != g.edge_list()) {
+    return Result::fail("reservoir with delta >= max degree lost edges");
+  }
+  return Result::pass();
+}
+
+Result prop_mpc_machine_invariance(const Graph& g, const PropertyConfig& cfg) {
+  if (g.num_vertices() > kMaxOracleVertices) {
+    return Result::skip("blossom oracle capped");
+  }
+  const EdgeList edges = g.edge_list();
+  stream::MpcOptions opt;
+  opt.delta = std::max<VertexId>(1, cfg.delta);
+  opt.eps = cfg.eps;
+
+  auto run_with = [&](std::size_t machines, std::size_t fan_in) {
+    stream::MpcOptions o = opt;
+    o.machines = machines;
+    o.fan_in = fan_in;
+    return stream::mpc_approx_matching(g.num_vertices(), edges, o, cfg.seed);
+  };
+
+  // Edge keys are mix64(seed, edge), so the merged bottom-Δ sketch — and
+  // hence the matching — must not depend on how edges were sharded.
+  const stream::MpcResult base = run_with(1, 2);
+  if (Result r = check_valid(g, base.matching, "mpc"); r.failed()) return r;
+  const VertexId opt_size = blossom_mcm(g).size();
+  if (base.matching.size() > opt_size) {
+    return Result::fail("mpc matching exceeds exact optimum");
+  }
+  for (const auto& [machines, fan_in] :
+       {std::pair<std::size_t, std::size_t>{3, 2},
+        std::pair<std::size_t, std::size_t>{8, 4}}) {
+    const stream::MpcResult other = run_with(machines, fan_in);
+    if (other.stats.sparsifier_edges != base.stats.sparsifier_edges) {
+      return Result::fail("mpc sparsifier size depends on machine count (" +
+                          sz(machines) + " machines)");
+    }
+    if (other.matching.edges() != base.matching.edges()) {
+      return Result::fail("mpc matching depends on machine count (" +
+                          sz(machines) + " machines)");
+    }
+  }
+  return Result::pass();
+}
+
+std::vector<Property> build_properties() {
+  return {
+      {"blossom_vs_brute_force",
+       "Edmonds blossom MCM vs exhaustive search (tiny graphs)",
+       prop_blossom_vs_brute_force},
+      {"greedy_maximal",
+       "greedy matchers (CSR, shuffled, edge-list) vs maximality + blossom "
+       "2-approx bound",
+       prop_greedy_maximal},
+      {"approx_mcm_vs_blossom",
+       "bounded-aug (1+eps) matcher vs blossom via the k/(k+1) lemma",
+       prop_approx_mcm_vs_blossom},
+      {"hopcroft_karp_vs_blossom",
+       "Hopcroft-Karp (exact + truncated) vs blossom on bipartite inputs",
+       prop_hopcroft_karp_vs_blossom},
+      {"assadi_solomon_maximal",
+       "sampling-based maximal matcher vs maximality oracle + probe ledger",
+       prop_assadi_solomon_maximal},
+      {"certified_factor_vs_blossom",
+       "verify.cpp augmenting-path lemma vs blossom (oracle of the oracle)",
+       prop_certified_factor_vs_blossom},
+      {"serial_sparsifier",
+       "sparsify_edges replay + structure vs subgraph monotonicity of MCM",
+       prop_serial_sparsifier},
+      {"parallel_sparsifier_thread_invariance",
+       "sparsify_edges_parallel / fused sparsify_parallel identical at "
+       "1/2/4/8 threads and any shard count",
+       prop_parallel_sparsifier_thread_invariance},
+      {"dist_sparsifier_fault_independence",
+       "dist sparsifier protocols lossless vs lossy: identical edges under "
+       "any fault schedule",
+       prop_dist_sparsifier_fault_independence},
+      {"dist_pipeline_safety",
+       "4-stage dist pipeline lossless vs lossy: valid matching, monotone "
+       "stages, never above blossom",
+       prop_dist_pipeline_safety},
+      {"dyn_sparsifier_vs_rebuild",
+       "DynSparsifier under random update/detour sequences vs from-scratch "
+       "rebuild + structure invariants",
+       prop_dyn_sparsifier_vs_rebuild},
+      {"stream_reservoir_vs_offline",
+       "streaming reservoir sparsifier vs offline edge set on the same "
+       "permutation",
+       prop_stream_reservoir_vs_offline},
+      {"mpc_machine_invariance",
+       "MPC bottom-delta sketch pipeline invariant in machine count, vs "
+       "blossom upper bound",
+       prop_mpc_machine_invariance},
+  };
+}
+
+}  // namespace
+
+const std::vector<Property>& all_properties() {
+  static const std::vector<Property> props = build_properties();
+  return props;
+}
+
+}  // namespace matchsparse::check

@@ -1,0 +1,57 @@
+#include "check/property.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+namespace matchsparse::check {
+
+std::string PropertyConfig::to_string() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "seed=%llu delta=%u eps=%g beta=%u threads=%zu",
+                static_cast<unsigned long long>(seed), delta, eps, beta,
+                threads);
+  return buf;
+}
+
+bool PropertyConfig::parse(const std::string& text, PropertyConfig* out) {
+  PropertyConfig cfg;
+  std::istringstream in(text);
+  std::string token;
+  while (in >> token) {
+    const auto eq = token.find('=');
+    if (eq == std::string::npos) return false;
+    const std::string key = token.substr(0, eq);
+    const std::string value = token.substr(eq + 1);
+    try {
+      std::size_t used = 0;
+      if (key == "seed") {
+        cfg.seed = std::stoull(value, &used);
+      } else if (key == "delta") {
+        cfg.delta = static_cast<VertexId>(std::stoul(value, &used));
+      } else if (key == "eps") {
+        cfg.eps = std::stod(value, &used);
+      } else if (key == "beta") {
+        cfg.beta = static_cast<VertexId>(std::stoul(value, &used));
+      } else if (key == "threads") {
+        cfg.threads = std::stoul(value, &used);
+      } else {
+        return false;
+      }
+      if (used != value.size()) return false;
+    } catch (const std::exception&) {
+      return false;
+    }
+  }
+  *out = cfg;
+  return true;
+}
+
+const Property* find_property(const std::string& name) {
+  for (const Property& p : all_properties()) {
+    if (p.name == name) return &p;
+  }
+  return nullptr;
+}
+
+}  // namespace matchsparse::check

@@ -1,0 +1,94 @@
+// matchcheck — the repository's property-based differential-testing
+// vocabulary.
+//
+// A Property is a deterministic predicate over a (graph, config) cell:
+// it runs one or more implementations on the graph, cross-checks them
+// against an oracle (the exact blossom matcher, a from-scratch rebuild,
+// a fault-free replay, ...), and reports pass / fail / skip. Determinism
+// is the load-bearing contract: every random draw inside a property must
+// come from config.seed, so that a failing cell replays bit-identically
+// from a serialized counterexample (see counterexample.hpp) and survives
+// the shrinker's re-execution loop (see shrink.hpp).
+//
+// The built-in properties (properties.cpp) cover every oracle pair in
+// the codebase — see DESIGN.md §10 for the implementation → oracle
+// table.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace matchsparse::check {
+
+/// The non-graph half of a test cell. Every field is part of the replay
+/// identity: a counterexample stores the full config alongside the graph.
+struct PropertyConfig {
+  std::uint64_t seed = 1;
+  /// Sparsifier mark budget (Δ).
+  VertexId delta = 4;
+  /// Target approximation for the (1+ε) matchers.
+  double eps = 0.25;
+  /// Claimed neighborhood-independence bound handed to β-parameterized
+  /// algorithms (properties must not assume it is true of the graph).
+  VertexId beta = 2;
+  /// Lane count for the parallel sparsify paths.
+  std::size_t threads = 4;
+
+  /// "seed=1 delta=4 eps=0.25 beta=2 threads=4" — the serialized form
+  /// used in counterexample headers; parse_config() inverts it.
+  std::string to_string() const;
+
+  /// Parses the to_string() form. Unknown keys are an error; missing keys
+  /// keep their defaults. Returns false on malformed input.
+  static bool parse(const std::string& text, PropertyConfig* out);
+
+  friend bool operator==(const PropertyConfig&,
+                         const PropertyConfig&) = default;
+};
+
+struct PropertyResult {
+  enum class Status { kPass, kFail, kSkip };
+
+  Status status = Status::kPass;
+  /// Failure diagnostic (or skip reason). One line, no quotes — it is
+  /// embedded verbatim in ndjson logs and counterexample headers.
+  std::string message;
+
+  bool ok() const { return status != Status::kFail; }
+  bool failed() const { return status == Status::kFail; }
+  bool skipped() const { return status == Status::kSkip; }
+
+  static PropertyResult pass() { return {}; }
+  static PropertyResult fail(std::string msg) {
+    return {Status::kFail, std::move(msg)};
+  }
+  /// The property does not apply to this cell (graph too large for the
+  /// oracle, not bipartite, ...). Skips count as vacuous passes but are
+  /// ledgered separately by the runner.
+  static PropertyResult skip(std::string why) {
+    return {Status::kSkip, std::move(why)};
+  }
+};
+
+using PropertyFn =
+    std::function<PropertyResult(const Graph&, const PropertyConfig&)>;
+
+struct Property {
+  std::string name;
+  /// Human-readable "implementation vs oracle" summary for --list and the
+  /// DESIGN.md table.
+  std::string oracle;
+  PropertyFn check;
+};
+
+/// All registered properties (the built-ins from properties.cpp), in a
+/// stable order. Thread-safe first use; the list is immutable afterwards.
+const std::vector<Property>& all_properties();
+
+/// Lookup by name; nullptr if unknown.
+const Property* find_property(const std::string& name);
+
+}  // namespace matchsparse::check

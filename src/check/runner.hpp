@@ -1,0 +1,61 @@
+// The matchcheck soak runner: a time-budgeted loop over random
+// (case, graph, config, property) cells with ndjson progress logging,
+// automatic shrinking of failures, and counterexample persistence.
+//
+// The runner is the engine behind `matchsparse_fuzz` and the `fuzz_smoke`
+// ctest entry. Corpus seed files are replayed first (a regression corpus
+// is only useful if every run starts from it), then the generative loop
+// runs until the wall-clock budget or the cell cap is hit. The whole run
+// is a deterministic function of FuzzOptions::seed *given* a fixed cell
+// count; the time budget only decides how many cells get drawn.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "check/counterexample.hpp"
+#include "check/property.hpp"
+
+namespace matchsparse::check {
+
+struct FuzzOptions {
+  double budget_seconds = 30.0;
+  std::uint64_t seed = 0;
+  /// Property-name filter; empty means every registered property.
+  std::vector<std::string> properties;
+  /// Where shrunk counterexamples are written ("" = keep in memory only).
+  std::string out_dir;
+  /// Corpus files replayed before the generative loop.
+  std::vector<std::string> seed_files;
+  /// Largest generated instance (target vertex count).
+  VertexId max_n = 72;
+  /// ndjson sink for per-cell lines (nullptr = no log). Not owned.
+  std::FILE* log = nullptr;
+  /// Hard cap on generative cells (mostly for tests; the time budget is
+  /// the normal stop).
+  std::size_t max_cells = static_cast<std::size_t>(-1);
+  /// Shrink failures before reporting (off = keep the raw failing cell).
+  bool shrink = true;
+};
+
+struct FuzzStats {
+  std::size_t graphs = 0;       // instances generated
+  std::size_t cells = 0;        // property evaluations (incl. replays)
+  std::size_t passed = 0;
+  std::size_t skipped = 0;
+  std::size_t failures = 0;     // failing cells observed
+  std::size_t shrink_evals = 0; // predicate evaluations spent shrinking
+  /// One (shrunk) counterexample per property that failed, in discovery
+  /// order; paths filled when out_dir was set.
+  std::vector<Counterexample> counterexamples;
+  std::vector<std::string> counterexample_paths;
+
+  bool ok() const { return failures == 0; }
+};
+
+/// Runs the soak loop. Throws IoError on unreadable seed files or an
+/// unwritable out_dir.
+FuzzStats run_fuzz(const FuzzOptions& opt);
+
+}  // namespace matchsparse::check

@@ -1,0 +1,183 @@
+#include "check/shrink.hpp"
+
+#include <algorithm>
+#include <optional>
+
+#include "util/common.hpp"
+
+namespace matchsparse::check {
+
+namespace {
+
+/// Evaluation wrapper with budget accounting. Once the budget is gone it
+/// reports "passes" for every candidate, which freezes the current
+/// (already-failing) instance — the shrinker degrades to less-minimal
+/// output, never to a wrong one.
+class Evaluator {
+ public:
+  Evaluator(const Property& property, std::size_t budget)
+      : property_(property), budget_(budget) {}
+
+  /// Failure message if the cell still fails, nullopt otherwise.
+  std::optional<std::string> fails(const Graph& g,
+                                   const PropertyConfig& cfg) {
+    if (evals_ >= budget_) return std::nullopt;
+    ++evals_;
+    const PropertyResult r = property_.check(g, cfg);
+    if (r.failed()) return r.message;
+    return std::nullopt;
+  }
+
+  std::size_t evals() const { return evals_; }
+
+ private:
+  const Property& property_;
+  std::size_t budget_;
+  std::size_t evals_ = 0;
+};
+
+Graph without_vertices(const Graph& g, VertexId lo, VertexId hi) {
+  std::vector<VertexId> keep;
+  keep.reserve(g.num_vertices() - (hi - lo));
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (v < lo || v >= hi) keep.push_back(v);
+  }
+  return induced_subgraph(g, keep);
+}
+
+/// ddmin over vertices: try deleting windows of size chunk, halving the
+/// window until single vertices. Returns true if anything was removed.
+bool shrink_vertices(Evaluator& eval, Graph& g, const PropertyConfig& cfg,
+                     std::string& message) {
+  bool progress = false;
+  for (VertexId chunk = std::max<VertexId>(1, g.num_vertices() / 2);
+       chunk >= 1; chunk /= 2) {
+    bool removed = true;
+    while (removed) {
+      removed = false;
+      for (VertexId lo = 0; lo + chunk <= g.num_vertices(); lo += chunk) {
+        if (g.num_vertices() - chunk < 1) break;
+        Graph candidate = without_vertices(g, lo, lo + chunk);
+        if (auto msg = eval.fails(candidate, cfg)) {
+          g = std::move(candidate);
+          message = std::move(*msg);
+          progress = removed = true;
+          break;  // window indices shifted; rescan at this chunk size
+        }
+      }
+    }
+    if (chunk == 1) break;
+  }
+  return progress;
+}
+
+/// ddmin over edges (vertex count fixed; isolated leftovers are handled
+/// by the vertex pass of the next round).
+bool shrink_edges(Evaluator& eval, Graph& g, const PropertyConfig& cfg,
+                  std::string& message) {
+  bool progress = false;
+  EdgeList edges = g.edge_list();
+  for (std::size_t chunk = std::max<std::size_t>(1, edges.size() / 2);
+       chunk >= 1; chunk /= 2) {
+    bool removed = true;
+    while (removed) {
+      removed = false;
+      for (std::size_t lo = 0; lo + chunk <= edges.size(); lo += chunk) {
+        EdgeList candidate;
+        candidate.reserve(edges.size() - chunk);
+        candidate.insert(candidate.end(), edges.begin(),
+                         edges.begin() + static_cast<std::ptrdiff_t>(lo));
+        candidate.insert(candidate.end(),
+                         edges.begin() +
+                             static_cast<std::ptrdiff_t>(lo + chunk),
+                         edges.end());
+        Graph cg = Graph::from_edges(g.num_vertices(), candidate);
+        if (auto msg = eval.fails(cg, cfg)) {
+          g = std::move(cg);
+          edges = std::move(candidate);
+          message = std::move(*msg);
+          progress = removed = true;
+          break;
+        }
+      }
+    }
+    if (chunk == 1) break;
+  }
+  return progress;
+}
+
+/// Config simplification: try canonical "smaller" values field by field,
+/// keeping any that still fails.
+bool shrink_config(Evaluator& eval, const Graph& g, PropertyConfig& cfg,
+                   std::string& message) {
+  bool progress = false;
+  auto try_cfg = [&](PropertyConfig candidate) {
+    if (candidate == cfg) return;
+    if (auto msg = eval.fails(g, candidate)) {
+      cfg = candidate;
+      message = std::move(*msg);
+      progress = true;
+    }
+  };
+  for (const VertexId delta : {VertexId{1}, VertexId{2}, cfg.delta / 2}) {
+    if (delta >= 1 && delta < cfg.delta) {
+      PropertyConfig c = cfg;
+      c.delta = delta;
+      try_cfg(c);
+    }
+  }
+  for (const double eps : {0.5, 0.34}) {
+    if (eps > cfg.eps) {
+      PropertyConfig c = cfg;
+      c.eps = eps;
+      try_cfg(c);
+    }
+  }
+  for (const VertexId beta : {VertexId{1}, VertexId{2}}) {
+    if (beta < cfg.beta) {
+      PropertyConfig c = cfg;
+      c.beta = beta;
+      try_cfg(c);
+    }
+  }
+  if (cfg.threads > 1) {
+    PropertyConfig c = cfg;
+    c.threads = 1;
+    try_cfg(c);
+  }
+  for (const std::uint64_t seed : {0ULL, 1ULL, 2ULL, 3ULL}) {
+    if (seed < cfg.seed) {
+      PropertyConfig c = cfg;
+      c.seed = seed;
+      try_cfg(c);
+    }
+  }
+  return progress;
+}
+
+}  // namespace
+
+ShrinkResult shrink_counterexample(const Property& property, Graph graph,
+                                   PropertyConfig config, ShrinkOptions opt) {
+  Evaluator eval(property, opt.max_evals);
+  auto initial = eval.fails(graph, config);
+  MS_CHECK_MSG(initial.has_value(),
+               "shrink_counterexample handed a passing cell");
+
+  ShrinkResult out;
+  out.message = std::move(*initial);
+  bool progress = true;
+  while (progress) {
+    ++out.rounds;
+    progress = false;
+    progress |= shrink_vertices(eval, graph, config, out.message);
+    progress |= shrink_edges(eval, graph, config, out.message);
+    progress |= shrink_config(eval, graph, config, out.message);
+  }
+  out.graph = std::move(graph);
+  out.config = config;
+  out.evals = eval.evals();
+  return out;
+}
+
+}  // namespace matchsparse::check

@@ -1,0 +1,39 @@
+// Greedy delta-debugging shrinker for failing matchcheck cells.
+//
+// Given a property and a (graph, config) cell that fails it, the shrinker
+// minimizes the instance while preserving the failure: remove vertex
+// chunks (ddmin with geometrically shrinking windows, via induced
+// subgraphs), then remove edge chunks, then simplify the config (Δ toward
+// 1, ε toward coarse values, small canonical seeds, fewer threads) —
+// looping until a fixpoint or the evaluation budget runs out. Because
+// properties are deterministic in (graph, config), every accepted step is
+// a certified still-failing instance; the final cell is what gets
+// serialized to tests/regressions/ for replay.
+#pragma once
+
+#include "check/property.hpp"
+
+namespace matchsparse::check {
+
+struct ShrinkOptions {
+  /// Cap on property evaluations (the predicate is the expensive part).
+  std::size_t max_evals = 1500;
+};
+
+struct ShrinkResult {
+  Graph graph;
+  PropertyConfig config;
+  /// Failure message of the minimized cell.
+  std::string message;
+  std::size_t evals = 0;   // predicate evaluations spent
+  std::size_t rounds = 0;  // outer fixpoint iterations
+};
+
+/// Minimizes a failing cell. `graph`/`config` must actually fail
+/// `property` (MS_CHECK enforced — handing the shrinker a passing cell is
+/// a harness bug).
+ShrinkResult shrink_counterexample(const Property& property, Graph graph,
+                                   PropertyConfig config,
+                                   ShrinkOptions opt = {});
+
+}  // namespace matchsparse::check

@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <map>
 #include <set>
+#include <tuple>
+#include <vector>
 
 #include "gen/generators.hpp"
 #include "util/rng.hpp"
@@ -83,6 +86,111 @@ TEST(DynGraph, RandomizedOracleEquivalence) {
     }
   }
   EXPECT_EQ(g.num_edges(), oracle.size());
+}
+
+namespace {
+struct DynState {
+  std::set<std::pair<VertexId, VertexId>> edges;
+  std::map<VertexId, VertexId> degrees;  // only non-zero entries
+  std::set<VertexId> active;
+};
+
+DynState capture(const DynGraph& g) {
+  DynState s;
+  const Graph snap = g.snapshot();
+  for (const auto& [u, v] : snap.edge_list()) s.edges.emplace(u, v);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (g.degree(v) != 0) s.degrees[v] = g.degree(v);
+  }
+  s.active.insert(g.active_vertices().begin(), g.active_vertices().end());
+  return s;
+}
+}  // namespace
+
+TEST(DynGraph, JournaledRollbackRestoresExactState) {
+  // Speculative-batch pattern: apply a batch of random updates while
+  // journaling every *effective* operation, then replay the journal's
+  // inverses in reverse order. The graph must land exactly on the
+  // pre-batch state — edge set, per-vertex degrees, and active set.
+  Rng rng(11);
+  const VertexId n = 30;
+  DynGraph g(n);
+  for (int i = 0; i < 150; ++i) {  // warm up to a nontrivial state
+    auto u = static_cast<VertexId>(rng.below(n));
+    auto v = static_cast<VertexId>(rng.below(n - 1));
+    if (v >= u) ++v;
+    if (rng.chance(0.6)) {
+      g.insert_edge(u, v);
+    } else {
+      g.erase_edge(u, v);
+    }
+  }
+
+  for (int batch = 0; batch < 25; ++batch) {
+    const DynState before = capture(g);
+    std::vector<std::tuple<bool, VertexId, VertexId>> journal;
+    for (int op = 0; op < 60; ++op) {
+      auto u = static_cast<VertexId>(rng.below(n));
+      auto v = static_cast<VertexId>(rng.below(n - 1));
+      if (v >= u) ++v;
+      if (rng.chance(0.5)) {
+        if (g.insert_edge(u, v)) journal.emplace_back(true, u, v);
+      } else {
+        if (g.erase_edge(u, v)) journal.emplace_back(false, u, v);
+      }
+    }
+    for (auto it = journal.rbegin(); it != journal.rend(); ++it) {
+      const auto& [was_insert, u, v] = *it;
+      // Inverses of effective ops must themselves be effective.
+      ASSERT_TRUE(was_insert ? g.erase_edge(u, v) : g.insert_edge(u, v));
+    }
+    const DynState after = capture(g);
+    ASSERT_EQ(after.edges, before.edges) << "batch " << batch;
+    ASSERT_EQ(after.degrees, before.degrees) << "batch " << batch;
+    ASSERT_EQ(after.active, before.active) << "batch " << batch;
+    ASSERT_EQ(g.num_edges(), before.edges.size());
+  }
+}
+
+TEST(DynGraph, InterleavedRollbackKeepsOracleAgreement) {
+  // Rollbacks interleaved with committed updates: only every other batch
+  // is rolled back; a set-of-edges oracle tracks the committed history.
+  Rng rng(12);
+  const VertexId n = 24;
+  DynGraph g(n);
+  std::set<std::pair<VertexId, VertexId>> oracle;
+  for (int batch = 0; batch < 30; ++batch) {
+    const bool speculative = (batch % 2) == 1;
+    std::vector<std::tuple<bool, VertexId, VertexId>> journal;
+    for (int op = 0; op < 40; ++op) {
+      auto u = static_cast<VertexId>(rng.below(n));
+      auto v = static_cast<VertexId>(rng.below(n - 1));
+      if (v >= u) ++v;
+      const auto key = std::minmax(u, v);
+      if (rng.chance(0.55)) {
+        if (g.insert_edge(u, v)) {
+          journal.emplace_back(true, u, v);
+          if (!speculative) oracle.insert(key);
+        }
+      } else {
+        if (g.erase_edge(u, v)) {
+          journal.emplace_back(false, u, v);
+          if (!speculative) oracle.erase(key);
+        }
+      }
+    }
+    if (speculative) {
+      for (auto it = journal.rbegin(); it != journal.rend(); ++it) {
+        const auto& [was_insert, u, v] = *it;
+        ASSERT_TRUE(was_insert ? g.erase_edge(u, v) : g.insert_edge(u, v));
+      }
+    }
+    ASSERT_EQ(g.num_edges(), oracle.size()) << "batch " << batch;
+    const Graph snap = g.snapshot();
+    for (const auto& [a, b] : oracle) {
+      ASSERT_TRUE(snap.has_edge(a, b)) << "batch " << batch;
+    }
+  }
 }
 
 TEST(DynGraph, NeighborEnumerationMatchesDegree) {

@@ -1,0 +1,212 @@
+// Unit tests for the matchcheck library itself: the config codec, the
+// counterexample file round-trip, the case generators, the shrinker (on
+// deliberately broken properties with known minimal repros), and the
+// soak runner.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <set>
+
+#include "check/case_gen.hpp"
+#include "check/counterexample.hpp"
+#include "check/property.hpp"
+#include "check/runner.hpp"
+#include "check/shrink.hpp"
+#include "gen/generators.hpp"
+#include "matching/blossom.hpp"
+#include "util/rng.hpp"
+
+namespace matchsparse::check {
+namespace {
+
+TEST(PropertyConfig, ToStringParseRoundTrip) {
+  PropertyConfig cfg;
+  cfg.seed = 123456789012345ULL;
+  cfg.delta = 7;
+  cfg.eps = 0.34;
+  cfg.beta = 3;
+  cfg.threads = 8;
+  PropertyConfig back;
+  ASSERT_TRUE(PropertyConfig::parse(cfg.to_string(), &back));
+  EXPECT_EQ(cfg, back);
+}
+
+TEST(PropertyConfig, ParseRejectsGarbage) {
+  PropertyConfig cfg;
+  EXPECT_FALSE(PropertyConfig::parse("seed=1 bogus=2", &cfg));
+  EXPECT_FALSE(PropertyConfig::parse("delta=", &cfg));
+  EXPECT_FALSE(PropertyConfig::parse("delta=abc", &cfg));
+  // Partial configs are fine: unmentioned fields keep their defaults.
+  EXPECT_TRUE(PropertyConfig::parse("delta=9", &cfg));
+  EXPECT_EQ(cfg.delta, 9u);
+  EXPECT_TRUE(PropertyConfig::parse("", &cfg));
+}
+
+TEST(PropertyRegistry, NamesAreUniqueAndFindable) {
+  std::set<std::string> names;
+  for (const Property& p : all_properties()) {
+    EXPECT_TRUE(names.insert(p.name).second) << "duplicate " << p.name;
+    EXPECT_FALSE(p.oracle.empty()) << p.name << " missing oracle note";
+    EXPECT_EQ(find_property(p.name), &p);
+  }
+  EXPECT_GE(names.size(), 12u);
+  EXPECT_EQ(find_property("no_such_property"), nullptr);
+}
+
+TEST(CaseGen, EveryCaseProducesAWellFormedGraph) {
+  Rng rng(3);
+  for (const GraphCase& c : fuzz_cases()) {
+    for (VertexId n : {2u, 5u, 17u}) {
+      const Graph g = c.make(n, rng());
+      EXPECT_GE(g.num_vertices(), 1u) << c.name;
+      // Self-consistency: the edge list round-trips through from_edges.
+      const Graph back = Graph::from_edges(g.num_vertices(), g.edge_list());
+      EXPECT_EQ(back.num_edges(), g.num_edges()) << c.name;
+    }
+  }
+}
+
+TEST(CaseGen, MutatorsPreserveInvariants) {
+  Rng rng(4);
+  const Graph g = gen::erdos_renyi(20, 4.0, rng);
+  Graph more = add_random_edges(g, 10, rng);
+  EXPECT_GE(more.num_edges(), g.num_edges());
+  for (const auto& [u, v] : g.edge_list()) EXPECT_TRUE(more.has_edge(u, v));
+  Graph fewer = remove_random_edges(g, 5, rng);
+  EXPECT_LE(fewer.num_edges(), g.num_edges());
+  for (const auto& [u, v] : fewer.edge_list()) EXPECT_TRUE(g.has_edge(u, v));
+  Graph smaller = remove_random_vertices(g, 4, rng);
+  EXPECT_EQ(smaller.num_vertices(), g.num_vertices() - 4);
+}
+
+/// A broken "property" whose minimal counterexample is known exactly:
+/// it fails whenever the graph has a matching of size >= 2. The unique
+/// minimal repro is two disjoint edges: 4 vertices, 2 edges.
+Property broken_two_disjoint_edges() {
+  Property p;
+  p.name = "broken_two_disjoint_edges";
+  p.oracle = "test-only";
+  p.check = [](const Graph& g, const PropertyConfig&) {
+    if (blossom_mcm(g).size() >= 2) {
+      return PropertyResult::fail("matching of size 2 exists");
+    }
+    return PropertyResult::pass();
+  };
+  return p;
+}
+
+TEST(Shrink, FindsMinimalTwoDisjointEdges) {
+  const Property p = broken_two_disjoint_edges();
+  Rng rng(5);
+  const Graph big = gen::erdos_renyi(48, 8.0, rng);
+  ASSERT_TRUE(p.check(big, PropertyConfig{}).failed());
+  const ShrinkResult r = shrink_counterexample(p, big, PropertyConfig{});
+  EXPECT_TRUE(p.check(r.graph, r.config).failed());  // still a repro
+  EXPECT_EQ(r.graph.num_edges(), 2u);
+  EXPECT_LE(r.graph.num_vertices(), 4u);
+  EXPECT_GT(r.evals, 0u);
+}
+
+TEST(Shrink, SimplifiesConfigToo) {
+  // Fails whenever delta >= 2 and the graph is non-empty; the shrinker
+  // should drive the graph to a single edge but must keep delta >= 2.
+  Property p;
+  p.name = "broken_delta_sensitive";
+  p.oracle = "test-only";
+  p.check = [](const Graph& g, const PropertyConfig& cfg) {
+    if (cfg.delta >= 2 && g.num_edges() >= 1) {
+      return PropertyResult::fail("delta too large");
+    }
+    return PropertyResult::pass();
+  };
+  PropertyConfig cfg;
+  cfg.delta = 8;
+  cfg.threads = 8;
+  Rng rng(6);
+  const ShrinkResult r =
+      shrink_counterexample(p, gen::erdos_renyi(30, 5.0, rng), cfg);
+  EXPECT_TRUE(p.check(r.graph, r.config).failed());
+  EXPECT_EQ(r.graph.num_edges(), 1u);
+  EXPECT_GE(r.config.delta, 2u);
+  EXPECT_LE(r.config.delta, 2u) << "delta should shrink to the boundary";
+  EXPECT_EQ(r.config.threads, 1u);
+}
+
+TEST(Shrink, RespectsEvalBudget) {
+  const Property p = broken_two_disjoint_edges();
+  Rng rng(7);
+  ShrinkOptions opt;
+  opt.max_evals = 25;
+  const ShrinkResult r =
+      shrink_counterexample(p, gen::erdos_renyi(40, 8.0, rng),
+                            PropertyConfig{}, opt);
+  EXPECT_LE(r.evals, opt.max_evals + 1);
+  EXPECT_TRUE(p.check(r.graph, r.config).failed());  // never un-repros
+}
+
+TEST(Counterexample, SaveLoadRoundTrip) {
+  Counterexample cex;
+  cex.property = "greedy_maximal";
+  cex.case_name = "round trip: with punctuation";
+  cex.config.seed = 42;
+  cex.config.delta = 5;
+  cex.config.eps = 0.2;
+  cex.message = "expected 3 got 2";
+  Rng rng(8);
+  cex.graph = gen::erdos_renyi(12, 4.0, rng);
+
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "matchcheck_rt.graph")
+          .string();
+  save_counterexample(cex, path);
+  const Counterexample back = load_counterexample(path);
+  EXPECT_EQ(back.property, cex.property);
+  EXPECT_EQ(back.case_name, cex.case_name);
+  EXPECT_EQ(back.config, cex.config);
+  EXPECT_EQ(back.message, cex.message);
+  EXPECT_EQ(back.graph.num_vertices(), cex.graph.num_vertices());
+  EXPECT_EQ(back.graph.num_edges(), cex.graph.num_edges());
+  for (const auto& [u, v] : cex.graph.edge_list()) {
+    EXPECT_TRUE(back.graph.has_edge(u, v));
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(Counterexample, ReplayAllRunsEveryProperty) {
+  Counterexample cex;
+  cex.property = "all";
+  cex.graph = gen::complete_graph(4);
+  const auto results = replay_counterexample(cex);
+  EXPECT_EQ(results.size(), all_properties().size());
+  for (const auto& [name, result] : results) {
+    EXPECT_FALSE(result.failed()) << name << ": " << result.message;
+  }
+}
+
+TEST(Runner, SmokeRunIsCleanAndCounts) {
+  FuzzOptions opt;
+  opt.budget_seconds = 60.0;  // cells cap below is the real stop
+  opt.max_cells = 12;
+  opt.max_n = 24;
+  opt.seed = 99;
+  const FuzzStats stats = run_fuzz(opt);
+  EXPECT_TRUE(stats.ok());
+  EXPECT_EQ(stats.graphs, 12u);
+  EXPECT_EQ(stats.cells, stats.passed + stats.skipped + stats.failures);
+  EXPECT_GT(stats.cells, stats.graphs);  // several properties per graph
+}
+
+TEST(Runner, PropertyFilterNarrowsTheRun) {
+  FuzzOptions opt;
+  opt.budget_seconds = 60.0;
+  opt.max_cells = 6;
+  opt.max_n = 16;
+  opt.properties = {"greedy_maximal"};
+  const FuzzStats stats = run_fuzz(opt);
+  EXPECT_TRUE(stats.ok());
+  EXPECT_EQ(stats.cells, 6u);  // exactly one property per graph
+}
+
+}  // namespace
+}  // namespace matchsparse::check

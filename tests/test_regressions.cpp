@@ -1,0 +1,65 @@
+// Replays every counterexample file in tests/regressions/ through the
+// matchcheck property registry. Each file pins a previously-observed (or
+// hand-constructed pathological) instance; a failure here means a bug
+// that was fixed once has come back.
+//
+// MATCHSPARSE_REGRESSION_DIR is injected by CMake and points at the
+// source-tree corpus, so newly-added .graph files are picked up without
+// reconfiguring.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "check/counterexample.hpp"
+
+namespace matchsparse::check {
+namespace {
+
+std::vector<std::string> corpus() {
+  std::vector<std::string> files;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(MATCHSPARSE_REGRESSION_DIR)) {
+    if (entry.is_regular_file() && entry.path().extension() == ".graph") {
+      files.push_back(entry.path().string());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+TEST(Regressions, CorpusIsNonEmpty) {
+  ASSERT_TRUE(std::filesystem::is_directory(MATCHSPARSE_REGRESSION_DIR))
+      << MATCHSPARSE_REGRESSION_DIR;
+  EXPECT_GE(corpus().size(), 4u);
+}
+
+TEST(Regressions, EveryFileLoadsWithMetadata) {
+  for (const std::string& path : corpus()) {
+    SCOPED_TRACE(path);
+    const Counterexample cex = load_counterexample(path);
+    EXPECT_FALSE(cex.property.empty());
+    EXPECT_GE(cex.graph.num_vertices(), 1u);
+    // "all" aside, the pinned property must still exist in the registry.
+    if (cex.property != "all") {
+      EXPECT_NE(find_property(cex.property), nullptr)
+          << "corpus file pins a property that was renamed or removed";
+    }
+  }
+}
+
+TEST(Regressions, EveryFileReplaysClean) {
+  for (const std::string& path : corpus()) {
+    SCOPED_TRACE(path);
+    const Counterexample cex = load_counterexample(path);
+    for (const auto& [name, result] : replay_counterexample(cex)) {
+      EXPECT_FALSE(result.failed())
+          << name << " regressed on " << path << ": " << result.message;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace matchsparse::check
