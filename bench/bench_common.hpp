@@ -10,6 +10,7 @@
 #include "gen/families.hpp"
 #include "matching/blossom.hpp"
 #include "matching/bounded_aug.hpp"
+#include "obs/manifest.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 #include "util/thread_pool.hpp"
@@ -94,6 +95,12 @@ class JsonRow {
 /// Appends JSON rows to BENCH_<name>.json (one object per line, ndjson)
 /// and mirrors each row to stdout, so trajectories land in a
 /// machine-readable file alongside the pretty tables.
+///
+/// Every row is stamped with run-identity fields so historical files
+/// stay comparable: "git" (git describe at configure time),
+/// "pool_threads" (worker count of the shared pool the run had
+/// available — distinct from any per-row workload "threads" column),
+/// and, when the bench registered one via set_seed(), "seed".
 class JsonlSink {
  public:
   explicit JsonlSink(const std::string& bench_name)
@@ -104,8 +111,19 @@ class JsonlSink {
   JsonlSink(const JsonlSink&) = delete;
   JsonlSink& operator=(const JsonlSink&) = delete;
 
+  /// Registers the bench's master RNG seed for the identity stamp.
+  void set_seed(std::uint64_t seed) {
+    seed_ = seed;
+    has_seed_ = true;
+  }
+
   void row(const JsonRow& r) {
-    const std::string line = r.finish();
+    JsonRow stamped = r;
+    stamped.str("git", obs::git_describe())
+        .num("pool_threads",
+             static_cast<std::uint64_t>(default_pool().size()));
+    if (has_seed_) stamped.num("seed", seed_);
+    const std::string line = stamped.finish();
     std::printf("%s\n", line.c_str());
     if (file_ != nullptr) {
       std::fprintf(file_, "%s\n", line.c_str());
@@ -115,6 +133,8 @@ class JsonlSink {
 
  private:
   std::FILE* file_ = nullptr;
+  std::uint64_t seed_ = 0;
+  bool has_seed_ = false;
 };
 
 }  // namespace matchsparse::bench

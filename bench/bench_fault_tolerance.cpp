@@ -37,6 +37,7 @@ int main() {
   Rng gen_rng(99);
   const Graph g = gen::erdos_renyi(300, 10.0, gen_rng);
   const std::uint64_t seed = 4242;
+  sink.set_seed(seed);
 
   DistributedMatchingOptions clean_opt;
   const DistributedMatchingResult clean =

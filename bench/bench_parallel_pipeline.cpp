@@ -76,6 +76,7 @@ int main() {
          "serial path at every thread count");
   const bool small = std::getenv("MATCHSPARSE_BENCH_SMALL") != nullptr;
   JsonlSink sink("parallel_pipeline");
+  sink.set_seed(kSeed);
   Table table("E16  serial vs fused parallel pipeline",
               {"family", "n", "m", "delta", "path", "threads", "mark_ms",
                "csr_ms", "total_ms", "speedup", "identical"});

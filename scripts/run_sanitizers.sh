@@ -6,8 +6,10 @@
 # Usage: scripts/run_sanitizers.sh [thread|address|all]   (default: all)
 #
 # TSan covers the concurrency-bearing suites (thread pool, sharded
-# sparsifier, fused sparsify->CSR pipeline); ASan+UBSan reruns the same
-# suites for memory errors in the histogram/scatter/compaction passes.
+# sparsifier, fused sparsify->CSR pipeline, and the observability layer's
+# span recording + metrics registry, which take concurrent traffic from
+# pool workers); ASan+UBSan reruns the same suites for memory errors in
+# the histogram/scatter/compaction passes.
 set -e
 cd "$(dirname "$0")/.."
 
@@ -17,6 +19,10 @@ mode="${1:-all}"
 # every parallel-builder suite (including the determinism regressions).
 UTIL_FILTER='ThreadPool.*:ParallelFor.*'
 SPARSIFY_FILTER='ParallelPipeline.*:ParallelSparsifier.*'
+# The whole obs suite is concurrency-relevant: spans record from pool
+# workers and the registry is hammered from parallel_for in the
+# determinism test.
+OBS_FILTER='Obs*'
 
 run_one() {
   san="$1"
@@ -24,9 +30,11 @@ run_one() {
   echo "==== ${san} sanitizer ===="
   cmake -B "$dir" -S . -DMS_SANITIZE="$san" \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
-  cmake --build "$dir" --target test_util test_sparsify -j "$(nproc)"
+  cmake --build "$dir" --target test_util test_sparsify test_obs \
+    -j "$(nproc)"
   "$dir/tests/test_util" --gtest_filter="$UTIL_FILTER"
   "$dir/tests/test_sparsify" --gtest_filter="$SPARSIFY_FILTER"
+  "$dir/tests/test_obs" --gtest_filter="$OBS_FILTER"
   echo "==== ${san} sanitizer: OK ===="
 }
 

@@ -5,6 +5,7 @@
 
 #include "check/case_gen.hpp"
 #include "check/shrink.hpp"
+#include "obs/metrics.hpp"
 #include "util/common.hpp"
 #include "util/rng.hpp"
 #include "util/timer.hpp"
@@ -35,6 +36,15 @@ std::string json_escape(const std::string& s) {
     }
   }
   return out;
+}
+
+const char* status_suffix(PropertyResult::Status s) {
+  switch (s) {
+    case PropertyResult::Status::kPass: return ".pass";
+    case PropertyResult::Status::kFail: return ".fail";
+    case PropertyResult::Status::kSkip: return ".skip";
+  }
+  return ".pass";
 }
 
 const char* status_name(PropertyResult::Status s) {
@@ -71,6 +81,20 @@ void count_result(const PropertyResult& r, FuzzStats* stats) {
   }
 }
 
+/// Per-property registry accounting behind the soak summary table:
+/// "check.<property>.{pass,fail,skip}" counters and a
+/// "check.<property>.micros" wall-time histogram. Cells are heavyweight
+/// (each builds a graph and runs an oracle), so the by-name registry
+/// lookups here are noise.
+void publish_cell(const std::string& property, const PropertyResult& r,
+                  double micros) {
+  const std::string prefix = "check." + property;
+  obs::counter(prefix + status_suffix(r.status)).add(1);
+  // Corpus replays are untimed (micros == 0) and stay out of the
+  // distribution.
+  if (micros > 0.0) obs::histogram(prefix + ".micros").observe(micros);
+}
+
 }  // namespace
 
 FuzzStats run_fuzz(const FuzzOptions& opt) {
@@ -102,6 +126,7 @@ FuzzStats run_fuzz(const FuzzOptions& opt) {
         continue;
       }
       count_result(result, &stats);
+      publish_cell(name, result, 0.0);
       log_cell(opt.log, "corpus:" + path, cex.case_name, name, cex.graph,
                cex.config, result, 0.0);
       if (result.failed()) {
@@ -147,9 +172,11 @@ FuzzStats run_fuzz(const FuzzOptions& opt) {
       if (timer.seconds() >= opt.budget_seconds) break;
       WallTimer cell_timer;
       const PropertyResult result = p->check(g, cfg);
+      const double cell_micros = cell_timer.micros();
       count_result(result, &stats);
+      publish_cell(p->name, result, cell_micros);
       log_cell(opt.log, "gen", c.name, p->name, g, cfg, result,
-               cell_timer.micros());
+               cell_micros);
       if (!result.failed()) continue;
 
       if (std::find(shrunk_already.begin(), shrunk_already.end(), p->name) !=

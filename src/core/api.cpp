@@ -1,6 +1,8 @@
 #include "core/api.hpp"
 
 #include "matching/hopcroft_karp.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/thread_pool.hpp"
 #include "util/timer.hpp"
 
@@ -37,19 +39,37 @@ ApproxMatchingResult approx_maximum_matching(
   MS_CHECK_MSG(cfg.eps > 0.0 && cfg.eps < 1.0, "need 0 < eps < 1");
   ApproxMatchingResult result;
   SparsifierStats stats;
-  const Graph g_delta = build_matching_sparsifier(g, cfg, &stats);
+  Graph g_delta;
+  {
+    const obs::Span span("pipeline.sparsify");
+    g_delta = build_matching_sparsifier(g, cfg, &stats);
+  }
   result.delta = delta_for(cfg);
   result.sparsifier_edges = g_delta.num_edges();
   result.probes = stats.probes;
-  result.sparsify_seconds = stats.build_seconds;
+  result.sparsify_seconds = stats.total_seconds;
 
   WallTimer timer;
-  if (cfg.bipartite_fast_path && two_color(g_delta).bipartite) {
-    result.matching = hopcroft_karp(g_delta, hk_phases_for_eps(cfg.eps));
-  } else {
-    result.matching = approx_mcm(g_delta, cfg.eps);
+  {
+    const obs::Span span("pipeline.match");
+    if (cfg.bipartite_fast_path && two_color(g_delta).bipartite) {
+      result.matching = hopcroft_karp(g_delta, hk_phases_for_eps(cfg.eps));
+    } else {
+      result.matching = approx_mcm(g_delta, cfg.eps);
+    }
   }
   result.match_seconds = timer.seconds();
+
+  // Obs 2.10 density check: |E(G_Δ)| <= 4·|MCM|·Δ, using the computed
+  // (1+ε)-approximate matching for |MCM| (an under-estimate of |MCM|, so
+  // the published ratio is an over-estimate — conservative). Gauge < 1
+  // means the bound holds with room to spare.
+  const double matched = static_cast<double>(result.matching.size());
+  if (matched > 0.0 && result.delta > 0) {
+    obs::gauge("sparsify.edges.vs_bound")
+        .set(static_cast<double>(result.sparsifier_edges) /
+             (4.0 * matched * static_cast<double>(result.delta)));
+  }
   return result;
 }
 

@@ -62,7 +62,7 @@ struct ApproxMatchingResult {
   VertexId delta = 0;              // marks per vertex used
   EdgeIndex sparsifier_edges = 0;  // |E(G_Δ)|
   std::uint64_t probes = 0;        // adjacency entries read to build G_Δ
-  double sparsify_seconds = 0.0;
+  double sparsify_seconds = 0.0;   // end-to-end G_Δ construction
   double match_seconds = 0.0;
 };
 

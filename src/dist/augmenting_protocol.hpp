@@ -75,6 +75,7 @@ class AugmentingProtocol : public Protocol {
 
   void on_round(NodeContext& node) override;
   bool done() const override;
+  const char* name() const override { return "augmenting"; }
 
   Matching matching() const;
 

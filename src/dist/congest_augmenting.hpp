@@ -58,6 +58,7 @@ class CongestAugmentingProtocol : public Protocol {
 
   void on_round(NodeContext& node) override;
   bool done() const override;
+  const char* name() const override { return "congest_augmenting"; }
 
   Matching matching() const;
   std::size_t planned_rounds() const { return plan_rounds_; }

@@ -1,8 +1,59 @@
 #include "dist/engine.hpp"
 
 #include <algorithm>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace matchsparse::dist {
+
+namespace {
+
+/// Mirrors one run's TrafficStats deltas into the metrics registry (the
+/// façade described in the header): process-wide "dist.*" counters plus
+/// per-protocol per-round message/bit histograms. Called once per run,
+/// so plain registry lookups for the protocol-keyed names are fine; the
+/// fixed names use the cached-reference idiom.
+void publish_traffic(const char* protocol_name, const TrafficStats& s,
+                     const StreamingStats& round_msgs,
+                     const StreamingStats& round_bits) {
+  static obs::Counter& c_msgs = obs::counter("dist.msgs.sent");
+  static obs::Counter& c_bits = obs::counter("dist.bits.sent");
+  static obs::Counter& c_retx = obs::counter("dist.msgs.retransmitted");
+  static obs::Counter& c_drop = obs::counter("dist.msgs.dropped");
+  static obs::Counter& c_dup = obs::counter("dist.msgs.duplicated");
+  static obs::Counter& c_delay = obs::counter("dist.msgs.delayed");
+  static obs::Counter& c_acks = obs::counter("dist.acks.sent");
+  static obs::Counter& c_rounds = obs::counter("dist.rounds.total");
+  static obs::Counter& c_active = obs::counter("dist.rounds.active");
+  static obs::Counter& c_recov = obs::counter("dist.rounds.recovery");
+  static obs::Counter& c_crashed = obs::counter("dist.rounds.crashed_node");
+  static obs::Counter& c_runs = obs::counter("dist.runs.total");
+  static obs::Counter& c_done = obs::counter("dist.runs.completed");
+  c_msgs.add(s.messages);
+  c_bits.add(s.bits);
+  c_retx.add(s.retransmissions);
+  c_drop.add(s.dropped);
+  c_dup.add(s.duplicated);
+  c_delay.add(s.delayed);
+  c_acks.add(s.acks);
+  c_rounds.add(s.rounds);
+  c_active.add(s.active_rounds);
+  c_recov.add(s.recovery_rounds);
+  c_crashed.add(s.crashed_node_rounds);
+  c_runs.add(1);
+  if (s.completed) c_done.add(1);
+  const std::string prefix = std::string("dist.") + protocol_name;
+  obs::counter(prefix + ".msgs").add(s.messages);
+  obs::counter(prefix + ".bits").add(s.bits);
+  if (round_msgs.count() > 0) {
+    obs::histogram(prefix + ".round.msgs").merge(round_msgs);
+    obs::histogram(prefix + ".round.bits").merge(round_bits);
+  }
+}
+
+}  // namespace
 
 namespace {
 /// Substream label for the fault layer, disjoint from node substreams
@@ -169,6 +220,7 @@ void Network::collect_due_messages() {
 }
 
 TrafficStats Network::run(Protocol& protocol, std::size_t max_rounds) {
+  const obs::Span span(std::string("dist.run.") + protocol.name());
   stats_ = TrafficStats{};
   for (VertexId v = 0; v < num_nodes(); ++v) {
     inbox_[v].clear();
@@ -176,12 +228,18 @@ TrafficStats Network::run(Protocol& protocol, std::size_t max_rounds) {
     down_until_[v] = 0;
   }
 
+  // Per-round traffic distributions, accumulated locally and merged into
+  // the registry once at the end so the round loop takes no locks.
+  StreamingStats round_msgs;
+  StreamingStats round_bits;
+
   for (round_ = 0; round_ < max_rounds; ++round_) {
     if (protocol.done()) {
       stats_.completed = true;
       break;
     }
     round_messages_ = 0;
+    const std::uint64_t bits_before = stats_.bits;
     advance_crashes();
     collect_due_messages();
     for (VertexId v = 0; v < num_nodes(); ++v) {
@@ -193,12 +251,15 @@ TrafficStats Network::run(Protocol& protocol, std::size_t max_rounds) {
       protocol.on_round(ctx);
     }
     ++stats_.rounds;
+    round_msgs.add(static_cast<double>(round_messages_));
+    round_bits.add(static_cast<double>(stats_.bits - bits_before));
     if (round_messages_ > 0) ++stats_.active_rounds;
     if (plan_.can_fault() && round_ >= plan_.fault_rounds) {
       ++stats_.recovery_rounds;
     }
   }
   if (!stats_.completed && protocol.done()) stats_.completed = true;
+  publish_traffic(protocol.name(), stats_, round_msgs, round_bits);
   return stats_;
 }
 

@@ -156,8 +156,21 @@ class Protocol {
   virtual ~Protocol() = default;
   virtual void on_round(NodeContext& node) = 0;
   virtual bool done() const = 0;
+  /// Short dotted-name-safe identifier ("random_sparsifier", ...) used to
+  /// key per-protocol traffic metrics and the run span. The default keeps
+  /// ad-hoc test protocols out of everyone's way under one bucket.
+  virtual const char* name() const { return "protocol"; }
 };
 
+/// Per-run traffic ledger, returned by Network::run.
+///
+/// TrafficStats is the primary accounting surface and stays a plain
+/// value type with defaulted equality — the replay/regression tests pin
+/// executions by comparing whole structs, and that contract is frozen.
+/// The observability registry (obs/metrics.hpp) is fed as a *façade
+/// over* this ledger: run() mirrors the per-run deltas into process-wide
+/// "dist.*" counters and per-protocol round histograms after the run
+/// loop, without ever feeding back into the struct.
 struct TrafficStats {
   std::size_t rounds = 0;          // rounds executed
   std::size_t active_rounds = 0;   // rounds in which >= 1 message was sent

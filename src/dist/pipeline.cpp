@@ -4,6 +4,7 @@
 #include "dist/proposal_matching.hpp"
 #include "dist/sparsifier_protocols.hpp"
 #include "sparsify/degree_sparsifier.hpp"
+#include "obs/trace.hpp"
 #include "sparsify/sparsifier.hpp"
 
 namespace matchsparse::dist {
@@ -20,6 +21,8 @@ DistributedMatchingResult distributed_approx_matching(
   const std::size_t slack =
       opt.faults.can_fault() ? opt.fault_round_slack : 0;
 
+  const obs::Span span("dist.pipeline");
+
   // Stage 1: G_Δ in one communication round.
   result.delta =
       SparsifierParams::practical(opt.beta, stage_eps, opt.delta_scale)
@@ -27,9 +30,12 @@ DistributedMatchingResult distributed_approx_matching(
   Network net1(g, mix64(seed, 1), opt.faults);
   RandomSparsifierProtocol sparsify_protocol(g.num_vertices(), result.delta,
                                              opt.link);
-  result.stage_sparsify = net1.run(sparsify_protocol, 4 + slack);
-  const Graph g_delta =
-      Graph::from_edges(g.num_vertices(), sparsify_protocol.edges());
+  Graph g_delta;
+  {
+    const obs::Span stage("dist.stage.sparsify");
+    result.stage_sparsify = net1.run(sparsify_protocol, 4 + slack);
+    g_delta = Graph::from_edges(g.num_vertices(), sparsify_protocol.edges());
+  }
   result.sparsifier_edges = g_delta.num_edges();
 
   // Stage 2: bounded-degree sparsifier on top (arboricity(G_Δ) = O(Δ)).
@@ -38,9 +44,12 @@ DistributedMatchingResult distributed_approx_matching(
   Network net2(g_delta, mix64(seed, 2), opt.faults);
   DegreeSparsifierProtocol degree_protocol(g.num_vertices(),
                                            result.delta_alpha, opt.link);
-  result.stage_degree = net2.run(degree_protocol, 4 + slack);
-  const Graph g_bounded =
-      Graph::from_edges(g.num_vertices(), degree_protocol.edges());
+  Graph g_bounded;
+  {
+    const obs::Span stage("dist.stage.degree");
+    result.stage_degree = net2.run(degree_protocol, 4 + slack);
+    g_bounded = Graph::from_edges(g.num_vertices(), degree_protocol.edges());
+  }
   result.bounded_edges = g_bounded.num_edges();
   result.bounded_max_degree = g_bounded.max_degree();
 
@@ -52,11 +61,16 @@ DistributedMatchingResult distributed_approx_matching(
   ProposalMatchingOptions proposal_opt;
   proposal_opt.link = opt.link;
   ProposalMatchingProtocol proposal(g_bounded, proposal_opt);
-  result.stage_maximal = net3.run(proposal, opt.max_matching_rounds + slack);
+  {
+    const obs::Span stage("dist.stage.maximal");
+    result.stage_maximal =
+        net3.run(proposal, opt.max_matching_rounds + slack);
+  }
   result.maximal_stage_matching = proposal.matching();
 
   // Stage 4: bounded-length augmenting phases lift 2-approx to (1+ε).
   Network net4(g_bounded, mix64(seed, 4), opt.faults);
+  const obs::Span stage_aug("dist.stage.augment");
   if (opt.congest_augmenting) {
     CongestAugmentingOptions aug;
     aug.eps = stage_eps;

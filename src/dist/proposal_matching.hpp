@@ -70,6 +70,7 @@ class ProposalMatchingProtocol : public Protocol {
 
   void on_round(NodeContext& node) override;
   bool done() const override;
+  const char* name() const override { return "proposal_matching"; }
 
   /// The matching built so far. Only symmetric pairs (both endpoints
   /// committed) are emitted, so the result is a valid matching at any

@@ -32,6 +32,7 @@ class RandomSparsifierProtocol : public Protocol {
 
   void on_round(NodeContext& node) override;
   bool done() const override;
+  const char* name() const override { return "random_sparsifier"; }
 
   /// Canonical sparsifier edge list (valid once done()).
   EdgeList edges() const;
@@ -59,6 +60,7 @@ class BroadcastSparsifierProtocol : public Protocol {
 
   void on_round(NodeContext& node) override;
   bool done() const override;
+  const char* name() const override { return "broadcast_sparsifier"; }
 
   EdgeList edges() const;
 
@@ -84,6 +86,7 @@ class DegreeSparsifierProtocol : public Protocol {
 
   void on_round(NodeContext& node) override;
   bool done() const override;
+  const char* name() const override { return "degree_sparsifier"; }
 
   EdgeList edges() const;
 

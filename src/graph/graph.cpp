@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/trace.hpp"
 #include "util/thread_pool.hpp"
 
 namespace matchsparse {
@@ -76,61 +77,73 @@ Graph Graph::build_parallel(VertexId n,
   Graph g;
   g.offsets_.assign(static_cast<std::size_t>(n) + 1, 0);
 
+  // One span for the whole build, plus one per phase (histogram/counting,
+  // scatter, sort) — the shard scatter is the pass the sparsifier pipeline
+  // leans on, so it gets its own timing bucket in traces.
+  const obs::Span span_build("graph.csr.build");
+
   // Pass A (parallel over parts): per-part degree histograms. EdgeIndex
   // cells so the same storage can hold absolute scatter cursors later.
   std::vector<std::vector<EdgeIndex>> hist(num_parts);
-  parallel_for(pool, num_parts, [&](std::size_t s) {
-    auto& h = hist[s];
-    h.assign(n, 0);
-    if (s >= parts.size()) return;
-    for (const Edge& e : parts[s]) {
-      MS_CHECK_MSG(e.u < n && e.v < n, "edge endpoint out of range");
-      MS_CHECK_MSG(e.u != e.v, "self-loop in edge list");
-      ++h[e.u];
-      ++h[e.v];
-    }
-  });
-
-  // Pass B1 (parallel over vertex blocks): total degree per vertex.
-  parallel_for(pool, blocks, [&](std::size_t b) {
-    const auto [begin, end] = vertex_block(n, blocks, b);
-    for (VertexId v = begin; v < end; ++v) {
-      EdgeIndex d = 0;
-      for (std::size_t s = 0; s < num_parts; ++s) d += hist[s][v];
-      g.offsets_[v + 1] = d;
-    }
-  });
-
-  // Pass B2 (sequential): prefix sum — the only O(n) serial section.
-  for (VertexId v = 0; v < n; ++v) g.offsets_[v + 1] += g.offsets_[v];
-  const EdgeIndex total_arcs = g.offsets_[n];
-
-  // Pass B3 (parallel over vertex blocks): turn each histogram cell into
-  // the absolute scatter cursor for (part, vertex). Part s writes v's
-  // entries at [offsets[v] + sum of earlier parts' counts, ...), so the
-  // scatter below is race-free without atomics and the layout equals a
-  // sequential scatter of the concatenated parts.
-  parallel_for(pool, blocks, [&](std::size_t b) {
-    const auto [begin, end] = vertex_block(n, blocks, b);
-    for (VertexId v = begin; v < end; ++v) {
-      EdgeIndex run = g.offsets_[v];
-      for (std::size_t s = 0; s < num_parts; ++s) {
-        const EdgeIndex count = hist[s][v];
-        hist[s][v] = run;
-        run += count;
+  EdgeIndex total_arcs = 0;
+  {
+    const obs::Span span("graph.csr.histogram");
+    parallel_for(pool, num_parts, [&](std::size_t s) {
+      auto& h = hist[s];
+      h.assign(n, 0);
+      if (s >= parts.size()) return;
+      for (const Edge& e : parts[s]) {
+        MS_CHECK_MSG(e.u < n && e.v < n, "edge endpoint out of range");
+        MS_CHECK_MSG(e.u != e.v, "self-loop in edge list");
+        ++h[e.u];
+        ++h[e.v];
       }
-    }
-  });
+    });
+
+    // Pass B1 (parallel over vertex blocks): total degree per vertex.
+    parallel_for(pool, blocks, [&](std::size_t b) {
+      const auto [begin, end] = vertex_block(n, blocks, b);
+      for (VertexId v = begin; v < end; ++v) {
+        EdgeIndex d = 0;
+        for (std::size_t s = 0; s < num_parts; ++s) d += hist[s][v];
+        g.offsets_[v + 1] = d;
+      }
+    });
+
+    // Pass B2 (sequential): prefix sum — the only O(n) serial section.
+    for (VertexId v = 0; v < n; ++v) g.offsets_[v + 1] += g.offsets_[v];
+    total_arcs = g.offsets_[n];
+
+    // Pass B3 (parallel over vertex blocks): turn each histogram cell into
+    // the absolute scatter cursor for (part, vertex). Part s writes v's
+    // entries at [offsets[v] + sum of earlier parts' counts, ...), so the
+    // scatter below is race-free without atomics and the layout equals a
+    // sequential scatter of the concatenated parts.
+    parallel_for(pool, blocks, [&](std::size_t b) {
+      const auto [begin, end] = vertex_block(n, blocks, b);
+      for (VertexId v = begin; v < end; ++v) {
+        EdgeIndex run = g.offsets_[v];
+        for (std::size_t s = 0; s < num_parts; ++s) {
+          const EdgeIndex count = hist[s][v];
+          hist[s][v] = run;
+          run += count;
+        }
+      }
+    });
+  }
 
   // Pass C (parallel over parts): scatter through the per-part cursors.
   g.adjacency_.resize(total_arcs);
-  parallel_for(pool, parts.size(), [&](std::size_t s) {
-    auto& cursor = hist[s];
-    for (const Edge& e : parts[s]) {
-      g.adjacency_[cursor[e.u]++] = e.v;
-      g.adjacency_[cursor[e.v]++] = e.u;
-    }
-  });
+  {
+    const obs::Span span("graph.csr.scatter");
+    parallel_for(pool, parts.size(), [&](std::size_t s) {
+      auto& cursor = hist[s];
+      for (const Edge& e : parts[s]) {
+        g.adjacency_[cursor[e.u]++] = e.v;
+        g.adjacency_[cursor[e.v]++] = e.u;
+      }
+    });
+  }
   hist.clear();
   hist.shrink_to_fit();
 
@@ -140,29 +153,33 @@ Graph Graph::build_parallel(VertexId n,
       policy == DuplicatePolicy::kDedupPerVertex ? n : 0);
   std::vector<VertexId> block_max_degree(blocks, 0);
   std::vector<VertexId> block_non_isolated(blocks, 0);
-  parallel_for(pool, blocks, [&](std::size_t b) {
-    const auto [begin, end] = vertex_block(n, blocks, b);
-    for (VertexId v = begin; v < end; ++v) {
-      const auto list_begin =
-          g.adjacency_.begin() + static_cast<std::ptrdiff_t>(g.offsets_[v]);
-      const auto list_end =
-          g.adjacency_.begin() +
-          static_cast<std::ptrdiff_t>(g.offsets_[v + 1]);
-      std::sort(list_begin, list_end);
-      VertexId deg;
-      if (policy == DuplicatePolicy::kDedupPerVertex) {
-        const auto unique_end = std::unique(list_begin, list_end);
-        deg = static_cast<VertexId>(unique_end - list_begin);
-        deduped_degree[v] = deg;
-      } else {
-        MS_CHECK_MSG(std::adjacent_find(list_begin, list_end) == list_end,
-                     "duplicate edge in edge list");
-        deg = static_cast<VertexId>(list_end - list_begin);
+  {
+    const obs::Span span("graph.csr.sort");
+    parallel_for(pool, blocks, [&](std::size_t b) {
+      const auto [begin, end] = vertex_block(n, blocks, b);
+      for (VertexId v = begin; v < end; ++v) {
+        const auto list_begin =
+            g.adjacency_.begin() +
+            static_cast<std::ptrdiff_t>(g.offsets_[v]);
+        const auto list_end =
+            g.adjacency_.begin() +
+            static_cast<std::ptrdiff_t>(g.offsets_[v + 1]);
+        std::sort(list_begin, list_end);
+        VertexId deg;
+        if (policy == DuplicatePolicy::kDedupPerVertex) {
+          const auto unique_end = std::unique(list_begin, list_end);
+          deg = static_cast<VertexId>(unique_end - list_begin);
+          deduped_degree[v] = deg;
+        } else {
+          MS_CHECK_MSG(std::adjacent_find(list_begin, list_end) == list_end,
+                       "duplicate edge in edge list");
+          deg = static_cast<VertexId>(list_end - list_begin);
+        }
+        block_max_degree[b] = std::max(block_max_degree[b], deg);
+        if (deg > 0) ++block_non_isolated[b];
       }
-      block_max_degree[b] = std::max(block_max_degree[b], deg);
-      if (deg > 0) ++block_non_isolated[b];
-    }
-  });
+    });
+  }
   for (std::size_t b = 0; b < blocks; ++b) {
     g.max_degree_ = std::max(g.max_degree_, block_max_degree[b]);
     g.non_isolated_ += block_non_isolated[b];

@@ -6,6 +6,8 @@
 #include <vector>
 
 #include "matching/greedy.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace matchsparse {
 
@@ -48,6 +50,12 @@ class BoundedBlossomSolver {
 
   /// Work units consumed so far (adjacency entries scanned, roughly).
   std::uint64_t work() const { return work_; }
+
+  /// O(1) scratch-array resets performed (search-version and
+  /// blossom-version bumps) — each stands in for an O(n) clear.
+  std::uint64_t stamp_resets() const {
+    return static_cast<std::uint64_t>(version_) + blossom_version_;
+  }
 
   /// Runs one depth-limited search from `root`; augments and returns true
   /// on success.
@@ -210,6 +218,7 @@ Matching approx_mcm(const Graph& g, double eps, ApproxMcmStats* stats) {
 Matching approx_mcm(const Graph& g, double eps, Matching init,
                     ApproxMcmStats* stats) {
   MS_CHECK_MSG(init.is_valid(g), "approx_mcm: invalid initial matching");
+  const obs::Span span("matching.approx_mcm");
   // 2x slack over 2*ceil(1/eps)-1 so blossom depth bookkeeping cannot
   // prune a genuinely short augmenting path (see header).
   const VertexId cap = 2 * path_cap_for_eps(eps);
@@ -230,6 +239,16 @@ Matching approx_mcm(const Graph& g, double eps, Matching init,
       }
     }
   }
+  // Counters track the same quantities as ApproxMcmStats, aggregated
+  // process-wide; "passes" are the full sweeps over the free vertices.
+  static obs::Counter& c_passes = obs::counter("matching.aug.passes");
+  static obs::Counter& c_searches = obs::counter("matching.aug.searches");
+  static obs::Counter& c_augs = obs::counter("matching.aug.augmentations");
+  static obs::Counter& c_resets = obs::counter("matching.aug.stamp_resets");
+  c_passes.add(local.sweeps);
+  c_searches.add(local.searches);
+  c_augs.add(local.augmentations);
+  c_resets.add(solver.stamp_resets());
   if (stats != nullptr) *stats = local;
   return solver.extract();
 }

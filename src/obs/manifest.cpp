@@ -1,0 +1,67 @@
+#include "obs/manifest.hpp"
+
+#include <cstdio>
+
+#include "obs/trace.hpp"
+
+#ifndef MATCHSPARSE_GIT_DESCRIBE
+#define MATCHSPARSE_GIT_DESCRIBE "unknown"
+#endif
+
+namespace matchsparse::obs {
+
+namespace {
+
+void append_escaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+}  // namespace
+
+const char* git_describe() { return MATCHSPARSE_GIT_DESCRIBE; }
+
+std::string run_manifest_json(const RunManifest& m) {
+  std::string out = "{\"tool\":";
+  append_escaped(out, m.tool);
+  out += ",\"git\":";
+  append_escaped(out, git_describe());
+  out += ",\"obs_enabled\":";
+  out += MATCHSPARSE_OBS_ENABLED ? "true" : "false";
+  out += ",\"config\":";
+  append_escaped(out, m.config);
+  out += ",\"seed\":" + std::to_string(m.seed);
+  out += ",\"threads\":" + std::to_string(m.threads);
+  out += ",\"metrics\":" + metrics_snapshot().to_json();
+  out += ",\"spans\":" + Tracer::instance().span_summary_json();
+  out += '}';
+  return out;
+}
+
+bool write_run_manifest(const std::string& path, const RunManifest& m) {
+  const std::string json = run_manifest_json(m);
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  const bool all = written == json.size();
+  const bool closed = std::fclose(f) == 0;
+  return all && closed;
+}
+
+}  // namespace matchsparse::obs

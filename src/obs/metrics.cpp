@@ -1,0 +1,213 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+
+#include "util/common.hpp"
+
+namespace matchsparse::obs {
+
+namespace {
+
+void append_json_string(std::string& out, std::string_view s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void append_json_number(std::string& out, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  // JSON has no inf/nan literals; clamp to null (never produced by the
+  // instruments, but a gauge can be set to anything).
+  out += std::isfinite(v) ? buf : "null";
+}
+
+}  // namespace
+
+const MetricValue* MetricsSnapshot::find(std::string_view name) const {
+  const auto it = std::lower_bound(
+      metrics.begin(), metrics.end(), name,
+      [](const MetricValue& m, std::string_view n) { return m.name < n; });
+  if (it == metrics.end() || it->name != name) return nullptr;
+  return &*it;
+}
+
+std::uint64_t MetricsSnapshot::counter_value(std::string_view name) const {
+  const MetricValue* m = find(name);
+  return (m != nullptr && m->kind == MetricKind::kCounter) ? m->count : 0;
+}
+
+double MetricsSnapshot::gauge_value(std::string_view name) const {
+  const MetricValue* m = find(name);
+  return (m != nullptr && m->kind == MetricKind::kGauge) ? m->value : 0.0;
+}
+
+std::string MetricsSnapshot::to_json() const {
+  std::string out = "{";
+  bool first = true;
+  for (const MetricValue& m : metrics) {
+    if (!first) out += ',';
+    first = false;
+    append_json_string(out, m.name);
+    out += ':';
+    switch (m.kind) {
+      case MetricKind::kCounter:
+        out += std::to_string(m.count);
+        break;
+      case MetricKind::kGauge:
+        append_json_number(out, m.value);
+        break;
+      case MetricKind::kHistogram:
+        out += "{\"count\":" + std::to_string(m.count) + ",\"sum\":";
+        append_json_number(out, m.value);
+        out += ",\"mean\":";
+        append_json_number(out, m.mean);
+        out += ",\"min\":";
+        append_json_number(out, m.min);
+        out += ",\"max\":";
+        append_json_number(out, m.max);
+        out += '}';
+        break;
+    }
+  }
+  out += '}';
+  return out;
+}
+
+#if MATCHSPARSE_OBS_ENABLED
+
+void Histogram::observe(double x) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  stats_.add(x);
+}
+
+void Histogram::merge(const StreamingStats& local) {
+  if (local.count() == 0) return;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  stats_.merge(local);
+}
+
+StreamingStats Histogram::stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+void Histogram::reset() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  stats_ = StreamingStats{};
+}
+
+/// std::map keeps iteration sorted by name (snapshot determinism) and
+/// never invalidates element addresses, so returned references are
+/// stable for the process lifetime.
+struct Registry::State {
+  mutable std::mutex mutex;
+  std::map<std::string, MetricKind, std::less<>> kinds;
+  std::map<std::string, Counter, std::less<>> counters;
+  std::map<std::string, Gauge, std::less<>> gauges;
+  std::map<std::string, Histogram, std::less<>> histograms;
+
+  void check_kind(std::string_view name, MetricKind kind) {
+    const auto it = kinds.find(name);
+    if (it == kinds.end()) {
+      kinds.emplace(std::string(name), kind);
+    } else {
+      MS_CHECK_MSG(it->second == kind,
+                   "metric registered twice with different kinds");
+    }
+  }
+};
+
+Registry::Registry() : state_(std::make_unique<State>()) {}
+
+Registry& Registry::instance() {
+  // Leaked on purpose: instrumented code may run during static
+  // destruction (pool workers draining at exit) and must always have a
+  // live registry to write to.
+  static Registry* const registry = new Registry();
+  return *registry;
+}
+
+Counter& Registry::counter(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(state_->mutex);
+  state_->check_kind(name, MetricKind::kCounter);
+  return state_->counters[std::string(name)];
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(state_->mutex);
+  state_->check_kind(name, MetricKind::kGauge);
+  return state_->gauges[std::string(name)];
+}
+
+Histogram& Registry::histogram(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(state_->mutex);
+  state_->check_kind(name, MetricKind::kHistogram);
+  return state_->histograms[std::string(name)];
+}
+
+MetricsSnapshot Registry::snapshot() const {
+  const std::lock_guard<std::mutex> lock(state_->mutex);
+  MetricsSnapshot snap;
+  snap.metrics.reserve(state_->kinds.size());
+  for (const auto& [name, counter] : state_->counters) {
+    MetricValue m;
+    m.name = name;
+    m.kind = MetricKind::kCounter;
+    m.count = counter.value();
+    snap.metrics.push_back(std::move(m));
+  }
+  for (const auto& [name, gauge] : state_->gauges) {
+    MetricValue m;
+    m.name = name;
+    m.kind = MetricKind::kGauge;
+    m.value = gauge.value();
+    snap.metrics.push_back(std::move(m));
+  }
+  for (const auto& [name, histogram] : state_->histograms) {
+    const StreamingStats s = histogram.stats();
+    MetricValue m;
+    m.name = name;
+    m.kind = MetricKind::kHistogram;
+    m.count = s.count();
+    m.value = s.sum();
+    m.mean = s.mean();
+    m.min = s.min();
+    m.max = s.max();
+    snap.metrics.push_back(std::move(m));
+  }
+  std::sort(snap.metrics.begin(), snap.metrics.end(),
+            [](const MetricValue& a, const MetricValue& b) {
+              return a.name < b.name;
+            });
+  return snap;
+}
+
+void Registry::reset_all() {
+  const std::lock_guard<std::mutex> lock(state_->mutex);
+  for (auto& [name, counter] : state_->counters) counter.reset();
+  for (auto& [name, gauge] : state_->gauges) gauge.reset();
+  for (auto& [name, histogram] : state_->histograms) histogram.reset();
+}
+
+#endif  // MATCHSPARSE_OBS_ENABLED
+
+}  // namespace matchsparse::obs

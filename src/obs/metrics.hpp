@@ -1,0 +1,199 @@
+// Process-wide metrics registry — the quantitative half of the
+// observability layer (DESIGN.md §11).
+//
+// Three instrument kinds, all addressed by a dotted name following the
+// `subsystem.noun.verb-or-aspect` scheme (e.g. "sparsify.marks.total",
+// "dist.msgs.sent"):
+//
+//   Counter   — monotonically increasing uint64; a relaxed atomic add,
+//               cheap enough for per-call accounting on hot paths. The
+//               idiom for repeated sites is a function-local static
+//               reference so the name lookup happens once:
+//                 static obs::Counter& c = obs::counter("x.y.z");
+//                 c.add(n);
+//   Gauge     — a last-write-wins double (e.g. the Obs 2.10 density
+//               ratio "sparsify.edges.vs_bound").
+//   Histogram — a mutex-guarded StreamingStats; per-sample observe() or
+//               a bulk merge() of a locally accumulated StreamingStats
+//               (the pattern hot loops use so the lock is taken once).
+//
+// snapshot() returns every registered instrument sorted by name, so two
+// runs doing the same work produce byte-identical snapshots regardless
+// of thread interleaving (counters are order-independent sums).
+//
+// Compile-time gating: building with MATCHSPARSE_OBS_ENABLED=0 (CMake
+// option MATCHSPARSE_OBS=OFF) swaps every type in this header for an
+// empty inline no-op, so instrumented call sites compile to nothing —
+// no registry symbols, no atomics, no locks. The enabled and disabled
+// APIs live in distinct inline namespaces, so translation units built
+// with different settings can coexist in one binary (the unit tests use
+// this to assert the disabled API is empty).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/stats.hpp"
+
+#ifndef MATCHSPARSE_OBS_ENABLED
+#define MATCHSPARSE_OBS_ENABLED 1
+#endif
+
+namespace matchsparse::obs {
+
+enum class MetricKind { kCounter, kGauge, kHistogram };
+
+/// One exported instrument value. Counters fill `count`; gauges fill
+/// `value`; histograms fill the distribution fields plus `count`.
+struct MetricValue {
+  std::string name;
+  MetricKind kind = MetricKind::kCounter;
+  std::uint64_t count = 0;  // counter total / histogram sample count
+  double value = 0.0;       // gauge value / histogram sum
+  double mean = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
+
+/// A point-in-time copy of the registry, sorted by name.
+struct MetricsSnapshot {
+  std::vector<MetricValue> metrics;
+
+  /// Lookup by name; nullptr if the instrument was never registered.
+  const MetricValue* find(std::string_view name) const;
+  /// Counter total (or 0 when absent / not a counter).
+  std::uint64_t counter_value(std::string_view name) const;
+  /// Gauge value (or 0.0 when absent / not a gauge).
+  double gauge_value(std::string_view name) const;
+  /// One JSON object keyed by metric name; counters are bare integers,
+  /// gauges bare numbers, histograms nested objects.
+  std::string to_json() const;
+};
+
+#if MATCHSPARSE_OBS_ENABLED
+
+inline namespace enabled {
+
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+class Gauge {
+ public:
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { set(0.0); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+class Histogram {
+ public:
+  void observe(double x);
+  /// Folds a locally accumulated StreamingStats in under one lock.
+  void merge(const StreamingStats& local);
+  StreamingStats stats() const;
+  void reset();
+
+ private:
+  mutable std::mutex mutex_;
+  StreamingStats stats_;
+};
+
+/// Name → instrument map with stable addresses: a returned reference
+/// stays valid for the process lifetime, so hot paths can cache it.
+class Registry {
+ public:
+  static Registry& instance();
+
+  /// Find-or-create. Aborts (MS_CHECK) if `name` is already registered
+  /// as a different kind — one name means one instrument.
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  MetricsSnapshot snapshot() const;
+
+  /// Zeroes every registered instrument (names stay registered). Test
+  /// plumbing: production code never resets.
+  void reset_all();
+
+ private:
+  Registry();
+  struct State;
+  std::unique_ptr<State> state_;
+};
+
+inline Counter& counter(std::string_view name) {
+  return Registry::instance().counter(name);
+}
+inline Gauge& gauge(std::string_view name) {
+  return Registry::instance().gauge(name);
+}
+inline Histogram& histogram(std::string_view name) {
+  return Registry::instance().histogram(name);
+}
+inline MetricsSnapshot metrics_snapshot() {
+  return Registry::instance().snapshot();
+}
+
+}  // namespace enabled
+
+#else  // MATCHSPARSE_OBS_ENABLED == 0: header-only no-ops, no symbols.
+
+inline namespace disabled {
+
+struct Counter {
+  void add(std::uint64_t = 1) {}
+  std::uint64_t value() const { return 0; }
+  void reset() {}
+};
+
+struct Gauge {
+  void set(double) {}
+  double value() const { return 0.0; }
+  void reset() {}
+};
+
+struct Histogram {
+  void observe(double) {}
+  void merge(const StreamingStats&) {}
+  StreamingStats stats() const { return {}; }
+  void reset() {}
+};
+
+inline Counter& counter(std::string_view) {
+  static Counter c;
+  return c;
+}
+inline Gauge& gauge(std::string_view) {
+  static Gauge g;
+  return g;
+}
+inline Histogram& histogram(std::string_view) {
+  static Histogram h;
+  return h;
+}
+inline MetricsSnapshot metrics_snapshot() { return {}; }
+
+}  // namespace disabled
+
+#endif  // MATCHSPARSE_OBS_ENABLED
+
+}  // namespace matchsparse::obs

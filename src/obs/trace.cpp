@@ -1,0 +1,202 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <map>
+
+namespace matchsparse::obs {
+
+#if MATCHSPARSE_OBS_ENABLED
+
+namespace {
+
+std::uint64_t steady_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Dense thread ids: 0 for the first thread that ever opens a span
+/// (normally main), then 1, 2, ... for pool workers as they join.
+std::uint32_t current_tid() {
+  static std::atomic<std::uint32_t> next{0};
+  thread_local const std::uint32_t tid =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return tid;
+}
+
+/// Per-thread span nesting depth. Only spans that were active at
+/// construction touch it, so enable/disable races cannot unbalance it.
+thread_local std::uint32_t t_depth = 0;
+
+void append_escaped(std::string& out, std::string_view s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+bool write_file(const std::string& path, const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::size_t written =
+      std::fwrite(content.data(), 1, content.size(), f);
+  const bool ok = written == content.size() && std::fclose(f) == 0;
+  if (!ok && written != content.size()) std::fclose(f);
+  return ok;
+}
+
+}  // namespace
+
+Tracer::Tracer() : epoch_ns_(steady_ns()) {}
+
+Tracer& Tracer::instance() {
+  // Leaked for the same reason as the metrics registry: spans may close
+  // during static destruction of the shared thread pool.
+  static Tracer* const tracer = new Tracer();
+  return *tracer;
+}
+
+void Tracer::set_enabled(bool on) {
+  enabled_.store(on, std::memory_order_relaxed);
+}
+
+void Tracer::clear() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  events_.clear();
+  epoch_ns_ = steady_ns();
+}
+
+std::uint64_t Tracer::now_us() const {
+  return (steady_ns() - epoch_ns_) / 1000;
+}
+
+void Tracer::record(TraceEvent ev) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  events_.push_back(std::move(ev));
+}
+
+std::vector<TraceEvent> Tracer::events() const {
+  std::vector<TraceEvent> out;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    out = events_;
+  }
+  std::sort(out.begin(), out.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              if (a.tid != b.tid) return a.tid < b.tid;
+              if (a.ts_us != b.ts_us) return a.ts_us < b.ts_us;
+              return a.dur_us > b.dur_us;  // parents before children
+            });
+  return out;
+}
+
+std::string Tracer::write_chrome() const {
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  for (const TraceEvent& ev : events()) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":";
+    append_escaped(out, ev.name);
+    out += ",\"cat\":\"matchsparse\",\"ph\":\"X\",\"pid\":1,\"tid\":" +
+           std::to_string(ev.tid) + ",\"ts\":" + std::to_string(ev.ts_us) +
+           ",\"dur\":" + std::to_string(ev.dur_us) +
+           ",\"args\":{\"depth\":" + std::to_string(ev.depth) + "}}";
+  }
+  out += "],\"displayTimeUnit\":\"ms\"}";
+  return out;
+}
+
+std::string Tracer::write_ndjson() const {
+  std::string out;
+  for (const TraceEvent& ev : events()) {
+    out += "{\"name\":";
+    append_escaped(out, ev.name);
+    out += ",\"tid\":" + std::to_string(ev.tid) +
+           ",\"ts_us\":" + std::to_string(ev.ts_us) +
+           ",\"dur_us\":" + std::to_string(ev.dur_us) +
+           ",\"depth\":" + std::to_string(ev.depth) + "}\n";
+  }
+  return out;
+}
+
+std::string Tracer::span_summary_json() const {
+  struct Agg {
+    std::uint64_t count = 0;
+    std::uint64_t total_us = 0;
+    std::uint64_t max_us = 0;
+  };
+  std::map<std::string, Agg> by_name;
+  for (const TraceEvent& ev : events()) {
+    Agg& a = by_name[ev.name];
+    ++a.count;
+    a.total_us += ev.dur_us;
+    a.max_us = std::max(a.max_us, ev.dur_us);
+  }
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [name, a] : by_name) {
+    if (!first) out += ',';
+    first = false;
+    append_escaped(out, name);
+    out += ":{\"count\":" + std::to_string(a.count) +
+           ",\"total_us\":" + std::to_string(a.total_us) +
+           ",\"max_us\":" + std::to_string(a.max_us) + "}";
+  }
+  out += '}';
+  return out;
+}
+
+bool Tracer::export_chrome(const std::string& path) const {
+  return write_file(path, write_chrome());
+}
+
+bool Tracer::export_ndjson(const std::string& path) const {
+  return write_file(path, write_ndjson());
+}
+
+Span::Span(std::string_view name) {
+  Tracer& tracer = Tracer::instance();
+  if (!tracer.is_enabled()) return;
+  active_ = true;
+  name_ = name;
+  depth_ = t_depth++;
+  start_us_ = tracer.now_us();
+}
+
+Span::~Span() {
+  if (!active_) return;
+  --t_depth;
+  Tracer& tracer = Tracer::instance();
+  TraceEvent ev;
+  ev.name = std::move(name_);
+  ev.tid = current_tid();
+  ev.ts_us = start_us_;
+  // A clear() between begin and end moves the epoch forward; clamp so a
+  // racing span cannot record a wrapped-around duration.
+  const std::uint64_t end_us = tracer.now_us();
+  ev.dur_us = end_us >= start_us_ ? end_us - start_us_ : 0;
+  ev.depth = depth_;
+  tracer.record(std::move(ev));
+}
+
+#endif  // MATCHSPARSE_OBS_ENABLED
+
+}  // namespace matchsparse::obs

@@ -1,0 +1,153 @@
+// Structured tracing — the temporal half of the observability layer
+// (DESIGN.md §11).
+//
+// A Span is an RAII wall-clock interval: construct at the top of a phase,
+// and its lifetime is recorded as one complete event when it is
+// destroyed. Spans nest naturally (a thread-local depth counter tracks
+// the stack) and are thread-aware: every thread — including
+// default_pool() workers — gets a small dense tid the first time it
+// opens a span, so shard-level spans from the parallel pipelines land on
+// their own tracks in a trace viewer.
+//
+// Recording is globally off by default. The only cost of a span while
+// tracing is disabled is one relaxed atomic load; when enabled, the cost
+// is a clock read at each end plus one short critical section appending
+// the finished event. Spans are coarse by design (phases, stages,
+// shards, protocol runs — never per-vertex or per-message).
+//
+// Exports:
+//   write_chrome()  — Chrome trace_event JSON ("X" complete events),
+//                     loadable in chrome://tracing and Perfetto.
+//   write_ndjson()  — one JSON object per line, greppable.
+//   span_summary_json() — per-name {count, total_us, max_us} aggregate,
+//                     embedded in the run manifest (manifest.hpp).
+//
+// Compile-time gating matches metrics.hpp: MATCHSPARSE_OBS_ENABLED=0
+// turns Span into an empty struct and the Tracer into inline no-ops.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <fstream>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#ifndef MATCHSPARSE_OBS_ENABLED
+#define MATCHSPARSE_OBS_ENABLED 1
+#endif
+
+namespace matchsparse::obs {
+
+/// One finished span. Timestamps are microseconds on the steady clock,
+/// relative to the tracer's epoch (its construction, or the last
+/// clear()).
+struct TraceEvent {
+  std::string name;
+  std::uint32_t tid = 0;    // dense per-thread id, assigned on first span
+  std::uint64_t ts_us = 0;  // span begin
+  std::uint64_t dur_us = 0; // span duration
+  std::uint32_t depth = 0;  // nesting depth at begin (0 = top level)
+};
+
+#if MATCHSPARSE_OBS_ENABLED
+
+inline namespace enabled {
+
+class Tracer {
+ public:
+  static Tracer& instance();
+
+  /// Master switch; spans opened while disabled record nothing.
+  void set_enabled(bool on);
+  bool is_enabled() const {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Drops all recorded events and restarts the epoch.
+  void clear();
+
+  /// Copy of the recorded events, sorted by (tid, ts, -dur) so nested
+  /// spans follow their parents.
+  std::vector<TraceEvent> events() const;
+
+  /// Chrome trace_event JSON: {"traceEvents":[...]}.
+  std::string write_chrome() const;
+  /// One event object per line.
+  std::string write_ndjson() const;
+  /// {"<name>":{"count":N,"total_us":T,"max_us":M},...} sorted by name.
+  std::string span_summary_json() const;
+
+  /// Writes write_chrome() to `path`; false on I/O failure.
+  bool export_chrome(const std::string& path) const;
+  bool export_ndjson(const std::string& path) const;
+
+ private:
+  friend class Span;
+  Tracer();
+  std::uint64_t now_us() const;
+  void record(TraceEvent ev);
+
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mutex_;
+  std::vector<TraceEvent> events_;
+  std::uint64_t epoch_ns_ = 0;
+};
+
+class Span {
+ public:
+  explicit Span(std::string_view name);
+  ~Span();
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  std::string name_;
+  std::uint64_t start_us_ = 0;
+  std::uint32_t depth_ = 0;
+  bool active_ = false;
+};
+
+}  // namespace enabled
+
+#else  // MATCHSPARSE_OBS_ENABLED == 0
+
+inline namespace disabled {
+
+class Tracer {
+ public:
+  static Tracer& instance() {
+    static Tracer t;
+    return t;
+  }
+  void set_enabled(bool) {}
+  bool is_enabled() const { return false; }
+  void clear() {}
+  std::vector<TraceEvent> events() const { return {}; }
+  std::string write_chrome() const { return "{\"traceEvents\":[]}"; }
+  std::string write_ndjson() const { return ""; }
+  std::string span_summary_json() const { return "{}"; }
+  // Exports still succeed so --trace degrades to an empty (but valid)
+  // file instead of an error in OBS=OFF builds.
+  bool export_chrome(const std::string& path) const {
+    std::ofstream out(path);
+    if (!out) return false;
+    out << write_chrome() << '\n';
+    return static_cast<bool>(out);
+  }
+  bool export_ndjson(const std::string& path) const {
+    std::ofstream out(path);
+    return static_cast<bool>(out);
+  }
+};
+
+struct Span {
+  explicit Span(std::string_view) {}
+};
+
+}  // namespace disabled
+
+#endif  // MATCHSPARSE_OBS_ENABLED
+
+}  // namespace matchsparse::obs

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/sparse_array.hpp"
 #include "util/thread_pool.hpp"
 #include "util/timer.hpp"
@@ -10,6 +12,16 @@
 namespace matchsparse {
 
 namespace {
+
+/// Folds one marking pass into the paper-invariant counters the
+/// observability layer watches (DESIGN.md §11): marks placed and
+/// adjacency probes spent. Called once per build, never per vertex.
+void publish_mark_metrics(std::uint64_t marked, std::uint64_t probes) {
+  static obs::Counter& c_marks = obs::counter("sparsify.marks.total");
+  static obs::Counter& c_probes = obs::counter("sparsify.probes.total");
+  c_marks.add(marked);
+  c_probes.add(probes);
+}
 
 VertexId delta_from_formula(VertexId beta, double eps, double scale) {
   MS_CHECK_MSG(eps > 0.0 && eps < 1.0, "need 0 < eps < 1");
@@ -65,6 +77,7 @@ void mark_edges_sharded(const Graph& g, VertexId delta, std::uint64_t seed,
   shard_edges.assign(shards, {});
   shard_probes.assign(shards, 0);
   parallel_for(pool, shards, [&](std::size_t shard) {
+    const obs::Span span("sparsify.mark.shard");
     const VertexId begin = static_cast<VertexId>(
         (static_cast<std::uint64_t>(n) * shard) / shards);
     const VertexId end = static_cast<VertexId>(
@@ -81,11 +94,14 @@ void mark_edges_sharded(const Graph& g, VertexId delta, std::uint64_t seed,
 void fill_parallel_stats(SparsifierStats* stats,
                          const std::vector<EdgeList>& shard_edges,
                          std::vector<std::uint64_t>&& shard_probes) {
+  std::uint64_t marked = 0;
+  for (const EdgeList& shard : shard_edges) marked += shard.size();
+  std::uint64_t probes = 0;
+  for (std::uint64_t p : shard_probes) probes += p;
+  publish_mark_metrics(marked, probes);
   if (stats == nullptr) return;
-  stats->marked = 0;
-  for (const EdgeList& shard : shard_edges) stats->marked += shard.size();
-  stats->probes = 0;
-  for (std::uint64_t p : shard_probes) stats->probes += p;
+  stats->marked = marked;
+  stats->probes = probes;
   stats->shard_probes = std::move(shard_probes);
 }
 
@@ -101,8 +117,13 @@ SparsifierParams SparsifierParams::practical(VertexId beta, double eps,
 }
 
 EdgeList sparsify_edges(const Graph& g, VertexId delta, Rng& rng,
-                        ProbeMeter* meter) {
+                        ProbeMeter* meter, std::uint64_t* marked_out) {
   MS_CHECK(delta >= 1);
+  const obs::Span span("sparsify.mark");
+  // Probes are only counted when the caller meters the call: an unmetered
+  // call stays branch-free in the inner loop (and the registry probe
+  // counter simply misses what was never measured).
+  const std::uint64_t probes_before = meter != nullptr ? meter->probes() : 0;
   const VertexId n = g.num_vertices();
   EdgeList marked;
   marked.reserve(static_cast<std::size_t>(n) * std::min<VertexId>(delta, 16));
@@ -138,6 +159,10 @@ EdgeList sparsify_edges(const Graph& g, VertexId delta, Rng& rng,
     }
   }
 
+  const std::uint64_t total_marked = marked.size();
+  if (marked_out != nullptr) *marked_out = total_marked;
+  publish_mark_metrics(
+      total_marked, meter != nullptr ? meter->probes() - probes_before : 0);
   normalize_edge_list(marked);  // both endpoints may mark the same edge
   return marked;
 }
@@ -146,14 +171,22 @@ Graph sparsify(const Graph& g, VertexId delta, Rng& rng,
                SparsifierStats* stats) {
   WallTimer timer;
   ProbeMeter meter;
-  EdgeList edges = sparsify_edges(g, delta, rng, &meter);
+  std::uint64_t marked = 0;
+  EdgeList edges = sparsify_edges(g, delta, rng, &meter, &marked);
   const double mark_seconds = timer.seconds();
-  Graph result = Graph::from_edges(g.num_vertices(), edges);
+  Graph result;
+  {
+    const obs::Span span("sparsify.csr_build");
+    result = Graph::from_edges(g.num_vertices(), edges);
+  }
+  const double total_seconds = timer.seconds();
   if (stats != nullptr) {
     stats->probes = meter.probes();
+    stats->marked = marked;
     stats->edges = edges.size();
     stats->mark_seconds = mark_seconds;
-    stats->build_seconds = timer.seconds();
+    stats->build_seconds = total_seconds - mark_seconds;
+    stats->total_seconds = total_seconds;
   }
   return result;
 }
@@ -162,6 +195,7 @@ EdgeList sparsify_edges_parallel(const Graph& g, VertexId delta,
                                  std::uint64_t seed, std::size_t threads,
                                  SparsifierStats* stats) {
   MS_CHECK(delta >= 1);
+  const obs::Span span("sparsify.parallel_edges");
   WallTimer timer;
   const VertexId n = g.num_vertices();
   ThreadPool& pool = default_pool();
@@ -175,8 +209,10 @@ EdgeList sparsify_edges_parallel(const Graph& g, VertexId delta,
   mark_edges_sharded(g, delta, seed, pool, shards, /*sort_shards=*/true,
                      shard_edges, shard_probes);
   fill_parallel_stats(stats, shard_edges, std::move(shard_probes));
-  if (stats != nullptr) stats->mark_seconds = timer.seconds();
+  const double mark_seconds = timer.seconds();
+  if (stats != nullptr) stats->mark_seconds = mark_seconds;
 
+  const obs::Span merge_span("sparsify.merge");
   std::size_t total = 0;
   for (const EdgeList& shard : shard_edges) total += shard.size();
   EdgeList merged;
@@ -202,7 +238,8 @@ EdgeList sparsify_edges_parallel(const Graph& g, VertexId delta,
   merged.erase(std::unique(merged.begin(), merged.end()), merged.end());
   if (stats != nullptr) {
     stats->edges = merged.size();
-    stats->build_seconds = timer.seconds();
+    stats->total_seconds = timer.seconds();
+    stats->build_seconds = stats->total_seconds - mark_seconds;
   }
   return merged;
 }
@@ -211,6 +248,7 @@ Graph sparsify_parallel(const Graph& g, VertexId delta, std::uint64_t seed,
                         ThreadPool& pool, SparsifierStats* stats,
                         std::size_t shards) {
   MS_CHECK(delta >= 1);
+  const obs::Span span("sparsify.parallel_fused");
   WallTimer timer;
   const VertexId n = g.num_vertices();
   if (shards == 0) shards = pool.size();
@@ -224,12 +262,18 @@ Graph sparsify_parallel(const Graph& g, VertexId delta, std::uint64_t seed,
   mark_edges_sharded(g, delta, seed, pool, shards, /*sort_shards=*/false,
                      shard_edges, shard_probes);
   fill_parallel_stats(stats, shard_edges, std::move(shard_probes));
-  if (stats != nullptr) stats->mark_seconds = timer.seconds();
+  const double mark_seconds = timer.seconds();
+  if (stats != nullptr) stats->mark_seconds = mark_seconds;
 
-  Graph result = Graph::from_edge_shards_parallel(n, shard_edges, pool);
+  Graph result;
+  {
+    const obs::Span csr_span("sparsify.csr_build");
+    result = Graph::from_edge_shards_parallel(n, shard_edges, pool);
+  }
   if (stats != nullptr) {
     stats->edges = result.num_edges();
-    stats->build_seconds = timer.seconds();
+    stats->total_seconds = timer.seconds();
+    stats->build_seconds = stats->total_seconds - mark_seconds;
   }
   return result;
 }

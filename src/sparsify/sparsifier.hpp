@@ -42,13 +42,23 @@ struct SparsifierParams {
                                     double scale = 2.0);
 };
 
-/// Statistics reported by the builder.
+/// Statistics reported by the builder. The three timing fields have the
+/// same meaning on every path (serial, parallel edge-list, fused
+/// parallel CSR):
+///   mark_seconds  — the marking pass alone (sampling + dedup of the
+///                   marked edge list on the serial path);
+///   build_seconds — turning marks into the output alone (CSR
+///                   construction, or the shard merge for the edge-list
+///                   builder) — marking excluded;
+///   total_seconds — end-to-end, == mark_seconds + build_seconds up to
+///                   clock reads.
 struct SparsifierStats {
   std::uint64_t probes = 0;       // adjacency-array accesses (all shards)
   std::uint64_t marked = 0;       // marks placed (before dedup)
   std::uint64_t edges = 0;        // distinct edges in G_Δ
-  double build_seconds = 0.0;     // end-to-end (marking + normalize/CSR)
   double mark_seconds = 0.0;      // marking pass alone
+  double build_seconds = 0.0;     // CSR/merge construction alone
+  double total_seconds = 0.0;     // end-to-end
   /// Per-shard probe counts on the parallel paths (empty on the serial
   /// path); `probes` is their sum, aggregated after the join so the
   /// workers never share a counter.
@@ -57,9 +67,11 @@ struct SparsifierStats {
 
 /// Builds the marked-edge list of G_Δ. Deterministic O(n·Δ) time; the
 /// returned list is canonical (sorted, deduplicated). `meter`, if given,
-/// counts adjacency probes (degree reads and neighbor reads).
+/// counts adjacency probes (degree reads and neighbor reads);
+/// `marked_out`, if given, receives the pre-dedup mark count.
 EdgeList sparsify_edges(const Graph& g, VertexId delta, Rng& rng,
-                        ProbeMeter* meter = nullptr);
+                        ProbeMeter* meter = nullptr,
+                        std::uint64_t* marked_out = nullptr);
 
 /// Convenience: materialises G_Δ as a Graph (same vertex set as g).
 Graph sparsify(const Graph& g, VertexId delta, Rng& rng,

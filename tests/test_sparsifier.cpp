@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <set>
 
@@ -130,7 +131,11 @@ TEST(Sparsifier, StatsPopulated) {
   const Graph gd = sparsify(g, 5, s_rng, &stats);
   EXPECT_EQ(stats.edges, gd.num_edges());
   EXPECT_GT(stats.probes, 0u);
+  EXPECT_GE(stats.mark_seconds, 0.0);
   EXPECT_GE(stats.build_seconds, 0.0);
+  // total covers both phases end-to-end.
+  EXPECT_GE(stats.total_seconds,
+            std::max(stats.mark_seconds, stats.build_seconds));
 }
 
 TEST(Sparsifier, EmptyAndIsolated) {

@@ -5,6 +5,13 @@
 //   matchsparse_cli info <graph.edges>
 //   matchsparse_cli sparsify <graph.edges> <beta> <eps> <seed> <out.edges>
 //   matchsparse_cli match <graph.edges> <beta> <eps> [seed]
+//   matchsparse_cli pipeline <graph.edges> <beta> <eps> [seed]
+//
+// Global flags (any command):
+//   --trace=<file>    record tracing spans, write Chrome trace_event
+//                     JSON (load in chrome://tracing or Perfetto)
+//   --metrics=<file>  write the run manifest (git revision, config,
+//                     seed, metrics snapshot, span summary)
 //
 // Families: line, unitdisk, cliqueunion, unitint, complete (see
 // gen/families.hpp). File format: "n m" header then "u v" lines.
@@ -18,16 +25,31 @@
 #include <stdexcept>
 #include <string>
 
+#include <vector>
+
 #include "core/api.hpp"
 #include "gen/families.hpp"
 #include "graph/io.hpp"
 #include "graph/measures.hpp"
 #include "matching/greedy.hpp"
+#include "obs/manifest.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/thread_pool.hpp"
 #include "util/timer.hpp"
 
 using namespace matchsparse;
 
 namespace {
+
+/// Filled by the --trace= / --metrics= global flags and by whichever
+/// command runs (tool/config/seed/threads), then flushed by main.
+struct ObsOutputs {
+  std::string trace_path;
+  std::string metrics_path;
+  obs::RunManifest manifest;
+};
+ObsOutputs g_obs;
 
 /// Thrown on malformed command-line arguments; caught in main alongside
 /// IoError and turned into a one-line diagnostic + exit 1.
@@ -43,6 +65,9 @@ int usage() {
                "  matchsparse_cli sparsify <graph.edges> <beta> <eps> "
                "<seed> <out.edges>\n"
                "  matchsparse_cli match <graph.edges> <beta> <eps> [seed]\n"
+               "  matchsparse_cli pipeline <graph.edges> <beta> <eps> "
+               "[seed]\n"
+               "flags: --trace=<chrome.json> --metrics=<manifest.json>\n"
                "families: line unitdisk cliqueunion unitint complete\n");
   return 2;
 }
@@ -150,6 +175,9 @@ int cmd_sparsify(int argc, char** argv) {
   cfg.eps = parse_double(argv[4], "eps");
   cfg.seed = parse_u64(argv[5], "seed");
   check_config(cfg.beta, cfg.eps);
+  g_obs.manifest.seed = cfg.seed;
+  g_obs.manifest.config = "beta=" + std::to_string(cfg.beta) +
+                          " eps=" + std::to_string(cfg.eps);
   SparsifierStats stats;
   const Graph gd = build_matching_sparsifier(g, cfg, &stats);
   save_edge_list(gd, argv[6]);
@@ -160,7 +188,7 @@ int cmd_sparsify(int argc, char** argv) {
               100.0 * static_cast<double>(gd.num_edges()) /
                   static_cast<double>(std::max<EdgeIndex>(1, g.num_edges())),
               static_cast<unsigned long long>(stats.probes),
-              stats.build_seconds * 1e3);
+              stats.total_seconds * 1e3);
   return 0;
 }
 
@@ -172,6 +200,9 @@ int cmd_match(int argc, char** argv) {
   cfg.eps = parse_double(argv[4], "eps");
   if (argc == 6) cfg.seed = parse_u64(argv[5], "seed");
   check_config(cfg.beta, cfg.eps);
+  g_obs.manifest.seed = cfg.seed;
+  g_obs.manifest.config = "beta=" + std::to_string(cfg.beta) +
+                          " eps=" + std::to_string(cfg.eps);
   const auto result = approx_maximum_matching(g, cfg);
   WallTimer t;
   const Matching greedy = greedy_maximal_matching(g);
@@ -188,20 +219,106 @@ int cmd_match(int argc, char** argv) {
   return 0;
 }
 
+/// Runs the full sequential pipeline (sparsify + bounded-aug matching on
+/// the general-graph path, so the augmenting counters are exercised) and
+/// the four-stage distributed pipeline on the same instance — the
+/// one-command way to produce a trace and metrics snapshot covering
+/// every instrumented subsystem.
+int cmd_pipeline(int argc, char** argv) {
+  if (argc != 5 && argc != 6) return usage();
+  const Graph g = load_edge_list(argv[2]);
+  ApproxMatchingConfig cfg;
+  cfg.beta = parse_vertex_count(argv[3], "beta");
+  cfg.eps = parse_double(argv[4], "eps");
+  if (argc == 6) cfg.seed = parse_u64(argv[5], "seed");
+  check_config(cfg.beta, cfg.eps);
+  cfg.threads = 0;  // fused parallel sparsifier on the default pool
+  cfg.bipartite_fast_path = false;  // always exercise the general matcher
+  g_obs.manifest.seed = cfg.seed;
+  g_obs.manifest.threads = default_pool().size();
+  g_obs.manifest.config = "beta=" + std::to_string(cfg.beta) +
+                          " eps=" + std::to_string(cfg.eps);
+
+  const auto seq = approx_maximum_matching(g, cfg);
+  std::printf("sequential: %u edges matched (delta=%u, |E(G_d)|=%llu, "
+              "%.1f ms)\n",
+              seq.matching.size(), seq.delta,
+              static_cast<unsigned long long>(seq.sparsifier_edges),
+              (seq.sparsify_seconds + seq.match_seconds) * 1e3);
+
+  dist::DistributedMatchingOptions dopt;
+  dopt.beta = cfg.beta;
+  dopt.eps = cfg.eps;
+  const auto dres = dist::distributed_approx_matching(g, dopt, cfg.seed);
+  const auto& s = dres.stage_sparsify;
+  std::printf("distributed: %u edges matched (delta=%u, stage-1 traffic "
+              "%llu msgs / %llu bits)\n",
+              dres.matching.size(), dres.delta,
+              static_cast<unsigned long long>(s.messages),
+              static_cast<unsigned long long>(s.bits));
+  return 0;
+}
+
 int dispatch(int argc, char** argv) {
   if (argc < 2) return usage();
+  g_obs.manifest.tool = std::string("matchsparse_cli ") + argv[1];
   if (std::strcmp(argv[1], "gen") == 0) return cmd_gen(argc, argv);
   if (std::strcmp(argv[1], "info") == 0) return cmd_info(argc, argv);
   if (std::strcmp(argv[1], "sparsify") == 0) return cmd_sparsify(argc, argv);
   if (std::strcmp(argv[1], "match") == 0) return cmd_match(argc, argv);
+  if (std::strcmp(argv[1], "pipeline") == 0) return cmd_pipeline(argc, argv);
   return usage();
+}
+
+/// Strips --trace=/--metrics= from argv (any position) and records the
+/// paths; returns the remaining positional arguments.
+std::vector<char*> parse_obs_flags(int argc, char** argv) {
+  std::vector<char*> rest;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--trace=", 8) == 0) {
+      g_obs.trace_path = argv[i] + 8;
+      if (g_obs.trace_path.empty()) throw UsageError("--trace= needs a path");
+    } else if (std::strncmp(argv[i], "--metrics=", 10) == 0) {
+      g_obs.metrics_path = argv[i] + 10;
+      if (g_obs.metrics_path.empty()) {
+        throw UsageError("--metrics= needs a path");
+      }
+    } else {
+      rest.push_back(argv[i]);
+    }
+  }
+  return rest;
+}
+
+/// Writes whatever --trace/--metrics asked for. Failures are diagnostics,
+/// not aborts: the computation already succeeded.
+int flush_obs_outputs() {
+  int rc = 0;
+  if (!g_obs.trace_path.empty() &&
+      !obs::Tracer::instance().export_chrome(g_obs.trace_path)) {
+    std::fprintf(stderr, "matchsparse_cli: cannot write trace to %s\n",
+                 g_obs.trace_path.c_str());
+    rc = 1;
+  }
+  if (!g_obs.metrics_path.empty() &&
+      !obs::write_run_manifest(g_obs.metrics_path, g_obs.manifest)) {
+    std::fprintf(stderr, "matchsparse_cli: cannot write metrics to %s\n",
+                 g_obs.metrics_path.c_str());
+    rc = 1;
+  }
+  return rc;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   try {
-    return dispatch(argc, argv);
+    std::vector<char*> args = parse_obs_flags(argc, argv);
+    if (!g_obs.trace_path.empty()) obs::Tracer::instance().set_enabled(true);
+    const int rc =
+        dispatch(static_cast<int>(args.size()), args.data());
+    const int obs_rc = flush_obs_outputs();
+    return rc != 0 ? rc : obs_rc;
   } catch (const IoError& e) {
     std::fprintf(stderr, "matchsparse_cli: %s\n", e.what());
     return 1;

@@ -26,6 +26,7 @@
 #include "check/counterexample.hpp"
 #include "check/runner.hpp"
 #include "graph/io.hpp"
+#include "obs/metrics.hpp"
 
 using namespace matchsparse;
 
@@ -110,6 +111,33 @@ std::vector<std::string> corpus_files(const std::string& dir) {
   return files;
 }
 
+/// Per-property soak summary, read back from the metrics registry the
+/// runner populated ("check.<property>.{pass,fail,skip,micros}"). Only
+/// properties that actually ran get a row.
+void print_property_table(const obs::MetricsSnapshot& snap) {
+  bool header = false;
+  for (const check::Property& p : check::all_properties()) {
+    const std::string prefix = "check." + p.name;
+    const std::uint64_t pass = snap.counter_value(prefix + ".pass");
+    const std::uint64_t fail = snap.counter_value(prefix + ".fail");
+    const std::uint64_t skip = snap.counter_value(prefix + ".skip");
+    if (pass + fail + skip == 0) continue;
+    if (!header) {
+      std::printf("%-40s %7s %6s %5s %10s %10s %10s\n", "property", "cells",
+                  "pass", "fail", "total ms", "mean us", "max us");
+      header = true;
+    }
+    const obs::MetricValue* h = snap.find(prefix + ".micros");
+    const double total_us = h != nullptr ? h->value : 0.0;
+    std::printf("%-40s %7llu %6llu %5llu %10.1f %10.1f %10.1f\n",
+                p.name.c_str(),
+                static_cast<unsigned long long>(pass + fail + skip),
+                static_cast<unsigned long long>(pass),
+                static_cast<unsigned long long>(fail), total_us / 1e3,
+                h != nullptr ? h->mean : 0.0, h != nullptr ? h->max : 0.0);
+  }
+}
+
 int cmd_soak(const check::FuzzOptions& opt_in, const std::string& log_path) {
   check::FuzzOptions opt = opt_in;
   std::FILE* log_file = nullptr;
@@ -126,6 +154,7 @@ int cmd_soak(const check::FuzzOptions& opt_in, const std::string& log_path) {
   const check::FuzzStats stats = check::run_fuzz(opt);
   if (log_file != nullptr) std::fclose(log_file);
 
+  print_property_table(obs::metrics_snapshot());
   std::printf("fuzz: %zu graphs, %zu cells (%zu pass, %zu skip, "
               "%zu fail), %zu shrink evals\n",
               stats.graphs, stats.cells, stats.passed, stats.skipped,
