@@ -1,0 +1,99 @@
+// Run-guard overhead (google-benchmark). The acceptance bar for the
+// guard subsystem is that the DORMANT path — no guard installed, the
+// state every library user outside the CLI/service wrapper runs in —
+// costs under 2% on the bench_micro medians. These benchmarks measure
+// the primitives directly (poll dormant vs armed, MemCharge, ScopedGuard
+// install) and the end-to-end pipeline with and without an (untripped)
+// guard installed, so a regression in the poll placement or the install
+// slot shows up as a ratio, not a feeling.
+#include <benchmark/benchmark.h>
+
+#include "core/api.hpp"
+#include "gen/generators.hpp"
+#include "guard/guard.hpp"
+
+namespace matchsparse {
+namespace {
+
+/// The dormant fast path: one acquire load + branch. This is what every
+/// strided cancellation point in sparsify/CSR/matching costs when no
+/// guard is installed.
+void BM_PollDormant(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(guard::poll());
+  }
+}
+BENCHMARK(BM_PollDormant);
+
+/// An installed but untripped guard with a far deadline: adds the poll
+/// counter and a clock read.
+void BM_PollArmed(benchmark::State& state) {
+  guard::RunGuard::Limits limits;
+  limits.deadline_ms = 1e9;
+  guard::RunGuard g(limits);
+  const guard::ScopedGuard installed(g);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(guard::poll());
+  }
+}
+BENCHMARK(BM_PollArmed);
+
+void BM_ScopedGuardInstall(benchmark::State& state) {
+  guard::RunGuard g;
+  for (auto _ : state) {
+    const guard::ScopedGuard installed(g);
+    benchmark::DoNotOptimize(guard::active());
+  }
+}
+BENCHMARK(BM_ScopedGuardInstall);
+
+void BM_MemChargeArmed(benchmark::State& state) {
+  guard::RunGuard::Limits limits;
+  limits.mem_budget_bytes = 1u << 30;
+  guard::RunGuard g(limits);
+  const guard::ScopedGuard installed(g);
+  for (auto _ : state) {
+    const guard::MemCharge charge(4096, "bench array");
+    benchmark::DoNotOptimize(charge.bytes());
+  }
+}
+BENCHMARK(BM_MemChargeArmed);
+
+/// End-to-end sparsify+match, dormant vs armed-but-untripped. The two
+/// medians should be indistinguishable at the <2% level.
+Graph bench_graph() {
+  Rng rng(7);
+  return gen::unit_disk(20000, gen::unit_disk_radius_for_degree(20000, 12.0),
+                        rng);
+}
+
+void BM_PipelineDormant(benchmark::State& state) {
+  const Graph g = bench_graph();
+  ApproxMatchingConfig cfg;
+  cfg.beta = 5;
+  cfg.eps = 0.3;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(approx_maximum_matching(g, cfg).matching.size());
+  }
+}
+BENCHMARK(BM_PipelineDormant)->Unit(benchmark::kMillisecond);
+
+void BM_PipelineArmedUntripped(benchmark::State& state) {
+  const Graph g = bench_graph();
+  ApproxMatchingConfig cfg;
+  cfg.beta = 5;
+  cfg.eps = 0.3;
+  guard::RunGuard::Limits limits;
+  limits.deadline_ms = 1e9;
+  guard::RunGuard run_guard(limits);
+  const guard::ScopedGuard installed(run_guard);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(approx_maximum_matching(g, cfg).matching.size());
+  }
+}
+BENCHMARK(BM_PipelineArmedUntripped)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace matchsparse
+
+BENCHMARK_MAIN();

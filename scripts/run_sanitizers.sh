@@ -6,10 +6,10 @@
 # Usage: scripts/run_sanitizers.sh [thread|address|all]   (default: all)
 #
 # TSan covers the concurrency-bearing suites (thread pool, sharded
-# sparsifier, fused sparsify->CSR pipeline, and the observability layer's
-# span recording + metrics registry, which take concurrent traffic from
-# pool workers); ASan+UBSan reruns the same suites for memory errors in
-# the histogram/scatter/compaction passes.
+# sparsifier, fused sparsify->CSR pipeline, the observability layer's
+# span recording + metrics registry, and the run-guard's cross-thread
+# cancel/poll/budget traffic); ASan+UBSan reruns the same suites for
+# memory errors in the histogram/scatter/compaction passes.
 set -e
 cd "$(dirname "$0")/.."
 
@@ -23,6 +23,10 @@ SPARSIFY_FILTER='ParallelPipeline.*:ParallelSparsifier.*'
 # workers and the registry is hammered from parallel_for in the
 # determinism test.
 OBS_FILTER='Obs*'
+# The whole guard suite: cancel() races polling pool workers, MemCharge
+# races concurrent budget charges, and ScopedGuard install/restore is an
+# atomic exchange other threads observe mid-flight.
+GUARD_FILTER='*'
 
 run_one() {
   san="$1"
@@ -31,10 +35,11 @@ run_one() {
   cmake -B "$dir" -S . -DMS_SANITIZE="$san" \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
   cmake --build "$dir" --target test_util test_sparsify test_obs \
-    -j "$(nproc)"
+    test_guard -j "$(nproc)"
   "$dir/tests/test_util" --gtest_filter="$UTIL_FILTER"
   "$dir/tests/test_sparsify" --gtest_filter="$SPARSIFY_FILTER"
   "$dir/tests/test_obs" --gtest_filter="$OBS_FILTER"
+  "$dir/tests/test_guard" --gtest_filter="$GUARD_FILTER"
   echo "==== ${san} sanitizer: OK ===="
 }
 

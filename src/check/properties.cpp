@@ -15,6 +15,7 @@
 #include <string>
 
 #include "check/property.hpp"
+#include "core/api.hpp"
 #include "dist/engine.hpp"
 #include "dist/pipeline.hpp"
 #include "dist/sparsifier_protocols.hpp"
@@ -562,6 +563,106 @@ Result prop_mpc_machine_invariance(const Graph& g, const PropertyConfig& cfg) {
   return Result::pass();
 }
 
+
+// --------------------------------------------------------------------------
+// Run-guard: mid-run cancellation is safe and leaves no residue
+// --------------------------------------------------------------------------
+//
+// Three deterministic guarantees of the guarded entry point (DESIGN.md
+// §12), checked in sequence on one cell:
+//   1. a run cancelled at an arbitrary internal poll (picked from
+//      config.seed via the cancel_after_polls hook) returns a clean
+//      kCancelled outcome with a VALID (possibly empty) matching instead
+//      of crashing or corrupting state;
+//   2. an immediate unguarded re-run is bit-identical to a never-guarded
+//      run — cancellation left nothing behind;
+//   3. a memory budget too small for any sparsifier attempt still walks
+//      the ladder down to a valid greedy-maximal outcome.
+Result prop_guard_cancel_rerun(const Graph& g, const PropertyConfig& cfg) {
+  ApproxMatchingConfig acfg;
+  acfg.beta = std::max<VertexId>(1, cfg.beta);
+  acfg.eps = (cfg.eps > 0.0 && cfg.eps < 1.0) ? cfg.eps : 0.25;
+  acfg.seed = cfg.seed;
+  acfg.threads = 1;  // serial path: poll count is a function of (g, cfg)
+
+  const RunOutcome base = approx_maximum_matching_guarded(g, acfg);
+  if (base.status != RunStatus::kOk) {
+    return Result::fail("guarded run with no limits not ok: status=" +
+                        std::string(to_string(base.status)));
+  }
+  if (Result r = check_valid(g, base.result.matching, "guarded[base]");
+      r.failed()) {
+    return r;
+  }
+  if (base.polls == 0) {
+    return Result::skip("no poll sites reached (graph too small)");
+  }
+
+  // 1. Cancel at a seed-chosen poll — anywhere from the first CSR probe
+  // to the last augmentation step.
+  const std::uint64_t trip = 1 + mix64(cfg.seed, 0xca9ce1) % base.polls;
+  RunLimits cancel_limits;
+  cancel_limits.cancel_after_polls = trip;
+  const RunOutcome cancelled =
+      approx_maximum_matching_guarded(g, acfg, cancel_limits);
+  if (cancelled.status != RunStatus::kCancelled) {
+    return Result::fail(
+        "cancel at poll " + sz(trip) + "/" + sz(base.polls) +
+        " not reported: status=" + std::string(to_string(cancelled.status)));
+  }
+  if (!cancelled.partial || cancelled.guarantee != 0.0) {
+    return Result::fail("cancelled outcome claims a guarantee");
+  }
+  if (Result r = check_valid(g, cancelled.result.matching,
+                             "guarded[cancelled]");
+      r.failed()) {
+    return r;
+  }
+
+  // 2. Re-run bit-identity: cancellation must leave no residue.
+  const RunOutcome rerun = approx_maximum_matching_guarded(g, acfg);
+  if (rerun.status != RunStatus::kOk) {
+    return Result::fail("re-run after cancellation not ok");
+  }
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (rerun.result.matching.mate(v) != base.result.matching.mate(v)) {
+      return Result::fail("re-run after cancel diverges at vertex " +
+                          sz(v) + " (cancel poll " + sz(trip) + ")");
+    }
+  }
+  if (rerun.polls != base.polls) {
+    return Result::fail("re-run poll count diverges: " + sz(rerun.polls) +
+                        " vs " + sz(base.polls));
+  }
+
+  // 3. Budget ladder: 1 byte admits no big-array charge, so every eps
+  // rung trips and the greedy-maximal fallback (which allocates before
+  // its guard, charging nothing) must complete.
+  RunLimits budget_limits;
+  budget_limits.mem_budget_bytes = 1;
+  const RunOutcome degraded =
+      approx_maximum_matching_guarded(g, acfg, budget_limits);
+  if (g.num_edges() > 0) {
+    if (degraded.status != RunStatus::kDegradedMaximal) {
+      return Result::fail(
+          "1-byte budget did not reach the maximal fallback: status=" +
+          std::string(to_string(degraded.status)));
+    }
+    if (degraded.partial || degraded.guarantee != 2.0) {
+      return Result::fail("maximal fallback outcome inconsistent");
+    }
+  }
+  if (Result r = check_valid(g, degraded.result.matching,
+                             "guarded[degraded]");
+      r.failed()) {
+    return r;
+  }
+  if (!degraded.result.matching.is_maximal(g)) {
+    return Result::fail("guarded[degraded]: fallback matching not maximal");
+  }
+  return Result::pass();
+}
+
 std::vector<Property> build_properties() {
   return {
       {"blossom_vs_brute_force",
@@ -610,6 +711,10 @@ std::vector<Property> build_properties() {
        "MPC bottom-delta sketch pipeline invariant in machine count, vs "
        "blossom upper bound",
        prop_mpc_machine_invariance},
+      {"guard_cancel_rerun",
+       "guarded runs: seed-placed mid-run cancellation vs clean outcome + "
+       "bit-identical re-run + budget ladder fallback",
+       prop_guard_cancel_rerun},
   };
 }
 

@@ -1,5 +1,8 @@
 #include "core/api.hpp"
 
+#include <algorithm>
+
+#include "matching/greedy.hpp"
 #include "matching/hopcroft_karp.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -71,6 +74,173 @@ ApproxMatchingResult approx_maximum_matching(
              (4.0 * matched * static_cast<double>(result.delta)));
   }
   return result;
+}
+
+const char* to_string(RunStatus status) {
+  switch (status) {
+    case RunStatus::kOk:
+      return "ok";
+    case RunStatus::kDegradedEps:
+      return "degraded-eps";
+    case RunStatus::kDegradedMaximal:
+      return "degraded-maximal";
+    case RunStatus::kCancelled:
+      return "cancelled";
+    case RunStatus::kFailed:
+      return "failed";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// Greedy maximal matching with non-throwing cancellation polls, so a
+/// tripped guard yields the partial matching built so far instead of
+/// unwinding. Mirrors greedy_maximal_matching(g) exactly when no guard
+/// trips (same CSR scan order ⇒ same output).
+Matching greedy_maximal_partial(const Graph& g, bool* completed) {
+  Matching m(g.num_vertices());
+  *completed = true;
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    if ((u & 0xFF) == 0 && guard::poll()) {
+      *completed = false;
+      return m;
+    }
+    if (m.is_matched(u)) continue;
+    for (VertexId v : g.neighbors(u)) {
+      if (!m.is_matched(v)) {
+        m.match(u, v);
+        break;
+      }
+    }
+  }
+  return m;
+}
+
+void append_detail(std::string& detail, const std::string& line) {
+  if (!detail.empty()) detail += "; ";
+  detail += line;
+}
+
+}  // namespace
+
+RunOutcome approx_maximum_matching_guarded(const Graph& g,
+                                           const ApproxMatchingConfig& cfg,
+                                           const RunLimits& limits) {
+  MS_CHECK_MSG(cfg.eps > 0.0 && cfg.eps < 1.0, "need 0 < eps < 1");
+  MS_CHECK_MSG(limits.soft_deadline_frac > 0.0 &&
+                   limits.soft_deadline_frac <= 1.0,
+               "need 0 < soft_deadline_frac <= 1");
+  const obs::Span span("pipeline.guarded");
+  RunOutcome outcome;
+  WallTimer timer;
+
+  // Milliseconds left of the shared attempt window (the ε rungs share it;
+  // the maximal fallback gets a fresh window — total <= 2x deadline).
+  const auto remaining_ms = [&]() -> double {
+    if (limits.deadline_ms <= 0.0) return 0.0;  // unlimited
+    return limits.deadline_ms - timer.seconds() * 1e3;
+  };
+
+  const bool can_degrade = limits.degrade != RunLimits::Degrade::kOff;
+  double eps = cfg.eps;
+  for (int rung = 0; rung <= limits.max_eps_retries; ++rung) {
+    double attempt_ms = remaining_ms();
+    if (limits.deadline_ms > 0.0 && attempt_ms <= 0.0) break;  // window spent
+    if (rung == 0 && can_degrade && limits.deadline_ms > 0.0) {
+      // Soft deadline: cap the full-quality attempt so the ladder keeps
+      // part of the window for its coarsened retries.
+      attempt_ms *= limits.soft_deadline_frac;
+    }
+    guard::RunGuard::Limits gl;
+    gl.deadline_ms = attempt_ms;
+    gl.mem_budget_bytes = limits.mem_budget_bytes;
+    if (rung == 0) gl.cancel_after_polls = limits.cancel_after_polls;
+    guard::RunGuard run_guard(gl);
+    try {
+      ApproxMatchingConfig attempt_cfg = cfg;
+      attempt_cfg.eps = eps;
+      {
+        const guard::ScopedGuard installed(run_guard);
+        outcome.result = approx_maximum_matching(g, attempt_cfg);
+      }
+      outcome.status = rung == 0 ? RunStatus::kOk : RunStatus::kDegradedEps;
+      outcome.eps_effective = eps;
+      outcome.guarantee = 1.0 + eps;
+      outcome.size_floor =
+          maximum_matching_floor(g.num_non_isolated(), cfg.beta);
+      outcome.mem_peak_bytes = std::max(outcome.mem_peak_bytes,
+                                        run_guard.memory().peak());
+      outcome.polls += run_guard.polls();
+      if (rung > 0) {
+        append_detail(outcome.detail,
+                      "completed with coarsened eps=" + std::to_string(eps));
+      }
+      return outcome;
+    } catch (const guard::Interrupted& e) {
+      outcome.stop_reason = e.reason();
+      outcome.mem_peak_bytes = std::max(outcome.mem_peak_bytes,
+                                        run_guard.memory().peak());
+      outcome.polls += run_guard.polls();
+      append_detail(outcome.detail, e.what());
+      if (e.reason() == guard::StopReason::kCancelled) {
+        // External cancellation is a request to stop, never to retry.
+        outcome.status = RunStatus::kCancelled;
+        outcome.result = ApproxMatchingResult{};
+        outcome.result.matching = Matching(g.num_vertices());
+        outcome.partial = true;
+        return outcome;
+      }
+      if (!can_degrade) break;
+      if (eps >= 0.95) break;  // ε exhausted — on to the fallback
+      eps = std::min(2.0 * eps, 0.95);
+      static obs::Counter& c_eps = obs::counter("guard.degrade.eps");
+      c_eps.add(1);
+      append_detail(outcome.detail,
+                    "retrying with eps=" + std::to_string(eps));
+    }
+  }
+
+  if (limits.degrade != RunLimits::Degrade::kMaximal) {
+    outcome.status = RunStatus::kFailed;
+    outcome.result = ApproxMatchingResult{};
+    outcome.result.matching = Matching(g.num_vertices());
+    outcome.partial = true;
+    append_detail(outcome.detail, "degradation ladder exhausted");
+    return outcome;
+  }
+
+  // Maximal fallback: O(n + m) greedy scan on the ORIGINAL graph under a
+  // fresh full-deadline guard, polled (never thrown) so it can hand back
+  // whatever it matched when even the scan does not fit the window.
+  static obs::Counter& c_maximal = obs::counter("guard.degrade.maximal");
+  c_maximal.add(1);
+  guard::RunGuard::Limits gl;
+  gl.deadline_ms = limits.deadline_ms;
+  gl.mem_budget_bytes = limits.mem_budget_bytes;
+  guard::RunGuard run_guard(gl);
+  bool completed = false;
+  WallTimer fallback_timer;
+  {
+    const guard::ScopedGuard installed(run_guard);
+    const obs::Span fallback_span("pipeline.fallback.maximal");
+    outcome.result = ApproxMatchingResult{};
+    outcome.result.matching = greedy_maximal_partial(g, &completed);
+  }
+  outcome.result.match_seconds = fallback_timer.seconds();
+  outcome.status = RunStatus::kDegradedMaximal;
+  outcome.eps_effective = 1.0;  // maximal ⇒ 2 = (1+1)-approximation
+  outcome.partial = !completed;
+  outcome.guarantee = completed ? 2.0 : 0.0;
+  outcome.size_floor =
+      completed ? maximal_matching_floor(g.num_non_isolated(), cfg.beta) : 0;
+  outcome.mem_peak_bytes =
+      std::max(outcome.mem_peak_bytes, run_guard.memory().peak());
+  outcome.polls += run_guard.polls();
+  append_detail(outcome.detail, completed
+                                    ? "greedy maximal fallback completed"
+                                    : "greedy maximal fallback cut short");
+  return outcome;
 }
 
 }  // namespace matchsparse

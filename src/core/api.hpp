@@ -13,10 +13,13 @@
 // dynamic/window_matcher.hpp and are re-exported by this header.
 #pragma once
 
+#include <string>
+
 #include "dist/pipeline.hpp"
 #include "dynamic/window_matcher.hpp"
 #include "graph/beta.hpp"
 #include "graph/graph.hpp"
+#include "guard/guard.hpp"
 #include "matching/bounded_aug.hpp"
 #include "matching/matching.hpp"
 #include "sparsify/pipeline.hpp"
@@ -77,5 +80,101 @@ ApproxMatchingResult approx_maximum_matching(const Graph& g,
 Graph build_matching_sparsifier(const Graph& g,
                                 const ApproxMatchingConfig& cfg,
                                 SparsifierStats* stats = nullptr);
+
+// ---------------------------------------------------------------------------
+// Guarded execution: deadlines, memory budgets, graceful degradation
+// (DESIGN.md §12). approx_maximum_matching_guarded never throws on
+// resource exhaustion — it walks a degradation ladder and reports what it
+// achieved in a RunOutcome instead.
+// ---------------------------------------------------------------------------
+
+struct RunLimits {
+  /// Hard wall-clock ceiling per attempt window, in milliseconds;
+  /// 0 = unlimited. The ε-coarsening rungs share this window; the greedy
+  /// fallback gets one fresh window of its own, so the guarded call
+  /// returns within 2× this deadline in the worst case.
+  double deadline_ms = 0.0;
+  /// Fraction of the deadline granted to the full-quality first attempt
+  /// when degradation is enabled; in (0, 1]. With 0.5 and a 100 ms
+  /// deadline, the ε-ladder starts after 50 ms instead of burning the
+  /// whole window on an attempt that was never going to finish.
+  double soft_deadline_frac = 0.5;
+  /// Byte cap on concurrently charged big arrays (CSR, mark buffers);
+  /// 0 = unlimited. See guard::MemoryBudget.
+  std::uint64_t mem_budget_bytes = 0;
+  /// What to trade when a limit trips (the ladder, Thm 2.1):
+  ///   kOff     — no retries: report kFailed.
+  ///   kEps     — coarsen ε (halving Δ per doubling) and retry.
+  ///   kMaximal — kEps, then fall back to greedy maximal matching
+  ///              (2-approx when it completes; Lemma 2.2-style floor
+  ///              n'/(2β+2), see maximal_matching_floor()).
+  enum class Degrade { kOff, kEps, kMaximal };
+  Degrade degrade = Degrade::kMaximal;
+  /// Maximum ε-coarsening retries before the maximal fallback.
+  int max_eps_retries = 3;
+  /// Test hook, applied to the FIRST attempt only: trip a cancellation on
+  /// the N-th guard poll. See guard::RunGuard::Limits.
+  std::uint64_t cancel_after_polls = 0;
+};
+
+enum class RunStatus {
+  kOk,               // full-quality result within limits
+  kDegradedEps,      // finished after coarsening ε — guarantee = 1+ε_eff
+  kDegradedMaximal,  // greedy maximal fallback — guarantee = 2
+  kCancelled,        // external cancel(); result.matching may be empty
+  kFailed,           // limits exhausted and degradation off/exhausted
+};
+
+const char* to_string(RunStatus status);
+
+struct RunOutcome {
+  RunStatus status = RunStatus::kOk;
+  /// Which limit tripped first (kNone when status == kOk).
+  guard::StopReason stop_reason = guard::StopReason::kNone;
+  /// The matching and its pipeline telemetry. Always a VALID matching of
+  /// g (possibly empty when cancelled early); `partial` below says
+  /// whether the advertised guarantee applies.
+  ApproxMatchingResult result;
+  /// The ε actually achieved by the attempt that produced `result`.
+  /// 1.0 for the maximal fallback (a completed maximal matching is a
+  /// 2 = (1+1)-approximation).
+  double eps_effective = 0.0;
+  /// Multiplicative approximation guarantee of result.matching:
+  /// 1+ε_eff for sparsifier runs (w.h.p.), 2 for a completed maximal
+  /// fallback, 0 when partial (no guarantee).
+  double guarantee = 0.0;
+  /// Provable size floor for result.matching given cfg.beta (Lem 2.2 for
+  /// maximum-matching runs, the n'/(2β+2) maximal floor for the
+  /// fallback); 0 when partial.
+  VertexId size_floor = 0;
+  /// True when even the last ladder rung was cut short: result.matching
+  /// is still valid but carries no approximation guarantee.
+  bool partial = false;
+  /// Peak concurrently charged bytes across all attempts (telemetry;
+  /// see guard::MemoryBudget::peak()).
+  std::uint64_t mem_peak_bytes = 0;
+  /// Guard polls observed across all attempts. For a serial single-rung
+  /// run this is a deterministic function of (g, cfg) — the cancellation
+  /// fuzz uses it to place cancel_after_polls trip points.
+  std::uint64_t polls = 0;
+  /// Human-readable trail of what tripped and what the ladder did.
+  std::string detail;
+
+  bool ok() const { return status == RunStatus::kOk; }
+  bool degraded() const {
+    return status == RunStatus::kDegradedEps ||
+           status == RunStatus::kDegradedMaximal;
+  }
+};
+
+/// approx_maximum_matching under a run guard. Installs a guard::RunGuard
+/// scoped to each attempt, catches guard::Interrupted, and walks the
+/// degradation ladder per `limits`. Never throws for deadline/budget/
+/// cancellation; invalid configuration still MS_CHECKs. With default
+/// limits (no deadline, no budget) the output matching is bit-identical
+/// to approx_maximum_matching(g, cfg).
+RunOutcome approx_maximum_matching_guarded(const Graph& g,
+                                           const ApproxMatchingConfig& cfg,
+                                           const RunLimits& limits = {});
 
 }  // namespace matchsparse

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <string>
 
+#include "guard/guard.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -238,6 +239,12 @@ TrafficStats Network::run(Protocol& protocol, std::size_t max_rounds) {
       stats_.completed = true;
       break;
     }
+    // Per-round cancellation point. A clean break (not a throw) keeps
+    // the protocol and network destructible mid-simulation and lets the
+    // caller read the partial stats: completed stays false, which is the
+    // engine's existing "stage did not converge" signal, and the
+    // orchestrator turns it into a degraded outcome at a phase boundary.
+    if (guard::poll()) break;
     round_messages_ = 0;
     const std::uint64_t bits_before = stats_.bits;
     advance_crashes();

@@ -1,6 +1,7 @@
 #include "dist/pipeline.hpp"
 
 #include "dist/congest_augmenting.hpp"
+#include "guard/guard.hpp"
 #include "dist/proposal_matching.hpp"
 #include "dist/sparsifier_protocols.hpp"
 #include "sparsify/degree_sparsifier.hpp"
@@ -8,6 +9,19 @@
 #include "sparsify/sparsifier.hpp"
 
 namespace matchsparse::dist {
+
+namespace {
+
+/// True when an installed run-guard has tripped. The engine's round loop
+/// already broke cleanly (completed=false on that stage); the pipeline
+/// checks this at stage boundaries and returns the partial result rather
+/// than spending budget on stages whose input never converged.
+bool run_stopped() {
+  guard::RunGuard* g = guard::active();
+  return g != nullptr && g->stopped();
+}
+
+}  // namespace
 
 DistributedMatchingResult distributed_approx_matching(
     const Graph& g, const DistributedMatchingOptions& opt,
@@ -34,7 +48,22 @@ DistributedMatchingResult distributed_approx_matching(
   {
     const obs::Span stage("dist.stage.sparsify");
     result.stage_sparsify = net1.run(sparsify_protocol, 4 + slack);
-    g_delta = Graph::from_edges(g.num_vertices(), sparsify_protocol.edges());
+    // The CSR build has its own throwing cancellation points and the
+    // deadline may expire inside it — either way a tripped guard yields
+    // the partial result here instead of unwinding out of the pipeline.
+    if (run_stopped()) {
+      result.matching = Matching(g.num_vertices());
+      result.maximal_stage_matching = Matching(g.num_vertices());
+      return result;
+    }
+    try {
+      g_delta =
+          Graph::from_edges(g.num_vertices(), sparsify_protocol.edges());
+    } catch (const guard::Interrupted&) {
+      result.matching = Matching(g.num_vertices());
+      result.maximal_stage_matching = Matching(g.num_vertices());
+      return result;
+    }
   }
   result.sparsifier_edges = g_delta.num_edges();
 
@@ -48,7 +77,19 @@ DistributedMatchingResult distributed_approx_matching(
   {
     const obs::Span stage("dist.stage.degree");
     result.stage_degree = net2.run(degree_protocol, 4 + slack);
-    g_bounded = Graph::from_edges(g.num_vertices(), degree_protocol.edges());
+    if (run_stopped()) {
+      result.matching = Matching(g.num_vertices());
+      result.maximal_stage_matching = Matching(g.num_vertices());
+      return result;
+    }
+    try {
+      g_bounded =
+          Graph::from_edges(g.num_vertices(), degree_protocol.edges());
+    } catch (const guard::Interrupted&) {
+      result.matching = Matching(g.num_vertices());
+      result.maximal_stage_matching = Matching(g.num_vertices());
+      return result;
+    }
   }
   result.bounded_edges = g_bounded.num_edges();
   result.bounded_max_degree = g_bounded.max_degree();
@@ -67,6 +108,12 @@ DistributedMatchingResult distributed_approx_matching(
         net3.run(proposal, opt.max_matching_rounds + slack);
   }
   result.maximal_stage_matching = proposal.matching();
+  if (run_stopped()) {
+    // The stage-3 output is a valid matching even when the stage did not
+    // quiesce — return it as the degraded answer (2-approx at best).
+    result.matching = proposal.matching();
+    return result;
+  }
 
   // Stage 4: bounded-length augmenting phases lift 2-approx to (1+ε).
   Network net4(g_bounded, mix64(seed, 4), opt.faults);

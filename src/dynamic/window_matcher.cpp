@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "guard/guard.hpp"
+
 namespace matchsparse {
 
 WindowMatcher::WindowMatcher(VertexId n, WindowMatcherOptions opt)
@@ -113,6 +115,10 @@ void WindowMatcher::advance_pipeline() {
   // cost is bounded by the sparsifier size O(|M|·Δ).
   std::int64_t quota = static_cast<std::int64_t>(budget_);
   std::uint64_t spent = 0;
+  // Cancellation point per pipeline slice: each slice is O(budget_), so
+  // one check bounds the latency to a single update's work. Unwinding
+  // discards nothing durable — the pipeline resumes from its cursor.
+  guard::check("dynamic.pipeline.advance");
 
   // Stage A: per-vertex random edge sampling from the live graph.
   while (quota > 0 && p.cursor < p.vertices.size()) {

@@ -2,10 +2,46 @@
 
 #include <algorithm>
 
+#include "guard/guard.hpp"
 #include "obs/trace.hpp"
 #include "util/thread_pool.hpp"
 
 namespace matchsparse {
+
+namespace {
+
+/// Sort with cancellation points. A single std::sort over a few million
+/// edges is the longest non-preemptible stretch in the serial pipeline
+/// (~100+ ms), long enough to blow the guard's 2x-deadline envelope on
+/// its own — so under an installed guard the sort runs as chunked sorts
+/// plus inplace_merge passes with a check between chunks. The result is
+/// the same sorted sequence either way; the dormant path keeps the
+/// single std::sort.
+void sort_edges_preemptible(EdgeList& edges) {
+  constexpr std::size_t kChunk = 1u << 16;
+  if (guard::active() == nullptr || edges.size() <= kChunk) {
+    std::sort(edges.begin(), edges.end());
+    return;
+  }
+  for (std::size_t lo = 0; lo < edges.size(); lo += kChunk) {
+    guard::check("graph.edges.sort");
+    const std::size_t hi = std::min(lo + kChunk, edges.size());
+    std::sort(edges.begin() + static_cast<std::ptrdiff_t>(lo),
+              edges.begin() + static_cast<std::ptrdiff_t>(hi));
+  }
+  for (std::size_t width = kChunk; width < edges.size(); width *= 2) {
+    for (std::size_t lo = 0; lo + width < edges.size(); lo += 2 * width) {
+      guard::check("graph.edges.merge");
+      const std::size_t mid = lo + width;
+      const std::size_t hi = std::min(lo + 2 * width, edges.size());
+      std::inplace_merge(edges.begin() + static_cast<std::ptrdiff_t>(lo),
+                         edges.begin() + static_cast<std::ptrdiff_t>(mid),
+                         edges.begin() + static_cast<std::ptrdiff_t>(hi));
+    }
+  }
+}
+
+}  // namespace
 
 void normalize_edge_list(EdgeList& edges) {
   // Drop self-loops first: sorting entries that are discarded afterwards
@@ -15,16 +51,25 @@ void normalize_edge_list(EdgeList& edges) {
                              [](const Edge& e) { return e.u == e.v; }),
               edges.end());
   for (Edge& e : edges) e = e.normalized();
-  std::sort(edges.begin(), edges.end());
+  sort_edges_preemptible(edges);
   edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
 }
 
 Graph Graph::from_edges(VertexId n, const EdgeList& edges) {
+  guard::check("graph.csr.build");
   Graph g;
+  // Budget accounting covers the arrays that dominate the build: the
+  // offsets, the scatter cursors and the adjacency itself. Charges are
+  // released on return — the cap bounds concurrent build-time bytes.
+  const guard::MemCharge charge_offsets(
+      (static_cast<std::uint64_t>(n) + 1) * sizeof(EdgeIndex),
+      "csr offsets");
   g.offsets_.assign(static_cast<std::size_t>(n) + 1, 0);
   g.num_edges_ = edges.size();
 
+  std::size_t seen = 0;
   for (const Edge& e : edges) {
+    if ((++seen & 0xFFFF) == 0) guard::check("graph.csr.histogram");
     MS_CHECK_MSG(e.u < n && e.v < n, "edge endpoint out of range");
     MS_CHECK_MSG(e.u != e.v, "self-loop in edge list");
     ++g.offsets_[e.u + 1];
@@ -32,14 +77,22 @@ Graph Graph::from_edges(VertexId n, const EdgeList& edges) {
   }
   for (VertexId v = 0; v < n; ++v) g.offsets_[v + 1] += g.offsets_[v];
 
+  const guard::MemCharge charge_adjacency(
+      2 * static_cast<std::uint64_t>(edges.size()) * sizeof(VertexId),
+      "csr adjacency");
+  const guard::MemCharge charge_cursor(
+      static_cast<std::uint64_t>(n) * sizeof(EdgeIndex), "csr cursors");
   g.adjacency_.resize(2 * edges.size());
   std::vector<EdgeIndex> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  seen = 0;
   for (const Edge& e : edges) {
+    if ((++seen & 0xFFFF) == 0) guard::check("graph.csr.scatter");
     g.adjacency_[cursor[e.u]++] = e.v;
     g.adjacency_[cursor[e.v]++] = e.u;
   }
 
   for (VertexId v = 0; v < n; ++v) {
+    if ((v & 0xFFF) == 0) guard::check("graph.csr.sort");
     auto begin = g.adjacency_.begin() + static_cast<std::ptrdiff_t>(g.offsets_[v]);
     auto end = g.adjacency_.begin() + static_cast<std::ptrdiff_t>(g.offsets_[v + 1]);
     std::sort(begin, end);
@@ -82,6 +135,18 @@ Graph Graph::build_parallel(VertexId n,
   // leans on, so it gets its own timing bucket in traces.
   const obs::Span span_build("graph.csr.build");
 
+  // Cancellation protocol for the parallel passes: workers only ever
+  // guard::poll() and bail early (an exception escaping a pool task
+  // would std::terminate); the orchestrator calls guard::check() after
+  // each join, which throws before any partially-written pass output is
+  // consumed.
+  const guard::MemCharge charge_offsets(
+      (static_cast<std::uint64_t>(n) + 1) * sizeof(EdgeIndex),
+      "csr offsets");
+  const guard::MemCharge charge_hist(
+      static_cast<std::uint64_t>(num_parts) * n * sizeof(EdgeIndex),
+      "csr shard histograms");
+
   // Pass A (parallel over parts): per-part degree histograms. EdgeIndex
   // cells so the same storage can hold absolute scatter cursors later.
   std::vector<std::vector<EdgeIndex>> hist(num_parts);
@@ -91,17 +156,21 @@ Graph Graph::build_parallel(VertexId n,
     parallel_for(pool, num_parts, [&](std::size_t s) {
       auto& h = hist[s];
       h.assign(n, 0);
-      if (s >= parts.size()) return;
+      if (s >= parts.size() || guard::poll()) return;
+      std::size_t seen = 0;
       for (const Edge& e : parts[s]) {
+        if ((++seen & 0xFFFF) == 0 && guard::poll()) return;
         MS_CHECK_MSG(e.u < n && e.v < n, "edge endpoint out of range");
         MS_CHECK_MSG(e.u != e.v, "self-loop in edge list");
         ++h[e.u];
         ++h[e.v];
       }
     });
+    guard::check("graph.csr.histogram");
 
     // Pass B1 (parallel over vertex blocks): total degree per vertex.
     parallel_for(pool, blocks, [&](std::size_t b) {
+      if (guard::poll()) return;
       const auto [begin, end] = vertex_block(n, blocks, b);
       for (VertexId v = begin; v < end; ++v) {
         EdgeIndex d = 0;
@@ -111,6 +180,7 @@ Graph Graph::build_parallel(VertexId n,
     });
 
     // Pass B2 (sequential): prefix sum — the only O(n) serial section.
+    guard::check("graph.csr.prefix_sum");
     for (VertexId v = 0; v < n; ++v) g.offsets_[v + 1] += g.offsets_[v];
     total_arcs = g.offsets_[n];
 
@@ -120,6 +190,7 @@ Graph Graph::build_parallel(VertexId n,
     // scatter below is race-free without atomics and the layout equals a
     // sequential scatter of the concatenated parts.
     parallel_for(pool, blocks, [&](std::size_t b) {
+      if (guard::poll()) return;
       const auto [begin, end] = vertex_block(n, blocks, b);
       for (VertexId v = begin; v < end; ++v) {
         EdgeIndex run = g.offsets_[v];
@@ -133,16 +204,24 @@ Graph Graph::build_parallel(VertexId n,
   }
 
   // Pass C (parallel over parts): scatter through the per-part cursors.
+  guard::check("graph.csr.scatter");
+  const guard::MemCharge charge_adjacency(
+      static_cast<std::uint64_t>(total_arcs) * sizeof(VertexId),
+      "csr adjacency");
   g.adjacency_.resize(total_arcs);
   {
     const obs::Span span("graph.csr.scatter");
     parallel_for(pool, parts.size(), [&](std::size_t s) {
+      if (guard::poll()) return;
       auto& cursor = hist[s];
+      std::size_t seen = 0;
       for (const Edge& e : parts[s]) {
+        if ((++seen & 0xFFFF) == 0 && guard::poll()) return;
         g.adjacency_[cursor[e.u]++] = e.v;
         g.adjacency_[cursor[e.v]++] = e.u;
       }
     });
+    guard::check("graph.csr.scatter");
   }
   hist.clear();
   hist.shrink_to_fit();
@@ -158,6 +237,7 @@ Graph Graph::build_parallel(VertexId n,
     parallel_for(pool, blocks, [&](std::size_t b) {
       const auto [begin, end] = vertex_block(n, blocks, b);
       for (VertexId v = begin; v < end; ++v) {
+        if (guard::poll()) return;
         const auto list_begin =
             g.adjacency_.begin() +
             static_cast<std::ptrdiff_t>(g.offsets_[v]);
@@ -180,6 +260,7 @@ Graph Graph::build_parallel(VertexId n,
       }
     });
   }
+  guard::check("graph.csr.sort");
   for (std::size_t b = 0; b < blocks; ++b) {
     g.max_degree_ = std::max(g.max_degree_, block_max_degree[b]);
     g.non_isolated_ += block_non_isolated[b];
@@ -197,8 +278,12 @@ Graph Graph::build_parallel(VertexId n,
   }
   g.num_edges_ = final_offsets[n] / 2;
   if (final_offsets[n] != total_arcs) {
+    const guard::MemCharge charge_compacted(
+        static_cast<std::uint64_t>(final_offsets[n]) * sizeof(VertexId),
+        "csr compaction");
     std::vector<VertexId> compacted(final_offsets[n]);
     parallel_for(pool, blocks, [&](std::size_t b) {
+      if (guard::poll()) return;
       const auto [begin, end] = vertex_block(n, blocks, b);
       for (VertexId v = begin; v < end; ++v) {
         std::copy_n(g.adjacency_.begin() +
@@ -208,6 +293,7 @@ Graph Graph::build_parallel(VertexId n,
                         static_cast<std::ptrdiff_t>(final_offsets[v]));
       }
     });
+    guard::check("graph.csr.compact");
     g.adjacency_ = std::move(compacted);
   }
   g.offsets_ = std::move(final_offsets);

@@ -1,0 +1,262 @@
+// Run-guard subsystem — cooperative cancellation, deadlines, and memory
+// budgets for every execution model (DESIGN.md §12).
+//
+// The problem: a single oversized or adversarial request (huge n, tiny ε,
+// pathological β) can pin a worker or the distributed engine indefinitely.
+// The fault layer (§9) hardened the *network* and the obs layer (§11) made
+// runs *observable*; this layer bounds and aborts a run itself, so the
+// degradation ladder in core/api can trade accuracy for time instead of
+// failing (Thm 2.1 makes ε ↔ Δ a principled dial; Lem 2.2 floors the
+// maximal-matching fallback).
+//
+// Design, mirroring the obs dormant-path idiom:
+//
+//   - One process-wide installation slot (an atomic pointer). With no
+//     guard installed, guard::poll() is a single atomic pointer load and
+//     a branch — cheap enough for every-K-iterations use in the hot
+//     loops of sparsify / CSR build / augmentation / the engine's round
+//     loop, and measured <2% on bench_micro medians.
+//   - RunGuard holds the shared stop state: a sticky StopReason set by
+//     cancel() (cross-thread safe), by a hard deadline observed at a
+//     polling site, or by a MemoryBudget overrun at a charge site. The
+//     first reason wins (CAS) and is what the ladder reports.
+//   - Cancellation is COOPERATIVE and two-levelled:
+//       guard::poll()  — non-throwing "should I stop?", the only form
+//                        allowed inside thread-pool workers (an exception
+//                        escaping a pool task would std::terminate);
+//                        workers bail early and the orchestrator calls
+//       guard::check() — after the join (and at serial cancellation
+//                        points), which throws the typed Interrupted
+//                        subclass for the ladder to catch. Every path
+//                        unwinds through RAII only, so graphs, engines
+//                        and protocols stay destructible and re-runnable.
+//   - MemoryBudget is an accounting hook, not an allocator: the builders
+//     charge their big arrays (CSR offsets/adjacency, mark buffers,
+//     engine mailboxes) before allocating, via the RAII MemCharge, and
+//     release on scope exit. The cap bounds *concurrent* charged bytes;
+//     peak() is reported in the run outcome.
+//
+// Trip events (never the polls themselves — those are too hot) are
+// mirrored into obs counters: guard.trips.cancelled / .deadline /
+// .budget, and the ladder emits guard.degrade.eps / .maximal.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace matchsparse::guard {
+
+/// Why a guarded run stopped. kNone means "still running / never
+/// stopped". Sticky: the first transition away from kNone wins.
+enum class StopReason : std::uint8_t {
+  kNone = 0,
+  kCancelled,  // external cancel() — never retried by the ladder
+  kDeadline,   // hard deadline observed at a polling site
+  kBudget,     // MemoryBudget charge would exceed the cap
+};
+
+const char* to_string(StopReason reason);
+
+/// Base of the typed interruption exceptions thrown by guard::check()
+/// and MemCharge. The ladder catches this; nothing else in the library
+/// should swallow it.
+class Interrupted : public std::runtime_error {
+ public:
+  Interrupted(StopReason reason, const std::string& what)
+      : std::runtime_error(what), reason_(reason) {}
+  StopReason reason() const { return reason_; }
+
+ private:
+  StopReason reason_;
+};
+
+class Cancelled : public Interrupted {
+ public:
+  explicit Cancelled(const std::string& where)
+      : Interrupted(StopReason::kCancelled, "run cancelled at " + where) {}
+};
+
+class DeadlineExceeded : public Interrupted {
+ public:
+  explicit DeadlineExceeded(const std::string& where)
+      : Interrupted(StopReason::kDeadline, "deadline exceeded at " + where) {}
+};
+
+class BudgetExceeded : public Interrupted {
+ public:
+  BudgetExceeded(const std::string& what, std::uint64_t requested,
+                 std::uint64_t used, std::uint64_t cap)
+      : Interrupted(StopReason::kBudget,
+                    "memory budget exceeded charging " + what + ": " +
+                        std::to_string(requested) + " B requested, " +
+                        std::to_string(used) + " of " + std::to_string(cap) +
+                        " B in use") {}
+};
+
+/// Per-run byte-accounting budget. charge/release are relaxed atomics;
+/// a failed charge is rolled back, trips the owning guard (reason
+/// kBudget) and reports false — MemCharge turns that into a typed
+/// BudgetExceeded. cap == 0 means unlimited (accounting only).
+class MemoryBudget {
+ public:
+  explicit MemoryBudget(std::uint64_t cap_bytes = 0) : cap_(cap_bytes) {}
+
+  std::uint64_t cap() const { return cap_; }
+  std::uint64_t used() const { return used_.load(std::memory_order_relaxed); }
+  std::uint64_t peak() const { return peak_.load(std::memory_order_relaxed); }
+
+  /// True on success; false when the charge would exceed the cap (the
+  /// failed charge is not recorded).
+  bool try_charge(std::uint64_t bytes);
+  void release(std::uint64_t bytes);
+
+ private:
+  std::uint64_t cap_;
+  std::atomic<std::uint64_t> used_{0};
+  std::atomic<std::uint64_t> peak_{0};
+};
+
+/// The shared state of one guarded run. Construct, install with
+/// ScopedGuard, run; poll sites observe it process-wide (cross-thread by
+/// design — pool workers and a cancelling caller see the same object).
+class RunGuard {
+ public:
+  struct Limits {
+    /// Hard wall-clock ceiling in milliseconds; 0 = none. Observed at
+    /// polling sites (cooperative — no watchdog thread).
+    double deadline_ms = 0.0;
+    /// Soft deadline in milliseconds; 0 = none. Never stops the run:
+    /// soft_expired() turns true and the ladder uses it to degrade at
+    /// the next phase boundary instead of burning the hard budget.
+    double soft_deadline_ms = 0.0;
+    /// Byte cap for MemoryBudget; 0 = unlimited (accounting only).
+    std::uint64_t mem_budget_bytes = 0;
+    /// Test hook: trip kCancelled on the N-th poll (1-based); 0 = off.
+    /// Gives the cancellation fuzz a deterministic way to stop a run at
+    /// an arbitrary internal point without timing dependence.
+    std::uint64_t cancel_after_polls = 0;
+  };
+
+  RunGuard() : RunGuard(Limits()) {}
+  explicit RunGuard(const Limits& limits);
+
+  /// Cross-thread cancellation; sticky, idempotent.
+  void cancel();
+
+  StopReason stop_reason() const {
+    return static_cast<StopReason>(reason_.load(std::memory_order_relaxed));
+  }
+  bool stopped() const { return stop_reason() != StopReason::kNone; }
+
+  /// True once the soft deadline has passed (latched; false if none set).
+  bool soft_expired();
+
+  MemoryBudget& memory() { return memory_; }
+  const MemoryBudget& memory() const { return memory_; }
+
+  /// Polls observed by this guard (every poll() while installed counts;
+  /// the fuzz property uses it to size its trip-point distribution).
+  std::uint64_t polls() const { return polls_.load(std::memory_order_relaxed); }
+
+  /// The full poll: counts, applies the test hook, checks the deadline,
+  /// returns stopped(). Call through guard::poll(), not directly.
+  bool observe();
+
+  /// Internal: first-reason-wins transition + obs trip counter.
+  void trip(StopReason reason);
+
+ private:
+  std::atomic<std::uint8_t> reason_{0};
+  std::atomic<bool> soft_latched_{false};
+  std::atomic<std::uint64_t> polls_{0};
+  std::uint64_t cancel_after_polls_ = 0;
+  // Steady-clock ns timestamps; 0 = unarmed. Written once before the
+  // guard is installed, read by pollers after the release-store install.
+  std::uint64_t hard_ns_ = 0;
+  std::uint64_t soft_ns_ = 0;
+  MemoryBudget memory_;
+};
+
+namespace detail {
+/// The process-wide installation slot. Release-store on install /
+/// acquire-load in poll() so pollers always see a fully-constructed
+/// guard; on x86 both are ordinary loads/stores (the "one relaxed
+/// atomic load" dormant cost the design calls for).
+extern std::atomic<RunGuard*> g_active;
+}  // namespace detail
+
+/// Currently installed guard (nullptr when dormant).
+inline RunGuard* active() {
+  return detail::g_active.load(std::memory_order_acquire);
+}
+
+/// Installs a guard for the current scope; restores the previous one on
+/// exit (nesting is allowed — the ladder re-arms per rung). Installation
+/// is process-wide: exactly one caller at a time may run guarded (the
+/// CLI / one service worker per process), which is what keeps the
+/// dormant path a single load.
+class ScopedGuard {
+ public:
+  explicit ScopedGuard(RunGuard& g)
+      : previous_(detail::g_active.exchange(&g, std::memory_order_acq_rel)) {}
+  ~ScopedGuard() {
+    detail::g_active.store(previous_, std::memory_order_release);
+  }
+  ScopedGuard(const ScopedGuard&) = delete;
+  ScopedGuard& operator=(const ScopedGuard&) = delete;
+
+ private:
+  RunGuard* previous_;
+};
+
+/// Non-throwing cancellation point: true when the current execution
+/// should stop. The ONLY form allowed inside thread-pool workers.
+inline bool poll() noexcept {
+  RunGuard* g = active();
+  if (g == nullptr) return false;  // dormant path: one load + branch
+  return g->observe();
+}
+
+/// Throwing cancellation point for serial code and post-join orchestrator
+/// checks. `where` names the cancellation point ("sparsify.mark", ...)
+/// and lands in the exception message and the trip diagnostics.
+void check(const char* where);
+
+/// Charges `bytes` against the installed guard's memory budget (no-op
+/// when dormant), throwing BudgetExceeded on overrun; releases on scope
+/// exit. Movable so builders can return it alongside the charged array.
+class MemCharge {
+ public:
+  MemCharge() = default;
+  MemCharge(std::uint64_t bytes, const char* what);
+  ~MemCharge() { reset(); }
+
+  MemCharge(MemCharge&& other) noexcept
+      : guard_(other.guard_), bytes_(other.bytes_) {
+    other.guard_ = nullptr;
+    other.bytes_ = 0;
+  }
+  MemCharge& operator=(MemCharge&& other) noexcept {
+    if (this != &other) {
+      reset();
+      guard_ = other.guard_;
+      bytes_ = other.bytes_;
+      other.guard_ = nullptr;
+      other.bytes_ = 0;
+    }
+    return *this;
+  }
+  MemCharge(const MemCharge&) = delete;
+  MemCharge& operator=(const MemCharge&) = delete;
+
+  std::uint64_t bytes() const { return bytes_; }
+  void reset();
+
+ private:
+  RunGuard* guard_ = nullptr;
+  std::uint64_t bytes_ = 0;
+};
+
+}  // namespace matchsparse::guard

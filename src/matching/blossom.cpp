@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <queue>
 
+#include "guard/guard.hpp"
 #include "matching/greedy.hpp"
 
 namespace matchsparse {
@@ -30,6 +31,9 @@ class BlossomSolver {
 
   Matching solve() {
     for (VertexId root = 0; root < n_; ++root) {
+      // Per-search cancellation point: between searches the matching is
+      // consistent, so unwinding here leaves the solver re-runnable.
+      if ((root & 0x3F) == 0) guard::check("matching.blossom.search");
       if (match_[root] != kNoVertex) continue;
       const VertexId leaf = find_path(root);
       if (leaf != kNoVertex) augment(leaf);

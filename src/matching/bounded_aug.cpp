@@ -5,6 +5,7 @@
 #include <queue>
 #include <vector>
 
+#include "guard/guard.hpp"
 #include "matching/greedy.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -70,7 +71,10 @@ class BoundedBlossomSolver {
       queue.pop();
       const VertexId dv = depth_[v];
       for (VertexId to : g_.neighbors(v)) {
-        ++work_;
+        // Cancellation point: callers are serial, and unwinding here is
+        // safe — the matching is only mutated by augment(), and the
+        // version-stamped scratch self-invalidates on the next search.
+        if ((++work_ & 0x3FF) == 0) guard::check("matching.aug.search");
         if (base_of(v) == base_of(to) || match_[v] == to) continue;
         if (to == root || (match_[to] != kNoVertex && has_parent(match_[to]))) {
           if (dv + 2 > depth_cap_) continue;  // contraction work bound
@@ -231,6 +235,7 @@ Matching approx_mcm(const Graph& g, double eps, Matching init,
     progress = false;
     ++local.sweeps;
     for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      if ((v & 0xFF) == 0) guard::check("matching.aug.sweep");
       if (solver.mate(v) != kNoVertex || g.degree(v) == 0) continue;
       ++local.searches;
       if (solver.try_augment(v)) {
@@ -317,7 +322,11 @@ ResumableApproxMcm& ResumableApproxMcm::operator=(
 
 std::uint64_t ResumableApproxMcm::advance(std::uint64_t budget) {
   const std::uint64_t start = impl_->total_work();
+  std::uint64_t steps = 0;
   while (impl_->phase != 2 && impl_->total_work() - start < budget) {
+    // Per-slice cancellation point on top of the per-search checks
+    // inside the solver (greedy-phase steps never enter the solver).
+    if ((++steps & 0x3FF) == 0) guard::check("matching.aug.resume");
     impl_->step();
   }
   return impl_->total_work() - start;

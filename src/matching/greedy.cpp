@@ -43,4 +43,18 @@ Matching greedy_on_edge_list(VertexId n, const EdgeList& edges) {
   return m;
 }
 
+namespace {
+VertexId ceil_div(VertexId a, VertexId b) { return (a + b - 1) / b; }
+}  // namespace
+
+VertexId maximum_matching_floor(VertexId non_isolated, VertexId beta) {
+  if (non_isolated == 0) return 0;
+  return ceil_div(non_isolated, beta + 2);
+}
+
+VertexId maximal_matching_floor(VertexId non_isolated, VertexId beta) {
+  if (non_isolated == 0) return 0;
+  return ceil_div(non_isolated, 2 * beta + 2);
+}
+
 }  // namespace matchsparse

@@ -21,4 +21,21 @@ Matching greedy_maximal_matching(const Graph& g, Rng& rng);
 /// materialised as graphs.
 Matching greedy_on_edge_list(VertexId n, const EdgeList& edges);
 
+/// Lemma 2.2 size floor for MAXIMUM matchings: on a graph with
+/// neighborhood independence number beta and `non_isolated` vertices of
+/// degree >= 1, every maximum matching has size >= non_isolated/(beta+2).
+/// Returned as the integer ceiling (|M| is integral).
+VertexId maximum_matching_floor(VertexId non_isolated, VertexId beta);
+
+/// The analogous provable floor for MAXIMAL matchings:
+/// |M| >= non_isolated/(2*beta+2). Derivation: the unmatched non-isolated
+/// vertices form an independent set (maximality), every one of them has a
+/// matched neighbor, and a matched vertex has at most beta independent
+/// neighbors — so 2*beta*|M| + 2*|M| covers all non-isolated vertices.
+/// Note the stronger Lemma 2.2 bound n'/(beta+2) does NOT hold for
+/// arbitrary maximal matchings (double-star counterexample: one edge with
+/// beta pendant leaves on each endpoint), which is why the degradation
+/// ladder advertises this weaker floor for its greedy fallback.
+VertexId maximal_matching_floor(VertexId non_isolated, VertexId beta);
+
 }  // namespace matchsparse

@@ -4,6 +4,8 @@
 #include <limits>
 #include <queue>
 
+#include "guard/guard.hpp"
+
 namespace matchsparse {
 
 Bipartition two_color(const Graph& g) {
@@ -53,6 +55,8 @@ class HopcroftKarp {
   Matching run(int max_phases) {
     int phases = 0;
     while (max_phases < 0 || phases < max_phases) {
+      // Per-phase cancellation point; phases leave mate_ consistent.
+      guard::check("matching.hk.phase");
       if (!bfs()) break;
       for (VertexId v = 0; v < n_; ++v) {
         if (side_[v] == 0 && mate_[v] == kNoVertex) dfs(v);

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "guard/guard.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/sparse_array.hpp"
@@ -23,6 +24,20 @@ void publish_mark_metrics(std::uint64_t marked, std::uint64_t probes) {
   c_probes.add(probes);
 }
 
+/// Debug-mode enforcement of the SparsifierStats timing contract
+/// documented on the struct: the phase timings partition the end-to-end
+/// time, so mark + build <= total (up to clock reads; the slack covers
+/// float rounding of back-to-back timer.seconds() calls).
+void debug_check_time_contract(const SparsifierStats* stats) {
+  if (stats == nullptr) return;
+  MS_DCHECK(stats->mark_seconds >= 0.0 && stats->build_seconds >= 0.0);
+  MS_DCHECK(stats->mark_seconds + stats->build_seconds <=
+            stats->total_seconds + 1e-9);
+#ifdef NDEBUG
+  (void)stats;
+#endif
+}
+
 VertexId delta_from_formula(VertexId beta, double eps, double scale) {
   MS_CHECK_MSG(eps > 0.0 && eps < 1.0, "need 0 < eps < 1");
   MS_CHECK(beta >= 1);
@@ -38,6 +53,10 @@ void mark_vertex_range(const Graph& g, VertexId delta, std::uint64_t seed,
                        VertexId begin, VertexId end, EdgeList& out,
                        SparseArray<EdgeIndex>& pos, ProbeMeter* meter) {
   for (VertexId v = begin; v < end; ++v) {
+    // Cancellation point (non-throwing: this runs on pool workers). A
+    // bailed shard leaves a short edge list behind; the orchestrator
+    // guard::check()s after the join, before any merge consumes it.
+    if ((v & 0xFF) == 0 && guard::poll()) return;
     const VertexId deg = g.degree(v, meter);
     if (deg == 0) continue;
     if (deg <= 2 * delta) {
@@ -89,6 +108,7 @@ void mark_edges_sharded(const Graph& g, VertexId delta, std::uint64_t seed,
     shard_probes[shard] = meter.probes();
     if (sort_shards) std::sort(out.begin(), out.end());
   });
+  guard::check("sparsify.mark");
 }
 
 void fill_parallel_stats(SparsifierStats* stats,
@@ -126,13 +146,19 @@ EdgeList sparsify_edges(const Graph& g, VertexId delta, Rng& rng,
   const std::uint64_t probes_before = meter != nullptr ? meter->probes() : 0;
   const VertexId n = g.num_vertices();
   EdgeList marked;
-  marked.reserve(static_cast<std::size_t>(n) * std::min<VertexId>(delta, 16));
+  const std::size_t reserve_marks =
+      static_cast<std::size_t>(n) * std::min<VertexId>(delta, 16);
+  const guard::MemCharge charge_marks(
+      static_cast<std::uint64_t>(reserve_marks) * sizeof(Edge),
+      "sparsifier mark buffer");
+  marked.reserve(reserve_marks);
 
   // One sparse position array reused across vertices: reset() is O(1), so
   // per-vertex cost stays O(Δ) no matter how large the degrees are.
   SparseArray<EdgeIndex> pos(g.max_degree());
 
   for (VertexId v = 0; v < n; ++v) {
+    if ((v & 0xFF) == 0) guard::check("sparsify.mark");
     const VertexId deg = g.degree(v, meter);
     if (deg == 0) continue;
     if (deg <= 2 * delta) {
@@ -188,6 +214,7 @@ Graph sparsify(const Graph& g, VertexId delta, Rng& rng,
     stats->build_seconds = total_seconds - mark_seconds;
     stats->total_seconds = total_seconds;
   }
+  debug_check_time_contract(stats);
   return result;
 }
 
@@ -241,6 +268,7 @@ EdgeList sparsify_edges_parallel(const Graph& g, VertexId delta,
     stats->total_seconds = timer.seconds();
     stats->build_seconds = stats->total_seconds - mark_seconds;
   }
+  debug_check_time_contract(stats);
   return merged;
 }
 
@@ -275,6 +303,7 @@ Graph sparsify_parallel(const Graph& g, VertexId delta, std::uint64_t seed,
     stats->total_seconds = timer.seconds();
     stats->build_seconds = stats->total_seconds - mark_seconds;
   }
+  debug_check_time_contract(stats);
   return result;
 }
 

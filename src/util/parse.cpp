@@ -1,0 +1,67 @@
+#include "util/parse.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+
+namespace matchsparse {
+
+std::optional<std::uint64_t> parse_u64(std::string_view s) {
+  if (s.empty()) return std::nullopt;
+  // from_chars already rejects '+' and whitespace for unsigned types, but
+  // accepts nothing we want to forbid beyond partial consumption.
+  std::uint64_t value = 0;
+  const char* begin = s.data();
+  const char* end = s.data() + s.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc() || ptr != end) return std::nullopt;
+  return value;
+}
+
+std::optional<double> parse_double(std::string_view s) {
+  if (s.empty()) return std::nullopt;
+  // Forbid what from_chars would accept but a CLI number should not be:
+  // "inf", "nan" (and their case variants) read as words, not numbers.
+  for (char c : s) {
+    if (std::isalpha(static_cast<unsigned char>(c)) && c != 'e' &&
+        c != 'E') {
+      return std::nullopt;
+    }
+  }
+  double value = 0.0;
+  const char* begin = s.data();
+  const char* end = s.data() + s.size();
+  const auto [ptr, ec] =
+      std::from_chars(begin, end, value, std::chars_format::general);
+  if (ec != std::errc() || ptr != end) return std::nullopt;
+  if (!std::isfinite(value)) return std::nullopt;
+  return value;
+}
+
+std::optional<std::uint64_t> parse_bytes(std::string_view s) {
+  if (s.empty()) return std::nullopt;
+  std::uint64_t shift = 0;
+  switch (s.back()) {
+    case 'k':
+    case 'K':
+      shift = 10;
+      break;
+    case 'm':
+    case 'M':
+      shift = 20;
+      break;
+    case 'g':
+    case 'G':
+      shift = 30;
+      break;
+    default:
+      break;
+  }
+  if (shift != 0) s.remove_suffix(1);
+  const std::optional<std::uint64_t> base = parse_u64(s);
+  if (!base.has_value()) return std::nullopt;
+  if (shift != 0 && *base > (UINT64_MAX >> shift)) return std::nullopt;
+  return *base << shift;
+}
+
+}  // namespace matchsparse

@@ -1,0 +1,34 @@
+// Strict, locale-independent numeric parsing (std::from_chars).
+//
+// The CLI historically parsed numbers with std::stoull/std::stod, which
+// accept leading whitespace, a leading '+', and — for stod — honor the
+// global C locale (so "0,5" parses as 0 under some locales and 0.5 under
+// others). Every flag and positional number now routes through these
+// helpers instead: the ENTIRE string must be consumed, no leading or
+// trailing characters of any kind, '.' is always the decimal separator.
+//
+// Returns std::nullopt on any violation; callers attach their own
+// diagnostics (the CLI throws UsageError naming the offending argument).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace matchsparse {
+
+/// Non-negative decimal integer. Rejects empty strings, signs (+/-),
+/// whitespace, trailing garbage, and values that overflow uint64.
+std::optional<std::uint64_t> parse_u64(std::string_view s);
+
+/// Floating-point number in fixed or scientific notation; optional
+/// leading '-'. Rejects empty strings, whitespace, trailing garbage,
+/// hex floats, and "inf"/"nan".
+std::optional<double> parse_double(std::string_view s);
+
+/// Byte count: a parse_u64 value with an optional one-letter binary
+/// suffix k/m/g (case-insensitive, KiB/MiB/GiB multipliers). "64m" =
+/// 64 * 2^20. Rejects overflow of the multiplied value.
+std::optional<std::uint64_t> parse_bytes(std::string_view s);
+
+}  // namespace matchsparse

@@ -1,0 +1,63 @@
+// SparsifierStats timing contract: the documented invariant is that the
+// phase timings partition the end-to-end time — mark_seconds +
+// build_seconds <= total_seconds (and every term is non-negative). The
+// builders enforce it with a debug-mode check; these tests pin it for
+// the serial and the fused parallel path so a refactor that, say, starts
+// the total timer after the mark pass fails loudly in CI instead of
+// silently publishing build_seconds > total_seconds.
+#include <gtest/gtest.h>
+
+#include "gen/generators.hpp"
+#include "sparsify/sparsifier.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace matchsparse {
+namespace {
+
+Graph instance(VertexId n, std::uint64_t seed) {
+  Rng rng(seed);
+  return gen::unit_disk(n, gen::unit_disk_radius_for_degree(n, 10.0), rng);
+}
+
+void expect_contract(const SparsifierStats& stats, const char* who) {
+  EXPECT_GE(stats.mark_seconds, 0.0) << who;
+  EXPECT_GE(stats.build_seconds, 0.0) << who;
+  EXPECT_GE(stats.total_seconds, 0.0) << who;
+  EXPECT_LE(stats.mark_seconds + stats.build_seconds,
+            stats.total_seconds + 1e-9)
+      << who << ": mark=" << stats.mark_seconds
+      << " build=" << stats.build_seconds
+      << " total=" << stats.total_seconds;
+}
+
+TEST(SparsifierStatsContract, SerialPathPartitionsTotalTime) {
+  const Graph g = instance(2000, 17);
+  Rng rng(99);
+  SparsifierStats stats;
+  const Graph gd = sparsify(g, 8, rng, &stats);
+  EXPECT_GT(gd.num_edges(), 0u);
+  EXPECT_GT(stats.total_seconds, 0.0);
+  expect_contract(stats, "serial sparsify");
+}
+
+TEST(SparsifierStatsContract, FusedParallelPathPartitionsTotalTime) {
+  const Graph g = instance(2000, 17);
+  ThreadPool pool(4);
+  SparsifierStats stats;
+  const Graph gd = sparsify_parallel(g, 8, 99, pool, &stats, 4);
+  EXPECT_GT(gd.num_edges(), 0u);
+  EXPECT_GT(stats.total_seconds, 0.0);
+  expect_contract(stats, "fused parallel sparsify");
+}
+
+TEST(SparsifierStatsContract, ParallelEdgeListPathPartitionsTotalTime) {
+  const Graph g = instance(2000, 17);
+  SparsifierStats stats;
+  const EdgeList edges = sparsify_edges_parallel(g, 8, 99, 4, &stats);
+  EXPECT_GT(edges.size(), 0u);
+  expect_contract(stats, "parallel sparsify_edges");
+}
+
+}  // namespace
+}  // namespace matchsparse

@@ -13,6 +13,15 @@
 //   --metrics=<file>  write the run manifest (git revision, config,
 //                     seed, metrics snapshot, span summary)
 //
+// Run-guard flags (match and pipeline; see DESIGN.md §12):
+//   --deadline-ms=<ms>   hard wall-clock budget; the degradation ladder
+//                        trades ε for time instead of overrunning
+//   --mem-budget=<bytes> cap on concurrently charged big arrays; accepts
+//                        k/m/g binary suffixes ("512m")
+//   --degrade=off|eps|maximal   ladder policy (default maximal)
+// A degraded run still exits 0 and reports the achieved guarantee; only
+// failed/cancelled runs exit 3.
+//
 // Families: line, unitdisk, cliqueunion, unitint, complete (see
 // gen/families.hpp). File format: "n m" header then "u v" lines.
 //
@@ -35,6 +44,7 @@
 #include "obs/manifest.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "util/parse.hpp"
 #include "util/thread_pool.hpp"
 #include "util/timer.hpp"
 
@@ -50,6 +60,13 @@ struct ObsOutputs {
   obs::RunManifest manifest;
 };
 ObsOutputs g_obs;
+
+/// Filled by the --deadline-ms= / --mem-budget= / --degrade= flags.
+struct GuardFlags {
+  RunLimits limits;
+  bool any = false;  // guarded execution only when a guard flag is given
+};
+GuardFlags g_guard;
 
 /// Thrown on malformed command-line arguments; caught in main alongside
 /// IoError and turned into a one-line diagnostic + exit 1.
@@ -68,22 +85,19 @@ int usage() {
                "  matchsparse_cli pipeline <graph.edges> <beta> <eps> "
                "[seed]\n"
                "flags: --trace=<chrome.json> --metrics=<manifest.json>\n"
+               "       --deadline-ms=<ms> --mem-budget=<bytes[k|m|g]> "
+               "--degrade=off|eps|maximal\n"
                "families: line unitdisk cliqueunion unitint complete\n");
   return 2;
 }
 
-// Strict numeric parsers: the whole argument must parse (no trailing
-// junk, no silent atoi-style zero on garbage).
+// Strict numeric parsers: thin UsageError wrappers over util/parse.hpp
+// (std::from_chars — the whole argument must parse; no whitespace, signs
+// on integers, locale-dependent separators, or trailing junk).
 
 std::uint64_t parse_u64(const char* arg, const char* what) {
-  try {
-    std::size_t used = 0;
-    const std::string s(arg);
-    const std::uint64_t value = std::stoull(s, &used);
-    if (used == s.size() && s[0] != '-') return value;
-  } catch (const std::exception&) {
-    // fall through to the shared diagnostic
-  }
+  const auto value = matchsparse::parse_u64(arg);
+  if (value.has_value()) return *value;
   throw UsageError(std::string(what) + " must be a non-negative integer, "
                    "got \"" + arg + "\"");
 }
@@ -97,14 +111,17 @@ VertexId parse_vertex_count(const char* arg, const char* what) {
 }
 
 double parse_double(const char* arg, const char* what) {
-  try {
-    std::size_t used = 0;
-    const std::string s(arg);
-    const double value = std::stod(s, &used);
-    if (used == s.size()) return value;
-  } catch (const std::exception&) {
-  }
+  const auto value = matchsparse::parse_double(arg);
+  if (value.has_value()) return *value;
   throw UsageError(std::string(what) + " must be a number, got \"" +
+                   std::string(arg) + "\"");
+}
+
+std::uint64_t parse_bytes(const char* arg, const char* what) {
+  const auto value = matchsparse::parse_bytes(arg);
+  if (value.has_value()) return *value;
+  throw UsageError(std::string(what) +
+                   " must be a byte count (optional k/m/g suffix), got \"" +
                    std::string(arg) + "\"");
 }
 
@@ -192,6 +209,33 @@ int cmd_sparsify(int argc, char** argv) {
   return 0;
 }
 
+/// `match` under --deadline-ms/--mem-budget/--degrade. The degradation
+/// ladder means a tripped limit is an OUTCOME, not an error: degraded
+/// runs exit 0 with the achieved guarantee on stdout; only cancelled or
+/// failed (ladder off/exhausted) runs exit 3.
+int run_guarded_match(const Graph& g, const ApproxMatchingConfig& cfg) {
+  const RunOutcome outcome =
+      approx_maximum_matching_guarded(g, cfg, g_guard.limits);
+  std::printf("guarded match: status=%s stop=%s\n", to_string(outcome.status),
+              guard::to_string(outcome.stop_reason));
+  std::printf("  matched=%u partial=%s eps_effective=%.3f guarantee=%s "
+              "size_floor=%u\n",
+              outcome.result.matching.size(), outcome.partial ? "yes" : "no",
+              outcome.eps_effective,
+              outcome.guarantee > 0.0
+                  ? (std::to_string(outcome.guarantee) + "x").c_str()
+                  : "none",
+              outcome.size_floor);
+  if (outcome.mem_peak_bytes > 0) {
+    std::printf("  peak charged memory: %llu bytes\n",
+                static_cast<unsigned long long>(outcome.mem_peak_bytes));
+  }
+  if (!outcome.detail.empty()) {
+    std::printf("  detail: %s\n", outcome.detail.c_str());
+  }
+  return (outcome.ok() || outcome.degraded()) ? 0 : 3;
+}
+
 int cmd_match(int argc, char** argv) {
   if (argc != 5 && argc != 6) return usage();
   const Graph g = load_edge_list(argv[2]);
@@ -203,6 +247,7 @@ int cmd_match(int argc, char** argv) {
   g_obs.manifest.seed = cfg.seed;
   g_obs.manifest.config = "beta=" + std::to_string(cfg.beta) +
                           " eps=" + std::to_string(cfg.eps);
+  if (g_guard.any) return run_guarded_match(g, cfg);
   const auto result = approx_maximum_matching(g, cfg);
   WallTimer t;
   const Matching greedy = greedy_maximal_matching(g);
@@ -224,6 +269,49 @@ int cmd_match(int argc, char** argv) {
 /// the four-stage distributed pipeline on the same instance — the
 /// one-command way to produce a trace and metrics snapshot covering
 /// every instrumented subsystem.
+/// `pipeline` under run-guard flags: the sequential half goes through the
+/// degradation ladder; the distributed half runs under a fresh guard of
+/// the same deadline and converts round-budget overruns into a partial
+/// stage report (clean break in the engine, stage completed=false).
+int run_guarded_pipeline(const Graph& g, const ApproxMatchingConfig& cfg) {
+  const RunOutcome seq =
+      approx_maximum_matching_guarded(g, cfg, g_guard.limits);
+  std::printf("sequential: status=%s stop=%s matched=%u guarantee=%s\n",
+              to_string(seq.status), guard::to_string(seq.stop_reason),
+              seq.result.matching.size(),
+              seq.guarantee > 0.0
+                  ? (std::to_string(seq.guarantee) + "x").c_str()
+                  : "none");
+  if (!seq.detail.empty()) std::printf("  detail: %s\n", seq.detail.c_str());
+  if (seq.status == RunStatus::kCancelled ||
+      seq.status == RunStatus::kFailed) {
+    return 3;
+  }
+
+  dist::DistributedMatchingOptions dopt;
+  dopt.beta = cfg.beta;
+  dopt.eps = cfg.eps;
+  guard::RunGuard::Limits gl;
+  gl.deadline_ms = g_guard.limits.deadline_ms;
+  gl.mem_budget_bytes = g_guard.limits.mem_budget_bytes;
+  guard::RunGuard dist_guard(gl);
+  dist::DistributedMatchingResult dres;
+  {
+    const guard::ScopedGuard installed(dist_guard);
+    dres = dist::distributed_approx_matching(g, dopt, cfg.seed);
+  }
+  const bool dist_degraded =
+      dist_guard.stopped() || !dres.all_stages_completed();
+  std::printf("distributed: status=%s matched=%u rounds=%zu\n",
+              dist_degraded ? "degraded" : "ok", dres.matching.size(),
+              dres.total_rounds());
+  if (dist_guard.stopped()) {
+    std::printf("  detail: stopped on %s — partial stage output kept\n",
+                guard::to_string(dist_guard.stop_reason()));
+  }
+  return 0;
+}
+
 int cmd_pipeline(int argc, char** argv) {
   if (argc != 5 && argc != 6) return usage();
   const Graph g = load_edge_list(argv[2]);
@@ -238,6 +326,7 @@ int cmd_pipeline(int argc, char** argv) {
   g_obs.manifest.threads = default_pool().size();
   g_obs.manifest.config = "beta=" + std::to_string(cfg.beta) +
                           " eps=" + std::to_string(cfg.eps);
+  if (g_guard.any) return run_guarded_pipeline(g, cfg);
 
   const auto seq = approx_maximum_matching(g, cfg);
   std::printf("sequential: %u edges matched (delta=%u, |E(G_d)|=%llu, "
@@ -270,8 +359,9 @@ int dispatch(int argc, char** argv) {
   return usage();
 }
 
-/// Strips --trace=/--metrics= from argv (any position) and records the
-/// paths; returns the remaining positional arguments.
+/// Strips --trace=/--metrics= and the run-guard flags from argv (any
+/// position) and records them; returns the remaining positional
+/// arguments.
 std::vector<char*> parse_obs_flags(int argc, char** argv) {
   std::vector<char*> rest;
   for (int i = 0; i < argc; ++i) {
@@ -283,6 +373,32 @@ std::vector<char*> parse_obs_flags(int argc, char** argv) {
       if (g_obs.metrics_path.empty()) {
         throw UsageError("--metrics= needs a path");
       }
+    } else if (std::strncmp(argv[i], "--deadline-ms=", 14) == 0) {
+      g_guard.limits.deadline_ms = parse_double(argv[i] + 14, "--deadline-ms");
+      if (g_guard.limits.deadline_ms <= 0.0) {
+        throw UsageError("--deadline-ms must be > 0");
+      }
+      g_guard.any = true;
+    } else if (std::strncmp(argv[i], "--mem-budget=", 13) == 0) {
+      g_guard.limits.mem_budget_bytes =
+          parse_bytes(argv[i] + 13, "--mem-budget");
+      if (g_guard.limits.mem_budget_bytes == 0) {
+        throw UsageError("--mem-budget must be > 0");
+      }
+      g_guard.any = true;
+    } else if (std::strncmp(argv[i], "--degrade=", 10) == 0) {
+      const std::string mode = argv[i] + 10;
+      if (mode == "off") {
+        g_guard.limits.degrade = RunLimits::Degrade::kOff;
+      } else if (mode == "eps") {
+        g_guard.limits.degrade = RunLimits::Degrade::kEps;
+      } else if (mode == "maximal") {
+        g_guard.limits.degrade = RunLimits::Degrade::kMaximal;
+      } else {
+        throw UsageError("--degrade must be off, eps, or maximal, got \"" +
+                         mode + "\"");
+      }
+      g_guard.any = true;
     } else {
       rest.push_back(argv[i]);
     }
