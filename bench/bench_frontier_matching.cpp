@@ -1,0 +1,239 @@
+// Serial Hopcroft–Karp vs the frontier kernels (DESIGN.md §13).
+//
+// Two sweeps:
+//   1. Bipartite workloads (K_{s,s} block chains, a random bipartite
+//      graph, and bipartite double covers of the β-bounded families):
+//      exact serial HK vs frontier at lanes ∈ {1, 2, 4, 8}. Sizes must
+//      be bit-identical everywhere (the determinism contract).
+//   2. β-bounded family graphs (often non-bipartite): the kFrontier
+//      backend entry point frontier_mcm vs the serial bounded-aug
+//      driver at threads = 1 — pins that the backend dispatch adds no
+//      overhead on the fallback path.
+//
+// Acceptance gate printed at the end: on multi-core hosts, frontier at
+// 4 lanes must beat serial HK by >= 1.3x on the clique-path chain; on a
+// single-core host (this container: nproc = 1) the gate degrades to
+// bit-identical sizes plus <= 10% serial-policy regression.
+#include <algorithm>
+#include <cstdio>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "gen/generators.hpp"
+#include "matching/frontier.hpp"
+#include "matching/hopcroft_karp.hpp"
+#include "util/rng.hpp"
+
+namespace matchsparse {
+namespace {
+
+// Chain of K_{s,s} blocks bridged end to end — the bipartite analogue of
+// gen::clique_path and the augmenting-path-rich HK worst case.
+Graph bipartite_block_path(VertexId blocks, VertexId s) {
+  EdgeList edges;
+  for (VertexId b = 0; b < blocks; ++b) {
+    const VertexId base = b * 2 * s;
+    for (VertexId u = 0; u < s; ++u) {
+      for (VertexId v = 0; v < s; ++v) {
+        edges.emplace_back(base + u, base + s + v);
+      }
+    }
+    if (b + 1 < blocks) {
+      edges.emplace_back(base + 2 * s - 1, base + 2 * s);
+    }
+  }
+  return Graph::from_edges(blocks * 2 * s, edges);
+}
+
+Graph random_bipartite(VertexId side, double p, Rng& rng) {
+  EdgeList edges;
+  for (VertexId u = 0; u < side; ++u) {
+    for (VertexId v = 0; v < side; ++v) {
+      if (rng.chance(p)) edges.emplace_back(u, side + v);
+    }
+  }
+  return Graph::from_edges(2 * side, edges);
+}
+
+Graph double_cover(const Graph& g) {
+  const VertexId n = g.num_vertices();
+  EdgeList edges;
+  for (const Edge& e : g.edge_list()) {
+    edges.emplace_back(e.u, e.v + n);
+    edges.emplace_back(e.v, e.u + n);
+  }
+  return Graph::from_edges(2 * n, edges);
+}
+
+// The host shares one core with the rest of the container, so isolated
+// timings jitter by 2x run to run. Two defenses: the minimum of several
+// warm runs (noise is strictly additive), and for the A-vs-B gate an
+// interleaved schedule so a slow patch of machine hits both sides alike.
+template <typename Fn>
+double timed_min(const Fn& fn) {
+  double best = std::numeric_limits<double>::infinity();
+  for (int rep = 0; rep < 7; ++rep) {
+    WallTimer timer;
+    fn();
+    best = std::min(best, timer.seconds());
+  }
+  return best;
+}
+
+template <typename FnA, typename FnB>
+std::pair<double, double> timed_min_pair(const FnA& a, const FnB& b) {
+  double best_a = std::numeric_limits<double>::infinity();
+  double best_b = best_a;
+  for (int rep = 0; rep < 9; ++rep) {
+    {
+      WallTimer timer;
+      a();
+      best_a = std::min(best_a, timer.seconds());
+    }
+    {
+      WallTimer timer;
+      b();
+      best_b = std::min(best_b, timer.seconds());
+    }
+  }
+  return {best_a, best_b};
+}
+
+struct Instance {
+  std::string family;
+  Graph g;
+};
+
+}  // namespace
+
+int bench_main() {
+  bench::banner("frontier_matching",
+                "flat frontier kernels match serial HK sizes bit-identically "
+                "at every lane count and win wall-clock on wide phases");
+  bench::JsonlSink sink("frontier_matching");
+  sink.set_seed(1);
+
+  Rng rng(1);
+  std::vector<Instance> instances;
+  instances.push_back({"block_path_16000x4", bipartite_block_path(16000, 4)});
+  instances.push_back({"block_path_4000x16", bipartite_block_path(4000, 16)});
+  instances.push_back({"random_bipartite_64k",
+                       random_bipartite(32000, 16.0 / 32000.0, rng)});
+  instances.push_back(
+      {"cliquepath_cover", double_cover(gen::clique_path(8000, 8))});
+
+  bool all_identical = true;
+  double serial_hk_cliquepath = 0.0;
+  double frontier4_cliquepath = 0.0;
+  double frontier1_cliquepath = 0.0;
+
+  for (const Instance& inst : instances) {
+    const Graph& g = inst.g;
+    VertexId hk_size = 0;
+    double hk_sec = 0.0;
+
+    for (const std::size_t lanes :
+         {std::size_t{1}, std::size_t{2}, std::size_t{4}, std::size_t{8}}) {
+      ThreadPool pool(lanes);
+      FrontierOptions opt;
+      opt.lanes = lanes;
+      if (lanes > 1) opt.pool = &pool;
+      VertexId size = 0;
+      FrontierStats stats;
+      // Each lane count re-times serial HK interleaved with the frontier
+      // run, so every reported speedup is a same-conditions pair.
+      const auto [hk_pair_sec, sec] = timed_min_pair(
+          [&] { hk_size = hopcroft_karp(g).size(); },
+          [&] { size = frontier_hopcroft_karp(g, opt, &stats).size(); });
+      if (lanes == 1) {
+        hk_sec = hk_pair_sec;
+        bench::JsonRow hk_row;
+        hk_row.str("family", inst.family)
+            .num("n", static_cast<std::uint64_t>(g.num_vertices()))
+            .num("m", static_cast<std::uint64_t>(g.num_edges()))
+            .str("matcher", "serial_hk")
+            .num("threads", std::uint64_t{1})
+            .num("seconds", hk_sec)
+            .num("size", static_cast<std::uint64_t>(hk_size))
+            .num("speedup_vs_hk", 1.0);
+        sink.row(hk_row);
+      }
+      const bool identical = size == hk_size;
+      all_identical = all_identical && identical;
+      bench::JsonRow row;
+      row.str("family", inst.family)
+          .num("n", static_cast<std::uint64_t>(g.num_vertices()))
+          .num("m", static_cast<std::uint64_t>(g.num_edges()))
+          .str("matcher", "frontier")
+          .num("threads", static_cast<std::uint64_t>(lanes))
+          .num("seconds", sec)
+          .num("size", static_cast<std::uint64_t>(size))
+          .num("speedup_vs_hk", hk_pair_sec / sec)
+          .num("phases", static_cast<std::uint64_t>(stats.phases))
+          .num("max_width", static_cast<std::uint64_t>(stats.max_width))
+          .num("serial_rescues",
+               static_cast<std::uint64_t>(stats.serial_rescues))
+          .boolean("size_identical", identical);
+      sink.row(row);
+      if (inst.family == "cliquepath_cover") {
+        // Gate ratios use each lane count's own interleaved HK pairing.
+        if (lanes == 1) {
+          serial_hk_cliquepath = hk_pair_sec;
+          frontier1_cliquepath = sec;
+        }
+        if (lanes == 4) {
+          frontier4_cliquepath = sec * (serial_hk_cliquepath / hk_pair_sec);
+        }
+      }
+    }
+  }
+
+  // Fallback path: the kFrontier backend on non-bipartite β-bounded
+  // families routes through the serial bounded-aug driver.
+  for (const char* name : {"line", "unitdisk", "cliqueunion", "cliquepath"}) {
+    const Graph g = gen::find_family(name).make(8000, 5);
+    VertexId base_size = 0;
+    const double base_sec = timed_min(
+        [&] { base_size = approx_mcm(g, 0.25).size(); });
+    VertexId size = 0;
+    const double sec = timed_min(
+        [&] { size = frontier_mcm(g, 0.25).size(); });
+    all_identical = all_identical && size == base_size;
+    bench::JsonRow row;
+    row.str("family", std::string("family_") + name)
+        .num("n", static_cast<std::uint64_t>(g.num_vertices()))
+        .num("m", static_cast<std::uint64_t>(g.num_edges()))
+        .str("matcher", "frontier_mcm_fallback")
+        .num("threads", std::uint64_t{1})
+        .num("seconds", sec)
+        .num("size", static_cast<std::uint64_t>(size))
+        .num("speedup_vs_hk", base_sec / sec)
+        .boolean("size_identical", size == base_size);
+    sink.row(row);
+  }
+
+  const std::size_t cores = default_pool().size();
+  std::printf("\n# acceptance: host pool threads = %zu\n", cores);
+  if (cores >= 4) {
+    const double speedup = serial_hk_cliquepath / frontier4_cliquepath;
+    std::printf("# multi-core gate: frontier@4 vs serial HK on cliquepath "
+                "cover = %.2fx (need >= 1.3x) -> %s\n",
+                speedup, speedup >= 1.3 ? "PASS" : "FAIL");
+  } else {
+    const double regression = frontier1_cliquepath / serial_hk_cliquepath;
+    std::printf("# single-core gate: sizes bit-identical = %s, frontier@1 / "
+                "serial HK on cliquepath cover = %.2fx (need <= 1.10) -> %s\n",
+                all_identical ? "yes" : "NO",
+                regression,
+                (all_identical && regression <= 1.10) ? "PASS" : "FAIL");
+  }
+  std::printf("# sizes bit-identical across all matchers/lane counts: %s\n",
+              all_identical ? "yes" : "NO");
+  return all_identical ? 0 : 1;
+}
+
+}  // namespace matchsparse
+
+int main() { return matchsparse::bench_main(); }

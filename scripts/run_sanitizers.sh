@@ -7,9 +7,12 @@
 #
 # TSan covers the concurrency-bearing suites (thread pool, sharded
 # sparsifier, fused sparsify->CSR pipeline, the observability layer's
-# span recording + metrics registry, and the run-guard's cross-thread
-# cancel/poll/budget traffic); ASan+UBSan reruns the same suites for
-# memory errors in the histogram/scatter/compaction passes.
+# span recording + metrics registry, the run-guard's cross-thread
+# cancel/poll/budget traffic, and the frontier matcher's CAS kernels at
+# 8 lanes); ASan+UBSan reruns the same suites for memory errors in the
+# histogram/scatter/compaction passes. The thread lane additionally
+# replays the frontier matchcheck properties through the fuzzer, which
+# exercises the lock-free DFS under seed-randomized graphs.
 set -e
 cd "$(dirname "$0")/.."
 
@@ -27,6 +30,10 @@ OBS_FILTER='Obs*'
 # races concurrent budget charges, and ScopedGuard install/restore is an
 # atomic exchange other threads observe mid-flight.
 GUARD_FILTER='*'
+# The whole frontier suite: level-stamp CAS in the BFS kernel, vertex
+# claims in the lock-free DFS, and the all-losers contention case run
+# lanes up to 8 on dedicated pools.
+FRONTIER_FILTER='*'
 
 run_one() {
   san="$1"
@@ -35,11 +42,21 @@ run_one() {
   cmake -B "$dir" -S . -DMS_SANITIZE="$san" \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
   cmake --build "$dir" --target test_util test_sparsify test_obs \
-    test_guard -j "$(nproc)"
+    test_guard test_frontier_matching -j "$(nproc)"
   "$dir/tests/test_util" --gtest_filter="$UTIL_FILTER"
   "$dir/tests/test_sparsify" --gtest_filter="$SPARSIFY_FILTER"
   "$dir/tests/test_obs" --gtest_filter="$OBS_FILTER"
   "$dir/tests/test_guard" --gtest_filter="$GUARD_FILTER"
+  "$dir/tests/test_frontier_matching" --gtest_filter="$FRONTIER_FILTER"
+  if [ "$san" = "thread" ]; then
+    # Seed-randomized frontier workloads under TSan: the matchcheck
+    # properties drive serial + 2/4/8-lane pool runs and mid-phase
+    # cancellation against the CAS kernels.
+    cmake --build "$dir" --target matchsparse_fuzz -j "$(nproc)"
+    "$dir/tools/matchsparse_fuzz" --budget 5s --seed 1 \
+      --property frontier_vs_hk --property frontier_vs_blossom \
+      --property guard_cancel_frontier
+  fi
   echo "==== ${san} sanitizer: OK ===="
 }
 

@@ -30,6 +30,21 @@ namespace matchsparse {
 /// Library version string.
 const char* version();
 
+/// Which matcher runs on the sparsifier G_Δ (DESIGN.md §13).
+enum class MatcherBackend {
+  /// The pointer-chasing serial matchers: phase-truncated Hopcroft–Karp
+  /// when the sparsifier is bipartite, the bounded-augmentation driver
+  /// otherwise. The legacy default.
+  kSerial,
+  /// Flat level-synchronous frontier kernels over the CSR
+  /// (matching/frontier.hpp): serial policy at threads == 1, thread-pool
+  /// policy otherwise. Bipartite sparsifiers run to completion — exact
+  /// on G_Δ, never below the truncated serial guarantee, and
+  /// size-deterministic at every thread count; non-bipartite sparsifiers
+  /// fall back to the bounded-augmentation driver.
+  kFrontier,
+};
+
 struct ApproxMatchingConfig {
   /// Neighborhood independence bound of the input. If unknown, measure it
   /// with neighborhood_independence() or use a family bound (line graphs:
@@ -58,6 +73,10 @@ struct ApproxMatchingConfig {
   /// but, being a different (equally distributed) drawing scheme, it is
   /// not edge-identical to the threads == 1 legacy stream.
   std::size_t threads = 1;
+  /// Matcher backend for the G_Δ matching stage; `threads` above also
+  /// sets the frontier backend's lane count (1 = its deterministic
+  /// serial policy, 0 = one lane per pool worker).
+  MatcherBackend matcher = MatcherBackend::kSerial;
 };
 
 struct ApproxMatchingResult {

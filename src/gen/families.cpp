@@ -32,6 +32,15 @@ std::vector<Family> build_standard() {
          return unit_interval_graph(
              n, 8.0 / std::max<VertexId>(1, n), rng);
        }});
+  families.push_back(
+      {"cliquepath", 3, [](VertexId n, std::uint64_t) {
+         // Deterministic path of K_8 blocks bridged end to end — the
+         // augmenting-path-rich worst case for Hopcroft–Karp phase
+         // counts (long alternating paths threading every bridge).
+         const VertexId size = 8;
+         const VertexId count = std::max<VertexId>(2, n / size);
+         return clique_path(count, size);
+       }});
   families.push_back({"complete", 1, [](VertexId n, std::uint64_t) {
                         return complete_graph(n);
                       }});

@@ -1,0 +1,491 @@
+#include "matching/frontier.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "guard/guard.hpp"
+#include "matching/bounded_aug.hpp"
+#include "matching/hopcroft_karp.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/thread_pool.hpp"
+
+namespace matchsparse {
+
+namespace {
+
+constexpr auto kRelaxed = std::memory_order_relaxed;
+
+// ---------------------------------------------------------------------------
+// Execution policies. A policy runs fn(lane, begin, end) over chunk-sized
+// slices of [0, count): the serial policy walks slices in ascending order
+// on the calling thread (the determinism anchor), the pool policy lets
+// `lanes` workers steal slices off a shared atomic cursor. Both poll the
+// guard once per slice and bail through `stop` — never by throwing, since
+// an exception escaping a pool task would std::terminate. The orchestrator
+// re-checks (throwing) at the next phase boundary.
+// ---------------------------------------------------------------------------
+
+struct SerialPolicy {
+  // Single lane: per-vertex cells are never contended, so the engine
+  // instantiates them as plain scalars — loops over them vectorize and
+  // stamp claims degrade to load+store (a relaxed CAS is still a locked
+  // RMW on x86, ~10x a plain store, and the serial policy is the
+  // baseline the single-core acceptance gate measures).
+  static constexpr bool kConcurrent = false;
+  template <typename T>
+  using Cell = T;
+
+  std::size_t lanes() const { return 1; }
+
+  template <typename Fn>
+  void for_chunks(std::size_t count, std::size_t chunk,
+                  std::atomic<bool>* stop, Fn&& fn) const {
+    for (std::size_t begin = 0; begin < count; begin += chunk) {
+      if (guard::poll()) {
+        stop->store(true, kRelaxed);
+        return;
+      }
+      fn(std::size_t{0}, begin, std::min(begin + chunk, count));
+    }
+  }
+};
+
+struct PoolPolicy {
+  static constexpr bool kConcurrent = true;
+  template <typename T>
+  using Cell = std::atomic<T>;
+
+  ThreadPool* pool;
+  std::size_t lane_count;
+
+  std::size_t lanes() const { return lane_count; }
+
+  template <typename Fn>
+  void for_chunks(std::size_t count, std::size_t chunk,
+                  std::atomic<bool>* stop, Fn&& fn) const {
+    if (count == 0) return;
+    std::atomic<std::size_t> cursor{0};
+    parallel_for(*pool, lane_count, [&](std::size_t lane) {
+      for (;;) {
+        if (stop->load(kRelaxed)) return;
+        const std::size_t begin = cursor.fetch_add(chunk, kRelaxed);
+        if (begin >= count) return;
+        if (guard::poll()) {
+          stop->store(true, kRelaxed);
+          return;
+        }
+        fn(lane, begin, std::min(begin + chunk, count));
+      }
+    });
+  }
+};
+
+// ---------------------------------------------------------------------------
+// The engine. Data layout is deliberately flat and SIMD/GPU-shaped:
+// structure-of-arrays, 32-bit ids, per-vertex state in three dense arrays
+// (mate / packed epoch+level stamp / claim stamp) and frontiers as plain index
+// vectors. Nothing is cleared between phases — validity of level and
+// claim entries is an epoch comparison.
+// ---------------------------------------------------------------------------
+
+template <typename Policy>
+class FrontierEngine {
+ public:
+  // Per-vertex state cells: plain scalars under the serial policy,
+  // atomics under the pool policy. All access goes through cell_load /
+  // cell_store / try_stamp, so the kernels read identically either way.
+  template <typename T>
+  using Cell = typename Policy::template Cell<T>;
+
+
+  FrontierEngine(const Graph& g, std::vector<std::uint8_t> side,
+                 Policy policy, std::size_t chunk)
+      : g_(g),
+        n_(g.num_vertices()),
+        side_(std::move(side)),
+        policy_(std::move(policy)),
+        chunk_(std::max<std::size_t>(1, chunk)),
+        charge_(array_bytes(n_, policy_.lanes()), "frontier.arrays"),
+        mate_(std::make_unique<Cell<VertexId>[]>(n_)),
+        level_stamp_(std::make_unique<Cell<std::uint64_t>[]>(n_)),
+        claim_stamp_(std::make_unique<Cell<std::uint32_t>[]>(n_)),
+        locals_(policy_.lanes()),
+        stacks_(policy_.lanes()) {
+    // Stamp arrays stay at their value-initialized zeroes: epochs are
+    // pre-incremented before first use, so epoch 0 never matches.
+    for (VertexId v = 0; v < n_; ++v) cell_store(mate_[v], kNoVertex);
+    frontier_.reserve(n_);
+    roots_.reserve(n_);
+    for (std::vector<VertexId>& local : locals_) local.reserve(n_);
+  }
+
+  Matching run(int max_phases, FrontierStats* out) {
+    FrontierStats st;
+    while (max_phases < 0 || static_cast<int>(st.phases) < max_phases) {
+      guard::check("matching.frontier.phase");
+      stop_.store(false, kRelaxed);
+      ++bfs_epoch_;
+      ++dfs_epoch_;
+      bool found = false;
+      {
+        const obs::Span span("frontier.bfs");
+        found = bfs(&st);
+      }
+      guard::check("matching.frontier.bfs");
+      if (!found) break;
+      std::size_t augmented = 0;
+      {
+        const obs::Span span("frontier.dfs");
+        augmented = dfs_phase();
+      }
+      guard::check("matching.frontier.dfs");
+      if (augmented == 0) {
+        // All-losers stall: every parallel DFS dead-ended on claims held
+        // by other (also dead-ended) lanes, yet the BFS proved a free
+        // right vertex reachable. Replay the pass serially under a fresh
+        // claim epoch — guaranteed to augment at least once, so phases
+        // always make progress and run-to-completion terminates.
+        ++st.serial_rescues;
+        ++dfs_epoch_;
+        augmented = serial_rescue();
+      }
+      st.augmentations += augmented;
+      ++st.phases;
+    }
+
+    static obs::Counter& c_phases = obs::counter("matching.frontier.phases");
+    c_phases.add(st.phases);
+    static obs::Counter& c_rescues =
+        obs::counter("matching.frontier.rescues");
+    c_rescues.add(st.serial_rescues);
+    obs::gauge("matching.frontier.max_width")
+        .set(static_cast<double>(st.max_width));
+    if (out != nullptr) *out = st;
+
+    // One fused pass: copy the mate array out and count pairs through
+    // match() (rebuild_size() would re-scan for the symmetry audit the
+    // flip protocol already guarantees).
+    Matching result(n_);
+    for (VertexId v = 0; v < n_; ++v) {
+      const VertexId w = cell_load(mate_[v]);
+      if (w != kNoVertex && w > v) result.match(v, w);
+    }
+    return result;
+  }
+
+ private:
+  static std::uint64_t array_bytes(VertexId n, std::size_t lanes) {
+    // mate + claim stamps + the packed (epoch, level) stamps, plus the
+    // frontier vectors (two global + one scratch per lane, each
+    // worst-case n entries).
+    return static_cast<std::uint64_t>(n) *
+           (2 * sizeof(VertexId) + sizeof(std::uint64_t) +
+            (2 + lanes) * sizeof(VertexId));
+  }
+
+  // A vertex's BFS state is one 64-bit word: epoch in the high half,
+  // level in the low half. One load answers "reached this phase, and at
+  // which depth" — the DFS descend test is a single equality against
+  // pack(bfs_epoch_, expected_level), half the random traffic of
+  // separate stamp and level arrays.
+  static constexpr std::uint64_t pack(std::uint32_t epoch, VertexId lvl) {
+    return (static_cast<std::uint64_t>(epoch) << 32) | lvl;
+  }
+
+  /// Level-synchronous BFS over alternating paths: left vertices only
+  /// (right vertices are traversed implicitly through their mate). Level
+  /// assignment is a CAS on the level stamp, so each left vertex joins
+  /// exactly one lane's next-frontier buffer; buffers are concatenated
+  /// lane-by-lane after the join. Order within a level is schedule-
+  /// dependent under the pool policy, but levels themselves (shortest
+  /// alternating distances) are not — which is all the DFS reads.
+  bool bfs(FrontierStats* st) {
+    collect_roots();
+
+    std::atomic<bool> found{false};
+    VertexId depth = 0;
+    // Depth 0 reads roots_ in place (dfs_phase needs it intact anyway);
+    // deeper levels live in frontier_, rebuilt from the lane buffers.
+    const std::vector<VertexId>* cur = &roots_;
+    while (!cur->empty() && !stop_.load(kRelaxed)) {
+      st->max_width = std::max(st->max_width, cur->size());
+      const std::uint64_t next_stamp = pack(bfs_epoch_, depth + 1);
+      policy_.for_chunks(
+          cur->size(), chunk_, &stop_,
+          [&](std::size_t lane, std::size_t begin, std::size_t end) {
+            std::vector<VertexId>& local = locals_[lane];
+            bool hit = false;  // chunk-local; one shared store at the end
+            for (std::size_t i = begin; i < end; ++i) {
+              const VertexId v = (*cur)[i];
+              for (const VertexId w : g_.neighbors(v)) {
+                const VertexId mw = cell_load(mate_[w]);
+                if (mw == kNoVertex) {
+                  hit = true;  // free right vertex reached
+                  continue;
+                }
+                if (try_stamp(level_stamp_[mw], next_stamp)) {
+                  local.push_back(mw);
+                }
+              }
+            }
+            if (hit) found.store(true, kRelaxed);
+          });
+      merge_locals();
+      cur = &frontier_;
+      ++depth;
+      // Stop after completing the level where a free right vertex first
+      // appeared: deeper layers cannot host a SHORTER augmenting path,
+      // and the DFS only descends along level+1 edges.
+      if (found.load(kRelaxed)) break;
+    }
+    return found.load(kRelaxed);
+  }
+
+  /// Stamps the free left vertices into roots_ as the level-0 frontier.
+  /// Only the first phase scans all of [0, n): matched vertices never
+  /// become free again under augmentation, so later phases filter the
+  /// previous root set in place (a cheap O(|roots|) orchestrator pass).
+  void collect_roots() {
+    const std::uint64_t root_stamp = pack(bfs_epoch_, 0);
+    if (!first_collect_) {
+      std::size_t kept = 0;
+      for (const VertexId v : roots_) {
+        if (cell_load(mate_[v]) != kNoVertex) continue;
+        cell_store(level_stamp_[v], root_stamp);
+        roots_[kept++] = v;
+      }
+      roots_.resize(kept);
+      return;
+    }
+    first_collect_ = false;
+    frontier_.clear();
+    policy_.for_chunks(
+        n_, chunk_, &stop_,
+        [&](std::size_t lane, std::size_t begin, std::size_t end) {
+          std::vector<VertexId>& local = locals_[lane];
+          for (std::size_t i = begin; i < end; ++i) {
+            const auto v = static_cast<VertexId>(i);
+            if (side_[v] != 0 || cell_load(mate_[v]) != kNoVertex) {
+              continue;
+            }
+            cell_store(level_stamp_[v], root_stamp);
+            local.push_back(v);
+          }
+        });
+    merge_locals();
+    roots_.swap(frontier_);  // bfs() re-seeds frontier_ from roots_
+  }
+
+  void merge_locals() {
+    if (locals_.size() == 1) {
+      frontier_.swap(locals_[0]);  // single lane: adopt, don't copy
+      locals_[0].clear();
+      return;
+    }
+    frontier_.clear();
+    for (std::vector<VertexId>& local : locals_) {
+      frontier_.insert(frontier_.end(), local.begin(), local.end());
+      local.clear();
+    }
+  }
+
+  /// One vertex-disjoint augmentation pass over the level structure.
+  /// Successes accumulate chunk-locally and land in a per-lane slot —
+  /// the count is only read after the join, so no shared RMW per path.
+  std::size_t dfs_phase() {
+    std::vector<std::size_t> per_lane(policy_.lanes(), 0);
+    policy_.for_chunks(
+        roots_.size(), chunk_, &stop_,
+        [&](std::size_t lane, std::size_t begin, std::size_t end) {
+          std::size_t won = 0;
+          for (std::size_t i = begin; i < end; ++i) {
+            const VertexId root = roots_[i];
+            if (try_claim(root) && dfs_from(root, lane)) ++won;
+          }
+          per_lane[lane] += won;
+        });
+    std::size_t augmented = 0;
+    for (const std::size_t won : per_lane) augmented += won;
+    return augmented;
+  }
+
+  std::size_t serial_rescue() {
+    std::size_t augmented = 0;
+    for (const VertexId root : roots_) {
+      if (cell_load(mate_[root]) != kNoVertex) continue;
+      if (try_claim(root) && dfs_from(root, 0)) ++augmented;
+    }
+    return augmented;
+  }
+
+  struct Frame {
+    const VertexId* arc;      // next CSR slot of v to try
+    const VertexId* arc_end;  // one past v's last slot
+    VertexId v;               // claimed left vertex
+    VertexId via;             // right vertex through which v was entered
+  };
+
+  Frame make_frame(VertexId v, VertexId via) const {
+    const auto arcs = g_.neighbors(v);
+    return {arcs.data(), arcs.data() + arcs.size(), v, via};
+  }
+
+  /// Iterative DFS along level+1 edges. Every left vertex on the stack is
+  /// claimed by this lane; a pop without augmentation leaves the claim in
+  /// place, which is exactly the serial algorithm's dist := ∞ pruning.
+  /// Right vertices are owned transitively: any competitor descending
+  /// through one must first claim its (claimed) mate, and an augmenting
+  /// flip never makes a matched vertex free — so a CAS win on a free
+  /// right endpoint is the only way to consume it.
+  bool dfs_from(VertexId root, std::size_t lane) {
+    std::vector<Frame>& stack = stacks_[lane];
+    stack.clear();
+    stack.push_back(make_frame(root, kNoVertex));
+    while (!stack.empty()) {
+      Frame& f = stack.back();
+      if (f.arc == f.arc_end) {
+        stack.pop_back();  // dead end: keep the claim — pruned this phase
+        continue;
+      }
+      const VertexId w = *f.arc++;
+      const VertexId mw = cell_load(mate_[w]);
+      if (mw == kNoVertex) {
+        if (!try_claim(w)) continue;  // lost the endpoint race
+        // Flip the alternating path held on the stack. Pairs are
+        // overwritten in place, deepest first; no vertex is ever
+        // transiently unmatched, so concurrent readers only ever see a
+        // mate they cannot claim.
+        VertexId right = w;
+        for (std::size_t i = stack.size(); i-- > 0;) {
+          const VertexId left = stack[i].v;
+          cell_store(mate_[left], right);
+          cell_store(mate_[right], left);
+          right = stack[i].via;
+        }
+        return true;
+      }
+      // DFS paths start at a level-0 root and only ever descend one
+      // level per push, so the level of f.v IS stack.size() - 1 and the
+      // expected child stamp needs no per-vertex level lookup.
+      if (cell_load(level_stamp_[mw]) ==
+              pack(bfs_epoch_, static_cast<VertexId>(stack.size())) &&
+          try_claim(mw)) {
+        stack.push_back(make_frame(mw, w));  // invalidates f — loop reloads
+      }
+    }
+    return false;
+  }
+
+  template <typename T>
+  static T cell_load(const Cell<T>& cell) {
+    if constexpr (Policy::kConcurrent) {
+      return cell.load(kRelaxed);
+    } else {
+      return cell;
+    }
+  }
+
+  template <typename T>
+  static void cell_store(Cell<T>& cell, T value) {
+    if constexpr (Policy::kConcurrent) {
+      cell.store(value, kRelaxed);
+    } else {
+      cell = value;
+    }
+  }
+
+  static bool try_stamp(Cell<std::uint32_t>& slot, std::uint32_t epoch) {
+    if constexpr (Policy::kConcurrent) {
+      std::uint32_t seen = slot.load(kRelaxed);
+      if (seen == epoch) return false;
+      return slot.compare_exchange_strong(seen, epoch, kRelaxed);
+    } else {
+      if (slot == epoch) return false;
+      slot = epoch;
+      return true;
+    }
+  }
+
+  // Packed-stamp overload for the BFS level arrays: a lane wins iff no
+  // lane has stamped the vertex THIS epoch yet (the level halves may
+  // differ only across levels, which run barrier-separated, so the CAS
+  // races only ever contend over one value).
+  static bool try_stamp(Cell<std::uint64_t>& slot, std::uint64_t stamp) {
+    if constexpr (Policy::kConcurrent) {
+      std::uint64_t seen = slot.load(kRelaxed);
+      if ((seen >> 32) == (stamp >> 32)) return false;
+      return slot.compare_exchange_strong(seen, stamp, kRelaxed);
+    } else {
+      if ((slot >> 32) == (stamp >> 32)) return false;
+      slot = stamp;
+      return true;
+    }
+  }
+
+  bool try_claim(VertexId v) { return try_stamp(claim_stamp_[v], dfs_epoch_); }
+
+  const Graph& g_;
+  const VertexId n_;
+  const std::vector<std::uint8_t> side_;
+  const Policy policy_;
+  const std::size_t chunk_;
+  guard::MemCharge charge_;
+
+  std::unique_ptr<Cell<VertexId>[]> mate_;
+  std::unique_ptr<Cell<std::uint64_t>[]> level_stamp_;
+  std::unique_ptr<Cell<std::uint32_t>[]> claim_stamp_;
+
+  std::uint32_t bfs_epoch_ = 0;
+  std::uint32_t dfs_epoch_ = 0;
+  bool first_collect_ = true;
+  std::atomic<bool> stop_{false};
+
+  std::vector<VertexId> frontier_;
+  std::vector<VertexId> roots_;
+  std::vector<std::vector<VertexId>> locals_;
+  std::vector<std::vector<Frame>> stacks_;
+};
+
+Matching frontier_run(const Graph& g, std::vector<std::uint8_t> side,
+                      const FrontierOptions& opt, FrontierStats* stats) {
+  if (opt.lanes == 1) {
+    FrontierEngine<SerialPolicy> engine(g, std::move(side), SerialPolicy{},
+                                        opt.chunk);
+    return engine.run(opt.max_phases, stats);
+  }
+  ThreadPool* pool = opt.pool != nullptr ? opt.pool : &default_pool();
+  const std::size_t lanes = opt.lanes == 0 ? pool->size() : opt.lanes;
+  if (lanes <= 1) {
+    FrontierEngine<SerialPolicy> engine(g, std::move(side), SerialPolicy{},
+                                        opt.chunk);
+    return engine.run(opt.max_phases, stats);
+  }
+  FrontierEngine<PoolPolicy> engine(g, std::move(side),
+                                    PoolPolicy{pool, lanes}, opt.chunk);
+  return engine.run(opt.max_phases, stats);
+}
+
+}  // namespace
+
+Matching frontier_hopcroft_karp(const Graph& g, const FrontierOptions& opt,
+                                FrontierStats* stats) {
+  Bipartition bp = two_color(g);
+  MS_CHECK_MSG(bp.bipartite,
+               "frontier_hopcroft_karp requires a bipartite graph");
+  return frontier_run(g, std::move(bp.side), opt, stats);
+}
+
+Matching frontier_mcm(const Graph& g, double eps, const FrontierOptions& opt,
+                      FrontierStats* stats) {
+  MS_CHECK_MSG(eps > 0.0 && eps < 1.0, "need 0 < eps < 1");
+  Bipartition bp = two_color(g);
+  if (bp.bipartite) return frontier_run(g, std::move(bp.side), opt, stats);
+  if (stats != nullptr) *stats = FrontierStats{};
+  return approx_mcm(g, eps);
+}
+
+}  // namespace matchsparse

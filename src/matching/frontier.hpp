@@ -1,0 +1,80 @@
+// Frontier-based data-parallel matching backend (DESIGN.md §13).
+//
+// Hopcroft–Karp phases recast as flat kernels over the CSR, in the style
+// of GPU/SIMD max-flow frontiers: a level-synchronous multi-source BFS
+// from the free left vertices (atomic-CAS level stamps, per-lane frontier
+// buffers merged by concatenation — no global sort), then a lock-free
+// vertex-disjoint DFS augmentation pass (CAS vertex claims; losers retry
+// next phase). Epoch stamps replace the O(n) per-phase clears, so a
+// phase touches only the vertices it reaches.
+//
+// The paper's pipeline runs the matcher on the sparsifier G_Δ (density
+// ≤ 4|M*|Δ by Obs 2.10), which is exactly where a flat data-parallel
+// search pays: the graph is small, phases are wide, and pointer-chasing
+// dominates the serial matchers.
+//
+// Determinism contract:
+//   - serial policy (lanes == 1): the matched-vertex SET is a pure
+//     function of the graph — identical across runs and chunk sizes;
+//   - any policy, run to completion (max_phases < 0): the matching is
+//     MAXIMUM on the (bipartite) input, so its SIZE is bit-identical at
+//     every thread count (the matched set may differ between parallel
+//     schedules);
+//   - truncated parallel runs keep the (1 + 1/phases) Hopcroft–Karp
+//     guarantee but not size identity across schedules.
+//
+// Guard integration: guard::poll() at frontier-chunk granularity inside
+// the kernels (non-throwing — pool workers must never unwind), a
+// guard::check() at every phase boundary, and one MemCharge covering the
+// stamp/mate/frontier arrays.
+#pragma once
+
+#include <cstddef>
+
+#include "graph/graph.hpp"
+#include "matching/matching.hpp"
+
+namespace matchsparse {
+
+class ThreadPool;
+
+struct FrontierOptions {
+  /// Maximum Hopcroft–Karp phases; < 0 runs to completion (exact maximum
+  /// matching on the bipartite input). k >= 0 yields a (1 + 1/k)-
+  /// approximation after k phases.
+  int max_phases = -1;
+  /// Worker lanes. 1 (default) selects the serial policy (deterministic
+  /// matched set); 0 = one lane per pool worker; k > 1 = exactly k lanes
+  /// on the thread-pool policy.
+  std::size_t lanes = 1;
+  /// Frontier slice handed to a lane per steal; also the guard::poll()
+  /// granularity.
+  std::size_t chunk = 256;
+  /// Pool for the thread-pool policy; nullptr = default_pool(). Ignored
+  /// by the serial policy.
+  ThreadPool* pool = nullptr;
+};
+
+struct FrontierStats {
+  std::size_t phases = 0;         // BFS/DFS rounds executed
+  std::size_t augmentations = 0;  // augmenting paths applied
+  std::size_t max_width = 0;      // widest BFS frontier seen
+  std::size_t serial_rescues = 0; // all-losers stalls replayed serially
+};
+
+/// Exact (or phase-truncated) maximum matching on a bipartite graph via
+/// frontier kernels. MS_CHECK-aborts on non-bipartite inputs, like
+/// hopcroft_karp().
+Matching frontier_hopcroft_karp(const Graph& g,
+                                const FrontierOptions& opt = {},
+                                FrontierStats* stats = nullptr);
+
+/// General-graph entry point used by the kFrontier backend: bipartite
+/// inputs take the frontier kernels (run to completion — exact on G_Δ);
+/// non-bipartite inputs fall back to the bounded-augmentation (1+eps)
+/// driver, which handles odd structures without blossom shrinking.
+Matching frontier_mcm(const Graph& g, double eps,
+                      const FrontierOptions& opt = {},
+                      FrontierStats* stats = nullptr);
+
+}  // namespace matchsparse

@@ -8,8 +8,8 @@ namespace matchsparse {
 namespace {
 
 TEST(Families, RegistryIsPopulated) {
-  EXPECT_GE(gen::standard_families().size(), 5u);
-  EXPECT_GE(gen::sparse_families().size(), 4u);
+  EXPECT_GE(gen::standard_families().size(), 6u);
+  EXPECT_GE(gen::sparse_families().size(), 5u);
 }
 
 TEST(Families, SparseFamiliesExcludeComplete) {
@@ -18,6 +18,7 @@ TEST(Families, SparseFamiliesExcludeComplete) {
 
 TEST(Families, FindByName) {
   EXPECT_EQ(gen::find_family("unitdisk").beta_bound, 5u);
+  EXPECT_EQ(gen::find_family("cliquepath").beta_bound, 3u);
   EXPECT_EQ(gen::find_family("complete").beta_bound, 1u);
 }
 
@@ -60,7 +61,7 @@ TEST_P(FamilyBetaTest, BetaBoundHolds) {
 
 INSTANTIATE_TEST_SUITE_P(
     AllFamilies, FamilyBetaTest,
-    ::testing::Combine(::testing::Range<std::size_t>(0, 5),
+    ::testing::Combine(::testing::Range<std::size_t>(0, 6),
                        ::testing::Values(1u, 2u, 3u)),
     [](const auto& param_info) {
       return gen::standard_families()[std::get<0>(param_info.param)].name + "_s" +

@@ -1,0 +1,252 @@
+#include "matching/frontier.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "gen/families.hpp"
+#include "gen/generators.hpp"
+#include "guard/guard.hpp"
+#include "matching/bounded_aug.hpp"
+#include "matching/hopcroft_karp.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace matchsparse {
+namespace {
+
+Graph random_bipartite(VertexId left, VertexId right, double p, Rng& rng) {
+  EdgeList edges;
+  for (VertexId u = 0; u < left; ++u) {
+    for (VertexId v = 0; v < right; ++v) {
+      if (rng.chance(p)) edges.emplace_back(u, left + v);
+    }
+  }
+  return Graph::from_edges(left + right, edges);
+}
+
+// Bipartite double cover: (u, v) -> (u, v+n), (v, u+n). Always bipartite,
+// and a natural frontier workload for the non-bipartite families.
+Graph double_cover(const Graph& g) {
+  const VertexId n = g.num_vertices();
+  EdgeList edges;
+  for (const Edge& e : g.edge_list()) {
+    edges.emplace_back(e.u, e.v + n);
+    edges.emplace_back(e.v, e.u + n);
+  }
+  return Graph::from_edges(2 * n, edges);
+}
+
+Graph complete_bipartite(VertexId left, VertexId right) {
+  EdgeList edges;
+  for (VertexId u = 0; u < left; ++u) {
+    for (VertexId v = 0; v < right; ++v) edges.emplace_back(u, left + v);
+  }
+  return Graph::from_edges(left + right, edges);
+}
+
+TEST(FrontierMatching, SerialMatchesHopcroftKarp) {
+  Rng rng(2);
+  for (int trial = 0; trial < 30; ++trial) {
+    const Graph g = random_bipartite(15, 18, 0.15, rng);
+    const Matching hk = hopcroft_karp(g);
+    const Matching fr = frontier_hopcroft_karp(g);
+    EXPECT_TRUE(fr.is_valid(g)) << "trial " << trial;
+    EXPECT_EQ(fr.size(), hk.size()) << "trial " << trial;
+  }
+}
+
+TEST(FrontierMatching, SerialMatchedSetIsDeterministic) {
+  // Serial policy contract: the matched SET is a pure function of the
+  // graph — replay-identical and invariant to the chunk size.
+  Rng rng(5);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Graph g = random_bipartite(30, 30, 0.1, rng);
+    const Matching base = frontier_hopcroft_karp(g);
+    for (const std::size_t chunk :
+         {std::size_t{1}, std::size_t{3}, std::size_t{256}}) {
+      FrontierOptions opt;
+      opt.chunk = chunk;
+      const Matching m = frontier_hopcroft_karp(g, opt);
+      for (VertexId v = 0; v < g.num_vertices(); ++v) {
+        EXPECT_EQ(m.mate(v), base.mate(v))
+            << "trial " << trial << " chunk " << chunk << " vertex " << v;
+      }
+    }
+  }
+}
+
+TEST(FrontierMatching, TruncatedPhasesKeepHkGuarantee) {
+  Rng rng(3);
+  for (int trial = 0; trial < 15; ++trial) {
+    const Graph g = random_bipartite(40, 40, 0.08, rng);
+    const VertexId opt = hopcroft_karp(g).size();
+    for (int k : {1, 2, 4}) {
+      FrontierOptions fopt;
+      fopt.max_phases = k;
+      const Matching m = frontier_hopcroft_karp(g, fopt);
+      EXPECT_TRUE(m.is_valid(g));
+      EXPECT_LE(m.size(), opt);
+      EXPECT_GE(static_cast<double>(m.size()) * (1.0 + 1.0 / k),
+                static_cast<double>(opt))
+          << "k=" << k << " trial " << trial;
+    }
+  }
+}
+
+TEST(FrontierMatching, ThreadCountInvariance) {
+  // The determinism contract across the whole family registry: run to
+  // completion, the SIZE is bit-identical at every lane count.
+  for (const auto& family : gen::standard_families()) {
+    const VertexId target = family.name == "complete" ? 32 : 160;
+    for (const std::uint64_t seed : {1u, 2u, 3u}) {
+      const Graph cover = double_cover(family.make(target, seed));
+      const VertexId expected = hopcroft_karp(cover).size();
+      for (const std::size_t lanes :
+           {std::size_t{1}, std::size_t{2}, std::size_t{4}, std::size_t{8}}) {
+        FrontierOptions opt;
+        opt.lanes = lanes;
+        opt.chunk = 16;
+        ThreadPool pool(lanes);
+        if (lanes > 1) opt.pool = &pool;
+        const Matching m = frontier_hopcroft_karp(cover, opt);
+        EXPECT_TRUE(m.is_valid(cover))
+            << family.name << " seed " << seed << " lanes " << lanes;
+        EXPECT_EQ(m.size(), expected)
+            << family.name << " seed " << seed << " lanes " << lanes;
+      }
+    }
+  }
+}
+
+TEST(FrontierMatching, GeneralEntryPointIsLaneInvariant) {
+  // frontier_mcm on the raw (often non-bipartite) family graphs routes
+  // through the bounded-aug driver — trivially lane-invariant, but the
+  // dispatch itself is worth pinning.
+  for (const auto& family : gen::standard_families()) {
+    const VertexId target = family.name == "complete" ? 24 : 120;
+    const Graph g = family.make(target, 9);
+    FrontierOptions serial;
+    const Matching base = frontier_mcm(g, 0.25, serial);
+    EXPECT_TRUE(base.is_valid(g)) << family.name;
+    FrontierOptions wide;
+    wide.lanes = 4;
+    ThreadPool pool(4);
+    wide.pool = &pool;
+    const Matching m = frontier_mcm(g, 0.25, wide);
+    EXPECT_TRUE(m.is_valid(g)) << family.name;
+    EXPECT_EQ(m.size(), base.size()) << family.name;
+  }
+}
+
+TEST(FrontierMatching, GeneralFallbackMatchesBoundedAug) {
+  // Non-bipartite input: frontier_mcm must be exactly the serial
+  // bounded-augmentation driver (deterministic), not an approximation of
+  // it.
+  const Graph g = gen::clique_path(5, 5);
+  const Matching expect = approx_mcm(g, 0.25);
+  const Matching got = frontier_mcm(g, 0.25);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_EQ(got.mate(v), expect.mate(v)) << "vertex " << v;
+  }
+}
+
+TEST(FrontierMatching, AllLosersCasContention) {
+  // Adversarial contention: K_{64,2} gives 64 DFS roots all racing for
+  // the same two free right vertices (62 losers per phase), and chunk=1
+  // maximizes interleaving. The serial-rescue path guarantees progress;
+  // run-to-completion guarantees the exact size.
+  const Graph skinny = complete_bipartite(64, 2);
+  const Graph square = complete_bipartite(32, 32);
+  ThreadPool pool(8);
+  for (int rep = 0; rep < 5; ++rep) {
+    FrontierOptions opt;
+    opt.lanes = 8;
+    opt.pool = &pool;
+    opt.chunk = 1;
+    const Matching a = frontier_hopcroft_karp(skinny, opt);
+    EXPECT_TRUE(a.is_valid(skinny));
+    EXPECT_EQ(a.size(), 2u) << "rep " << rep;
+    const Matching b = frontier_hopcroft_karp(square, opt);
+    EXPECT_TRUE(b.is_valid(square));
+    EXPECT_EQ(b.size(), 32u) << "rep " << rep;
+  }
+}
+
+TEST(FrontierMatching, StatsReportPhasesAndWidth) {
+  const Graph g = double_cover(gen::clique_path(8, 4));
+  FrontierStats stats;
+  const Matching m = frontier_hopcroft_karp(g, {}, &stats);
+  EXPECT_GT(m.size(), 0u);
+  EXPECT_GT(stats.phases, 0u);
+  EXPECT_GT(stats.augmentations, 0u);
+  EXPECT_GT(stats.max_width, 0u);
+  EXPECT_EQ(stats.augmentations, m.size());
+}
+
+TEST(FrontierMatching, GuardCancelMidPhaseThenCleanRerun) {
+  Rng rng(17);
+  const Graph g = random_bipartite(40, 40, 0.08, rng);
+  FrontierOptions opt;
+  opt.chunk = 4;
+
+  guard::RunGuard counting;
+  Matching base(g.num_vertices());
+  {
+    const guard::ScopedGuard installed(counting);
+    base = frontier_hopcroft_karp(g, opt);
+  }
+  ASSERT_GT(counting.polls(), 0u);
+
+  // Trip roughly mid-run: the unwind must be the typed exception, and a
+  // fresh run afterwards bit-identical to the never-guarded baseline.
+  guard::RunGuard::Limits limits;
+  limits.cancel_after_polls = counting.polls() / 2 + 1;
+  guard::RunGuard tripping(limits);
+  {
+    const guard::ScopedGuard installed(tripping);
+    EXPECT_THROW((void)frontier_hopcroft_karp(g, opt), guard::Cancelled);
+  }
+  const Matching rerun = frontier_hopcroft_karp(g, opt);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_EQ(rerun.mate(v), base.mate(v)) << "vertex " << v;
+  }
+
+  // Pool policy under the same trip: either a clean typed cancel or an
+  // exact-size completion — never a torn result.
+  ThreadPool pool(4);
+  FrontierOptions popt;
+  popt.lanes = 4;
+  popt.pool = &pool;
+  popt.chunk = 4;
+  guard::RunGuard pool_guard(limits);
+  try {
+    const guard::ScopedGuard installed(pool_guard);
+    const Matching m = frontier_hopcroft_karp(g, popt);
+    EXPECT_EQ(m.size(), base.size());
+  } catch (const guard::Cancelled&) {
+  }
+}
+
+TEST(FrontierMatching, MemBudgetTripsOnStampArrays) {
+  Rng rng(19);
+  const Graph g = random_bipartite(20, 20, 0.2, rng);
+  guard::RunGuard::Limits limits;
+  limits.mem_budget_bytes = 1;
+  guard::RunGuard budgeted(limits);
+  const guard::ScopedGuard installed(budgeted);
+  EXPECT_THROW((void)frontier_hopcroft_karp(g), guard::BudgetExceeded);
+}
+
+TEST(FrontierMatching, RejectsOddCycle) {
+  const Graph odd = Graph::from_edges(3, {{0, 1}, {1, 2}, {2, 0}});
+  EXPECT_DEATH(frontier_hopcroft_karp(odd), "bipartite");
+}
+
+TEST(FrontierMatching, EmptyAndEdgelessGraphs) {
+  EXPECT_EQ(frontier_hopcroft_karp(Graph::from_edges(0, {})).size(), 0u);
+  EXPECT_EQ(frontier_hopcroft_karp(Graph::from_edges(6, {})).size(), 0u);
+}
+
+}  // namespace
+}  // namespace matchsparse

@@ -77,6 +77,50 @@ TEST(HopcroftKarp, PhaseTruncationGuarantee) {
   }
 }
 
+// Output-identity pins for the epoch-stamped BFS level array: the golden
+// mate vectors below were recorded from the pre-stamping implementation
+// (std::fill(dist_, kInf) each phase), so any behavioral drift in the
+// between-phase reset — not just a size change — trips these.
+TEST(HopcroftKarp, GoldenMatesExactRun) {
+  Rng rng(11);
+  const Graph g = random_bipartite(9, 8, 0.3, rng);
+  ASSERT_EQ(g.num_vertices(), 17u);
+  ASSERT_EQ(g.num_edges(), 25u);
+  const Matching m = hopcroft_karp(g);
+  const int golden[17] = {9, 14, 11, 12, 13, -1, 10, 15, -1,
+                          0, 6,  2,  3,  4,  1,  7,  -1};
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const int mate = m.mate(v) == kNoVertex ? -1 : static_cast<int>(m.mate(v));
+    EXPECT_EQ(mate, golden[v]) << "vertex " << v;
+  }
+}
+
+TEST(HopcroftKarp, GoldenMatesTruncatedRun) {
+  Rng rng(12);
+  const Graph g = random_bipartite(12, 12, 0.2, rng);
+  ASSERT_EQ(g.num_vertices(), 24u);
+  ASSERT_EQ(g.num_edges(), 30u);
+  const Matching m = hopcroft_karp(g, /*max_phases=*/2);
+  const int golden[24] = {23, 18, 12, 20, 16, 14, 19, -1, 21, 15, 13, 17,
+                          2,  10, 5,  9,  4,  11, 1,  6,  3,  8,  -1, 0};
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const int mate = m.mate(v) == kNoVertex ? -1 : static_cast<int>(m.mate(v));
+    EXPECT_EQ(mate, golden[v]) << "vertex " << v;
+  }
+}
+
+TEST(HopcroftKarp, ReplayIdentityAcrossManyPhases) {
+  // Many-phase instances reuse the stamped level array heavily; replay
+  // must be bit-identical (the stamp reset is semantically a full fill).
+  Rng rng(13);
+  const Graph b = random_bipartite(60, 60, 0.05, rng);
+  const Matching a = hopcroft_karp(b);
+  const Matching c = hopcroft_karp(b);
+  for (VertexId v = 0; v < b.num_vertices(); ++v) {
+    EXPECT_EQ(a.mate(v), c.mate(v)) << "vertex " << v;
+  }
+}
+
 TEST(HopcroftKarp, RejectsOddCycle) {
   const Graph odd = Graph::from_edges(3, {{0, 1}, {1, 2}, {2, 0}});
   EXPECT_DEATH(hopcroft_karp(odd), "bipartite");

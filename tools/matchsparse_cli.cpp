@@ -68,6 +68,10 @@ struct GuardFlags {
 };
 GuardFlags g_guard;
 
+/// Filled by the --matcher= global flag; applied to every command that
+/// builds an ApproxMatchingConfig.
+MatcherBackend g_matcher = MatcherBackend::kSerial;
+
 /// Thrown on malformed command-line arguments; caught in main alongside
 /// IoError and turned into a one-line diagnostic + exit 1.
 class UsageError : public std::runtime_error {
@@ -87,7 +91,9 @@ int usage() {
                "flags: --trace=<chrome.json> --metrics=<manifest.json>\n"
                "       --deadline-ms=<ms> --mem-budget=<bytes[k|m|g]> "
                "--degrade=off|eps|maximal\n"
-               "families: line unitdisk cliqueunion unitint complete\n");
+               "       --matcher=serial|frontier\n"
+               "families: line unitdisk cliqueunion unitint cliquepath "
+               "complete\n");
   return 2;
 }
 
@@ -244,9 +250,11 @@ int cmd_match(int argc, char** argv) {
   cfg.eps = parse_double(argv[4], "eps");
   if (argc == 6) cfg.seed = parse_u64(argv[5], "seed");
   check_config(cfg.beta, cfg.eps);
+  cfg.matcher = g_matcher;
   g_obs.manifest.seed = cfg.seed;
-  g_obs.manifest.config = "beta=" + std::to_string(cfg.beta) +
-                          " eps=" + std::to_string(cfg.eps);
+  g_obs.manifest.config =
+      "beta=" + std::to_string(cfg.beta) + " eps=" + std::to_string(cfg.eps) +
+      (cfg.matcher == MatcherBackend::kFrontier ? " matcher=frontier" : "");
   if (g_guard.any) return run_guarded_match(g, cfg);
   const auto result = approx_maximum_matching(g, cfg);
   WallTimer t;
@@ -322,6 +330,7 @@ int cmd_pipeline(int argc, char** argv) {
   check_config(cfg.beta, cfg.eps);
   cfg.threads = 0;  // fused parallel sparsifier on the default pool
   cfg.bipartite_fast_path = false;  // always exercise the general matcher
+  cfg.matcher = g_matcher;
   g_obs.manifest.seed = cfg.seed;
   g_obs.manifest.threads = default_pool().size();
   g_obs.manifest.config = "beta=" + std::to_string(cfg.beta) +
@@ -399,6 +408,16 @@ std::vector<char*> parse_obs_flags(int argc, char** argv) {
                          mode + "\"");
       }
       g_guard.any = true;
+    } else if (std::strncmp(argv[i], "--matcher=", 10) == 0) {
+      const std::string backend = argv[i] + 10;
+      if (backend == "serial") {
+        g_matcher = MatcherBackend::kSerial;
+      } else if (backend == "frontier") {
+        g_matcher = MatcherBackend::kFrontier;
+      } else {
+        throw UsageError("--matcher must be serial or frontier, got \"" +
+                         backend + "\"");
+      }
     } else {
       rest.push_back(argv[i]);
     }
