@@ -1,16 +1,33 @@
-// Run-guard overhead (google-benchmark). The acceptance bar for the
-// guard subsystem is that the DORMANT path — no guard installed, the
-// state every library user outside the CLI/service wrapper runs in —
-// costs under 2% on the bench_micro medians. These benchmarks measure
-// the primitives directly (poll dormant vs armed, MemCharge, ScopedGuard
+// Run-guard overhead (google-benchmark + a hand-rolled concurrent
+// section). The acceptance bar for the guard subsystem is that the
+// DORMANT path — no guard installed, the state every library user
+// outside the CLI/service wrapper runs in — costs under 2% on the
+// bench_micro medians. The google-benchmark half measures the
+// primitives directly (poll dormant vs armed, MemCharge, ScopedGuard
 // install) and the end-to-end pipeline with and without an (untripped)
-// guard installed, so a regression in the poll placement or the install
-// slot shows up as a ratio, not a feeling.
+// guard installed; the custom main() below additionally measures
+// 1/2/4/8 SIMULTANEOUS RunContexts polling on their own threads
+// (DESIGN.md §14) — per-thread-slot resolution means armed contexts
+// must not contend — and emits BENCH_run_context.json. It also asserts
+// the dormant poll stays a thread-local load + branch: a wildly slower
+// dormant poll means someone re-introduced a shared slot or a lock, and
+// the bench exits nonzero.
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
 #include "core/api.hpp"
 #include "gen/generators.hpp"
+#include "guard/context.hpp"
 #include "guard/guard.hpp"
+#include "util/stats.hpp"
+#include "util/timer.hpp"
 
 namespace matchsparse {
 namespace {
@@ -93,7 +110,106 @@ void BM_PipelineArmedUntripped(benchmark::State& state) {
 }
 BENCHMARK(BM_PipelineArmedUntripped)->Unit(benchmark::kMillisecond);
 
+/// Times `iters` back-to-back guard::poll() calls on the calling thread
+/// and returns ns/poll. The caller controls what is installed.
+double time_polls(std::uint64_t iters) {
+  WallTimer t;
+  for (std::uint64_t i = 0; i < iters; ++i) {
+    benchmark::DoNotOptimize(guard::poll());
+  }
+  return t.millis() * 1e6 / static_cast<double>(iters);
+}
+
+/// `contexts` threads polling simultaneously — each under its own
+/// armed RunContext (far deadline), or all dormant. Returns per-thread
+/// ns/poll stats. Ambient slots are per-thread, so armed cost should be
+/// flat in the context count; before §14 a process-wide slot would have
+/// made every armed poll a shared cache-line hit.
+StreamingStats concurrent_poll_ns(int contexts, bool armed,
+                                  std::uint64_t iters) {
+  StreamingStats per_thread;
+  std::mutex mu;
+  std::atomic<int> ready{0};
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(contexts));
+  for (int i = 0; i < contexts; ++i) {
+    threads.emplace_back([&, i] {
+      guard::RunGuard::Limits limits;
+      limits.deadline_ms = 1e9;
+      guard::RunContext ctx("bench-ctx-" + std::to_string(i), limits);
+      ctx.set_publish_on_destroy(false);
+      double ns = 0.0;
+      {
+        std::unique_ptr<guard::ScopedContext> scope;
+        if (armed) scope = std::make_unique<guard::ScopedContext>(ctx);
+        ready.fetch_add(1, std::memory_order_acq_rel);
+        while (ready.load(std::memory_order_acquire) < contexts) {
+        }
+        ns = time_polls(iters);
+      }
+      const std::lock_guard<std::mutex> lock(mu);
+      per_thread.add(ns);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  return per_thread;
+}
+
+/// The §14 section: dormant vs armed poll cost at 1/2/4/8 simultaneous
+/// contexts, written to BENCH_run_context.json. Returns false (after
+/// reporting) if the dormant poll is far off "one thread-local load +
+/// branch" territory.
+bool run_context_section() {
+  constexpr std::uint64_t kIters = 1 << 22;
+  // A dormant poll is ~1-2 ns; this bound is an order of magnitude of
+  // headroom for slow CI metal, but an accidental mutex, registry
+  // lookup, or shared atomic slot blows straight through it.
+  constexpr double kDormantBudgetNs = 25.0;
+
+  bench::JsonlSink sink("run_context");
+  double dormant_solo_ns = 0.0;
+  for (const int contexts : {1, 2, 4, 8}) {
+    for (const bool armed : {false, true}) {
+      // Warm-up pass, then the measured pass.
+      concurrent_poll_ns(contexts, armed, kIters / 16);
+      const StreamingStats s = concurrent_poll_ns(contexts, armed, kIters);
+      if (!armed && contexts == 1) dormant_solo_ns = s.mean();
+      bench::JsonRow row;
+      row.str("section", "concurrent_poll")
+          .num("contexts", static_cast<std::uint64_t>(contexts))
+          .str("mode", armed ? "armed" : "dormant")
+          .num("iters_per_thread", kIters)
+          .num("ns_per_poll_mean", s.mean())
+          .num("ns_per_poll_min", s.min())
+          .num("ns_per_poll_max", s.max());
+      sink.row(row);
+    }
+  }
+
+  const bool dormant_ok = dormant_solo_ns <= kDormantBudgetNs;
+  bench::JsonRow verdict;
+  verdict.str("section", "dormant_check")
+      .num("ns_per_poll", dormant_solo_ns)
+      .num("budget_ns", kDormantBudgetNs)
+      .boolean("ok", dormant_ok);
+  sink.row(verdict);
+  if (!dormant_ok) {
+    std::fprintf(stderr,
+                 "bench_guard: dormant poll costs %.1f ns (> %.0f ns budget)"
+                 " — no longer a thread-local load + branch?\n",
+                 dormant_solo_ns, kDormantBudgetNs);
+  }
+  return dormant_ok;
+}
+
 }  // namespace
 }  // namespace matchsparse
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const bool dormant_ok = matchsparse::run_context_section();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return dormant_ok ? 0 : 1;
+}

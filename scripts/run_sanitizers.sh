@@ -34,6 +34,10 @@ GUARD_FILTER='*'
 # claims in the lock-free DFS, and the all-losers contention case run
 # lanes up to 8 on dedicated pools.
 FRONTIER_FILTER='*'
+# The whole run-context suite (DESIGN.md §14): eight concurrent guarded
+# pipelines on one shared pool, ambient-slot inheritance into workers,
+# cross-thread trip attribution, and per-context metrics merges.
+RUN_CONTEXT_FILTER='*'
 
 run_one() {
   san="$1"
@@ -42,20 +46,24 @@ run_one() {
   cmake -B "$dir" -S . -DMS_SANITIZE="$san" \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
   cmake --build "$dir" --target test_util test_sparsify test_obs \
-    test_guard test_frontier_matching -j "$(nproc)"
+    test_guard test_run_context test_frontier_matching -j "$(nproc)"
   "$dir/tests/test_util" --gtest_filter="$UTIL_FILTER"
   "$dir/tests/test_sparsify" --gtest_filter="$SPARSIFY_FILTER"
   "$dir/tests/test_obs" --gtest_filter="$OBS_FILTER"
   "$dir/tests/test_guard" --gtest_filter="$GUARD_FILTER"
+  "$dir/tests/test_run_context" --gtest_filter="$RUN_CONTEXT_FILTER"
   "$dir/tests/test_frontier_matching" --gtest_filter="$FRONTIER_FILTER"
   if [ "$san" = "thread" ]; then
     # Seed-randomized frontier workloads under TSan: the matchcheck
     # properties drive serial + 2/4/8-lane pool runs and mid-phase
-    # cancellation against the CAS kernels.
+    # cancellation against the CAS kernels. concurrent_guard_isolation
+    # overlaps whole guarded pipelines under distinct RunContexts on the
+    # shared pool and cross-checks the survivor bit-for-bit.
     cmake --build "$dir" --target matchsparse_fuzz -j "$(nproc)"
     "$dir/tools/matchsparse_fuzz" --budget 5s --seed 1 \
       --property frontier_vs_hk --property frontier_vs_blossom \
-      --property guard_cancel_frontier
+      --property guard_cancel_frontier \
+      --property concurrent_guard_isolation
   fi
   echo "==== ${san} sanitizer: OK ===="
 }

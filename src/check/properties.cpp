@@ -12,10 +12,13 @@
 //   - one-line failure messages: they land in ndjson logs and
 //     counterexample headers verbatim.
 #include <algorithm>
+#include <atomic>
 #include <string>
+#include <thread>
 
 #include "check/property.hpp"
 #include "core/api.hpp"
+#include "guard/context.hpp"
 #include "dist/engine.hpp"
 #include "dist/pipeline.hpp"
 #include "dist/sparsifier_protocols.hpp"
@@ -851,6 +854,170 @@ Result prop_guard_cancel_rerun(const Graph& g, const PropertyConfig& cfg) {
   return Result::pass();
 }
 
+/// Request-scoped isolation (DESIGN.md §14): two guarded runs in flight
+/// at once — each under its own RunContext, the survivor's sparsify
+/// fanned out on the SHARED default_pool() — while the victim is
+/// cancelled (or budget-tripped) at a seed-chosen poll. The survivor
+/// must be oblivious: outcome, matching, poll count and its per-context
+/// metrics snapshot all bit-identical to running alone. Before §14 this
+/// was impossible by construction (one process-wide guard slot).
+Result prop_concurrent_guard_isolation(const Graph& g,
+                                       const PropertyConfig& cfg) {
+  ApproxMatchingConfig survivor_cfg;
+  survivor_cfg.beta = std::max<VertexId>(1, cfg.beta);
+  survivor_cfg.eps = (cfg.eps > 0.0 && cfg.eps < 1.0) ? cfg.eps : 0.25;
+  survivor_cfg.seed = cfg.seed;
+  // Two lanes on the shared pool: the run only stays isolated if its
+  // workers inherit ITS context at submit time, never the victim's.
+  survivor_cfg.threads = 2;
+
+  // The victim runs the serial path so its poll count is a function of
+  // (g, cfg) and the trip point can be placed deterministically.
+  ApproxMatchingConfig victim_cfg = survivor_cfg;
+  victim_cfg.threads = 1;
+  victim_cfg.seed = mix64(cfg.seed, 0xc0117e87);
+
+  // Solo baselines, each under a scratch context (not published — the
+  // property must leave the global registry as it found it).
+  RunOutcome survivor_solo;
+  std::string survivor_solo_metrics;
+  {
+    guard::RunContext ctx("isolation.survivor.solo");
+    ctx.set_publish_on_destroy(false);
+    const guard::ScopedContext scope(ctx);
+    survivor_solo = approx_maximum_matching_guarded(g, survivor_cfg);
+    survivor_solo_metrics = ctx.metrics_snapshot().to_json();
+  }
+  if (survivor_solo.status != RunStatus::kOk) {
+    return Result::fail("survivor solo run not ok: status=" +
+                        std::string(to_string(survivor_solo.status)));
+  }
+  RunOutcome victim_solo;
+  {
+    guard::RunContext ctx("isolation.victim.solo");
+    ctx.set_publish_on_destroy(false);
+    const guard::ScopedContext scope(ctx);
+    victim_solo = approx_maximum_matching_guarded(g, victim_cfg);
+  }
+  if (victim_solo.status != RunStatus::kOk) {
+    return Result::fail("victim solo run not ok");
+  }
+  if (victim_solo.polls == 0) {
+    return Result::skip("no poll sites reached (graph too small)");
+  }
+
+  // One concurrent episode: the victim under `victim_limits` on its own
+  // thread, the survivor overlapping on this thread (both started
+  // through a barrier so the windows actually overlap). Returns the
+  // victim's outcome; fills the survivor's outcome + metrics json.
+  const auto run_pair = [&](const RunLimits& victim_limits,
+                            const char* tag, RunOutcome* survivor_out,
+                            std::string* survivor_metrics) {
+    RunOutcome victim_out;
+    std::atomic<int> ready{0};
+    const auto sync = [&ready] {
+      ready.fetch_add(1, std::memory_order_acq_rel);
+      while (ready.load(std::memory_order_acquire) < 2) {
+      }
+    };
+    std::thread victim_thread([&] {
+      guard::RunContext ctx(std::string("isolation.victim.") + tag);
+      ctx.set_publish_on_destroy(false);
+      const guard::ScopedContext scope(ctx);
+      sync();
+      victim_out = approx_maximum_matching_guarded(g, victim_cfg,
+                                                   victim_limits);
+    });
+    {
+      guard::RunContext ctx(std::string("isolation.survivor.") + tag);
+      ctx.set_publish_on_destroy(false);
+      const guard::ScopedContext scope(ctx);
+      sync();
+      *survivor_out = approx_maximum_matching_guarded(g, survivor_cfg);
+      *survivor_metrics = ctx.metrics_snapshot().to_json();
+    }
+    victim_thread.join();
+    return victim_out;
+  };
+
+  const auto check_survivor = [&](const RunOutcome& got,
+                                  const std::string& metrics,
+                                  const char* tag) {
+    if (got.status != RunStatus::kOk) {
+      return Result::fail(std::string("survivor[") + tag +
+                          "] disturbed: status=" +
+                          std::string(to_string(got.status)));
+    }
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      if (got.result.matching.mate(v) !=
+          survivor_solo.result.matching.mate(v)) {
+        return Result::fail(std::string("survivor[") + tag +
+                            "] matching diverges from solo at vertex " +
+                            sz(v));
+      }
+    }
+    if (got.polls != survivor_solo.polls) {
+      return Result::fail(std::string("survivor[") + tag +
+                          "] poll count diverges: " + sz(got.polls) +
+                          " vs solo " + sz(survivor_solo.polls));
+    }
+    if (metrics != survivor_solo_metrics) {
+      return Result::fail(std::string("survivor[") + tag +
+                          "] per-context metrics diverge from solo");
+    }
+    return Result::pass();
+  };
+
+  // 1. Victim cancelled at a seed-chosen poll while the survivor runs.
+  const std::uint64_t trip =
+      1 + mix64(cfg.seed, 0x15011a7e) % victim_solo.polls;
+  RunLimits cancel_limits;
+  cancel_limits.cancel_after_polls = trip;
+  RunOutcome survivor_got;
+  std::string survivor_metrics;
+  const RunOutcome cancelled =
+      run_pair(cancel_limits, "cancel", &survivor_got, &survivor_metrics);
+  if (cancelled.status != RunStatus::kCancelled) {
+    return Result::fail(
+        "concurrent victim cancel at poll " + sz(trip) + "/" +
+        sz(victim_solo.polls) +
+        " not reported: status=" + std::string(to_string(cancelled.status)));
+  }
+  if (Result r = check_valid(g, cancelled.result.matching,
+                             "isolation[victim.cancel]");
+      r.failed()) {
+    return r;
+  }
+  if (Result r = check_survivor(survivor_got, survivor_metrics, "cancel");
+      r.failed()) {
+    return r;
+  }
+
+  // 2. Victim budget-tripped into the maximal fallback while the
+  // survivor runs.
+  RunLimits budget_limits;
+  budget_limits.mem_budget_bytes = 1;
+  const RunOutcome degraded =
+      run_pair(budget_limits, "budget", &survivor_got, &survivor_metrics);
+  if (g.num_edges() > 0 &&
+      degraded.status != RunStatus::kDegradedMaximal) {
+    return Result::fail(
+        "concurrent victim 1-byte budget did not reach the maximal "
+        "fallback: status=" +
+        std::string(to_string(degraded.status)));
+  }
+  if (Result r = check_valid(g, degraded.result.matching,
+                             "isolation[victim.budget]");
+      r.failed()) {
+    return r;
+  }
+  if (Result r = check_survivor(survivor_got, survivor_metrics, "budget");
+      r.failed()) {
+    return r;
+  }
+  return Result::pass();
+}
+
 std::vector<Property> build_properties() {
   return {
       {"blossom_vs_brute_force",
@@ -915,6 +1082,11 @@ std::vector<Property> build_properties() {
        "guarded runs: seed-placed mid-run cancellation vs clean outcome + "
        "bit-identical re-run + budget ladder fallback",
        prop_guard_cancel_rerun},
+      {"concurrent_guard_isolation",
+       "two RunContext-scoped guarded runs on one shared pool, one "
+       "cancelled/budget-tripped at a seed-placed poll: survivor outcome, "
+       "matching, polls and per-context metrics bit-identical to solo",
+       prop_concurrent_guard_isolation},
   };
 }
 

@@ -200,8 +200,9 @@ RunOutcome approx_maximum_matching_guarded(const Graph& g,
       if (!can_degrade) break;
       if (eps >= 0.95) break;  // ε exhausted — on to the fallback
       eps = std::min(2.0 * eps, 0.95);
-      static obs::Counter& c_eps = obs::counter("guard.degrade.eps");
-      c_eps.add(1);
+      // Per-call lookup — obs::counter() is ambient since §14, so the
+      // rung's degradation event lands in the calling request's registry.
+      obs::counter("guard.degrade.eps").add(1);
       append_detail(outcome.detail,
                     "retrying with eps=" + std::to_string(eps));
     }
@@ -219,8 +220,7 @@ RunOutcome approx_maximum_matching_guarded(const Graph& g,
   // Maximal fallback: O(n + m) greedy scan on the ORIGINAL graph under a
   // fresh full-deadline guard, polled (never thrown) so it can hand back
   // whatever it matched when even the scan does not fit the window.
-  static obs::Counter& c_maximal = obs::counter("guard.degrade.maximal");
-  c_maximal.add(1);
+  obs::counter("guard.degrade.maximal").add(1);
   guard::RunGuard::Limits gl;
   gl.deadline_ms = limits.deadline_ms;
   gl.mem_budget_bytes = limits.mem_budget_bytes;

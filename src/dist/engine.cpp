@@ -12,39 +12,27 @@ namespace matchsparse::dist {
 namespace {
 
 /// Mirrors one run's TrafficStats deltas into the metrics registry (the
-/// façade described in the header): process-wide "dist.*" counters plus
-/// per-protocol per-round message/bit histograms. Called once per run,
-/// so plain registry lookups for the protocol-keyed names are fine; the
-/// fixed names use the cached-reference idiom.
+/// façade described in the header): "dist.*" counters plus per-protocol
+/// per-round message/bit histograms. Called once per run, so plain
+/// registry lookups are fine for every name — and required since §14:
+/// obs::counter() resolves the AMBIENT registry, so a static-cached
+/// reference would pin the first request's registry for all later runs.
 void publish_traffic(const char* protocol_name, const TrafficStats& s,
                      const StreamingStats& round_msgs,
                      const StreamingStats& round_bits) {
-  static obs::Counter& c_msgs = obs::counter("dist.msgs.sent");
-  static obs::Counter& c_bits = obs::counter("dist.bits.sent");
-  static obs::Counter& c_retx = obs::counter("dist.msgs.retransmitted");
-  static obs::Counter& c_drop = obs::counter("dist.msgs.dropped");
-  static obs::Counter& c_dup = obs::counter("dist.msgs.duplicated");
-  static obs::Counter& c_delay = obs::counter("dist.msgs.delayed");
-  static obs::Counter& c_acks = obs::counter("dist.acks.sent");
-  static obs::Counter& c_rounds = obs::counter("dist.rounds.total");
-  static obs::Counter& c_active = obs::counter("dist.rounds.active");
-  static obs::Counter& c_recov = obs::counter("dist.rounds.recovery");
-  static obs::Counter& c_crashed = obs::counter("dist.rounds.crashed_node");
-  static obs::Counter& c_runs = obs::counter("dist.runs.total");
-  static obs::Counter& c_done = obs::counter("dist.runs.completed");
-  c_msgs.add(s.messages);
-  c_bits.add(s.bits);
-  c_retx.add(s.retransmissions);
-  c_drop.add(s.dropped);
-  c_dup.add(s.duplicated);
-  c_delay.add(s.delayed);
-  c_acks.add(s.acks);
-  c_rounds.add(s.rounds);
-  c_active.add(s.active_rounds);
-  c_recov.add(s.recovery_rounds);
-  c_crashed.add(s.crashed_node_rounds);
-  c_runs.add(1);
-  if (s.completed) c_done.add(1);
+  obs::counter("dist.msgs.sent").add(s.messages);
+  obs::counter("dist.bits.sent").add(s.bits);
+  obs::counter("dist.msgs.retransmitted").add(s.retransmissions);
+  obs::counter("dist.msgs.dropped").add(s.dropped);
+  obs::counter("dist.msgs.duplicated").add(s.duplicated);
+  obs::counter("dist.msgs.delayed").add(s.delayed);
+  obs::counter("dist.acks.sent").add(s.acks);
+  obs::counter("dist.rounds.total").add(s.rounds);
+  obs::counter("dist.rounds.active").add(s.active_rounds);
+  obs::counter("dist.rounds.recovery").add(s.recovery_rounds);
+  obs::counter("dist.rounds.crashed_node").add(s.crashed_node_rounds);
+  obs::counter("dist.runs.total").add(1);
+  if (s.completed) obs::counter("dist.runs.completed").add(1);
   const std::string prefix = std::string("dist.") + protocol_name;
   obs::counter(prefix + ".msgs").add(s.messages);
   obs::counter(prefix + ".bits").add(s.bits);

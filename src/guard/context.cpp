@@ -1,0 +1,31 @@
+#include "guard/context.hpp"
+
+#include <atomic>
+
+namespace matchsparse::guard {
+
+namespace {
+
+std::uint64_t next_context_id() {
+  static std::atomic<std::uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+RunContext::RunContext(std::string label, const RunGuard::Limits& limits)
+    : id_(next_context_id()),
+      label_(std::move(label)),
+      guard_(limits, &metrics_) {}
+
+RunContext::~RunContext() {
+  if (publish_on_destroy_) publish();
+}
+
+void RunContext::publish() {
+  if (published_) return;
+  published_ = true;
+  metrics_.merge_into(obs::Registry::instance());
+}
+
+}  // namespace matchsparse::guard

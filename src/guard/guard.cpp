@@ -6,10 +6,6 @@
 
 namespace matchsparse::guard {
 
-namespace detail {
-std::atomic<RunGuard*> g_active{nullptr};
-}  // namespace detail
-
 namespace {
 
 std::uint64_t now_ns() {
@@ -20,17 +16,20 @@ std::uint64_t now_ns() {
 }
 
 /// Trip-event counters (one add per run at most — the polls themselves
-/// are never counted into the registry; they are too hot).
-void publish_trip(StopReason reason) {
+/// are never counted into the registry; they are too hot). Publishes
+/// into the guard's BOUND registry, not the tripping thread's ambient
+/// scope: cancel() may arrive from a thread serving a different request
+/// (or none), and the event belongs to the run being stopped.
+void publish_trip(StopReason reason, obs::Registry& registry) {
   switch (reason) {
     case StopReason::kCancelled:
-      obs::counter("guard.trips.cancelled").add(1);
+      registry.counter("guard.trips.cancelled").add(1);
       break;
     case StopReason::kDeadline:
-      obs::counter("guard.trips.deadline").add(1);
+      registry.counter("guard.trips.deadline").add(1);
       break;
     case StopReason::kBudget:
-      obs::counter("guard.trips.budget").add(1);
+      registry.counter("guard.trips.budget").add(1);
       break;
     case StopReason::kNone:
       break;
@@ -75,7 +74,11 @@ void MemoryBudget::release(std::uint64_t bytes) {
 }
 
 RunGuard::RunGuard(const Limits& limits)
+    : RunGuard(limits, obs::ambient_registry()) {}
+
+RunGuard::RunGuard(const Limits& limits, obs::Registry* metrics)
     : cancel_after_polls_(limits.cancel_after_polls),
+      metrics_(metrics),
       memory_(limits.mem_budget_bytes) {
   const std::uint64_t start = now_ns();
   if (limits.deadline_ms > 0.0) {
@@ -92,7 +95,9 @@ void RunGuard::trip(StopReason reason) {
   if (reason_.compare_exchange_strong(expected,
                                       static_cast<std::uint8_t>(reason),
                                       std::memory_order_relaxed)) {
-    publish_trip(reason);  // the CAS winner publishes exactly once
+    // The CAS winner publishes exactly once, into the owning run's
+    // registry (correct attribution even for cross-thread cancels).
+    publish_trip(reason, metrics_registry());
   }
 }
 

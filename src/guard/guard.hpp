@@ -11,9 +11,12 @@
 //
 // Design, mirroring the obs dormant-path idiom:
 //
-//   - One process-wide installation slot (an atomic pointer). With no
-//     guard installed, guard::poll() is a single atomic pointer load and
-//     a branch — cheap enough for every-K-iterations use in the hot
+//   - One installation slot PER THREAD (util/ambient.hpp), inherited by
+//     pool workers from the submitting thread at submit time — so N
+//     concurrent guarded requests each poll their own guard instead of
+//     stomping a process-wide slot (DESIGN.md §14). With no guard
+//     installed, guard::poll() is a single thread-local load and a
+//     branch — cheap enough for every-K-iterations use in the hot
 //     loops of sparsify / CSR build / augmentation / the engine's round
 //     loop, and measured <2% on bench_micro medians.
 //   - RunGuard holds the shared stop state: a sticky StopReason set by
@@ -45,6 +48,9 @@
 #include <cstdint>
 #include <stdexcept>
 #include <string>
+
+#include "obs/metrics.hpp"
+#include "util/ambient.hpp"
 
 namespace matchsparse::guard {
 
@@ -119,8 +125,10 @@ class MemoryBudget {
 };
 
 /// The shared state of one guarded run. Construct, install with
-/// ScopedGuard, run; poll sites observe it process-wide (cross-thread by
-/// design — pool workers and a cancelling caller see the same object).
+/// ScopedGuard (or own it in a RunContext), run; poll sites on the
+/// installing thread and on pool workers it submits to observe it
+/// (cross-thread by design — workers and a cancelling caller see the
+/// same object).
 class RunGuard {
  public:
   struct Limits {
@@ -140,7 +148,13 @@ class RunGuard {
   };
 
   RunGuard() : RunGuard(Limits()) {}
+  /// Binds trip attribution to the constructing thread's ambient
+  /// registry (the owning request's, or the global one when unscoped).
   explicit RunGuard(const Limits& limits);
+  /// Explicit-registry form for owners that build the guard BEFORE
+  /// entering the request scope (RunContext constructs its guard and
+  /// registry as siblings). nullptr → global registry.
+  RunGuard(const Limits& limits, obs::Registry* metrics);
 
   /// Cross-thread cancellation; sticky, idempotent.
   void cancel();
@@ -164,8 +178,19 @@ class RunGuard {
   /// returns stopped(). Call through guard::poll(), not directly.
   bool observe();
 
-  /// Internal: first-reason-wins transition + obs trip counter.
+  /// Internal: first-reason-wins transition + obs trip counter
+  /// (published into metrics_registry(), i.e. the OWNING request's
+  /// registry — not the ambient scope of whichever thread trips).
   void trip(StopReason reason);
+
+  /// The registry trip events attribute to: bound at construction to
+  /// the constructing thread's ambient registry (the owning request's;
+  /// the global registry when constructed unscoped). A guard created on
+  /// a request thread keeps attributing correctly even when cancel()
+  /// arrives from a different thread running under a different scope.
+  obs::Registry& metrics_registry() const {
+    return metrics_ != nullptr ? *metrics_ : obs::Registry::instance();
+  }
 
  private:
   std::atomic<std::uint8_t> reason_{0};
@@ -173,49 +198,43 @@ class RunGuard {
   std::atomic<std::uint64_t> polls_{0};
   std::uint64_t cancel_after_polls_ = 0;
   // Steady-clock ns timestamps; 0 = unarmed. Written once before the
-  // guard is installed, read by pollers after the release-store install.
+  // guard is installed, read by pollers after install.
   std::uint64_t hard_ns_ = 0;
   std::uint64_t soft_ns_ = 0;
+  obs::Registry* metrics_ = nullptr;  // nullptr → global registry
   MemoryBudget memory_;
 };
 
-namespace detail {
-/// The process-wide installation slot. Release-store on install /
-/// acquire-load in poll() so pollers always see a fully-constructed
-/// guard; on x86 both are ordinary loads/stores (the "one relaxed
-/// atomic load" dormant cost the design calls for).
-extern std::atomic<RunGuard*> g_active;
-}  // namespace detail
-
-/// Currently installed guard (nullptr when dormant).
+/// Guard installed on the current thread (nullptr when dormant).
+/// Reads the thread's ambient slot — there is no process-wide install
+/// slot anymore; workers see a guard only by inheriting the submitting
+/// thread's scope (ThreadPool::submit) or installing one themselves.
 inline RunGuard* active() {
-  return detail::g_active.load(std::memory_order_acquire);
+  return static_cast<RunGuard*>(ambient::get(ambient::kGuardSlot));
 }
 
 /// Installs a guard for the current scope; restores the previous one on
-/// exit (nesting is allowed — the ladder re-arms per rung). Installation
-/// is process-wide: exactly one caller at a time may run guarded (the
-/// CLI / one service worker per process), which is what keeps the
-/// dormant path a single load.
+/// exit (nesting is allowed — the ladder re-arms per rung). This is the
+/// single-slot compatibility shim over the request-scoped machinery:
+/// it swaps only the guard slot of the current THREAD, leaving any
+/// surrounding RunContext's metrics/trace scope installed. Callers that
+/// want full per-request isolation (own metrics registry + tracer) use
+/// guard::RunContext / ScopedContext from guard/context.hpp instead.
 class ScopedGuard {
  public:
-  explicit ScopedGuard(RunGuard& g)
-      : previous_(detail::g_active.exchange(&g, std::memory_order_acq_rel)) {}
-  ~ScopedGuard() {
-    detail::g_active.store(previous_, std::memory_order_release);
-  }
+  explicit ScopedGuard(RunGuard& g) : scope_(ambient::kGuardSlot, &g) {}
   ScopedGuard(const ScopedGuard&) = delete;
   ScopedGuard& operator=(const ScopedGuard&) = delete;
 
  private:
-  RunGuard* previous_;
+  ambient::SlotScope scope_;
 };
 
 /// Non-throwing cancellation point: true when the current execution
 /// should stop. The ONLY form allowed inside thread-pool workers.
 inline bool poll() noexcept {
   RunGuard* g = active();
-  if (g == nullptr) return false;  // dormant path: one load + branch
+  if (g == nullptr) return false;  // dormant path: one TLS load + branch
   return g->observe();
 }
 

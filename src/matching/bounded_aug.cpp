@@ -244,16 +244,14 @@ Matching approx_mcm(const Graph& g, double eps, Matching init,
       }
     }
   }
-  // Counters track the same quantities as ApproxMcmStats, aggregated
-  // process-wide; "passes" are the full sweeps over the free vertices.
-  static obs::Counter& c_passes = obs::counter("matching.aug.passes");
-  static obs::Counter& c_searches = obs::counter("matching.aug.searches");
-  static obs::Counter& c_augs = obs::counter("matching.aug.augmentations");
-  static obs::Counter& c_resets = obs::counter("matching.aug.stamp_resets");
-  c_passes.add(local.sweeps);
-  c_searches.add(local.searches);
-  c_augs.add(local.augmentations);
-  c_resets.add(solver.stamp_resets());
+  // Counters track the same quantities as ApproxMcmStats. Resolved per
+  // call (once per run, so the lookup is cheap) rather than static-
+  // cached: obs::counter() is ambient since §14 and a static would pin
+  // whichever request's registry the first caller ran under.
+  obs::counter("matching.aug.passes").add(local.sweeps);
+  obs::counter("matching.aug.searches").add(local.searches);
+  obs::counter("matching.aug.augmentations").add(local.augmentations);
+  obs::counter("matching.aug.stamp_resets").add(solver.stamp_resets());
   if (stats != nullptr) *stats = local;
   return solver.extract();
 }

@@ -157,11 +157,10 @@ class FrontierEngine {
       ++st.phases;
     }
 
-    static obs::Counter& c_phases = obs::counter("matching.frontier.phases");
-    c_phases.add(st.phases);
-    static obs::Counter& c_rescues =
-        obs::counter("matching.frontier.rescues");
-    c_rescues.add(st.serial_rescues);
+    // Resolved per call, not static-cached: obs::counter() is ambient
+    // since §14 and a static would pin the first request's registry.
+    obs::counter("matching.frontier.phases").add(st.phases);
+    obs::counter("matching.frontier.rescues").add(st.serial_rescues);
     obs::gauge("matching.frontier.max_width")
         .set(static_cast<double>(st.max_width));
     if (out != nullptr) *out = st;

@@ -48,8 +48,11 @@ std::string run_manifest_json(const RunManifest& m) {
   append_escaped(out, m.config);
   out += ",\"seed\":" + std::to_string(m.seed);
   out += ",\"threads\":" + std::to_string(m.threads);
+  // Ambient resolution (§14): inside a RunContext scope this emits the
+  // REQUEST's metrics and spans; unscoped callers get the process-wide
+  // registry/tracer exactly as before.
   out += ",\"metrics\":" + metrics_snapshot().to_json();
-  out += ",\"spans\":" + Tracer::instance().span_summary_json();
+  out += ",\"spans\":" + resolve_tracer().span_summary_json();
   out += '}';
   return out;
 }

@@ -4,7 +4,9 @@
 #include <cmath>
 #include <cstdio>
 #include <map>
+#include <vector>
 
+#include "util/ambient.hpp"
 #include "util/common.hpp"
 
 namespace matchsparse::obs {
@@ -138,12 +140,82 @@ struct Registry::State {
 
 Registry::Registry() : state_(std::make_unique<State>()) {}
 
+Registry::~Registry() = default;
+
 Registry& Registry::instance() {
   // Leaked on purpose: instrumented code may run during static
   // destruction (pool workers draining at exit) and must always have a
   // live registry to write to.
   static Registry* const registry = new Registry();
   return *registry;
+}
+
+// Definitions must live in the inline namespace explicitly: a plain
+// obs-level definition would declare a distinct, ambiguous sibling.
+inline namespace enabled {
+
+Registry* ambient_registry() {
+  return static_cast<Registry*>(ambient::get(ambient::kMetricsSlot));
+}
+
+Registry& resolve_registry() {
+  Registry* r = ambient_registry();
+  return r != nullptr ? *r : Registry::instance();
+}
+
+}  // namespace enabled
+
+ScopedMetricsRegistry::ScopedMetricsRegistry(Registry& r)
+    : previous_(static_cast<Registry*>(
+          ambient::exchange(ambient::kMetricsSlot, &r))) {}
+
+ScopedMetricsRegistry::~ScopedMetricsRegistry() {
+  ambient::exchange(ambient::kMetricsSlot, previous_);
+}
+
+void Registry::merge_into(Registry& target) const {
+  MS_CHECK_MSG(this != &target, "registry cannot merge into itself");
+  // Snapshot this registry under its own lock first, then write into
+  // the target under the target's lock. Merges only ever flow
+  // request-registry → global, so the two-step never inverts a lock
+  // order; taking both locks at once is unnecessary.
+  struct HistEntry {
+    std::string name;
+    StreamingStats stats;
+  };
+  std::vector<MetricValue> scalars;
+  std::vector<HistEntry> hists;
+  {
+    const std::lock_guard<std::mutex> lock(state_->mutex);
+    for (const auto& [name, counter] : state_->counters) {
+      MetricValue m;
+      m.name = name;
+      m.kind = MetricKind::kCounter;
+      m.count = counter.value();
+      scalars.push_back(std::move(m));
+    }
+    for (const auto& [name, gauge] : state_->gauges) {
+      MetricValue m;
+      m.name = name;
+      m.kind = MetricKind::kGauge;
+      m.value = gauge.value();
+      scalars.push_back(std::move(m));
+    }
+    for (const auto& [name, histogram] : state_->histograms) {
+      hists.push_back(HistEntry{name, histogram.stats()});
+    }
+  }
+  for (const MetricValue& m : scalars) {
+    if (m.kind == MetricKind::kCounter) {
+      if (m.count != 0) target.counter(m.name).add(m.count);
+      else target.counter(m.name);  // keep the name registered
+    } else {
+      target.gauge(m.name).set(m.value);
+    }
+  }
+  for (const HistEntry& h : hists) {
+    target.histogram(h.name).merge(h.stats);
+  }
 }
 
 Counter& Registry::counter(std::string_view name) {

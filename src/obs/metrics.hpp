@@ -1,25 +1,38 @@
-// Process-wide metrics registry — the quantitative half of the
-// observability layer (DESIGN.md §11).
+// Metrics registries — the quantitative half of the observability
+// layer (DESIGN.md §11), request-scoped since §14.
 //
 // Three instrument kinds, all addressed by a dotted name following the
 // `subsystem.noun.verb-or-aspect` scheme (e.g. "sparsify.marks.total",
 // "dist.msgs.sent"):
 //
 //   Counter   — monotonically increasing uint64; a relaxed atomic add,
-//               cheap enough for per-call accounting on hot paths. The
-//               idiom for repeated sites is a function-local static
-//               reference so the name lookup happens once:
-//                 static obs::Counter& c = obs::counter("x.y.z");
-//                 c.add(n);
+//               cheap enough for per-call accounting on hot paths.
 //   Gauge     — a last-write-wins double (e.g. the Obs 2.10 density
 //               ratio "sparsify.edges.vs_bound").
 //   Histogram — a mutex-guarded StreamingStats; per-sample observe() or
 //               a bulk merge() of a locally accumulated StreamingStats
 //               (the pattern hot loops use so the lock is taken once).
 //
+// Instrument resolution is AMBIENT: obs::counter("x") writes into the
+// current thread's installed Registry (a request-scoped registry set up
+// by guard::RunContext, inherited by pool workers at submit time) and
+// falls back to the process-wide Registry::instance() when none is
+// installed — the pre-§14 behavior, so single-run callers and the CLI's
+// one-shot commands are unchanged. Because the resolved registry now
+// depends on the calling request, call sites must NOT cache the
+// returned reference in a function-local `static` (the old stable-
+// address idiom): a static would pin every later request to whichever
+// registry the first caller ran under. Hot loops keep the lookups off
+// the inner path the same way the histograms always have — accumulate
+// locally, publish once per run.
+//
 // snapshot() returns every registered instrument sorted by name, so two
 // runs doing the same work produce byte-identical snapshots regardless
-// of thread interleaving (counters are order-independent sums).
+// of thread interleaving (counters are order-independent sums). A
+// request-scoped registry is folded into the global one exactly once
+// via merge_into() (counters/histograms add, gauges last-write-wins,
+// deterministic name order), which is what keeps aggregate exports and
+// the run manifest unchanged after the request-scoping refactor.
 //
 // Compile-time gating: building with MATCHSPARSE_OBS_ENABLED=0 (CMake
 // option MATCHSPARSE_OBS=OFF) swaps every type in this header for an
@@ -117,9 +130,16 @@ class Histogram {
 };
 
 /// Name → instrument map with stable addresses: a returned reference
-/// stays valid for the process lifetime, so hot paths can cache it.
+/// stays valid for the REGISTRY's lifetime. Instantiable since §14 —
+/// every guard::RunContext owns one — with the process-wide instance()
+/// remaining the ambient fallback for unscoped callers.
 class Registry {
  public:
+  Registry();
+  ~Registry();
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
   static Registry& instance();
 
   /// Find-or-create. Aborts (MS_CHECK) if `name` is already registered
@@ -130,27 +150,55 @@ class Registry {
 
   MetricsSnapshot snapshot() const;
 
+  /// Folds every instrument of this registry into `target`: counters
+  /// and histograms accumulate, gauges overwrite (last writer wins —
+  /// only gauges registered here touch the target's). Iteration is in
+  /// sorted name order, so merging the same registries in the same
+  /// sequence is deterministic. Used by RunContext to publish a
+  /// request's metrics into the global registry exactly once.
+  void merge_into(Registry& target) const;
+
   /// Zeroes every registered instrument (names stay registered). Test
   /// plumbing: production code never resets.
   void reset_all();
 
  private:
-  Registry();
   struct State;
   std::unique_ptr<State> state_;
 };
 
+/// The registry installed on the current thread (nullptr when the
+/// thread runs unscoped). Backed by the ambient slot array that pool
+/// workers inherit at submit time (util/ambient.hpp).
+Registry* ambient_registry();
+
+/// Ambient resolution: the installed registry, else the global one.
+Registry& resolve_registry();
+
+/// RAII: installs `r` as the current thread's registry for the scope.
+/// RunContext uses this; tests can install a scratch registry directly.
+class ScopedMetricsRegistry {
+ public:
+  explicit ScopedMetricsRegistry(Registry& r);
+  ~ScopedMetricsRegistry();
+  ScopedMetricsRegistry(const ScopedMetricsRegistry&) = delete;
+  ScopedMetricsRegistry& operator=(const ScopedMetricsRegistry&) = delete;
+
+ private:
+  Registry* previous_;
+};
+
 inline Counter& counter(std::string_view name) {
-  return Registry::instance().counter(name);
+  return resolve_registry().counter(name);
 }
 inline Gauge& gauge(std::string_view name) {
-  return Registry::instance().gauge(name);
+  return resolve_registry().gauge(name);
 }
 inline Histogram& histogram(std::string_view name) {
-  return Registry::instance().histogram(name);
+  return resolve_registry().histogram(name);
 }
 inline MetricsSnapshot metrics_snapshot() {
-  return Registry::instance().snapshot();
+  return resolve_registry().snapshot();
 }
 
 }  // namespace enabled
@@ -176,6 +224,35 @@ struct Histogram {
   void merge(const StreamingStats&) {}
   StreamingStats stats() const { return {}; }
   void reset() {}
+};
+
+struct Registry {
+  static Registry& instance() {
+    static Registry r;
+    return r;
+  }
+  Counter& counter(std::string_view) {
+    static Counter c;
+    return c;
+  }
+  Gauge& gauge(std::string_view) {
+    static Gauge g;
+    return g;
+  }
+  Histogram& histogram(std::string_view) {
+    static Histogram h;
+    return h;
+  }
+  MetricsSnapshot snapshot() const { return {}; }
+  void merge_into(Registry&) const {}
+  void reset_all() {}
+};
+
+inline Registry* ambient_registry() { return nullptr; }
+inline Registry& resolve_registry() { return Registry::instance(); }
+
+struct ScopedMetricsRegistry {
+  explicit ScopedMetricsRegistry(Registry&) {}
 };
 
 inline Counter& counter(std::string_view) {

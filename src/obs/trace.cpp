@@ -5,6 +5,8 @@
 #include <cstdio>
 #include <map>
 
+#include "util/ambient.hpp"
+
 namespace matchsparse::obs {
 
 #if MATCHSPARSE_OBS_ENABLED
@@ -172,9 +174,33 @@ bool Tracer::export_ndjson(const std::string& path) const {
   return write_file(path, write_ndjson());
 }
 
+// Definitions must live in the inline namespace explicitly: a plain
+// obs-level definition would declare a distinct, ambiguous sibling.
+inline namespace enabled {
+
+Tracer* ambient_tracer() {
+  return static_cast<Tracer*>(ambient::get(ambient::kTraceSlot));
+}
+
+Tracer& resolve_tracer() {
+  Tracer* t = ambient_tracer();
+  return t != nullptr ? *t : Tracer::instance();
+}
+
+}  // namespace enabled
+
+ScopedTracer::ScopedTracer(Tracer& t)
+    : previous_(
+          static_cast<Tracer*>(ambient::exchange(ambient::kTraceSlot, &t))) {}
+
+ScopedTracer::~ScopedTracer() {
+  ambient::exchange(ambient::kTraceSlot, previous_);
+}
+
 Span::Span(std::string_view name) {
-  Tracer& tracer = Tracer::instance();
+  Tracer& tracer = resolve_tracer();
   if (!tracer.is_enabled()) return;
+  tracer_ = &tracer;
   active_ = true;
   name_ = name;
   depth_ = t_depth++;
@@ -184,7 +210,7 @@ Span::Span(std::string_view name) {
 Span::~Span() {
   if (!active_) return;
   --t_depth;
-  Tracer& tracer = Tracer::instance();
+  Tracer& tracer = *tracer_;
   TraceEvent ev;
   ev.name = std::move(name_);
   ev.tid = current_tid();

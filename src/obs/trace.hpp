@@ -57,6 +57,13 @@ inline namespace enabled {
 
 class Tracer {
  public:
+  /// Instantiable since §14: every guard::RunContext owns a Tracer so
+  /// concurrent requests record span streams in isolation. instance()
+  /// remains the ambient fallback for unscoped callers.
+  Tracer();
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
   static Tracer& instance();
 
   /// Master switch; spans opened while disabled record nothing.
@@ -85,7 +92,6 @@ class Tracer {
 
  private:
   friend class Span;
-  Tracer();
   std::uint64_t now_us() const;
   void record(TraceEvent ev);
 
@@ -93,6 +99,25 @@ class Tracer {
   mutable std::mutex mutex_;
   std::vector<TraceEvent> events_;
   std::uint64_t epoch_ns_ = 0;
+};
+
+/// The tracer installed on the current thread (nullptr when the thread
+/// runs unscoped); inherited by pool workers at submit time.
+Tracer* ambient_tracer();
+
+/// Ambient resolution: the installed tracer, else the global instance.
+Tracer& resolve_tracer();
+
+/// RAII: installs `t` as the current thread's tracer for the scope.
+class ScopedTracer {
+ public:
+  explicit ScopedTracer(Tracer& t);
+  ~ScopedTracer();
+  ScopedTracer(const ScopedTracer&) = delete;
+  ScopedTracer& operator=(const ScopedTracer&) = delete;
+
+ private:
+  Tracer* previous_;
 };
 
 class Span {
@@ -103,6 +128,9 @@ class Span {
   Span& operator=(const Span&) = delete;
 
  private:
+  Tracer* tracer_ = nullptr;  // resolved once at open — a span records
+                              // into the scope it was opened under even
+                              // if the ambient changes before close
   std::string name_;
   std::uint64_t start_us_ = 0;
   std::uint32_t depth_ = 0;
@@ -117,6 +145,7 @@ inline namespace disabled {
 
 class Tracer {
  public:
+  Tracer() = default;
   static Tracer& instance() {
     static Tracer t;
     return t;
@@ -140,6 +169,13 @@ class Tracer {
     std::ofstream out(path);
     return static_cast<bool>(out);
   }
+};
+
+inline Tracer* ambient_tracer() { return nullptr; }
+inline Tracer& resolve_tracer() { return Tracer::instance(); }
+
+struct ScopedTracer {
+  explicit ScopedTracer(Tracer&) {}
 };
 
 struct Span {

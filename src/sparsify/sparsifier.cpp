@@ -16,12 +16,12 @@ namespace {
 
 /// Folds one marking pass into the paper-invariant counters the
 /// observability layer watches (DESIGN.md §11): marks placed and
-/// adjacency probes spent. Called once per build, never per vertex.
+/// adjacency probes spent. Called once per build, never per vertex —
+/// and resolved per call, not static-cached: obs::counter() is ambient
+/// since §14 and a static would pin the first request's registry.
 void publish_mark_metrics(std::uint64_t marked, std::uint64_t probes) {
-  static obs::Counter& c_marks = obs::counter("sparsify.marks.total");
-  static obs::Counter& c_probes = obs::counter("sparsify.probes.total");
-  c_marks.add(marked);
-  c_probes.add(probes);
+  obs::counter("sparsify.marks.total").add(marked);
+  obs::counter("sparsify.probes.total").add(probes);
 }
 
 /// Debug-mode enforcement of the SparsifierStats timing contract

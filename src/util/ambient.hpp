@@ -1,0 +1,98 @@
+// Ambient execution state — the thread-local slot array that makes
+// guarded runs request-scoped instead of process-wide (DESIGN.md §14).
+//
+// The guard subsystem (§12) and the observability layer (§11) both need
+// an "ambient" object that hot paths resolve without threading a
+// parameter through every call: the active RunGuard a poll site
+// observes, the metrics registry an instrument writes to, the tracer a
+// span records into. PRs 4–5 kept those in process-wide singletons,
+// which made exactly one guarded run possible per process; this header
+// replaces the singletons with per-thread slots so N concurrent
+// requests each see their own state.
+//
+// Layering: this file lives in util/ (below obs/ and guard/) and knows
+// nothing about the types stored in the slots — each slot is an opaque
+// void* whose owner (guard/context.hpp, obs/metrics.hpp, obs/trace.hpp)
+// does the casting. That keeps the dependency order acyclic: the thread
+// pool propagates ambient state without linking against guard or obs.
+//
+// Propagation contract: ThreadPool::submit() captures the submitting
+// thread's Snapshot and applies it around the task body, so pool
+// workers INHERIT the submitter's guard/metrics/trace scope — the
+// mechanism behind "workers poll the request that spawned them" rather
+// than "workers poll whichever guard is globally installed". The
+// dormant cost of a slot read is one thread-local load + branch, the
+// same budget the old atomic install slot had.
+#pragma once
+
+#include <array>
+#include <cstddef>
+
+namespace matchsparse::ambient {
+
+/// Slot indices. Owners cast to/from the stored pointer type.
+inline constexpr std::size_t kGuardSlot = 0;    // guard::RunGuard*
+inline constexpr std::size_t kMetricsSlot = 1;  // obs::Registry*
+inline constexpr std::size_t kTraceSlot = 2;    // obs::Tracer*
+inline constexpr std::size_t kContextSlot = 3;  // guard::RunContext*
+inline constexpr std::size_t kSlotCount = 4;
+
+/// A value copy of every slot, capturable on one thread and applicable
+/// on another (the pool's inheritance mechanism).
+struct Snapshot {
+  std::array<void*, kSlotCount> slots{};
+};
+
+namespace detail {
+inline thread_local Snapshot t_state{};
+}  // namespace detail
+
+/// Current thread's value for `slot` (nullptr when nothing installed).
+inline void* get(std::size_t slot) noexcept {
+  return detail::t_state.slots[slot];
+}
+
+/// Sets `slot` on the current thread, returning the previous value.
+inline void* exchange(std::size_t slot, void* value) noexcept {
+  void* previous = detail::t_state.slots[slot];
+  detail::t_state.slots[slot] = value;
+  return previous;
+}
+
+/// Everything installed on the current thread, by value.
+inline Snapshot capture() noexcept { return detail::t_state; }
+
+/// RAII: applies a full Snapshot for the current scope and restores the
+/// thread's previous state on exit. The thread pool wraps every task in
+/// one of these so workers run under the submitter's ambient state.
+class Scope {
+ public:
+  explicit Scope(const Snapshot& snapshot) noexcept
+      : previous_(detail::t_state) {
+    detail::t_state = snapshot;
+  }
+  ~Scope() { detail::t_state = previous_; }
+  Scope(const Scope&) = delete;
+  Scope& operator=(const Scope&) = delete;
+
+ private:
+  Snapshot previous_;
+};
+
+/// RAII: sets a single slot for the current scope (guard nesting inside
+/// one request — the degradation ladder re-arming per rung — swaps only
+/// the guard slot and leaves the request's metrics/trace scope alone).
+class SlotScope {
+ public:
+  SlotScope(std::size_t slot, void* value) noexcept
+      : slot_(slot), previous_(exchange(slot, value)) {}
+  ~SlotScope() { detail::t_state.slots[slot_] = previous_; }
+  SlotScope(const SlotScope&) = delete;
+  SlotScope& operator=(const SlotScope&) = delete;
+
+ private:
+  std::size_t slot_;
+  void* previous_;
+};
+
+}  // namespace matchsparse::ambient

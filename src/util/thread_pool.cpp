@@ -1,8 +1,10 @@
 #include "util/thread_pool.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 
 #include "util/common.hpp"
+#include "util/parse.hpp"
 
 namespace matchsparse {
 
@@ -38,7 +40,7 @@ void ThreadPool::submit(std::function<void()> task) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
     MS_CHECK_MSG(!stop_, "submit() on a stopped pool");
-    queue_.push(std::move(task));
+    queue_.push(Job{ambient::capture(), std::move(task)});
     ++in_flight_;
   }
   cv_task_.notify_one();
@@ -52,15 +54,21 @@ void ThreadPool::wait_idle() {
 void ThreadPool::worker_loop() {
   t_worker_pool = this;
   for (;;) {
-    std::function<void()> task;
+    Job job;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       cv_task_.wait(lock, [this] { return stop_ || !queue_.empty(); });
       if (queue_.empty()) return;  // stop_ set and drained
-      task = std::move(queue_.front());
+      job = std::move(queue_.front());
       queue_.pop();
     }
-    task();
+    {
+      // Run under the submitter's ambient state; restore the worker's
+      // (empty) state before the next job so no request leaks into
+      // work submitted by a different one.
+      const ambient::Scope inherited(job.context);
+      job.fn();
+    }
     {
       std::lock_guard<std::mutex> lock(mutex_);
       --in_flight_;
@@ -70,7 +78,19 @@ void ThreadPool::worker_loop() {
 }
 
 ThreadPool& default_pool() {
-  static ThreadPool pool;  // lazily built, joined at process exit
+  // Lazily built, joined at process exit. MS_POOL_THREADS overrides the
+  // hardware-concurrency default — CI stress lanes pin 8 workers so the
+  // interleavings they hunt exist even on 2-core runners.
+  static ThreadPool pool([] {
+    const char* env = std::getenv("MS_POOL_THREADS");
+    if (env != nullptr) {
+      const auto parsed = parse_u64(env);
+      if (parsed.has_value() && *parsed > 0 && *parsed <= 1024) {
+        return static_cast<std::size_t>(*parsed);
+      }
+    }
+    return std::size_t{0};  // hardware concurrency
+  }());
   return pool;
 }
 

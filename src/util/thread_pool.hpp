@@ -16,6 +16,8 @@
 #include <thread>
 #include <vector>
 
+#include "util/ambient.hpp"
+
 namespace matchsparse {
 
 class ThreadPool {
@@ -29,17 +31,30 @@ class ThreadPool {
 
   std::size_t size() const { return workers_.size(); }
 
-  /// Enqueues a task; returns immediately.
+  /// Enqueues a task; returns immediately. The submitting thread's
+  /// ambient state (run guard, metrics registry, trace scope — see
+  /// util/ambient.hpp) is captured here and re-installed around the
+  /// task body, so workers poll and record against the REQUEST that
+  /// spawned the task, not a process-wide slot. That inheritance is
+  /// what lets N guarded runs share one pool without stomping each
+  /// other (DESIGN.md §14).
   void submit(std::function<void()> task);
 
   /// Blocks until every submitted task has finished.
   void wait_idle();
 
  private:
+  /// One queued unit of work: the task plus the ambient state it runs
+  /// under (captured at submit time on the submitting thread).
+  struct Job {
+    ambient::Snapshot context;
+    std::function<void()> fn;
+  };
+
   void worker_loop();
 
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> queue_;
+  std::queue<Job> queue_;
   std::mutex mutex_;
   std::condition_variable cv_task_;
   std::condition_variable cv_idle_;
@@ -48,10 +63,12 @@ class ThreadPool {
 };
 
 /// Process-wide shared pool, lazily constructed on first use with one
-/// worker per hardware thread and destroyed at process exit. Callers that
-/// want fewer than pool.size() lanes bound the *task count* they submit
-/// (parallel_for never uses more lanes than iterations); there is no need
-/// to build a smaller pool.
+/// worker per hardware thread (override: MS_POOL_THREADS=<n> in the
+/// environment, used by the CI stress lanes to pin 8 workers on small
+/// runners) and destroyed at process exit. Callers that want fewer than
+/// pool.size() lanes bound the *task count* they submit (parallel_for
+/// never uses more lanes than iterations); there is no need to build a
+/// smaller pool.
 ThreadPool& default_pool();
 
 /// Runs fn(i) for i in [0, count) across the pool's threads, blocking until

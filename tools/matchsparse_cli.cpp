@@ -22,24 +22,40 @@
 // A degraded run still exits 0 and reports the achieved guarantee; only
 // failed/cancelled runs exit 3.
 //
+// Concurrency self-test (match only; DESIGN.md §14):
+//   --repeat=N --jobs=K   run the same guarded request N times, K at a
+//                         time, each under its own guard::RunContext on
+//                         the shared process. Every run is cross-checked
+//                         bit-for-bit (status, matching, poll count,
+//                         per-request metrics snapshot) against a solo
+//                         reference run; any divergence exits 3. With
+//                         --metrics/--trace, each request additionally
+//                         writes its own manifest/trace to
+//                         <path>.req<id>. Deterministic limits only:
+//                         wall-clock deadlines may legitimately trip in
+//                         some repeats and not others.
+//
 // Families: line, unitdisk, cliqueunion, unitint, complete (see
 // gen/families.hpp). File format: "n m" header then "u v" lines.
 //
 // Bad input — malformed files, unknown families, garbage numbers — is a
 // user error, not a programmer error: it is reported as a one-line
 // message on stderr with a nonzero exit, never as an MS_CHECK abort.
+#include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <cstring>
 #include <exception>
 #include <stdexcept>
 #include <string>
-
+#include <thread>
 #include <vector>
 
 #include "core/api.hpp"
 #include "gen/families.hpp"
 #include "graph/io.hpp"
 #include "graph/measures.hpp"
+#include "guard/context.hpp"
 #include "matching/greedy.hpp"
 #include "obs/manifest.hpp"
 #include "obs/metrics.hpp"
@@ -72,6 +88,15 @@ GuardFlags g_guard;
 /// builds an ApproxMatchingConfig.
 MatcherBackend g_matcher = MatcherBackend::kSerial;
 
+/// Filled by the --repeat=/--jobs= flags (concurrency self-test; match
+/// only).
+struct SelfTestFlags {
+  std::uint64_t repeat = 1;
+  std::uint64_t jobs = 1;
+  bool requested() const { return repeat > 1 || jobs > 1; }
+};
+SelfTestFlags g_selftest;
+
 /// Thrown on malformed command-line arguments; caught in main alongside
 /// IoError and turned into a one-line diagnostic + exit 1.
 class UsageError : public std::runtime_error {
@@ -92,6 +117,8 @@ int usage() {
                "       --deadline-ms=<ms> --mem-budget=<bytes[k|m|g]> "
                "--degrade=off|eps|maximal\n"
                "       --matcher=serial|frontier\n"
+               "       --repeat=<N> --jobs=<K>   (match: concurrent "
+               "self-test, see DESIGN.md \xC2\xA714)\n"
                "families: line unitdisk cliqueunion unitint cliquepath "
                "complete\n");
   return 2;
@@ -242,6 +269,93 @@ int run_guarded_match(const Graph& g, const ApproxMatchingConfig& cfg) {
   return (outcome.ok() || outcome.degraded()) ? 0 : 3;
 }
 
+/// `match --repeat=N --jobs=K`: N identical guarded requests, K in
+/// flight at a time, each under its own guard::RunContext so guard,
+/// metrics and trace state never cross between requests (DESIGN.md
+/// §14). Every run is compared bit-for-bit against one solo reference
+/// run taken before the fleet starts; per-request manifests/traces go
+/// to <path>.req<id> when --metrics/--trace were given.
+int run_selftest_match(const Graph& g, const ApproxMatchingConfig& cfg) {
+  const std::uint64_t repeat = g_selftest.repeat;
+  const std::uint64_t jobs = std::min(g_selftest.jobs, repeat);
+
+  RunOutcome ref;
+  std::string ref_metrics;
+  {
+    guard::RunContext ctx("selftest-reference");
+    const guard::ScopedContext scope(ctx);
+    ref = approx_maximum_matching_guarded(g, cfg, g_guard.limits);
+    ref_metrics = ctx.metrics_snapshot().to_json();
+  }
+
+  std::atomic<std::uint64_t> next{0};
+  std::vector<std::string> divergence(repeat);
+  const auto run_request = [&](std::uint64_t r) {
+    const std::string rid = std::to_string(r);
+    guard::RunContext ctx("selftest-req-" + rid);
+    const guard::ScopedContext scope(ctx);
+    if (!g_obs.trace_path.empty()) ctx.tracer().set_enabled(true);
+    const RunOutcome out =
+        approx_maximum_matching_guarded(g, cfg, g_guard.limits);
+    const std::string metrics = ctx.metrics_snapshot().to_json();
+    if (out.status != ref.status) {
+      divergence[r] = std::string("status ") + to_string(out.status) +
+                      " vs " + to_string(ref.status);
+    } else if (out.polls != ref.polls) {
+      divergence[r] = "poll count " + std::to_string(out.polls) + " vs " +
+                      std::to_string(ref.polls);
+    } else if (metrics != ref_metrics) {
+      divergence[r] = "per-request metrics snapshot differs";
+    } else {
+      for (VertexId v = 0; v < g.num_vertices(); ++v) {
+        if (out.result.matching.mate(v) != ref.result.matching.mate(v)) {
+          divergence[r] = "matching diverges at vertex " + std::to_string(v);
+          break;
+        }
+      }
+    }
+    // Per-request outputs, resolved through THIS request's ambient scope:
+    // the manifest embeds this context's metrics and span summary only.
+    if (!g_obs.metrics_path.empty()) {
+      obs::RunManifest m = g_obs.manifest;
+      m.tool += " req-" + rid;
+      obs::write_run_manifest(g_obs.metrics_path + ".req" + rid, m);
+    }
+    if (!g_obs.trace_path.empty()) {
+      ctx.tracer().export_chrome(g_obs.trace_path + ".req" + rid);
+    }
+  };
+
+  std::vector<std::thread> lanes;
+  lanes.reserve(jobs);
+  for (std::uint64_t k = 0; k < jobs; ++k) {
+    lanes.emplace_back([&] {
+      for (std::uint64_t r;
+           (r = next.fetch_add(1, std::memory_order_relaxed)) < repeat;) {
+        run_request(r);
+      }
+    });
+  }
+  for (std::thread& t : lanes) t.join();
+
+  std::uint64_t failures = 0;
+  for (std::uint64_t r = 0; r < repeat; ++r) {
+    if (divergence[r].empty()) continue;
+    ++failures;
+    std::printf("  req-%llu: %s\n", static_cast<unsigned long long>(r),
+                divergence[r].c_str());
+  }
+  std::printf("self-test: %llu requests x %llu jobs: %s (reference: "
+              "status=%s matched=%u polls=%llu)\n",
+              static_cast<unsigned long long>(repeat),
+              static_cast<unsigned long long>(jobs),
+              failures == 0 ? "all bit-identical to solo reference"
+                            : (std::to_string(failures) + " diverged").c_str(),
+              to_string(ref.status), ref.result.matching.size(),
+              static_cast<unsigned long long>(ref.polls));
+  return failures == 0 ? 0 : 3;
+}
+
 int cmd_match(int argc, char** argv) {
   if (argc != 5 && argc != 6) return usage();
   const Graph g = load_edge_list(argv[2]);
@@ -255,6 +369,7 @@ int cmd_match(int argc, char** argv) {
   g_obs.manifest.config =
       "beta=" + std::to_string(cfg.beta) + " eps=" + std::to_string(cfg.eps) +
       (cfg.matcher == MatcherBackend::kFrontier ? " matcher=frontier" : "");
+  if (g_selftest.requested()) return run_selftest_match(g, cfg);
   if (g_guard.any) return run_guarded_match(g, cfg);
   const auto result = approx_maximum_matching(g, cfg);
   WallTimer t;
@@ -408,6 +523,12 @@ std::vector<char*> parse_obs_flags(int argc, char** argv) {
                          mode + "\"");
       }
       g_guard.any = true;
+    } else if (std::strncmp(argv[i], "--repeat=", 9) == 0) {
+      g_selftest.repeat = parse_u64(argv[i] + 9, "--repeat");
+      if (g_selftest.repeat == 0) throw UsageError("--repeat must be >= 1");
+    } else if (std::strncmp(argv[i], "--jobs=", 7) == 0) {
+      g_selftest.jobs = parse_u64(argv[i] + 7, "--jobs");
+      if (g_selftest.jobs == 0) throw UsageError("--jobs must be >= 1");
     } else if (std::strncmp(argv[i], "--matcher=", 10) == 0) {
       const std::string backend = argv[i] + 10;
       if (backend == "serial") {
