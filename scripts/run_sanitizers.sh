@@ -38,6 +38,10 @@ FRONTIER_FILTER='*'
 # pipelines on one shared pool, ambient-slot inheritance into workers,
 # cross-thread trip attribution, and per-context metrics merges.
 RUN_CONTEXT_FILTER='*'
+# The whole serve suite (DESIGN.md §15): session threads racing the
+# cache, admission counters, cross-connection CANCEL delivery, and the
+# 8-client bit-identical-to-solo headline.
+SERVE_FILTER='*'
 
 run_one() {
   san="$1"
@@ -46,13 +50,15 @@ run_one() {
   cmake -B "$dir" -S . -DMS_SANITIZE="$san" \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
   cmake --build "$dir" --target test_util test_sparsify test_obs \
-    test_guard test_run_context test_frontier_matching -j "$(nproc)"
+    test_guard test_run_context test_frontier_matching test_serve \
+    -j "$(nproc)"
   "$dir/tests/test_util" --gtest_filter="$UTIL_FILTER"
   "$dir/tests/test_sparsify" --gtest_filter="$SPARSIFY_FILTER"
   "$dir/tests/test_obs" --gtest_filter="$OBS_FILTER"
   "$dir/tests/test_guard" --gtest_filter="$GUARD_FILTER"
   "$dir/tests/test_run_context" --gtest_filter="$RUN_CONTEXT_FILTER"
   "$dir/tests/test_frontier_matching" --gtest_filter="$FRONTIER_FILTER"
+  "$dir/tests/test_serve" --gtest_filter="$SERVE_FILTER"
   if [ "$san" = "thread" ]; then
     # Seed-randomized frontier workloads under TSan: the matchcheck
     # properties drive serial + 2/4/8-lane pool runs and mid-phase
@@ -63,7 +69,15 @@ run_one() {
     "$dir/tools/matchsparse_fuzz" --budget 5s --seed 1 \
       --property frontier_vs_hk --property frontier_vs_blossom \
       --property guard_cancel_frontier \
-      --property concurrent_guard_isolation
+      --property concurrent_guard_isolation \
+      --property serve_request_isolation
+    # Daemon soak under TSan: the mixed workload (clean clients, QoS
+    # victims, cache churn, saboteur connections) for a trimmed window —
+    # TSan's ~10x slowdown keeps plenty of interleavings in 10 wall
+    # seconds. MS_SERVE_SOAK_SECONDS=30 restores the full soak.
+    cmake --build "$dir" --target test_serve_soak -j "$(nproc)"
+    MS_SERVE_SOAK_SECONDS="${MS_SERVE_SOAK_SECONDS:-10}" \
+      "$dir/tests/test_serve_soak"
   fi
   echo "==== ${san} sanitizer: OK ===="
 }

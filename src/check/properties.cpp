@@ -19,6 +19,9 @@
 #include "check/property.hpp"
 #include "core/api.hpp"
 #include "guard/context.hpp"
+#include "serve/client.hpp"
+#include "serve/diffcheck.hpp"
+#include "serve/server.hpp"
 #include "dist/engine.hpp"
 #include "dist/pipeline.hpp"
 #include "dist/sparsifier_protocols.hpp"
@@ -1018,6 +1021,193 @@ Result prop_concurrent_guard_isolation(const Graph& g,
   return Result::pass();
 }
 
+/// Request isolation end to end through the daemon (DESIGN.md §15): an
+/// in-process Server, a survivor MATCH overlapping a victim that is
+/// cancelled (or budget-tripped) mid-run on another connection. The
+/// survivor's reply must be bit-identical to its solo reply (and to the
+/// direct library call), and the tripped victims must leave the
+/// sparsifier cache exactly as warm as they found it. The wire analogue
+/// of concurrent_guard_isolation above, with the server's admission /
+/// cache / per-request-context plumbing in the loop.
+Result prop_serve_request_isolation(const Graph& g,
+                                    const PropertyConfig& cfg) {
+  serve::ServerOptions opts;
+  opts.cache_bytes = 64ull << 20;
+  opts.max_inflight = 0;  // admission shedding is not under test here
+  opts.publish_request_metrics = false;
+  serve::Server server(opts);
+  std::string err;
+  if (!server.start(&err)) {
+    return Result::fail("serve start failed: " + err);
+  }
+
+  serve::Client warm(server.connect_in_process());
+  if (!warm.valid()) return Result::fail("connect_in_process failed");
+
+  serve::LoadRequest load;
+  load.source = "prop";
+  load.n = g.num_vertices();
+  load.edges = g.edge_list();
+  if (!warm.load(load)) {
+    return Result::fail("LOAD refused: " + warm.last_error().message);
+  }
+
+  serve::JobRequest survivor;
+  survivor.source = "prop";
+  survivor.beta = std::max<VertexId>(1, cfg.beta);
+  survivor.eps = (cfg.eps > 0.0 && cfg.eps < 1.0) ? cfg.eps : 0.25;
+  survivor.seed = cfg.seed;
+  // Two sparsifier lanes: the survivor's pool tasks must inherit ITS
+  // request context, never a concurrent victim's.
+  survivor.threads = 2;
+  serve::JobRequest victim = survivor;
+  victim.threads = 1;  // serial scheme: deterministic poll placement
+  victim.seed = mix64(cfg.seed, 0xc0117e87);
+
+  // Warm both cache lanes, then take the solo baselines off the hits
+  // (hit replies are what the concurrent episodes will produce too, so
+  // poll counts compare exactly).
+  if (!warm.match(survivor) || !warm.match(victim)) {
+    return Result::fail("warmup MATCH refused: " +
+                        warm.last_error().message);
+  }
+  const auto solo_s = warm.match(survivor);
+  const auto solo_v = warm.match(victim);
+  if (!solo_s || !solo_v) {
+    return Result::fail("solo MATCH refused: " + warm.last_error().message);
+  }
+  if (static_cast<RunStatus>(solo_s->status) != RunStatus::kOk ||
+      static_cast<RunStatus>(solo_v->status) != RunStatus::kOk) {
+    return Result::fail("solo MATCH not ok");
+  }
+  if (solo_s->cache_hit != 1 || solo_v->cache_hit != 1) {
+    return Result::fail("solo MATCH after warmup was not a cache hit");
+  }
+  if (solo_v->polls == 0) {
+    return Result::skip("no poll sites reached (graph too small)");
+  }
+
+  // The wire result must be the direct library call's result.
+  ApproxMatchingConfig lib_cfg;
+  lib_cfg.beta = survivor.beta;
+  lib_cfg.eps = survivor.eps;
+  lib_cfg.seed = survivor.seed;
+  lib_cfg.threads = 2;
+  RunOutcome lib;
+  {
+    guard::RunContext ctx("serve_isolation.lib");
+    ctx.set_publish_on_destroy(false);
+    const guard::ScopedContext scope(ctx);
+    lib = approx_maximum_matching_guarded(g, lib_cfg);
+  }
+  if (const std::string d = serve::divergence(serve::signature_of(lib),
+                                              serve::signature_of(*solo_s));
+      !d.empty()) {
+    return Result::fail("serve MATCH vs library: " + d);
+  }
+
+  // One concurrent episode: victim and survivor on separate connections
+  // and threads, started through a barrier so the windows overlap.
+  const auto run_pair =
+      [&](const serve::JobRequest& victim_req, bool victim_cold,
+          std::optional<serve::MatchReply>* victim_out)
+      -> std::optional<serve::MatchReply> {
+    serve::Client victim_client(server.connect_in_process());
+    serve::Client survivor_client(server.connect_in_process());
+    if (!victim_client.valid() || !survivor_client.valid()) {
+      return std::nullopt;
+    }
+    std::atomic<int> ready{0};
+    const auto sync = [&ready] {
+      ready.fetch_add(1, std::memory_order_acq_rel);
+      while (ready.load(std::memory_order_acquire) < 2) {
+      }
+    };
+    std::thread victim_thread([&] {
+      sync();
+      *victim_out = victim_cold ? victim_client.pipeline(victim_req)
+                                : victim_client.match(victim_req);
+    });
+    sync();
+    const auto survivor_rep = survivor_client.match(survivor);
+    victim_thread.join();
+    return survivor_rep;
+  };
+
+  const auto check_episode = [&](const char* tag,
+                                 const serve::JobRequest& victim_req,
+                                 bool victim_cold,
+                                 RunStatus expect_victim) -> Result {
+    std::optional<serve::MatchReply> victim_rep;
+    const auto survivor_rep = run_pair(victim_req, victim_cold, &victim_rep);
+    if (!survivor_rep) {
+      return Result::fail(std::string("survivor[") + tag + "] refused");
+    }
+    if (!victim_rep) {
+      return Result::fail(std::string("victim[") + tag + "] refused");
+    }
+    if (static_cast<RunStatus>(victim_rep->status) != expect_victim) {
+      return Result::fail(
+          std::string("victim[") + tag + "] status " +
+          to_string(static_cast<RunStatus>(victim_rep->status)) + ", want " +
+          to_string(expect_victim));
+    }
+    if (survivor_rep->cache_hit != 1) {
+      return Result::fail(std::string("survivor[") + tag +
+                          "] lost its cache hit");
+    }
+    if (const std::string d =
+            serve::divergence(serve::signature_of(*solo_s),
+                              serve::signature_of(*survivor_rep));
+        !d.empty()) {
+      return Result::fail(std::string("survivor[") + tag + "] " + d);
+    }
+    // Both sides are hit replies, so even the poll counts must agree.
+    if (survivor_rep->polls != solo_s->polls) {
+      return Result::fail(std::string("survivor[") + tag +
+                          "] poll count " + sz(survivor_rep->polls) +
+                          " vs solo " + sz(solo_s->polls));
+    }
+    return Result::pass();
+  };
+
+  // 1. Victim cancelled at a seed-chosen poll of its cache-hit run.
+  serve::JobRequest cancel_req = victim;
+  cancel_req.cancel_after_polls =
+      1 + mix64(cfg.seed, 0x5e12e15a) % solo_v->polls;
+  if (Result r = check_episode("cancel", cancel_req, /*victim_cold=*/false,
+                               RunStatus::kCancelled);
+      r.failed()) {
+    return r;
+  }
+
+  // 2. Victim budget-starved on the cold PIPELINE path, shedding through
+  // the ladder into the maximal fallback (cache bypassed, so the 1-byte
+  // budget deterministically trips the build stage).
+  if (g.num_edges() > 0) {
+    serve::JobRequest budget_req = victim;
+    budget_req.mem_budget_bytes = 1;
+    if (Result r = check_episode("budget", budget_req, /*victim_cold=*/true,
+                                 RunStatus::kDegradedMaximal);
+        r.failed()) {
+      return r;
+    }
+  }
+
+  // The tripped victims must not have disturbed the cache: the survivor
+  // still hits and still answers bit-identically.
+  const auto after = warm.match(survivor);
+  if (!after || after->cache_hit != 1) {
+    return Result::fail("cache poisoned: post-episode MATCH not a hit");
+  }
+  if (const std::string d = serve::divergence(serve::signature_of(*solo_s),
+                                              serve::signature_of(*after));
+      !d.empty()) {
+    return Result::fail("post-episode MATCH diverges: " + d);
+  }
+  return Result::pass();
+}
+
 std::vector<Property> build_properties() {
   return {
       {"blossom_vs_brute_force",
@@ -1087,6 +1277,12 @@ std::vector<Property> build_properties() {
        "cancelled/budget-tripped at a seed-placed poll: survivor outcome, "
        "matching, polls and per-context metrics bit-identical to solo",
        prop_concurrent_guard_isolation},
+      {"serve_request_isolation",
+       "in-process matchsparse_serve: survivor MATCH overlapping a "
+       "cancelled/budget-tripped victim on another connection answers "
+       "bit-identically to solo (and to the direct library call), cache "
+       "left unpoisoned",
+       prop_serve_request_isolation},
   };
 }
 

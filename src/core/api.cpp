@@ -39,15 +39,16 @@ Graph build_matching_sparsifier(const Graph& g,
 }
 
 ApproxMatchingResult approx_maximum_matching(
-    const Graph& g, const ApproxMatchingConfig& cfg) {
+    const Graph& g, const ApproxMatchingConfig& cfg, const Graph* prebuilt) {
   MS_CHECK_MSG(cfg.eps > 0.0 && cfg.eps < 1.0, "need 0 < eps < 1");
   ApproxMatchingResult result;
   SparsifierStats stats;
-  Graph g_delta;
-  {
+  Graph built;
+  if (prebuilt == nullptr) {
     const obs::Span span("pipeline.sparsify");
-    g_delta = build_matching_sparsifier(g, cfg, &stats);
+    built = build_matching_sparsifier(g, cfg, &stats);
   }
+  const Graph& g_delta = prebuilt != nullptr ? *prebuilt : built;
   result.delta = delta_for(cfg);
   result.sparsifier_edges = g_delta.num_edges();
   result.probes = stats.probes;
@@ -132,12 +133,17 @@ void append_detail(std::string& detail, const std::string& line) {
 
 RunOutcome approx_maximum_matching_guarded(const Graph& g,
                                            const ApproxMatchingConfig& cfg,
-                                           const RunLimits& limits) {
+                                           const RunLimits& limits,
+                                           const Graph* prebuilt) {
   MS_CHECK_MSG(cfg.eps > 0.0 && cfg.eps < 1.0, "need 0 < eps < 1");
   MS_CHECK_MSG(limits.soft_deadline_frac > 0.0 &&
                    limits.soft_deadline_frac <= 1.0,
                "need 0 < soft_deadline_frac <= 1");
   const obs::Span span("pipeline.guarded");
+  // A cancelling caller (serve CANCEL frame, daemon drain) trips the
+  // guard of the ENCLOSING context, which the rung guards below shadow
+  // while installed; parent-linking each rung guard propagates the stop.
+  guard::RunGuard* enclosing = guard::active();
   RunOutcome outcome;
   WallTimer timer;
 
@@ -163,12 +169,14 @@ RunOutcome approx_maximum_matching_guarded(const Graph& g,
     gl.mem_budget_bytes = limits.mem_budget_bytes;
     if (rung == 0) gl.cancel_after_polls = limits.cancel_after_polls;
     guard::RunGuard run_guard(gl);
+    run_guard.set_parent(enclosing);
     try {
       ApproxMatchingConfig attempt_cfg = cfg;
       attempt_cfg.eps = eps;
       {
         const guard::ScopedGuard installed(run_guard);
-        outcome.result = approx_maximum_matching(g, attempt_cfg);
+        outcome.result = approx_maximum_matching(
+            g, attempt_cfg, rung == 0 ? prebuilt : nullptr);
       }
       outcome.status = rung == 0 ? RunStatus::kOk : RunStatus::kDegradedEps;
       outcome.eps_effective = eps;
@@ -225,6 +233,7 @@ RunOutcome approx_maximum_matching_guarded(const Graph& g,
   gl.deadline_ms = limits.deadline_ms;
   gl.mem_budget_bytes = limits.mem_budget_bytes;
   guard::RunGuard run_guard(gl);
+  run_guard.set_parent(enclosing);
   bool completed = false;
   WallTimer fallback_timer;
   {

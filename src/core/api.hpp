@@ -91,8 +91,16 @@ struct ApproxMatchingResult {
 /// Theorem 3.1: computes a (1+eps)-approximate maximum matching in
 /// O(n·(β/ε²)·log(1/ε)) time by matching on the sparsifier G_Δ. The time
 /// bound is deterministic; the approximation factor holds w.h.p.
+///
+/// `prebuilt`, when non-null, must be the graph build_matching_sparsifier
+/// (g, cfg) would return — the caller vouches for the identity (the serve
+/// daemon's sparsifier cache keys on exactly (source, Δ, seed, scheme)).
+/// The sparsify stage is then skipped and the matching stage runs on
+/// *prebuilt, producing the same matching as the cold call; probes and
+/// sparsify_seconds report 0 for the skipped stage.
 ApproxMatchingResult approx_maximum_matching(const Graph& g,
-                                             const ApproxMatchingConfig& cfg);
+                                             const ApproxMatchingConfig& cfg,
+                                             const Graph* prebuilt = nullptr);
 
 /// Convenience: builds the sparsifier G_Δ with parameters derived from
 /// (beta, eps) exactly as approx_maximum_matching would.
@@ -192,8 +200,18 @@ struct RunOutcome {
 /// cancellation; invalid configuration still MS_CHECKs. With default
 /// limits (no deadline, no budget) the output matching is bit-identical
 /// to approx_maximum_matching(g, cfg).
+///
+/// Each rung guard is parent-linked to the guard active at entry, so
+/// cancelling an enclosing RunContext stops the ladder at its next poll.
+///
+/// `prebuilt` (same contract as approx_maximum_matching) feeds ONLY the
+/// full-quality first rung — coarsened retries change Δ, so they rebuild
+/// from scratch. A cache-hit serve request therefore skips the build
+/// stage entirely when rung 0 completes, and degrades identically to a
+/// cold run when it doesn't.
 RunOutcome approx_maximum_matching_guarded(const Graph& g,
                                            const ApproxMatchingConfig& cfg,
-                                           const RunLimits& limits = {});
+                                           const RunLimits& limits = {},
+                                           const Graph* prebuilt = nullptr);
 
 }  // namespace matchsparse

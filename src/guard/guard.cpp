@@ -117,6 +117,9 @@ bool RunGuard::observe() {
   if (cancel_after_polls_ != 0 && n >= cancel_after_polls_) {
     trip(StopReason::kCancelled);
   }
+  if (parent_ != nullptr && parent_->stopped()) {
+    trip(parent_->stop_reason());
+  }
   if (stopped()) return true;
   if (hard_ns_ != 0 && now_ns() >= hard_ns_) {
     trip(StopReason::kDeadline);

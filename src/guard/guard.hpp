@@ -174,9 +174,22 @@ class RunGuard {
   /// the fuzz property uses it to size its trip-point distribution).
   std::uint64_t polls() const { return polls_.load(std::memory_order_relaxed); }
 
-  /// The full poll: counts, applies the test hook, checks the deadline,
-  /// returns stopped(). Call through guard::poll(), not directly.
+  /// The full poll: counts, applies the test hook, propagates a stopped
+  /// parent, checks the deadline, returns stopped(). Call through
+  /// guard::poll(), not directly.
   bool observe();
+
+  /// Links this guard to an ENCLOSING run's guard: once the parent has
+  /// stopped, observe() trips this guard with the parent's reason. The
+  /// degradation ladder links each rung guard to the guard that was
+  /// active at entry, so RunContext::cancel() — which trips only the
+  /// context's own guard — reaches the rung guard currently shadowing
+  /// it in the ambient slot (the serve daemon's CANCEL frame and drain
+  /// path depend on this). Lifetime contract is the caller's: the
+  /// parent must outlive this guard. Propagation is poll-driven and
+  /// does not consume extra polls, so poll counts stay deterministic.
+  void set_parent(RunGuard* parent) { parent_ = parent; }
+  RunGuard* parent() const { return parent_; }
 
   /// Internal: first-reason-wins transition + obs trip counter
   /// (published into metrics_registry(), i.e. the OWNING request's
@@ -201,6 +214,7 @@ class RunGuard {
   // guard is installed, read by pollers after install.
   std::uint64_t hard_ns_ = 0;
   std::uint64_t soft_ns_ = 0;
+  RunGuard* parent_ = nullptr;  // set before install, read by pollers
   obs::Registry* metrics_ = nullptr;  // nullptr → global registry
   MemoryBudget memory_;
 };

@@ -1,0 +1,218 @@
+#include "serve/client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace matchsparse::serve {
+
+Client::Client(Client&& other) noexcept
+    : fd_(other.fd_),
+      next_id_(other.next_id_),
+      last_error_(std::move(other.last_error_)),
+      transport_failed_(other.transport_failed_),
+      decoder_(std::move(other.decoder_)) {
+  other.fd_ = -1;
+}
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    next_id_ = other.next_id_;
+    last_error_ = std::move(other.last_error_);
+    transport_failed_ = other.transport_failed_;
+    decoder_ = std::move(other.decoder_);
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Client::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Client Client::connect_unix(const std::string& socket_path) {
+  sockaddr_un addr{};
+  if (socket_path.size() >= sizeof(addr.sun_path)) return Client(-1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return Client(-1);
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    ::close(fd);
+    return Client(-1);
+  }
+  return Client(fd);
+}
+
+Client Client::connect_tcp(int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Client(-1);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    ::close(fd);
+    return Client(-1);
+  }
+  return Client(fd);
+}
+
+bool Client::send_bytes(const void* data, std::size_t len) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  std::size_t off = 0;
+  while (off < len) {
+    const ssize_t r = ::send(fd_, p + off, len - off, MSG_NOSIGNAL);
+    if (r <= 0) {
+      if (r < 0 && errno == EINTR) continue;
+      transport_failed_ = true;
+      return false;
+    }
+    off += static_cast<std::size_t>(r);
+  }
+  return true;
+}
+
+bool Client::send_frame(const Frame& f) {
+  const std::vector<std::uint8_t> wire = encode_frame(f);
+  return send_bytes(wire.data(), wire.size());
+}
+
+std::optional<Frame> Client::recv_frame() {
+  std::uint8_t buf[1 << 14];
+  for (;;) {
+    Frame f;
+    const FrameDecoder::Status st = decoder_.next(&f);
+    if (st == FrameDecoder::Status::kFrame) return f;
+    if (st == FrameDecoder::Status::kError) {
+      transport_failed_ = true;
+      return std::nullopt;
+    }
+    const ssize_t r = ::recv(fd_, buf, sizeof(buf), 0);
+    if (r <= 0) {
+      if (r < 0 && errno == EINTR) continue;
+      transport_failed_ = true;
+      return std::nullopt;
+    }
+    decoder_.feed(buf, static_cast<std::size_t>(r));
+  }
+}
+
+std::optional<Frame> Client::round_trip(const Frame& req,
+                                        std::uint8_t expect_type) {
+  last_error_ = ErrorReply{};
+  if (fd_ < 0) {
+    transport_failed_ = true;
+    return std::nullopt;
+  }
+  if (!send_frame(req)) return std::nullopt;
+  for (;;) {
+    auto rep = recv_frame();
+    if (!rep) return std::nullopt;
+    if (rep->request_id != req.request_id) continue;  // stale reply; skip
+    if (rep->type == static_cast<std::uint8_t>(FrameType::kError)) {
+      if (auto err = decode_error_reply({rep->payload.data(),
+                                         rep->payload.size()})) {
+        last_error_ = std::move(*err);
+      } else {
+        transport_failed_ = true;
+      }
+      return std::nullopt;
+    }
+    if (rep->type != expect_type) {
+      transport_failed_ = true;  // protocol violation by the server
+      return std::nullopt;
+    }
+    return rep;
+  }
+}
+
+std::optional<LoadReply> Client::load(const LoadRequest& req) {
+  const auto rep =
+      round_trip(encode(req, ++next_id_), reply(FrameType::kLoad));
+  if (!rep) return std::nullopt;
+  auto decoded = decode_load_reply({rep->payload.data(), rep->payload.size()});
+  if (!decoded) transport_failed_ = true;
+  return decoded;
+}
+
+std::optional<SparsifyReply> Client::sparsify(const JobRequest& req) {
+  const auto rep = round_trip(encode(FrameType::kSparsify, req, ++next_id_),
+                              reply(FrameType::kSparsify));
+  if (!rep) return std::nullopt;
+  auto decoded =
+      decode_sparsify_reply({rep->payload.data(), rep->payload.size()});
+  if (!decoded) transport_failed_ = true;
+  return decoded;
+}
+
+std::optional<MatchReply> Client::match(const JobRequest& req) {
+  const auto rep = round_trip(encode(FrameType::kMatch, req, ++next_id_),
+                              reply(FrameType::kMatch));
+  if (!rep) return std::nullopt;
+  auto decoded = decode_match_reply({rep->payload.data(), rep->payload.size()});
+  if (!decoded) transport_failed_ = true;
+  return decoded;
+}
+
+std::optional<MatchReply> Client::pipeline(const JobRequest& req) {
+  const auto rep = round_trip(encode(FrameType::kPipeline, req, ++next_id_),
+                              reply(FrameType::kPipeline));
+  if (!rep) return std::nullopt;
+  auto decoded = decode_match_reply({rep->payload.data(), rep->payload.size()});
+  if (!decoded) transport_failed_ = true;
+  return decoded;
+}
+
+std::optional<StatsReply> Client::stats() {
+  const auto rep = round_trip(encode_empty(FrameType::kStats, ++next_id_),
+                              reply(FrameType::kStats));
+  if (!rep) return std::nullopt;
+  auto decoded = decode_stats_reply({rep->payload.data(), rep->payload.size()});
+  if (!decoded) transport_failed_ = true;
+  return decoded;
+}
+
+std::optional<EvictReply> Client::evict(const std::string& source) {
+  EvictRequest req;
+  req.source = source;
+  const auto rep =
+      round_trip(encode(req, ++next_id_), reply(FrameType::kEvict));
+  if (!rep) return std::nullopt;
+  auto decoded = decode_evict_reply({rep->payload.data(), rep->payload.size()});
+  if (!decoded) transport_failed_ = true;
+  return decoded;
+}
+
+std::optional<CancelReply> Client::cancel(std::uint64_t server_serial) {
+  CancelRequest req;
+  req.server_serial = server_serial;
+  const auto rep =
+      round_trip(encode(req, ++next_id_), reply(FrameType::kCancel));
+  if (!rep) return std::nullopt;
+  auto decoded =
+      decode_cancel_reply({rep->payload.data(), rep->payload.size()});
+  if (!decoded) transport_failed_ = true;
+  return decoded;
+}
+
+bool Client::shutdown() {
+  const auto rep = round_trip(encode_empty(FrameType::kShutdown, ++next_id_),
+                              reply(FrameType::kShutdown));
+  return rep.has_value();
+}
+
+}  // namespace matchsparse::serve

@@ -1,0 +1,79 @@
+// serve::Client — the blocking request/reply client over any connected
+// stream fd (a unix socket, a loopback TCP socket, or one end of
+// Server::connect_in_process()'s socketpair). One request in flight at a
+// time: each call sends its frame, then reads frames until the reply
+// whose request id matches (the server answers one connection strictly
+// in order, so this is the very next reply).
+//
+// Error surface: every call returns nullopt on failure and records why —
+// last_error() holds the server's ErrorReply when the server refused the
+// request, transport_failed() turns true when the connection itself died
+// (send failure, EOF, a malformed reply frame). The raw send_frame()/
+// recv_frame() escape hatch exists for the protocol tests, which need to
+// ship deliberately broken bytes and watch the server's exact reaction.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "serve/protocol.hpp"
+
+namespace matchsparse::serve {
+
+class Client {
+ public:
+  /// Takes ownership of `fd` (closed on destruction; -1 = invalid).
+  explicit Client(int fd) : fd_(fd) {}
+  ~Client() { close(); }
+
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Connects to a daemon's unix socket. Invalid client (valid() false)
+  /// on failure.
+  static Client connect_unix(const std::string& socket_path);
+  /// Connects to a daemon's loopback TCP port.
+  static Client connect_tcp(int port);
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+  void close();
+
+  std::optional<LoadReply> load(const LoadRequest& req);
+  std::optional<SparsifyReply> sparsify(const JobRequest& req);
+  std::optional<MatchReply> match(const JobRequest& req);
+  std::optional<MatchReply> pipeline(const JobRequest& req);
+  std::optional<StatsReply> stats();
+  std::optional<EvictReply> evict(const std::string& source);
+  std::optional<CancelReply> cancel(std::uint64_t server_serial);
+  /// True when the server acked the shutdown.
+  bool shutdown();
+
+  /// The server's refusal for the last nullopt return (meaningful only
+  /// when transport_failed() is false).
+  const ErrorReply& last_error() const { return last_error_; }
+  /// The connection itself died (as opposed to a served error reply).
+  bool transport_failed() const { return transport_failed_; }
+
+  // Raw frame I/O for protocol tests.
+  bool send_frame(const Frame& f);
+  bool send_bytes(const void* data, std::size_t len);
+  /// Blocks for the next whole frame; nullopt on EOF / transport error.
+  std::optional<Frame> recv_frame();
+
+ private:
+  /// Sends `req` and returns the reply frame for its id, routing a
+  /// kError reply into last_error_ (nullopt), anything else through.
+  std::optional<Frame> round_trip(const Frame& req, std::uint8_t expect_type);
+
+  int fd_ = -1;
+  std::uint64_t next_id_ = 0;
+  ErrorReply last_error_;
+  bool transport_failed_ = false;
+  FrameDecoder decoder_;
+};
+
+}  // namespace matchsparse::serve

@@ -1,0 +1,54 @@
+#include "serve/diffcheck.hpp"
+
+namespace matchsparse::serve {
+
+RunSignature signature_of(const RunOutcome& outcome,
+                          std::string metrics_json) {
+  RunSignature sig;
+  sig.status = static_cast<std::uint8_t>(outcome.status);
+  sig.matched = outcome.result.matching.edges();
+  sig.polls = outcome.polls;
+  sig.metrics_json = std::move(metrics_json);
+  return sig;
+}
+
+RunSignature signature_of(const MatchReply& reply) {
+  RunSignature sig;
+  sig.status = reply.status;
+  sig.matched = reply.matched;
+  return sig;
+}
+
+std::string divergence(const RunSignature& reference,
+                       const RunSignature& got) {
+  if (got.status != reference.status) {
+    return std::string("status ") +
+           to_string(static_cast<RunStatus>(got.status)) + " vs " +
+           to_string(static_cast<RunStatus>(reference.status));
+  }
+  if (got.polls != 0 && reference.polls != 0 &&
+      got.polls != reference.polls) {
+    return "poll count " + std::to_string(got.polls) + " vs " +
+           std::to_string(reference.polls);
+  }
+  if (!got.metrics_json.empty() && !reference.metrics_json.empty() &&
+      got.metrics_json != reference.metrics_json) {
+    return "per-request metrics snapshot differs";
+  }
+  if (got.matched.size() != reference.matched.size()) {
+    return "matching size " + std::to_string(got.matched.size()) + " vs " +
+           std::to_string(reference.matched.size());
+  }
+  for (std::size_t i = 0; i < reference.matched.size(); ++i) {
+    if (!(got.matched[i] == reference.matched[i])) {
+      return "matching diverges at edge " + std::to_string(i) + ": (" +
+             std::to_string(got.matched[i].u) + "," +
+             std::to_string(got.matched[i].v) + ") vs (" +
+             std::to_string(reference.matched[i].u) + "," +
+             std::to_string(reference.matched[i].v) + ")";
+    }
+  }
+  return std::string();
+}
+
+}  // namespace matchsparse::serve

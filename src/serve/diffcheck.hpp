@@ -1,0 +1,49 @@
+// One reference-divergence checker for every surface that promises
+// "bit-identical to a solo run": the CLI's `match --repeat/--jobs`
+// self-test, the daemon's test harness, and the serve_request_isolation
+// matchcheck property all reduce a run to a RunSignature and compare
+// with divergence() — so "identical" means the same thing everywhere
+// and the exit-3 logic exists exactly once (DESIGN.md §15).
+//
+// A signature captures the comparable surface of a guarded run:
+// terminal status, the matched edge set in canonical order, and —
+// when the caller can observe them — the guard poll count and the
+// per-request metrics snapshot. Polls and metrics are compared only
+// when BOTH sides observed them (polls nonzero, metrics non-empty): a
+// wire client cannot see a server request's registry, and comparing a
+// library outcome against a reply must not flag the reply's blindness
+// as a divergence.
+#pragma once
+
+#include <string>
+
+#include "core/api.hpp"
+#include "serve/protocol.hpp"
+
+namespace matchsparse::serve {
+
+struct RunSignature {
+  std::uint8_t status = 0;  // RunStatus numeric value
+  EdgeList matched;         // canonical (u < v), sorted
+  std::uint64_t polls = 0;
+  std::string metrics_json;
+};
+
+/// Signature of a direct library call. Pass the per-context snapshot
+/// json (RunContext::metrics_snapshot().to_json()) when the caller has
+/// one, empty otherwise.
+RunSignature signature_of(const RunOutcome& outcome,
+                          std::string metrics_json = std::string());
+
+/// Signature of a daemon MATCH/PIPELINE reply. Replies carry no metrics
+/// snapshot and no poll count comparison by default (polls is reported
+/// but excluded here: a cache-hit serve run legitimately skips the
+/// build-stage polls a solo run pays).
+RunSignature signature_of(const MatchReply& reply);
+
+/// "" when identical; otherwise a one-line description of the first
+/// difference, suitable for stderr / a test failure message.
+std::string divergence(const RunSignature& reference,
+                       const RunSignature& got);
+
+}  // namespace matchsparse::serve

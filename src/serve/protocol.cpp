@@ -1,0 +1,306 @@
+#include "serve/protocol.hpp"
+
+#include "util/common.hpp"
+
+namespace matchsparse::serve {
+
+namespace {
+
+/// Edge count ceiling implied by the frame payload ceiling: a LOAD
+/// payload is dominated by 8 bytes per edge.
+constexpr std::uint64_t kMaxWireEdges =
+    (kMaxFramePayloadBytes - 64) / (2 * sizeof(VertexId));
+
+Frame make_frame(std::uint8_t type, std::uint64_t id, ByteWriter&& w) {
+  Frame f;
+  f.type = type;
+  f.request_id = id;
+  f.payload = w.take();
+  return f;
+}
+
+}  // namespace
+
+const char* to_string(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kBadFrame:
+      return "bad-frame";
+    case ErrorCode::kUnknownGraph:
+      return "unknown-graph";
+    case ErrorCode::kBadConfig:
+      return "bad-config";
+    case ErrorCode::kShed:
+      return "shed";
+    case ErrorCode::kShuttingDown:
+      return "shutting-down";
+    case ErrorCode::kTripped:
+      return "tripped";
+    case ErrorCode::kTooLarge:
+      return "too-large";
+    case ErrorCode::kInternal:
+      return "internal";
+  }
+  return "unknown";
+}
+
+Frame encode(const LoadRequest& r, std::uint64_t request_id) {
+  MS_CHECK_MSG(r.edges.size() <= kMaxWireEdges, "graph too large for a frame");
+  ByteWriter w;
+  w.str(r.source);
+  w.u32(r.n);
+  w.u64(r.edges.size());
+  for (const Edge& e : r.edges) {
+    w.u32(e.u);
+    w.u32(e.v);
+  }
+  return make_frame(static_cast<std::uint8_t>(FrameType::kLoad), request_id,
+                    std::move(w));
+}
+
+Frame encode(FrameType job_type, const JobRequest& r,
+             std::uint64_t request_id) {
+  ByteWriter w;
+  w.str(r.source);
+  w.u32(r.beta);
+  w.f64(r.eps);
+  w.u64(r.seed);
+  w.u64(r.threads);
+  w.f64(r.deadline_ms);
+  w.u64(r.mem_budget_bytes);
+  w.u8(r.degrade);
+  w.u8(r.matcher);
+  w.u64(r.cancel_after_polls);
+  return make_frame(static_cast<std::uint8_t>(job_type), request_id,
+                    std::move(w));
+}
+
+Frame encode(const EvictRequest& r, std::uint64_t request_id) {
+  ByteWriter w;
+  w.str(r.source);
+  return make_frame(static_cast<std::uint8_t>(FrameType::kEvict), request_id,
+                    std::move(w));
+}
+
+Frame encode(const CancelRequest& r, std::uint64_t request_id) {
+  ByteWriter w;
+  w.u64(r.server_serial);
+  return make_frame(static_cast<std::uint8_t>(FrameType::kCancel), request_id,
+                    std::move(w));
+}
+
+Frame encode_empty(FrameType t, std::uint64_t request_id) {
+  Frame f;
+  f.type = static_cast<std::uint8_t>(t);
+  f.request_id = request_id;
+  return f;
+}
+
+Frame encode_reply(FrameType req_type, const LoadReply& r, std::uint64_t id) {
+  ByteWriter w;
+  w.u32(r.n);
+  w.u64(r.m);
+  w.u64(r.bytes_charged);
+  w.u8(r.replaced);
+  return make_frame(reply(req_type), id, std::move(w));
+}
+
+Frame encode_reply(FrameType req_type, const SparsifyReply& r,
+                   std::uint64_t id) {
+  ByteWriter w;
+  w.u32(r.delta);
+  w.u64(r.edges);
+  w.u8(r.cache_hit);
+  w.f64(r.build_ms);
+  w.u64(r.bytes_charged);
+  return make_frame(reply(req_type), id, std::move(w));
+}
+
+Frame encode_reply(FrameType req_type, const MatchReply& r, std::uint64_t id) {
+  ByteWriter w;
+  w.u8(r.status);
+  w.u8(r.stop_reason);
+  w.u8(r.partial);
+  w.u8(r.cache_hit);
+  w.f64(r.eps_effective);
+  w.f64(r.guarantee);
+  w.u32(r.size_floor);
+  w.u32(r.delta);
+  w.u64(r.sparsifier_edges);
+  w.u64(r.polls);
+  w.u64(r.mem_peak_bytes);
+  w.u64(r.server_serial);
+  w.u32(static_cast<std::uint32_t>(r.matched.size()));
+  for (const Edge& e : r.matched) {
+    w.u32(e.u);
+    w.u32(e.v);
+  }
+  w.str(r.detail);
+  return make_frame(reply(req_type), id, std::move(w));
+}
+
+Frame encode_reply(FrameType req_type, const StatsReply& r, std::uint64_t id) {
+  ByteWriter w;
+  w.str(r.json);
+  return make_frame(reply(req_type), id, std::move(w));
+}
+
+Frame encode_reply(FrameType req_type, const EvictReply& r, std::uint64_t id) {
+  ByteWriter w;
+  w.u32(r.entries);
+  w.u64(r.bytes_freed);
+  return make_frame(reply(req_type), id, std::move(w));
+}
+
+Frame encode_reply(FrameType req_type, const CancelReply& r,
+                   std::uint64_t id) {
+  ByteWriter w;
+  w.u8(r.found);
+  return make_frame(reply(req_type), id, std::move(w));
+}
+
+Frame encode_error(const ErrorReply& r, std::uint64_t id) {
+  ByteWriter w;
+  w.u32(static_cast<std::uint32_t>(r.code));
+  w.str(r.message);
+  return make_frame(static_cast<std::uint8_t>(FrameType::kError), id,
+                    std::move(w));
+}
+
+std::optional<LoadRequest> decode_load(std::span<const std::uint8_t> payload) {
+  ByteReader r(payload);
+  LoadRequest req;
+  std::uint64_t m = 0;
+  if (!r.str(&req.source) || !r.u32(&req.n) || !r.u64(&m)) {
+    return std::nullopt;
+  }
+  // Pre-size check before the allocation: a malicious count must fail,
+  // not reserve 64 GiB.
+  if (m > kMaxWireEdges || m * 2 * sizeof(VertexId) > r.remaining()) {
+    return std::nullopt;
+  }
+  req.edges.reserve(static_cast<std::size_t>(m));
+  for (std::uint64_t i = 0; i < m; ++i) {
+    Edge e;
+    if (!r.u32(&e.u) || !r.u32(&e.v)) return std::nullopt;
+    req.edges.push_back(e);
+  }
+  if (!r.done()) return std::nullopt;
+  return req;
+}
+
+std::optional<JobRequest> decode_job(std::span<const std::uint8_t> payload) {
+  ByteReader r(payload);
+  JobRequest req;
+  if (!r.str(&req.source) || !r.u32(&req.beta) || !r.f64(&req.eps) ||
+      !r.u64(&req.seed) || !r.u64(&req.threads) || !r.f64(&req.deadline_ms) ||
+      !r.u64(&req.mem_budget_bytes) || !r.u8(&req.degrade) ||
+      !r.u8(&req.matcher) || !r.u64(&req.cancel_after_polls) || !r.done()) {
+    return std::nullopt;
+  }
+  return req;
+}
+
+std::optional<EvictRequest> decode_evict(
+    std::span<const std::uint8_t> payload) {
+  ByteReader r(payload);
+  EvictRequest req;
+  if (!r.str(&req.source) || !r.done()) return std::nullopt;
+  return req;
+}
+
+std::optional<CancelRequest> decode_cancel(
+    std::span<const std::uint8_t> payload) {
+  ByteReader r(payload);
+  CancelRequest req;
+  if (!r.u64(&req.server_serial) || !r.done()) return std::nullopt;
+  return req;
+}
+
+std::optional<LoadReply> decode_load_reply(
+    std::span<const std::uint8_t> payload) {
+  ByteReader r(payload);
+  LoadReply rep;
+  if (!r.u32(&rep.n) || !r.u64(&rep.m) || !r.u64(&rep.bytes_charged) ||
+      !r.u8(&rep.replaced) || !r.done()) {
+    return std::nullopt;
+  }
+  return rep;
+}
+
+std::optional<SparsifyReply> decode_sparsify_reply(
+    std::span<const std::uint8_t> payload) {
+  ByteReader r(payload);
+  SparsifyReply rep;
+  if (!r.u32(&rep.delta) || !r.u64(&rep.edges) || !r.u8(&rep.cache_hit) ||
+      !r.f64(&rep.build_ms) || !r.u64(&rep.bytes_charged) || !r.done()) {
+    return std::nullopt;
+  }
+  return rep;
+}
+
+std::optional<MatchReply> decode_match_reply(
+    std::span<const std::uint8_t> payload) {
+  ByteReader r(payload);
+  MatchReply rep;
+  std::uint32_t matched = 0;
+  if (!r.u8(&rep.status) || !r.u8(&rep.stop_reason) || !r.u8(&rep.partial) ||
+      !r.u8(&rep.cache_hit) || !r.f64(&rep.eps_effective) ||
+      !r.f64(&rep.guarantee) || !r.u32(&rep.size_floor) ||
+      !r.u32(&rep.delta) || !r.u64(&rep.sparsifier_edges) ||
+      !r.u64(&rep.polls) || !r.u64(&rep.mem_peak_bytes) ||
+      !r.u64(&rep.server_serial) || !r.u32(&matched)) {
+    return std::nullopt;
+  }
+  if (static_cast<std::uint64_t>(matched) * 2 * sizeof(VertexId) >
+      r.remaining()) {
+    return std::nullopt;
+  }
+  rep.matched.reserve(matched);
+  for (std::uint32_t i = 0; i < matched; ++i) {
+    Edge e;
+    if (!r.u32(&e.u) || !r.u32(&e.v)) return std::nullopt;
+    rep.matched.push_back(e);
+  }
+  if (!r.str(&rep.detail) || !r.done()) return std::nullopt;
+  return rep;
+}
+
+std::optional<StatsReply> decode_stats_reply(
+    std::span<const std::uint8_t> payload) {
+  ByteReader r(payload);
+  StatsReply rep;
+  if (!r.str(&rep.json, 1u << 20) || !r.done()) return std::nullopt;
+  return rep;
+}
+
+std::optional<EvictReply> decode_evict_reply(
+    std::span<const std::uint8_t> payload) {
+  ByteReader r(payload);
+  EvictReply rep;
+  if (!r.u32(&rep.entries) || !r.u64(&rep.bytes_freed) || !r.done()) {
+    return std::nullopt;
+  }
+  return rep;
+}
+
+std::optional<CancelReply> decode_cancel_reply(
+    std::span<const std::uint8_t> payload) {
+  ByteReader r(payload);
+  CancelReply rep;
+  if (!r.u8(&rep.found) || !r.done()) return std::nullopt;
+  return rep;
+}
+
+std::optional<ErrorReply> decode_error_reply(
+    std::span<const std::uint8_t> payload) {
+  ByteReader r(payload);
+  ErrorReply rep;
+  std::uint32_t code = 0;
+  if (!r.u32(&code) || !r.str(&rep.message) || !r.done()) {
+    return std::nullopt;
+  }
+  rep.code = static_cast<ErrorCode>(code);
+  return rep;
+}
+
+}  // namespace matchsparse::serve

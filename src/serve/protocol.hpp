@@ -1,0 +1,202 @@
+// matchsparse_serve wire protocol (DESIGN.md §15).
+//
+// Every message is one util/frame.hpp frame. Request types occupy
+// 0x01..0x7f; the matching reply sets the high bit (reply(t) below), and
+// kError (0xff) answers any request that could not be served. The
+// request id is opaque to the server and echoed verbatim, so a client
+// may pipeline requests and pair replies by id (the server processes
+// one connection's frames strictly in order).
+//
+// Payload schemas are fixed-layout little-endian via ByteWriter /
+// ByteReader; every decoder enforces the whole-payload rule — trailing
+// bytes are as malformed as missing ones and fail the decode.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "graph/edge.hpp"
+#include "graph/graph.hpp"
+#include "util/frame.hpp"
+
+namespace matchsparse::serve {
+
+enum class FrameType : std::uint8_t {
+  kLoad = 0x01,      // install a graph under a source name
+  kSparsify = 0x02,  // ensure G_Δ for (source, Δ, seed) is cached
+  kMatch = 0x03,     // guarded match, serving from the sparsifier cache
+  kPipeline = 0x04,  // guarded end-to-end run, cache bypassed (cold path)
+  kStats = 0x05,     // server + cache telemetry snapshot (JSON payload)
+  kEvict = 0x06,     // drop a source (and its sparsifiers), or everything
+  kShutdown = 0x07,  // ack, then stop accepting and drain
+  kCancel = 0x08,    // cancel an in-flight request by server serial
+  kError = 0xff,     // reply-only: request could not be served
+};
+
+/// Reply tag for a request tag.
+constexpr std::uint8_t reply(FrameType t) {
+  return static_cast<std::uint8_t>(t) | 0x80;
+}
+
+/// Why a request failed (ErrorReply::code).
+enum class ErrorCode : std::uint32_t {
+  kBadFrame = 1,      // payload failed to decode (or unknown frame type)
+  kUnknownGraph = 2,  // MATCH/SPARSIFY named a source that is not loaded
+  kBadConfig = 3,     // beta/eps/threads outside the library's contract
+  kShed = 4,          // admission refused: inflight cap reached
+  kShuttingDown = 5,  // server is draining; no new work accepted
+  kTripped = 6,       // SPARSIFY build hit its deadline/budget (no fallback
+                      // exists for a bare build; cache left untouched)
+  kTooLarge = 7,      // LOAD graph above the configured vertex/edge caps
+  kInternal = 8,
+};
+
+const char* to_string(ErrorCode code);
+
+// ---------------------------------------------------------------------------
+// Request payloads
+// ---------------------------------------------------------------------------
+
+/// LOAD: the graph travels inline (n, then m canonical edges), so the
+/// daemon never touches the filesystem on behalf of a client.
+struct LoadRequest {
+  std::string source;
+  VertexId n = 0;
+  EdgeList edges;
+};
+
+/// The shared job header for SPARSIFY / MATCH / PIPELINE: which cached
+/// graph, the paper parameters, and this request's QoS envelope. A zero
+/// deadline/budget means unlimited (same convention as RunLimits).
+struct JobRequest {
+  std::string source;
+  VertexId beta = 2;
+  double eps = 0.2;
+  std::uint64_t seed = 0;
+  /// Sparsifier lanes: 1 = legacy serial stream, 0 / >=2 = fused
+  /// parallel path (deterministic per (g, Δ, seed) at any lane count).
+  std::uint64_t threads = 1;
+  double deadline_ms = 0.0;
+  std::uint64_t mem_budget_bytes = 0;
+  std::uint8_t degrade = 2;  // 0 off, 1 eps, 2 maximal (RunLimits order)
+  std::uint8_t matcher = 0;  // 0 serial, 1 frontier
+  /// Test hook, forwarded to RunLimits::cancel_after_polls: trips a
+  /// deterministic kCancelled on the N-th guard poll of the first
+  /// attempt. 0 = off.
+  std::uint64_t cancel_after_polls = 0;
+};
+
+struct EvictRequest {
+  std::string source;  // empty = evict everything
+};
+
+struct CancelRequest {
+  std::uint64_t server_serial = 0;  // MatchReply::server_serial of the target
+};
+
+// ---------------------------------------------------------------------------
+// Reply payloads
+// ---------------------------------------------------------------------------
+
+struct ErrorReply {
+  ErrorCode code = ErrorCode::kInternal;
+  std::string message;
+};
+
+struct LoadReply {
+  VertexId n = 0;
+  EdgeIndex m = 0;
+  std::uint64_t bytes_charged = 0;
+  std::uint8_t replaced = 0;  // 1 when an older graph of this name was evicted
+};
+
+struct SparsifyReply {
+  VertexId delta = 0;
+  EdgeIndex edges = 0;
+  std::uint8_t cache_hit = 0;
+  double build_ms = 0.0;
+  std::uint64_t bytes_charged = 0;  // 0 on a hit or when caching was refused
+};
+
+/// MATCH and PIPELINE share this shape (PIPELINE always reports
+/// cache_hit = 0 — it is the deliberately cold path).
+struct MatchReply {
+  std::uint8_t status = 0;       // RunStatus numeric value
+  std::uint8_t stop_reason = 0;  // guard::StopReason numeric value
+  std::uint8_t partial = 0;
+  std::uint8_t cache_hit = 0;
+  double eps_effective = 0.0;
+  double guarantee = 0.0;
+  VertexId size_floor = 0;
+  VertexId delta = 0;
+  EdgeIndex sparsifier_edges = 0;
+  std::uint64_t polls = 0;
+  std::uint64_t mem_peak_bytes = 0;
+  /// Server-side serial of this request — the handle kCancel takes and
+  /// the suffix of any per-request manifest/trace export (.req<serial>).
+  std::uint64_t server_serial = 0;
+  /// The matching, canonical (u < v) sorted pairs.
+  EdgeList matched;
+  std::string detail;
+};
+
+struct StatsReply {
+  std::string json;  // one flat JSON object; schema in DESIGN.md §15
+};
+
+struct EvictReply {
+  std::uint32_t entries = 0;
+  std::uint64_t bytes_freed = 0;
+};
+
+struct CancelReply {
+  std::uint8_t found = 0;  // 1 when the serial named an in-flight request
+};
+
+// ---------------------------------------------------------------------------
+// Codecs. encode_* produce a full Frame (payload + tags); decode_* parse
+// a payload and return nullopt on any violation of the schema, including
+// trailing bytes.
+// ---------------------------------------------------------------------------
+
+Frame encode(const LoadRequest& r, std::uint64_t request_id);
+Frame encode(FrameType job_type, const JobRequest& r, std::uint64_t request_id);
+Frame encode(const EvictRequest& r, std::uint64_t request_id);
+Frame encode(const CancelRequest& r, std::uint64_t request_id);
+/// STATS / SHUTDOWN carry no payload.
+Frame encode_empty(FrameType t, std::uint64_t request_id);
+
+Frame encode_reply(FrameType req_type, const LoadReply& r, std::uint64_t id);
+Frame encode_reply(FrameType req_type, const SparsifyReply& r,
+                   std::uint64_t id);
+Frame encode_reply(FrameType req_type, const MatchReply& r, std::uint64_t id);
+Frame encode_reply(FrameType req_type, const StatsReply& r, std::uint64_t id);
+Frame encode_reply(FrameType req_type, const EvictReply& r, std::uint64_t id);
+Frame encode_reply(FrameType req_type, const CancelReply& r, std::uint64_t id);
+Frame encode_error(const ErrorReply& r, std::uint64_t id);
+
+std::optional<LoadRequest> decode_load(std::span<const std::uint8_t> payload);
+std::optional<JobRequest> decode_job(std::span<const std::uint8_t> payload);
+std::optional<EvictRequest> decode_evict(
+    std::span<const std::uint8_t> payload);
+std::optional<CancelRequest> decode_cancel(
+    std::span<const std::uint8_t> payload);
+
+std::optional<LoadReply> decode_load_reply(
+    std::span<const std::uint8_t> payload);
+std::optional<SparsifyReply> decode_sparsify_reply(
+    std::span<const std::uint8_t> payload);
+std::optional<MatchReply> decode_match_reply(
+    std::span<const std::uint8_t> payload);
+std::optional<StatsReply> decode_stats_reply(
+    std::span<const std::uint8_t> payload);
+std::optional<EvictReply> decode_evict_reply(
+    std::span<const std::uint8_t> payload);
+std::optional<CancelReply> decode_cancel_reply(
+    std::span<const std::uint8_t> payload);
+std::optional<ErrorReply> decode_error_reply(
+    std::span<const std::uint8_t> payload);
+
+}  // namespace matchsparse::serve

@@ -1,0 +1,723 @@
+#include "serve/server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <utility>
+
+#include "guard/context.hpp"
+#include "util/timer.hpp"
+
+namespace matchsparse::serve {
+
+namespace {
+
+ApproxMatchingConfig config_for(const JobRequest& req) {
+  ApproxMatchingConfig cfg;
+  cfg.beta = req.beta;
+  cfg.eps = req.eps;
+  cfg.seed = req.seed;
+  cfg.threads = static_cast<std::size_t>(req.threads);
+  cfg.matcher =
+      req.matcher == 1 ? MatcherBackend::kFrontier : MatcherBackend::kSerial;
+  return cfg;
+}
+
+RunLimits limits_for(const JobRequest& req, std::uint64_t budget) {
+  RunLimits limits;
+  limits.deadline_ms = req.deadline_ms;
+  limits.mem_budget_bytes = budget;
+  limits.degrade = static_cast<RunLimits::Degrade>(req.degrade);
+  limits.cancel_after_polls = req.cancel_after_polls;
+  return limits;
+}
+
+/// Δ of a wire job — the JobRequest carries no delta_scale/theoretical
+/// knobs, so the daemon always uses the default practical constant. This
+/// is also the sparsifier cache-key Δ, so key and build always agree.
+VertexId delta_for(const JobRequest& req) {
+  return SparsifierParams::practical(req.beta, req.eps, 2.0).delta;
+}
+
+SparsifierKey key_of(const JobRequest& req, VertexId delta) {
+  SparsifierKey key;
+  key.source = req.source;
+  key.delta = delta;
+  key.seed = req.seed;
+  key.lanes = req.threads;
+  return key;
+}
+
+void append_json(std::string& out, const char* key, std::uint64_t value,
+                 bool first = false) {
+  if (!first) out += ",";
+  out += "\"";
+  out += key;
+  out += "\":";
+  out += std::to_string(value);
+}
+
+}  // namespace
+
+Server::Server(ServerOptions opts)
+    : opts_(std::move(opts)), cache_(opts_.cache_bytes) {}
+
+Server::~Server() { stop(); }
+
+bool Server::start(std::string* error) {
+  const auto fail = [&](const std::string& what) {
+    if (error != nullptr) {
+      *error = what + ": " + std::strerror(errno);
+    }
+    for (const int fd : listen_fds_) ::close(fd);
+    listen_fds_.clear();
+    return false;
+  };
+
+  if (!opts_.socket_path.empty()) {
+    sockaddr_un addr{};
+    if (opts_.socket_path.size() >= sizeof(addr.sun_path)) {
+      if (error != nullptr) *error = "unix socket path too long";
+      return false;
+    }
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) return fail("socket(AF_UNIX)");
+    addr.sun_family = AF_UNIX;
+    std::memcpy(addr.sun_path, opts_.socket_path.c_str(),
+                opts_.socket_path.size() + 1);
+    ::unlink(opts_.socket_path.c_str());
+    if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+        0) {
+      ::close(fd);
+      return fail("bind(" + opts_.socket_path + ")");
+    }
+    if (::listen(fd, 64) != 0) {
+      ::close(fd);
+      return fail("listen(" + opts_.socket_path + ")");
+    }
+    listen_fds_.push_back(fd);
+  }
+
+  if (opts_.tcp_port >= 0) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) return fail("socket(AF_INET)");
+    const int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<std::uint16_t>(opts_.tcp_port));
+    if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+        0) {
+      ::close(fd);
+      return fail("bind(127.0.0.1:" + std::to_string(opts_.tcp_port) + ")");
+    }
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+      ::close(fd);
+      return fail("getsockname");
+    }
+    if (::listen(fd, 64) != 0) {
+      ::close(fd);
+      return fail("listen(tcp)");
+    }
+    bound_tcp_port_ = static_cast<int>(ntohs(bound.sin_port));
+    listen_fds_.push_back(fd);
+  }
+
+  accept_threads_.reserve(listen_fds_.size());
+  for (const int fd : listen_fds_) {
+    accept_threads_.emplace_back([this, fd] { accept_loop(fd); });
+  }
+  return true;
+}
+
+void Server::wait() {
+  std::unique_lock<std::mutex> lock(stop_mu_);
+  stop_cv_.wait(lock, [this] { return shutting_down(); });
+}
+
+void Server::begin_drain() {
+  stopping_.store(true, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lock(inflight_mu_);
+    for (auto& [serial, ctx] : inflight_) ctx->cancel();
+  }
+  {
+    // Pairs with the cv wait's predicate re-check so the wakeup is not
+    // lost between its predicate evaluation and its sleep.
+    std::lock_guard<std::mutex> lock(stop_mu_);
+  }
+  stop_cv_.notify_all();
+}
+
+void Server::stop() {
+  begin_drain();
+  {
+    std::lock_guard<std::mutex> lock(stop_mu_);
+    if (stopped_) return;
+    stopped_ = true;
+  }
+  for (const int fd : listen_fds_) ::shutdown(fd, SHUT_RDWR);
+  for (std::thread& t : accept_threads_) {
+    if (t.joinable()) t.join();
+  }
+  for (const int fd : listen_fds_) ::close(fd);
+  listen_fds_.clear();
+  accept_threads_.clear();
+  if (!opts_.socket_path.empty()) ::unlink(opts_.socket_path.c_str());
+
+  std::vector<SessionSlot> slots;
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    slots.swap(sessions_);
+  }
+  for (SessionSlot& s : slots) {
+    // Unblock a session parked in recv(); its fd stays open (and its
+    // number un-reusable) until after the join, so this never touches a
+    // recycled descriptor.
+    if (!s.done->load(std::memory_order_acquire)) {
+      ::shutdown(s.fd, SHUT_RDWR);
+    }
+    if (s.thread.joinable()) s.thread.join();
+    ::close(s.fd);
+  }
+}
+
+int Server::connect_in_process() {
+  if (shutting_down()) return -1;
+  int sv[2] = {-1, -1};
+  if (::socketpair(AF_UNIX, SOCK_STREAM, 0, sv) != 0) return -1;
+  if (!spawn_session(sv[0])) {  // spawn closed sv[0] when refusing
+    ::close(sv[1]);
+    return -1;
+  }
+  return sv[1];
+}
+
+bool Server::spawn_session(int fd) {
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  if (shutting_down()) {
+    ::close(fd);
+    return false;
+  }
+  reap_finished_locked();
+  connections_.fetch_add(1, std::memory_order_relaxed);
+  SessionSlot slot;
+  slot.fd = fd;
+  slot.done = std::make_shared<std::atomic<bool>>(false);
+  auto done = slot.done;
+  slot.thread = std::thread([this, fd, done] {
+    session(fd);
+    done->store(true, std::memory_order_release);
+  });
+  sessions_.push_back(std::move(slot));
+  return true;
+}
+
+void Server::reap_finished_locked() {
+  for (auto it = sessions_.begin(); it != sessions_.end();) {
+    if (it->done->load(std::memory_order_acquire)) {
+      if (it->thread.joinable()) it->thread.join();
+      ::close(it->fd);
+      it = sessions_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void Server::accept_loop(int listen_fd) {
+  for (;;) {
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // listener shut down
+    }
+    spawn_session(fd);  // closes fd itself when draining
+  }
+}
+
+void Server::session(int fd) {
+  std::vector<std::uint8_t> buf(1u << 16);
+  FrameDecoder decoder;
+  bool alive = true;
+  while (alive) {
+    Frame frame;
+    FrameDecoder::Status status = FrameDecoder::Status::kNeedMore;
+    while (alive &&
+           (status = decoder.next(&frame)) == FrameDecoder::Status::kFrame) {
+      alive = handle_frame(fd, frame);
+    }
+    if (!alive) break;
+    if (status == FrameDecoder::Status::kError) {
+      // The framing itself is broken: report once (request id 0 — the
+      // id can no longer be trusted) and drop the connection.
+      send_error(fd, 0, ErrorCode::kBadFrame, decoder.error());
+      break;
+    }
+    const ssize_t r = ::recv(fd, buf.data(), buf.size(), 0);
+    if (r <= 0) break;  // peer closed (or stop() shut us down)
+    decoder.feed(buf.data(), static_cast<std::size_t>(r));
+  }
+  // EOF to the peer; the fd itself is closed at reap/stop time.
+  ::shutdown(fd, SHUT_RDWR);
+}
+
+bool Server::send_frame(int fd, const Frame& f) {
+  const std::vector<std::uint8_t> wire = encode_frame(f);
+  std::size_t off = 0;
+  while (off < wire.size()) {
+    // MSG_NOSIGNAL: a client that died mid-reply must surface as a send
+    // error on this session, not SIGPIPE the whole daemon.
+    const ssize_t r =
+        ::send(fd, wire.data() + off, wire.size() - off, MSG_NOSIGNAL);
+    if (r <= 0) {
+      if (r < 0 && errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(r);
+  }
+  return true;
+}
+
+bool Server::send_error(int fd, std::uint64_t id, ErrorCode code,
+                        const std::string& message) {
+  errors_.fetch_add(1, std::memory_order_relaxed);
+  ErrorReply err;
+  err.code = code;
+  err.message = message;
+  return send_frame(fd, encode_error(err, id));
+}
+
+bool Server::handle_frame(int fd, const Frame& f) {
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  switch (static_cast<FrameType>(f.type)) {
+    case FrameType::kLoad:
+      return handle_load(fd, f);
+    case FrameType::kSparsify:
+    case FrameType::kMatch:
+    case FrameType::kPipeline:
+      return handle_job(fd, f);
+    case FrameType::kStats:
+      return handle_stats(fd, f);
+    case FrameType::kEvict:
+      return handle_evict(fd, f);
+    case FrameType::kCancel:
+      return handle_cancel(fd, f);
+    case FrameType::kShutdown:
+      return handle_shutdown(fd, f);
+    case FrameType::kError:
+      break;
+  }
+  return send_error(fd, f.request_id, ErrorCode::kBadFrame,
+                    "unknown frame type " + std::to_string(f.type));
+}
+
+bool Server::handle_load(int fd, const Frame& f) {
+  auto req = decode_load({f.payload.data(), f.payload.size()});
+  if (!req) {
+    return send_error(fd, f.request_id, ErrorCode::kBadFrame,
+                      "malformed LOAD payload");
+  }
+  if (shutting_down()) {
+    return send_error(fd, f.request_id, ErrorCode::kShuttingDown,
+                      "server is draining");
+  }
+  if (req->source.empty()) {
+    return send_error(fd, f.request_id, ErrorCode::kBadFrame,
+                      "empty source name");
+  }
+  if (req->n > opts_.max_vertices || req->edges.size() > opts_.max_edges) {
+    return send_error(fd, f.request_id, ErrorCode::kTooLarge,
+                      "graph above the configured LOAD caps");
+  }
+  // Messy client lists are normalized (self-loops and duplicates
+  // dropped, canonical order) rather than MS_CHECK-aborting the daemon;
+  // out-of-range endpoints stay a hard reject.
+  normalize_edge_list(req->edges);
+  for (const Edge& e : req->edges) {
+    if (e.u >= req->n || e.v >= req->n) {
+      return send_error(fd, f.request_id, ErrorCode::kBadFrame,
+                        "edge endpoint out of range");
+    }
+  }
+  Graph g = Graph::from_edges(req->n, req->edges);
+  LoadReply rep;
+  rep.n = g.num_vertices();
+  rep.m = g.num_edges();
+  bool replaced = false;
+  cache_.put_graph(req->source, std::move(g), &rep.bytes_charged, &replaced);
+  rep.replaced = replaced ? 1 : 0;
+  return send_frame(fd, encode_reply(FrameType::kLoad, rep, f.request_id));
+}
+
+bool Server::handle_job(int fd, const Frame& f) {
+  const auto req = decode_job({f.payload.data(), f.payload.size()});
+  if (!req) {
+    return send_error(fd, f.request_id, ErrorCode::kBadFrame,
+                      "malformed job payload");
+  }
+  if (shutting_down()) {
+    return send_error(fd, f.request_id, ErrorCode::kShuttingDown,
+                      "server is draining");
+  }
+  if (req->beta < 1) {
+    return send_error(fd, f.request_id, ErrorCode::kBadConfig,
+                      "need beta >= 1");
+  }
+  if (!(req->eps > 0.0 && req->eps < 1.0)) {
+    return send_error(fd, f.request_id, ErrorCode::kBadConfig,
+                      "need 0 < eps < 1");
+  }
+  if (req->degrade > 2) {
+    return send_error(fd, f.request_id, ErrorCode::kBadConfig,
+                      "unknown degrade mode");
+  }
+  if (req->matcher > 1) {
+    return send_error(fd, f.request_id, ErrorCode::kBadConfig,
+                      "unknown matcher backend");
+  }
+  const auto graph = cache_.get_graph(req->source);
+  if (graph == nullptr) {
+    return send_error(fd, f.request_id, ErrorCode::kUnknownGraph,
+                      "no graph loaded as '" + req->source + "'");
+  }
+
+  // Admission: the inflight cap sheds immediately and cheaply...
+  if (opts_.max_inflight > 0) {
+    std::uint32_t cur = inflight_count_.load(std::memory_order_relaxed);
+    bool admitted = false;
+    while (cur < opts_.max_inflight) {
+      if (inflight_count_.compare_exchange_weak(cur, cur + 1,
+                                                std::memory_order_relaxed)) {
+        admitted = true;
+        break;
+      }
+    }
+    if (!admitted) {
+      shed_.fetch_add(1, std::memory_order_relaxed);
+      return send_error(fd, f.request_id, ErrorCode::kShed,
+                        "inflight cap reached");
+    }
+  } else {
+    inflight_count_.fetch_add(1, std::memory_order_relaxed);
+  }
+  // ...while budget over-commitment sheds through the degradation
+  // ladder: the clamped run trips kBudget and degrades instead of the
+  // server overcommitting RAM.
+  const std::uint64_t granted = grant_budget(req->mem_budget_bytes);
+
+  const std::uint64_t serial =
+      next_serial_.fetch_add(1, std::memory_order_relaxed) + 1;
+  guard::RunContext ctx("serve.req-" + std::to_string(serial));
+  ctx.set_publish_on_destroy(opts_.publish_request_metrics);
+  if (!opts_.trace_prefix.empty()) ctx.tracer().set_enabled(true);
+  {
+    std::lock_guard<std::mutex> lock(inflight_mu_);
+    inflight_[serial] = &ctx;
+  }
+
+  bool ok = false;
+  {
+    const guard::ScopedContext scope(ctx);
+    const auto type = static_cast<FrameType>(f.type);
+    if (type == FrameType::kSparsify) {
+      SparsifyReply rep;
+      ErrorReply err;
+      if (run_sparsify(*req, graph, granted, &rep, &err)) {
+        ok = send_frame(fd, encode_reply(type, rep, f.request_id));
+      } else {
+        ok = send_error(fd, f.request_id, err.code, err.message);
+      }
+    } else {
+      const MatchReply rep = run_match(*req, graph, serial, granted,
+                                       type == FrameType::kMatch);
+      ok = send_frame(fd, encode_reply(type, rep, f.request_id));
+    }
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(inflight_mu_);
+    inflight_.erase(serial);
+  }
+  return_budget(granted);
+  inflight_count_.fetch_sub(1, std::memory_order_relaxed);
+  export_request_artifacts(ctx, serial);
+  return ok;
+}
+
+MatchReply Server::run_match(const JobRequest& req,
+                             const std::shared_ptr<const Graph>& graph,
+                             std::uint64_t serial, std::uint64_t budget,
+                             bool use_cache) {
+  MatchReply rep;
+  rep.server_serial = serial;
+  const ApproxMatchingConfig cfg = config_for(req);
+  RunLimits limits = limits_for(req, budget);
+  const VertexId delta = delta_for(req);
+  rep.delta = delta;
+
+  RunOutcome outcome;
+  std::shared_ptr<const Graph> sp;
+  if (use_cache) {
+    sp = cache_.get_sparsifier(key_of(req, delta));
+  }
+
+  if (sp != nullptr) {
+    rep.cache_hit = 1;
+    outcome = approx_maximum_matching_guarded(*graph, cfg, limits, sp.get());
+  } else if (!use_cache) {
+    // PIPELINE: the deliberately cold end-to-end path (the bench's
+    // baseline); the ladder builds its own sparsifier, cache untouched.
+    outcome = approx_maximum_matching_guarded(*graph, cfg, limits);
+  } else {
+    // MATCH miss: build under this request's QoS envelope, insert into
+    // the cache only on success, then match on the shared handle. The
+    // request's deadline and poll budget span both stages — what the
+    // build consumed comes off the matching stage's allowance — so the
+    // envelope means the same thing hit or miss.
+    WallTimer build_timer;
+    guard::RunGuard::Limits bl;
+    bl.deadline_ms = limits.deadline_ms;
+    bl.mem_budget_bytes = limits.mem_budget_bytes;
+    bl.cancel_after_polls = limits.cancel_after_polls;
+    guard::RunGuard build_guard(bl);
+    build_guard.set_parent(guard::active());
+    SparsifierStats stats;
+    Graph built;
+    bool build_ok = false;
+    std::string build_detail;
+    try {
+      const guard::ScopedGuard installed(build_guard);
+      built = build_matching_sparsifier(*graph, cfg, &stats);
+      build_ok = true;
+    } catch (const guard::Interrupted& e) {
+      build_detail = e.what();
+    }
+    const std::uint64_t build_polls = build_guard.polls();
+    const std::uint64_t build_peak = build_guard.memory().peak();
+    if (limits.deadline_ms > 0.0) {
+      limits.deadline_ms =
+          std::max(1.0, req.deadline_ms - build_timer.seconds() * 1e3);
+    }
+    if (limits.cancel_after_polls > 0) {
+      limits.cancel_after_polls = limits.cancel_after_polls > build_polls
+                                      ? limits.cancel_after_polls - build_polls
+                                      : 1;
+    }
+
+    if (build_ok) {
+      std::uint64_t bytes = 0;
+      sp = cache_.put_sparsifier(key_of(req, delta), std::move(built), &bytes);
+      outcome = approx_maximum_matching_guarded(*graph, cfg, limits, sp.get());
+      if (outcome.status == RunStatus::kOk) {
+        // Rung 0 ran on the graph we just built: report its build-stage
+        // telemetry (the guarded call saw a prebuilt and reported 0s).
+        outcome.result.probes = stats.probes;
+        outcome.result.sparsify_seconds = stats.total_seconds;
+      }
+    } else {
+      tripped_builds_.fetch_add(1, std::memory_order_relaxed);
+      const guard::StopReason why = build_guard.stop_reason();
+      if (why == guard::StopReason::kCancelled ||
+          limits.degrade == RunLimits::Degrade::kOff) {
+        outcome.status = why == guard::StopReason::kCancelled
+                             ? RunStatus::kCancelled
+                             : RunStatus::kFailed;
+        outcome.stop_reason = why;
+        outcome.partial = true;
+        outcome.result.matching = Matching(graph->num_vertices());
+        outcome.detail = build_detail;
+      } else {
+        // The cache stays untouched (never poisoned by a tripped
+        // build); the remaining window walks the ladder cold.
+        limits.cancel_after_polls = 0;
+        outcome = approx_maximum_matching_guarded(*graph, cfg, limits);
+        outcome.detail = build_detail + "; " + outcome.detail;
+        if (outcome.stop_reason == guard::StopReason::kNone) {
+          outcome.stop_reason = why;
+        }
+      }
+    }
+    outcome.polls += build_polls;
+    outcome.mem_peak_bytes = std::max(outcome.mem_peak_bytes, build_peak);
+  }
+
+  rep.status = static_cast<std::uint8_t>(outcome.status);
+  rep.stop_reason = static_cast<std::uint8_t>(outcome.stop_reason);
+  rep.partial = outcome.partial ? 1 : 0;
+  rep.eps_effective = outcome.eps_effective;
+  rep.guarantee = outcome.guarantee;
+  rep.size_floor = outcome.size_floor;
+  if (outcome.result.delta != 0) rep.delta = outcome.result.delta;
+  rep.sparsifier_edges = outcome.result.sparsifier_edges;
+  rep.polls = outcome.polls;
+  rep.mem_peak_bytes = outcome.mem_peak_bytes;
+  rep.matched = outcome.result.matching.edges();
+  rep.detail = outcome.detail;
+  return rep;
+}
+
+bool Server::run_sparsify(const JobRequest& req,
+                          const std::shared_ptr<const Graph>& graph,
+                          std::uint64_t budget, SparsifyReply* reply,
+                          ErrorReply* error) {
+  const ApproxMatchingConfig cfg = config_for(req);
+  const VertexId delta = delta_for(req);
+  reply->delta = delta;
+  const SparsifierKey key = key_of(req, delta);
+  if (const auto sp = cache_.get_sparsifier(key)) {
+    reply->cache_hit = 1;
+    reply->edges = sp->num_edges();
+    return true;
+  }
+  WallTimer timer;
+  guard::RunGuard::Limits bl;
+  bl.deadline_ms = req.deadline_ms;
+  bl.mem_budget_bytes = budget;
+  bl.cancel_after_polls = req.cancel_after_polls;
+  guard::RunGuard build_guard(bl);
+  build_guard.set_parent(guard::active());
+  Graph built;
+  try {
+    const guard::ScopedGuard installed(build_guard);
+    built = build_matching_sparsifier(*graph, cfg, nullptr);
+  } catch (const guard::Interrupted& e) {
+    // A bare build has no degradation ladder to fall back on: report
+    // kTripped, cache untouched.
+    tripped_builds_.fetch_add(1, std::memory_order_relaxed);
+    error->code = ErrorCode::kTripped;
+    error->message = e.what();
+    return false;
+  }
+  reply->edges = built.num_edges();
+  reply->build_ms = timer.seconds() * 1e3;
+  cache_.put_sparsifier(key, std::move(built), &reply->bytes_charged);
+  return true;
+}
+
+bool Server::handle_stats(int fd, const Frame& f) {
+  const GraphCache::Stats cs = cache_.stats();
+  const Telemetry t = telemetry();
+  StatsReply rep;
+  std::string& j = rep.json;
+  j = "{";
+  append_json(j, "requests", t.requests, /*first=*/true);
+  append_json(j, "errors", t.errors);
+  append_json(j, "shed", t.shed);
+  append_json(j, "budget_clamped", t.budget_clamped);
+  append_json(j, "tripped_builds", t.tripped_builds);
+  append_json(j, "cancels_delivered", t.cancels_delivered);
+  append_json(j, "connections", t.connections);
+  append_json(j, "inflight", t.inflight);
+  append_json(j, "shutting_down", shutting_down() ? 1 : 0);
+  j += ",\"cache\":{";
+  append_json(j, "hits", cs.hits, /*first=*/true);
+  append_json(j, "misses", cs.misses);
+  append_json(j, "evictions", cs.evictions);
+  append_json(j, "refused", cs.refused);
+  append_json(j, "bytes_used", cs.bytes_used);
+  append_json(j, "bytes_cap", cs.bytes_cap);
+  append_json(j, "graphs", cs.graphs);
+  append_json(j, "sparsifiers", cs.sparsifiers);
+  j += "}}";
+  return send_frame(fd, encode_reply(FrameType::kStats, rep, f.request_id));
+}
+
+bool Server::handle_evict(int fd, const Frame& f) {
+  const auto req = decode_evict({f.payload.data(), f.payload.size()});
+  if (!req) {
+    return send_error(fd, f.request_id, ErrorCode::kBadFrame,
+                      "malformed EVICT payload");
+  }
+  EvictReply rep;
+  cache_.evict(req->source, &rep.entries, &rep.bytes_freed);
+  return send_frame(fd, encode_reply(FrameType::kEvict, rep, f.request_id));
+}
+
+bool Server::handle_cancel(int fd, const Frame& f) {
+  const auto req = decode_cancel({f.payload.data(), f.payload.size()});
+  if (!req) {
+    return send_error(fd, f.request_id, ErrorCode::kBadFrame,
+                      "malformed CANCEL payload");
+  }
+  CancelReply rep;
+  {
+    std::lock_guard<std::mutex> lock(inflight_mu_);
+    const auto it = inflight_.find(req->server_serial);
+    if (it != inflight_.end()) {
+      it->second->cancel();
+      rep.found = 1;
+      cancels_delivered_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  return send_frame(fd, encode_reply(FrameType::kCancel, rep, f.request_id));
+}
+
+bool Server::handle_shutdown(int fd, const Frame& f) {
+  // Drain BEFORE the ack goes out: a client that has seen the ack must
+  // never observe the server still admitting work.
+  begin_drain();
+  Frame ack;
+  ack.type = reply(FrameType::kShutdown);
+  ack.request_id = f.request_id;
+  return send_frame(fd, ack);
+}
+
+std::uint64_t Server::grant_budget(std::uint64_t requested) {
+  if (requested == 0) return 0;  // unlimited passes through unclamped
+  std::lock_guard<std::mutex> lock(inflight_mu_);
+  const std::uint64_t cap = opts_.cache_bytes;
+  const std::uint64_t avail = cap > promised_budget_ ? cap - promised_budget_
+                                                     : 0;
+  const std::uint64_t granted =
+      std::min(requested, std::max<std::uint64_t>(avail, 1));
+  if (granted < requested) {
+    budget_clamped_.fetch_add(1, std::memory_order_relaxed);
+  }
+  promised_budget_ += granted;
+  return granted;
+}
+
+void Server::return_budget(std::uint64_t granted) {
+  if (granted == 0) return;
+  std::lock_guard<std::mutex> lock(inflight_mu_);
+  promised_budget_ -= granted;
+}
+
+void Server::export_request_artifacts(guard::RunContext& ctx,
+                                      std::uint64_t serial) {
+  if (!opts_.metrics_prefix.empty()) {
+    std::ofstream out(opts_.metrics_prefix + ".req" + std::to_string(serial) +
+                      ".json");
+    if (out) out << ctx.metrics_snapshot().to_json() << "\n";
+  }
+  if (!opts_.trace_prefix.empty()) {
+    ctx.tracer().export_chrome(opts_.trace_prefix + ".req" +
+                               std::to_string(serial) + ".json");
+  }
+}
+
+Server::Telemetry Server::telemetry() const {
+  Telemetry t;
+  t.connections = connections_.load(std::memory_order_relaxed);
+  t.requests = requests_.load(std::memory_order_relaxed);
+  t.errors = errors_.load(std::memory_order_relaxed);
+  t.shed = shed_.load(std::memory_order_relaxed);
+  t.budget_clamped = budget_clamped_.load(std::memory_order_relaxed);
+  t.tripped_builds = tripped_builds_.load(std::memory_order_relaxed);
+  t.cancels_delivered = cancels_delivered_.load(std::memory_order_relaxed);
+  t.inflight = inflight_count_.load(std::memory_order_relaxed);
+  return t;
+}
+
+}  // namespace matchsparse::serve

@@ -1,0 +1,206 @@
+// The matchsparse_serve daemon core (DESIGN.md §15).
+//
+// A Server owns one GraphCache and serves the serve/protocol.hpp frame
+// protocol over any number of connections: a unix-domain listener, an
+// optional loopback TCP listener, and in-process socketpair connections
+// (connect_in_process()) — the test harness runs client and server in
+// one process over the latter, so the end-to-end tests exercise the
+// exact production byte stream without touching the filesystem.
+//
+// Threading model: one accept thread per listener, one session thread
+// per connection, and each connection's frames processed strictly in
+// order (pipelining works — replies come back in request order, paired
+// by the echoed request id). Every job request (SPARSIFY/MATCH/PIPELINE)
+// runs inside its own guard::RunContext, so per-request metrics, traces
+// and guard trips never bleed between concurrent connections; the
+// request's QoS envelope (deadline / memory budget / degradation mode)
+// comes from the frame itself.
+//
+// Admission control:
+//   - at most `max_inflight` jobs run concurrently; the next one is
+//     refused with kShed (cheap, immediate — the client retries or
+//     backs off),
+//   - a request's nonzero memory budget is clamped to what the cache
+//     cap has not already promised to concurrent requests (min 1 byte),
+//     so an over-committed server sheds load through the degradation
+//     ladder — the clamped run trips kBudget and degrades — instead of
+//     overcommitting RAM.
+//
+// Shutdown: a SHUTDOWN frame (or stop()) flips the server into draining
+// mode — new jobs are refused with kShuttingDown, in-flight contexts are
+// cancelled (the ladder's parent-linked rung guards observe it), and
+// wait() returns so the owner can stop() and join.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "core/api.hpp"
+#include "serve/cache.hpp"
+#include "serve/protocol.hpp"
+
+namespace matchsparse::guard {
+class RunContext;
+}
+
+namespace matchsparse::serve {
+
+struct ServerOptions {
+  /// Unix-domain socket path; empty = no unix listener (in-process
+  /// connections still work). A stale socket file is unlinked first.
+  std::string socket_path;
+  /// Loopback TCP port; -1 = no TCP listener, 0 = ephemeral (read the
+  /// bound port back with Server::tcp_port()).
+  int tcp_port = -1;
+  /// GraphCache capacity, and the pool the budget clamp promises from.
+  std::uint64_t cache_bytes = 256ull << 20;
+  /// Concurrent job ceiling before kShed; 0 = unlimited.
+  std::uint32_t max_inflight = 8;
+  /// LOAD caps (kTooLarge beyond these).
+  VertexId max_vertices = 1u << 27;
+  EdgeIndex max_edges = 1ull << 32;
+  /// When non-empty, every job request writes its per-request metrics
+  /// snapshot to "<metrics_prefix>.req<serial>.json" (the serve analogue
+  /// of the CLI's --metrics=<path> per-request manifests).
+  std::string metrics_prefix;
+  /// When non-empty, per-request Chrome traces go to
+  /// "<trace_prefix>.req<serial>.json".
+  std::string trace_prefix;
+  /// Fold each request's registry into the global one on completion
+  /// (aggregate exports keep working); tests disable it for isolation.
+  bool publish_request_metrics = true;
+};
+
+class Server {
+ public:
+  explicit Server(ServerOptions opts);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Opens the configured listeners and their accept threads. False on
+  /// bind/listen failure with a diagnostic in *error. With no listeners
+  /// configured this is a no-op success (in-process serving only).
+  bool start(std::string* error);
+
+  /// Blocks until a SHUTDOWN frame arrives or stop() is called.
+  void wait();
+
+  /// Drain and join: refuse new jobs, cancel in-flight contexts, wake
+  /// blocked sessions, join every thread. Idempotent.
+  void stop();
+
+  /// One end of a fresh socketpair whose other end is served by a new
+  /// session thread; the caller owns (and must close) the returned fd.
+  /// -1 on failure or when already shutting down.
+  int connect_in_process();
+
+  /// Port actually bound (ephemeral support); -1 when no TCP listener.
+  int tcp_port() const { return bound_tcp_port_; }
+
+  bool shutting_down() const {
+    return stopping_.load(std::memory_order_acquire);
+  }
+
+  GraphCache& cache() { return cache_; }
+
+  /// Process-lifetime counters (monotonic except inflight).
+  struct Telemetry {
+    std::uint64_t connections = 0;
+    std::uint64_t requests = 0;  // frames dispatched, all types
+    std::uint64_t errors = 0;    // kError replies sent
+    std::uint64_t shed = 0;      // admission refusals (inflight cap)
+    std::uint64_t budget_clamped = 0;
+    std::uint64_t tripped_builds = 0;  // SPARSIFY/MATCH builds that tripped
+    std::uint64_t cancels_delivered = 0;
+    std::uint32_t inflight = 0;
+  };
+  Telemetry telemetry() const;
+
+ private:
+  struct Inflight;
+
+  void accept_loop(int listen_fd);
+  void session(int fd);
+  /// False (with fd closed) when refused because the server is draining.
+  bool spawn_session(int fd);
+  void reap_finished_locked();
+  /// Flip into draining mode: refuse new jobs, cancel in-flight
+  /// contexts, wake wait(). Does NOT join (a session thread calls this
+  /// on SHUTDOWN; stop() does the joining from the owner thread).
+  void begin_drain();
+
+  bool send_frame(int fd, const Frame& f);
+  bool send_error(int fd, std::uint64_t id, ErrorCode code,
+                  const std::string& message);
+
+  /// Frame dispatch; false ⇒ the connection must be dropped (send
+  /// failure or poisoned decoder — never a mere request error).
+  bool handle_frame(int fd, const Frame& f);
+  bool handle_load(int fd, const Frame& f);
+  bool handle_job(int fd, const Frame& f);
+  bool handle_stats(int fd, const Frame& f);
+  bool handle_evict(int fd, const Frame& f);
+  bool handle_cancel(int fd, const Frame& f);
+  bool handle_shutdown(int fd, const Frame& f);
+
+  MatchReply run_match(const JobRequest& req,
+                       const std::shared_ptr<const Graph>& graph,
+                       std::uint64_t serial, std::uint64_t budget,
+                       bool use_cache);
+  bool run_sparsify(const JobRequest& req,
+                    const std::shared_ptr<const Graph>& graph,
+                    std::uint64_t budget, SparsifyReply* reply,
+                    ErrorReply* error);
+
+  /// Clamps a nonzero requested budget to the unpromised remainder of
+  /// the cache cap (min 1 byte). 0 (unlimited) passes through.
+  std::uint64_t grant_budget(std::uint64_t requested);
+  void return_budget(std::uint64_t granted);
+
+  void export_request_artifacts(guard::RunContext& ctx, std::uint64_t serial);
+
+  ServerOptions opts_;
+  GraphCache cache_;
+
+  std::atomic<bool> stopping_{false};
+  std::mutex stop_mu_;
+  std::condition_variable stop_cv_;
+  bool stopped_ = false;  // stop() already ran to completion
+
+  std::vector<int> listen_fds_;
+  std::vector<std::thread> accept_threads_;
+  int bound_tcp_port_ = -1;
+
+  struct SessionSlot {
+    std::thread thread;
+    int fd = -1;
+    std::shared_ptr<std::atomic<bool>> done;
+  };
+  std::mutex sessions_mu_;
+  std::vector<SessionSlot> sessions_;
+
+  std::mutex inflight_mu_;
+  std::unordered_map<std::uint64_t, guard::RunContext*> inflight_;
+  std::uint64_t promised_budget_ = 0;
+
+  std::atomic<std::uint64_t> next_serial_{0};
+  std::atomic<std::uint64_t> connections_{0};
+  std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::uint64_t> errors_{0};
+  std::atomic<std::uint64_t> shed_{0};
+  std::atomic<std::uint64_t> budget_clamped_{0};
+  std::atomic<std::uint64_t> tripped_builds_{0};
+  std::atomic<std::uint64_t> cancels_delivered_{0};
+  std::atomic<std::uint32_t> inflight_count_{0};
+};
+
+}  // namespace matchsparse::serve

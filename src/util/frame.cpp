@@ -1,0 +1,154 @@
+#include "util/frame.hpp"
+
+#include <bit>
+#include <cstring>
+
+#include "util/common.hpp"
+
+namespace matchsparse {
+
+namespace {
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v >> 16));
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  put_u32(out, static_cast<std::uint32_t>(v));
+  put_u32(out, static_cast<std::uint32_t>(v >> 32));
+}
+
+std::uint32_t get_u32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         static_cast<std::uint32_t>(p[1]) << 8 |
+         static_cast<std::uint32_t>(p[2]) << 16 |
+         static_cast<std::uint32_t>(p[3]) << 24;
+}
+
+std::uint64_t get_u64(const std::uint8_t* p) {
+  return static_cast<std::uint64_t>(get_u32(p)) |
+         static_cast<std::uint64_t>(get_u32(p + 4)) << 32;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_frame(const Frame& f) {
+  MS_CHECK_MSG(f.payload.size() <= kMaxFramePayloadBytes,
+               "frame payload exceeds kMaxFramePayloadBytes");
+  std::vector<std::uint8_t> out;
+  out.reserve(kFrameLengthBytes + kFrameOverheadBytes + f.payload.size());
+  put_u32(out, static_cast<std::uint32_t>(kFrameOverheadBytes +
+                                          f.payload.size()));
+  out.push_back(f.type);
+  put_u64(out, f.request_id);
+  out.insert(out.end(), f.payload.begin(), f.payload.end());
+  return out;
+}
+
+void FrameDecoder::feed(const std::uint8_t* data, std::size_t len) {
+  if (!error_.empty()) return;  // poisoned: drop everything
+  // Compact the consumed prefix before growing, so a long-lived session
+  // never accumulates more than one partial frame of slack.
+  if (pos_ > 0 && pos_ == buf_.size()) {
+    buf_.clear();
+    pos_ = 0;
+  } else if (pos_ > (64u << 10) && pos_ * 2 > buf_.size()) {
+    buf_.erase(buf_.begin(),
+               buf_.begin() + static_cast<std::ptrdiff_t>(pos_));
+    pos_ = 0;
+  }
+  buf_.insert(buf_.end(), data, data + len);
+}
+
+FrameDecoder::Status FrameDecoder::next(Frame* out) {
+  if (!error_.empty()) return Status::kError;
+  if (buffered() < kFrameLengthBytes) return Status::kNeedMore;
+  const std::uint32_t length = get_u32(buf_.data() + pos_);
+  if (length < kFrameOverheadBytes) {
+    error_ = "declared frame length " + std::to_string(length) +
+             " below the " + std::to_string(kFrameOverheadBytes) +
+             "-byte minimum";
+    return Status::kError;
+  }
+  if (length > kFrameOverheadBytes + kMaxFramePayloadBytes) {
+    error_ = "declared frame length " + std::to_string(length) +
+             " exceeds the payload ceiling";
+    return Status::kError;
+  }
+  if (buffered() < kFrameLengthBytes + length) return Status::kNeedMore;
+  const std::uint8_t* body = buf_.data() + pos_ + kFrameLengthBytes;
+  out->type = body[0];
+  out->request_id = get_u64(body + 1);
+  out->payload.assign(body + kFrameOverheadBytes, body + length);
+  pos_ += kFrameLengthBytes + length;
+  return Status::kFrame;
+}
+
+void ByteWriter::u32(std::uint32_t v) { put_u32(out_, v); }
+void ByteWriter::u64(std::uint64_t v) { put_u64(out_, v); }
+void ByteWriter::f64(double v) { put_u64(out_, std::bit_cast<std::uint64_t>(v)); }
+
+void ByteWriter::str(std::string_view s) {
+  u32(static_cast<std::uint32_t>(s.size()));
+  bytes(reinterpret_cast<const std::uint8_t*>(s.data()), s.size());
+}
+
+void ByteWriter::bytes(const std::uint8_t* data, std::size_t len) {
+  out_.insert(out_.end(), data, data + len);
+}
+
+bool ByteReader::take(std::size_t n, const std::uint8_t** p) {
+  if (!ok_ || bytes_.size() - pos_ < n) {
+    ok_ = false;
+    return false;
+  }
+  *p = bytes_.data() + pos_;
+  pos_ += n;
+  return true;
+}
+
+bool ByteReader::u8(std::uint8_t* v) {
+  const std::uint8_t* p = nullptr;
+  if (!take(1, &p)) return false;
+  *v = *p;
+  return true;
+}
+
+bool ByteReader::u32(std::uint32_t* v) {
+  const std::uint8_t* p = nullptr;
+  if (!take(4, &p)) return false;
+  *v = get_u32(p);
+  return true;
+}
+
+bool ByteReader::u64(std::uint64_t* v) {
+  const std::uint8_t* p = nullptr;
+  if (!take(8, &p)) return false;
+  *v = get_u64(p);
+  return true;
+}
+
+bool ByteReader::f64(double* v) {
+  std::uint64_t bits = 0;
+  if (!u64(&bits)) return false;
+  *v = std::bit_cast<double>(bits);
+  return true;
+}
+
+bool ByteReader::str(std::string* s, std::size_t max_len) {
+  std::uint32_t len = 0;
+  if (!u32(&len)) return false;
+  if (len > max_len || len > remaining()) {
+    ok_ = false;
+    return false;
+  }
+  const std::uint8_t* p = nullptr;
+  take(len, &p);
+  s->assign(reinterpret_cast<const char*>(p), len);
+  return true;
+}
+
+}  // namespace matchsparse

@@ -1,0 +1,141 @@
+// Length-prefixed binary frame codec — the wire unit of the serve
+// protocol (DESIGN.md §15), kept in util so it links nothing above it
+// and stays testable byte-by-byte without a socket in sight.
+//
+// Wire layout, all integers little-endian regardless of host order:
+//
+//   u32  length      = 9 + payload size (type + request id + payload)
+//   u8   type        frame type tag (serve/protocol.hpp names them)
+//   u64  request_id  echoed verbatim in the matching reply
+//   ...  payload     `length - 9` opaque bytes
+//
+// Decoding follows the util/parse.hpp philosophy: strict or nothing.
+// A declared length below the 9-byte minimum or above
+// kMaxFramePayloadBytes + 9 poisons the decoder permanently — a peer
+// that framed one message wrong cannot be trusted about where the next
+// one starts, so the connection must be dropped, not resynchronized.
+// Short reads are the normal case, not an error: FrameDecoder buffers
+// across feed() calls and yields a frame only when every byte of it has
+// arrived, so it behaves identically whether the transport delivers the
+// frame in one read or one byte at a time.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace matchsparse {
+
+/// One decoded frame. `type` is an opaque tag at this layer; the serve
+/// protocol assigns meanings and payload schemas per tag.
+struct Frame {
+  std::uint8_t type = 0;
+  std::uint64_t request_id = 0;
+  std::vector<std::uint8_t> payload;
+
+  friend bool operator==(const Frame&, const Frame&) = default;
+};
+
+/// Bytes of the length prefix itself.
+inline constexpr std::size_t kFrameLengthBytes = 4;
+/// Bytes covered by the length prefix before the payload starts
+/// (type + request id).
+inline constexpr std::size_t kFrameOverheadBytes = 9;
+/// Hard payload ceiling (64 MiB). A graph of ~4M edges fits; anything
+/// larger should be sharded by the application, and a declared length
+/// beyond this is treated as a protocol violation rather than a reason
+/// to allocate.
+inline constexpr std::size_t kMaxFramePayloadBytes = 64u << 20;
+
+/// Serializes `f` into its wire form. MS_CHECK-fails on payloads above
+/// kMaxFramePayloadBytes (a programmer error: the application layer owns
+/// sizing its payloads).
+std::vector<std::uint8_t> encode_frame(const Frame& f);
+
+/// Incremental decoder over an arbitrary chunking of the byte stream.
+///
+///   FrameDecoder dec;
+///   dec.feed(bytes, len);              // as data arrives
+///   Frame f;
+///   while (dec.next(&f) == FrameDecoder::Status::kFrame) { ... }
+///
+/// kNeedMore means "valid so far, frame incomplete"; kError is terminal
+/// (error() explains, every later next() repeats kError).
+class FrameDecoder {
+ public:
+  enum class Status { kFrame, kNeedMore, kError };
+
+  void feed(const std::uint8_t* data, std::size_t len);
+  void feed(std::span<const std::uint8_t> bytes) {
+    feed(bytes.data(), bytes.size());
+  }
+
+  Status next(Frame* out);
+
+  /// Diagnostic for the kError state; empty otherwise.
+  const std::string& error() const { return error_; }
+
+  /// Bytes buffered but not yet consumed by a completed frame.
+  std::size_t buffered() const { return buf_.size() - pos_; }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+  std::size_t pos_ = 0;  // consumed prefix of buf_
+  std::string error_;
+};
+
+// ---------------------------------------------------------------------------
+// Payload (de)serialization helpers. ByteReader is bounds-checked and
+// sticky-failing: the first short or malformed read fails the reader and
+// every later accessor, so payload parsers can chain reads and test ok()
+// once at the end — plus done(), because a payload with trailing bytes
+// is as malformed as a truncated one (parse.hpp's whole-string rule).
+// ---------------------------------------------------------------------------
+
+class ByteWriter {
+ public:
+  void u8(std::uint8_t v) { out_.push_back(v); }
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  /// IEEE-754 bit pattern as u64 — exact round-trip, no text formatting.
+  void f64(double v);
+  /// u32 byte count followed by the raw bytes.
+  void str(std::string_view s);
+  void bytes(const std::uint8_t* data, std::size_t len);
+
+  std::vector<std::uint8_t> take() { return std::move(out_); }
+  std::size_t size() const { return out_.size(); }
+
+ private:
+  std::vector<std::uint8_t> out_;
+};
+
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> bytes) : bytes_(bytes) {}
+
+  bool u8(std::uint8_t* v);
+  bool u32(std::uint32_t* v);
+  bool u64(std::uint64_t* v);
+  bool f64(double* v);
+  /// Reads a str() field; fails (without allocating) when the declared
+  /// byte count exceeds `max_len` or the remaining payload.
+  bool str(std::string* s, std::size_t max_len = 1u << 16);
+
+  /// True while no read has failed.
+  bool ok() const { return ok_; }
+  /// True when every payload byte was consumed and no read failed.
+  bool done() const { return ok_ && pos_ == bytes_.size(); }
+  std::size_t remaining() const { return bytes_.size() - pos_; }
+
+ private:
+  bool take(std::size_t n, const std::uint8_t** p);
+
+  std::span<const std::uint8_t> bytes_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace matchsparse

@@ -1,0 +1,273 @@
+// util/frame.hpp edge cases: the wire layout byte-for-byte, zero-length
+// payloads, the declared-length poison boundaries, short reads split at
+// every byte position, and a seeded fuzz round-trip under random stream
+// chunking. The serve protocol rides on this codec, so the strictness
+// contract ("a peer that framed one message wrong cannot be trusted
+// about where the next one starts") is pinned here, below the protocol.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "util/frame.hpp"
+#include "util/rng.hpp"
+
+namespace matchsparse {
+namespace {
+
+Frame make_frame(std::uint8_t type, std::uint64_t id,
+                 std::vector<std::uint8_t> payload) {
+  Frame f;
+  f.type = type;
+  f.request_id = id;
+  f.payload = std::move(payload);
+  return f;
+}
+
+/// Little-endian u32 header with an arbitrary declared length, for
+/// hand-crafting violations encode_frame() refuses to produce.
+std::vector<std::uint8_t> header(std::uint32_t declared_length) {
+  return {static_cast<std::uint8_t>(declared_length & 0xff),
+          static_cast<std::uint8_t>((declared_length >> 8) & 0xff),
+          static_cast<std::uint8_t>((declared_length >> 16) & 0xff),
+          static_cast<std::uint8_t>((declared_length >> 24) & 0xff)};
+}
+
+TEST(FrameCodec, GoldenWireLayout) {
+  const Frame f = make_frame(0x03, 0x1122334455667788ull, {0xaa, 0xbb});
+  const std::vector<std::uint8_t> wire = encode_frame(f);
+  const std::vector<std::uint8_t> expected = {
+      0x0b, 0x00, 0x00, 0x00,  // length = 9 + 2, little-endian
+      0x03,                    // type
+      0x88, 0x77, 0x66, 0x55, 0x44, 0x33, 0x22, 0x11,  // request id, LE
+      0xaa, 0xbb,              // payload
+  };
+  EXPECT_EQ(wire, expected);
+}
+
+TEST(FrameCodec, ZeroLengthPayloadRoundTrips) {
+  const Frame f = make_frame(0x07, 42, {});
+  const std::vector<std::uint8_t> wire = encode_frame(f);
+  ASSERT_EQ(wire.size(), kFrameLengthBytes + kFrameOverheadBytes);
+  EXPECT_EQ(wire[0], 9u);  // declared length is exactly the overhead
+
+  FrameDecoder dec;
+  dec.feed(wire.data(), wire.size());
+  Frame out;
+  ASSERT_EQ(dec.next(&out), FrameDecoder::Status::kFrame);
+  EXPECT_EQ(out, f);
+  EXPECT_EQ(dec.next(&out), FrameDecoder::Status::kNeedMore);
+  EXPECT_EQ(dec.buffered(), 0u);
+}
+
+TEST(FrameCodec, ShortReadAtEveryByteBoundary) {
+  const Frame f = make_frame(0x02, 0xdeadbeef, {1, 2, 3, 4, 5});
+  const std::vector<std::uint8_t> wire = encode_frame(f);
+  for (std::size_t split = 0; split <= wire.size(); ++split) {
+    SCOPED_TRACE(split);
+    FrameDecoder dec;
+    Frame out;
+    dec.feed(wire.data(), split);
+    if (split < wire.size()) {
+      // Every strict prefix is "valid so far, incomplete" — never an
+      // error, never a premature frame.
+      EXPECT_EQ(dec.next(&out), FrameDecoder::Status::kNeedMore);
+    }
+    dec.feed(wire.data() + split, wire.size() - split);
+    ASSERT_EQ(dec.next(&out), FrameDecoder::Status::kFrame);
+    EXPECT_EQ(out, f);
+  }
+}
+
+TEST(FrameCodec, ByteAtATimeDeliveryMatchesOneShot) {
+  const Frame a = make_frame(0x01, 1, {9, 8, 7});
+  const Frame b = make_frame(0x05, 2, {});
+  std::vector<std::uint8_t> wire = encode_frame(a);
+  const std::vector<std::uint8_t> wb = encode_frame(b);
+  wire.insert(wire.end(), wb.begin(), wb.end());
+
+  FrameDecoder dec;
+  std::vector<Frame> seen;
+  for (const std::uint8_t byte : wire) {
+    dec.feed(&byte, 1);
+    Frame out;
+    while (dec.next(&out) == FrameDecoder::Status::kFrame) {
+      seen.push_back(out);
+    }
+  }
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[0], a);
+  EXPECT_EQ(seen[1], b);
+}
+
+TEST(FrameCodec, DeclaredLengthBelowMinimumPoisons) {
+  FrameDecoder dec;
+  const std::vector<std::uint8_t> bad = header(8);  // minimum is 9
+  dec.feed(bad.data(), bad.size());
+  Frame out;
+  EXPECT_EQ(dec.next(&out), FrameDecoder::Status::kError);
+  EXPECT_FALSE(dec.error().empty());
+
+  // Sticky: even a pristine frame after the poison stays unreadable.
+  const std::vector<std::uint8_t> good =
+      encode_frame(make_frame(0x01, 7, {1}));
+  dec.feed(good.data(), good.size());
+  EXPECT_EQ(dec.next(&out), FrameDecoder::Status::kError);
+}
+
+TEST(FrameCodec, DeclaredLengthAboveCapPoisons) {
+  FrameDecoder dec;
+  const auto too_long = static_cast<std::uint32_t>(
+      kMaxFramePayloadBytes + kFrameOverheadBytes + 1);
+  const std::vector<std::uint8_t> bad = header(too_long);
+  dec.feed(bad.data(), bad.size());
+  Frame out;
+  EXPECT_EQ(dec.next(&out), FrameDecoder::Status::kError);
+  EXPECT_EQ(dec.next(&out), FrameDecoder::Status::kError);
+}
+
+TEST(FrameCodec, DeclaredLengthAtCapIsIncompleteNotError) {
+  // Exactly the cap is a legal (if enormous) frame: the decoder must
+  // wait for it, not reject it. Only the header is fed — no 64 MiB
+  // allocation happens in this test.
+  FrameDecoder dec;
+  const auto max_ok = static_cast<std::uint32_t>(kMaxFramePayloadBytes +
+                                                 kFrameOverheadBytes);
+  const std::vector<std::uint8_t> h = header(max_ok);
+  dec.feed(h.data(), h.size());
+  Frame out;
+  EXPECT_EQ(dec.next(&out), FrameDecoder::Status::kNeedMore);
+  EXPECT_TRUE(dec.error().empty());
+}
+
+TEST(FrameCodec, FuzzRoundTripUnderRandomChunking) {
+  Rng rng(0x0f7a3e11u);
+  for (int iter = 0; iter < 200; ++iter) {
+    SCOPED_TRACE(iter);
+    // A burst of 1..4 random frames on one stream.
+    const std::size_t count = 1 + rng() % 4;
+    std::vector<Frame> frames;
+    std::vector<std::uint8_t> wire;
+    for (std::size_t i = 0; i < count; ++i) {
+      std::vector<std::uint8_t> payload(rng() % 2000);
+      for (auto& byte : payload) byte = static_cast<std::uint8_t>(rng());
+      frames.push_back(make_frame(static_cast<std::uint8_t>(rng() % 255),
+                                  rng(), std::move(payload)));
+      const std::vector<std::uint8_t> w = encode_frame(frames.back());
+      wire.insert(wire.end(), w.begin(), w.end());
+    }
+    // Delivered in random chunks of 1..97 bytes.
+    FrameDecoder dec;
+    std::vector<Frame> seen;
+    std::size_t off = 0;
+    while (off < wire.size()) {
+      const std::size_t chunk =
+          std::min<std::size_t>(1 + rng() % 97, wire.size() - off);
+      dec.feed(wire.data() + off, chunk);
+      off += chunk;
+      Frame out;
+      while (dec.next(&out) == FrameDecoder::Status::kFrame) {
+        seen.push_back(out);
+      }
+    }
+    ASSERT_EQ(seen.size(), frames.size());
+    for (std::size_t i = 0; i < frames.size(); ++i) {
+      EXPECT_EQ(seen[i], frames[i]);
+    }
+    EXPECT_EQ(dec.buffered(), 0u);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Payload helpers: the sticky ByteReader and the whole-payload rule.
+// ---------------------------------------------------------------------------
+
+TEST(ByteCodec, WriterReaderRoundTrip) {
+  ByteWriter w;
+  w.u8(0x5a);
+  w.u32(0xdeadbeef);
+  w.u64(0x0123456789abcdefull);
+  w.f64(-1234.5);
+  w.str("hello");
+  const std::vector<std::uint8_t> payload = w.take();
+
+  ByteReader r({payload.data(), payload.size()});
+  std::uint8_t a = 0;
+  std::uint32_t b = 0;
+  std::uint64_t c = 0;
+  double d = 0.0;
+  std::string s;
+  ASSERT_TRUE(r.u8(&a));
+  ASSERT_TRUE(r.u32(&b));
+  ASSERT_TRUE(r.u64(&c));
+  ASSERT_TRUE(r.f64(&d));
+  ASSERT_TRUE(r.str(&s));
+  EXPECT_EQ(a, 0x5a);
+  EXPECT_EQ(b, 0xdeadbeefu);
+  EXPECT_EQ(c, 0x0123456789abcdefull);
+  EXPECT_EQ(d, -1234.5);
+  EXPECT_EQ(s, "hello");
+  EXPECT_TRUE(r.done());
+}
+
+TEST(ByteCodec, TruncationAtEveryByteFailsSomeRead) {
+  ByteWriter w;
+  w.u32(7);
+  w.f64(0.25);
+  w.str("abc");
+  w.u64(99);
+  const std::vector<std::uint8_t> payload = w.take();
+
+  const auto parse = [](std::span<const std::uint8_t> bytes) {
+    ByteReader r(bytes);
+    std::uint32_t a = 0;
+    double b = 0.0;
+    std::string s;
+    std::uint64_t c = 0;
+    return r.u32(&a) && r.f64(&b) && r.str(&s) && r.u64(&c) && r.done();
+  };
+  ASSERT_TRUE(parse({payload.data(), payload.size()}));
+  for (std::size_t len = 0; len < payload.size(); ++len) {
+    SCOPED_TRACE(len);
+    EXPECT_FALSE(parse({payload.data(), len}));
+  }
+}
+
+TEST(ByteCodec, TrailingByteFailsDone) {
+  ByteWriter w;
+  w.u32(1);
+  std::vector<std::uint8_t> payload = w.take();
+  payload.push_back(0);  // one stray byte
+
+  ByteReader r({payload.data(), payload.size()});
+  std::uint32_t v = 0;
+  EXPECT_TRUE(r.u32(&v));
+  EXPECT_TRUE(r.ok());
+  EXPECT_FALSE(r.done());
+  EXPECT_EQ(r.remaining(), 1u);
+}
+
+TEST(ByteCodec, ReaderFailureIsSticky) {
+  const std::vector<std::uint8_t> payload = {1, 2};  // too short for a u32
+  ByteReader r({payload.data(), payload.size()});
+  std::uint32_t v = 0;
+  EXPECT_FALSE(r.u32(&v));
+  EXPECT_FALSE(r.ok());
+  std::uint8_t b = 0;
+  // The bytes are there, but the reader already failed.
+  EXPECT_FALSE(r.u8(&b));
+}
+
+TEST(ByteCodec, StrLengthCapRejectsWithoutConsuming) {
+  ByteWriter w;
+  w.u32(1u << 30);  // declared string length: absurd
+  const std::vector<std::uint8_t> payload = w.take();
+  ByteReader r({payload.data(), payload.size()});
+  std::string s;
+  EXPECT_FALSE(r.str(&s));
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(s.empty());
+}
+
+}  // namespace
+}  // namespace matchsparse

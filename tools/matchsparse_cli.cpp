@@ -60,6 +60,7 @@
 #include "obs/manifest.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "serve/diffcheck.hpp"
 #include "util/parse.hpp"
 #include "util/thread_pool.hpp"
 #include "util/timer.hpp"
@@ -118,7 +119,7 @@ int usage() {
                "--degrade=off|eps|maximal\n"
                "       --matcher=serial|frontier\n"
                "       --repeat=<N> --jobs=<K>   (match: concurrent "
-               "self-test, see DESIGN.md \xC2\xA714)\n"
+               "self-test, see DESIGN.md \xC2\xA7" "14)\n"
                "families: line unitdisk cliqueunion unitint cliquepath "
                "complete\n");
   return 2;
@@ -280,12 +281,12 @@ int run_selftest_match(const Graph& g, const ApproxMatchingConfig& cfg) {
   const std::uint64_t jobs = std::min(g_selftest.jobs, repeat);
 
   RunOutcome ref;
-  std::string ref_metrics;
+  serve::RunSignature ref_sig;
   {
     guard::RunContext ctx("selftest-reference");
     const guard::ScopedContext scope(ctx);
     ref = approx_maximum_matching_guarded(g, cfg, g_guard.limits);
-    ref_metrics = ctx.metrics_snapshot().to_json();
+    ref_sig = serve::signature_of(ref, ctx.metrics_snapshot().to_json());
   }
 
   std::atomic<std::uint64_t> next{0};
@@ -297,23 +298,12 @@ int run_selftest_match(const Graph& g, const ApproxMatchingConfig& cfg) {
     if (!g_obs.trace_path.empty()) ctx.tracer().set_enabled(true);
     const RunOutcome out =
         approx_maximum_matching_guarded(g, cfg, g_guard.limits);
-    const std::string metrics = ctx.metrics_snapshot().to_json();
-    if (out.status != ref.status) {
-      divergence[r] = std::string("status ") + to_string(out.status) +
-                      " vs " + to_string(ref.status);
-    } else if (out.polls != ref.polls) {
-      divergence[r] = "poll count " + std::to_string(out.polls) + " vs " +
-                      std::to_string(ref.polls);
-    } else if (metrics != ref_metrics) {
-      divergence[r] = "per-request metrics snapshot differs";
-    } else {
-      for (VertexId v = 0; v < g.num_vertices(); ++v) {
-        if (out.result.matching.mate(v) != ref.result.matching.mate(v)) {
-          divergence[r] = "matching diverges at vertex " + std::to_string(v);
-          break;
-        }
-      }
-    }
+    // One reference-divergence checker for every "bit-identical to solo"
+    // surface — the serve daemon's tests and the serve_request_isolation
+    // property compare through the same serve::divergence().
+    divergence[r] = serve::divergence(
+        ref_sig,
+        serve::signature_of(out, ctx.metrics_snapshot().to_json()));
     // Per-request outputs, resolved through THIS request's ambient scope:
     // the manifest embeds this context's metrics and span summary only.
     if (!g_obs.metrics_path.empty()) {

@@ -1,0 +1,151 @@
+// matchsparse_serve — the matching-as-a-service daemon (DESIGN.md §15).
+//
+//   matchsparse_serve --socket=/run/matchsparse.sock
+//   matchsparse_serve --tcp=7447 --cache-bytes=1g --max-inflight=16
+//
+// Serves the serve/protocol.hpp frame protocol (LOAD / SPARSIFY / MATCH
+// / PIPELINE / STATS / EVICT / CANCEL / SHUTDOWN) over a unix-domain
+// socket and/or a loopback TCP port. Runs in the foreground; stops on
+// SIGINT/SIGTERM or a SHUTDOWN frame, draining in-flight requests
+// through their guards' cancellation path.
+//
+// Flags:
+//   --socket=<path>      unix-domain listener (unlinked on exit)
+//   --tcp=<port>         loopback TCP listener; 0 picks an ephemeral
+//                        port (printed on stdout)
+//   --cache-bytes=<n>    graph+sparsifier cache cap (k/m/g suffixes;
+//                        default 256m) — also the pool that per-request
+//                        memory budgets are clamped against
+//   --max-inflight=<n>   concurrent job ceiling before shedding
+//                        (default 8; 0 = unlimited)
+//   --metrics=<prefix>   write per-request metrics snapshots to
+//                        <prefix>.req<serial>.json
+//   --trace=<prefix>     write per-request Chrome traces to
+//                        <prefix>.req<serial>.json
+
+#include <pthread.h>
+#include <signal.h>
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "serve/server.hpp"
+#include "util/parse.hpp"
+
+namespace {
+
+using matchsparse::parse_bytes;
+using matchsparse::parse_u64;
+using matchsparse::serve::Server;
+using matchsparse::serve::ServerOptions;
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: matchsparse_serve [--socket=<path>] [--tcp=<port>]\n"
+      "                         [--cache-bytes=<n[k|m|g]>] "
+      "[--max-inflight=<n>]\n"
+      "                         [--metrics=<prefix>] [--trace=<prefix>]\n"
+      "at least one of --socket / --tcp is required\n");
+  return 2;
+}
+
+bool flag_value(const char* arg, const char* name, const char** value) {
+  const std::size_t n = std::strlen(name);
+  if (std::strncmp(arg, name, n) != 0 || arg[n] != '=') return false;
+  *value = arg + n + 1;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ServerOptions opts;
+  for (int i = 1; i < argc; ++i) {
+    const char* v = nullptr;
+    if (flag_value(argv[i], "--socket", &v)) {
+      opts.socket_path = v;
+    } else if (flag_value(argv[i], "--tcp", &v)) {
+      const auto port = parse_u64(v);
+      if (!port || *port > 65535) {
+        std::fprintf(stderr, "matchsparse_serve: bad --tcp=%s\n", v);
+        return 2;
+      }
+      opts.tcp_port = static_cast<int>(*port);
+    } else if (flag_value(argv[i], "--cache-bytes", &v)) {
+      const auto bytes = parse_bytes(v);
+      if (!bytes || *bytes == 0) {
+        std::fprintf(stderr, "matchsparse_serve: bad --cache-bytes=%s\n", v);
+        return 2;
+      }
+      opts.cache_bytes = *bytes;
+    } else if (flag_value(argv[i], "--max-inflight", &v)) {
+      const auto n = parse_u64(v);
+      if (!n || *n > 0xffffffffull) {
+        std::fprintf(stderr, "matchsparse_serve: bad --max-inflight=%s\n", v);
+        return 2;
+      }
+      opts.max_inflight = static_cast<std::uint32_t>(*n);
+    } else if (flag_value(argv[i], "--metrics", &v)) {
+      opts.metrics_prefix = v;
+    } else if (flag_value(argv[i], "--trace", &v)) {
+      opts.trace_prefix = v;
+    } else {
+      std::fprintf(stderr, "matchsparse_serve: unknown flag %s\n", argv[i]);
+      return usage();
+    }
+  }
+  if (opts.socket_path.empty() && opts.tcp_port < 0) return usage();
+
+  // MSG_NOSIGNAL covers the send paths; this covers any stray write.
+  ::signal(SIGPIPE, SIG_IGN);
+  // SIGINT/SIGTERM are handled synchronously by a sigwait thread —
+  // begin_drain takes locks, so it must never run in a signal handler.
+  sigset_t stop_signals;
+  sigemptyset(&stop_signals);
+  sigaddset(&stop_signals, SIGINT);
+  sigaddset(&stop_signals, SIGTERM);
+  pthread_sigmask(SIG_BLOCK, &stop_signals, nullptr);
+
+  Server server(opts);
+  std::string error;
+  if (!server.start(&error)) {
+    std::fprintf(stderr, "matchsparse_serve: %s\n", error.c_str());
+    return 1;
+  }
+  if (!opts.socket_path.empty()) {
+    std::printf("listening on unix:%s\n", opts.socket_path.c_str());
+  }
+  if (opts.tcp_port >= 0) {
+    std::printf("listening on tcp:127.0.0.1:%d\n", server.tcp_port());
+  }
+  std::fflush(stdout);
+
+  std::thread signal_thread([&stop_signals, &server] {
+    int sig = 0;
+    sigwait(&stop_signals, &sig);
+    if (!server.shutting_down()) {
+      std::fprintf(stderr, "matchsparse_serve: %s, draining\n",
+                   strsignal(sig));
+    }
+    server.stop();
+  });
+
+  server.wait();  // SHUTDOWN frame, signal, or stop()
+  // Wake the sigwait thread if the shutdown came over the wire instead.
+  pthread_kill(signal_thread.native_handle(), SIGTERM);
+  signal_thread.join();
+  server.stop();
+
+  const Server::Telemetry t = server.telemetry();
+  std::printf("served %llu requests (%llu errors, %llu shed, %llu cancelled) "
+              "over %llu connections\n",
+              static_cast<unsigned long long>(t.requests),
+              static_cast<unsigned long long>(t.errors),
+              static_cast<unsigned long long>(t.shed),
+              static_cast<unsigned long long>(t.cancels_delivered),
+              static_cast<unsigned long long>(t.connections));
+  return 0;
+}
