@@ -457,7 +457,14 @@ Matching frontier_run(const Graph& g, std::vector<std::uint8_t> side,
     return engine.run(opt.max_phases, stats);
   }
   ThreadPool* pool = opt.pool != nullptr ? opt.pool : &default_pool();
-  const std::size_t lanes = opt.lanes == 0 ? pool->size() : opt.lanes;
+  // Clamp to n like the sparsifier's shard count: the lane count sizes
+  // the per-lane locals/stacks, so a huge request must never allocate
+  // more lanes than the graph has vertices to hand them.
+  const std::size_t lane_cap =
+      g.num_vertices() == 0 ? 1 : static_cast<std::size_t>(g.num_vertices());
+  const std::size_t lanes =
+      std::min<std::size_t>(opt.lanes == 0 ? pool->size() : opt.lanes,
+                            lane_cap);
   if (lanes <= 1) {
     FrontierEngine<SerialPolicy> engine(g, std::move(side), SerialPolicy{},
                                         opt.chunk);

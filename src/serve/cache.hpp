@@ -2,9 +2,11 @@
 //
 // One LRU over two kinds of entries:
 //
-//   graph       key "g:<source>"                — installed by LOAD
-//   sparsifier  key "s:<source>/<Δ>/<seed>/<lanes>" — built by SPARSIFY
-//                                                    or a MATCH miss
+//   graph       key "g:<source>"                    — installed by LOAD
+//   sparsifier  key "s:<len>:<source>/<Δ>/<seed>/<scheme>" — built by
+//               SPARSIFY or a MATCH miss; the source is length-prefixed
+//               so a '/'-containing name cannot alias another source's
+//               numeric suffix
 //
 // The sparsifier key is exactly the determinism identity of
 // build_matching_sparsifier: G_Δ is a pure function of (graph, Δ, seed)

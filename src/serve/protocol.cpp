@@ -1,15 +1,19 @@
 #include "serve/protocol.hpp"
 
+#include <string_view>
+
 #include "util/common.hpp"
 
 namespace matchsparse::serve {
 
 namespace {
 
-/// Edge count ceiling implied by the frame payload ceiling: a LOAD
-/// payload is dominated by 8 bytes per edge.
-constexpr std::uint64_t kMaxWireEdges =
-    (kMaxFramePayloadBytes - 64) / (2 * sizeof(VertexId));
+/// Free-text fields go out truncated to the wire cap; the decoders'
+/// matching str() bound would otherwise fail the whole reply over an
+/// overlong diagnostic.
+std::string_view wire_text(const std::string& s) {
+  return std::string_view(s).substr(0, kMaxWireDetailBytes);
+}
 
 Frame make_frame(std::uint8_t type, std::uint64_t id, ByteWriter&& w) {
   Frame f;
@@ -129,12 +133,14 @@ Frame encode_reply(FrameType req_type, const MatchReply& r, std::uint64_t id) {
   w.u64(r.polls);
   w.u64(r.mem_peak_bytes);
   w.u64(r.server_serial);
+  MS_CHECK_MSG(r.matched.size() <= kMaxWireEdges,
+               "matching too large for a frame");
   w.u32(static_cast<std::uint32_t>(r.matched.size()));
   for (const Edge& e : r.matched) {
     w.u32(e.u);
     w.u32(e.v);
   }
-  w.str(r.detail);
+  w.str(wire_text(r.detail));
   return make_frame(reply(req_type), id, std::move(w));
 }
 
@@ -161,7 +167,7 @@ Frame encode_reply(FrameType req_type, const CancelReply& r,
 Frame encode_error(const ErrorReply& r, std::uint64_t id) {
   ByteWriter w;
   w.u32(static_cast<std::uint32_t>(r.code));
-  w.str(r.message);
+  w.str(wire_text(r.message));
   return make_frame(static_cast<std::uint8_t>(FrameType::kError), id,
                     std::move(w));
 }

@@ -40,6 +40,28 @@ constexpr std::uint8_t reply(FrameType t) {
   return static_cast<std::uint8_t>(t) | 0x80;
 }
 
+/// Cap on the free-text strings crossing the wire (MatchReply::detail,
+/// ErrorReply::message): encoders truncate longer strings so a reply
+/// can never outgrow the frame ceiling, and the bound matches
+/// ByteReader's default str() limit so a maximal string still decodes
+/// on the other side.
+inline constexpr std::size_t kMaxWireDetailBytes = 1u << 16;
+
+/// Edge-count ceiling for any frame that carries an edge list. A LOAD
+/// at this ceiling admits a perfect matching of the same size, so the
+/// cap is derived from the LARGEST frame an edge list appears in — the
+/// MATCH reply: 64 fixed bytes, the 4-byte detail length prefix, a
+/// maximal detail string, and 8 bytes per edge must all fit
+/// kMaxFramePayloadBytes. (The LOAD request's own overhead — a
+/// length-prefixed source plus 12 header bytes — is strictly smaller.)
+inline constexpr std::uint64_t kMaxWireEdges =
+    (kMaxFramePayloadBytes - (64 + 4 + kMaxWireDetailBytes)) /
+    (2 * sizeof(VertexId));
+static_assert(64 + 4 + kMaxWireDetailBytes +
+                      kMaxWireEdges * 2 * sizeof(VertexId) <=
+                  kMaxFramePayloadBytes,
+              "a maximal MATCH reply must fit one frame");
+
 /// Why a request failed (ErrorReply::code).
 enum class ErrorCode : std::uint32_t {
   kBadFrame = 1,      // payload failed to decode (or unknown frame type)

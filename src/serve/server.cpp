@@ -151,6 +151,9 @@ void Server::begin_drain() {
     std::lock_guard<std::mutex> lock(inflight_mu_);
     for (auto& [serial, ctx] : inflight_) ctx->cancel();
   }
+}
+
+void Server::notify_stop() {
   {
     // Pairs with the cv wait's predicate re-check so the wakeup is not
     // lost between its predicate evaluation and its sleep.
@@ -161,11 +164,13 @@ void Server::begin_drain() {
 
 void Server::stop() {
   begin_drain();
-  {
-    std::lock_guard<std::mutex> lock(stop_mu_);
-    if (stopped_) return;
-    stopped_ = true;
-  }
+  notify_stop();
+  // One thread runs the teardown; a concurrent stop() (say the
+  // destructor racing an explicit stop on another thread) blocks here
+  // until the joins finish rather than returning into ~Server while
+  // members are still in use.
+  std::lock_guard<std::mutex> join_lock(join_mu_);
+  if (stopped_) return;
   for (const int fd : listen_fds_) ::shutdown(fd, SHUT_RDWR);
   for (std::thread& t : accept_threads_) {
     if (t.joinable()) t.join();
@@ -190,6 +195,7 @@ void Server::stop() {
     if (s.thread.joinable()) s.thread.join();
     ::close(s.fd);
   }
+  stopped_ = true;
 }
 
 int Server::connect_in_process() {
@@ -386,6 +392,14 @@ bool Server::handle_job(int fd, const Frame& f) {
     return send_error(fd, f.request_id, ErrorCode::kBadConfig,
                       "unknown matcher backend");
   }
+  // The lane count sizes per-lane working arrays in the parallel
+  // backends; an unchecked u64 from the wire would let one frame
+  // allocate the daemon to death before any memory budget is polled.
+  if (req->threads > opts_.max_job_threads) {
+    return send_error(fd, f.request_id, ErrorCode::kBadConfig,
+                      "threads above the server cap of " +
+                          std::to_string(opts_.max_job_threads));
+  }
   const auto graph = cache_.get_graph(req->source);
   if (graph == nullptr) {
     return send_error(fd, f.request_id, ErrorCode::kUnknownGraph,
@@ -424,6 +438,11 @@ bool Server::handle_job(int fd, const Frame& f) {
   {
     std::lock_guard<std::mutex> lock(inflight_mu_);
     inflight_[serial] = &ctx;
+    // begin_drain()'s cancel sweep may have run between the
+    // shutting_down() check above and this insert; re-check under the
+    // sweep's own lock so a late registrant is cancelled, not missed —
+    // the SHUTDOWN ack's drain-before-ack contract depends on it.
+    if (shutting_down()) ctx.cancel();
   }
 
   bool ok = false;
@@ -665,12 +684,17 @@ bool Server::handle_cancel(int fd, const Frame& f) {
 
 bool Server::handle_shutdown(int fd, const Frame& f) {
   // Drain BEFORE the ack goes out: a client that has seen the ack must
-  // never observe the server still admitting work.
+  // never observe the server still admitting work. But wake wait() only
+  // AFTER the ack is queued to the kernel — waking first lets the
+  // owner's stop() sever this session between drain and send, and the
+  // client that asked for the shutdown never sees its ack.
   begin_drain();
   Frame ack;
   ack.type = reply(FrameType::kShutdown);
   ack.request_id = f.request_id;
-  return send_frame(fd, ack);
+  const bool ok = send_frame(fd, ack);
+  notify_stop();
+  return ok;
 }
 
 std::uint64_t Server::grant_budget(std::uint64_t requested) {

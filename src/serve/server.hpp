@@ -66,6 +66,11 @@ struct ServerOptions {
   /// LOAD caps (kTooLarge beyond these).
   VertexId max_vertices = 1u << 27;
   EdgeIndex max_edges = 1ull << 32;
+  /// Per-job `threads` ceiling (kBadConfig beyond it): the lane count
+  /// sizes per-lane working arrays in the parallel backends, so a
+  /// client must not pick it freely. 0 (one lane per pool worker) is
+  /// always admitted.
+  std::uint64_t max_job_threads = 256;
   /// When non-empty, every job request writes its per-request metrics
   /// snapshot to "<metrics_prefix>.req<serial>.json" (the serve analogue
   /// of the CLI's --metrics=<path> per-request manifests).
@@ -134,9 +139,13 @@ class Server {
   bool spawn_session(int fd);
   void reap_finished_locked();
   /// Flip into draining mode: refuse new jobs, cancel in-flight
-  /// contexts, wake wait(). Does NOT join (a session thread calls this
-  /// on SHUTDOWN; stop() does the joining from the owner thread).
+  /// contexts. Does NOT join or wake wait() (a session thread calls
+  /// this on SHUTDOWN and must get its ack out before the owner's
+  /// stop() severs the session; stop() joins from the owner thread).
   void begin_drain();
+  /// Wake wait()ers; called after begin_drain() once it is safe for
+  /// the owner to proceed to stop().
+  void notify_stop();
 
   bool send_frame(int fd, const Frame& f);
   bool send_error(int fd, std::uint64_t id, ErrorCode code,
@@ -174,7 +183,8 @@ class Server {
   std::atomic<bool> stopping_{false};
   std::mutex stop_mu_;
   std::condition_variable stop_cv_;
-  bool stopped_ = false;  // stop() already ran to completion
+  std::mutex join_mu_;    // serializes stop()'s whole teardown sequence
+  bool stopped_ = false;  // teardown ran to completion; guarded by join_mu_
 
   std::vector<int> listen_fds_;
   std::vector<std::thread> accept_threads_;

@@ -29,6 +29,7 @@
 #include "core/api.hpp"
 #include "gen/generators.hpp"
 #include "guard/context.hpp"
+#include "serve/cache.hpp"
 #include "serve/client.hpp"
 #include "serve/diffcheck.hpp"
 #include "serve/protocol.hpp"
@@ -193,6 +194,43 @@ TEST(ServeProtocol, MatchReplyRoundTripsAndRejectsEveryTruncation) {
     SCOPED_TRACE(len);
     EXPECT_FALSE(serve::decode_match_reply({f.payload.data(), len}));
   }
+}
+
+TEST(ServeProtocol, OversizedTextTruncatesInsteadOfOverflowingTheFrame) {
+  // kMaxWireEdges is derived so the worst-case reply — every edge
+  // matched plus a maximal detail string — still fits one frame; the
+  // text side of that bound is enforced by truncation at encode time.
+  MatchReply rep;
+  rep.detail = std::string(serve::kMaxWireDetailBytes + 500, 'x');
+  const Frame f = serve::encode_reply(FrameType::kMatch, rep, 1);
+  const auto back =
+      serve::decode_match_reply({f.payload.data(), f.payload.size()});
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->detail.size(), serve::kMaxWireDetailBytes);
+  EXPECT_EQ(back->detail, rep.detail.substr(0, serve::kMaxWireDetailBytes));
+
+  serve::ErrorReply err;
+  err.code = ErrorCode::kInternal;
+  err.message = std::string(serve::kMaxWireDetailBytes + 500, 'y');
+  const Frame ef = serve::encode_error(err, 2);
+  const auto eb =
+      serve::decode_error_reply({ef.payload.data(), ef.payload.size()});
+  ASSERT_TRUE(eb.has_value());
+  EXPECT_EQ(eb->message.size(), serve::kMaxWireDetailBytes);
+}
+
+TEST(ServeCache, SlashContainingSourceNamesCannotAliasSparsifierKeys) {
+  serve::GraphCache cache(64ull << 20);
+  std::uint64_t bytes = 0;
+  cache.put_sparsifier({"x", 5, 7, 2}, disk_graph(16, 0xa11a), &bytes);
+  EXPECT_NE(cache.get_sparsifier({"x", 5, 7, 2}), nullptr);
+  // Scheme normalization still collapses all parallel lane counts...
+  EXPECT_NE(cache.get_sparsifier({"x", 5, 7, 8}), nullptr);
+  // ...but no '/'-crafted source may resolve to the same entry, and a
+  // different delta/seed under the same source stays distinct too.
+  EXPECT_EQ(cache.get_sparsifier({"x/5", 7, 2, 2}), nullptr);
+  EXPECT_EQ(cache.get_sparsifier({"x/5/7", 2, 0, 2}), nullptr);
+  EXPECT_EQ(cache.get_sparsifier({"x", 5, 8, 2}), nullptr);
 }
 
 TEST(ServeProtocol, EveryRequestDecoderRejectsTrailingByte) {
@@ -408,6 +446,12 @@ TEST_F(ServeEndToEnd, UnknownGraphAndBadConfigRefused) {
   EXPECT_EQ(c.last_error().code, ErrorCode::kBadConfig);
   bad = job_of("g");
   bad.matcher = 2;
+  EXPECT_FALSE(c.match(bad).has_value());
+  EXPECT_EQ(c.last_error().code, ErrorCode::kBadConfig);
+  // A wire-controlled lane count sizes per-lane arrays in the parallel
+  // backends: absurd values must be refused, not allocated.
+  bad = job_of("g");
+  bad.threads = 1ull << 40;
   EXPECT_FALSE(c.match(bad).has_value());
   EXPECT_EQ(c.last_error().code, ErrorCode::kBadConfig);
 

@@ -18,6 +18,9 @@
 //                        memory budgets are clamped against
 //   --max-inflight=<n>   concurrent job ceiling before shedding
 //                        (default 8; 0 = unlimited)
+//   --max-threads=<n>    per-job lane-count ceiling; requests asking
+//                        for more are refused with bad-config
+//                        (default 256)
 //   --metrics=<prefix>   write per-request metrics snapshots to
 //                        <prefix>.req<serial>.json
 //   --trace=<prefix>     write per-request Chrome traces to
@@ -47,7 +50,8 @@ int usage() {
       "usage: matchsparse_serve [--socket=<path>] [--tcp=<port>]\n"
       "                         [--cache-bytes=<n[k|m|g]>] "
       "[--max-inflight=<n>]\n"
-      "                         [--metrics=<prefix>] [--trace=<prefix>]\n"
+      "                         [--max-threads=<n>] [--metrics=<prefix>] "
+      "[--trace=<prefix>]\n"
       "at least one of --socket / --tcp is required\n");
   return 2;
 }
@@ -88,6 +92,13 @@ int main(int argc, char** argv) {
         return 2;
       }
       opts.max_inflight = static_cast<std::uint32_t>(*n);
+    } else if (flag_value(argv[i], "--max-threads", &v)) {
+      const auto n = parse_u64(v);
+      if (!n || *n == 0) {
+        std::fprintf(stderr, "matchsparse_serve: bad --max-threads=%s\n", v);
+        return 2;
+      }
+      opts.max_job_threads = *n;
     } else if (flag_value(argv[i], "--metrics", &v)) {
       opts.metrics_prefix = v;
     } else if (flag_value(argv[i], "--trace", &v)) {
