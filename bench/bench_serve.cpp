@@ -18,7 +18,11 @@
 //      deadline surfacing as degradation);
 //   2. p99 latency stays under the per-request deadline on every row;
 //   3. hot p50 is measurably cheaper than cold p50 at every client
-//      count (the cache is the daemon's reason to exist).
+//      count (the cache is the daemon's reason to exist);
+//   4. the telemetry plane (DESIGN.md §16) is hot-path cheap: with two
+//      otherwise-identical servers — histograms/counters on vs off —
+//      interleaved rounds of the hot MATCH workload must keep the
+//      telemetry-on min-of-rounds p50 within 1.05x of telemetry-off.
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
@@ -231,6 +235,81 @@ int main() {
     }
   }
   table.print();
+
+  // -------------------------------------------------------------------
+  // Telemetry overhead: the same hot MATCH workload against a second,
+  // telemetry-off server, interleaved round for round so machine drift
+  // hits both sides alike; min-of-rounds p50 is the noise-resistant
+  // statistic the gate compares.
+  ServerOptions off_opts = opts;
+  off_opts.telemetry = false;
+  Server server_off(off_opts);
+  if (!server_off.start(&err)) {
+    std::fprintf(stderr, "telemetry-off server start failed: %s\n",
+                 err.c_str());
+    return 1;
+  }
+  {
+    Client loader(server_off.connect_in_process());
+    LoadRequest load;
+    load.source = "g";
+    load.n = g.num_vertices();
+    load.edges = g.edge_list();
+    if (!loader.load(load).has_value() ||
+        !loader.sparsify(job()).has_value()) {
+      std::fprintf(stderr, "telemetry-off warmup failed: %s\n",
+                   loader.last_error().message.c_str());
+      return 1;
+    }
+  }
+
+  constexpr int kOverheadRounds = 5;
+  constexpr int kOverheadRequests = 200;
+  double on_p50 = kDeadlineMs, off_p50 = kDeadlineMs;
+  std::uint64_t overhead_bad = 0;
+  for (int round = 0; round < kOverheadRounds; ++round) {
+    for (const bool telemetry_on : {true, false}) {
+      Server& target = telemetry_on ? server : server_off;
+      const auto res = run_workload(target, 1, kOverheadRequests,
+                                    /*cold=*/false);
+      overhead_bad += res.not_ok;
+      const double p50 = percentiles(res.latencies_ms).p50;
+      double& best = telemetry_on ? on_p50 : off_p50;
+      best = std::min(best, p50);
+    }
+  }
+  const double overhead_ratio = on_p50 / off_p50;
+  Table overhead("telemetry overhead (hot MATCH, min-of-rounds p50)",
+                 {"telemetry", "p50_ms", "ratio"});
+  overhead.row().cell("off").cell(off_p50).cell(1.0);
+  overhead.row().cell("on").cell(on_p50).cell(overhead_ratio);
+  overhead.print();
+  {
+    JsonRow row;
+    row.str("bench", "serve")
+        .str("mode", "telemetry-overhead")
+        .num("rounds", static_cast<std::uint64_t>(kOverheadRounds))
+        .num("requests_per_round",
+             static_cast<std::uint64_t>(kOverheadRequests))
+        .num("p50_ms_telemetry_on", on_p50)
+        .num("p50_ms_telemetry_off", off_p50)
+        .num("ratio", overhead_ratio)
+        .num("not_ok", overhead_bad);
+    sink.row(row);
+  }
+  if (overhead_bad != 0) {
+    std::fprintf(stderr, "GATE: telemetry-overhead rounds saw %llu non-kOk "
+                         "replies on the no-fault workload\n",
+                 static_cast<unsigned long long>(overhead_bad));
+    gates_ok = false;
+  }
+  if (overhead_ratio > 1.05) {
+    std::fprintf(stderr, "GATE: telemetry-on hot p50 %.4f ms is %.3fx the "
+                         "telemetry-off p50 %.4f ms (cap 1.05x)\n",
+                 on_p50, overhead_ratio, off_p50);
+    gates_ok = false;
+  }
+  server_off.stop();
 
   const auto t = server.telemetry();
   if (t.errors != 0 || t.shed != 0) {

@@ -23,9 +23,10 @@ mode="${1:-all}"
 UTIL_FILTER='ThreadPool.*:ParallelFor.*'
 SPARSIFY_FILTER='ParallelPipeline.*:ParallelSparsifier.*'
 # The whole obs suite is concurrency-relevant: spans record from pool
-# workers and the registry is hammered from parallel_for in the
-# determinism test.
-OBS_FILTER='Obs*'
+# workers, the registry is hammered from parallel_for in the determinism
+# test, and the bucket-histogram suite storms one histogram from eight
+# threads while a scraper snapshots it.
+OBS_FILTER='Obs*:Bucket*'
 # The whole guard suite: cancel() races polling pool workers, MemCharge
 # races concurrent budget charges, and ScopedGuard install/restore is an
 # atomic exchange other threads observe mid-flight.
@@ -42,6 +43,10 @@ RUN_CONTEXT_FILTER='*'
 # cache, admission counters, cross-connection CANCEL delivery, and the
 # 8-client bit-identical-to-solo headline.
 SERVE_FILTER='*'
+# The whole telemetry suite (DESIGN.md §16): the seqlock flight ring
+# under a four-writer storm with a concurrent dumper, and STATS scrapes
+# racing live request traffic.
+SERVE_TELEMETRY_FILTER='*'
 
 run_one() {
   san="$1"
@@ -51,6 +56,7 @@ run_one() {
     -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
   cmake --build "$dir" --target test_util test_sparsify test_obs \
     test_guard test_run_context test_frontier_matching test_serve \
+    test_serve_telemetry \
     -j "$(nproc)"
   "$dir/tests/test_util" --gtest_filter="$UTIL_FILTER"
   "$dir/tests/test_sparsify" --gtest_filter="$SPARSIFY_FILTER"
@@ -59,6 +65,7 @@ run_one() {
   "$dir/tests/test_run_context" --gtest_filter="$RUN_CONTEXT_FILTER"
   "$dir/tests/test_frontier_matching" --gtest_filter="$FRONTIER_FILTER"
   "$dir/tests/test_serve" --gtest_filter="$SERVE_FILTER"
+  "$dir/tests/test_serve_telemetry" --gtest_filter="$SERVE_TELEMETRY_FILTER"
   if [ "$san" = "thread" ]; then
     # Seed-randomized frontier workloads under TSan: the matchcheck
     # properties drive serial + 2/4/8-lane pool runs and mid-phase

@@ -88,6 +88,21 @@ std::string MetricsSnapshot::to_json() const {
         append_json_number(out, m.max);
         out += '}';
         break;
+      case MetricKind::kBucketHistogram:
+        out += "{\"count\":" + std::to_string(m.count) + ",\"sum\":";
+        append_json_number(out, m.value);
+        out += ",\"mean\":";
+        append_json_number(out, m.mean);
+        out += ",\"p50\":";
+        append_json_number(out, m.p50);
+        out += ",\"p90\":";
+        append_json_number(out, m.p90);
+        out += ",\"p95\":";
+        append_json_number(out, m.p95);
+        out += ",\"p99\":";
+        append_json_number(out, m.p99);
+        out += '}';
+        break;
     }
   }
   out += '}';
@@ -126,6 +141,7 @@ struct Registry::State {
   std::map<std::string, Counter, std::less<>> counters;
   std::map<std::string, Gauge, std::less<>> gauges;
   std::map<std::string, Histogram, std::less<>> histograms;
+  std::map<std::string, BucketHistogram, std::less<>> bucket_histograms;
 
   void check_kind(std::string_view name, MetricKind kind) {
     const auto it = kinds.find(name);
@@ -175,46 +191,62 @@ ScopedMetricsRegistry::~ScopedMetricsRegistry() {
 
 void Registry::merge_into(Registry& target) const {
   MS_CHECK_MSG(this != &target, "registry cannot merge into itself");
-  // Snapshot this registry under its own lock first, then write into
-  // the target under the target's lock. Merges only ever flow
-  // request-registry → global, so the two-step never inverts a lock
-  // order; taking both locks at once is unnecessary.
-  struct HistEntry {
-    std::string name;
-    StreamingStats stats;
+  // Walk this registry under its own lock collecting only raw scalar
+  // values and stable instrument/name addresses (map nodes are never
+  // erased), then read the heavyweight instruments and write into the
+  // target — under the target's lock, per accessor — outside it.
+  // Merges only ever flow request-registry → aggregate registry, so
+  // the two-step never inverts a lock order.
+  struct ScalarEntry {
+    const std::string* name;
+    MetricKind kind;
+    std::uint64_t count;
+    double value;
   };
-  std::vector<MetricValue> scalars;
+  struct HistEntry {
+    const std::string* name;
+    const Histogram* hist;
+  };
+  struct BucketEntry {
+    const std::string* name;
+    const BucketHistogram* hist;
+  };
+  std::vector<ScalarEntry> scalars;
   std::vector<HistEntry> hists;
+  std::vector<BucketEntry> buckets;
   {
     const std::lock_guard<std::mutex> lock(state_->mutex);
+    scalars.reserve(state_->counters.size() + state_->gauges.size());
+    hists.reserve(state_->histograms.size());
+    buckets.reserve(state_->bucket_histograms.size());
     for (const auto& [name, counter] : state_->counters) {
-      MetricValue m;
-      m.name = name;
-      m.kind = MetricKind::kCounter;
-      m.count = counter.value();
-      scalars.push_back(std::move(m));
+      scalars.push_back(
+          ScalarEntry{&name, MetricKind::kCounter, counter.value(), 0.0});
     }
     for (const auto& [name, gauge] : state_->gauges) {
-      MetricValue m;
-      m.name = name;
-      m.kind = MetricKind::kGauge;
-      m.value = gauge.value();
-      scalars.push_back(std::move(m));
+      scalars.push_back(
+          ScalarEntry{&name, MetricKind::kGauge, 0, gauge.value()});
     }
     for (const auto& [name, histogram] : state_->histograms) {
-      hists.push_back(HistEntry{name, histogram.stats()});
+      hists.push_back(HistEntry{&name, &histogram});
+    }
+    for (const auto& [name, histogram] : state_->bucket_histograms) {
+      buckets.push_back(BucketEntry{&name, &histogram});
     }
   }
-  for (const MetricValue& m : scalars) {
+  for (const ScalarEntry& m : scalars) {
     if (m.kind == MetricKind::kCounter) {
-      if (m.count != 0) target.counter(m.name).add(m.count);
-      else target.counter(m.name);  // keep the name registered
+      if (m.count != 0) target.counter(*m.name).add(m.count);
+      else target.counter(*m.name);  // keep the name registered
     } else {
-      target.gauge(m.name).set(m.value);
+      target.gauge(*m.name).set(m.value);
     }
   }
   for (const HistEntry& h : hists) {
-    target.histogram(h.name).merge(h.stats);
+    target.histogram(*h.name).merge(h.hist->stats());
+  }
+  for (const BucketEntry& b : buckets) {
+    target.bucket_histogram(*b.name).merge(b.hist->snapshot());
   }
 }
 
@@ -236,34 +268,95 @@ Histogram& Registry::histogram(std::string_view name) {
   return state_->histograms[std::string(name)];
 }
 
-MetricsSnapshot Registry::snapshot() const {
+BucketHistogram& Registry::bucket_histogram(std::string_view name) {
   const std::lock_guard<std::mutex> lock(state_->mutex);
+  state_->check_kind(name, MetricKind::kBucketHistogram);
+  return state_->bucket_histograms[std::string(name)];
+}
+
+MetricsSnapshot Registry::snapshot() const {
+  // Phase 1, under the registry mutex: raw scalar values plus stable
+  // name/instrument addresses only — no string copies, no per-
+  // instrument locks, no atomic sweeps. Phase 2, after release: read
+  // the heavyweight instruments and build (allocate) the MetricValues.
+  // Map nodes are never erased, so the collected addresses stay valid.
+  struct Entry {
+    const std::string* name;
+    MetricKind kind;
+    std::uint64_t count = 0;
+    double value = 0.0;
+    const Histogram* hist = nullptr;
+    const BucketHistogram* bhist = nullptr;
+  };
+  std::vector<Entry> entries;
+  {
+    const std::lock_guard<std::mutex> lock(state_->mutex);
+    entries.reserve(state_->kinds.size());
+    for (const auto& [name, counter] : state_->counters) {
+      Entry e;
+      e.name = &name;
+      e.kind = MetricKind::kCounter;
+      e.count = counter.value();
+      entries.push_back(e);
+    }
+    for (const auto& [name, gauge] : state_->gauges) {
+      Entry e;
+      e.name = &name;
+      e.kind = MetricKind::kGauge;
+      e.value = gauge.value();
+      entries.push_back(e);
+    }
+    for (const auto& [name, histogram] : state_->histograms) {
+      Entry e;
+      e.name = &name;
+      e.kind = MetricKind::kHistogram;
+      e.hist = &histogram;
+      entries.push_back(e);
+    }
+    for (const auto& [name, histogram] : state_->bucket_histograms) {
+      Entry e;
+      e.name = &name;
+      e.kind = MetricKind::kBucketHistogram;
+      e.bhist = &histogram;
+      entries.push_back(e);
+    }
+  }
   MetricsSnapshot snap;
-  snap.metrics.reserve(state_->kinds.size());
-  for (const auto& [name, counter] : state_->counters) {
+  snap.metrics.reserve(entries.size());
+  for (const Entry& e : entries) {
     MetricValue m;
-    m.name = name;
-    m.kind = MetricKind::kCounter;
-    m.count = counter.value();
-    snap.metrics.push_back(std::move(m));
-  }
-  for (const auto& [name, gauge] : state_->gauges) {
-    MetricValue m;
-    m.name = name;
-    m.kind = MetricKind::kGauge;
-    m.value = gauge.value();
-    snap.metrics.push_back(std::move(m));
-  }
-  for (const auto& [name, histogram] : state_->histograms) {
-    const StreamingStats s = histogram.stats();
-    MetricValue m;
-    m.name = name;
-    m.kind = MetricKind::kHistogram;
-    m.count = s.count();
-    m.value = s.sum();
-    m.mean = s.mean();
-    m.min = s.min();
-    m.max = s.max();
+    m.name = *e.name;
+    m.kind = e.kind;
+    switch (e.kind) {
+      case MetricKind::kCounter:
+        m.count = e.count;
+        break;
+      case MetricKind::kGauge:
+        m.value = e.value;
+        break;
+      case MetricKind::kHistogram: {
+        const StreamingStats s = e.hist->stats();
+        m.count = s.count();
+        m.value = s.sum();
+        m.mean = s.mean();
+        m.min = s.min();
+        m.max = s.max();
+        break;
+      }
+      case MetricKind::kBucketHistogram: {
+        const HistogramSnapshot s = e.bhist->snapshot();
+        m.count = s.count();
+        m.value = s.sum;
+        m.mean = s.mean();
+        m.min = s.quantile(0.0);
+        m.max = s.quantile(1.0);
+        m.p50 = s.quantile(0.50);
+        m.p90 = s.quantile(0.90);
+        m.p95 = s.quantile(0.95);
+        m.p99 = s.quantile(0.99);
+        break;
+      }
+    }
     snap.metrics.push_back(std::move(m));
   }
   std::sort(snap.metrics.begin(), snap.metrics.end(),
@@ -278,6 +371,7 @@ void Registry::reset_all() {
   for (auto& [name, counter] : state_->counters) counter.reset();
   for (auto& [name, gauge] : state_->gauges) gauge.reset();
   for (auto& [name, histogram] : state_->histograms) histogram.reset();
+  for (auto& [name, histogram] : state_->bucket_histograms) histogram.reset();
 }
 
 #endif  // MATCHSPARSE_OBS_ENABLED

@@ -12,6 +12,12 @@
 //   Histogram — a mutex-guarded StreamingStats; per-sample observe() or
 //               a bulk merge() of a locally accumulated StreamingStats
 //               (the pattern hot loops use so the lock is taken once).
+//   BucketHistogram — a lock-free fixed-log-bucket distribution
+//               (obs/histogram.hpp) with bounded-relative-error
+//               p50/p90/p95/p99 estimation; the serving-path instrument
+//               (DESIGN.md §16) for per-sample observe() under
+//               concurrent scrapes, where Histogram's mutex would sit
+//               on the hot path.
 //
 // Instrument resolution is AMBIENT: obs::counter("x") writes into the
 // current thread's installed Registry (a request-scoped registry set up
@@ -51,6 +57,7 @@
 #include <string_view>
 #include <vector>
 
+#include "obs/histogram.hpp"
 #include "util/stats.hpp"
 
 #ifndef MATCHSPARSE_OBS_ENABLED
@@ -59,10 +66,12 @@
 
 namespace matchsparse::obs {
 
-enum class MetricKind { kCounter, kGauge, kHistogram };
+enum class MetricKind { kCounter, kGauge, kHistogram, kBucketHistogram };
 
 /// One exported instrument value. Counters fill `count`; gauges fill
-/// `value`; histograms fill the distribution fields plus `count`.
+/// `value`; histograms fill the distribution fields plus `count`;
+/// bucket histograms additionally fill the quantile estimates (min/max
+/// hold the 0- and 1-quantile bucket representatives).
 struct MetricValue {
   std::string name;
   MetricKind kind = MetricKind::kCounter;
@@ -71,6 +80,10 @@ struct MetricValue {
   double mean = 0.0;
   double min = 0.0;
   double max = 0.0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
 };
 
 /// A point-in-time copy of the registry, sorted by name.
@@ -147,7 +160,13 @@ class Registry {
   Counter& counter(std::string_view name);
   Gauge& gauge(std::string_view name);
   Histogram& histogram(std::string_view name);
+  BucketHistogram& bucket_histogram(std::string_view name);
 
+  /// Sorted point-in-time copy. Only the raw instrument values are read
+  /// under the registry mutex; per-instrument reads that take their own
+  /// lock (Histogram) or sweep hundreds of atomics (BucketHistogram)
+  /// and every string allocation happen after it is released, so a
+  /// scrape never stalls concurrent instrument resolution.
   MetricsSnapshot snapshot() const;
 
   /// Folds every instrument of this registry into `target`: counters
@@ -197,6 +216,9 @@ inline Gauge& gauge(std::string_view name) {
 inline Histogram& histogram(std::string_view name) {
   return resolve_registry().histogram(name);
 }
+inline BucketHistogram& bucket_histogram(std::string_view name) {
+  return resolve_registry().bucket_histogram(name);
+}
 inline MetricsSnapshot metrics_snapshot() {
   return resolve_registry().snapshot();
 }
@@ -243,6 +265,10 @@ struct Registry {
     static Histogram h;
     return h;
   }
+  BucketHistogram& bucket_histogram(std::string_view) {
+    static BucketHistogram h;
+    return h;
+  }
   MetricsSnapshot snapshot() const { return {}; }
   void merge_into(Registry&) const {}
   void reset_all() {}
@@ -265,6 +291,10 @@ inline Gauge& gauge(std::string_view) {
 }
 inline Histogram& histogram(std::string_view) {
   static Histogram h;
+  return h;
+}
+inline BucketHistogram& bucket_histogram(std::string_view) {
+  static BucketHistogram h;
   return h;
 }
 inline MetricsSnapshot metrics_snapshot() { return {}; }

@@ -177,13 +177,64 @@ std::optional<MatchReply> Client::pipeline(const JobRequest& req) {
   return decoded;
 }
 
-std::optional<StatsReply> Client::stats() {
-  const auto rep = round_trip(encode_empty(FrameType::kStats, ++next_id_),
+namespace {
+
+/// The leading "schema" number of a STATS format-0 document; nullopt
+/// when the field is absent (a pre-versioning server).
+std::optional<std::uint64_t> parse_schema(const std::string& json) {
+  const auto pos = json.find("\"schema\":");
+  if (pos == std::string::npos) return std::nullopt;
+  std::uint64_t value = 0;
+  bool any = false;
+  for (std::size_t i = pos + 9; i < json.size(); ++i) {
+    const char c = json[i];
+    if (c < '0' || c > '9') break;
+    value = value * 10 + static_cast<std::uint64_t>(c - '0');
+    any = true;
+  }
+  if (!any) return std::nullopt;
+  return value;
+}
+
+}  // namespace
+
+std::optional<std::string> Client::stats_body(std::uint8_t format) {
+  const auto rep = round_trip(encode_stats(format, ++next_id_),
                               reply(FrameType::kStats));
   if (!rep) return std::nullopt;
   auto decoded = decode_stats_reply({rep->payload.data(), rep->payload.size()});
-  if (!decoded) transport_failed_ = true;
-  return decoded;
+  if (!decoded) {
+    transport_failed_ = true;
+    return std::nullopt;
+  }
+  return std::move(decoded->json);
+}
+
+std::optional<StatsReply> Client::stats() {
+  auto body = stats_body(kStatsFormatJson);
+  if (!body) return std::nullopt;
+  // A schema this client does not know means the fields may no longer
+  // mean what it thinks: refuse to hand the document out rather than
+  // let the caller misread it.
+  const auto schema = parse_schema(*body);
+  if (schema.has_value() && *schema > kStatsSchemaVersion) {
+    last_error_.code = ErrorCode::kUnsupportedSchema;
+    last_error_.message = "stats schema " + std::to_string(*schema) +
+                          " is newer than supported schema " +
+                          std::to_string(kStatsSchemaVersion);
+    return std::nullopt;
+  }
+  StatsReply out;
+  out.json = std::move(*body);
+  return out;
+}
+
+std::optional<std::string> Client::stats_prometheus() {
+  return stats_body(kStatsFormatPrometheus);
+}
+
+std::optional<std::string> Client::flight_dump() {
+  return stats_body(kStatsFormatFlight);
 }
 
 std::optional<EvictReply> Client::evict(const std::string& source) {

@@ -46,7 +46,16 @@ class Client {
   std::optional<SparsifyReply> sparsify(const JobRequest& req);
   std::optional<MatchReply> match(const JobRequest& req);
   std::optional<MatchReply> pipeline(const JobRequest& req);
+  /// STATS format=0 (the default, byte-identical on the wire to the
+  /// pre-format empty-payload request). Rejects a document whose
+  /// "schema" number is newer than kStatsSchemaVersion with a typed
+  /// last_error() of kUnsupportedSchema; a document with NO schema
+  /// field (a pre-versioning server) is accepted as legacy.
   std::optional<StatsReply> stats();
+  /// STATS format=1: the Prometheus text-exposition body.
+  std::optional<std::string> stats_prometheus();
+  /// STATS format=2: the flight-recorder ndjson dump.
+  std::optional<std::string> flight_dump();
   std::optional<EvictReply> evict(const std::string& source);
   std::optional<CancelReply> cancel(std::uint64_t server_serial);
   /// True when the server acked the shutdown.
@@ -68,6 +77,9 @@ class Client {
   /// Sends `req` and returns the reply frame for its id, routing a
   /// kError reply into last_error_ (nullopt), anything else through.
   std::optional<Frame> round_trip(const Frame& req, std::uint8_t expect_type);
+
+  /// One STATS round trip in `format`; the decoded reply body.
+  std::optional<std::string> stats_body(std::uint8_t format);
 
   int fd_ = -1;
   std::uint64_t next_id_ = 0;

@@ -25,6 +25,30 @@ Frame make_frame(std::uint8_t type, std::uint64_t id, ByteWriter&& w) {
 
 }  // namespace
 
+const char* to_string(FrameType t) {
+  switch (t) {
+    case FrameType::kLoad:
+      return "load";
+    case FrameType::kSparsify:
+      return "sparsify";
+    case FrameType::kMatch:
+      return "match";
+    case FrameType::kPipeline:
+      return "pipeline";
+    case FrameType::kStats:
+      return "stats";
+    case FrameType::kEvict:
+      return "evict";
+    case FrameType::kShutdown:
+      return "shutdown";
+    case FrameType::kCancel:
+      return "cancel";
+    case FrameType::kError:
+      return "error";
+  }
+  return "unknown";
+}
+
 const char* to_string(ErrorCode code) {
   switch (code) {
     case ErrorCode::kBadFrame:
@@ -43,6 +67,8 @@ const char* to_string(ErrorCode code) {
       return "too-large";
     case ErrorCode::kInternal:
       return "internal";
+    case ErrorCode::kUnsupportedSchema:
+      return "unsupported-schema";
   }
   return "unknown";
 }
@@ -97,6 +123,18 @@ Frame encode_empty(FrameType t, std::uint64_t request_id) {
   f.type = static_cast<std::uint8_t>(t);
   f.request_id = request_id;
   return f;
+}
+
+Frame encode_stats(std::uint8_t format, std::uint64_t request_id) {
+  if (format == kStatsFormatJson) {
+    // The legacy frame: pre-format servers only understand the empty
+    // payload, and the default format must keep working against them.
+    return encode_empty(FrameType::kStats, request_id);
+  }
+  ByteWriter w;
+  w.u8(format);
+  return make_frame(static_cast<std::uint8_t>(FrameType::kStats), request_id,
+                    std::move(w));
 }
 
 Frame encode_reply(FrameType req_type, const LoadReply& r, std::uint64_t id) {
@@ -220,6 +258,19 @@ std::optional<CancelRequest> decode_cancel(
   CancelRequest req;
   if (!r.u64(&req.server_serial) || !r.done()) return std::nullopt;
   return req;
+}
+
+std::optional<std::uint8_t> decode_stats_request(
+    std::span<const std::uint8_t> payload) {
+  if (payload.empty()) return kStatsFormatJson;
+  ByteReader r(payload);
+  std::uint8_t format = 0;
+  if (!r.u8(&format) || !r.done()) return std::nullopt;
+  if (format != kStatsFormatJson && format != kStatsFormatPrometheus &&
+      format != kStatsFormatFlight) {
+    return std::nullopt;
+  }
+  return format;
 }
 
 std::optional<LoadReply> decode_load_reply(

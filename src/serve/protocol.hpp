@@ -40,6 +40,27 @@ constexpr std::uint8_t reply(FrameType t) {
   return static_cast<std::uint8_t>(t) | 0x80;
 }
 
+/// Lowercase request-tag name ("load", "match", ...); reply tags and
+/// unknown values render as "unknown". Used by telemetry labels and the
+/// flight recorder, so the spellings are part of the exposition schema.
+const char* to_string(FrameType t);
+
+/// Version of the STATS format-0 JSON document, emitted as the object's
+/// first member ("schema"). Bumped whenever a field is removed or
+/// changes meaning; adding fields is backward compatible and does NOT
+/// bump it. Clients reject documents whose schema they do not know
+/// (serve::Client::stats).
+inline constexpr std::uint64_t kStatsSchemaVersion = 1;
+
+// STATS request format byte (the optional single-byte payload of a
+// kStats request; an empty payload means kStatsFormatJson, which keeps
+// pre-format clients byte-compatible).
+inline constexpr std::uint8_t kStatsFormatJson = 0;        // flat JSON object
+inline constexpr std::uint8_t kStatsFormatPrometheus = 1;  // text exposition
+                                                           // v0.0.4
+inline constexpr std::uint8_t kStatsFormatFlight = 2;      // flight-recorder
+                                                           // ndjson dump
+
 /// Cap on the free-text strings crossing the wire (MatchReply::detail,
 /// ErrorReply::message): encoders truncate longer strings so a reply
 /// can never outgrow the frame ceiling, and the bound matches
@@ -73,6 +94,8 @@ enum class ErrorCode : std::uint32_t {
                       // exists for a bare build; cache left untouched)
   kTooLarge = 7,      // LOAD graph above the configured vertex/edge caps
   kInternal = 8,
+  kUnsupportedSchema = 9,  // client-side: STATS document's schema number
+                           // is newer than this client understands
 };
 
 const char* to_string(ErrorCode code);
@@ -164,8 +187,12 @@ struct MatchReply {
   std::string detail;
 };
 
+/// The STATS reply is one length-prefixed text body in whichever format
+/// the request asked for: a flat JSON object (format 0; schema in
+/// DESIGN.md §15/§16), a Prometheus text exposition (format 1), or a
+/// flight-recorder ndjson dump (format 2).
 struct StatsReply {
-  std::string json;  // one flat JSON object; schema in DESIGN.md §15
+  std::string json;
 };
 
 struct EvictReply {
@@ -187,8 +214,12 @@ Frame encode(const LoadRequest& r, std::uint64_t request_id);
 Frame encode(FrameType job_type, const JobRequest& r, std::uint64_t request_id);
 Frame encode(const EvictRequest& r, std::uint64_t request_id);
 Frame encode(const CancelRequest& r, std::uint64_t request_id);
-/// STATS / SHUTDOWN carry no payload.
+/// STATS (format 0) / SHUTDOWN carry no payload.
 Frame encode_empty(FrameType t, std::uint64_t request_id);
+/// STATS with an explicit format byte. kStatsFormatJson is encoded as
+/// an EMPTY payload — byte-identical to the pre-format wire frame — so
+/// old servers keep answering new clients' default requests.
+Frame encode_stats(std::uint8_t format, std::uint64_t request_id);
 
 Frame encode_reply(FrameType req_type, const LoadReply& r, std::uint64_t id);
 Frame encode_reply(FrameType req_type, const SparsifyReply& r,
@@ -204,6 +235,11 @@ std::optional<JobRequest> decode_job(std::span<const std::uint8_t> payload);
 std::optional<EvictRequest> decode_evict(
     std::span<const std::uint8_t> payload);
 std::optional<CancelRequest> decode_cancel(
+    std::span<const std::uint8_t> payload);
+/// STATS request: empty payload → kStatsFormatJson; one known format
+/// byte → that format; anything else (unknown byte, trailing bytes) is
+/// malformed.
+std::optional<std::uint8_t> decode_stats_request(
     std::span<const std::uint8_t> payload);
 
 std::optional<LoadReply> decode_load_reply(

@@ -8,6 +8,7 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <fstream>
 #include <utility>
@@ -64,10 +65,18 @@ void append_json(std::string& out, const char* key, std::uint64_t value,
   out += std::to_string(value);
 }
 
+double ms_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
 }  // namespace
 
 Server::Server(ServerOptions opts)
-    : opts_(std::move(opts)), cache_(opts_.cache_bytes) {}
+    : opts_(std::move(opts)),
+      cache_(opts_.cache_bytes),
+      telemetry_plane_(opts_.flight_capacity, opts_.telemetry) {}
 
 Server::~Server() { stop(); }
 
@@ -256,12 +265,16 @@ void Server::session(int fd) {
   std::vector<std::uint8_t> buf(1u << 16);
   FrameDecoder decoder;
   bool alive = true;
+  // Stamped when a recv() batch lands: a frame's queue wait is the time
+  // its bytes sat on this session before dispatch, so pipelined frames
+  // accumulate the service time of everything ahead of them.
+  auto batch_arrived = std::chrono::steady_clock::now();
   while (alive) {
     Frame frame;
     FrameDecoder::Status status = FrameDecoder::Status::kNeedMore;
     while (alive &&
            (status = decoder.next(&frame)) == FrameDecoder::Status::kFrame) {
-      alive = handle_frame(fd, frame);
+      alive = handle_frame(fd, frame, ms_since(batch_arrived));
     }
     if (!alive) break;
     if (status == FrameDecoder::Status::kError) {
@@ -272,6 +285,7 @@ void Server::session(int fd) {
     }
     const ssize_t r = ::recv(fd, buf.data(), buf.size(), 0);
     if (r <= 0) break;  // peer closed (or stop() shut us down)
+    batch_arrived = std::chrono::steady_clock::now();
     decoder.feed(buf.data(), static_cast<std::size_t>(r));
   }
   // EOF to the peer; the fd itself is closed at reap/stop time.
@@ -298,34 +312,46 @@ bool Server::send_frame(int fd, const Frame& f) {
 bool Server::send_error(int fd, std::uint64_t id, ErrorCode code,
                         const std::string& message) {
   errors_.fetch_add(1, std::memory_order_relaxed);
+  telemetry_plane_.count_refusal(code);
   ErrorReply err;
   err.code = code;
   err.message = message;
   return send_frame(fd, encode_error(err, id));
 }
 
-bool Server::handle_frame(int fd, const Frame& f) {
+bool Server::handle_frame(int fd, const Frame& f, double queue_ms) {
   requests_.fetch_add(1, std::memory_order_relaxed);
+  const auto dispatched = std::chrono::steady_clock::now();
+  bool ok;
   switch (static_cast<FrameType>(f.type)) {
     case FrameType::kLoad:
-      return handle_load(fd, f);
+      ok = handle_load(fd, f);
+      break;
     case FrameType::kSparsify:
     case FrameType::kMatch:
     case FrameType::kPipeline:
-      return handle_job(fd, f);
+      ok = handle_job(fd, f, queue_ms);
+      break;
     case FrameType::kStats:
-      return handle_stats(fd, f);
+      ok = handle_stats(fd, f);
+      break;
     case FrameType::kEvict:
-      return handle_evict(fd, f);
+      ok = handle_evict(fd, f);
+      break;
     case FrameType::kCancel:
-      return handle_cancel(fd, f);
+      ok = handle_cancel(fd, f);
+      break;
     case FrameType::kShutdown:
-      return handle_shutdown(fd, f);
-    case FrameType::kError:
+      ok = handle_shutdown(fd, f);
+      break;
+    default:
+      ok = send_error(fd, f.request_id, ErrorCode::kBadFrame,
+                      "unknown frame type " + std::to_string(f.type));
       break;
   }
-  return send_error(fd, f.request_id, ErrorCode::kBadFrame,
-                    "unknown frame type " + std::to_string(f.type));
+  telemetry_plane_.observe_frame(static_cast<FrameType>(f.type), queue_ms,
+                                 ms_since(dispatched));
+  return ok;
 }
 
 bool Server::handle_load(int fd, const Frame& f) {
@@ -366,44 +392,62 @@ bool Server::handle_load(int fd, const Frame& f) {
   return send_frame(fd, encode_reply(FrameType::kLoad, rep, f.request_id));
 }
 
-bool Server::handle_job(int fd, const Frame& f) {
+bool Server::handle_job(int fd, const Frame& f, double queue_ms) {
+  const auto t0 = std::chrono::steady_clock::now();
+  FlightRecord rec;
+  rec.request_id = f.request_id;
+  rec.frame_type = f.type;
+  const bool ok = handle_job_impl(fd, f, &rec);
+  rec.queue_ms = queue_ms;
+  rec.service_ms = ms_since(t0);
+  telemetry_plane_.record_flight(rec);
+  maybe_dump_flight(rec);
+  return ok;
+}
+
+bool Server::handle_job_impl(int fd, const Frame& f, FlightRecord* rec) {
+  // Every refusal is a flight record too — the ring answers "why did
+  // that request get nothing back" as well as "how slow was it".
+  const auto refuse = [&](ErrorCode code, const std::string& message) {
+    rec->error_code = static_cast<std::uint32_t>(code);
+    return send_error(fd, f.request_id, code, message);
+  };
   const auto req = decode_job({f.payload.data(), f.payload.size()});
   if (!req) {
-    return send_error(fd, f.request_id, ErrorCode::kBadFrame,
-                      "malformed job payload");
+    return refuse(ErrorCode::kBadFrame, "malformed job payload");
   }
+  rec->seed = req->seed;
+  rec->lanes = req->threads;
   if (shutting_down()) {
-    return send_error(fd, f.request_id, ErrorCode::kShuttingDown,
-                      "server is draining");
+    return refuse(ErrorCode::kShuttingDown, "server is draining");
   }
   if (req->beta < 1) {
-    return send_error(fd, f.request_id, ErrorCode::kBadConfig,
-                      "need beta >= 1");
+    return refuse(ErrorCode::kBadConfig, "need beta >= 1");
   }
   if (!(req->eps > 0.0 && req->eps < 1.0)) {
-    return send_error(fd, f.request_id, ErrorCode::kBadConfig,
-                      "need 0 < eps < 1");
+    return refuse(ErrorCode::kBadConfig, "need 0 < eps < 1");
   }
   if (req->degrade > 2) {
-    return send_error(fd, f.request_id, ErrorCode::kBadConfig,
-                      "unknown degrade mode");
+    return refuse(ErrorCode::kBadConfig, "unknown degrade mode");
   }
   if (req->matcher > 1) {
-    return send_error(fd, f.request_id, ErrorCode::kBadConfig,
-                      "unknown matcher backend");
+    return refuse(ErrorCode::kBadConfig, "unknown matcher backend");
   }
   // The lane count sizes per-lane working arrays in the parallel
   // backends; an unchecked u64 from the wire would let one frame
   // allocate the daemon to death before any memory budget is polled.
   if (req->threads > opts_.max_job_threads) {
-    return send_error(fd, f.request_id, ErrorCode::kBadConfig,
-                      "threads above the server cap of " +
-                          std::to_string(opts_.max_job_threads));
+    return refuse(ErrorCode::kBadConfig,
+                  "threads above the server cap of " +
+                      std::to_string(opts_.max_job_threads));
   }
+  // The Δ formula MS_CHECKs its β/ε domain, so the scheme key is only
+  // computable for a validated config; refusals above record Δ = 0.
+  rec->delta = delta_for(*req);
   const auto graph = cache_.get_graph(req->source);
   if (graph == nullptr) {
-    return send_error(fd, f.request_id, ErrorCode::kUnknownGraph,
-                      "no graph loaded as '" + req->source + "'");
+    return refuse(ErrorCode::kUnknownGraph,
+                  "no graph loaded as '" + req->source + "'");
   }
 
   // Admission: the inflight cap sheds immediately and cheaply...
@@ -419,8 +463,7 @@ bool Server::handle_job(int fd, const Frame& f) {
     }
     if (!admitted) {
       shed_.fetch_add(1, std::memory_order_relaxed);
-      return send_error(fd, f.request_id, ErrorCode::kShed,
-                        "inflight cap reached");
+      return refuse(ErrorCode::kShed, "inflight cap reached");
     }
   } else {
     inflight_count_.fetch_add(1, std::memory_order_relaxed);
@@ -432,6 +475,7 @@ bool Server::handle_job(int fd, const Frame& f) {
 
   const std::uint64_t serial =
       next_serial_.fetch_add(1, std::memory_order_relaxed) + 1;
+  rec->serial = serial;
   guard::RunContext ctx("serve.req-" + std::to_string(serial));
   ctx.set_publish_on_destroy(opts_.publish_request_metrics);
   if (!opts_.trace_prefix.empty()) ctx.tracer().set_enabled(true);
@@ -453,13 +497,23 @@ bool Server::handle_job(int fd, const Frame& f) {
       SparsifyReply rep;
       ErrorReply err;
       if (run_sparsify(*req, graph, granted, &rep, &err)) {
+        rec->cache_hit = rep.cache_hit;
         ok = send_frame(fd, encode_reply(type, rep, f.request_id));
       } else {
+        rec->error_code = static_cast<std::uint32_t>(err.code);
         ok = send_error(fd, f.request_id, err.code, err.message);
       }
     } else {
       const MatchReply rep = run_match(*req, graph, serial, granted,
                                        type == FrameType::kMatch);
+      rec->status = rep.status;
+      rec->stop_reason = rep.stop_reason;
+      rec->cache_hit = rep.cache_hit;
+      rec->mem_peak_bytes = rep.mem_peak_bytes;
+      telemetry_plane_.count_outcome(static_cast<RunStatus>(rep.status));
+      if (type == FrameType::kMatch) {
+        telemetry_plane_.count_cache(rep.cache_hit != 0);
+      }
       ok = send_frame(fd, encode_reply(type, rep, f.request_id));
     }
   }
@@ -470,6 +524,12 @@ bool Server::handle_job(int fd, const Frame& f) {
   }
   return_budget(granted);
   inflight_count_.fetch_sub(1, std::memory_order_relaxed);
+  // The serving plane keeps its own aggregate of every request's
+  // library instruments (ladder rungs, guard polls, sparsify marks),
+  // independent of whether the process-global registry gets them.
+  if (telemetry_plane_.enabled()) {
+    ctx.metrics().merge_into(telemetry_plane_.registry());
+  }
   export_request_artifacts(ctx, serial);
   return ok;
 }
@@ -625,12 +685,29 @@ bool Server::run_sparsify(const JobRequest& req,
 }
 
 bool Server::handle_stats(int fd, const Frame& f) {
+  const auto format =
+      decode_stats_request({f.payload.data(), f.payload.size()});
+  if (!format) {
+    return send_error(fd, f.request_id, ErrorCode::kBadFrame,
+                      "malformed STATS payload (unknown format byte?)");
+  }
   const GraphCache::Stats cs = cache_.stats();
   const Telemetry t = telemetry();
   StatsReply rep;
+  if (*format == kStatsFormatPrometheus) {
+    rep.json = telemetry_plane_.prometheus(t, cs, shutting_down());
+    return send_frame(fd, encode_reply(FrameType::kStats, rep, f.request_id));
+  }
+  if (*format == kStatsFormatFlight) {
+    rep.json = flight_ndjson();
+    return send_frame(fd, encode_reply(FrameType::kStats, rep, f.request_id));
+  }
   std::string& j = rep.json;
   j = "{";
-  append_json(j, "requests", t.requests, /*first=*/true);
+  // "schema" leads the document so consumers can reject before parsing
+  // anything else (DESIGN.md §16); bumped only on breaking changes.
+  append_json(j, "schema", kStatsSchemaVersion, /*first=*/true);
+  append_json(j, "requests", t.requests);
   append_json(j, "errors", t.errors);
   append_json(j, "shed", t.shed);
   append_json(j, "budget_clamped", t.budget_clamped);
@@ -716,6 +793,20 @@ void Server::return_budget(std::uint64_t granted) {
   if (granted == 0) return;
   std::lock_guard<std::mutex> lock(inflight_mu_);
   promised_budget_ -= granted;
+}
+
+void Server::maybe_dump_flight(const FlightRecord& rec) {
+  if (opts_.flight_path.empty()) return;
+  const bool tripped =
+      rec.stop_reason != 0 ||
+      rec.error_code == static_cast<std::uint32_t>(ErrorCode::kTripped);
+  if (!tripped) return;
+  // Serialized so two concurrent trips write two whole dumps in turn,
+  // never an interleaving; last writer wins, which is exactly the
+  // "state of the ring at the latest incident" the file promises.
+  std::lock_guard<std::mutex> lock(flight_dump_mu_);
+  std::ofstream out(opts_.flight_path, std::ios::trunc);
+  if (out) out << flight_ndjson();
 }
 
 void Server::export_request_artifacts(guard::RunContext& ctx,

@@ -45,6 +45,7 @@
 #include "core/api.hpp"
 #include "serve/cache.hpp"
 #include "serve/protocol.hpp"
+#include "serve/telemetry.hpp"
 
 namespace matchsparse::guard {
 class RunContext;
@@ -81,6 +82,16 @@ struct ServerOptions {
   /// Fold each request's registry into the global one on completion
   /// (aggregate exports keep working); tests disable it for isolation.
   bool publish_request_metrics = true;
+  /// Flight-recorder ring slots (clamped >= 1; ~80 bytes per slot,
+  /// allocated once at construction).
+  std::size_t flight_capacity = 256;
+  /// When non-empty, every guard-tripped request overwrites this file
+  /// with the full flight-ring ndjson dump (the incident artifact).
+  std::string flight_path;
+  /// Master switch for the serving-path latency histograms and outcome
+  /// counters (the STATS format=1 exposition body). The flight recorder
+  /// stays on regardless — see serve/telemetry.hpp.
+  bool telemetry = true;
 };
 
 class Server {
@@ -117,18 +128,21 @@ class Server {
 
   GraphCache& cache() { return cache_; }
 
-  /// Process-lifetime counters (monotonic except inflight).
-  struct Telemetry {
-    std::uint64_t connections = 0;
-    std::uint64_t requests = 0;  // frames dispatched, all types
-    std::uint64_t errors = 0;    // kError replies sent
-    std::uint64_t shed = 0;      // admission refusals (inflight cap)
-    std::uint64_t budget_clamped = 0;
-    std::uint64_t tripped_builds = 0;  // SPARSIFY/MATCH builds that tripped
-    std::uint64_t cancels_delivered = 0;
-    std::uint32_t inflight = 0;
-  };
+  /// Process-lifetime counters (monotonic except inflight); the struct
+  /// itself lives in serve/telemetry.hpp.
+  using Telemetry = ServerCounters;
   Telemetry telemetry() const;
+
+  /// The live telemetry plane: latency histograms, outcome counters,
+  /// the flight recorder, and the Prometheus renderer (DESIGN.md §16).
+  ServeTelemetry& telemetry_plane() { return telemetry_plane_; }
+  const ServeTelemetry& telemetry_plane() const { return telemetry_plane_; }
+
+  /// The flight ring as ndjson, newest state at call time — what
+  /// SIGUSR1 in the daemon tool and STATS format=2 hand out.
+  std::string flight_ndjson() const {
+    return telemetry_plane_.flight().dump_ndjson();
+  }
 
  private:
   struct Inflight;
@@ -153,9 +167,13 @@ class Server {
 
   /// Frame dispatch; false ⇒ the connection must be dropped (send
   /// failure or poisoned decoder — never a mere request error).
-  bool handle_frame(int fd, const Frame& f);
+  /// `queue_ms` is how long the frame's bytes sat decoded-but-undispatched
+  /// on the session (pipelined frames queue behind their predecessors).
+  bool handle_frame(int fd, const Frame& f, double queue_ms);
   bool handle_load(int fd, const Frame& f);
-  bool handle_job(int fd, const Frame& f);
+  bool handle_job(int fd, const Frame& f, double queue_ms);
+  /// The old handle_job body; fills `rec` (flight record) as it goes.
+  bool handle_job_impl(int fd, const Frame& f, FlightRecord* rec);
   bool handle_stats(int fd, const Frame& f);
   bool handle_evict(int fd, const Frame& f);
   bool handle_cancel(int fd, const Frame& f);
@@ -177,8 +195,14 @@ class Server {
 
   void export_request_artifacts(guard::RunContext& ctx, std::uint64_t serial);
 
+  /// Overwrites opts_.flight_path with the ring dump when `rec` ended
+  /// on a guard trip (serialized; concurrent trips don't interleave).
+  void maybe_dump_flight(const FlightRecord& rec);
+
   ServerOptions opts_;
   GraphCache cache_;
+  ServeTelemetry telemetry_plane_;
+  std::mutex flight_dump_mu_;
 
   std::atomic<bool> stopping_{false};
   std::mutex stop_mu_;

@@ -6,9 +6,11 @@
 // other test in this binary, so each test here uses its own metric names
 // and clears the tracer around its span work.
 #include <algorithm>
+#include <atomic>
 #include <cstddef>
 #include <map>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -354,6 +356,71 @@ TEST(ObsMetrics, SnapshotDeterministicUnderThreads) {
       after.metrics.begin(), after.metrics.end(),
       [](const auto& x, const auto& y) { return x.name < y.name; }));
   EXPECT_FALSE(first.empty());
+}
+
+TEST(ObsMetrics, BucketHistogramRoundTripsThroughSnapshotAndMerge) {
+  obs::Registry reg;
+  obs::BucketHistogram& h = reg.bucket_histogram("test.bucket.ms");
+  for (int i = 1; i <= 100; ++i) h.observe(static_cast<double>(i));
+  const obs::MetricsSnapshot snap = reg.snapshot();
+  const obs::MetricValue* m = snap.find("test.bucket.ms");
+  ASSERT_NE(m, nullptr);
+  EXPECT_EQ(m->kind, obs::MetricKind::kBucketHistogram);
+  EXPECT_EQ(m->count, 100u);
+  EXPECT_LE(m->p50, m->p90);
+  EXPECT_LE(m->p90, m->p95);
+  EXPECT_LE(m->p95, m->p99);
+  EXPECT_NEAR(m->p50, 50.0, 50.0 / 16.0);
+  EXPECT_NEAR(m->p99, 99.0, 99.0 / 16.0);
+
+  // merge_into carries bucket histograms across registries exactly.
+  obs::Registry target;
+  reg.merge_into(target);
+  reg.merge_into(target);
+  const obs::MetricsSnapshot folded_snap = target.snapshot();
+  const obs::MetricValue* folded = folded_snap.find("test.bucket.ms");
+  ASSERT_NE(folded, nullptr);
+  EXPECT_EQ(folded->count, 200u);
+}
+
+TEST(ObsMetrics, SnapshotNeverBlocksConcurrentObserves) {
+  // The two-phase snapshot (raw values under the registry lock, every
+  // instrument read and allocation outside it): a scrape loop running
+  // against 4 observer threads must neither deadlock nor lose samples.
+  // The TSan lane (scripts/run_sanitizers.sh) runs this for races.
+  obs::Registry reg;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 5000;
+  std::atomic<bool> stop{false};
+  std::thread scraper([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      (void)reg.snapshot();
+    }
+  });
+  {
+    ThreadPool pool(kThreads);
+    parallel_for(pool, kThreads, [&reg](std::size_t t) {
+      for (int i = 0; i < kPerThread; ++i) {
+        reg.counter("test.contention.calls").add(1);
+        reg.bucket_histogram("test.contention.ms")
+            .observe(0.1 * static_cast<double>(i % 97 + 1));
+        reg.histogram("test.contention.legacy_ms")
+            .observe(static_cast<double>(t));
+      }
+    });
+  }
+  stop.store(true, std::memory_order_release);
+  scraper.join();
+  const obs::MetricsSnapshot snap = reg.snapshot();
+  const auto expected =
+      static_cast<std::uint64_t>(kThreads) * kPerThread;
+  EXPECT_EQ(snap.counter_value("test.contention.calls"), expected);
+  const obs::MetricValue* bucket = snap.find("test.contention.ms");
+  ASSERT_NE(bucket, nullptr);
+  EXPECT_EQ(bucket->count, expected);
+  const obs::MetricValue* legacy = snap.find("test.contention.legacy_ms");
+  ASSERT_NE(legacy, nullptr);
+  EXPECT_EQ(legacy->count, expected);
 }
 
 #endif  // MATCHSPARSE_OBS_ENABLED

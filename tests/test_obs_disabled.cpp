@@ -34,6 +34,8 @@ static_assert(std::is_empty_v<obs::Gauge>,
               "disabled Gauge must carry no members");
 static_assert(std::is_empty_v<obs::Histogram>,
               "disabled Histogram must carry no members");
+static_assert(std::is_empty_v<obs::BucketHistogram>,
+              "disabled BucketHistogram must carry no members");
 
 TEST(ObsDisabled, SpansAndTracerAreInert) {
   obs::Tracer::instance().set_enabled(true);  // must be a no-op
@@ -58,6 +60,11 @@ TEST(ObsDisabled, InstrumentsAreInert) {
   obs::Histogram& h = obs::histogram("never.observed");
   h.observe(1.0);
   EXPECT_EQ(h.stats().count(), 0u);
+  obs::BucketHistogram& bh = obs::bucket_histogram("never.bucketed");
+  bh.observe(1.0);
+  bh.merge(obs::HistogramSnapshot{});
+  EXPECT_EQ(bh.snapshot().count(), 0u);
+  EXPECT_TRUE(bh.snapshot().buckets.empty());
   EXPECT_TRUE(obs::metrics_snapshot().metrics.empty());
 }
 

@@ -25,6 +25,15 @@
 //                        <prefix>.req<serial>.json
 //   --trace=<prefix>     write per-request Chrome traces to
 //                        <prefix>.req<serial>.json
+//   --flight=<path>      flight-recorder dump file: overwritten on
+//                        every guard-tripped request and on SIGUSR1
+//                        (without the flag, SIGUSR1 dumps to stderr)
+//   --flight-capacity=<n> flight-recorder ring slots (default 256)
+//   --no-telemetry       disable the latency histograms / outcome
+//                        counters (the flight recorder stays on)
+//
+// SIGUSR1 dumps the flight ring (last N completed requests, ndjson)
+// without disturbing service — the "what just happened" signal.
 
 #include <pthread.h>
 #include <signal.h>
@@ -52,6 +61,8 @@ int usage() {
       "[--max-inflight=<n>]\n"
       "                         [--max-threads=<n>] [--metrics=<prefix>] "
       "[--trace=<prefix>]\n"
+      "                         [--flight=<path>] [--flight-capacity=<n>] "
+      "[--no-telemetry]\n"
       "at least one of --socket / --tcp is required\n");
   return 2;
 }
@@ -103,6 +114,18 @@ int main(int argc, char** argv) {
       opts.metrics_prefix = v;
     } else if (flag_value(argv[i], "--trace", &v)) {
       opts.trace_prefix = v;
+    } else if (flag_value(argv[i], "--flight", &v)) {
+      opts.flight_path = v;
+    } else if (flag_value(argv[i], "--flight-capacity", &v)) {
+      const auto n = parse_u64(v);
+      if (!n || *n == 0) {
+        std::fprintf(stderr, "matchsparse_serve: bad --flight-capacity=%s\n",
+                     v);
+        return 2;
+      }
+      opts.flight_capacity = static_cast<std::size_t>(*n);
+    } else if (std::strcmp(argv[i], "--no-telemetry") == 0) {
+      opts.telemetry = false;
     } else {
       std::fprintf(stderr, "matchsparse_serve: unknown flag %s\n", argv[i]);
       return usage();
@@ -112,12 +135,14 @@ int main(int argc, char** argv) {
 
   // MSG_NOSIGNAL covers the send paths; this covers any stray write.
   ::signal(SIGPIPE, SIG_IGN);
-  // SIGINT/SIGTERM are handled synchronously by a sigwait thread —
-  // begin_drain takes locks, so it must never run in a signal handler.
+  // SIGINT/SIGTERM/SIGUSR1 are handled synchronously by a sigwait
+  // thread — begin_drain takes locks and the flight dump allocates, so
+  // neither may run in a signal handler.
   sigset_t stop_signals;
   sigemptyset(&stop_signals);
   sigaddset(&stop_signals, SIGINT);
   sigaddset(&stop_signals, SIGTERM);
+  sigaddset(&stop_signals, SIGUSR1);
   pthread_sigmask(SIG_BLOCK, &stop_signals, nullptr);
 
   Server server(opts);
@@ -134,14 +159,33 @@ int main(int argc, char** argv) {
   }
   std::fflush(stdout);
 
-  std::thread signal_thread([&stop_signals, &server] {
-    int sig = 0;
-    sigwait(&stop_signals, &sig);
-    if (!server.shutting_down()) {
-      std::fprintf(stderr, "matchsparse_serve: %s, draining\n",
-                   strsignal(sig));
+  const std::string flight_path = opts.flight_path;
+  std::thread signal_thread([&stop_signals, &server, &flight_path] {
+    for (;;) {
+      int sig = 0;
+      sigwait(&stop_signals, &sig);
+      if (sig == SIGUSR1) {
+        // Dump-on-demand: the ring to the flight file (or stderr),
+        // service undisturbed.
+        const std::string dump = server.flight_ndjson();
+        if (flight_path.empty()) {
+          std::fwrite(dump.data(), 1, dump.size(), stderr);
+          std::fflush(stderr);
+        } else if (std::FILE* out = std::fopen(flight_path.c_str(), "w")) {
+          std::fwrite(dump.data(), 1, dump.size(), out);
+          std::fclose(out);
+          std::fprintf(stderr, "matchsparse_serve: flight ring -> %s\n",
+                       flight_path.c_str());
+        }
+        continue;
+      }
+      if (!server.shutting_down()) {
+        std::fprintf(stderr, "matchsparse_serve: %s, draining\n",
+                     strsignal(sig));
+      }
+      server.stop();
+      return;
     }
-    server.stop();
   });
 
   server.wait();  // SHUTDOWN frame, signal, or stop()

@@ -1,0 +1,287 @@
+// matchsparse_top — live terminal view of a matchsparse_serve daemon
+// (DESIGN.md §16).
+//
+//   matchsparse_top --socket=/run/matchsparse.sock
+//   matchsparse_top --tcp=7447 --interval-ms=500
+//   matchsparse_top --tcp=7447 --once --raw          # one raw scrape
+//   matchsparse_top --tcp=7447 --flight              # flight ndjson
+//   matchsparse_top --tcp=7447 --drive=200 --once    # generate traffic
+//
+// Polls STATS format=1 (the Prometheus text exposition) on an interval
+// and renders a refreshing table: per-frame-type request rate and
+// p50/p95/p99 service latency, plus the daemon's inflight depth, cache
+// hit rate, and shed/trip/error rates. Rates are deltas between two
+// consecutive scrapes, so the first frame shows totals only.
+//
+// Flags:
+//   --socket=<path>    connect over the unix-domain socket
+//   --tcp=<port>       connect over loopback TCP
+//   --interval-ms=<n>  poll interval (default 1000)
+//   --iterations=<n>   stop after n scrapes (default 0 = until ^C)
+//   --once             one scrape, no screen clearing (= --iterations=1)
+//   --raw              print the raw exposition text instead of a table
+//   --flight           print the flight-recorder ndjson dump and exit
+//   --drive=<n>        first LOAD a built-in test graph and issue n
+//                      mixed MATCH/PIPELINE jobs (traffic generator for
+//                      smoke tests and the telemetry-scrape CI job)
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/client.hpp"
+#include "serve/protocol.hpp"
+#include "util/parse.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using matchsparse::Edge;
+using matchsparse::EdgeList;
+using matchsparse::Table;
+using matchsparse::parse_u64;
+using matchsparse::serve::Client;
+using matchsparse::serve::JobRequest;
+using matchsparse::serve::LoadRequest;
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: matchsparse_top (--socket=<path> | --tcp=<port>)\n"
+      "                       [--interval-ms=<n>] [--iterations=<n>] "
+      "[--once]\n"
+      "                       [--raw] [--flight] [--drive=<n>]\n");
+  return 2;
+}
+
+bool flag_value(const char* arg, const char* name, const char** value) {
+  const std::size_t n = std::strlen(name);
+  if (std::strncmp(arg, name, n) != 0 || arg[n] != '=') return false;
+  *value = arg + n + 1;
+  return true;
+}
+
+/// One parsed scrape: "name{labels}" (labels exactly as emitted, which
+/// the daemon keeps in a fixed order) -> sample value.
+using Sample = std::map<std::string, double>;
+
+Sample parse_exposition(const std::string& text) {
+  Sample out;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) eol = text.size();
+    const std::string_view line(text.data() + pos, eol - pos);
+    pos = eol + 1;
+    if (line.empty() || line.front() == '#') continue;
+    const std::size_t sp = line.rfind(' ');
+    if (sp == std::string_view::npos) continue;
+    const std::string key(line.substr(0, sp));
+    const std::string val(line.substr(sp + 1));
+    out[key] = std::strtod(val.c_str(), nullptr);
+  }
+  return out;
+}
+
+double get(const Sample& s, const std::string& key) {
+  const auto it = s.find(key);
+  return it == s.end() ? 0.0 : it->second;
+}
+
+/// `matchsparse_serve_service_ms{frame="match",quantile="0.5"}`-style key.
+std::string series(const std::string& family, const std::string& frame,
+                   const char* quantile) {
+  std::string key = family;
+  key += "{frame=\"" + frame + "\"";
+  if (quantile != nullptr) {
+    key += ",quantile=\"";
+    key += quantile;
+    key += '"';
+  }
+  key += '}';
+  return key;
+}
+
+/// The traffic generator behind --drive: one LOAD, then n jobs
+/// alternating cache-served MATCH and cold PIPELINE.
+bool drive(Client& client, std::uint64_t jobs) {
+  LoadRequest load;
+  load.source = "top-drive";
+  load.n = 96;
+  for (std::uint32_t u = 0; u < load.n; ++u) {
+    load.edges.push_back(Edge{u, (u + 1) % load.n});
+    load.edges.push_back(Edge{u, (u * 7 + 3) % load.n});
+  }
+  if (!client.load(load)) return false;
+  JobRequest job;
+  job.source = "top-drive";
+  for (std::uint64_t i = 0; i < jobs; ++i) {
+    job.seed = i % 4;  // a few distinct sparsifier cache keys
+    const bool ok = (i % 4 != 3) ? client.match(job).has_value()
+                                 : client.pipeline(job).has_value();
+    if (!ok && client.transport_failed()) return false;
+  }
+  return true;
+}
+
+void render(const Sample& cur, const Sample* prev, double interval_s) {
+  static const char* kFrames[] = {"load",  "sparsify", "match",
+                                  "pipeline", "stats", "evict"};
+  Table table("matchsparse_top",
+              {"frame", "served", "qps", "p50_ms", "p95_ms", "p99_ms"});
+  for (const char* frame : kFrames) {
+    const std::string count_key =
+        series("matchsparse_serve_service_ms_count", frame, nullptr);
+    const double count = get(cur, count_key);
+    if (count == 0.0) continue;
+    double qps = 0.0;
+    if (prev != nullptr && interval_s > 0.0) {
+      qps = (count - get(*prev, count_key)) / interval_s;
+    }
+    table.row()
+        .cell(frame)
+        .cell(static_cast<std::uint64_t>(count))
+        .cell(qps, 1)
+        .cell(get(cur, series("matchsparse_serve_service_ms", frame, "0.5")),
+              3)
+        .cell(get(cur, series("matchsparse_serve_service_ms", frame, "0.95")),
+              3)
+        .cell(get(cur, series("matchsparse_serve_service_ms", frame, "0.99")),
+              3);
+  }
+  table.print();
+
+  const double hits = get(cur, "matchsparse_serve_match_cache_hit_total");
+  const double misses = get(cur, "matchsparse_serve_match_cache_miss_total");
+  const double looked = hits + misses;
+  const auto rate = [&](const char* key) {
+    if (prev == nullptr || interval_s <= 0.0) return 0.0;
+    return (get(cur, key) - get(*prev, key)) / interval_s;
+  };
+  std::printf(
+      "inflight %u | cache hit %.1f%% (%u/%u) | shed %.1f/s | trips %.1f/s "
+      "| errors %.1f/s | flight %u/%u\n",
+      static_cast<unsigned>(get(cur, "matchsparse_serve_inflight")),
+      looked > 0.0 ? 100.0 * hits / looked : 0.0,
+      static_cast<unsigned>(hits), static_cast<unsigned>(looked),
+      rate("matchsparse_serve_shed_total"),
+      rate("matchsparse_serve_tripped_builds_total"),
+      rate("matchsparse_serve_errors_total"),
+      static_cast<unsigned>(get(cur, "matchsparse_flight_completed_total")),
+      static_cast<unsigned>(get(cur, "matchsparse_flight_capacity")));
+  std::fflush(stdout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string socket_path;
+  int tcp_port = -1;
+  std::uint64_t interval_ms = 1000;
+  std::uint64_t iterations = 0;
+  std::uint64_t drive_jobs = 0;
+  bool once = false;
+  bool raw = false;
+  bool flight = false;
+  for (int i = 1; i < argc; ++i) {
+    const char* v = nullptr;
+    if (flag_value(argv[i], "--socket", &v)) {
+      socket_path = v;
+    } else if (flag_value(argv[i], "--tcp", &v)) {
+      const auto port = parse_u64(v);
+      if (!port || *port > 65535) {
+        std::fprintf(stderr, "matchsparse_top: bad --tcp=%s\n", v);
+        return 2;
+      }
+      tcp_port = static_cast<int>(*port);
+    } else if (flag_value(argv[i], "--interval-ms", &v)) {
+      const auto n = parse_u64(v);
+      if (!n || *n == 0) {
+        std::fprintf(stderr, "matchsparse_top: bad --interval-ms=%s\n", v);
+        return 2;
+      }
+      interval_ms = *n;
+    } else if (flag_value(argv[i], "--iterations", &v)) {
+      const auto n = parse_u64(v);
+      if (!n) {
+        std::fprintf(stderr, "matchsparse_top: bad --iterations=%s\n", v);
+        return 2;
+      }
+      iterations = *n;
+    } else if (flag_value(argv[i], "--drive", &v)) {
+      const auto n = parse_u64(v);
+      if (!n) {
+        std::fprintf(stderr, "matchsparse_top: bad --drive=%s\n", v);
+        return 2;
+      }
+      drive_jobs = *n;
+    } else if (std::strcmp(argv[i], "--once") == 0) {
+      once = true;
+    } else if (std::strcmp(argv[i], "--raw") == 0) {
+      raw = true;
+    } else if (std::strcmp(argv[i], "--flight") == 0) {
+      flight = true;
+    } else {
+      std::fprintf(stderr, "matchsparse_top: unknown flag %s\n", argv[i]);
+      return usage();
+    }
+  }
+  if (socket_path.empty() == (tcp_port < 0)) return usage();
+
+  Client client = socket_path.empty() ? Client::connect_tcp(tcp_port)
+                                      : Client::connect_unix(socket_path);
+  if (!client.valid()) {
+    std::fprintf(stderr, "matchsparse_top: cannot connect\n");
+    return 1;
+  }
+
+  if (drive_jobs > 0 && !drive(client, drive_jobs)) {
+    std::fprintf(stderr, "matchsparse_top: traffic generation failed\n");
+    return 1;
+  }
+
+  if (flight) {
+    const auto dump = client.flight_dump();
+    if (!dump) {
+      std::fprintf(stderr, "matchsparse_top: flight dump failed\n");
+      return 1;
+    }
+    std::fwrite(dump->data(), 1, dump->size(), stdout);
+    return 0;
+  }
+
+  if (once) iterations = 1;
+  const double interval_s = static_cast<double>(interval_ms) / 1e3;
+  std::optional<Sample> prev;
+  for (std::uint64_t i = 0; iterations == 0 || i < iterations; ++i) {
+    if (i > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+    }
+    const auto body = client.stats_prometheus();
+    if (!body) {
+      std::fprintf(stderr, "matchsparse_top: scrape failed (%s)\n",
+                   client.transport_failed()
+                       ? "connection lost"
+                       : to_string(client.last_error().code));
+      return 1;
+    }
+    if (raw) {
+      std::fwrite(body->data(), 1, body->size(), stdout);
+      std::fflush(stdout);
+      continue;
+    }
+    Sample cur = parse_exposition(*body);
+    if (!once && iterations != 1) {
+      std::fputs("\x1b[H\x1b[2J", stdout);  // home + clear
+    }
+    render(cur, prev ? &*prev : nullptr, interval_s);
+    prev = std::move(cur);
+  }
+  return 0;
+}
