@@ -23,19 +23,33 @@
 //      otherwise-identical servers — histograms/counters on vs off —
 //      interleaved rounds of the hot MATCH workload must keep the
 //      telemetry-on min-of-rounds p50 within 1.05x of telemetry-off.
+//
+// A third section prices resilience (DESIGN.md §17): the hot MATCH
+// workload again, but through serve::RetryingClient over seeded
+// FaultTransports that reset the connection mid-anything at 0% / 1% /
+// 5% per wire operation. Reported per rate: survivor p99 and goodput
+// (completed logical requests per second). Gated: every survivor is
+// bit-identical to the fault-free baseline, and the 0% row pays zero
+// retries — the retry machinery is free when nothing fails.
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <cstdio>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "bench_common.hpp"
 #include "gen/generators.hpp"
 #include "serve/client.hpp"
+#include "serve/diffcheck.hpp"
 #include "serve/protocol.hpp"
+#include "serve/retry.hpp"
 #include "serve/server.hpp"
+#include "serve/transport.hpp"
 #include "util/rng.hpp"
 
 namespace matchsparse {
@@ -84,6 +98,83 @@ struct WorkloadResult {
   double wall_s = 0.0;
   std::uint64_t not_ok = 0;  // refused, transport-dead, or non-kOk status
 };
+
+struct ChaosResult {
+  std::vector<double> survivor_ms;  // wall latency per completed logical
+                                    // request, retries and backoff included
+  double wall_s = 0.0;
+  std::uint64_t survivors = 0;
+  std::uint64_t giveups = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t reconnects = 0;
+  std::uint64_t mismatched = 0;  // survivors that diverged from baseline
+};
+
+/// The hot MATCH workload through RetryingClients whose every dial is
+/// wrapped in a seeded FaultTransport resetting at `reset_rate` per
+/// wire operation (plus light short-read fragmentation when faults are
+/// on at all).
+ChaosResult run_chaos_workload(Server& server, int clients, int per_client,
+                               double reset_rate, std::uint64_t salt,
+                               const serve::RunSignature& baseline) {
+  ChaosResult result;
+  std::mutex mu;
+  std::atomic<std::uint64_t> dials{0};
+  WallTimer wall;
+  std::vector<std::thread> threads;
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      auto connect = [&]() {
+        serve::TransportFaultPlan plan;
+        plan.seed = salt + dials.fetch_add(1);
+        plan.reset = reset_rate;
+        plan.short_io = reset_rate > 0.0 ? 0.05 : 0.0;
+        auto inner = std::make_unique<serve::FdTransport>(
+            server.connect_in_process());
+        return Client(
+            std::make_unique<serve::FaultTransport>(std::move(inner), plan));
+      };
+      serve::RetryPolicy policy;
+      policy.max_attempts = 10;
+      policy.base_backoff_ms = 0.5;
+      policy.max_backoff_ms = 5.0;
+      policy.io_timeout_ms = kDeadlineMs;
+      policy.seed = salt + 1000 + static_cast<std::uint64_t>(c);
+      serve::RetryingClient rc(std::move(connect), policy);
+
+      std::vector<double> local;
+      std::uint64_t ok = 0, bad = 0, diverged = 0;
+      for (int r = 0; r < per_client; ++r) {
+        WallTimer timer;
+        const auto rep = rc.match(job());
+        const double ms = timer.seconds() * 1e3;
+        if (!rep.has_value()) {
+          ++bad;
+          continue;
+        }
+        ++ok;
+        local.push_back(ms);
+        if (!serve::divergence(baseline, serve::signature_of(*rep)).empty()) {
+          ++diverged;
+        }
+      }
+      std::lock_guard<std::mutex> lock(mu);
+      result.survivor_ms.insert(result.survivor_ms.end(), local.begin(),
+                                local.end());
+      result.survivors += ok;
+      result.giveups += bad;
+      result.mismatched += diverged;
+      result.retries += rc.retry_stats().retries;
+      // The first dial per worker is connectivity, not recovery.
+      result.reconnects += rc.retry_stats().reconnects > 0
+                               ? rc.retry_stats().reconnects - 1
+                               : 0;
+    });
+  }
+  for (auto& t : threads) t.join();
+  result.wall_s = wall.seconds();
+  return result;
+}
 
 /// `clients` connections each fire `per_client` back-to-back requests of
 /// one kind; per-request wall latency lands in the shared vector.
@@ -310,6 +401,100 @@ int main() {
     gates_ok = false;
   }
   server_off.stop();
+
+  // -------------------------------------------------------------------
+  // Resilience pricing (DESIGN.md §17): hot MATCH through RetryingClient
+  // at injected connection-reset rates. A dedicated server keeps the
+  // torn-frame errors this provokes out of the fault-free gate above.
+  Server chaos_server(opts);
+  if (!chaos_server.start(&err)) {
+    std::fprintf(stderr, "chaos server start failed: %s\n", err.c_str());
+    return 1;
+  }
+  serve::RunSignature chaos_baseline;
+  {
+    Client loader(chaos_server.connect_in_process());
+    LoadRequest load;
+    load.source = "g";
+    load.n = g.num_vertices();
+    load.edges = g.edge_list();
+    if (!loader.load(load).has_value() ||
+        !loader.sparsify(job()).has_value()) {
+      std::fprintf(stderr, "chaos warmup failed: %s\n",
+                   loader.last_error().message.c_str());
+      return 1;
+    }
+    const auto solo = loader.match(job());
+    if (!solo.has_value()) {
+      std::fprintf(stderr, "chaos baseline failed: %s\n",
+                   loader.last_error().message.c_str());
+      return 1;
+    }
+    chaos_baseline = serve::signature_of(*solo);
+  }
+
+  Table chaos_table(
+      "resilience under injected resets (hot MATCH via RetryingClient)",
+      {"reset_rate", "clients", "survivors", "giveups", "retries",
+       "reconnects", "p99_ms", "goodput_qps"});
+  constexpr int kChaosClients = 4;
+  constexpr int kChaosPerClient = 100;
+  for (const double rate : {0.0, 0.01, 0.05}) {
+    const auto res = run_chaos_workload(
+        chaos_server, kChaosClients, kChaosPerClient, rate,
+        kSeed ^ static_cast<std::uint64_t>(rate * 1e4), chaos_baseline);
+    const double p99 = res.survivor_ms.empty()
+                           ? 0.0
+                           : percentiles(res.survivor_ms).p99;
+    const double goodput =
+        static_cast<double>(res.survivors) / res.wall_s;
+    chaos_table.row()
+        .cell(rate, 2)
+        .cell(kChaosClients)
+        .cell(res.survivors)
+        .cell(res.giveups)
+        .cell(res.retries)
+        .cell(res.reconnects)
+        .cell(p99)
+        .cell(goodput);
+    JsonRow row;
+    row.str("bench", "serve")
+        .str("mode", "chaos")
+        .num("reset_rate", rate)
+        .num("clients", static_cast<std::uint64_t>(kChaosClients))
+        .num("requests",
+             static_cast<std::uint64_t>(kChaosClients * kChaosPerClient))
+        .num("survivors", res.survivors)
+        .num("giveups", res.giveups)
+        .num("retries", res.retries)
+        .num("reconnects", res.reconnects)
+        .num("p99_ms", p99)
+        .num("goodput_qps", goodput)
+        .num("mismatched", res.mismatched);
+    sink.row(row);
+
+    // Gates: survivors are bit-identical to the fault-free baseline at
+    // every rate, and the machinery is free when nothing fails.
+    if (res.mismatched != 0) {
+      std::fprintf(stderr, "GATE: chaos rate %.2f: %llu survivors diverged "
+                           "from the fault-free baseline\n",
+                   rate, static_cast<unsigned long long>(res.mismatched));
+      gates_ok = false;
+    }
+    if (res.survivors == 0) {
+      std::fprintf(stderr, "GATE: chaos rate %.2f: nothing survived\n", rate);
+      gates_ok = false;
+    }
+    if (rate == 0.0 && (res.retries != 0 || res.giveups != 0)) {
+      std::fprintf(stderr, "GATE: fault-free retry workload paid %llu "
+                           "retries / %llu giveups\n",
+                   static_cast<unsigned long long>(res.retries),
+                   static_cast<unsigned long long>(res.giveups));
+      gates_ok = false;
+    }
+  }
+  chaos_table.print();
+  chaos_server.stop();
 
   const auto t = server.telemetry();
   if (t.errors != 0 || t.shed != 0) {

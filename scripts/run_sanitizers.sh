@@ -39,9 +39,12 @@ FRONTIER_FILTER='*'
 # pipelines on one shared pool, ambient-slot inheritance into workers,
 # cross-thread trip attribution, and per-context metrics merges.
 RUN_CONTEXT_FILTER='*'
-# The whole serve suite (DESIGN.md §15): session threads racing the
-# cache, admission counters, cross-connection CANCEL delivery, and the
-# 8-client bit-identical-to-solo headline.
+# The whole serve suite (DESIGN.md §15 + §17): session threads racing
+# the cache, admission counters, cross-connection CANCEL delivery, the
+# 8-client bit-identical-to-solo headline, and the resilience layer —
+# dedup-window claims racing across connections, RetryingClient
+# reconnects, the idle reaper, and the FaultTransport differential
+# fuzz — so the retry machinery is exercised under both sanitizers.
 SERVE_FILTER='*'
 # The whole telemetry suite (DESIGN.md §16): the seqlock flight ring
 # under a four-writer storm with a concurrent dumper, and STATS scrapes
@@ -85,6 +88,14 @@ run_one() {
     cmake --build "$dir" --target test_serve_soak -j "$(nproc)"
     MS_SERVE_SOAK_SECONDS="${MS_SERVE_SOAK_SECONDS:-10}" \
       "$dir/tests/test_serve_soak"
+    # Chaos lane (DESIGN.md §17): seeded FaultTransports on both sides
+    # of every connection with all traffic through RetryingClient. The
+    # dedup window's claim/complete/abort handoffs, session reaping, and
+    # mid-reply resets all race under TSan here; survivors must stay
+    # bit-identical and the ledgers must drain.
+    cmake --build "$dir" --target test_serve_chaos -j "$(nproc)"
+    MS_SERVE_CHAOS_SECONDS="${MS_SERVE_CHAOS_SECONDS:-10}" \
+      "$dir/tests/test_serve_chaos"
   fi
   echo "==== ${san} sanitizer: OK ===="
 }

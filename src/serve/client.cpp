@@ -12,33 +12,22 @@
 
 namespace matchsparse::serve {
 
-Client::Client(Client&& other) noexcept
-    : fd_(other.fd_),
-      next_id_(other.next_id_),
-      last_error_(std::move(other.last_error_)),
-      transport_failed_(other.transport_failed_),
-      decoder_(std::move(other.decoder_)) {
-  other.fd_ = -1;
-}
+Client::Client(int fd)
+    : transport_(fd >= 0 ? std::make_unique<FdTransport>(fd) : nullptr) {}
 
-Client& Client::operator=(Client&& other) noexcept {
-  if (this != &other) {
-    close();
-    fd_ = other.fd_;
-    next_id_ = other.next_id_;
-    last_error_ = std::move(other.last_error_);
-    transport_failed_ = other.transport_failed_;
-    decoder_ = std::move(other.decoder_);
-    other.fd_ = -1;
-  }
-  return *this;
-}
+Client::Client(std::unique_ptr<Transport> transport)
+    : transport_(std::move(transport)) {}
 
 void Client::close() {
-  if (fd_ >= 0) {
-    ::close(fd_);
-    fd_ = -1;
+  if (transport_) {
+    transport_->close();
+    transport_.reset();
   }
+}
+
+void Client::set_io_timeout_ms(double timeout_ms) {
+  io_timeout_ms_ = timeout_ms;
+  if (transport_) transport_->set_timeout_ms(timeout_ms);
 }
 
 Client Client::connect_unix(const std::string& socket_path) {
@@ -72,16 +61,15 @@ Client Client::connect_tcp(int port) {
 }
 
 bool Client::send_bytes(const void* data, std::size_t len) {
-  const auto* p = static_cast<const std::uint8_t*>(data);
-  std::size_t off = 0;
-  while (off < len) {
-    const ssize_t r = ::send(fd_, p + off, len - off, MSG_NOSIGNAL);
-    if (r <= 0) {
-      if (r < 0 && errno == EINTR) continue;
-      transport_failed_ = true;
-      return false;
-    }
-    off += static_cast<std::size_t>(r);
+  if (!transport_) {
+    fail_transport(IoStatus::kReset);
+    return false;
+  }
+  const IoStatus st =
+      transport_->send_all(static_cast<const std::uint8_t*>(data), len);
+  if (st != IoStatus::kOk) {
+    fail_transport(st);
+    return false;
   }
   return true;
 }
@@ -98,24 +86,29 @@ std::optional<Frame> Client::recv_frame() {
     const FrameDecoder::Status st = decoder_.next(&f);
     if (st == FrameDecoder::Status::kFrame) return f;
     if (st == FrameDecoder::Status::kError) {
-      transport_failed_ = true;
+      // Poisoned framing: the peer can no longer be trusted about
+      // where any later frame starts.
+      fail_transport(IoStatus::kReset);
       return std::nullopt;
     }
-    const ssize_t r = ::recv(fd_, buf, sizeof(buf), 0);
-    if (r <= 0) {
-      if (r < 0 && errno == EINTR) continue;
-      transport_failed_ = true;
+    if (!transport_) {
+      fail_transport(IoStatus::kReset);
       return std::nullopt;
     }
-    decoder_.feed(buf, static_cast<std::size_t>(r));
+    const IoResult r = transport_->recv(buf, sizeof(buf));
+    if (!r.ok()) {
+      fail_transport(r.status);
+      return std::nullopt;
+    }
+    decoder_.feed(buf, r.bytes);
   }
 }
 
 std::optional<Frame> Client::round_trip(const Frame& req,
                                         std::uint8_t expect_type) {
   last_error_ = ErrorReply{};
-  if (fd_ < 0) {
-    transport_failed_ = true;
+  if (!valid()) {
+    fail_transport(IoStatus::kReset);
     return std::nullopt;
   }
   if (!send_frame(req)) return std::nullopt;
@@ -128,12 +121,12 @@ std::optional<Frame> Client::round_trip(const Frame& req,
                                          rep->payload.size()})) {
         last_error_ = std::move(*err);
       } else {
-        transport_failed_ = true;
+        fail_transport(IoStatus::kReset);
       }
       return std::nullopt;
     }
     if (rep->type != expect_type) {
-      transport_failed_ = true;  // protocol violation by the server
+      fail_transport(IoStatus::kReset);  // protocol violation by the server
       return std::nullopt;
     }
     return rep;
@@ -145,7 +138,7 @@ std::optional<LoadReply> Client::load(const LoadRequest& req) {
       round_trip(encode(req, ++next_id_), reply(FrameType::kLoad));
   if (!rep) return std::nullopt;
   auto decoded = decode_load_reply({rep->payload.data(), rep->payload.size()});
-  if (!decoded) transport_failed_ = true;
+  if (!decoded) fail_transport(IoStatus::kReset);
   return decoded;
 }
 
@@ -155,7 +148,7 @@ std::optional<SparsifyReply> Client::sparsify(const JobRequest& req) {
   if (!rep) return std::nullopt;
   auto decoded =
       decode_sparsify_reply({rep->payload.data(), rep->payload.size()});
-  if (!decoded) transport_failed_ = true;
+  if (!decoded) fail_transport(IoStatus::kReset);
   return decoded;
 }
 
@@ -164,7 +157,7 @@ std::optional<MatchReply> Client::match(const JobRequest& req) {
                               reply(FrameType::kMatch));
   if (!rep) return std::nullopt;
   auto decoded = decode_match_reply({rep->payload.data(), rep->payload.size()});
-  if (!decoded) transport_failed_ = true;
+  if (!decoded) fail_transport(IoStatus::kReset);
   return decoded;
 }
 
@@ -173,7 +166,7 @@ std::optional<MatchReply> Client::pipeline(const JobRequest& req) {
                               reply(FrameType::kPipeline));
   if (!rep) return std::nullopt;
   auto decoded = decode_match_reply({rep->payload.data(), rep->payload.size()});
-  if (!decoded) transport_failed_ = true;
+  if (!decoded) fail_transport(IoStatus::kReset);
   return decoded;
 }
 
@@ -204,7 +197,7 @@ std::optional<std::string> Client::stats_body(std::uint8_t format) {
   if (!rep) return std::nullopt;
   auto decoded = decode_stats_reply({rep->payload.data(), rep->payload.size()});
   if (!decoded) {
-    transport_failed_ = true;
+    fail_transport(IoStatus::kReset);
     return std::nullopt;
   }
   return std::move(decoded->json);
@@ -244,7 +237,7 @@ std::optional<EvictReply> Client::evict(const std::string& source) {
       round_trip(encode(req, ++next_id_), reply(FrameType::kEvict));
   if (!rep) return std::nullopt;
   auto decoded = decode_evict_reply({rep->payload.data(), rep->payload.size()});
-  if (!decoded) transport_failed_ = true;
+  if (!decoded) fail_transport(IoStatus::kReset);
   return decoded;
 }
 
@@ -256,7 +249,7 @@ std::optional<CancelReply> Client::cancel(std::uint64_t server_serial) {
   if (!rep) return std::nullopt;
   auto decoded =
       decode_cancel_reply({rep->payload.data(), rep->payload.size()});
-  if (!decoded) transport_failed_ = true;
+  if (!decoded) fail_transport(IoStatus::kReset);
   return decoded;
 }
 

@@ -1,6 +1,7 @@
 // serve::Client — the blocking request/reply client over any connected
-// stream fd (a unix socket, a loopback TCP socket, or one end of
-// Server::connect_in_process()'s socketpair). One request in flight at a
+// stream transport (a unix socket, a loopback TCP socket, one end of
+// Server::connect_in_process()'s socketpair, or a fault-injecting
+// serve::Transport in the chaos harnesses). One request in flight at a
 // time: each call sends its frame, then reads frames until the reply
 // whose request id matches (the server answers one connection strictly
 // in order, so this is the very next reply).
@@ -8,27 +9,36 @@
 // Error surface: every call returns nullopt on failure and records why —
 // last_error() holds the server's ErrorReply when the server refused the
 // request, transport_failed() turns true when the connection itself died
-// (send failure, EOF, a malformed reply frame). The raw send_frame()/
-// recv_frame() escape hatch exists for the protocol tests, which need to
-// ship deliberately broken bytes and watch the server's exact reaction.
+// (send failure, EOF, a malformed reply frame), and transport_status()
+// refines the how: kTimeout means a per-operation deadline set via
+// set_io_timeout_ms() expired with the connection possibly still alive
+// but the request's fate unknown; kEof/kReset mean the connection is
+// gone. The raw send_frame()/recv_frame() escape hatch exists for the
+// protocol tests, which need to ship deliberately broken bytes and
+// watch the server's exact reaction.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 
 #include "serve/protocol.hpp"
+#include "serve/transport.hpp"
 
 namespace matchsparse::serve {
 
 class Client {
  public:
   /// Takes ownership of `fd` (closed on destruction; -1 = invalid).
-  explicit Client(int fd) : fd_(fd) {}
-  ~Client() { close(); }
+  explicit Client(int fd);
+  /// Takes ownership of an arbitrary transport (nullptr = invalid) —
+  /// the chaos harnesses hand in FaultTransport-wrapped connections.
+  explicit Client(std::unique_ptr<Transport> transport);
+  ~Client() = default;
 
-  Client(Client&& other) noexcept;
-  Client& operator=(Client&& other) noexcept;
+  Client(Client&&) noexcept = default;
+  Client& operator=(Client&&) noexcept = default;
   Client(const Client&) = delete;
   Client& operator=(const Client&) = delete;
 
@@ -38,9 +48,18 @@ class Client {
   /// Connects to a daemon's loopback TCP port.
   static Client connect_tcp(int port);
 
-  bool valid() const { return fd_ >= 0; }
-  int fd() const { return fd_; }
+  bool valid() const { return transport_ != nullptr && transport_->valid(); }
+  int fd() const { return transport_ ? transport_->fd() : -1; }
   void close();
+
+  /// Per-operation I/O deadline for both rx and tx, in milliseconds;
+  /// 0 (the default) blocks forever — the legacy behavior. An expired
+  /// deadline fails the call with transport_status() == kTimeout; the
+  /// client does NOT close the connection (the caller decides whether
+  /// the request might still land), but a request/reply stream with a
+  /// missed reply in it is no longer safely resumable — reconnect.
+  void set_io_timeout_ms(double timeout_ms);
+  double io_timeout_ms() const { return io_timeout_ms_; }
 
   std::optional<LoadReply> load(const LoadRequest& req);
   std::optional<SparsifyReply> sparsify(const JobRequest& req);
@@ -64,13 +83,20 @@ class Client {
   /// The server's refusal for the last nullopt return (meaningful only
   /// when transport_failed() is false).
   const ErrorReply& last_error() const { return last_error_; }
-  /// The connection itself died (as opposed to a served error reply).
+  /// The connection itself died or timed out (as opposed to a served
+  /// error reply).
   bool transport_failed() const { return transport_failed_; }
+  /// How the transport failed: kTimeout (deadline expired, connection
+  /// state unknown), kEof (orderly close), kReset (torn connection /
+  /// poisoned framing / protocol violation). kOk when transport_failed()
+  /// is false.
+  IoStatus transport_status() const { return transport_status_; }
 
   // Raw frame I/O for protocol tests.
   bool send_frame(const Frame& f);
   bool send_bytes(const void* data, std::size_t len);
-  /// Blocks for the next whole frame; nullopt on EOF / transport error.
+  /// Blocks (up to the I/O deadline per read) for the next whole frame;
+  /// nullopt on EOF / timeout / transport error.
   std::optional<Frame> recv_frame();
 
  private:
@@ -81,10 +107,17 @@ class Client {
   /// One STATS round trip in `format`; the decoded reply body.
   std::optional<std::string> stats_body(std::uint8_t format);
 
-  int fd_ = -1;
+  void fail_transport(IoStatus status) {
+    transport_failed_ = true;
+    transport_status_ = status;
+  }
+
+  std::unique_ptr<Transport> transport_;
+  double io_timeout_ms_ = 0.0;
   std::uint64_t next_id_ = 0;
   ErrorReply last_error_;
   bool transport_failed_ = false;
+  IoStatus transport_status_ = IoStatus::kOk;
   FrameDecoder decoder_;
 };
 

@@ -100,6 +100,9 @@ Frame encode(FrameType job_type, const JobRequest& r,
   w.u8(r.degrade);
   w.u8(r.matcher);
   w.u64(r.cancel_after_polls);
+  // Token 0 stays on the rev-1 wire layout so pre-token servers keep
+  // decoding default-encoded jobs (and the golden-bytes test holds).
+  if (r.client_token != 0) w.u64(r.client_token);
   return make_frame(static_cast<std::uint8_t>(job_type), request_id,
                     std::move(w));
 }
@@ -206,6 +209,7 @@ Frame encode_error(const ErrorReply& r, std::uint64_t id) {
   ByteWriter w;
   w.u32(static_cast<std::uint32_t>(r.code));
   w.str(wire_text(r.message));
+  w.f64(r.retry_after_ms);
   return make_frame(static_cast<std::uint8_t>(FrameType::kError), id,
                     std::move(w));
 }
@@ -238,9 +242,13 @@ std::optional<JobRequest> decode_job(std::span<const std::uint8_t> payload) {
   if (!r.str(&req.source) || !r.u32(&req.beta) || !r.f64(&req.eps) ||
       !r.u64(&req.seed) || !r.u64(&req.threads) || !r.f64(&req.deadline_ms) ||
       !r.u64(&req.mem_budget_bytes) || !r.u8(&req.degrade) ||
-      !r.u8(&req.matcher) || !r.u64(&req.cancel_after_polls) || !r.done()) {
+      !r.u8(&req.matcher) || !r.u64(&req.cancel_after_polls)) {
     return std::nullopt;
   }
+  // Rev 1 ends here; rev 2 appends exactly the token. Anything else
+  // trailing is as malformed as ever (whole-payload rule).
+  if (r.remaining() != 0 && !r.u64(&req.client_token)) return std::nullopt;
+  if (!r.done()) return std::nullopt;
   return req;
 }
 
@@ -353,9 +361,11 @@ std::optional<ErrorReply> decode_error_reply(
   ByteReader r(payload);
   ErrorReply rep;
   std::uint32_t code = 0;
-  if (!r.u32(&code) || !r.str(&rep.message) || !r.done()) {
-    return std::nullopt;
-  }
+  if (!r.u32(&code) || !r.str(&rep.message)) return std::nullopt;
+  // Rev-1 servers end the payload at the message; rev 2 appends the
+  // retry-after hint.
+  if (r.remaining() != 0 && !r.f64(&rep.retry_after_ms)) return std::nullopt;
+  if (!r.done()) return std::nullopt;
   rep.code = static_cast<ErrorCode>(code);
   return rep;
 }

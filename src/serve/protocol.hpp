@@ -131,6 +131,14 @@ struct JobRequest {
   /// deterministic kCancelled on the N-th guard poll of the first
   /// attempt. 0 = off.
   std::uint64_t cancel_after_polls = 0;
+  /// Idempotency token (protocol rev 2). 0 = none: the request is
+  /// encoded in the rev-1 layout, byte-identical to pre-token clients,
+  /// and the server executes it unconditionally. Nonzero: appended as a
+  /// trailing u64; the server's dedup window replays the completed
+  /// reply for a retried token instead of executing the job twice
+  /// (DESIGN.md §17). RetryingClient draws a fresh token per logical
+  /// request and reuses it across every retry of that request.
+  std::uint64_t client_token = 0;
 };
 
 struct EvictRequest {
@@ -148,6 +156,11 @@ struct CancelRequest {
 struct ErrorReply {
   ErrorCode code = ErrorCode::kInternal;
   std::string message;
+  /// Backoff hint in milliseconds, meaningful on retryable refusals
+  /// (kShed): "try again no sooner than this". 0 = no hint. Encoded as
+  /// a trailing f64 (protocol rev 2); decoders accept the rev-1 layout
+  /// without it, so old servers' errors still parse.
+  double retry_after_ms = 0.0;
 };
 
 struct LoadReply {

@@ -1,0 +1,75 @@
+#include "serve/retry.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+namespace matchsparse::serve {
+
+bool RetryingClient::ensure_connected() {
+  if (client_.has_value() && client_->valid() &&
+      !client_->transport_failed()) {
+    return true;
+  }
+  client_.emplace(connect_());
+  if (!client_->valid()) {
+    client_.reset();
+    return false;
+  }
+  ++stats_.reconnects;
+  client_->set_io_timeout_ms(policy_.io_timeout_ms);
+  return true;
+}
+
+void RetryingClient::backoff(double* prev_ms, double floor_ms) {
+  // AWS-style decorrelated jitter: each sleep is drawn from
+  // uniform(base, 3 * previous) — spreads a thundering herd of retries
+  // without the synchronized steps of pure exponential backoff.
+  const double hi = std::max(policy_.base_backoff_ms, 3.0 * *prev_ms);
+  double sleep_ms = policy_.base_backoff_ms +
+                    rng_.uniform() * (hi - policy_.base_backoff_ms);
+  sleep_ms = std::min(sleep_ms, policy_.max_backoff_ms);
+  // The server's retry-after hint is a floor, not a suggestion: coming
+  // back earlier just buys another shed.
+  sleep_ms = std::max(sleep_ms, floor_ms);
+  *prev_ms = sleep_ms;
+  if (sleep_ms > 0.0) {
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(sleep_ms));
+  }
+}
+
+std::uint64_t RetryingClient::fresh_token() {
+  for (;;) {
+    const std::uint64_t token = rng_();
+    if (token != 0) return token;
+  }
+}
+
+std::optional<MatchReply> RetryingClient::match(JobRequest req) {
+  if (req.client_token == 0) req.client_token = fresh_token();
+  return attempt_loop<MatchReply>(
+      [&](Client& c) { return c.match(req); });
+}
+
+std::optional<MatchReply> RetryingClient::pipeline(JobRequest req) {
+  if (req.client_token == 0) req.client_token = fresh_token();
+  return attempt_loop<MatchReply>(
+      [&](Client& c) { return c.pipeline(req); });
+}
+
+std::optional<SparsifyReply> RetryingClient::sparsify(JobRequest req) {
+  if (req.client_token == 0) req.client_token = fresh_token();
+  return attempt_loop<SparsifyReply>(
+      [&](Client& c) { return c.sparsify(req); });
+}
+
+std::optional<LoadReply> RetryingClient::load(const LoadRequest& req) {
+  return attempt_loop<LoadReply>([&](Client& c) { return c.load(req); });
+}
+
+std::optional<StatsReply> RetryingClient::stats() {
+  return attempt_loop<StatsReply>([&](Client& c) { return c.stats(); });
+}
+
+}  // namespace matchsparse::serve

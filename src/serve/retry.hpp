@@ -1,0 +1,153 @@
+// serve::RetryingClient — at-most-policy, exactly-once-effect retries
+// on top of serve::Client (DESIGN.md §17).
+//
+// A plain Client is honest but fragile: any transport failure loses the
+// request, and blindly resending a MATCH that may already be executing
+// would run it twice. RetryingClient closes that gap:
+//
+//   - every job request (SPARSIFY/MATCH/PIPELINE) is stamped with a
+//     fresh nonzero idempotency token, reused verbatim across all
+//     retries of that logical request — the server's dedup window turns
+//     a duplicate into a replay of the one true reply, even when the
+//     retry lands on a different connection while the original is still
+//     executing;
+//   - transport failures (reset, EOF, an expired per-operation
+//     deadline) drop the connection and reconnect through the caller's
+//     ConnectFn; a desynced request/reply stream is never reused;
+//   - retryable refusals — kShed and kShuttingDown — back off with
+//     decorrelated jitter, honoring the server's retry_after_ms hint as
+//     a floor; permanent refusals (kBadConfig, kUnknownGraph, ...)
+//     surface immediately via last_error();
+//   - the whole loop is bounded by max_attempts and an optional
+//     per-request wall deadline.
+//
+// Not thread-safe: one logical request at a time, like Client itself.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <utility>
+
+#include "serve/client.hpp"
+#include "serve/protocol.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+namespace matchsparse::serve {
+
+struct RetryPolicy {
+  /// Total tries per logical request (first attempt included).
+  int max_attempts = 5;
+  /// Decorrelated-jitter backoff: sleep ~ uniform(base, 3 * previous),
+  /// capped at max. The server's retry_after_ms hint floors the draw.
+  double base_backoff_ms = 5.0;
+  double max_backoff_ms = 500.0;
+  /// Wall-clock budget for one logical request across all attempts and
+  /// backoffs; 0 = unbounded (attempts alone bound the loop).
+  double deadline_ms = 0.0;
+  /// Per-operation I/O deadline installed on every connection
+  /// (Client::set_io_timeout_ms); 0 = fully blocking.
+  double io_timeout_ms = 1000.0;
+  /// Seeds the jitter and token streams — chaos runs replay exactly.
+  std::uint64_t seed = 1;
+};
+
+class RetryingClient {
+ public:
+  /// `connect` produces a fresh connected Client (invalid on failure —
+  /// counted as a failed attempt and retried with backoff).
+  using ConnectFn = std::function<Client()>;
+
+  RetryingClient(ConnectFn connect, RetryPolicy policy)
+      : connect_(std::move(connect)), policy_(policy), rng_(policy.seed) {}
+
+  /// Jobs: a zero client_token is replaced with a fresh one for the
+  /// retry loop; a caller-provided nonzero token is kept (the caller
+  /// owns cross-client dedup).
+  std::optional<MatchReply> match(JobRequest req);
+  std::optional<MatchReply> pipeline(JobRequest req);
+  std::optional<SparsifyReply> sparsify(JobRequest req);
+  /// LOAD is naturally idempotent (same name + same graph replaces
+  /// itself), so it retries without a token.
+  std::optional<LoadReply> load(const LoadRequest& req);
+  std::optional<StatsReply> stats();
+
+  /// Why the last nullopt came back: the server's refusal, or
+  /// kInternal with a transport diagnostic when every attempt died on
+  /// the wire.
+  const ErrorReply& last_error() const { return last_error_; }
+
+  struct Stats {
+    std::uint64_t attempts = 0;    // tries issued, first attempts included
+    std::uint64_t retries = 0;     // attempts beyond the first
+    std::uint64_t reconnects = 0;  // fresh connections dialed
+    std::uint64_t giveups = 0;     // logical requests that failed for good
+  };
+  const Stats& retry_stats() const { return stats_; }
+
+  /// Tears down the current connection (the next request reconnects).
+  void disconnect() { client_.reset(); }
+
+ private:
+  bool ensure_connected();
+  bool retryable(ErrorCode code) const {
+    return code == ErrorCode::kShed || code == ErrorCode::kShuttingDown;
+  }
+  /// Decorrelated-jitter sleep, floored by the server's hint.
+  void backoff(double* prev_ms, double floor_ms);
+  std::uint64_t fresh_token();
+
+  /// The retry loop shared by every verb. `op` runs one attempt on a
+  /// live client and returns the reply or nullopt.
+  template <typename Reply, typename Op>
+  std::optional<Reply> attempt_loop(Op&& op) {
+    WallTimer wall;
+    double prev_ms = policy_.base_backoff_ms;
+    for (int attempt = 1;; ++attempt) {
+      ++stats_.attempts;
+      double floor_ms = 0.0;
+      if (ensure_connected()) {
+        std::optional<Reply> rep = op(*client_);
+        if (rep.has_value()) return rep;
+        if (!client_->transport_failed()) {
+          last_error_ = client_->last_error();
+          if (!retryable(last_error_.code)) {
+            ++stats_.giveups;
+            return std::nullopt;
+          }
+          floor_ms = last_error_.retry_after_ms;
+        } else {
+          last_error_ = ErrorReply{};
+          last_error_.code = ErrorCode::kInternal;
+          last_error_.message = std::string("transport failure: ") +
+                                to_string(client_->transport_status());
+          // Whatever the failure, the request/reply stream is no longer
+          // trustworthy; the next attempt gets a fresh connection.
+          client_.reset();
+        }
+      } else {
+        last_error_ = ErrorReply{};
+        last_error_.code = ErrorCode::kInternal;
+        last_error_.message = "connect failed";
+      }
+      if (attempt >= policy_.max_attempts ||
+          (policy_.deadline_ms > 0.0 &&
+           wall.seconds() * 1e3 >= policy_.deadline_ms)) {
+        ++stats_.giveups;
+        return std::nullopt;
+      }
+      ++stats_.retries;
+      backoff(&prev_ms, floor_ms);
+    }
+  }
+
+  ConnectFn connect_;
+  RetryPolicy policy_;
+  Rng rng_;
+  std::optional<Client> client_;
+  ErrorReply last_error_;
+  Stats stats_;
+};
+
+}  // namespace matchsparse::serve

@@ -262,6 +262,15 @@ void Server::accept_loop(int listen_fd) {
 }
 
 void Server::session(int fd) {
+  // The session transport never owns the descriptor: stop()'s teardown
+  // closes it after the join, and ownership there keeps the fd number
+  // un-reusable while a parked recv may still reference it.
+  std::unique_ptr<Transport> transport =
+      std::make_unique<FdTransport>(fd, 0.0, /*owns_fd=*/false);
+  if (opts_.transport_wrapper) {
+    transport = opts_.transport_wrapper(std::move(transport));
+  }
+  Transport& t = *transport;
   std::vector<std::uint8_t> buf(1u << 16);
   FrameDecoder decoder;
   bool alive = true;
@@ -274,78 +283,82 @@ void Server::session(int fd) {
     FrameDecoder::Status status = FrameDecoder::Status::kNeedMore;
     while (alive &&
            (status = decoder.next(&frame)) == FrameDecoder::Status::kFrame) {
-      alive = handle_frame(fd, frame, ms_since(batch_arrived));
+      alive = handle_frame(t, frame, ms_since(batch_arrived));
     }
     if (!alive) break;
     if (status == FrameDecoder::Status::kError) {
       // The framing itself is broken: report once (request id 0 — the
       // id can no longer be trusted) and drop the connection.
-      send_error(fd, 0, ErrorCode::kBadFrame, decoder.error());
+      send_error(t, 0, ErrorCode::kBadFrame, decoder.error());
       break;
     }
-    const ssize_t r = ::recv(fd, buf.data(), buf.size(), 0);
-    if (r <= 0) break;  // peer closed (or stop() shut us down)
+    // The idle deadline IS the reaper: a peer that goes quiet for the
+    // window loses its session thread instead of pinning it.
+    t.set_timeout_ms(opts_.session_idle_timeout_ms);
+    const IoResult r = t.recv(buf.data(), buf.size());
+    if (!r.ok()) {
+      if (r.status == IoStatus::kTimeout) {
+        sessions_reaped_.fetch_add(1, std::memory_order_relaxed);
+      }
+      break;  // peer closed / stalled out (or stop() shut us down)
+    }
     batch_arrived = std::chrono::steady_clock::now();
-    decoder.feed(buf.data(), static_cast<std::size_t>(r));
+    decoder.feed(buf.data(), r.bytes);
   }
   // EOF to the peer; the fd itself is closed at reap/stop time.
   ::shutdown(fd, SHUT_RDWR);
 }
 
-bool Server::send_frame(int fd, const Frame& f) {
+bool Server::send_frame(Transport& t, const Frame& f) {
+  // Per-send write deadline: a peer that stops draining its socket
+  // mid-reply is reaped, not waited on forever.
+  t.set_timeout_ms(opts_.session_write_timeout_ms);
   const std::vector<std::uint8_t> wire = encode_frame(f);
-  std::size_t off = 0;
-  while (off < wire.size()) {
-    // MSG_NOSIGNAL: a client that died mid-reply must surface as a send
-    // error on this session, not SIGPIPE the whole daemon.
-    const ssize_t r =
-        ::send(fd, wire.data() + off, wire.size() - off, MSG_NOSIGNAL);
-    if (r <= 0) {
-      if (r < 0 && errno == EINTR) continue;
-      return false;
-    }
-    off += static_cast<std::size_t>(r);
+  const IoStatus st = t.send_all(wire.data(), wire.size());
+  if (st == IoStatus::kTimeout) {
+    sessions_reaped_.fetch_add(1, std::memory_order_relaxed);
   }
-  return true;
+  return st == IoStatus::kOk;
 }
 
-bool Server::send_error(int fd, std::uint64_t id, ErrorCode code,
-                        const std::string& message) {
+bool Server::send_error(Transport& t, std::uint64_t id, ErrorCode code,
+                        const std::string& message, double retry_after_ms) {
   errors_.fetch_add(1, std::memory_order_relaxed);
   telemetry_plane_.count_refusal(code);
   ErrorReply err;
   err.code = code;
   err.message = message;
-  return send_frame(fd, encode_error(err, id));
+  err.retry_after_ms = retry_after_ms;
+  return send_frame(t, encode_error(err, id));
 }
 
-bool Server::handle_frame(int fd, const Frame& f, double queue_ms) {
+bool Server::handle_frame(Transport& t, const Frame& f, double queue_ms) {
   requests_.fetch_add(1, std::memory_order_relaxed);
   const auto dispatched = std::chrono::steady_clock::now();
   bool ok;
   switch (static_cast<FrameType>(f.type)) {
     case FrameType::kLoad:
-      ok = handle_load(fd, f);
+      ok = handle_load(t, f);
       break;
     case FrameType::kSparsify:
     case FrameType::kMatch:
     case FrameType::kPipeline:
-      ok = handle_job(fd, f, queue_ms);
+      ok = handle_job(t, f, queue_ms);
       break;
     case FrameType::kStats:
-      ok = handle_stats(fd, f);
+      ok = handle_stats(t, f);
       break;
     case FrameType::kEvict:
-      ok = handle_evict(fd, f);
+      ok = handle_evict(t, f);
       break;
     case FrameType::kCancel:
-      ok = handle_cancel(fd, f);
+      ok = handle_cancel(t, f);
       break;
     case FrameType::kShutdown:
-      ok = handle_shutdown(fd, f);
+      ok = handle_shutdown(t, f);
       break;
     default:
-      ok = send_error(fd, f.request_id, ErrorCode::kBadFrame,
+      ok = send_error(t, f.request_id, ErrorCode::kBadFrame,
                       "unknown frame type " + std::to_string(f.type));
       break;
   }
@@ -354,22 +367,22 @@ bool Server::handle_frame(int fd, const Frame& f, double queue_ms) {
   return ok;
 }
 
-bool Server::handle_load(int fd, const Frame& f) {
+bool Server::handle_load(Transport& t, const Frame& f) {
   auto req = decode_load({f.payload.data(), f.payload.size()});
   if (!req) {
-    return send_error(fd, f.request_id, ErrorCode::kBadFrame,
+    return send_error(t, f.request_id, ErrorCode::kBadFrame,
                       "malformed LOAD payload");
   }
   if (shutting_down()) {
-    return send_error(fd, f.request_id, ErrorCode::kShuttingDown,
+    return send_error(t, f.request_id, ErrorCode::kShuttingDown,
                       "server is draining");
   }
   if (req->source.empty()) {
-    return send_error(fd, f.request_id, ErrorCode::kBadFrame,
+    return send_error(t, f.request_id, ErrorCode::kBadFrame,
                       "empty source name");
   }
   if (req->n > opts_.max_vertices || req->edges.size() > opts_.max_edges) {
-    return send_error(fd, f.request_id, ErrorCode::kTooLarge,
+    return send_error(t, f.request_id, ErrorCode::kTooLarge,
                       "graph above the configured LOAD caps");
   }
   // Messy client lists are normalized (self-loops and duplicates
@@ -378,7 +391,7 @@ bool Server::handle_load(int fd, const Frame& f) {
   normalize_edge_list(req->edges);
   for (const Edge& e : req->edges) {
     if (e.u >= req->n || e.v >= req->n) {
-      return send_error(fd, f.request_id, ErrorCode::kBadFrame,
+      return send_error(t, f.request_id, ErrorCode::kBadFrame,
                         "edge endpoint out of range");
     }
   }
@@ -389,15 +402,15 @@ bool Server::handle_load(int fd, const Frame& f) {
   bool replaced = false;
   cache_.put_graph(req->source, std::move(g), &rep.bytes_charged, &replaced);
   rep.replaced = replaced ? 1 : 0;
-  return send_frame(fd, encode_reply(FrameType::kLoad, rep, f.request_id));
+  return send_frame(t, encode_reply(FrameType::kLoad, rep, f.request_id));
 }
 
-bool Server::handle_job(int fd, const Frame& f, double queue_ms) {
+bool Server::handle_job(Transport& t, const Frame& f, double queue_ms) {
   const auto t0 = std::chrono::steady_clock::now();
   FlightRecord rec;
   rec.request_id = f.request_id;
   rec.frame_type = f.type;
-  const bool ok = handle_job_impl(fd, f, &rec);
+  const bool ok = handle_job_impl(t, f, &rec);
   rec.queue_ms = queue_ms;
   rec.service_ms = ms_since(t0);
   telemetry_plane_.record_flight(rec);
@@ -405,19 +418,129 @@ bool Server::handle_job(int fd, const Frame& f, double queue_ms) {
   return ok;
 }
 
-bool Server::handle_job_impl(int fd, const Frame& f, FlightRecord* rec) {
-  // Every refusal is a flight record too — the ring answers "why did
-  // that request get nothing back" as well as "how slow was it".
-  const auto refuse = [&](ErrorCode code, const std::string& message) {
-    rec->error_code = static_cast<std::uint32_t>(code);
-    return send_error(fd, f.request_id, code, message);
-  };
+std::shared_ptr<Server::TokenEntry> Server::claim_token(std::uint64_t token,
+                                                        bool* owner) {
+  std::lock_guard<std::mutex> lock(dedup_mu_);
+  auto& slot = dedup_[token];
+  if (slot == nullptr) {
+    slot = std::make_shared<TokenEntry>();
+    *owner = true;
+  } else {
+    *owner = false;
+  }
+  return slot;
+}
+
+void Server::complete_token(std::uint64_t token,
+                            const std::shared_ptr<TokenEntry>& entry,
+                            const Frame& reply_frame) {
+  std::vector<std::shared_ptr<TokenEntry>> evicted;
+  {
+    std::lock_guard<std::mutex> lock(dedup_mu_);
+    entry->reply = reply_frame;
+    entry->state = TokenEntry::State::kDone;
+    dedup_lru_.push_back(token);
+    while (dedup_lru_.size() > opts_.dedup_window) {
+      const std::uint64_t old = dedup_lru_.front();
+      dedup_lru_.pop_front();
+      const auto it = dedup_.find(old);
+      if (it != dedup_.end()) {
+        evicted.push_back(std::move(it->second));  // frame freed outside
+                                                   // the lock
+        dedup_.erase(it);
+      }
+    }
+  }
+  entry->cv.notify_all();
+}
+
+void Server::abort_token(std::uint64_t token,
+                         const std::shared_ptr<TokenEntry>& entry) {
+  {
+    std::lock_guard<std::mutex> lock(dedup_mu_);
+    entry->state = TokenEntry::State::kAborted;
+    // Gone from the map right away: the NEXT arrival of this token
+    // starts a fresh attempt instead of replaying a refusal.
+    const auto it = dedup_.find(token);
+    if (it != dedup_.end() && it->second == entry) dedup_.erase(it);
+  }
+  entry->cv.notify_all();
+}
+
+bool Server::serve_token_entry(Transport& t, const Frame& f,
+                               const std::shared_ptr<TokenEntry>& entry,
+                               FlightRecord* rec) {
+  std::unique_lock<std::mutex> lock(dedup_mu_);
+  if (entry->state == TokenEntry::State::kRunning) {
+    // The retry overtook its original (it landed on a fresh connection
+    // while the first attempt is still executing): wait for that single
+    // execution to finish rather than start a second one. The tick
+    // keeps the wait honest about server drain.
+    dedup_waits_.fetch_add(1, std::memory_order_relaxed);
+    while (entry->state == TokenEntry::State::kRunning && !shutting_down()) {
+      entry->cv.wait_for(lock, std::chrono::milliseconds(10));
+    }
+  }
+  if (entry->state == TokenEntry::State::kDone) {
+    Frame replay = entry->reply;
+    lock.unlock();
+    dedup_replays_.fetch_add(1, std::memory_order_relaxed);
+    // The original reply, re-stamped with the retry's request id so the
+    // client pairs it; everything else byte-identical.
+    replay.request_id = f.request_id;
+    if (replay.type == static_cast<std::uint8_t>(FrameType::kError)) {
+      rec->error_code = static_cast<std::uint32_t>(ErrorCode::kTripped);
+    }
+    rec->cache_hit = 1;  // served without executing anything
+    return send_frame(t, replay);
+  }
+  const bool draining =
+      entry->state == TokenEntry::State::kRunning;  // left by drain check
+  lock.unlock();
+  if (draining) {
+    rec->error_code = static_cast<std::uint32_t>(ErrorCode::kShuttingDown);
+    return send_error(t, f.request_id, ErrorCode::kShuttingDown,
+                      "server is draining");
+  }
+  // kAborted: the original attempt was refused before executing and the
+  // token is already out of the window — tell this retry to try again,
+  // the same way a shed request is told.
+  rec->error_code = static_cast<std::uint32_t>(ErrorCode::kShed);
+  return send_error(t, f.request_id, ErrorCode::kShed,
+                    "original attempt was refused; retry",
+                    opts_.shed_retry_after_ms);
+}
+
+bool Server::handle_job_impl(Transport& t, const Frame& f, FlightRecord* rec) {
   const auto req = decode_job({f.payload.data(), f.payload.size()});
   if (!req) {
-    return refuse(ErrorCode::kBadFrame, "malformed job payload");
+    rec->error_code = static_cast<std::uint32_t>(ErrorCode::kBadFrame);
+    return send_error(t, f.request_id, ErrorCode::kBadFrame,
+                      "malformed job payload");
   }
   rec->seed = req->seed;
   rec->lanes = req->threads;
+
+  // Idempotency-token claim comes before everything else that can vary
+  // between attempts (drain state, cache contents, the inflight cap):
+  // a retried token must rendezvous with its original no matter how the
+  // server has moved on since the first attempt.
+  std::shared_ptr<TokenEntry> entry;
+  if (req->client_token != 0 && opts_.dedup_window > 0) {
+    bool owner = false;
+    entry = claim_token(req->client_token, &owner);
+    if (!owner) return serve_token_entry(t, f, entry, rec);
+  }
+  // Every refusal is a flight record too — the ring answers "why did
+  // that request get nothing back" as well as "how slow was it". A
+  // refusal before execution also aborts the token entry: retries
+  // re-attempt instead of replaying a refusal that may not recur.
+  const auto refuse = [&](ErrorCode code, const std::string& message,
+                          double retry_after_ms = 0.0) {
+    if (entry != nullptr) abort_token(req->client_token, entry);
+    rec->error_code = static_cast<std::uint32_t>(code);
+    return send_error(t, f.request_id, code, message, retry_after_ms);
+  };
   if (shutting_down()) {
     return refuse(ErrorCode::kShuttingDown, "server is draining");
   }
@@ -463,7 +586,8 @@ bool Server::handle_job_impl(int fd, const Frame& f, FlightRecord* rec) {
     }
     if (!admitted) {
       shed_.fetch_add(1, std::memory_order_relaxed);
-      return refuse(ErrorCode::kShed, "inflight cap reached");
+      return refuse(ErrorCode::kShed, "inflight cap reached",
+                    opts_.shed_retry_after_ms);
     }
   } else {
     inflight_count_.fetch_add(1, std::memory_order_relaxed);
@@ -476,6 +600,7 @@ bool Server::handle_job_impl(int fd, const Frame& f, FlightRecord* rec) {
   const std::uint64_t serial =
       next_serial_.fetch_add(1, std::memory_order_relaxed) + 1;
   rec->serial = serial;
+  jobs_executed_.fetch_add(1, std::memory_order_relaxed);
   guard::RunContext ctx("serve.req-" + std::to_string(serial));
   ctx.set_publish_on_destroy(opts_.publish_request_metrics);
   if (!opts_.trace_prefix.empty()) ctx.tracer().set_enabled(true);
@@ -489,7 +614,12 @@ bool Server::handle_job_impl(int fd, const Frame& f, FlightRecord* rec) {
     if (shutting_down()) ctx.cancel();
   }
 
-  bool ok = false;
+  // From here on the job EXECUTES, and its outcome — success or a
+  // served error like kTripped — is the token's outcome: the reply
+  // frame is published to the dedup window BEFORE the send, so a
+  // connection torn mid-reply replays the exact same bytes on retry
+  // instead of executing twice.
+  Frame out;
   {
     const guard::ScopedContext scope(ctx);
     const auto type = static_cast<FrameType>(f.type);
@@ -498,10 +628,12 @@ bool Server::handle_job_impl(int fd, const Frame& f, FlightRecord* rec) {
       ErrorReply err;
       if (run_sparsify(*req, graph, granted, &rep, &err)) {
         rec->cache_hit = rep.cache_hit;
-        ok = send_frame(fd, encode_reply(type, rep, f.request_id));
+        out = encode_reply(type, rep, f.request_id);
       } else {
         rec->error_code = static_cast<std::uint32_t>(err.code);
-        ok = send_error(fd, f.request_id, err.code, err.message);
+        errors_.fetch_add(1, std::memory_order_relaxed);
+        telemetry_plane_.count_refusal(err.code);
+        out = encode_error(err, f.request_id);
       }
     } else {
       const MatchReply rep = run_match(*req, graph, serial, granted,
@@ -514,9 +646,11 @@ bool Server::handle_job_impl(int fd, const Frame& f, FlightRecord* rec) {
       if (type == FrameType::kMatch) {
         telemetry_plane_.count_cache(rep.cache_hit != 0);
       }
-      ok = send_frame(fd, encode_reply(type, rep, f.request_id));
+      out = encode_reply(type, rep, f.request_id);
     }
   }
+  if (entry != nullptr) complete_token(req->client_token, entry, out);
+  const bool ok = send_frame(t, out);
 
   {
     std::lock_guard<std::mutex> lock(inflight_mu_);
@@ -684,37 +818,41 @@ bool Server::run_sparsify(const JobRequest& req,
   return true;
 }
 
-bool Server::handle_stats(int fd, const Frame& f) {
+bool Server::handle_stats(Transport& t, const Frame& f) {
   const auto format =
       decode_stats_request({f.payload.data(), f.payload.size()});
   if (!format) {
-    return send_error(fd, f.request_id, ErrorCode::kBadFrame,
+    return send_error(t, f.request_id, ErrorCode::kBadFrame,
                       "malformed STATS payload (unknown format byte?)");
   }
   const GraphCache::Stats cs = cache_.stats();
-  const Telemetry t = telemetry();
+  const Telemetry counters = telemetry();
   StatsReply rep;
   if (*format == kStatsFormatPrometheus) {
-    rep.json = telemetry_plane_.prometheus(t, cs, shutting_down());
-    return send_frame(fd, encode_reply(FrameType::kStats, rep, f.request_id));
+    rep.json = telemetry_plane_.prometheus(counters, cs, shutting_down());
+    return send_frame(t, encode_reply(FrameType::kStats, rep, f.request_id));
   }
   if (*format == kStatsFormatFlight) {
     rep.json = flight_ndjson();
-    return send_frame(fd, encode_reply(FrameType::kStats, rep, f.request_id));
+    return send_frame(t, encode_reply(FrameType::kStats, rep, f.request_id));
   }
   std::string& j = rep.json;
   j = "{";
   // "schema" leads the document so consumers can reject before parsing
   // anything else (DESIGN.md §16); bumped only on breaking changes.
   append_json(j, "schema", kStatsSchemaVersion, /*first=*/true);
-  append_json(j, "requests", t.requests);
-  append_json(j, "errors", t.errors);
-  append_json(j, "shed", t.shed);
-  append_json(j, "budget_clamped", t.budget_clamped);
-  append_json(j, "tripped_builds", t.tripped_builds);
-  append_json(j, "cancels_delivered", t.cancels_delivered);
-  append_json(j, "connections", t.connections);
-  append_json(j, "inflight", t.inflight);
+  append_json(j, "requests", counters.requests);
+  append_json(j, "errors", counters.errors);
+  append_json(j, "shed", counters.shed);
+  append_json(j, "budget_clamped", counters.budget_clamped);
+  append_json(j, "tripped_builds", counters.tripped_builds);
+  append_json(j, "cancels_delivered", counters.cancels_delivered);
+  append_json(j, "jobs_executed", counters.jobs_executed);
+  append_json(j, "dedup_replays", counters.dedup_replays);
+  append_json(j, "dedup_waits", counters.dedup_waits);
+  append_json(j, "sessions_reaped", counters.sessions_reaped);
+  append_json(j, "connections", counters.connections);
+  append_json(j, "inflight", counters.inflight);
   append_json(j, "shutting_down", shutting_down() ? 1 : 0);
   j += ",\"cache\":{";
   append_json(j, "hits", cs.hits, /*first=*/true);
@@ -726,24 +864,24 @@ bool Server::handle_stats(int fd, const Frame& f) {
   append_json(j, "graphs", cs.graphs);
   append_json(j, "sparsifiers", cs.sparsifiers);
   j += "}}";
-  return send_frame(fd, encode_reply(FrameType::kStats, rep, f.request_id));
+  return send_frame(t, encode_reply(FrameType::kStats, rep, f.request_id));
 }
 
-bool Server::handle_evict(int fd, const Frame& f) {
+bool Server::handle_evict(Transport& t, const Frame& f) {
   const auto req = decode_evict({f.payload.data(), f.payload.size()});
   if (!req) {
-    return send_error(fd, f.request_id, ErrorCode::kBadFrame,
+    return send_error(t, f.request_id, ErrorCode::kBadFrame,
                       "malformed EVICT payload");
   }
   EvictReply rep;
   cache_.evict(req->source, &rep.entries, &rep.bytes_freed);
-  return send_frame(fd, encode_reply(FrameType::kEvict, rep, f.request_id));
+  return send_frame(t, encode_reply(FrameType::kEvict, rep, f.request_id));
 }
 
-bool Server::handle_cancel(int fd, const Frame& f) {
+bool Server::handle_cancel(Transport& t, const Frame& f) {
   const auto req = decode_cancel({f.payload.data(), f.payload.size()});
   if (!req) {
-    return send_error(fd, f.request_id, ErrorCode::kBadFrame,
+    return send_error(t, f.request_id, ErrorCode::kBadFrame,
                       "malformed CANCEL payload");
   }
   CancelReply rep;
@@ -756,10 +894,10 @@ bool Server::handle_cancel(int fd, const Frame& f) {
       cancels_delivered_.fetch_add(1, std::memory_order_relaxed);
     }
   }
-  return send_frame(fd, encode_reply(FrameType::kCancel, rep, f.request_id));
+  return send_frame(t, encode_reply(FrameType::kCancel, rep, f.request_id));
 }
 
-bool Server::handle_shutdown(int fd, const Frame& f) {
+bool Server::handle_shutdown(Transport& t, const Frame& f) {
   // Drain BEFORE the ack goes out: a client that has seen the ack must
   // never observe the server still admitting work. But wake wait() only
   // AFTER the ack is queued to the kernel — waking first lets the
@@ -769,7 +907,7 @@ bool Server::handle_shutdown(int fd, const Frame& f) {
   Frame ack;
   ack.type = reply(FrameType::kShutdown);
   ack.request_id = f.request_id;
-  const bool ok = send_frame(fd, ack);
+  const bool ok = send_frame(t, ack);
   notify_stop();
   return ok;
 }
@@ -831,6 +969,10 @@ Server::Telemetry Server::telemetry() const {
   t.budget_clamped = budget_clamped_.load(std::memory_order_relaxed);
   t.tripped_builds = tripped_builds_.load(std::memory_order_relaxed);
   t.cancels_delivered = cancels_delivered_.load(std::memory_order_relaxed);
+  t.jobs_executed = jobs_executed_.load(std::memory_order_relaxed);
+  t.dedup_replays = dedup_replays_.load(std::memory_order_relaxed);
+  t.dedup_waits = dedup_waits_.load(std::memory_order_relaxed);
+  t.sessions_reaped = sessions_reaped_.load(std::memory_order_relaxed);
   t.inflight = inflight_count_.load(std::memory_order_relaxed);
   return t;
 }

@@ -35,6 +35,8 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -46,6 +48,7 @@
 #include "serve/cache.hpp"
 #include "serve/protocol.hpp"
 #include "serve/telemetry.hpp"
+#include "serve/transport.hpp"
 
 namespace matchsparse::guard {
 class RunContext;
@@ -92,6 +95,28 @@ struct ServerOptions {
   /// counters (the STATS format=1 exposition body). The flight recorder
   /// stays on regardless — see serve/telemetry.hpp.
   bool telemetry = true;
+  /// Per-session read deadline in ms — the idle-session reaper: a
+  /// connection that sends nothing for this long is dropped, so a
+  /// stalled or half-open peer cannot pin a session thread forever.
+  /// 0 = off (the legacy fully-blocking behavior; in-process test
+  /// harnesses that park idle control connections rely on it).
+  double session_idle_timeout_ms = 0.0;
+  /// Per-send deadline in ms for reply frames: a peer that stops
+  /// draining its socket while a reply is in flight loses the
+  /// connection instead of wedging the session in send(). 0 = off.
+  double session_write_timeout_ms = 0.0;
+  /// Backoff hint stamped on kShed refusals (ErrorReply::retry_after_ms);
+  /// RetryingClient sleeps at least this long before the retry.
+  double shed_retry_after_ms = 20.0;
+  /// Capacity of the idempotency-token dedup window (completed replies
+  /// kept for replay, evicted LRU). 0 disables token dedup entirely —
+  /// tokens are then ignored and every request executes.
+  std::size_t dedup_window = 1024;
+  /// Chaos hook: when set, every session's transport is passed through
+  /// this wrapper before serving (the chaos soak injects a seeded
+  /// FaultTransport on the server side of in-process connections).
+  std::function<std::unique_ptr<Transport>(std::unique_ptr<Transport>)>
+      transport_wrapper;
 };
 
 class Server {
@@ -161,23 +186,23 @@ class Server {
   /// the owner to proceed to stop().
   void notify_stop();
 
-  bool send_frame(int fd, const Frame& f);
-  bool send_error(int fd, std::uint64_t id, ErrorCode code,
-                  const std::string& message);
+  bool send_frame(Transport& t, const Frame& f);
+  bool send_error(Transport& t, std::uint64_t id, ErrorCode code,
+                  const std::string& message, double retry_after_ms = 0.0);
 
   /// Frame dispatch; false ⇒ the connection must be dropped (send
   /// failure or poisoned decoder — never a mere request error).
   /// `queue_ms` is how long the frame's bytes sat decoded-but-undispatched
   /// on the session (pipelined frames queue behind their predecessors).
-  bool handle_frame(int fd, const Frame& f, double queue_ms);
-  bool handle_load(int fd, const Frame& f);
-  bool handle_job(int fd, const Frame& f, double queue_ms);
+  bool handle_frame(Transport& t, const Frame& f, double queue_ms);
+  bool handle_load(Transport& t, const Frame& f);
+  bool handle_job(Transport& t, const Frame& f, double queue_ms);
   /// The old handle_job body; fills `rec` (flight record) as it goes.
-  bool handle_job_impl(int fd, const Frame& f, FlightRecord* rec);
-  bool handle_stats(int fd, const Frame& f);
-  bool handle_evict(int fd, const Frame& f);
-  bool handle_cancel(int fd, const Frame& f);
-  bool handle_shutdown(int fd, const Frame& f);
+  bool handle_job_impl(Transport& t, const Frame& f, FlightRecord* rec);
+  bool handle_stats(Transport& t, const Frame& f);
+  bool handle_evict(Transport& t, const Frame& f);
+  bool handle_cancel(Transport& t, const Frame& f);
+  bool handle_shutdown(Transport& t, const Frame& f);
 
   MatchReply run_match(const JobRequest& req,
                        const std::shared_ptr<const Graph>& graph,
@@ -226,6 +251,44 @@ class Server {
   std::unordered_map<std::uint64_t, guard::RunContext*> inflight_;
   std::uint64_t promised_budget_ = 0;
 
+  // -------------------------------------------------------------------
+  // Idempotency-token dedup window (DESIGN.md §17). One entry per
+  // token: kRunning while the first arrival executes, kDone with the
+  // completed reply frame for replay, gone once evicted LRU. The
+  // find-or-insert under dedup_mu_ is the single-execution
+  // serialization point — a retry that lands on ANY connection while
+  // the original is still in flight waits on the entry's cv and gets
+  // the same reply, never a second execution.
+  struct TokenEntry {
+    enum class State : std::uint8_t { kRunning, kDone, kAborted };
+    State state = State::kRunning;
+    std::condition_variable cv;  // guarded by dedup_mu_
+    Frame reply;                 // valid when kDone; request id re-stamped
+                                 // per replay
+  };
+  /// Find-or-insert for a nonzero token. *owner true ⇒ this thread must
+  /// execute the job and later complete_token()/abort_token().
+  std::shared_ptr<TokenEntry> claim_token(std::uint64_t token, bool* owner);
+  /// Publish the completed reply frame BEFORE it is sent, flip kDone,
+  /// wake waiters, and evict beyond opts_.dedup_window (LRU) — so a
+  /// reset mid-reply still replays on retry.
+  void complete_token(std::uint64_t token,
+                      const std::shared_ptr<TokenEntry>& entry,
+                      const Frame& reply_frame);
+  /// The owner's attempt was refused before execution: remove the entry
+  /// so a retry starts fresh, and fail waiters retryably.
+  void abort_token(std::uint64_t token,
+                   const std::shared_ptr<TokenEntry>& entry);
+  /// A follower's path: wait out a kRunning entry, then replay (kDone)
+  /// or refuse retryably (kAborted / drain).
+  bool serve_token_entry(Transport& t, const Frame& f,
+                         const std::shared_ptr<TokenEntry>& entry,
+                         FlightRecord* rec);
+
+  std::mutex dedup_mu_;
+  std::unordered_map<std::uint64_t, std::shared_ptr<TokenEntry>> dedup_;
+  std::deque<std::uint64_t> dedup_lru_;  // kDone tokens, oldest first
+
   std::atomic<std::uint64_t> next_serial_{0};
   std::atomic<std::uint64_t> connections_{0};
   std::atomic<std::uint64_t> requests_{0};
@@ -234,6 +297,10 @@ class Server {
   std::atomic<std::uint64_t> budget_clamped_{0};
   std::atomic<std::uint64_t> tripped_builds_{0};
   std::atomic<std::uint64_t> cancels_delivered_{0};
+  std::atomic<std::uint64_t> jobs_executed_{0};
+  std::atomic<std::uint64_t> dedup_replays_{0};
+  std::atomic<std::uint64_t> dedup_waits_{0};
+  std::atomic<std::uint64_t> sessions_reaped_{0};
   std::atomic<std::uint32_t> inflight_count_{0};
 };
 

@@ -210,6 +210,18 @@ std::string ServeTelemetry::prometheus(const ServerCounters& counters,
   append_counter(out, "matchsparse_serve_cancels_delivered_total",
                  "CANCEL frames that found their target in flight.",
                  counters.cancels_delivered);
+  append_counter(out, "matchsparse_serve_jobs_executed_total",
+                 "Jobs actually executed (admitted, not deduplicated).",
+                 counters.jobs_executed);
+  append_counter(out, "matchsparse_serve_dedup_replays_total",
+                 "Retried idempotency tokens answered from the dedup window.",
+                 counters.dedup_replays);
+  append_counter(out, "matchsparse_serve_dedup_waits_total",
+                 "Retries that waited out a still-running original.",
+                 counters.dedup_waits);
+  append_counter(out, "matchsparse_serve_sessions_reaped_total",
+                 "Sessions dropped by the idle/write deadline watchdogs.",
+                 counters.sessions_reaped);
   append_gauge(out, "matchsparse_serve_inflight", "Jobs currently running.",
                counters.inflight);
   append_gauge(out, "matchsparse_serve_shutting_down",

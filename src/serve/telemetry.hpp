@@ -43,6 +43,14 @@ struct ServerCounters {
   std::uint64_t budget_clamped = 0;
   std::uint64_t tripped_builds = 0;  // SPARSIFY/MATCH builds that tripped
   std::uint64_t cancels_delivered = 0;
+  std::uint64_t jobs_executed = 0;   // jobs that actually ran (admitted,
+                                     // not deduplicated)
+  std::uint64_t dedup_replays = 0;   // retried tokens answered from the
+                                     // dedup window without re-executing
+  std::uint64_t dedup_waits = 0;     // retries that waited out a still-
+                                     // running original
+  std::uint64_t sessions_reaped = 0;  // sessions dropped by the idle /
+                                      // write deadline watchdogs
   std::uint32_t inflight = 0;
 };
 

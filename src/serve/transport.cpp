@@ -1,0 +1,267 @@
+#include "serve/transport.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cmath>
+#include <cstring>
+#include <thread>
+
+namespace matchsparse::serve {
+
+const char* to_string(IoStatus s) {
+  switch (s) {
+    case IoStatus::kOk:
+      return "ok";
+    case IoStatus::kEof:
+      return "eof";
+    case IoStatus::kTimeout:
+      return "timeout";
+    case IoStatus::kReset:
+      return "reset";
+  }
+  return "unknown";
+}
+
+IoStatus Transport::send_all(const std::uint8_t* data, std::size_t len) {
+  std::size_t off = 0;
+  while (off < len) {
+    const IoResult r = send(data + off, len - off);
+    if (!r.ok()) return r.status;
+    off += r.bytes;
+  }
+  return IoStatus::kOk;
+}
+
+IoStatus Transport::recv_all(std::uint8_t* data, std::size_t len) {
+  std::size_t off = 0;
+  while (off < len) {
+    const IoResult r = recv(data + off, len - off);
+    if (!r.ok()) return r.status;
+    off += r.bytes;
+  }
+  return IoStatus::kOk;
+}
+
+// ---------------------------------------------------------------------------
+// FdTransport
+// ---------------------------------------------------------------------------
+
+FdTransport::~FdTransport() {
+  if (owns_fd_) close();
+}
+
+int FdTransport::release() {
+  const int fd = fd_;
+  fd_ = -1;
+  return fd;
+}
+
+void FdTransport::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void FdTransport::shutdown_write() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_WR);
+}
+
+IoStatus FdTransport::wait_ready(short events) {
+  // The deadline is absolute across EINTR retries: a signal storm must
+  // not extend it (each retry polls only the remaining window).
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration_cast<
+                            std::chrono::steady_clock::duration>(
+                            std::chrono::duration<double, std::milli>(
+                                timeout_ms_));
+  for (;;) {
+    pollfd p{};
+    p.fd = fd_;
+    p.events = events;
+    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline - std::chrono::steady_clock::now());
+    if (left.count() <= 0) return IoStatus::kTimeout;
+    const int rc = ::poll(&p, 1, static_cast<int>(left.count()));
+    if (rc > 0) return IoStatus::kOk;  // readable/writable/HUP/ERR: let
+                                       // the syscall report what it is
+    if (rc == 0) return IoStatus::kTimeout;
+    if (errno != EINTR) return IoStatus::kReset;
+  }
+}
+
+IoResult FdTransport::send(const std::uint8_t* data, std::size_t len) {
+  if (fd_ < 0) return {IoStatus::kReset, 0};
+  for (;;) {
+    if (timeout_ms_ > 0.0) {
+      const IoStatus ready = wait_ready(POLLOUT);
+      if (ready != IoStatus::kOk) return {ready, 0};
+    }
+    // MSG_NOSIGNAL: a peer that died mid-reply must surface as kReset
+    // on this transport, not SIGPIPE the whole process.
+    const ssize_t r = ::send(fd_, data, len, MSG_NOSIGNAL);
+    if (r > 0) return {IoStatus::kOk, static_cast<std::size_t>(r)};
+    if (r < 0 && errno == EINTR) continue;
+    return {IoStatus::kReset, 0};
+  }
+}
+
+IoResult FdTransport::recv(std::uint8_t* data, std::size_t len) {
+  if (fd_ < 0) return {IoStatus::kReset, 0};
+  for (;;) {
+    if (timeout_ms_ > 0.0) {
+      const IoStatus ready = wait_ready(POLLIN);
+      if (ready != IoStatus::kOk) return {ready, 0};
+    }
+    const ssize_t r = ::recv(fd_, data, len, 0);
+    if (r > 0) return {IoStatus::kOk, static_cast<std::size_t>(r)};
+    if (r == 0) return {IoStatus::kEof, 0};
+    if (errno == EINTR) continue;
+    return {IoStatus::kReset, 0};
+  }
+}
+
+// ---------------------------------------------------------------------------
+// FaultTransport
+// ---------------------------------------------------------------------------
+
+FaultTransport::FaultTransport(std::unique_ptr<Transport> inner,
+                               TransportFaultPlan plan)
+    : inner_(std::move(inner)), plan_(plan), rng_(plan.seed) {}
+
+void FaultTransport::kill() {
+  dead_ = true;
+  ++injected_.resets;
+  // Sever the stream (peer sees EOF, possibly mid-frame) but do NOT
+  // close the inner transport: session transports don't own their fd —
+  // the owner's teardown closes it after the join, and closing here
+  // would race that close onto a recycled descriptor.
+  if (inner_) inner_->shutdown_write();
+}
+
+bool FaultTransport::pre_op(IoResult* dead) {
+  if (dead_ || inner_ == nullptr || !inner_->valid()) {
+    *dead = {IoStatus::kReset, 0};
+    return true;
+  }
+  if (plan_.stall > 0.0 && rng_.chance(plan_.stall)) {
+    ++injected_.stalls;
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(plan_.stall_ms));
+  }
+  if (plan_.reset > 0.0 && rng_.chance(plan_.reset)) {
+    kill();
+    *dead = {IoStatus::kReset, 0};
+    return true;
+  }
+  return false;
+}
+
+IoResult FaultTransport::send(const std::uint8_t* data, std::size_t len) {
+  IoResult dead;
+  if (pre_op(&dead)) return dead;
+  std::size_t n = len;
+  if (n > 1 && plan_.short_io > 0.0 && rng_.chance(plan_.short_io)) {
+    ++injected_.shorts;
+    n = 1 + static_cast<std::size_t>(rng_.below(n - 1));
+  }
+  if (plan_.reset_after_bytes > 0 &&
+      bytes_moved_ + n >= plan_.reset_after_bytes) {
+    // Deliver exactly up to the scripted byte, then die: the peer sees
+    // a torn frame, not a clean boundary.
+    n = static_cast<std::size_t>(plan_.reset_after_bytes - bytes_moved_);
+    if (n == 0) {
+      kill();
+      return {IoStatus::kReset, 0};
+    }
+    std::vector<std::uint8_t> prefix(data, data + n);
+    const IoStatus st = inner_->send_all(prefix.data(), prefix.size());
+    bytes_moved_ += n;
+    kill();
+    return st == IoStatus::kOk ? IoResult{IoStatus::kOk, n}
+                               : IoResult{IoStatus::kReset, 0};
+  }
+  if (plan_.corrupt > 0.0 && rng_.chance(plan_.corrupt)) {
+    ++injected_.corruptions;
+    std::vector<std::uint8_t> copy(data, data + n);
+    copy[rng_.below(copy.size())] ^=
+        static_cast<std::uint8_t>(1u << rng_.below(8));
+    const IoResult r = inner_->send(copy.data(), copy.size());
+    if (r.ok()) bytes_moved_ += r.bytes;
+    return r;
+  }
+  const IoResult r = inner_->send(data, n);
+  if (r.ok()) bytes_moved_ += r.bytes;
+  return r;
+}
+
+IoResult FaultTransport::recv(std::uint8_t* data, std::size_t len) {
+  IoResult dead;
+  if (pre_op(&dead)) return dead;
+  std::size_t n = len;
+  if (n > 1 && plan_.short_io > 0.0 && rng_.chance(plan_.short_io)) {
+    ++injected_.shorts;
+    n = 1 + static_cast<std::size_t>(rng_.below(n - 1));
+  }
+  if (plan_.reset_after_bytes > 0 && bytes_moved_ >= plan_.reset_after_bytes) {
+    kill();
+    return {IoStatus::kReset, 0};
+  }
+  if (plan_.reset_after_bytes > 0 &&
+      bytes_moved_ + n > plan_.reset_after_bytes) {
+    n = static_cast<std::size_t>(plan_.reset_after_bytes - bytes_moved_);
+  }
+  const IoResult r = inner_->recv(data, n);
+  if (r.ok()) bytes_moved_ += r.bytes;
+  return r;
+}
+
+void FaultTransport::shutdown_write() {
+  if (inner_) inner_->shutdown_write();
+}
+
+void FaultTransport::close() {
+  if (inner_) inner_->close();
+}
+
+bool FaultTransport::valid() const {
+  return !dead_ && inner_ != nullptr && inner_->valid();
+}
+
+void FaultTransport::set_timeout_ms(double timeout_ms) {
+  if (inner_) inner_->set_timeout_ms(timeout_ms);
+}
+
+int FaultTransport::fd() const { return inner_ ? inner_->fd() : -1; }
+
+// ---------------------------------------------------------------------------
+// BufferTransport
+// ---------------------------------------------------------------------------
+
+IoResult BufferTransport::send(const std::uint8_t* data, std::size_t len) {
+  if (closed_) return {IoStatus::kReset, 0};
+  if (len == 0) return {IoStatus::kOk, 0};
+  buf_.insert(buf_.end(), data, data + len);
+  return {IoStatus::kOk, len};
+}
+
+IoResult BufferTransport::recv(std::uint8_t* data, std::size_t len) {
+  if (closed_) return {IoStatus::kReset, 0};
+  const std::size_t avail = buf_.size() - pos_;
+  if (avail == 0) return {eof_ ? IoStatus::kEof : IoStatus::kTimeout, 0};
+  const std::size_t n = std::min(len, avail);
+  std::memcpy(data, buf_.data() + pos_, n);
+  pos_ += n;
+  if (pos_ == buf_.size()) {
+    buf_.clear();
+    pos_ = 0;
+  }
+  return {IoStatus::kOk, n};
+}
+
+}  // namespace matchsparse::serve

@@ -1,0 +1,204 @@
+// serve::Transport — the byte-stream seam under the frame codec.
+//
+// Everything that moves serve-protocol bytes (the Client's rx/tx loops,
+// the Server's session threads) goes through this interface instead of
+// raw ::send/::recv, which buys two things at once:
+//
+//   1. deadlines: FdTransport implements poll-based per-operation
+//      timeouts, so a stalled peer surfaces as a typed IoStatus::kTimeout
+//      instead of pinning a thread in recv() forever;
+//   2. fault injection: FaultTransport wraps any transport with a seeded
+//      TransportFaultPlan (PR 2's FaultPlan philosophy at the socket
+//      layer) — short reads/writes at arbitrary byte boundaries, EINTR-
+//      style stalls, connection resets mid-frame and mid-reply, and byte
+//      corruption that must die in the frame codec's poison contract.
+//      The schedule is a pure function of (plan, seed), so every chaos
+//      failure replays from its seed.
+//
+// The contract is deliberately minimal and honest about partial I/O:
+// send() and recv() may move FEWER bytes than asked (exactly like the
+// syscalls they wrap); callers loop. A zero-byte kOk return is never
+// produced — "no progress" is always a typed status (kEof on a clean
+// peer close, kTimeout on an expired deadline, kReset on a torn
+// connection).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace matchsparse::serve {
+
+enum class IoStatus : std::uint8_t {
+  kOk = 0,       // >= 1 byte moved
+  kEof = 1,      // orderly close by the peer (recv only)
+  kTimeout = 2,  // per-operation deadline expired with no progress
+  kReset = 3,    // the connection is dead (ECONNRESET/EPIPE/injected)
+};
+
+const char* to_string(IoStatus s);
+
+struct IoResult {
+  IoStatus status = IoStatus::kOk;
+  std::size_t bytes = 0;  // meaningful only when status == kOk
+
+  bool ok() const { return status == IoStatus::kOk; }
+};
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Moves up to `len` bytes; may be short. Never returns kOk with
+  /// zero bytes.
+  virtual IoResult send(const std::uint8_t* data, std::size_t len) = 0;
+  virtual IoResult recv(std::uint8_t* data, std::size_t len) = 0;
+
+  /// Half-close: signal EOF to the peer, keep receiving.
+  virtual void shutdown_write() = 0;
+  /// Full teardown; valid() turns false. Idempotent.
+  virtual void close() = 0;
+  virtual bool valid() const = 0;
+
+  /// Per-operation deadline in milliseconds; 0 disables (fully
+  /// blocking, the legacy behavior). Applies to each send()/recv()
+  /// call independently, not to a whole frame.
+  virtual void set_timeout_ms(double timeout_ms) = 0;
+
+  /// The underlying descriptor when there is one (-1 otherwise) — the
+  /// protocol tests poke raw fds, and Server teardown needs the number.
+  virtual int fd() const { return -1; }
+
+  // Convenience loops over the partial-I/O primitives: move exactly
+  // `len` bytes or report the first non-kOk status.
+  IoStatus send_all(const std::uint8_t* data, std::size_t len);
+  IoStatus recv_all(std::uint8_t* data, std::size_t len);
+};
+
+/// The production transport: a connected stream socket (unix, TCP, or
+/// one end of a socketpair) with poll-based per-operation deadlines and
+/// EINTR handling. Sends use MSG_NOSIGNAL so a dead peer surfaces as
+/// kReset, never SIGPIPE.
+class FdTransport final : public Transport {
+ public:
+  /// `owns_fd` = false leaves closing the descriptor to the caller
+  /// (Server sessions: the reap/stop path closes after the join).
+  explicit FdTransport(int fd, double timeout_ms = 0.0, bool owns_fd = true)
+      : fd_(fd), timeout_ms_(timeout_ms), owns_fd_(owns_fd) {}
+  ~FdTransport() override;
+
+  FdTransport(const FdTransport&) = delete;
+  FdTransport& operator=(const FdTransport&) = delete;
+
+  IoResult send(const std::uint8_t* data, std::size_t len) override;
+  IoResult recv(std::uint8_t* data, std::size_t len) override;
+  void shutdown_write() override;
+  void close() override;
+  bool valid() const override { return fd_ >= 0; }
+  void set_timeout_ms(double timeout_ms) override { timeout_ms_ = timeout_ms; }
+  int fd() const override { return fd_; }
+
+  /// Detaches the descriptor without closing (ownership transfer).
+  int release();
+
+ private:
+  /// Blocks until `fd_` is ready for `events` or the deadline passes.
+  IoStatus wait_ready(short events);
+
+  int fd_ = -1;
+  double timeout_ms_ = 0.0;
+  bool owns_fd_ = true;
+};
+
+/// A seeded fault schedule. Every probability is evaluated per
+/// operation from a private Rng stream, so the whole failure history of
+/// a connection is a pure function of (plan, seed) and any chaos-soak
+/// failure replays exactly.
+struct TransportFaultPlan {
+  std::uint64_t seed = 1;
+  /// P(truncate this send/recv to a random shorter length) — drives the
+  /// codec and the rx/tx loops through every partial-I/O boundary.
+  double short_io = 0.0;
+  /// P(injected stall before the operation) and its length. Long
+  /// enough stalls trip the peer's poll deadline; short ones just
+  /// shuffle interleavings.
+  double stall = 0.0;
+  double stall_ms = 1.0;
+  /// P(kill the connection instead of performing this operation). Once
+  /// tripped the transport is dead for good — kReset forever after,
+  /// like a real torn TCP connection.
+  double reset = 0.0;
+  /// P(flip one bit of this send's outgoing bytes). Corruption MUST be
+  /// lethal downstream: the frame codec's length-prefix poison or a
+  /// payload decoder rejects, and the connection drops. (A flipped bit
+  /// the codec cannot detect — inside an opaque payload field — is out
+  /// of scope by design; the codec carries no checksum.)
+  double corrupt = 0.0;
+  /// When > 0: hard-kill the connection after exactly this many total
+  /// bytes have moved (sends + recvs), deterministic to the byte —
+  /// "the peer died mid-reply" as a scriptable event.
+  std::uint64_t reset_after_bytes = 0;
+};
+
+/// Wraps any transport with a TransportFaultPlan. Thread-compatible
+/// like its inner transport: one user at a time per direction.
+class FaultTransport final : public Transport {
+ public:
+  FaultTransport(std::unique_ptr<Transport> inner, TransportFaultPlan plan);
+
+  IoResult send(const std::uint8_t* data, std::size_t len) override;
+  IoResult recv(std::uint8_t* data, std::size_t len) override;
+  void shutdown_write() override;
+  void close() override;
+  bool valid() const override;
+  void set_timeout_ms(double timeout_ms) override;
+  int fd() const override;
+
+  /// Total faults injected so far, for test assertions.
+  struct Injected {
+    std::uint64_t shorts = 0;
+    std::uint64_t stalls = 0;
+    std::uint64_t resets = 0;
+    std::uint64_t corruptions = 0;
+  };
+  const Injected& injected() const { return injected_; }
+
+ private:
+  /// Rolls the pre-operation dice shared by send and recv; true when
+  /// the operation must die with *dead (kReset) instead of running.
+  bool pre_op(IoResult* dead);
+  void kill();
+
+  std::unique_ptr<Transport> inner_;
+  TransportFaultPlan plan_;
+  Rng rng_;
+  std::uint64_t bytes_moved_ = 0;
+  bool dead_ = false;
+  Injected injected_;
+};
+
+/// In-memory loopback for single-threaded codec tests: bytes sent
+/// appear on the same transport's recv side, FIFO. recv on an empty
+/// buffer reports kTimeout (there is no peer to wait for).
+class BufferTransport final : public Transport {
+ public:
+  IoResult send(const std::uint8_t* data, std::size_t len) override;
+  IoResult recv(std::uint8_t* data, std::size_t len) override;
+  void shutdown_write() override { eof_ = true; }
+  void close() override { closed_ = true; }
+  bool valid() const override { return !closed_; }
+  void set_timeout_ms(double) override {}
+
+  std::size_t pending() const { return buf_.size() - pos_; }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+  std::size_t pos_ = 0;
+  bool eof_ = false;
+  bool closed_ = false;
+};
+
+}  // namespace matchsparse::serve

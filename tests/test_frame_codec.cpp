@@ -6,9 +6,13 @@
 // about where the next one starts") is pinned here, below the protocol.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
+#include <memory>
+#include <utility>
 #include <vector>
 
+#include "serve/transport.hpp"
 #include "util/frame.hpp"
 #include "util/rng.hpp"
 
@@ -175,6 +179,191 @@ TEST(FrameCodec, FuzzRoundTripUnderRandomChunking) {
       EXPECT_EQ(seen[i], frames[i]);
     }
     EXPECT_EQ(dec.buffered(), 0u);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Differential fuzz under serve::FaultTransport (DESIGN.md §17): the
+// decoder's output must be a pure function of the byte stream it was
+// fed, no matter how a faulty transport fragments, truncates, or (for
+// the corruption runs) flips bits in that stream. Two decoders over the
+// same delivered bytes — one fed by faulty chunked recv, one fed the
+// whole buffer at once — must agree on every frame AND on the terminal
+// poison state. And a stream cut mid-frame must never surface the torn
+// frame.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct Decoded {
+  std::vector<Frame> frames;
+  bool poisoned = false;
+};
+
+Decoded decode_all(FrameDecoder& dec) {
+  Decoded out;
+  Frame f;
+  for (;;) {
+    const FrameDecoder::Status st = dec.next(&f);
+    if (st == FrameDecoder::Status::kFrame) {
+      out.frames.push_back(f);
+      continue;
+    }
+    out.poisoned = st == FrameDecoder::Status::kError;
+    return out;
+  }
+}
+
+/// Pushes `wire` through a sender-side FaultTransport into a buffer and
+/// returns the bytes that actually arrived (a prefix when the plan cuts
+/// the stream, bit-flipped when it corrupts).
+std::vector<std::uint8_t> deliver_through(
+    const std::vector<std::uint8_t>& wire,
+    const serve::TransportFaultPlan& plan) {
+  auto buf = std::make_unique<serve::BufferTransport>();
+  serve::BufferTransport* raw = buf.get();
+  serve::FaultTransport faulty(std::move(buf), plan);
+  (void)faulty.send_all(wire.data(), wire.size());  // may die mid-stream
+  std::vector<std::uint8_t> delivered;
+  std::uint8_t chunk[512];
+  for (;;) {
+    const serve::IoResult r = raw->recv(chunk, sizeof(chunk));
+    if (!r.ok()) break;  // kTimeout = drained, kEof = drained after cut
+    delivered.insert(delivered.end(), chunk, chunk + r.bytes);
+  }
+  return delivered;
+}
+
+/// Decodes `bytes` as chunked by a receiver-side FaultTransport's short
+/// reads (seeded), versus in one shot; both must agree exactly.
+void expect_chunking_invariant(const std::vector<std::uint8_t>& bytes,
+                               std::uint64_t seed) {
+  auto buf = std::make_unique<serve::BufferTransport>();
+  buf->send(bytes.data(), bytes.size());
+  buf->shutdown_write();
+  serve::TransportFaultPlan plan;
+  plan.seed = seed;
+  plan.short_io = 0.7;
+  serve::FaultTransport rx(std::move(buf), plan);
+
+  FrameDecoder chunked;
+  Decoded via_faults;
+  std::uint8_t chunk[257];
+  for (;;) {
+    const serve::IoResult r = rx.recv(chunk, sizeof(chunk));
+    if (!r.ok()) break;
+    chunked.feed(chunk, r.bytes);
+    const Decoded step = decode_all(chunked);
+    via_faults.frames.insert(via_faults.frames.end(), step.frames.begin(),
+                             step.frames.end());
+    via_faults.poisoned = step.poisoned;
+    if (step.poisoned) break;  // sticky: nothing more can arrive
+  }
+
+  FrameDecoder oneshot;
+  oneshot.feed(bytes.data(), bytes.size());
+  const Decoded direct = decode_all(oneshot);
+  ASSERT_EQ(via_faults.frames.size(), direct.frames.size());
+  for (std::size_t i = 0; i < direct.frames.size(); ++i) {
+    EXPECT_EQ(via_faults.frames[i], direct.frames[i]) << "frame " << i;
+  }
+  EXPECT_EQ(via_faults.poisoned, direct.poisoned);
+}
+
+}  // namespace
+
+TEST(FrameCodecDifferential, TornStreamsYieldExactFramePrefixesNeverTornOnes) {
+  Rng rng(0xfa017u);
+  for (int iter = 0; iter < 120; ++iter) {
+    SCOPED_TRACE(iter);
+    std::vector<Frame> frames;
+    std::vector<std::uint8_t> wire;
+    const std::size_t count = 1 + rng() % 4;
+    for (std::size_t i = 0; i < count; ++i) {
+      std::vector<std::uint8_t> payload(rng() % 600);
+      for (auto& byte : payload) byte = static_cast<std::uint8_t>(rng());
+      frames.push_back(make_frame(static_cast<std::uint8_t>(rng() % 255),
+                                  rng(), std::move(payload)));
+      const std::vector<std::uint8_t> w = encode_frame(frames.back());
+      wire.insert(wire.end(), w.begin(), w.end());
+    }
+
+    // Short writes at every boundary plus a scripted mid-stream cut on
+    // odd iterations: the sender dies at an arbitrary byte offset.
+    serve::TransportFaultPlan plan;
+    plan.seed = rng();
+    plan.short_io = 0.6;
+    if (iter % 2 == 1) plan.reset_after_bytes = 1 + rng() % wire.size();
+    const std::vector<std::uint8_t> delivered = deliver_through(wire, plan);
+
+    // Fault injection only truncates here — never reorders or rewrites.
+    ASSERT_LE(delivered.size(), wire.size());
+    ASSERT_TRUE(std::equal(delivered.begin(), delivered.end(), wire.begin()));
+
+    FrameDecoder dec;
+    dec.feed(delivered.data(), delivered.size());
+    const Decoded got = decode_all(dec);
+    // Every whole frame that arrived decodes identically; the torn tail
+    // (if any) is "incomplete", never an accepted frame and never an
+    // error — the peer died, it did not lie about lengths.
+    EXPECT_FALSE(got.poisoned);
+    ASSERT_LE(got.frames.size(), frames.size());
+    for (std::size_t i = 0; i < got.frames.size(); ++i) {
+      EXPECT_EQ(got.frames[i], frames[i]) << "frame " << i;
+    }
+    if (delivered.size() == wire.size()) {
+      EXPECT_EQ(got.frames.size(), frames.size());
+      EXPECT_EQ(dec.buffered(), 0u);
+    }
+
+    expect_chunking_invariant(delivered, rng());
+  }
+}
+
+TEST(FrameCodecDifferential, CorruptionIsChunkingInvariantAndPoisonIsSticky) {
+  Rng rng(0xc0ffe3u);
+  for (int iter = 0; iter < 120; ++iter) {
+    SCOPED_TRACE(iter);
+    std::vector<Frame> frames;
+    std::vector<std::uint8_t> wire;
+    const std::size_t count = 1 + rng() % 3;
+    for (std::size_t i = 0; i < count; ++i) {
+      std::vector<std::uint8_t> payload(rng() % 400);
+      for (auto& byte : payload) byte = static_cast<std::uint8_t>(rng());
+      frames.push_back(make_frame(static_cast<std::uint8_t>(rng() % 255),
+                                  rng(), std::move(payload)));
+      const std::vector<std::uint8_t> w = encode_frame(frames.back());
+      wire.insert(wire.end(), w.begin(), w.end());
+    }
+
+    serve::TransportFaultPlan plan;
+    plan.seed = rng();
+    plan.short_io = 0.5;  // fragments the stream so flips land anywhere
+    plan.corrupt = 0.4;   // each fragment may lose one bit
+    const std::vector<std::uint8_t> delivered = deliver_through(wire, plan);
+    ASSERT_EQ(delivered.size(), wire.size());  // corruption never drops bytes
+
+    // The documented contract (DESIGN.md §17): the codec carries no
+    // checksum, so a flipped bit inside a payload is undetectable by
+    // design — what IS guaranteed is that decoding the damaged stream
+    // is deterministic (chunking-invariant) and that a length-prefix
+    // the decoder does reject poisons it for good.
+    expect_chunking_invariant(delivered, rng());
+
+    FrameDecoder dec;
+    dec.feed(delivered.data(), delivered.size());
+    const Decoded got = decode_all(dec);
+    if (got.poisoned) {
+      Frame out;
+      EXPECT_EQ(dec.next(&out), FrameDecoder::Status::kError);
+      EXPECT_FALSE(dec.error().empty());
+    }
+    if (delivered == wire) {  // the dice never rolled a corruption
+      ASSERT_EQ(got.frames.size(), frames.size());
+      for (std::size_t i = 0; i < frames.size(); ++i) {
+        EXPECT_EQ(got.frames[i], frames[i]);
+      }
+    }
   }
 }
 

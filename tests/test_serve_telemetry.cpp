@@ -257,7 +257,9 @@ TEST_F(TelemetryEndToEnd, PristineLegacyJsonIsPinnedExactly) {
   EXPECT_EQ(stats->json,
             "{\"schema\":1,\"requests\":1,\"errors\":0,\"shed\":0,"
             "\"budget_clamped\":0,\"tripped_builds\":0,"
-            "\"cancels_delivered\":0,\"connections\":1,\"inflight\":0,"
+            "\"cancels_delivered\":0,\"jobs_executed\":0,"
+            "\"dedup_replays\":0,\"dedup_waits\":0,\"sessions_reaped\":0,"
+            "\"connections\":1,\"inflight\":0,"
             "\"shutting_down\":0,\"cache\":{\"hits\":0,\"misses\":0,"
             "\"evictions\":0,\"refused\":0,\"bytes_used\":0,"
             "\"bytes_cap\":67108864,\"graphs\":0,\"sparsifiers\":0}}");

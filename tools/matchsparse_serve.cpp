@@ -31,6 +31,18 @@
 //   --flight-capacity=<n> flight-recorder ring slots (default 256)
 //   --no-telemetry       disable the latency histograms / outcome
 //                        counters (the flight recorder stays on)
+//   --idle-timeout-ms=<n> idle-session reaper: drop a connection that
+//                        sends nothing for n ms (default 300000; 0
+//                        disables — a half-open peer then pins its
+//                        session thread forever)
+//   --write-timeout-ms=<n> per-reply send deadline: drop a peer that
+//                        stops draining its socket (default 30000;
+//                        0 disables)
+//   --dedup-window=<n>   idempotency-token dedup window: completed
+//                        replies kept for retry replay (default 1024;
+//                        0 disables token dedup)
+//   --retry-after-ms=<n> backoff hint stamped on shed refusals
+//                        (default 20)
 //
 // SIGUSR1 dumps the flight ring (last N completed requests, ndjson)
 // without disturbing service — the "what just happened" signal.
@@ -63,6 +75,9 @@ int usage() {
       "[--trace=<prefix>]\n"
       "                         [--flight=<path>] [--flight-capacity=<n>] "
       "[--no-telemetry]\n"
+      "                         [--idle-timeout-ms=<n>] "
+      "[--write-timeout-ms=<n>]\n"
+      "                         [--dedup-window=<n>] [--retry-after-ms=<n>]\n"
       "at least one of --socket / --tcp is required\n");
   return 2;
 }
@@ -78,6 +93,12 @@ bool flag_value(const char* arg, const char* name, const char** value) {
 
 int main(int argc, char** argv) {
   ServerOptions opts;
+  // The daemon defends itself by default (the library defaults keep the
+  // legacy fully-blocking behavior for in-process harnesses): idle
+  // sessions are reaped after 5 minutes, a peer that stops draining a
+  // reply loses the connection after 30 seconds.
+  opts.session_idle_timeout_ms = 300000.0;
+  opts.session_write_timeout_ms = 30000.0;
   for (int i = 1; i < argc; ++i) {
     const char* v = nullptr;
     if (flag_value(argv[i], "--socket", &v)) {
@@ -126,6 +147,37 @@ int main(int argc, char** argv) {
       opts.flight_capacity = static_cast<std::size_t>(*n);
     } else if (std::strcmp(argv[i], "--no-telemetry") == 0) {
       opts.telemetry = false;
+    } else if (flag_value(argv[i], "--idle-timeout-ms", &v)) {
+      const auto ms = matchsparse::parse_double(v);
+      if (!ms || *ms < 0.0) {
+        std::fprintf(stderr, "matchsparse_serve: bad --idle-timeout-ms=%s\n",
+                     v);
+        return 2;
+      }
+      opts.session_idle_timeout_ms = *ms;
+    } else if (flag_value(argv[i], "--write-timeout-ms", &v)) {
+      const auto ms = matchsparse::parse_double(v);
+      if (!ms || *ms < 0.0) {
+        std::fprintf(stderr, "matchsparse_serve: bad --write-timeout-ms=%s\n",
+                     v);
+        return 2;
+      }
+      opts.session_write_timeout_ms = *ms;
+    } else if (flag_value(argv[i], "--dedup-window", &v)) {
+      const auto n = parse_u64(v);
+      if (!n) {
+        std::fprintf(stderr, "matchsparse_serve: bad --dedup-window=%s\n", v);
+        return 2;
+      }
+      opts.dedup_window = static_cast<std::size_t>(*n);
+    } else if (flag_value(argv[i], "--retry-after-ms", &v)) {
+      const auto ms = matchsparse::parse_double(v);
+      if (!ms || *ms < 0.0) {
+        std::fprintf(stderr, "matchsparse_serve: bad --retry-after-ms=%s\n",
+                     v);
+        return 2;
+      }
+      opts.shed_retry_after_ms = *ms;
     } else {
       std::fprintf(stderr, "matchsparse_serve: unknown flag %s\n", argv[i]);
       return usage();
@@ -195,12 +247,14 @@ int main(int argc, char** argv) {
   server.stop();
 
   const Server::Telemetry t = server.telemetry();
-  std::printf("served %llu requests (%llu errors, %llu shed, %llu cancelled) "
-              "over %llu connections\n",
+  std::printf("served %llu requests (%llu errors, %llu shed, %llu cancelled, "
+              "%llu replayed, %llu reaped) over %llu connections\n",
               static_cast<unsigned long long>(t.requests),
               static_cast<unsigned long long>(t.errors),
               static_cast<unsigned long long>(t.shed),
               static_cast<unsigned long long>(t.cancels_delivered),
+              static_cast<unsigned long long>(t.dedup_replays),
+              static_cast<unsigned long long>(t.sessions_reaped),
               static_cast<unsigned long long>(t.connections));
   return 0;
 }

@@ -13,6 +13,12 @@
 // hit rate, and shed/trip/error rates. Rates are deltas between two
 // consecutive scrapes, so the first frame shows totals only.
 //
+// A dropped connection (daemon restart, idle reap, network blip) is not
+// fatal: the monitor redials with exponential backoff — up to 8
+// attempts per scrape — and counts the reconnect in the footer; --drive
+// rides serve::RetryingClient, so generated traffic survives restarts
+// the same way.
+//
 // Flags:
 //   --socket=<path>    connect over the unix-domain socket
 //   --tcp=<port>       connect over loopback TCP
@@ -25,10 +31,12 @@
 //                      mixed MATCH/PIPELINE jobs (traffic generator for
 //                      smoke tests and the telemetry-scrape CI job)
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <functional>
 #include <map>
 #include <optional>
 #include <string>
@@ -37,6 +45,7 @@
 
 #include "serve/client.hpp"
 #include "serve/protocol.hpp"
+#include "serve/retry.hpp"
 #include "util/parse.hpp"
 #include "util/table.hpp"
 
@@ -109,8 +118,11 @@ std::string series(const std::string& family, const std::string& frame,
 }
 
 /// The traffic generator behind --drive: one LOAD, then n jobs
-/// alternating cache-served MATCH and cold PIPELINE.
-bool drive(Client& client, std::uint64_t jobs) {
+/// alternating cache-served MATCH and cold PIPELINE. Runs through a
+/// RetryingClient so a daemon restart mid-run costs a reconnect and a
+/// replay, not the whole generation (the old Client-based version died
+/// on the first dropped connection).
+bool drive(matchsparse::serve::RetryingClient& rc, std::uint64_t jobs) {
   LoadRequest load;
   load.source = "top-drive";
   load.n = 96;
@@ -118,19 +130,21 @@ bool drive(Client& client, std::uint64_t jobs) {
     load.edges.push_back(Edge{u, (u + 1) % load.n});
     load.edges.push_back(Edge{u, (u * 7 + 3) % load.n});
   }
-  if (!client.load(load)) return false;
+  if (!rc.load(load)) return false;
   JobRequest job;
   job.source = "top-drive";
   for (std::uint64_t i = 0; i < jobs; ++i) {
     job.seed = i % 4;  // a few distinct sparsifier cache keys
-    const bool ok = (i % 4 != 3) ? client.match(job).has_value()
-                                 : client.pipeline(job).has_value();
-    if (!ok && client.transport_failed()) return false;
+    job.client_token = 0;  // fresh token per logical job
+    const bool ok = (i % 4 != 3) ? rc.match(job).has_value()
+                                 : rc.pipeline(job).has_value();
+    if (!ok) return false;
   }
   return true;
 }
 
-void render(const Sample& cur, const Sample* prev, double interval_s) {
+void render(const Sample& cur, const Sample* prev, double interval_s,
+            std::uint64_t reconnects) {
   static const char* kFrames[] = {"load",  "sparsify", "match",
                                   "pipeline", "stats", "evict"};
   Table table("matchsparse_top",
@@ -166,7 +180,7 @@ void render(const Sample& cur, const Sample* prev, double interval_s) {
   };
   std::printf(
       "inflight %u | cache hit %.1f%% (%u/%u) | shed %.1f/s | trips %.1f/s "
-      "| errors %.1f/s | flight %u/%u\n",
+      "| errors %.1f/s | flight %u/%u | reconnects %llu\n",
       static_cast<unsigned>(get(cur, "matchsparse_serve_inflight")),
       looked > 0.0 ? 100.0 * hits / looked : 0.0,
       static_cast<unsigned>(hits), static_cast<unsigned>(looked),
@@ -174,7 +188,8 @@ void render(const Sample& cur, const Sample* prev, double interval_s) {
       rate("matchsparse_serve_tripped_builds_total"),
       rate("matchsparse_serve_errors_total"),
       static_cast<unsigned>(get(cur, "matchsparse_flight_completed_total")),
-      static_cast<unsigned>(get(cur, "matchsparse_flight_capacity")));
+      static_cast<unsigned>(get(cur, "matchsparse_flight_capacity")),
+      static_cast<unsigned long long>(reconnects));
   std::fflush(stdout);
 }
 
@@ -234,16 +249,47 @@ int main(int argc, char** argv) {
   }
   if (socket_path.empty() == (tcp_port < 0)) return usage();
 
-  Client client = socket_path.empty() ? Client::connect_tcp(tcp_port)
-                                      : Client::connect_unix(socket_path);
+  const auto dial = [&socket_path, tcp_port]() {
+    return socket_path.empty() ? Client::connect_tcp(tcp_port)
+                               : Client::connect_unix(socket_path);
+  };
+  Client client = dial();
   if (!client.valid()) {
     std::fprintf(stderr, "matchsparse_top: cannot connect\n");
     return 1;
   }
+  std::uint64_t reconnects = 0;
 
-  if (drive_jobs > 0 && !drive(client, drive_jobs)) {
-    std::fprintf(stderr, "matchsparse_top: traffic generation failed\n");
-    return 1;
+  // Redial with exponential backoff after a dropped connection; false
+  // once the attempts run out (the daemon is really gone).
+  const auto reconnect = [&]() {
+    std::uint64_t backoff_ms = 100;
+    for (int attempt = 0; attempt < 8; ++attempt) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+      backoff_ms = std::min<std::uint64_t>(backoff_ms * 2, 2000);
+      client = dial();
+      if (client.valid()) {
+        ++reconnects;
+        return true;
+      }
+    }
+    return false;
+  };
+
+  if (drive_jobs > 0) {
+    matchsparse::serve::RetryPolicy policy;
+    policy.max_attempts = 8;
+    policy.io_timeout_ms = 30000.0;
+    matchsparse::serve::RetryingClient rc(dial, policy);
+    if (!drive(rc, drive_jobs)) {
+      std::fprintf(stderr, "matchsparse_top: traffic generation failed (%s)\n",
+                   rc.last_error().message.c_str());
+      return 1;
+    }
+    // Surface the generator's resilience next to the monitor's own.
+    reconnects += rc.retry_stats().reconnects > 0
+                      ? rc.retry_stats().reconnects - 1  // first dial is free
+                      : 0;
   }
 
   if (flight) {
@@ -263,7 +309,16 @@ int main(int argc, char** argv) {
     if (i > 0) {
       std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
     }
-    const auto body = client.stats_prometheus();
+    auto body = client.stats_prometheus();
+    if (!body && client.transport_failed()) {
+      // The daemon restarted or reaped us; redial and rescrape. Rate
+      // deltas across the gap would mix two daemon lifetimes, so the
+      // previous sample is dropped and the next frame shows totals.
+      if (reconnect()) {
+        prev.reset();
+        body = client.stats_prometheus();
+      }
+    }
     if (!body) {
       std::fprintf(stderr, "matchsparse_top: scrape failed (%s)\n",
                    client.transport_failed()
@@ -280,7 +335,7 @@ int main(int argc, char** argv) {
     if (!once && iterations != 1) {
       std::fputs("\x1b[H\x1b[2J", stdout);  // home + clear
     }
-    render(cur, prev ? &*prev : nullptr, interval_s);
+    render(cur, prev ? &*prev : nullptr, interval_s, reconnects);
     prev = std::move(cur);
   }
   return 0;
